@@ -1,0 +1,66 @@
+//! # asap — Architecture for Secure Asynchronous Processing in PoX
+//!
+//! A full-system Rust reproduction of **ASAP** (Caulfield,
+//! Rattanavipanon, De Oliveira Nunes — DAC 2022): proofs of execution
+//! that remain sound while the proved code services interrupts.
+//!
+//! ASAP extends APEX with two properties (§4.2):
+//!
+//! * **\[AP1\] IVT Immutability & Integrity** — a verified two-state FSM
+//!   (Fig. 3) clears the `EXEC` flag on any CPU/DMA write to the
+//!   interrupt vector table between execution start and attestation
+//!   (LTL 4), and the IVT is covered by the attestation measurement;
+//! * **\[AP2\] ISR Immutability** — trusted ISRs are *linked inside* `ER`
+//!   (Fig. 4), inheriting APEX's `ER` immutability; APEX's LTL 3 (any
+//!   interrupt clears `EXEC`) is removed, because an unauthorized ISR
+//!   necessarily drags the PC outside `ER`, which LTL 1 already punishes.
+//!
+//! Crate layout:
+//!
+//! * [`monitor`] — the ASAP hardware monitor (relaxed APEX kernel +
+//!   Fig. 3 IVT guard), model-checked against its LTL specs;
+//! * [`device`] — the prover: MCU, peripherals, monitors and the SW-Att
+//!   ROM trap;
+//! * [`verifier`] — APEX verification plus the IVT/ISR entry-point
+//!   checks;
+//! * [`properties`] — the complete 21-LTL-property suite of §5;
+//! * [`programs`] — the paper's demo programs (Fig. 4, the §3 syringe
+//!   pump, a sensing task).
+//!
+//! # Quick start
+//!
+//! ```
+//! use asap::device::{Device, PoxMode};
+//! use asap::programs;
+//! use asap::verifier::AsapVerifier;
+//! use std::collections::BTreeMap;
+//!
+//! // Build and run the Fig. 4 program on an ASAP device.
+//! let image = programs::fig4_authorized()?;
+//! let mut device = Device::new(&image, PoxMode::Asap, b"device-key")?;
+//! device.run_until_pc(programs::done_pc(), 2_000);
+//!
+//! // Press the button mid-run? Here execution already finished; attest.
+//! let isr = image.symbol("gpio_isr").unwrap();
+//! let mut vrf = AsapVerifier::new(
+//!     b"device-key",
+//!     device.er_bytes(),
+//!     BTreeMap::from([(periph::gpio::PORT1_VECTOR, isr)]),
+//! );
+//! let (er, or) = device.pox_regions();
+//! let req = vrf.request(er, or);
+//! let resp = device.attest(&req);
+//! assert!(vrf.verify(&req, &resp).is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod device;
+pub mod monitor;
+pub mod programs;
+pub mod properties;
+pub mod verifier;
+
+pub use device::{Device, DeviceError, PoxMode, StepReport, WaveSample};
+pub use monitor::{ivt_kernel, AsapMonitor, AsapState, IvtGuard, IvtIn};
+pub use properties::{verify_all, PropertyRow, SuiteReport};
+pub use verifier::AsapVerifier;

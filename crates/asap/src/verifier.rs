@@ -1,0 +1,242 @@
+//! The ASAP verifier: APEX's PoX verification plus the IVT/ISR checks of
+//! the paper's security argument (§4.2).
+//!
+//! Under ASAP the attestation measurement additionally covers the IVT,
+//! and the verifier checks that **every IVT entry pointing into `ER`
+//! lands on the entry point of an expected, trusted ISR**. Any execution
+//! of an unauthorized ISR would have required the PC to leave `ER`
+//! (clearing `EXEC` per LTL 1), and any IVT re-routing after execution
+//! started would have tripped \[AP1\] — so a valid response proves the
+//! asynchronous behaviour was exactly the intended one.
+
+use apex_pox::protocol::{pox_items, PoxError, PoxRequest, PoxResponse};
+use openmsp430::cpu::{IVT_BASE, IVT_VECTORS};
+use openmsp430::mem::MemRegion;
+use pox_crypto::hmac::ct_eq;
+use vrased::protocol::Challenge;
+use vrased::swatt::attest;
+use std::collections::BTreeMap;
+
+/// The ASAP verifier.
+#[derive(Debug, Clone)]
+pub struct AsapVerifier {
+    key: Vec<u8>,
+    counter: u64,
+    /// Expected bytes of the linked `ER` (main task + trusted ISRs).
+    pub expected_er: Vec<u8>,
+    /// Expected trusted-ISR entry points: vector → address inside `ER`.
+    pub expected_isrs: BTreeMap<u8, u16>,
+    /// The IVT region (fixed on OpenMSP430: the last 32 bytes).
+    pub ivt_region: MemRegion,
+}
+
+impl AsapVerifier {
+    /// Creates a verifier for the given `ER` binary and trusted ISR map.
+    pub fn new(
+        key: &[u8],
+        expected_er: Vec<u8>,
+        expected_isrs: BTreeMap<u8, u16>,
+    ) -> AsapVerifier {
+        AsapVerifier {
+            key: key.to_vec(),
+            counter: 0,
+            expected_er,
+            expected_isrs,
+            ivt_region: MemRegion::new(IVT_BASE, 0xFFFF),
+        }
+    }
+
+    /// Issues a fresh PoX request.
+    pub fn request(&mut self, er: MemRegion, or: MemRegion) -> PoxRequest {
+        self.counter += 1;
+        PoxRequest { chal: Challenge::from_counter(self.counter), er, or }
+    }
+
+    /// Parses an IVT byte image into vector → target pairs.
+    pub fn parse_ivt(bytes: &[u8]) -> Vec<(u8, u16)> {
+        bytes
+            .chunks(2)
+            .take(IVT_VECTORS as usize)
+            .enumerate()
+            .map(|(i, c)| (i as u8, u16::from_le_bytes([c[0], *c.get(1).unwrap_or(&0)])))
+            .collect()
+    }
+
+    /// Verifies an ASAP PoX response.
+    ///
+    /// Checks, in order: `EXEC = 1`; the IVT report is present; every
+    /// IVT entry pointing into `ER` matches an expected trusted-ISR
+    /// entry point; and the MAC binds
+    /// `EXEC ‖ ER(expected) ‖ OR(claimed) ‖ IVT(reported)` under the
+    /// fresh challenge.
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`PoxError`] for the first failed check.
+    pub fn verify(&self, req: &PoxRequest, resp: &PoxResponse) -> Result<(), PoxError> {
+        if !resp.exec {
+            return Err(PoxError::NotExecuted);
+        }
+        let ivt_bytes = resp.ivt.as_ref().ok_or(PoxError::MissingIvt)?;
+
+        for (vector, target) in Self::parse_ivt(ivt_bytes) {
+            if req.er.contains(target) {
+                match self.expected_isrs.get(&vector) {
+                    Some(&want) if want == target => {}
+                    _ => return Err(PoxError::UnexpectedIsrEntry { vector, target }),
+                }
+            }
+        }
+
+        let items = pox_items(
+            true,
+            req.er,
+            &self.expected_er,
+            req.or,
+            &resp.output,
+            Some((self.ivt_region, ivt_bytes)),
+        );
+        let want = attest(&self.key, &req.chal.0, &items);
+        if !ct_eq(&want, &resp.mac) {
+            return Err(PoxError::BadMac);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er() -> MemRegion {
+        MemRegion::new(0xE000, 0xE0FF)
+    }
+
+    fn or() -> MemRegion {
+        MemRegion::new(0x0300, 0x033F)
+    }
+
+    fn ivt_with(vector: u8, target: u16) -> Vec<u8> {
+        let mut bytes = vec![0u8; 32];
+        bytes[2 * vector as usize..2 * vector as usize + 2]
+            .copy_from_slice(&target.to_le_bytes());
+        bytes
+    }
+
+    fn honest(
+        vrf: &AsapVerifier,
+        key: &[u8],
+        req: &PoxRequest,
+        ivt: Vec<u8>,
+        out: &[u8],
+    ) -> PoxResponse {
+        let items =
+            pox_items(true, req.er, &vrf.expected_er, req.or, out, Some((vrf.ivt_region, &ivt)));
+        PoxResponse {
+            exec: true,
+            output: out.to_vec(),
+            ivt: Some(ivt),
+            mac: attest(key, &req.chal.0, &items),
+        }
+    }
+
+    #[test]
+    fn honest_asap_response_verifies() {
+        let key = b"k";
+        let isrs = BTreeMap::from([(2u8, 0xE020u16)]);
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], isrs);
+        let req = vrf.request(er(), or());
+        let resp = honest(&vrf, key, &req, ivt_with(2, 0xE020), b"out");
+        assert!(vrf.verify(&req, &resp).is_ok());
+    }
+
+    #[test]
+    fn ivt_entry_into_er_must_match_expected_isr() {
+        let key = b"k";
+        let isrs = BTreeMap::from([(2u8, 0xE020u16)]);
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], isrs);
+        let req = vrf.request(er(), or());
+        // Vector 2 re-routed to a different in-ER address: a gadget jump.
+        let resp = honest(&vrf, key, &req, ivt_with(2, 0xE050), b"out");
+        assert_eq!(
+            vrf.verify(&req, &resp),
+            Err(PoxError::UnexpectedIsrEntry { vector: 2, target: 0xE050 })
+        );
+    }
+
+    #[test]
+    fn unknown_vector_into_er_rejected() {
+        let key = b"k";
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
+        let req = vrf.request(er(), or());
+        let resp = honest(&vrf, key, &req, ivt_with(9, 0xE004), b"out");
+        assert!(matches!(
+            vrf.verify(&req, &resp),
+            Err(PoxError::UnexpectedIsrEntry { vector: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn vectors_outside_er_are_unconstrained() {
+        // Untrusted ISRs may exist — they simply clear EXEC if they run.
+        let key = b"k";
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
+        let req = vrf.request(er(), or());
+        let resp = honest(&vrf, key, &req, ivt_with(9, 0xF800), b"out");
+        assert!(vrf.verify(&req, &resp).is_ok());
+    }
+
+    #[test]
+    fn missing_ivt_rejected() {
+        let key = b"k";
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
+        let req = vrf.request(er(), or());
+        let mut resp = honest(&vrf, key, &req, vec![0u8; 32], b"out");
+        resp.ivt = None;
+        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::MissingIvt));
+    }
+
+    #[test]
+    fn tampered_ivt_report_fails_mac() {
+        // The prover cannot report a clean IVT if the measured one was
+        // dirty: the MAC binds the measured bytes.
+        let key = b"k";
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
+        let req = vrf.request(er(), or());
+        let measured = ivt_with(9, 0xF800);
+        let items = pox_items(
+            true,
+            req.er,
+            &vrf.expected_er,
+            req.or,
+            b"out",
+            Some((vrf.ivt_region, &measured)),
+        );
+        let resp = PoxResponse {
+            exec: true,
+            output: b"out".to_vec(),
+            ivt: Some(vec![0u8; 32]), // forged report
+            mac: attest(key, &req.chal.0, &items),
+        };
+        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::BadMac));
+    }
+
+    #[test]
+    fn exec_zero_rejected() {
+        let key = b"k";
+        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
+        let req = vrf.request(er(), or());
+        let mut resp = honest(&vrf, key, &req, vec![0u8; 32], b"out");
+        resp.exec = false;
+        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::NotExecuted));
+    }
+
+    #[test]
+    fn parse_ivt_layout() {
+        let bytes = ivt_with(15, 0xE000);
+        let entries = AsapVerifier::parse_ivt(&bytes);
+        assert_eq!(entries.len(), 16);
+        assert_eq!(entries[15], (15, 0xE000));
+        assert_eq!(entries[0], (0, 0x0000));
+    }
+}

@@ -1,0 +1,49 @@
+//! Attestation (SW-Att functional core) throughput: HMAC-SHA256 over
+//! measured regions of increasing size, plus the full device-level PoX
+//! round trip. Supports the paper's premise that attestation cost is
+//! dominated by the MAC over `ER ‖ OR (‖ IVT)`.
+
+use asap::device::PoxMode;
+use asap::programs;
+use asap_bench::{device_for, KEY};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vrased::swatt::{attest, MeasuredItem};
+
+fn bench_swatt_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swatt_mac");
+    for size in [256usize, 1024, 4096, 8192] {
+        let item = MeasuredItem::value("er", vec![0xA5; size]);
+        let chal = [7u8; 16];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| attest(black_box(KEY), black_box(&chal), black_box(std::slice::from_ref(&item))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pox_roundtrip(c: &mut Criterion) {
+    let image = programs::fig4_authorized().unwrap();
+    c.bench_function("pox_roundtrip_asap", |b| {
+        b.iter(|| {
+            let mut device = device_for(&image, PoxMode::Asap).unwrap();
+            device.run_until_pc(programs::done_pc(), 5_000);
+            let mut vrf = asap::verifier::AsapVerifier::new(
+                KEY,
+                device.er_bytes(),
+                std::collections::BTreeMap::from([(
+                    periph::gpio::PORT1_VECTOR,
+                    image.symbol("gpio_isr").unwrap(),
+                )]),
+            );
+            let (er, or) = device.pox_regions();
+            let req = vrf.request(er, or);
+            let resp = device.attest(&req);
+            black_box(vrf.verify(&req, &resp).is_ok())
+        })
+    });
+}
+
+criterion_group!(benches, bench_swatt_mac, bench_pox_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator throughput: instructions per second of the MSP430 core with
+//! and without the security monitors attached — the software analogue of
+//! the paper's zero-hardware-overhead claim (the monitors add a constant
+//! per-step observation cost in simulation, none in silicon).
+
+use asap::device::PoxMode;
+use asap::programs;
+use asap_bench::device_for;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use openmsp430::layout::MemLayout;
+use openmsp430::mcu::Mcu;
+use std::hint::black_box;
+
+const STEPS: u64 = 2_000;
+
+fn bench_bare_mcu(c: &mut Criterion) {
+    let image = programs::fig4_authorized().unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_function("bare_mcu_steps", |b| {
+        b.iter(|| {
+            let mut mcu = Mcu::new(MemLayout::default());
+            image.load_into(&mut mcu.mem);
+            mcu.reset();
+            for _ in 0..STEPS {
+                black_box(mcu.step());
+            }
+            mcu.cycles()
+        })
+    });
+    group.bench_function("asap_device_steps", |b| {
+        b.iter(|| {
+            let mut device = device_for(&image, PoxMode::Asap).unwrap();
+            for _ in 0..STEPS {
+                black_box(device.step());
+            }
+            device.mcu.cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bare_mcu);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Synthesis cost: building and technology-mapping the monitor RTL
+//! (the Fig. 6 pipeline), for both LUT4 and LUT6 targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtl_synth::designs::{apex_design, asap_design};
+use rtl_synth::mapper::map;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let apex = apex_design();
+    let asap = asap_design();
+    let mut group = c.benchmark_group("lut_mapping");
+    for k in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("apex", k), &k, |b, &k| {
+            b.iter(|| black_box(map(&apex, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("asap", k), &k, |b, &k| {
+            b.iter(|| black_box(map(&asap, k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_construction(c: &mut Criterion) {
+    c.bench_function("build_apex_netlist", |b| b.iter(|| black_box(apex_design())));
+    c.bench_function("build_asap_netlist", |b| b.iter(|| black_box(asap_design())));
+}
+
+criterion_group!(benches, bench_mapping, bench_design_construction);
+criterion_main!(benches);

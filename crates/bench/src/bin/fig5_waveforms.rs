@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 5**: interrupt handling in ASAP vs APEX.
+//!
+//! Three simulations of the Fig. 4 program with a button press during
+//! `ER` execution:
+//!
+//! * (a) trusted ISR linked inside `ER`, ASAP monitor → `EXEC` stays 1;
+//! * (b) ISR linked outside `ER`, ASAP monitor → `EXEC` falls when the
+//!   PC leaves `ER`;
+//! * (c) trusted ISR, plain APEX monitor → `EXEC` falls on `irq` itself.
+//!
+//! Waveforms are printed as ASCII and exported as VCD files next to the
+//! working directory (`fig5a.vcd`, `fig5b.vcd`, `fig5c.vcd`).
+
+use asap::device::PoxMode;
+use asap::programs;
+use asap_bench::{fig5_waveform, run_button_scenario};
+use std::error::Error;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let authorized = programs::fig4_authorized()?;
+    let unauthorized = programs::fig4_unauthorized()?;
+
+    println!("=== Fig. 5(a): authorized interrupt in ASAP ===");
+    let d = run_button_scenario(&authorized, PoxMode::Asap)?;
+    println!("{}", fig5_waveform(&d, 60));
+    println!("EXEC = {} (expected 1)\n", d.exec() as u8);
+    assert!(d.exec(), "Fig 5(a) shape: EXEC must survive the trusted ISR");
+    export_vcd(&d, "fig5a.vcd")?;
+
+    println!("=== Fig. 5(b): unauthorized interrupt in ASAP ===");
+    let d = run_button_scenario(&unauthorized, PoxMode::Asap)?;
+    println!("{}", fig5_waveform(&d, 60));
+    println!("EXEC = {} (expected 0)\n", d.exec() as u8);
+    assert!(!d.exec(), "Fig 5(b) shape: PC excursion must clear EXEC");
+    export_vcd(&d, "fig5b.vcd")?;
+
+    println!("=== Fig. 5(c): any interrupt in APEX ===");
+    let d = run_button_scenario(&authorized, PoxMode::Apex)?;
+    println!("{}", fig5_waveform(&d, 60));
+    println!("EXEC = {} (expected 0)\n", d.exec() as u8);
+    assert!(!d.exec(), "Fig 5(c) shape: APEX clears EXEC on any irq");
+    export_vcd(&d, "fig5c.vcd")?;
+
+    println!("all three waveforms match the paper's qualitative shapes ✔");
+    Ok(())
+}
+
+fn export_vcd(device: &asap::device::Device, path: &str) -> Result<(), Box<dyn Error>> {
+    use sim_wave::{Signal, WaveSet};
+    let er = device.er();
+    let mut w = WaveSet::new();
+    w.add(Signal::bit("pc_in_er"));
+    w.add(Signal::bit("irq"));
+    w.add(Signal::bit("exec"));
+    w.add(Signal::bus("pc", 16));
+    for (i, s) in device.wave().iter().enumerate() {
+        let t = i as u64;
+        w.sample("pc_in_er", t, er.region.contains(s.pc) as u64);
+        w.sample("irq", t, s.irq as u64);
+        w.sample("exec", t, s.exec as u64);
+        w.sample("pc", t, s.pc as u64);
+    }
+    fs::write(path, w.render_vcd("asap_fig5"))?;
+    println!("(vcd written to {path})");
+    Ok(())
+}

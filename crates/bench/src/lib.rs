@@ -1,0 +1,71 @@
+//! # asap-bench — experiment harness
+//!
+//! Shared scenario builders for the figure-regeneration binaries and the
+//! Criterion micro-benchmarks. One binary per paper artifact:
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Fig. 5 (a)(b)(c) waveforms | `fig5_waveforms` |
+//! | Fig. 6 (a)(b) hardware overhead | `fig6_overhead` |
+//! | §5 verification cost (21 LTL properties) | `verification_cost` |
+//! | §5 runtime overhead (zero cycles) | `runtime_overhead` |
+
+use asap::device::{Device, PoxMode};
+use asap::programs;
+use msp430_tools::link::Image;
+use std::error::Error;
+
+/// The shared demo key.
+pub const KEY: &[u8] = b"bench-key";
+
+/// Builds a device for an image/mode pair.
+pub fn device_for(image: &Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
+    Ok(Device::new(image, mode, KEY)?)
+}
+
+/// Runs the Fig. 4 scenario: a few steps into `ER`, press the button,
+/// run to completion. Returns the device for inspection.
+pub fn run_button_scenario(image: &Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
+    let mut device = device_for(image, mode)?;
+    device.run_steps(6);
+    device.set_button(0, true);
+    device.run_until_pc(programs::done_pc(), 10_000);
+    Ok(device)
+}
+
+/// Renders a device's recorded samples as a Fig. 5-style waveform.
+pub fn fig5_waveform(device: &Device, window: u64) -> String {
+    use sim_wave::{Signal, WaveSet};
+    let er = device.er();
+    let mut w = WaveSet::new();
+    w.add(Signal::bit("pc_in_er"));
+    w.add(Signal::bit("irq"));
+    w.add(Signal::bit("exec"));
+    w.add(Signal::bus("pc", 16));
+    let mut last_pc = None;
+    for (i, s) in device.wave().iter().enumerate() {
+        let t = i as u64;
+        w.sample("pc_in_er", t, er.region.contains(s.pc) as u64);
+        w.sample("irq", t, s.irq as u64);
+        w.sample("exec", t, s.exec as u64);
+        if last_pc != Some(s.pc) {
+            w.sample("pc", t, s.pc as u64);
+            last_pc = Some(s.pc);
+        }
+    }
+    w.render_ascii(0, (device.wave().len() as u64).min(window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build() {
+        let img = programs::fig4_authorized().unwrap();
+        let d = run_button_scenario(&img, PoxMode::Asap).unwrap();
+        assert!(d.exec());
+        let art = fig5_waveform(&d, 40);
+        assert!(art.contains("exec"));
+    }
+}

@@ -1,0 +1,385 @@
+//! LTL → generalized Büchi automaton via the classic tableau
+//! construction (Gerth–Peled–Vardi–Wolper, "Simple on-the-fly automatic
+//! verification of linear temporal logic", PSTV 1995).
+//!
+//! The automaton for `¬φ` is intersected with the model in
+//! [`crate::mc`]; an empty intersection proves `φ` holds on all paths.
+
+use crate::formula::{Ltl, Nnf};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+type F = Rc<Nnf>;
+
+/// A state of the generalized Büchi automaton.
+#[derive(Debug, Clone)]
+pub struct BuchiState {
+    /// Literal constraints: `(prop name, negated)` — a transition *into*
+    /// this state reads a symbol satisfying all of them.
+    pub lits: Vec<(String, bool)>,
+    /// Successor state indices.
+    pub succs: Vec<usize>,
+}
+
+/// A generalized Büchi automaton.
+///
+/// Acceptance: a run is accepting iff it visits each set in
+/// [`Buchi::acceptance`] infinitely often (when the family is empty,
+/// every infinite run accepts).
+#[derive(Debug, Clone, Default)]
+pub struct Buchi {
+    /// States.
+    pub states: Vec<BuchiState>,
+    /// Initial state indices.
+    pub initial: Vec<usize>,
+    /// Generalized acceptance family: one set per `U` subformula.
+    pub acceptance: Vec<BTreeSet<usize>>,
+}
+
+/// Tableau node before finalization.
+#[derive(Debug, Clone)]
+struct PreNode {
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<F>,
+    old: BTreeSet<F>,
+    next: BTreeSet<F>,
+}
+
+/// Finalized tableau node.
+#[derive(Debug, Clone)]
+struct FinNode {
+    incoming: BTreeSet<usize>,
+    old: BTreeSet<F>,
+    next: BTreeSet<F>,
+}
+
+/// Virtual predecessor id marking initial states.
+const INIT: usize = usize::MAX;
+
+fn lit_negation(f: &Nnf) -> Option<Nnf> {
+    match f {
+        Nnf::Lit { name, neg } => Some(Nnf::Lit { name: name.clone(), neg: !neg }),
+        _ => None,
+    }
+}
+
+fn add_new(node: &mut PreNode, f: &F) {
+    if !node.old.contains(f) {
+        node.new.insert(f.clone());
+    }
+}
+
+fn expand(mut node: PreNode, fin: &mut Vec<FinNode>) {
+    let Some(f) = node.new.iter().next().cloned() else {
+        // Fully processed: merge with an existing (old, next) node or
+        // finalize a new one and seed its successor.
+        for existing in fin.iter_mut() {
+            if existing.old == node.old && existing.next == node.next {
+                existing.incoming.extend(node.incoming.iter().copied());
+                return;
+            }
+        }
+        let id = fin.len();
+        fin.push(FinNode {
+            incoming: node.incoming.clone(),
+            old: node.old.clone(),
+            next: node.next.clone(),
+        });
+        let seed = PreNode {
+            incoming: BTreeSet::from([id]),
+            new: node.next.clone(),
+            old: BTreeSet::new(),
+            next: BTreeSet::new(),
+        };
+        expand(seed, fin);
+        return;
+    };
+    node.new.remove(&f);
+
+    match &*f {
+        Nnf::False => {} // contradiction: drop the node
+        Nnf::True => expand(node, fin),
+        Nnf::Lit { .. } => {
+            let negated = Rc::new(lit_negation(&f).expect("literal"));
+            if node.old.contains(&negated) {
+                return; // contradiction
+            }
+            node.old.insert(f);
+            expand(node, fin);
+        }
+        Nnf::And(a, b) => {
+            node.old.insert(f.clone());
+            add_new(&mut node, a);
+            add_new(&mut node, b);
+            expand(node, fin);
+        }
+        Nnf::Or(a, b) => {
+            let mut n1 = node.clone();
+            n1.old.insert(f.clone());
+            add_new(&mut n1, a);
+            expand(n1, fin);
+
+            node.old.insert(f.clone());
+            add_new(&mut node, b);
+            expand(node, fin);
+        }
+        Nnf::X(a) => {
+            node.old.insert(f.clone());
+            node.next.insert(a.clone());
+            expand(node, fin);
+        }
+        Nnf::U(a, b) => {
+            // a U b  ≡  b ∨ (a ∧ X(a U b))
+            let mut n1 = node.clone();
+            n1.old.insert(f.clone());
+            add_new(&mut n1, a);
+            n1.next.insert(f.clone());
+            expand(n1, fin);
+
+            node.old.insert(f.clone());
+            add_new(&mut node, b);
+            expand(node, fin);
+        }
+        Nnf::R(a, b) => {
+            // a R b  ≡  b ∧ (a ∨ X(a R b))
+            let mut n1 = node.clone();
+            n1.old.insert(f.clone());
+            add_new(&mut n1, b);
+            n1.next.insert(f.clone());
+            expand(n1, fin);
+
+            node.old.insert(f.clone());
+            add_new(&mut node, a);
+            add_new(&mut node, b);
+            expand(node, fin);
+        }
+    }
+}
+
+/// Collects the `U` subformulas of an NNF formula.
+fn until_subformulas(f: &F, out: &mut BTreeSet<F>) {
+    match &**f {
+        Nnf::U(a, b) => {
+            out.insert(f.clone());
+            until_subformulas(a, out);
+            until_subformulas(b, out);
+        }
+        Nnf::R(a, b) | Nnf::And(a, b) | Nnf::Or(a, b) => {
+            until_subformulas(a, out);
+            until_subformulas(b, out);
+        }
+        Nnf::X(a) => until_subformulas(a, out),
+        _ => {}
+    }
+}
+
+/// Translates an LTL formula into a generalized Büchi automaton accepting
+/// exactly the infinite words satisfying it.
+///
+/// # Examples
+///
+/// ```
+/// use ltl_mc::buchi::from_ltl;
+/// use ltl_mc::formula::Ltl;
+///
+/// let a = from_ltl(&Ltl::prop("p").globally());
+/// assert!(!a.initial.is_empty());
+/// ```
+pub fn from_ltl(f: &Ltl) -> Buchi {
+    let nnf = Nnf::from_ltl(f);
+
+    let mut fin: Vec<FinNode> = Vec::new();
+    let seed = PreNode {
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([nnf.clone()]),
+        old: BTreeSet::new(),
+        next: BTreeSet::new(),
+    };
+    expand(seed, &mut fin);
+
+    let mut untils = BTreeSet::new();
+    until_subformulas(&nnf, &mut untils);
+
+    let mut states: Vec<BuchiState> = fin
+        .iter()
+        .map(|n| {
+            let lits = n
+                .old
+                .iter()
+                .filter_map(|f| match &**f {
+                    Nnf::Lit { name, neg } => Some((name.clone(), *neg)),
+                    _ => None,
+                })
+                .collect();
+            BuchiState { lits, succs: Vec::new() }
+        })
+        .collect();
+
+    let mut initial = Vec::new();
+    for (i, n) in fin.iter().enumerate() {
+        if n.incoming.contains(&INIT) {
+            initial.push(i);
+        }
+        for pred in &n.incoming {
+            if *pred != INIT {
+                states[*pred].succs.push(i);
+            }
+        }
+    }
+
+    let acceptance = untils
+        .iter()
+        .map(|u| {
+            let b = match &**u {
+                Nnf::U(_, b) => b.clone(),
+                _ => unreachable!(),
+            };
+            // `b == true` is satisfied everywhere but never recorded in
+            // `old` (True is discharged silently during expansion).
+            let b_is_true = matches!(&*b, Nnf::True);
+            fin.iter()
+                .enumerate()
+                .filter(|(_, n)| !n.old.contains(u) || b_is_true || n.old.contains(&b))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    Buchi { states, initial, acceptance }
+}
+
+impl Buchi {
+    /// True when a symbol (set of true proposition names) satisfies the
+    /// literal constraints of `state`.
+    pub fn symbol_matches(&self, state: usize, holds: &dyn Fn(&str) -> bool) -> bool {
+        self.states[state].lits.iter().all(|(name, neg)| holds(name) != *neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: does the automaton accept the ultimately
+    /// periodic word `prefix · cycle^ω`?
+    ///
+    /// Nodes of the word-product graph are `(automaton state, lasso
+    /// position)`. The word is accepted iff some reachable node in the
+    /// cycle region lies on a product cycle that visits every acceptance
+    /// set — checked exactly with an anchor + acceptance-mask BFS.
+    fn accepts(b: &Buchi, prefix: &[Vec<&str>], cycle: &[Vec<&str>]) -> bool {
+        assert!(!cycle.is_empty(), "lasso needs a nonempty cycle");
+        let total = prefix.len() + cycle.len();
+        let sym = |i: usize| -> &Vec<&str> {
+            if i < prefix.len() {
+                &prefix[i]
+            } else {
+                &cycle[i - prefix.len()]
+            }
+        };
+        let next_pos = |pos: usize| if pos + 1 < total { pos + 1 } else { prefix.len() };
+        let acc_mask = |q: usize| -> u32 {
+            b.acceptance
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.contains(&q))
+                .fold(0, |m, (i, _)| m | (1 << i))
+        };
+        let full: u32 = (1u32 << b.acceptance.len()) - 1;
+
+        // Forward reachability from matching initial nodes.
+        let mut reach = std::collections::HashSet::new();
+        let mut stack: Vec<(usize, usize)> = b
+            .initial
+            .iter()
+            .filter(|&&q| b.symbol_matches(q, &|n| sym(0).contains(&n)))
+            .map(|&q| (q, 0))
+            .collect();
+        while let Some(n) = stack.pop() {
+            if !reach.insert(n) {
+                continue;
+            }
+            let np = next_pos(n.1);
+            for &q2 in &b.states[n.0].succs {
+                if b.symbol_matches(q2, &|s| sym(np).contains(&s)) {
+                    stack.push((q2, np));
+                }
+            }
+        }
+
+        // For each reachable anchor in the cycle region, search for a
+        // product cycle back to it collecting all acceptance sets.
+        for &(aq, apos) in reach.iter().filter(|(_, p)| *p >= prefix.len()) {
+            let mut seen = std::collections::HashSet::new();
+            let mut stack: Vec<(usize, usize, u32)> = vec![(aq, apos, acc_mask(aq))];
+            while let Some((q, pos, mask)) = stack.pop() {
+                if !seen.insert((q, pos, mask)) {
+                    continue;
+                }
+                let np = next_pos(pos);
+                for &q2 in &b.states[q].succs {
+                    if !b.symbol_matches(q2, &|s| sym(np).contains(&s)) {
+                        continue;
+                    }
+                    let mask2 = mask | acc_mask(q2);
+                    if (q2, np) == (aq, apos) && mask2 == full {
+                        return true;
+                    }
+                    stack.push((q2, np, mask2));
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn globally_p() {
+        let b = from_ltl(&Ltl::prop("p").globally());
+        assert!(accepts(&b, &[], &[vec!["p"]]));
+        assert!(!accepts(&b, &[vec!["p"]], &[vec![]]));
+        assert!(!accepts(&b, &[vec![]], &[vec!["p"]]));
+    }
+
+    #[test]
+    fn eventually_p() {
+        let b = from_ltl(&Ltl::prop("p").eventually());
+        assert!(accepts(&b, &[vec![], vec!["p"]], &[vec![]]));
+        assert!(accepts(&b, &[], &[vec!["p"]]));
+        assert!(!accepts(&b, &[], &[vec![]]));
+    }
+
+    #[test]
+    fn next_p() {
+        let b = from_ltl(&Ltl::prop("p").next());
+        assert!(accepts(&b, &[vec![], vec!["p"]], &[vec![]]));
+        assert!(!accepts(&b, &[vec!["p"], vec![]], &[vec![]]));
+    }
+
+    #[test]
+    fn until_requires_witness() {
+        let b = from_ltl(&Ltl::prop("a").until(Ltl::prop("b")));
+        assert!(accepts(&b, &[vec!["a"], vec!["a"], vec!["b"]], &[vec![]]));
+        assert!(!accepts(&b, &[], &[vec!["a"]]), "a forever without b is rejected");
+        assert!(accepts(&b, &[vec!["b"]], &[vec![]]));
+    }
+
+    #[test]
+    fn gf_liveness() {
+        // G F p: p infinitely often.
+        let b = from_ltl(&Ltl::prop("p").eventually().globally());
+        assert!(accepts(&b, &[], &[vec!["p"], vec![]]));
+        assert!(!accepts(&b, &[vec!["p"]], &[vec![]]));
+    }
+
+    #[test]
+    fn automaton_sizes_are_small() {
+        // The paper-style safety properties must stay tiny.
+        let f = Ltl::prop("wen_ivt")
+            .or(Ltl::prop("dma_ivt"))
+            .implies(Ltl::prop("exec").not())
+            .globally()
+            .not();
+        let b = from_ltl(&f);
+        assert!(b.states.len() <= 16, "negated safety automaton too big: {}", b.states.len());
+    }
+}

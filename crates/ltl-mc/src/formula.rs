@@ -1,0 +1,299 @@
+//! Linear temporal logic formulas.
+//!
+//! The paper specifies every hardware property in LTL with the `G`
+//! (globally) and `X` (next) quantifiers (§4.2); APEX/VRASED's inherited
+//! properties use the same fragment. This module provides the full LTL
+//! syntax (`X`, `G`, `F`, `U`, `R`) plus negation-normal-form conversion
+//! used by the tableau construction in [`crate::buchi`].
+
+use std::fmt;
+use std::rc::Rc;
+
+/// An LTL formula over named boolean propositions.
+///
+/// # Examples
+///
+/// The paper's LTL 3 (APEX): `G { PC ∈ ER ∧ irq → ¬EXEC }`:
+///
+/// ```
+/// use ltl_mc::formula::Ltl;
+///
+/// let f = Ltl::prop("pc_in_er")
+///     .and(Ltl::prop("irq"))
+///     .implies(Ltl::prop("exec").not())
+///     .globally();
+/// assert_eq!(f.to_string(), "G ((pc_in_er & irq) -> !exec)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ltl {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atomic proposition.
+    Prop(String),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication.
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// neXt.
+    X(Box<Ltl>),
+    /// Globally.
+    G(Box<Ltl>),
+    /// Finally (eventually).
+    F(Box<Ltl>),
+    /// Until (strong).
+    U(Box<Ltl>, Box<Ltl>),
+    /// Release (dual of until).
+    R(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// An atomic proposition.
+    pub fn prop(name: impl Into<String>) -> Ltl {
+        Ltl::Prop(name.into())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: Ltl) -> Ltl {
+        Ltl::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// neXt.
+    pub fn next(self) -> Ltl {
+        Ltl::X(Box::new(self))
+    }
+
+    /// Globally.
+    pub fn globally(self) -> Ltl {
+        Ltl::G(Box::new(self))
+    }
+
+    /// Finally.
+    pub fn eventually(self) -> Ltl {
+        Ltl::F(Box::new(self))
+    }
+
+    /// Until.
+    pub fn until(self, rhs: Ltl) -> Ltl {
+        Ltl::U(Box::new(self), Box::new(rhs))
+    }
+
+    /// Release.
+    pub fn release(self, rhs: Ltl) -> Ltl {
+        Ltl::R(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of many formulas (`true` when empty).
+    pub fn all(formulas: impl IntoIterator<Item = Ltl>) -> Ltl {
+        formulas.into_iter().reduce(Ltl::and).unwrap_or(Ltl::True)
+    }
+
+    /// Disjunction of many formulas (`false` when empty).
+    pub fn any(formulas: impl IntoIterator<Item = Ltl>) -> Ltl {
+        formulas.into_iter().reduce(Ltl::or).unwrap_or(Ltl::False)
+    }
+
+    /// All proposition names used in the formula.
+    pub fn props(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_props(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_props(&self, out: &mut Vec<String>) {
+        match self {
+            Ltl::True | Ltl::False => {}
+            Ltl::Prop(p) => out.push(p.clone()),
+            Ltl::Not(a) | Ltl::X(a) | Ltl::G(a) | Ltl::F(a) => a.collect_props(out),
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b) | Ltl::U(a, b)
+            | Ltl::R(a, b) => {
+                a.collect_props(out);
+                b.collect_props(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(p) => write!(f, "{p}"),
+            Ltl::Not(a) => write!(f, "!{}", paren(a)),
+            Ltl::And(a, b) => write!(f, "({} & {})", a, b),
+            Ltl::Or(a, b) => write!(f, "({} | {})", a, b),
+            Ltl::Implies(a, b) => write!(f, "({} -> {})", a, b),
+            Ltl::X(a) => write!(f, "X {}", paren(a)),
+            Ltl::G(a) => write!(f, "G {}", paren(a)),
+            Ltl::F(a) => write!(f, "F {}", paren(a)),
+            Ltl::U(a, b) => write!(f, "({} U {})", a, b),
+            Ltl::R(a, b) => write!(f, "({} R {})", a, b),
+        }
+    }
+}
+
+fn paren(a: &Ltl) -> String {
+    match a {
+        // Binary forms already print their own parentheses.
+        Ltl::X(_) | Ltl::G(_) | Ltl::F(_) => format!("({a})"),
+        _ => a.to_string(),
+    }
+}
+
+/// Negation normal form: negations pushed to literals; `G`/`F`/`->`
+/// eliminated in favour of `U`/`R`/`|`.
+///
+/// `Rc`-shared because the tableau construction stores many references to
+/// the same subformulas.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Nnf {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A possibly negated literal.
+    Lit {
+        /// Proposition name.
+        name: String,
+        /// True when the literal is negated.
+        neg: bool,
+    },
+    /// Conjunction.
+    And(Rc<Nnf>, Rc<Nnf>),
+    /// Disjunction.
+    Or(Rc<Nnf>, Rc<Nnf>),
+    /// neXt.
+    X(Rc<Nnf>),
+    /// Until.
+    U(Rc<Nnf>, Rc<Nnf>),
+    /// Release.
+    R(Rc<Nnf>, Rc<Nnf>),
+}
+
+impl Nnf {
+    /// Converts a formula to negation normal form.
+    pub fn from_ltl(f: &Ltl) -> Rc<Nnf> {
+        nnf(f, false)
+    }
+}
+
+fn nnf(f: &Ltl, negated: bool) -> Rc<Nnf> {
+    match (f, negated) {
+        (Ltl::True, false) | (Ltl::False, true) => Rc::new(Nnf::True),
+        (Ltl::True, true) | (Ltl::False, false) => Rc::new(Nnf::False),
+        (Ltl::Prop(p), neg) => Rc::new(Nnf::Lit { name: p.clone(), neg }),
+        (Ltl::Not(a), neg) => nnf(a, !neg),
+        (Ltl::And(a, b), false) => Rc::new(Nnf::And(nnf(a, false), nnf(b, false))),
+        (Ltl::And(a, b), true) => Rc::new(Nnf::Or(nnf(a, true), nnf(b, true))),
+        (Ltl::Or(a, b), false) => Rc::new(Nnf::Or(nnf(a, false), nnf(b, false))),
+        (Ltl::Or(a, b), true) => Rc::new(Nnf::And(nnf(a, true), nnf(b, true))),
+        (Ltl::Implies(a, b), false) => Rc::new(Nnf::Or(nnf(a, true), nnf(b, false))),
+        (Ltl::Implies(a, b), true) => Rc::new(Nnf::And(nnf(a, false), nnf(b, true))),
+        (Ltl::X(a), neg) => Rc::new(Nnf::X(nnf(a, neg))),
+        // G a = false R a ; ¬G a = true U ¬a
+        (Ltl::G(a), false) => Rc::new(Nnf::R(Rc::new(Nnf::False), nnf(a, false))),
+        (Ltl::G(a), true) => Rc::new(Nnf::U(Rc::new(Nnf::True), nnf(a, true))),
+        // F a = true U a ; ¬F a = false R ¬a
+        (Ltl::F(a), false) => Rc::new(Nnf::U(Rc::new(Nnf::True), nnf(a, false))),
+        (Ltl::F(a), true) => Rc::new(Nnf::R(Rc::new(Nnf::False), nnf(a, true))),
+        (Ltl::U(a, b), false) => Rc::new(Nnf::U(nnf(a, false), nnf(b, false))),
+        (Ltl::U(a, b), true) => Rc::new(Nnf::R(nnf(a, true), nnf(b, true))),
+        (Ltl::R(a, b), false) => Rc::new(Nnf::R(nnf(a, false), nnf(b, false))),
+        (Ltl::R(a, b), true) => Rc::new(Nnf::U(nnf(a, true), nnf(b, true))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let f = Ltl::prop("a").and(Ltl::prop("b")).implies(Ltl::prop("c").not()).globally();
+        assert_eq!(f.to_string(), "G ((a & b) -> !c)");
+    }
+
+    #[test]
+    fn props_collects_unique_sorted() {
+        let f = Ltl::prop("b").or(Ltl::prop("a")).until(Ltl::prop("b"));
+        assert_eq!(f.props(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        // ¬(a ∧ X b) = ¬a ∨ X ¬b
+        let f = Ltl::prop("a").and(Ltl::prop("b").next()).not();
+        let n = Nnf::from_ltl(&f);
+        let expect = Rc::new(Nnf::Or(
+            Rc::new(Nnf::Lit { name: "a".into(), neg: true }),
+            Rc::new(Nnf::X(Rc::new(Nnf::Lit { name: "b".into(), neg: true }))),
+        ));
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn nnf_g_and_f_duality() {
+        // ¬G a = true U ¬a
+        let n = Nnf::from_ltl(&Ltl::prop("a").globally().not());
+        assert_eq!(
+            n,
+            Rc::new(Nnf::U(
+                Rc::new(Nnf::True),
+                Rc::new(Nnf::Lit { name: "a".into(), neg: true })
+            ))
+        );
+        // ¬F a = false R ¬a
+        let n = Nnf::from_ltl(&Ltl::prop("a").eventually().not());
+        assert_eq!(
+            n,
+            Rc::new(Nnf::R(
+                Rc::new(Nnf::False),
+                Rc::new(Nnf::Lit { name: "a".into(), neg: true })
+            ))
+        );
+    }
+
+    #[test]
+    fn nnf_implication() {
+        let n = Nnf::from_ltl(&Ltl::prop("a").implies(Ltl::prop("b")));
+        assert_eq!(
+            n,
+            Rc::new(Nnf::Or(
+                Rc::new(Nnf::Lit { name: "a".into(), neg: true }),
+                Rc::new(Nnf::Lit { name: "b".into(), neg: false })
+            ))
+        );
+    }
+
+    #[test]
+    fn all_and_any_combinators() {
+        assert_eq!(Ltl::all([]), Ltl::True);
+        assert_eq!(Ltl::any([]), Ltl::False);
+        let f = Ltl::all([Ltl::prop("a"), Ltl::prop("b")]);
+        assert_eq!(f.to_string(), "(a & b)");
+    }
+}

@@ -1,0 +1,210 @@
+//! Symbolic monitor FSMs: the bridge between runtime monitor
+//! implementations and model checking.
+//!
+//! A [`MonitorFsm`] is a Mealy machine over named boolean inputs (the MCU
+//! wires: `irq`, `pc_in_er`, `wen_ivt`, …) and named boolean outputs
+//! (`exec`, `reset`). [`kripke_of`] closes it with a free environment —
+//! every input valuation possible at every step — and produces the Kripke
+//! structure whose paths are *all possible wire histories*, exactly the
+//! closed system the paper model-checks with NuSMV.
+//!
+//! Because the monitor crates implement [`MonitorFsm`] by delegating to
+//! the same transition code that runs during simulation, the model checker
+//! verifies the *implementation*, not a transcription of it.
+
+use crate::kripke::Kripke;
+use std::hash::Hash;
+
+/// A valuation of named boolean inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputVal<'a> {
+    names: &'a [String],
+    bits: u32,
+}
+
+impl<'a> InputVal<'a> {
+    /// Creates a valuation from a bitmask over `names`.
+    pub fn new(names: &'a [String], bits: u32) -> InputVal<'a> {
+        InputVal { names, bits }
+    }
+
+    /// Reads an input by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (a monitor asking for a wire it did not
+    /// declare is a bug).
+    pub fn get(&self, name: &str) -> bool {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown input `{name}`"));
+        self.bits & (1 << i) != 0
+    }
+
+    /// The raw bitmask.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The input names that are true.
+    pub fn true_names(&self) -> Vec<&'a str> {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.bits & (1 << i) != 0)
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+}
+
+/// A synchronous monitor FSM with named boolean I/O.
+pub trait MonitorFsm {
+    /// FSM register state.
+    type State: Clone + Eq + Hash;
+
+    /// Power-on state.
+    fn initial(&self) -> Self::State;
+
+    /// Declared input wires.
+    fn inputs(&self) -> Vec<String>;
+
+    /// Declared output wires.
+    fn outputs(&self) -> Vec<String>;
+
+    /// Next state given current state and inputs.
+    fn step(&self, state: &Self::State, inputs: &InputVal<'_>) -> Self::State;
+
+    /// Mealy outputs for the current (state, inputs) instant.
+    fn output(&self, state: &Self::State, inputs: &InputVal<'_>, name: &str) -> bool;
+}
+
+/// Closes `fsm` with a free environment and returns the Kripke structure
+/// over propositions = inputs ∪ outputs.
+///
+/// Every state of the result is a pair (FSM registers, current input
+/// valuation); its label contains the true inputs and the Mealy outputs
+/// for that instant. Successors range over *all* next-input valuations.
+///
+/// # Panics
+///
+/// Panics if the FSM declares more than 20 inputs (2^n valuations are
+/// enumerated).
+pub fn kripke_of<M: MonitorFsm>(fsm: &M) -> Kripke {
+    kripke_of_constrained(fsm, |_| true)
+}
+
+/// Like [`kripke_of`], but only input valuations satisfying `constraint`
+/// are considered — used to encode *static* environment invariants that
+/// free booleans would violate (e.g. `pc_at_ermin → pc_in_er`: the entry
+/// address is inside `ER` by definition).
+///
+/// # Panics
+///
+/// Panics if the FSM declares more than 20 inputs, or if the constraint
+/// rejects every valuation.
+pub fn kripke_of_constrained<M: MonitorFsm>(
+    fsm: &M,
+    constraint: impl Fn(&InputVal<'_>) -> bool,
+) -> Kripke {
+    let inputs = fsm.inputs();
+    let outputs = fsm.outputs();
+    assert!(inputs.len() <= 20, "too many inputs to enumerate");
+    let n = inputs.len() as u32;
+    let valuations: Vec<u32> = (0..(1u32 << n))
+        .filter(|&v| constraint(&InputVal::new(&inputs, v)))
+        .collect();
+    assert!(!valuations.is_empty(), "environment constraint rejects all inputs");
+
+    let mut props = inputs.clone();
+    props.extend(outputs.iter().cloned());
+
+    let seeds: Vec<(M::State, u32)> =
+        valuations.iter().map(|&v| (fsm.initial(), v)).collect();
+
+    let inputs_for_label = inputs.clone();
+    let outputs_for_label = outputs.clone();
+    let inputs_for_succ = inputs.clone();
+
+    Kripke::explore(
+        props,
+        seeds,
+        move |(s, v)| {
+            let iv = InputVal::new(&inputs_for_label, *v);
+            let mut names: Vec<String> =
+                iv.true_names().into_iter().map(str::to_string).collect();
+            for o in &outputs_for_label {
+                if fsm.output(s, &iv, o) {
+                    names.push(o.clone());
+                }
+            }
+            names
+        },
+        move |(s, v)| {
+            let iv = InputVal::new(&inputs_for_succ, *v);
+            let next = fsm.step(s, &iv);
+            valuations.iter().map(|&v2| (next.clone(), v2)).collect()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A latch that goes (and stays) low once `trigger` is seen.
+    struct Latch;
+
+    impl MonitorFsm for Latch {
+        type State = bool; // "still high"
+
+        fn initial(&self) -> bool {
+            true
+        }
+
+        fn inputs(&self) -> Vec<String> {
+            vec!["trigger".into()]
+        }
+
+        fn outputs(&self) -> Vec<String> {
+            vec!["ok".into()]
+        }
+
+        fn step(&self, state: &bool, inputs: &InputVal<'_>) -> bool {
+            *state && !inputs.get("trigger")
+        }
+
+        fn output(&self, state: &bool, inputs: &InputVal<'_>, name: &str) -> bool {
+            assert_eq!(name, "ok");
+            *state && !inputs.get("trigger")
+        }
+    }
+
+    #[test]
+    fn latch_kripke_shape() {
+        let k = kripke_of(&Latch);
+        // States: (high, t=0), (high, t=1), (low, 0), (low, 1) = 4.
+        assert_eq!(k.state_count(), 4);
+        // Each state has 2 successors.
+        assert_eq!(k.edge_count(), 8);
+        assert_eq!(k.initial_states().len(), 2);
+    }
+
+    #[test]
+    fn input_val_accessors() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let v = InputVal::new(&names, 0b10);
+        assert!(!v.get("a"));
+        assert!(v.get("b"));
+        assert_eq!(v.true_names(), vec!["b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown input")]
+    fn unknown_input_panics() {
+        let names = vec!["a".to_string()];
+        let v = InputVal::new(&names, 1);
+        let _ = v.get("zzz");
+    }
+}

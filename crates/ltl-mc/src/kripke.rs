@@ -1,0 +1,237 @@
+//! Finite Kripke structures: the models against which LTL properties are
+//! checked.
+//!
+//! A Kripke structure is a finite transition system whose states are
+//! labelled with the atomic propositions that hold in them. The monitor
+//! crates build one by exhaustively exploring (FSM state × input
+//! valuation) pairs — the same closed system NuSMV explores for the
+//! paper's Verilog FSMs.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A label: the set of proposition indices that hold in a state
+/// (bitmask over the structure's proposition table, max 64 props).
+pub type Label = u64;
+
+#[derive(Debug, Clone)]
+struct StateData {
+    label: Label,
+    succs: Vec<usize>,
+}
+
+/// A finite Kripke structure.
+///
+/// # Examples
+///
+/// ```
+/// use ltl_mc::kripke::Kripke;
+///
+/// // Two states toggling proposition `p`.
+/// let mut k = Kripke::new(vec!["p".into()]);
+/// let a = k.add_state(["p"]);
+/// let b = k.add_state([] as [&str; 0]);
+/// k.add_edge(a, b);
+/// k.add_edge(b, a);
+/// k.add_initial(a);
+/// assert_eq!(k.state_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Kripke {
+    props: Vec<String>,
+    states: Vec<StateData>,
+    initial: Vec<usize>,
+}
+
+impl Kripke {
+    /// Creates an empty structure over the given proposition names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 64 propositions.
+    pub fn new(props: Vec<String>) -> Kripke {
+        assert!(props.len() <= 64, "at most 64 propositions supported");
+        Kripke { props, states: Vec::new(), initial: Vec::new() }
+    }
+
+    /// The proposition table.
+    pub fn props(&self) -> &[String] {
+        &self.props
+    }
+
+    /// Index of a proposition name.
+    pub fn prop_index(&self, name: &str) -> Option<usize> {
+        self.props.iter().position(|p| p == name)
+    }
+
+    /// Adds a state labelled with the given proposition names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown proposition names.
+    pub fn add_state<I, S>(&mut self, props: I) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut label: Label = 0;
+        for p in props {
+            let i = self
+                .prop_index(p.as_ref())
+                .unwrap_or_else(|| panic!("unknown proposition `{}`", p.as_ref()));
+            label |= 1 << i;
+        }
+        self.states.push(StateData { label, succs: Vec::new() });
+        self.states.len() - 1
+    }
+
+    /// Adds a transition.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.states[from].succs.push(to);
+    }
+
+    /// Marks a state as initial.
+    pub fn add_initial(&mut self, state: usize) {
+        self.initial.push(state);
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions.
+    pub fn edge_count(&self) -> usize {
+        self.states.iter().map(|s| s.succs.len()).sum()
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// A state's label bitmask.
+    pub fn label(&self, state: usize) -> Label {
+        self.states[state].label
+    }
+
+    /// A state's label as proposition names.
+    pub fn label_names(&self, state: usize) -> BTreeSet<String> {
+        let l = self.states[state].label;
+        self.props
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| l & (1 << i) != 0)
+            .map(|(_, p)| p.clone())
+            .collect()
+    }
+
+    /// A state's successors.
+    pub fn successors(&self, state: usize) -> &[usize] {
+        &self.states[state].succs
+    }
+
+    /// Builds a structure by BFS exploration from seed states.
+    ///
+    /// `label` maps a state to the proposition names holding in it;
+    /// `succ` enumerates successor states. States are deduplicated by
+    /// `Eq`/`Hash`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` produces a name missing from `props`, or if a
+    /// state has no successors (Kripke structures must be total — add a
+    /// self-loop for terminal states).
+    pub fn explore<S, FL, FS, I, N>(props: Vec<String>, seeds: Vec<S>, label: FL, succ: FS) -> Kripke
+    where
+        S: Clone + Eq + Hash,
+        FL: Fn(&S) -> I,
+        I: IntoIterator<Item = N>,
+        N: AsRef<str>,
+        FS: Fn(&S) -> Vec<S>,
+    {
+        let mut k = Kripke::new(props);
+        let mut ids: HashMap<S, usize> = HashMap::new();
+        let mut queue: Vec<S> = Vec::new();
+        for s in seeds {
+            if !ids.contains_key(&s) {
+                let id = k.add_state(label(&s));
+                ids.insert(s.clone(), id);
+                k.add_initial(id);
+                queue.push(s);
+            }
+        }
+        while let Some(s) = queue.pop() {
+            let from = ids[&s];
+            let succs = succ(&s);
+            assert!(!succs.is_empty(), "Kripke structures must be total");
+            for t in succs {
+                let to = match ids.get(&t) {
+                    Some(&id) => id,
+                    None => {
+                        let id = k.add_state(label(&t));
+                        ids.insert(t.clone(), id);
+                        queue.push(t);
+                        id
+                    }
+                };
+                k.add_edge(from, to);
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_construction() {
+        let mut k = Kripke::new(vec!["p".into(), "q".into()]);
+        let a = k.add_state(["p"]);
+        let b = k.add_state(["p", "q"]);
+        k.add_edge(a, b);
+        k.add_edge(b, b);
+        k.add_initial(a);
+        assert_eq!(k.state_count(), 2);
+        assert_eq!(k.edge_count(), 2);
+        assert_eq!(k.label(a), 0b01);
+        assert_eq!(k.label(b), 0b11);
+        assert_eq!(k.label_names(b).len(), 2);
+        assert_eq!(k.successors(a), &[b]);
+    }
+
+    #[test]
+    fn exploration_deduplicates() {
+        // Counter modulo 3 with `zero` labelling state 0.
+        let k = Kripke::explore(
+            vec!["zero".into()],
+            vec![0u8],
+            |s| if *s == 0 { vec!["zero"] } else { vec![] },
+            |s| vec![(s + 1) % 3],
+        );
+        assert_eq!(k.state_count(), 3);
+        assert_eq!(k.edge_count(), 3);
+        assert_eq!(k.initial_states(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "total")]
+    fn exploration_requires_totality() {
+        let _ = Kripke::explore(
+            vec![],
+            vec![0u8],
+            |_| Vec::<String>::new(),
+            |_| Vec::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown proposition")]
+    fn unknown_prop_panics() {
+        let mut k = Kripke::new(vec![]);
+        let _ = k.add_state(["nope"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ltl-mc — linear temporal logic: traces, automata and model checking
+//!
+//! The verification substrate of the reproduction. The paper verifies its
+//! hardware (and the APEX/VRASED machinery it inherits) against 21 LTL
+//! properties with NuSMV; this crate answers the same question with a
+//! self-contained explicit-state checker:
+//!
+//! * [`formula`] — LTL syntax (`X`, `G`, `F`, `U`, `R`) and negation
+//!   normal form;
+//! * [`trace`] — finite-trace (runtime-verification) semantics, used to
+//!   check every simulation run against the specs;
+//! * [`kripke`] — finite models; [`fsm`] — closing a monitor FSM with a
+//!   free input environment;
+//! * [`buchi`] — the Gerth–Peled–Vardi–Wolper tableau translation from
+//!   LTL to generalized Büchi automata;
+//! * [`mc`] — the automata-theoretic model checker (product + SCC
+//!   emptiness) with lasso counterexamples.
+//!
+//! # Examples
+//!
+//! The paper's LTL 4 (\[AP1\], IVT immutability) checked against a
+//! hand-built two-state model:
+//!
+//! ```
+//! use ltl_mc::formula::Ltl;
+//! use ltl_mc::kripke::Kripke;
+//! use ltl_mc::mc::check;
+//!
+//! let mut k = Kripke::new(vec!["wen_ivt".into(), "exec".into()]);
+//! let run = k.add_state(["exec"]);
+//! let kill = k.add_state(["wen_ivt"]); // write detected, exec dropped
+//! k.add_edge(run, run);
+//! k.add_edge(run, kill);
+//! k.add_edge(kill, kill);
+//! k.add_initial(run);
+//!
+//! let ltl4 = Ltl::prop("wen_ivt").implies(Ltl::prop("exec").not()).globally();
+//! assert!(check(&k, &ltl4).holds);
+//! ```
+
+pub mod buchi;
+pub mod formula;
+pub mod fsm;
+pub mod kripke;
+pub mod mc;
+pub mod trace;
+
+pub use formula::Ltl;
+pub use fsm::{kripke_of, InputVal, MonitorFsm};
+pub use kripke::Kripke;
+pub use mc::{check, check_suite, CheckResult, Lasso, Property, SuiteRow};
+pub use trace::Trace;

@@ -1,0 +1,487 @@
+//! The LTL model checker: `K ⊨ φ` for finite Kripke structures.
+//!
+//! Standard automata-theoretic approach: build the generalized Büchi
+//! automaton for `¬φ` ([`crate::buchi`]), form the synchronous product
+//! with the model, and search for a reachable nontrivial SCC intersecting
+//! every acceptance set (Tarjan). A nonempty intersection yields a lasso
+//! counterexample; emptiness proves the property on all infinite paths —
+//! the same question NuSMV answers for the paper's 21 properties.
+
+use crate::buchi::{from_ltl, Buchi};
+use crate::formula::Ltl;
+use crate::kripke::Kripke;
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// A lasso-shaped counterexample: `prefix · cycle^ω` of model labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso {
+    /// Labels along the stem.
+    pub prefix: Vec<BTreeSet<String>>,
+    /// Labels along the repeated cycle (nonempty).
+    pub cycle: Vec<BTreeSet<String>>,
+}
+
+/// Statistics from one check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// States of the Büchi automaton for `¬φ`.
+    pub automaton_states: usize,
+    /// Reachable product states explored.
+    pub product_states: usize,
+    /// Product transitions explored.
+    pub product_edges: usize,
+}
+
+/// Result of checking one property.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// True when the property holds on all paths.
+    pub holds: bool,
+    /// A counterexample lasso when it does not.
+    pub counterexample: Option<Lasso>,
+    /// Exploration statistics.
+    pub stats: CheckStats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+struct Product {
+    /// Product states (model state, automaton state) → index.
+    index: HashMap<(usize, usize), usize>,
+    states: Vec<(usize, usize)>,
+    succs: Vec<Vec<usize>>,
+    initial: Vec<usize>,
+}
+
+impl Product {
+    fn compatible(k: &Kripke, a: &Buchi, ks: usize, qs: usize) -> bool {
+        let label = k.label(ks);
+        a.symbol_matches(qs, &|name| {
+            k.prop_index(name).is_some_and(|i| label & (1 << i) != 0)
+        })
+    }
+
+    fn build(k: &Kripke, a: &Buchi) -> Product {
+        let mut p = Product {
+            index: HashMap::new(),
+            states: Vec::new(),
+            succs: Vec::new(),
+            initial: Vec::new(),
+        };
+        let mut stack: Vec<usize> = Vec::new();
+        for &k0 in k.initial_states() {
+            for &q0 in &a.initial {
+                if Self::compatible(k, a, k0, q0) {
+                    let id = p.intern((k0, q0), &mut stack);
+                    p.initial.push(id);
+                }
+            }
+        }
+        while let Some(id) = stack.pop() {
+            let (ks, qs) = p.states[id];
+            let mut out = Vec::new();
+            for &k2 in k.successors(ks) {
+                for &q2 in &a.states[qs].succs {
+                    if Self::compatible(k, a, k2, q2) {
+                        out.push(p.intern((k2, q2), &mut stack));
+                    }
+                }
+            }
+            p.succs[id] = out;
+        }
+        p
+    }
+
+    fn intern(&mut self, s: (usize, usize), stack: &mut Vec<usize>) -> usize {
+        if let Some(&id) = self.index.get(&s) {
+            return id;
+        }
+        let id = self.states.len();
+        self.index.insert(s, id);
+        self.states.push(s);
+        self.succs.push(Vec::new());
+        stack.push(id);
+        id
+    }
+
+    fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Iterative Tarjan SCC. Returns the SCC id per state and the SCC count.
+fn tarjan(succs: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = succs.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS frames: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < succs[v].len() {
+                let w = succs[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                frames.pop();
+                if let Some(&mut (u, _)) = frames.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+/// BFS shortest path in the product from `froms` to `pred`, restricted to
+/// nodes allowed by `allow`. Returns the node sequence including start
+/// and end.
+fn bfs_path(
+    succs: &[Vec<usize>],
+    froms: &[usize],
+    target: impl Fn(usize) -> bool,
+    allow: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let mut prev: HashMap<usize, usize> = HashMap::new();
+    let mut queue: std::collections::VecDeque<usize> = Default::default();
+    for &f in froms {
+        if allow(f) && !prev.contains_key(&f) {
+            prev.insert(f, usize::MAX);
+            queue.push_back(f);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if target(v) {
+            let mut path = vec![v];
+            let mut cur = v;
+            while prev[&cur] != usize::MAX {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in &succs[v] {
+            if allow(w) && !prev.contains_key(&w) {
+                prev.insert(w, v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Checks `K ⊨ φ` over all infinite paths of `k`.
+///
+/// # Examples
+///
+/// ```
+/// use ltl_mc::formula::Ltl;
+/// use ltl_mc::kripke::Kripke;
+/// use ltl_mc::mc::check;
+///
+/// // Single state with a self-loop where `p` holds: G p holds.
+/// let mut k = Kripke::new(vec!["p".into()]);
+/// let s = k.add_state(["p"]);
+/// k.add_edge(s, s);
+/// k.add_initial(s);
+/// assert!(check(&k, &Ltl::prop("p").globally()).holds);
+/// assert!(!check(&k, &Ltl::prop("p").not().eventually()).holds);
+/// ```
+pub fn check(k: &Kripke, spec: &Ltl) -> CheckResult {
+    let start = Instant::now();
+    let neg = spec.clone().not();
+    let a = from_ltl(&neg);
+    let p = Product::build(k, &a);
+
+    let stats = CheckStats {
+        automaton_states: a.states.len(),
+        product_states: p.states.len(),
+        product_edges: p.edge_count(),
+    };
+
+    let (scc_of, scc_count) = tarjan(&p.succs);
+
+    // A nontrivial SCC: ≥2 states, or one state with a self-loop.
+    let mut scc_sizes = vec![0usize; scc_count];
+    for &s in &scc_of {
+        if s != usize::MAX {
+            scc_sizes[s] += 1;
+        }
+    }
+    let nontrivial = |scc: usize, member: usize| {
+        scc_sizes[scc] > 1 || p.succs[member].contains(&member)
+    };
+
+    // Acceptance intersection per SCC.
+    let mut hits: Vec<Vec<bool>> = vec![vec![false; a.acceptance.len()]; scc_count];
+    let mut has_nontrivial = vec![false; scc_count];
+    for v in 0..p.states.len() {
+        let scc = scc_of[v];
+        if nontrivial(scc, v) {
+            has_nontrivial[scc] = true;
+        }
+        for (i, acc) in a.acceptance.iter().enumerate() {
+            if acc.contains(&p.states[v].1) {
+                hits[scc][i] = true;
+            }
+        }
+    }
+
+    let accepting_scc = (0..scc_count)
+        .find(|&scc| has_nontrivial[scc] && hits[scc].iter().all(|&h| h));
+
+    let Some(scc) = accepting_scc else {
+        return CheckResult { holds: true, counterexample: None, stats, elapsed: start.elapsed() };
+    };
+
+    // Counterexample: stem to the SCC, then a cycle through every
+    // acceptance set.
+    let in_scc = |v: usize| scc_of[v] == scc;
+    let stem =
+        bfs_path(&p.succs, &p.initial, |v| in_scc(v), |_| true).expect("SCC is reachable");
+    let entry = *stem.last().expect("nonempty stem");
+
+    // Walk through one representative of each acceptance set, then back.
+    let mut cycle_nodes: Vec<usize> = vec![entry];
+    let mut cursor = entry;
+    for (i, _) in a.acceptance.iter().enumerate() {
+        let hit = |v: usize| a.acceptance[i].contains(&p.states[v].1);
+        if hit(cursor) {
+            continue;
+        }
+        // Step off `cursor` first so the path has at least one edge.
+        let starts: Vec<usize> =
+            p.succs[cursor].iter().copied().filter(|&v| in_scc(v)).collect();
+        let seg = bfs_path(&p.succs, &starts, hit, &in_scc).expect("acceptance reachable in SCC");
+        cycle_nodes.extend(seg);
+        cursor = *cycle_nodes.last().unwrap();
+    }
+    // Close the loop back to `entry`.
+    if cycle_nodes.len() > 1 && cursor == entry {
+        // The last segment already returned to the entry; drop the
+        // duplicate (the wrap-around re-adds it implicitly).
+        cycle_nodes.pop();
+    } else {
+        let starts: Vec<usize> =
+            p.succs[cursor].iter().copied().filter(|&v| in_scc(v)).collect();
+        let back = bfs_path(&p.succs, &starts, |v| v == entry, &in_scc)
+            .expect("entry reachable within SCC");
+        cycle_nodes.extend(back);
+        cycle_nodes.pop(); // entry repeats at the wrap-around
+    }
+
+    let labels = |nodes: &[usize]| -> Vec<BTreeSet<String>> {
+        nodes.iter().map(|&v| k.label_names(p.states[v].0)).collect()
+    };
+    let lasso = Lasso {
+        prefix: labels(&stem[..stem.len() - 1]),
+        cycle: labels(&cycle_nodes),
+    };
+
+    CheckResult {
+        holds: false,
+        counterexample: Some(lasso),
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// A named property for suite reporting.
+#[derive(Debug, Clone)]
+pub struct Property {
+    /// Short identifier (e.g. `"LTL4 \[AP1\]"`).
+    pub name: String,
+    /// The formula.
+    pub formula: Ltl,
+}
+
+impl Property {
+    /// Creates a named property.
+    pub fn new(name: impl Into<String>, formula: Ltl) -> Property {
+        Property { name: name.into(), formula }
+    }
+}
+
+/// Result row for one property in a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Property name.
+    pub name: String,
+    /// Outcome.
+    pub result: CheckResult,
+}
+
+/// Checks a list of properties against one model.
+pub fn check_suite(k: &Kripke, properties: &[Property]) -> Vec<SuiteRow> {
+    properties
+        .iter()
+        .map(|p| SuiteRow { name: p.name.clone(), result: check(k, &p.formula) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state toggle: p, ¬p, p, …
+    fn toggle() -> Kripke {
+        let mut k = Kripke::new(vec!["p".into()]);
+        let a = k.add_state(["p"]);
+        let b = k.add_state([] as [&str; 0]);
+        k.add_edge(a, b);
+        k.add_edge(b, a);
+        k.add_initial(a);
+        k
+    }
+
+    #[test]
+    fn toggle_properties() {
+        let k = toggle();
+        let p = || Ltl::prop("p");
+        assert!(!check(&k, &p().globally()).holds);
+        assert!(check(&k, &p().eventually()).holds);
+        assert!(check(&k, &p().eventually().globally()).holds, "GF p");
+        assert!(check(&k, &p().not().eventually().globally()).holds, "GF !p");
+        assert!(check(&k, &p().implies(p().not().next()).globally()).holds);
+        assert!(!check(&k, &p().implies(p().next()).globally()).holds);
+    }
+
+    #[test]
+    fn counterexample_shape() {
+        let k = toggle();
+        let r = check(&k, &Ltl::prop("p").globally());
+        assert!(!r.holds);
+        let ce = r.counterexample.expect("lasso");
+        assert!(!ce.cycle.is_empty());
+        // The violation (a ¬p state) must appear somewhere in the lasso.
+        let has_not_p =
+            ce.prefix.iter().chain(ce.cycle.iter()).any(|s| !s.contains("p"));
+        assert!(has_not_p, "lasso must witness !p: {ce:?}");
+    }
+
+    #[test]
+    fn branching_model() {
+        // init → {sink_p (self-loop), sink_q (self-loop)}
+        let mut k = Kripke::new(vec!["p".into(), "q".into()]);
+        let init = k.add_state([] as [&str; 0]);
+        let sp = k.add_state(["p"]);
+        let sq = k.add_state(["q"]);
+        k.add_edge(init, sp);
+        k.add_edge(init, sq);
+        k.add_edge(sp, sp);
+        k.add_edge(sq, sq);
+        k.add_initial(init);
+        // Not all paths reach p.
+        assert!(!check(&k, &Ltl::prop("p").eventually()).holds);
+        // But all paths eventually settle into p or q forever.
+        let settle = Ltl::prop("p")
+            .globally()
+            .or(Ltl::prop("q").globally())
+            .eventually();
+        assert!(check(&k, &settle).holds);
+    }
+
+    #[test]
+    fn until_properties() {
+        // a a a b(loop)
+        let mut k = Kripke::new(vec!["a".into(), "b".into()]);
+        let s0 = k.add_state(["a"]);
+        let s1 = k.add_state(["a"]);
+        let s2 = k.add_state(["b"]);
+        k.add_edge(s0, s1);
+        k.add_edge(s1, s2);
+        k.add_edge(s2, s2);
+        k.add_initial(s0);
+        assert!(check(&k, &Ltl::prop("a").until(Ltl::prop("b"))).holds);
+        assert!(check(&k, &Ltl::prop("b").not().until(Ltl::prop("b"))).holds);
+        assert!(check(&k, &Ltl::prop("b").until(Ltl::prop("a"))).holds, "a holds at step 0");
+        assert!(!check(&k, &Ltl::prop("a").globally()).holds);
+        assert!(check(&k, &Ltl::prop("b").globally().eventually()).holds);
+    }
+
+    #[test]
+    fn x_relates_consecutive_states() {
+        // The paper's LTL 1 shape: leaving a region is only legal from a
+        // designated exit state.
+        // States: in_er(exit=0) → in_er(exit=1) → out; out self-loops;
+        // also in_er(exit=1) → in_er(exit=0).
+        let mut k = Kripke::new(vec!["in_er".into(), "at_exit".into()]);
+        let body = k.add_state(["in_er"]);
+        let exit = k.add_state(["in_er", "at_exit"]);
+        let out = k.add_state([] as [&str; 0]);
+        k.add_edge(body, exit);
+        k.add_edge(exit, body);
+        k.add_edge(exit, out);
+        k.add_edge(out, out);
+        k.add_initial(body);
+        let ltl1 = Ltl::prop("in_er")
+            .and(Ltl::prop("in_er").not().next())
+            .implies(Ltl::prop("at_exit"))
+            .globally();
+        assert!(check(&k, &ltl1).holds);
+
+        // Add an illegal escape edge from the body: property must fail.
+        let mut k2 = k.clone();
+        k2.add_edge(body, out);
+        let r = check(&k2, &ltl1);
+        assert!(!r.holds);
+        assert!(r.counterexample.is_some());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let k = toggle();
+        // A failing property guarantees a nonempty product.
+        let r = check(&k, &Ltl::prop("p").globally());
+        assert!(r.stats.automaton_states > 0);
+        assert!(r.stats.product_states > 0);
+        assert!(r.stats.product_edges > 0);
+    }
+
+    #[test]
+    fn suite_reporting() {
+        let k = toggle();
+        let rows = check_suite(
+            &k,
+            &[
+                Property::new("holds", Ltl::prop("p").eventually()),
+                Property::new("fails", Ltl::prop("p").globally()),
+            ],
+        );
+        assert!(rows[0].result.holds);
+        assert!(!rows[1].result.holds);
+    }
+}

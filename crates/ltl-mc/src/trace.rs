@@ -1,0 +1,220 @@
+//! Finite-trace LTL evaluation (runtime verification).
+//!
+//! Every simulation run of the MCU produces a finite trace of signal
+//! valuations; evaluating the monitor specifications over that trace is
+//! the conformance bridge between the "RTL" (the monitor FSMs) and the
+//! verified properties. Semantics are the standard finite-trace (LTLf)
+//! ones: `X φ` is *strong* next (false at the last position), `G φ`
+//! quantifies over the remaining suffix.
+
+use crate::formula::Ltl;
+use std::collections::BTreeSet;
+
+/// One trace step: the set of propositions that hold.
+pub type TraceState = BTreeSet<String>;
+
+/// A finite trace of proposition valuations.
+///
+/// # Examples
+///
+/// ```
+/// use ltl_mc::formula::Ltl;
+/// use ltl_mc::trace::Trace;
+///
+/// let mut t = Trace::new();
+/// t.push(["irq"]);
+/// t.push(["exec"]);
+/// assert!(t.satisfies(&Ltl::prop("irq")));
+/// assert!(t.satisfies(&Ltl::prop("exec").next()));
+/// assert!(!t.satisfies(&Ltl::prop("irq").globally()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    states: Vec<TraceState>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a step given the propositions that hold in it.
+    pub fn push<I, S>(&mut self, props: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.states.push(props.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a pre-built state.
+    pub fn push_state(&mut self, state: TraceState) {
+        self.states.push(state);
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at position `i`.
+    pub fn state(&self, i: usize) -> Option<&TraceState> {
+        self.states.get(i)
+    }
+
+    /// Iterates over the states.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceState> {
+        self.states.iter()
+    }
+
+    /// Evaluates `f` at position 0. Empty traces satisfy only
+    /// tautologies evaluable without a state (`true`, `G φ`).
+    pub fn satisfies(&self, f: &Ltl) -> bool {
+        self.satisfies_at(f, 0)
+    }
+
+    /// Evaluates `f` at position `i` (standard LTLf semantics).
+    pub fn satisfies_at(&self, f: &Ltl, i: usize) -> bool {
+        match f {
+            Ltl::True => true,
+            Ltl::False => false,
+            Ltl::Prop(p) => self.states.get(i).is_some_and(|s| s.contains(p)),
+            Ltl::Not(a) => !self.satisfies_at(a, i),
+            Ltl::And(a, b) => self.satisfies_at(a, i) && self.satisfies_at(b, i),
+            Ltl::Or(a, b) => self.satisfies_at(a, i) || self.satisfies_at(b, i),
+            Ltl::Implies(a, b) => !self.satisfies_at(a, i) || self.satisfies_at(b, i),
+            Ltl::X(a) => i + 1 < self.states.len() && self.satisfies_at(a, i + 1),
+            Ltl::G(a) => (i..self.states.len()).all(|j| self.satisfies_at(a, j)),
+            Ltl::F(a) => (i..self.states.len()).any(|j| self.satisfies_at(a, j)),
+            Ltl::U(a, b) => (i..self.states.len()).any(|j| {
+                self.satisfies_at(b, j) && (i..j).all(|k| self.satisfies_at(a, k))
+            }),
+            // Finite-trace release: b holds up to and including the first
+            // position where a holds, or b holds for the whole suffix.
+            Ltl::R(a, b) => {
+                let n = self.states.len();
+                (i..n).all(|j| self.satisfies_at(b, j))
+                    || (i..n).any(|j| {
+                        self.satisfies_at(a, j) && (i..=j).all(|k| self.satisfies_at(b, k))
+                    })
+            }
+        }
+    }
+
+    /// Returns the first position where `f` fails when `f` is expected to
+    /// hold at every position (convenience for `G`-shaped monitors).
+    pub fn first_violation(&self, f: &Ltl) -> Option<usize> {
+        (0..self.states.len()).find(|&i| !self.satisfies_at(f, i))
+    }
+}
+
+impl FromIterator<TraceState> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceState>>(iter: I) -> Trace {
+        Trace { states: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(steps: &[&[&str]]) -> Trace {
+        let mut tr = Trace::new();
+        for s in steps {
+            tr.push(s.iter().copied());
+        }
+        tr
+    }
+
+    #[test]
+    fn props_and_boolean_connectives() {
+        let tr = t(&[&["a", "b"], &["b"]]);
+        assert!(tr.satisfies(&Ltl::prop("a").and(Ltl::prop("b"))));
+        assert!(tr.satisfies(&Ltl::prop("c").not()));
+        assert!(tr.satisfies(&Ltl::prop("c").implies(Ltl::False)));
+        assert!(tr.satisfies(&Ltl::prop("a").or(Ltl::prop("c"))));
+    }
+
+    #[test]
+    fn strong_next_fails_at_end() {
+        let tr = t(&[&["a"]]);
+        assert!(!tr.satisfies(&Ltl::prop("a").next()));
+        assert!(!tr.satisfies(&Ltl::True.next()));
+    }
+
+    #[test]
+    fn globally_and_eventually() {
+        let tr = t(&[&["a"], &["a"], &["a", "b"]]);
+        assert!(tr.satisfies(&Ltl::prop("a").globally()));
+        assert!(tr.satisfies(&Ltl::prop("b").eventually()));
+        assert!(!tr.satisfies(&Ltl::prop("b").globally()));
+        assert!(!tr.satisfies(&Ltl::prop("c").eventually()));
+    }
+
+    #[test]
+    fn until_semantics() {
+        let tr = t(&[&["a"], &["a"], &["b"]]);
+        assert!(tr.satisfies(&Ltl::prop("a").until(Ltl::prop("b"))));
+        let tr = t(&[&["a"], &[], &["b"]]);
+        assert!(!tr.satisfies(&Ltl::prop("a").until(Ltl::prop("b"))));
+        // b at position 0: trivially satisfied.
+        let tr = t(&[&["b"]]);
+        assert!(tr.satisfies(&Ltl::prop("a").until(Ltl::prop("b"))));
+        // a forever but no b: strong until fails.
+        let tr = t(&[&["a"], &["a"]]);
+        assert!(!tr.satisfies(&Ltl::prop("a").until(Ltl::prop("b"))));
+    }
+
+    #[test]
+    fn release_semantics() {
+        // b must hold up to and including the step where a releases it.
+        let tr = t(&[&["b"], &["a", "b"], &[]]);
+        assert!(tr.satisfies(&Ltl::prop("a").release(Ltl::prop("b"))));
+        // b forever also satisfies release.
+        let tr = t(&[&["b"], &["b"]]);
+        assert!(tr.satisfies(&Ltl::prop("a").release(Ltl::prop("b"))));
+        // b drops before a arrives: violation.
+        let tr = t(&[&["b"], &[], &["a", "b"]]);
+        assert!(!tr.satisfies(&Ltl::prop("a").release(Ltl::prop("b"))));
+    }
+
+    #[test]
+    fn first_violation_position() {
+        let tr = t(&[&["a"], &["a"], &[], &["a"]]);
+        assert_eq!(tr.first_violation(&Ltl::prop("a")), Some(2));
+        assert_eq!(tr.first_violation(&Ltl::True), None);
+    }
+
+    #[test]
+    fn paper_ltl3_shape_on_traces() {
+        // G (pc_in_er & irq -> X !exec) — the APEX behaviour of Fig. 5(c).
+        let spec = Ltl::prop("pc_in_er")
+            .and(Ltl::prop("irq"))
+            .implies(Ltl::prop("exec").not().next())
+            .globally();
+        // Compliant trace: irq inside ER followed by exec dropping.
+        let good = t(&[&["pc_in_er", "exec"], &["pc_in_er", "irq", "exec"], &["pc_in_er"]]);
+        assert!(good.satisfies(&spec));
+        // Violating trace: exec stays high after irq.
+        let bad = t(&[
+            &["pc_in_er", "exec"],
+            &["pc_in_er", "irq", "exec"],
+            &["pc_in_er", "exec"],
+        ]);
+        assert!(!bad.satisfies(&spec));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new();
+        assert!(tr.satisfies(&Ltl::True));
+        assert!(tr.satisfies(&Ltl::prop("a").globally()), "vacuous G");
+        assert!(!tr.satisfies(&Ltl::prop("a").eventually()));
+    }
+}

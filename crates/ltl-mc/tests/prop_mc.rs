@@ -1,0 +1,196 @@
+//! Cross-validation of the tableau/SCC model checker against an
+//! independent fixpoint oracle.
+//!
+//! A deterministic Kripke structure shaped like a lasso has exactly one
+//! infinite path — an ultimately periodic word. LTL truth on such words
+//! is computable directly by fixpoint iteration over the finite position
+//! graph (no automata involved). Both implementations must agree on
+//! every (word, formula) pair.
+
+use ltl_mc::formula::Ltl;
+use ltl_mc::kripke::Kripke;
+use ltl_mc::mc::check;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const PROPS: [&str; 3] = ["p", "q", "r"];
+
+type Word = (Vec<u8>, Vec<u8>); // (prefix, cycle) as bitmasks over PROPS
+
+fn holds(mask: u8, prop: &str) -> bool {
+    let i = PROPS.iter().position(|p| *p == prop).unwrap();
+    mask & (1 << i) != 0
+}
+
+/// Fixpoint oracle: truth vector of `f` over the lasso positions.
+fn oracle(f: &Ltl, word: &Word) -> Vec<bool> {
+    let (prefix, cycle) = word;
+    let n = prefix.len() + cycle.len();
+    let at = |i: usize| -> u8 {
+        if i < prefix.len() {
+            prefix[i]
+        } else {
+            cycle[i - prefix.len()]
+        }
+    };
+    let next = |i: usize| if i + 1 < n { i + 1 } else { prefix.len() };
+
+    match f {
+        Ltl::True => vec![true; n],
+        Ltl::False => vec![false; n],
+        Ltl::Prop(p) => (0..n).map(|i| holds(at(i), p)).collect(),
+        Ltl::Not(a) => oracle(a, word).into_iter().map(|b| !b).collect(),
+        Ltl::And(a, b) => {
+            let (va, vb) = (oracle(a, word), oracle(b, word));
+            (0..n).map(|i| va[i] && vb[i]).collect()
+        }
+        Ltl::Or(a, b) => {
+            let (va, vb) = (oracle(a, word), oracle(b, word));
+            (0..n).map(|i| va[i] || vb[i]).collect()
+        }
+        Ltl::Implies(a, b) => {
+            let (va, vb) = (oracle(a, word), oracle(b, word));
+            (0..n).map(|i| !va[i] || vb[i]).collect()
+        }
+        Ltl::X(a) => {
+            let va = oracle(a, word);
+            (0..n).map(|i| va[next(i)]).collect()
+        }
+        Ltl::G(a) => {
+            // Greatest fixpoint of Z = a ∧ X Z.
+            let va = oracle(a, word);
+            let mut z = vec![true; n];
+            for _ in 0..=n {
+                for i in (0..n).rev() {
+                    z[i] = va[i] && z[next(i)];
+                }
+            }
+            z
+        }
+        Ltl::F(a) => {
+            // Least fixpoint of Z = a ∨ X Z.
+            let va = oracle(a, word);
+            let mut z = vec![false; n];
+            for _ in 0..=n {
+                for i in (0..n).rev() {
+                    z[i] = va[i] || z[next(i)];
+                }
+            }
+            z
+        }
+        Ltl::U(a, b) => {
+            // Least fixpoint of Z = b ∨ (a ∧ X Z).
+            let (va, vb) = (oracle(a, word), oracle(b, word));
+            let mut z = vec![false; n];
+            for _ in 0..=n {
+                for i in (0..n).rev() {
+                    z[i] = vb[i] || (va[i] && z[next(i)]);
+                }
+            }
+            z
+        }
+        Ltl::R(a, b) => {
+            // Greatest fixpoint of Z = b ∧ (a ∨ X Z).
+            let (va, vb) = (oracle(a, word), oracle(b, word));
+            let mut z = vec![true; n];
+            for _ in 0..=n {
+                for i in (0..n).rev() {
+                    z[i] = vb[i] && (va[i] || z[next(i)]);
+                }
+            }
+            z
+        }
+    }
+}
+
+/// Builds the single-path Kripke structure of a lasso word.
+fn kripke_of_word(word: &Word) -> Kripke {
+    let (prefix, cycle) = word;
+    let mut k = Kripke::new(PROPS.iter().map(|s| s.to_string()).collect());
+    let n = prefix.len() + cycle.len();
+    let mask_at = |i: usize| -> u8 {
+        if i < prefix.len() {
+            prefix[i]
+        } else {
+            cycle[i - prefix.len()]
+        }
+    };
+    let ids: Vec<usize> = (0..n)
+        .map(|i| {
+            let names: Vec<&str> =
+                PROPS.iter().copied().filter(|p| holds(mask_at(i), p)).collect();
+            k.add_state(names)
+        })
+        .collect();
+    for i in 0..n {
+        let nxt = if i + 1 < n { i + 1 } else { prefix.len() };
+        k.add_edge(ids[i], ids[nxt]);
+    }
+    k.add_initial(ids[0]);
+    k
+}
+
+fn arb_formula() -> impl Strategy<Value = Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        prop_oneof![Just("p"), Just("q"), Just("r")].prop_map(Ltl::prop),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| a.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(|a| a.next()),
+            inner.clone().prop_map(|a| a.globally()),
+            inner.clone().prop_map(|a| a.eventually()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.until(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.release(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The automata-theoretic checker agrees with the fixpoint oracle on
+    /// every lasso word.
+    #[test]
+    fn checker_agrees_with_fixpoint_oracle(
+        prefix in proptest::collection::vec(0u8..8, 0..4),
+        cycle in proptest::collection::vec(0u8..8, 1..4),
+        f in arb_formula(),
+    ) {
+        let word = (prefix, cycle);
+        let expect = oracle(&f, &word)[0];
+        let k = kripke_of_word(&word);
+        let r = check(&k, &f);
+        prop_assert_eq!(
+            r.holds, expect,
+            "disagreement on {} over {:?}", f, word
+        );
+    }
+
+    /// When the checker reports a violation on a deterministic lasso, the
+    /// counterexample labels must be consistent with the model's alphabet.
+    #[test]
+    fn counterexamples_use_model_labels(
+        cycle in proptest::collection::vec(0u8..8, 1..4),
+        f in arb_formula(),
+    ) {
+        let word = (vec![], cycle);
+        let k = kripke_of_word(&word);
+        let r = check(&k, &f);
+        if let Some(ce) = r.counterexample {
+            prop_assert!(!r.holds);
+            prop_assert!(!ce.cycle.is_empty());
+            let alphabet: Vec<BTreeSet<String>> = (0..k.state_count())
+                .map(|s| k.label_names(s))
+                .collect();
+            for state in ce.prefix.iter().chain(ce.cycle.iter()) {
+                prop_assert!(alphabet.contains(state));
+            }
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The assembler front end: MSP430 assembly text → [`SourceSection`]s.
+//!
+//! Supports the full core instruction set, all TI-documented emulated
+//! mnemonics (`nop`, `ret`, `pop`, `br`, `clr`, `inc`, `eint`, …), `.b`
+//! suffixes, labels, and the data/section directives used by the paper's
+//! Fig. 4 linking scheme (`.section exec.start|exec.body|exec.leave`).
+
+use crate::ast::{Expr, Item, LocatedItem, OperandSpec, SourceSection};
+use openmsp430::isa::{Cond, OneOp, TwoOp};
+use openmsp430::regs::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Default section items land in when no `.section` was seen.
+pub const DEFAULT_SECTION: &str = "text";
+
+/// Parses a register name.
+fn parse_reg(s: &str) -> Option<Reg> {
+    let s = s.to_ascii_lowercase();
+    match s.as_str() {
+        "pc" | "r0" => Some(Reg::PC),
+        "sp" | "r1" => Some(Reg::SP),
+        "sr" | "r2" => Some(Reg::SR),
+        "cg" | "r3" => Some(Reg::CG),
+        _ => {
+            let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+            Reg::try_r(n)
+        }
+    }
+}
+
+/// Parses a numeric literal: decimal, `0x…`, `0b…`, or `'c'`.
+fn parse_num(s: &str) -> Option<i32> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix("'").and_then(|t| t.strip_suffix("'")) {
+        let mut chars = body.chars();
+        let c = chars.next()?;
+        if chars.next().is_some() {
+            return None;
+        }
+        return Some(c as i32);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    let v = if neg { -v } else { v };
+    i32::try_from(v).ok()
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Parses an expression: `num`, `sym`, `sym+num`, `sym-num`.
+fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
+    let s = s.trim();
+    if let Some(n) = parse_num(s) {
+        return Ok(Expr::Num(n));
+    }
+    // sym+num / sym-num (scan from the right so names may contain dots).
+    for (i, c) in s.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let (name, rest) = s.split_at(i);
+            let name = name.trim();
+            if is_ident(name) {
+                if let Some(n) = parse_num(rest) {
+                    return Ok(Expr::Sym { name: name.to_string(), addend: n });
+                }
+            }
+        }
+    }
+    if is_ident(s) {
+        // Registers are not valid bare expressions.
+        if parse_reg(s).is_some() {
+            return err(line, format!("register `{s}` used where an expression was expected"));
+        }
+        return Ok(Expr::sym(s));
+    }
+    err(line, format!("cannot parse expression `{s}`"))
+}
+
+/// Parses one operand.
+fn parse_operand(s: &str, line: usize) -> Result<OperandSpec, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err(line, "empty operand");
+    }
+    if let Some(rest) = s.strip_prefix('#') {
+        return Ok(OperandSpec::Imm(parse_expr(rest, line)?));
+    }
+    if let Some(rest) = s.strip_prefix('&') {
+        return Ok(OperandSpec::Abs(parse_expr(rest, line)?));
+    }
+    if let Some(rest) = s.strip_prefix('@') {
+        let (body, inc) = match rest.strip_suffix('+') {
+            Some(b) => (b, true),
+            None => (rest, false),
+        };
+        let reg = parse_reg(body.trim())
+            .ok_or_else(|| AsmError { line, msg: format!("bad register `{body}`") })?;
+        return Ok(if inc { OperandSpec::IndInc(reg) } else { OperandSpec::Ind(reg) });
+    }
+    if let Some(open) = s.find('(') {
+        if let Some(close) = s.rfind(')') {
+            if close == s.len() - 1 && close > open {
+                let expr = if s[..open].trim().is_empty() {
+                    Expr::Num(0)
+                } else {
+                    parse_expr(&s[..open], line)?
+                };
+                let reg = parse_reg(s[open + 1..close].trim()).ok_or_else(|| AsmError {
+                    line,
+                    msg: format!("bad index register in `{s}`"),
+                })?;
+                return Ok(OperandSpec::Idx(expr, reg));
+            }
+        }
+        return err(line, format!("malformed indexed operand `{s}`"));
+    }
+    if let Some(r) = parse_reg(s) {
+        return Ok(OperandSpec::Reg(r));
+    }
+    Ok(OperandSpec::Sym(parse_expr(s, line)?))
+}
+
+fn two_op_mnemonic(m: &str) -> Option<TwoOp> {
+    Some(match m {
+        "mov" => TwoOp::Mov,
+        "add" => TwoOp::Add,
+        "addc" => TwoOp::Addc,
+        "subc" => TwoOp::Subc,
+        "sub" => TwoOp::Sub,
+        "cmp" => TwoOp::Cmp,
+        "dadd" => TwoOp::Dadd,
+        "bit" => TwoOp::Bit,
+        "bic" => TwoOp::Bic,
+        "bis" => TwoOp::Bis,
+        "xor" => TwoOp::Xor,
+        "and" => TwoOp::And,
+        _ => return None,
+    })
+}
+
+fn one_op_mnemonic(m: &str) -> Option<OneOp> {
+    Some(match m {
+        "rrc" => OneOp::Rrc,
+        "swpb" => OneOp::Swpb,
+        "rra" => OneOp::Rra,
+        "sxt" => OneOp::Sxt,
+        "push" => OneOp::Push,
+        "call" => OneOp::Call,
+        "reti" => OneOp::Reti,
+        _ => return None,
+    })
+}
+
+fn jump_mnemonic(m: &str) -> Option<Cond> {
+    Some(match m {
+        "jne" | "jnz" => Cond::Ne,
+        "jeq" | "jz" => Cond::Eq,
+        "jnc" | "jlo" => Cond::Nc,
+        "jc" | "jhs" => Cond::C,
+        "jn" => Cond::N,
+        "jge" => Cond::Ge,
+        "jl" => Cond::L,
+        "jmp" => Cond::Always,
+        _ => return None,
+    })
+}
+
+/// Splits a comma-separated operand list.
+fn split_operands(s: &str) -> Vec<&str> {
+    if s.trim().is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').collect()
+    }
+}
+
+/// Expands an emulated mnemonic into a core [`Item`], or `None` if `m` is
+/// not emulated.
+fn emulated(
+    m: &str,
+    byte: bool,
+    ops: &[OperandSpec],
+    line: usize,
+) -> Result<Option<Item>, AsmError> {
+    let unary = |ops: &[OperandSpec]| -> Result<OperandSpec, AsmError> {
+        if ops.len() != 1 {
+            return err(line, format!("`{m}` takes exactly one operand"));
+        }
+        Ok(ops[0].clone())
+    };
+    let nullary = |ops: &[OperandSpec]| -> Result<(), AsmError> {
+        if !ops.is_empty() {
+            return err(line, format!("`{m}` takes no operands"));
+        }
+        Ok(())
+    };
+    let two = |op: TwoOp, src: OperandSpec, dst: OperandSpec| Item::Two { op, byte, src, dst };
+    let imm = |n: i32| OperandSpec::Imm(Expr::Num(n));
+
+    let item = match m {
+        "nop" => {
+            nullary(ops)?;
+            two(TwoOp::Mov, imm(0), OperandSpec::Reg(Reg::CG))
+        }
+        "ret" => {
+            nullary(ops)?;
+            two(TwoOp::Mov, OperandSpec::IndInc(Reg::SP), OperandSpec::Reg(Reg::PC))
+        }
+        "pop" => two(TwoOp::Mov, OperandSpec::IndInc(Reg::SP), unary(ops)?),
+        "br" => two(TwoOp::Mov, unary(ops)?, OperandSpec::Reg(Reg::PC)),
+        "clr" => two(TwoOp::Mov, imm(0), unary(ops)?),
+        "clrc" => {
+            nullary(ops)?;
+            two(TwoOp::Bic, imm(1), OperandSpec::Reg(Reg::SR))
+        }
+        "clrz" => {
+            nullary(ops)?;
+            two(TwoOp::Bic, imm(2), OperandSpec::Reg(Reg::SR))
+        }
+        "clrn" => {
+            nullary(ops)?;
+            two(TwoOp::Bic, imm(4), OperandSpec::Reg(Reg::SR))
+        }
+        "setc" => {
+            nullary(ops)?;
+            two(TwoOp::Bis, imm(1), OperandSpec::Reg(Reg::SR))
+        }
+        "setz" => {
+            nullary(ops)?;
+            two(TwoOp::Bis, imm(2), OperandSpec::Reg(Reg::SR))
+        }
+        "setn" => {
+            nullary(ops)?;
+            two(TwoOp::Bis, imm(4), OperandSpec::Reg(Reg::SR))
+        }
+        "dint" => {
+            nullary(ops)?;
+            two(TwoOp::Bic, imm(8), OperandSpec::Reg(Reg::SR))
+        }
+        "eint" => {
+            nullary(ops)?;
+            two(TwoOp::Bis, imm(8), OperandSpec::Reg(Reg::SR))
+        }
+        "inc" => two(TwoOp::Add, imm(1), unary(ops)?),
+        "incd" => two(TwoOp::Add, imm(2), unary(ops)?),
+        "dec" => two(TwoOp::Sub, imm(1), unary(ops)?),
+        "decd" => two(TwoOp::Sub, imm(2), unary(ops)?),
+        "inv" => two(TwoOp::Xor, imm(-1), unary(ops)?),
+        "adc" => two(TwoOp::Addc, imm(0), unary(ops)?),
+        "dadc" => two(TwoOp::Dadd, imm(0), unary(ops)?),
+        "sbc" => two(TwoOp::Subc, imm(0), unary(ops)?),
+        "tst" => two(TwoOp::Cmp, imm(0), unary(ops)?),
+        "rla" => {
+            let o = unary(ops)?;
+            two(TwoOp::Add, o.clone(), o)
+        }
+        "rlc" => {
+            let o = unary(ops)?;
+            two(TwoOp::Addc, o.clone(), o)
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(item))
+}
+
+/// Parses a full assembly source into sections.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (unknown mnemonic, malformed operand,
+/// bad directive, duplicate label).
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     .section exec.body
+/// loop:
+///     inc  r4
+///     cmp  #10, r4
+///     jne  loop
+///     ret
+/// "#;
+/// let sections = msp430_tools::asm::assemble(src)?;
+/// assert_eq!(sections.len(), 1);
+/// assert_eq!(sections[0].name, "exec.body");
+/// # Ok::<(), msp430_tools::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
+    let mut sections: Vec<SourceSection> = Vec::new();
+    let mut current = SourceSection { name: DEFAULT_SECTION.to_string(), ..Default::default() };
+    let mut started = false;
+
+    let flush = |sections: &mut Vec<SourceSection>, current: &mut SourceSection| {
+        if !current.items.is_empty() || !current.labels.is_empty() {
+            sections.push(std::mem::take(current));
+        }
+    };
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw_line;
+        if let Some(p) = line.find(';') {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+
+        // Labels (possibly several) before the statement.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let label = head.trim();
+            if !is_ident(label) {
+                break;
+            }
+            if current.labels.iter().any(|(n, _)| n == label) {
+                return err(line_no, format!("duplicate label `{label}`"));
+            }
+            current.labels.push((label.to_string(), current.size));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(body) = rest.strip_prefix('.') {
+            let (dir, args) = match body.find(char::is_whitespace) {
+                Some(p) => (&body[..p], body[p..].trim()),
+                None => (body, ""),
+            };
+            match dir {
+                "section" => {
+                    if !is_ident(args) {
+                        return err(line_no, format!("bad section name `{args}`"));
+                    }
+                    flush(&mut sections, &mut current);
+                    if let Some(pos) = sections.iter().position(|s| s.name == args) {
+                        // Reopen an existing section.
+                        current = sections.remove(pos);
+                    } else {
+                        current = SourceSection { name: args.to_string(), ..Default::default() };
+                    }
+                    started = true;
+                }
+                "word" => {
+                    let exprs = split_operands(args)
+                        .iter()
+                        .map(|s| parse_expr(s, line_no))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if exprs.is_empty() {
+                        return err(line_no, ".word needs at least one value");
+                    }
+                    push_item(&mut current, Item::Words(exprs), line_no);
+                }
+                "byte" => {
+                    let exprs = split_operands(args)
+                        .iter()
+                        .map(|s| parse_expr(s, line_no))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if exprs.is_empty() {
+                        return err(line_no, ".byte needs at least one value");
+                    }
+                    push_item(&mut current, Item::Bytes(exprs), line_no);
+                }
+                "ascii" => {
+                    let t = args.trim();
+                    let inner = t
+                        .strip_prefix('"')
+                        .and_then(|u| u.strip_suffix('"'))
+                        .ok_or_else(|| AsmError {
+                            line: line_no,
+                            msg: ".ascii needs a double-quoted string".into(),
+                        })?;
+                    let bytes: Vec<Expr> =
+                        inner.bytes().map(|b| Expr::Num(b as i32)).collect();
+                    push_item(&mut current, Item::Bytes(bytes), line_no);
+                }
+                "space" => {
+                    let n = parse_num(args)
+                        .filter(|n| (0..=0xFFFF).contains(n))
+                        .ok_or_else(|| AsmError {
+                            line: line_no,
+                            msg: format!("bad .space size `{args}`"),
+                        })?;
+                    push_item(&mut current, Item::Space(n as u16), line_no);
+                }
+                "align" => {
+                    push_item(&mut current, Item::Align, line_no);
+                }
+                other => return err(line_no, format!("unknown directive `.{other}`")),
+            }
+            continue;
+        }
+
+        // Instruction.
+        let (mnemonic_raw, operand_str) = match rest.find(char::is_whitespace) {
+            Some(p) => (&rest[..p], rest[p..].trim()),
+            None => (rest, ""),
+        };
+        let mnemonic_lc = mnemonic_raw.to_ascii_lowercase();
+        let (mnemonic, byte) = match mnemonic_lc.strip_suffix(".b") {
+            Some(m) => (m.to_string(), true),
+            None => (
+                mnemonic_lc.strip_suffix(".w").unwrap_or(&mnemonic_lc).to_string(),
+                false,
+            ),
+        };
+        let ops = split_operands(operand_str)
+            .iter()
+            .map(|s| parse_operand(s, line_no))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let item = if let Some(op) = two_op_mnemonic(&mnemonic) {
+            if ops.len() != 2 {
+                return err(line_no, format!("`{mnemonic}` takes two operands"));
+            }
+            Item::Two { op, byte, src: ops[0].clone(), dst: ops[1].clone() }
+        } else if let Some(op) = one_op_mnemonic(&mnemonic) {
+            if op == OneOp::Reti {
+                if !ops.is_empty() {
+                    return err(line_no, "`reti` takes no operands");
+                }
+                Item::One { op, byte: false, opnd: OperandSpec::Reg(Reg::PC) }
+            } else {
+                if ops.len() != 1 {
+                    return err(line_no, format!("`{mnemonic}` takes one operand"));
+                }
+                Item::One { op, byte, opnd: ops[0].clone() }
+            }
+        } else if let Some(cond) = jump_mnemonic(&mnemonic) {
+            if ops.len() != 1 {
+                return err(line_no, format!("`{mnemonic}` takes one target"));
+            }
+            let target = match &ops[0] {
+                OperandSpec::Sym(e) | OperandSpec::Imm(e) => e.clone(),
+                other => {
+                    return err(line_no, format!("bad jump target `{other}`"));
+                }
+            };
+            Item::Jump { cond, target }
+        } else if let Some(item) = emulated(&mnemonic, byte, &ops, line_no)? {
+            item
+        } else {
+            return err(line_no, format!("unknown mnemonic `{mnemonic_raw}`"));
+        };
+        push_item(&mut current, item, line_no);
+        let _ = started;
+    }
+
+    flush(&mut sections, &mut current);
+    Ok(sections)
+}
+
+fn push_item(section: &mut SourceSection, item: Item, line: usize) {
+    let size = item.size_at(section.size);
+    section.items.push(LocatedItem { item, offset: section.size, line });
+    section.size += size;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registers() {
+        assert_eq!(parse_reg("r0"), Some(Reg::PC));
+        assert_eq!(parse_reg("PC"), Some(Reg::PC));
+        assert_eq!(parse_reg("r15"), Some(Reg::r(15)));
+        assert_eq!(parse_reg("r16"), None);
+        assert_eq!(parse_reg("rx"), None);
+    }
+
+    #[test]
+    fn parses_numbers() {
+        assert_eq!(parse_num("42"), Some(42));
+        assert_eq!(parse_num("-3"), Some(-3));
+        assert_eq!(parse_num("0xFFE0"), Some(0xFFE0));
+        assert_eq!(parse_num("0b101"), Some(5));
+        assert_eq!(parse_num("'A'"), Some(65));
+        assert_eq!(parse_num("bogus"), None);
+    }
+
+    #[test]
+    fn parses_operand_forms() {
+        let l = 1;
+        assert_eq!(parse_operand("r5", l).unwrap(), OperandSpec::Reg(Reg::r(5)));
+        assert_eq!(parse_operand("#42", l).unwrap(), OperandSpec::Imm(Expr::Num(42)));
+        assert_eq!(parse_operand("&0x200", l).unwrap(), OperandSpec::Abs(Expr::Num(0x200)));
+        assert_eq!(parse_operand("@r4", l).unwrap(), OperandSpec::Ind(Reg::r(4)));
+        assert_eq!(parse_operand("@r4+", l).unwrap(), OperandSpec::IndInc(Reg::r(4)));
+        assert_eq!(
+            parse_operand("4(r6)", l).unwrap(),
+            OperandSpec::Idx(Expr::Num(4), Reg::r(6))
+        );
+        assert_eq!(
+            parse_operand("buf+2(r6)", l).unwrap(),
+            OperandSpec::Idx(Expr::Sym { name: "buf".into(), addend: 2 }, Reg::r(6))
+        );
+        assert_eq!(parse_operand("data", l).unwrap(), OperandSpec::Sym(Expr::sym("data")));
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let src = "
+        start:
+            mov #1, r4
+            add r4, r5
+            jmp start
+        ";
+        let sections = assemble(src).unwrap();
+        assert_eq!(sections.len(), 1);
+        let s = &sections[0];
+        assert_eq!(s.name, DEFAULT_SECTION);
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.labels, vec![("start".to_string(), 0)]);
+        // mov #1 uses the constant generator: 2 bytes.
+        assert_eq!(s.items[1].offset, 2);
+        assert_eq!(s.size, 6);
+    }
+
+    #[test]
+    fn sections_split_and_reopen() {
+        let src = "
+            .section exec.start
+            call #main
+            .section exec.body
+        main:
+            ret
+            .section exec.start
+            nop
+        ";
+        let sections = assemble(src).unwrap();
+        let names: Vec<&str> = sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["exec.body", "exec.start"]);
+        let start = sections.iter().find(|s| s.name == "exec.start").unwrap();
+        assert_eq!(start.items.len(), 2, "reopened section accumulates");
+    }
+
+    #[test]
+    fn emulated_mnemonics_expand() {
+        let src = "
+            nop
+            ret
+            pop r7
+            br #0xF000
+            clr &0x0200
+            eint
+            dint
+            inc r4
+            dec r4
+            inv r4
+            tst r4
+            rla r4
+        ";
+        let sections = assemble(src).unwrap();
+        assert_eq!(sections[0].items.len(), 12);
+        // eint == bis #8, sr via constant generator == 2 bytes.
+        let eint = &sections[0].items[5];
+        assert_eq!(eint.item.size_at(0), 2);
+    }
+
+    #[test]
+    fn data_directives() {
+        let src = "
+            .word 0x1234, label
+            .byte 1, 2, 3
+            .align
+            .ascii \"ok\"
+            .space 4
+        label:
+        ";
+        let s = &assemble(src).unwrap()[0];
+        // 4 (words) + 3 (bytes) + 1 (align) + 2 (ascii) + 4 (space) = 14
+        assert_eq!(s.size, 14);
+        assert_eq!(s.labels, vec![("label".to_string(), 14)]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = assemble("mov r4").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(assemble("bogus r4, r5").is_err());
+        assert!(assemble(".section 123bad").is_err());
+        assert!(assemble("l:\nl:").is_err());
+        assert!(assemble("jmp @r4").is_err());
+    }
+
+    #[test]
+    fn byte_suffix_parsed() {
+        let s = &assemble("mov.b #0xFF, &0x0021").unwrap()[0];
+        match &s.items[0].item {
+            Item::Two { byte, .. } => assert!(byte),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_and_code_same_line() {
+        let s = &assemble("loop: dec r4\n jnz loop").unwrap()[0];
+        assert_eq!(s.labels, vec![("loop".to_string(), 0)]);
+        assert_eq!(s.items.len(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Assembler abstract syntax: sections, items, operand templates and
+//! symbolic expressions.
+//!
+//! Operand templates ([`OperandSpec`]) differ from the simulator's
+//! resolved [`openmsp430::isa::Operand`] in that they may reference
+//! symbols whose addresses are only known at link time.
+
+use openmsp430::regs::Reg;
+use std::fmt;
+
+/// A symbolic expression: `symbol`, `number`, or `symbol ± number`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Num(i32),
+    /// A symbol reference plus a constant addend.
+    Sym {
+        /// Symbol name.
+        name: String,
+        /// Constant addend (may be negative).
+        addend: i32,
+    },
+}
+
+impl Expr {
+    /// A plain symbol reference.
+    pub fn sym(name: impl Into<String>) -> Expr {
+        Expr::Sym { name: name.into(), addend: 0 }
+    }
+
+    /// True when no symbol is referenced.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Num(_))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Sym { name, addend } if *addend == 0 => write!(f, "{name}"),
+            Expr::Sym { name, addend } if *addend > 0 => write!(f, "{name}+{addend}"),
+            Expr::Sym { name, addend } => write!(f, "{name}{addend}"),
+        }
+    }
+}
+
+/// An operand as written in assembly, before symbol resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperandSpec {
+    /// `Rn` / `pc` / `sp` / `sr`.
+    Reg(Reg),
+    /// `#expr` — immediate (constant-generator values collapse to
+    /// single-word encodings when the expression is a literal).
+    Imm(Expr),
+    /// `&expr` — absolute.
+    Abs(Expr),
+    /// `expr(Rn)` — indexed.
+    Idx(Expr, Reg),
+    /// `@Rn`.
+    Ind(Reg),
+    /// `@Rn+`.
+    IndInc(Reg),
+    /// A bare symbol/number: symbolic (PC-relative) addressing.
+    Sym(Expr),
+}
+
+impl OperandSpec {
+    /// Number of extension words this operand will occupy.
+    ///
+    /// Immediates that are *literal* constant-generator values (`0`, `1`,
+    /// `2`, `4`, `8`, `-1`) are free; symbolic immediates always reserve a
+    /// word (their value is unknown until link time).
+    pub fn ext_words(&self) -> u16 {
+        match self {
+            OperandSpec::Reg(_) | OperandSpec::Ind(_) | OperandSpec::IndInc(_) => 0,
+            OperandSpec::Imm(Expr::Num(n)) => {
+                match n {
+                    0 | 1 | 2 | 4 | 8 | -1 => 0,
+                    _ => 1,
+                }
+            }
+            OperandSpec::Imm(_) | OperandSpec::Abs(_) | OperandSpec::Idx(..)
+            | OperandSpec::Sym(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for OperandSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandSpec::Reg(r) => write!(f, "{r}"),
+            OperandSpec::Imm(e) => write!(f, "#{e}"),
+            OperandSpec::Abs(e) => write!(f, "&{e}"),
+            OperandSpec::Idx(e, r) => write!(f, "{e}({r})"),
+            OperandSpec::Ind(r) => write!(f, "@{r}"),
+            OperandSpec::IndInc(r) => write!(f, "@{r}+"),
+            OperandSpec::Sym(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One assembled item within a section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A Format I instruction.
+    Two {
+        /// Operation.
+        op: openmsp430::isa::TwoOp,
+        /// `.b` suffix.
+        byte: bool,
+        /// Source template.
+        src: OperandSpec,
+        /// Destination template.
+        dst: OperandSpec,
+    },
+    /// A Format II instruction.
+    One {
+        /// Operation.
+        op: openmsp430::isa::OneOp,
+        /// `.b` suffix.
+        byte: bool,
+        /// Operand template (dummy `Reg(PC)` for `RETI`).
+        opnd: OperandSpec,
+    },
+    /// A conditional/unconditional jump to a symbol or absolute address.
+    Jump {
+        /// Condition.
+        cond: openmsp430::isa::Cond,
+        /// Jump target.
+        target: Expr,
+    },
+    /// `.word expr, …` — literal data words.
+    Words(Vec<Expr>),
+    /// `.byte expr, …` — literal data bytes.
+    Bytes(Vec<Expr>),
+    /// `.space n` — zero fill.
+    Space(u16),
+    /// `.align 2` — pad to word alignment.
+    Align,
+}
+
+impl Item {
+    /// Size of this item in bytes *given the current offset* (alignment
+    /// is offset-dependent).
+    pub fn size_at(&self, offset: u16) -> u16 {
+        match self {
+            Item::Two { src, dst, .. } => 2 + 2 * (src.ext_words() + dst.ext_words()),
+            Item::One { op: openmsp430::isa::OneOp::Reti, .. } => 2,
+            Item::One { opnd, .. } => 2 + 2 * opnd.ext_words(),
+            Item::Jump { .. } => 2,
+            Item::Words(ws) => 2 * ws.len() as u16,
+            Item::Bytes(bs) => bs.len() as u16,
+            Item::Space(n) => *n,
+            Item::Align => offset & 1,
+        }
+    }
+
+    /// True for executable instructions (vs. data directives).
+    pub fn is_instruction(&self) -> bool {
+        matches!(self, Item::Two { .. } | Item::One { .. } | Item::Jump { .. })
+    }
+}
+
+/// A located item: section offset + source line, for diagnostics and
+/// `ERmax` determination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedItem {
+    /// The item.
+    pub item: Item,
+    /// Byte offset within its section.
+    pub offset: u16,
+    /// 1-based source line number.
+    pub line: usize,
+}
+
+/// A parsed section: a name (e.g. `text`, `exec.body`), its items, and
+/// the labels defined inside it (as section-relative offsets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceSection {
+    /// Section name.
+    pub name: String,
+    /// Items in source order with their offsets.
+    pub items: Vec<LocatedItem>,
+    /// Labels defined in this section: name → offset.
+    pub labels: Vec<(String, u16)>,
+    /// Total size in bytes.
+    pub size: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openmsp430::isa::TwoOp;
+
+    #[test]
+    fn ext_word_accounting() {
+        assert_eq!(OperandSpec::Reg(Reg::r(4)).ext_words(), 0);
+        assert_eq!(OperandSpec::Imm(Expr::Num(1)).ext_words(), 0, "constant generator");
+        assert_eq!(OperandSpec::Imm(Expr::Num(-1)).ext_words(), 0);
+        assert_eq!(OperandSpec::Imm(Expr::Num(100)).ext_words(), 1);
+        assert_eq!(OperandSpec::Imm(Expr::sym("label")).ext_words(), 1, "symbols reserve a word");
+        assert_eq!(OperandSpec::Sym(Expr::sym("x")).ext_words(), 1);
+    }
+
+    #[test]
+    fn item_sizes() {
+        let i = Item::Two {
+            op: TwoOp::Mov,
+            byte: false,
+            src: OperandSpec::Imm(Expr::Num(0x1234)),
+            dst: OperandSpec::Abs(Expr::Num(0x0200)),
+        };
+        assert_eq!(i.size_at(0), 6);
+        assert_eq!(Item::Align.size_at(3), 1);
+        assert_eq!(Item::Align.size_at(4), 0);
+        assert_eq!(Item::Bytes(vec![Expr::Num(1); 3]).size_at(0), 3);
+        assert_eq!(Item::Space(10).size_at(0), 10);
+    }
+
+    #[test]
+    fn expr_display() {
+        assert_eq!(Expr::Num(5).to_string(), "5");
+        assert_eq!(Expr::sym("foo").to_string(), "foo");
+        assert_eq!(Expr::Sym { name: "foo".into(), addend: 2 }.to_string(), "foo+2");
+        assert_eq!(Expr::Sym { name: "foo".into(), addend: -2 }.to_string(), "foo-2");
+    }
+}

@@ -1,0 +1,99 @@
+//! Linear-sweep disassembler over a memory image, with symbol
+//! annotation. Used for debugging, waveform annotation and round-trip
+//! testing of the assembler.
+
+use openmsp430::decode::decode;
+use openmsp430::isa::Instr;
+use openmsp430::mem::Memory;
+use std::collections::BTreeMap;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u16,
+    /// Decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes.
+    pub size: u16,
+    /// Rendered text (with a label prefix when a symbol matches).
+    pub text: String,
+}
+
+/// Disassembles instructions from `start` until `end` (exclusive),
+/// annotating addresses found in `symbols`.
+///
+/// # Examples
+///
+/// ```
+/// use msp430_tools::disasm::disassemble;
+/// use openmsp430::mem::Memory;
+/// use std::collections::BTreeMap;
+///
+/// let mut mem = Memory::new();
+/// mem.write_word(0xE000, 0x4034); // mov #imm, r4
+/// mem.write_word(0xE002, 0x002A);
+/// let lines = disassemble(&mem, 0xE000, 0xE004, &BTreeMap::new());
+/// assert_eq!(lines.len(), 1);
+/// assert!(lines[0].text.contains("mov"));
+/// ```
+pub fn disassemble(
+    mem: &Memory,
+    start: u16,
+    end: u16,
+    symbols: &BTreeMap<String, u16>,
+) -> Vec<DisasmLine> {
+    let by_addr: BTreeMap<u16, &str> =
+        symbols.iter().map(|(name, addr)| (*addr, name.as_str())).collect();
+    let mut out = Vec::new();
+    let mut pc = start & !1;
+    while pc < end {
+        let d = decode(|a| mem.read_word(a), pc);
+        let label = by_addr.get(&pc).map(|n| format!("{n}: ")).unwrap_or_default();
+        out.push(DisasmLine {
+            addr: pc,
+            instr: d.instr,
+            size: d.size,
+            text: format!("{pc:#06x}: {label}{}", d.instr),
+        });
+        let next = pc.wrapping_add(d.size);
+        if next <= pc {
+            break; // wrapped around the address space
+        }
+        pc = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{link, LinkConfig};
+
+    #[test]
+    fn disassembles_linked_output() {
+        let src = "
+            .section text
+        main:
+            mov #0x1234, r4
+            add r4, r5
+        spin:
+            jmp spin
+        ";
+        let img = link(src, &LinkConfig::new(0xE000, 0xF000)).unwrap();
+        let mut mem = Memory::new();
+        img.load_into(&mut mem);
+        let lines = disassemble(&mem, 0xF000, 0xF008, &img.symbols);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].text.contains("main: "));
+        assert!(lines[0].text.contains("mov"));
+        assert!(lines[2].text.contains("jmp"));
+    }
+
+    #[test]
+    fn stops_at_end() {
+        let mem = Memory::new();
+        let lines = disassemble(&mem, 0xFFFC, 0xFFFE, &BTreeMap::new());
+        assert_eq!(lines.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # msp430-tools — assembler, linker and disassembler
+//!
+//! The toolchain half of ASAP's \[AP2\] (*ISR Immutability*): the paper
+//! achieves ISR immutability purely by *linking* trusted ISR binaries
+//! inside the executable region `ER` (Fig. 4). This crate provides:
+//!
+//! * [`asm`] — a two-pass MSP430 assembler (full core set, all emulated
+//!   mnemonics, `.b` suffixes, labels, data directives, named sections);
+//! * [`link`](mod@link) — a region/section linker that places `exec.start`,
+//!   `exec.body` and `exec.leave` contiguously to derive
+//!   `ERmin`/`ERmax`, resolves symbols, and generates the IVT;
+//! * [`disasm`] — a linear-sweep disassembler for debugging and
+//!   round-trip tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use msp430_tools::link::{link, LinkConfig};
+//!
+//! let src = r#"
+//!     .section exec.start
+//! startER:
+//!     call #task
+//!     .section exec.leave
+//! exitER:
+//!     ret
+//!     .section exec.body
+//! task:                ; trusted ISR/body code, placed inside ER
+//!     ret
+//!     .section text
+//! main:
+//!     call #startER
+//! spin:
+//!     jmp spin
+//! "#;
+//! let image = link(src, &LinkConfig::new(0xE000, 0xF000))?;
+//! let er = image.er.unwrap();
+//! assert_eq!(er.min, 0xE000);
+//! assert!(er.region.contains(image.symbol("task").unwrap()));
+//! # Ok::<(), msp430_tools::link::LinkError>(())
+//! ```
+
+pub mod asm;
+pub mod ast;
+pub mod disasm;
+pub mod link;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disassemble;
+pub use link::{link, ErBounds, Image, LinkConfig, LinkError};

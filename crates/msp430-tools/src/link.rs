@@ -1,0 +1,636 @@
+//! The linker: places sections, resolves symbols, emits machine code and
+//! generates the interrupt vector table.
+//!
+//! This reproduces the paper's Fig. 4 linking scheme, which is the whole
+//! of ASAP's \[AP2\] (*ISR Immutability*): functions labelled
+//! `exec.start` / `exec.body` / `exec.leave` are placed contiguously —
+//! entry stub first, main body and trusted ISRs in the middle, exit stub
+//! last — so that:
+//!
+//! * `ERmin` = first word of `exec.start` (the only legal entry, LTL 2);
+//! * `ERmax` = the last instruction of `exec.leave` (the only legal exit,
+//!   LTL 1);
+//! * every trusted ISR lies *inside* `[ERmin, ER end]` and therefore
+//!   inherits APEX's `ER`-immutability protection.
+//!
+//! Everything else (`text` and any other section) is untrusted code placed
+//! outside `ER`.
+
+use crate::asm::{assemble, AsmError};
+use crate::ast::{Expr, Item, OperandSpec, SourceSection};
+use openmsp430::cpu::vector_addr;
+use openmsp430::encode::encode;
+use openmsp430::isa::{Instr, Operand};
+use openmsp430::mem::{MemRegion, Memory};
+use openmsp430::regs::Reg;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The three `ER` sections, in placement order.
+pub const EXEC_SECTIONS: [&str; 3] = ["exec.start", "exec.body", "exec.leave"];
+
+/// A link-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError {
+    msg: String,
+}
+
+impl LinkError {
+    fn new(msg: impl Into<String>) -> LinkError {
+        LinkError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link error: {}", self.msg)
+    }
+}
+
+impl Error for LinkError {}
+
+impl From<AsmError> for LinkError {
+    fn from(e: AsmError) -> LinkError {
+        LinkError::new(e.to_string())
+    }
+}
+
+/// Linker configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Base address for the `exec.*` group — becomes `ERmin`.
+    pub exec_base: u16,
+    /// Base address for untrusted code (`text` and unknown sections).
+    pub text_base: u16,
+    /// Base address for the `data` section, when used.
+    pub data_base: Option<u16>,
+    /// IVT entries: vector → symbol of the ISR entry point.
+    pub ivt: Vec<(u8, String)>,
+    /// Symbol the reset vector points at (default: `main` if defined,
+    /// else the text base).
+    pub reset: Option<String>,
+}
+
+impl LinkConfig {
+    /// A configuration placing `ER` at `exec_base` and untrusted text at
+    /// `text_base`.
+    pub fn new(exec_base: u16, text_base: u16) -> LinkConfig {
+        LinkConfig { exec_base, text_base, data_base: None, ivt: Vec::new(), reset: None }
+    }
+
+    /// Adds an IVT entry: `vector` will point at `symbol`.
+    pub fn vector(mut self, vector: u8, symbol: impl Into<String>) -> LinkConfig {
+        self.ivt.push((vector, symbol.into()));
+        self
+    }
+
+    /// Sets the reset-vector symbol.
+    pub fn reset(mut self, symbol: impl Into<String>) -> LinkConfig {
+        self.reset = Some(symbol.into());
+        self
+    }
+
+    /// Sets the data-section base address.
+    pub fn data_base(mut self, base: u16) -> LinkConfig {
+        self.data_base = Some(base);
+        self
+    }
+}
+
+/// The `ER` bounds produced by linking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErBounds {
+    /// Legal entry point (`ERmin`): address of the first instruction of
+    /// `exec.start`.
+    pub min: u16,
+    /// Legal exit point (`ERmax`): address of the *last instruction* of
+    /// `exec.leave`.
+    pub exit: u16,
+    /// Full byte range occupied by the `exec.*` group (used for
+    /// immutability monitoring).
+    pub region: MemRegion,
+}
+
+/// A placed section (diagnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedSection {
+    /// Section name.
+    pub name: String,
+    /// Where it landed.
+    pub region: MemRegion,
+}
+
+/// The linked memory image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Image {
+    /// Load segments: `(base address, bytes)`.
+    pub chunks: Vec<(u16, Vec<u8>)>,
+    /// Global symbol table.
+    pub symbols: BTreeMap<String, u16>,
+    /// Placement report.
+    pub sections: Vec<PlacedSection>,
+    /// `ER` bounds, when any `exec.*` section was present.
+    pub er: Option<ErBounds>,
+    /// Generated IVT entries (vector, ISR address).
+    pub ivt_entries: Vec<(u8, u16)>,
+    /// Reset-vector target.
+    pub reset: u16,
+}
+
+impl Image {
+    /// Loads all chunks and the IVT into a memory.
+    pub fn load_into(&self, mem: &mut Memory) {
+        for (base, bytes) in &self.chunks {
+            mem.load(*base, bytes);
+        }
+        for (vector, addr) in &self.ivt_entries {
+            mem.write_word(vector_addr(*vector), *addr);
+        }
+        mem.write_word(vector_addr(openmsp430::cpu::RESET_VECTOR), self.reset);
+    }
+
+    /// Looks up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total bytes of loadable code/data (excluding the IVT).
+    pub fn loaded_len(&self) -> usize {
+        self.chunks.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+struct Resolver<'a> {
+    symbols: &'a BTreeMap<String, u16>,
+}
+
+impl Resolver<'_> {
+    fn resolve(&self, e: &Expr) -> Result<i32, LinkError> {
+        match e {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym { name, addend } => {
+                let base = self
+                    .symbols
+                    .get(name)
+                    .ok_or_else(|| LinkError::new(format!("undefined symbol `{name}`")))?;
+                Ok(*base as i32 + addend)
+            }
+        }
+    }
+
+    fn resolve_word(&self, e: &Expr) -> Result<u16, LinkError> {
+        let v = self.resolve(e)?;
+        if !(-0x8000..=0xFFFF).contains(&v) {
+            return Err(LinkError::new(format!("value {v} out of 16-bit range")));
+        }
+        Ok(v as u16)
+    }
+
+    fn resolve_byte(&self, e: &Expr) -> Result<u8, LinkError> {
+        let v = self.resolve(e)?;
+        if !(-0x80..=0xFF).contains(&v) {
+            return Err(LinkError::new(format!("value {v} out of 8-bit range")));
+        }
+        Ok(v as u8)
+    }
+
+    /// Lowers an operand template to a concrete operand. `ext_addr` is the
+    /// address the operand's extension word would occupy (for symbolic
+    /// mode).
+    fn lower_operand(
+        &self,
+        spec: &OperandSpec,
+        ext_addr: u16,
+    ) -> Result<Operand, LinkError> {
+        Ok(match spec {
+            OperandSpec::Reg(r) => Operand::Reg(*r),
+            OperandSpec::Imm(Expr::Num(n)) if matches!(n, 0 | 1 | 2 | 4 | 8 | -1) => {
+                Operand::Const(*n as u16)
+            }
+            OperandSpec::Imm(e) => Operand::Immediate(self.resolve_word(e)?),
+            OperandSpec::Abs(e) => Operand::Absolute(self.resolve_word(e)?),
+            OperandSpec::Idx(e, r) => {
+                Operand::Indexed { base: *r, offset: self.resolve_word(e)? as i16 }
+            }
+            OperandSpec::Ind(r) => Operand::Indirect(*r),
+            OperandSpec::IndInc(r) => Operand::IndirectInc(*r),
+            OperandSpec::Sym(e) => {
+                let target = self.resolve_word(e)?;
+                let offset = target.wrapping_sub(ext_addr) as i16;
+                Operand::Indexed { base: Reg::PC, offset }
+            }
+        })
+    }
+}
+
+fn encode_item(
+    item: &Item,
+    addr: u16,
+    res: &Resolver<'_>,
+    line: usize,
+) -> Result<Vec<u8>, LinkError> {
+    let werr = |e: openmsp430::encode::EncodeError| {
+        LinkError::new(format!("line {line}: {e}"))
+    };
+    let words_to_bytes = |words: Vec<u16>| {
+        let mut out = Vec::with_capacity(words.len() * 2);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    };
+    match item {
+        Item::Two { op, byte, src, dst } => {
+            let src_ext = addr.wrapping_add(2);
+            let src_op = res.lower_operand(src, src_ext)?;
+            let dst_ext =
+                src_ext.wrapping_add(2 * openmsp430::isa::ext_word_count(&src_op));
+            let dst_op = res.lower_operand(dst, dst_ext)?;
+            let instr = Instr::Two { op: *op, byte: *byte, src: src_op, dst: dst_op };
+            Ok(words_to_bytes(encode(&instr).map_err(werr)?))
+        }
+        Item::One { op, byte, opnd } => {
+            let opnd = res.lower_operand(opnd, addr.wrapping_add(2))?;
+            let instr = Instr::One { op: *op, byte: *byte, opnd };
+            Ok(words_to_bytes(encode(&instr).map_err(werr)?))
+        }
+        Item::Jump { cond, target } => {
+            let target = res.resolve_word(target)?;
+            let pc_next = addr.wrapping_add(2);
+            let delta = target.wrapping_sub(pc_next) as i16;
+            if delta % 2 != 0 {
+                return Err(LinkError::new(format!(
+                    "line {line}: jump target {target:#06x} is odd"
+                )));
+            }
+            let offset = delta / 2;
+            if !(-512..=511).contains(&offset) {
+                return Err(LinkError::new(format!(
+                    "line {line}: jump to {target:#06x} out of range ({offset} words)"
+                )));
+            }
+            let instr = Instr::Jump { cond: *cond, offset };
+            Ok(words_to_bytes(encode(&instr).map_err(werr)?))
+        }
+        Item::Words(ws) => {
+            let mut out = Vec::with_capacity(ws.len() * 2);
+            for w in ws {
+                out.extend_from_slice(&res.resolve_word(w)?.to_le_bytes());
+            }
+            Ok(out)
+        }
+        Item::Bytes(bs) => bs.iter().map(|b| res.resolve_byte(b)).collect(),
+        Item::Space(n) => Ok(vec![0u8; *n as usize]),
+        Item::Align => Ok(vec![0u8; (addr & 1) as usize]),
+    }
+}
+
+/// Links already-assembled sections into an [`Image`].
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] on undefined symbols, overlapping placements,
+/// out-of-range jumps or unencodable instructions.
+pub fn link_sections(
+    sections: &[SourceSection],
+    config: &LinkConfig,
+) -> Result<Image, LinkError> {
+    // 1. Assign base addresses.
+    let mut placed: Vec<(&SourceSection, u16)> = Vec::new();
+    let mut exec_cursor = config.exec_base;
+    let mut er_sections: Vec<(&SourceSection, u16)> = Vec::new();
+    for name in EXEC_SECTIONS {
+        if let Some(s) = sections.iter().find(|s| s.name == name) {
+            placed.push((s, exec_cursor));
+            er_sections.push((s, exec_cursor));
+            exec_cursor = exec_cursor
+                .checked_add(s.size)
+                .ok_or_else(|| LinkError::new("exec group overflows address space"))?;
+            if exec_cursor % 2 != 0 {
+                exec_cursor += 1; // keep instructions word aligned
+            }
+        }
+    }
+    let mut text_cursor = config.text_base;
+    let mut data_cursor = config.data_base;
+    for s in sections {
+        if EXEC_SECTIONS.contains(&s.name.as_str()) {
+            continue;
+        }
+        if s.name == "data" {
+            if let Some(base) = data_cursor {
+                placed.push((s, base));
+                data_cursor = Some(base + s.size + (s.size & 1));
+                continue;
+            }
+        }
+        placed.push((s, text_cursor));
+        text_cursor = text_cursor
+            .checked_add(s.size)
+            .ok_or_else(|| LinkError::new("text overflows address space"))?;
+        if text_cursor % 2 != 0 {
+            text_cursor += 1;
+        }
+    }
+
+    // 2. Overlap check.
+    let regions: Vec<PlacedSection> = placed
+        .iter()
+        .filter(|(s, _)| s.size > 0)
+        .map(|(s, base)| PlacedSection {
+            name: s.name.clone(),
+            region: MemRegion::with_len(*base, s.size as u32),
+        })
+        .collect();
+    for i in 0..regions.len() {
+        for j in i + 1..regions.len() {
+            if regions[i].region.overlaps(&regions[j].region) {
+                return Err(LinkError::new(format!(
+                    "sections `{}` {} and `{}` {} overlap",
+                    regions[i].name, regions[i].region, regions[j].name, regions[j].region
+                )));
+            }
+        }
+    }
+
+    // 3. Build the symbol table.
+    let mut symbols: BTreeMap<String, u16> = BTreeMap::new();
+    for (s, base) in &placed {
+        for (label, offset) in &s.labels {
+            if symbols.insert(label.clone(), base + offset).is_some() {
+                return Err(LinkError::new(format!("duplicate symbol `{label}`")));
+            }
+        }
+    }
+
+    // 4. Encode.
+    let res = Resolver { symbols: &symbols };
+    let mut chunks: Vec<(u16, Vec<u8>)> = Vec::new();
+    for (s, base) in &placed {
+        let mut bytes: Vec<u8> = Vec::with_capacity(s.size as usize);
+        for li in &s.items {
+            let addr = base + li.offset;
+            debug_assert_eq!(addr as usize, *base as usize + bytes.len());
+            bytes.extend(encode_item(&li.item, addr, &res, li.line)?);
+        }
+        if !bytes.is_empty() {
+            chunks.push((*base, bytes));
+        }
+    }
+
+    // 5. ER bounds: ERmax is the last *instruction* of the exec group.
+    let er = if er_sections.is_empty() {
+        None
+    } else {
+        let min = config.exec_base;
+        let end = {
+            let (s, base) = er_sections.last().unwrap();
+            base + s.size
+        };
+        let exit = er_sections
+            .iter()
+            .rev()
+            .find_map(|(s, base)| {
+                s.items.iter().rev().find(|li| li.item.is_instruction()).map(|li| base + li.offset)
+            })
+            .ok_or_else(|| LinkError::new("exec group contains no instructions"))?;
+        Some(ErBounds {
+            min,
+            exit,
+            region: MemRegion::new(min, end.saturating_sub(1)),
+        })
+    };
+
+    // 6. IVT.
+    let mut ivt_entries = Vec::new();
+    for (vector, sym) in &config.ivt {
+        if *vector >= openmsp430::cpu::IVT_VECTORS {
+            return Err(LinkError::new(format!("vector {vector} out of range")));
+        }
+        let addr = *symbols
+            .get(sym)
+            .ok_or_else(|| LinkError::new(format!("undefined ISR symbol `{sym}`")))?;
+        ivt_entries.push((*vector, addr));
+    }
+    let reset = match &config.reset {
+        Some(sym) => *symbols
+            .get(sym)
+            .ok_or_else(|| LinkError::new(format!("undefined reset symbol `{sym}`")))?,
+        None => symbols.get("main").copied().unwrap_or(config.text_base),
+    };
+
+    Ok(Image { chunks, symbols, sections: regions, er, ivt_entries, reset })
+}
+
+/// Assembles and links a single source in one call.
+///
+/// # Errors
+///
+/// Propagates assembler and linker errors.
+///
+/// # Examples
+///
+/// ```
+/// use msp430_tools::link::{link, LinkConfig};
+///
+/// let src = r#"
+///     .section exec.start
+/// startER:
+///     call #body
+/// exitER:
+///     ret
+///     .section exec.body
+/// body:
+///     inc r4
+///     ret
+///     .section text
+/// main:
+///     jmp main
+/// "#;
+/// let image = link(src, &LinkConfig::new(0xE000, 0xF000))?;
+/// let er = image.er.unwrap();
+/// assert_eq!(er.min, 0xE000);
+/// assert!(image.symbol("body").unwrap() > er.min);
+/// # Ok::<(), msp430_tools::link::LinkError>(())
+/// ```
+pub fn link(source: &str, config: &LinkConfig) -> Result<Image, LinkError> {
+    let sections = assemble(source)?;
+    link_sections(&sections, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "
+        .section exec.start
+    startER:
+        call #body
+    exit_jump:
+        jmp do_exit
+        .section exec.body
+    body:
+        mov #5, r4
+    loop:
+        dec r4
+        jnz loop
+        ret
+        .section exec.leave
+    do_exit:
+    exitER:
+        ret
+        .section text
+    main:
+        call #startER
+    idle:
+        jmp idle
+    ";
+
+    #[test]
+    fn links_and_orders_exec_sections() {
+        let img = link(SIMPLE, &LinkConfig::new(0xE000, 0xF000)).unwrap();
+        let er = img.er.expect("er computed");
+        assert_eq!(er.min, 0xE000);
+        let start = img.symbol("startER").unwrap();
+        let body = img.symbol("body").unwrap();
+        let exit = img.symbol("exitER").unwrap();
+        assert_eq!(start, 0xE000);
+        assert!(body > start, "body after start");
+        assert!(exit > body, "leave after body");
+        assert_eq!(er.exit, exit, "ERmax is the final ret");
+        assert!(er.region.contains(er.exit));
+        assert_eq!(img.symbol("main").unwrap(), 0xF000);
+        assert_eq!(img.reset, 0xF000, "reset defaults to main");
+    }
+
+    #[test]
+    fn image_loads_and_runs() {
+        use openmsp430::layout::MemLayout;
+        use openmsp430::mcu::Mcu;
+
+        let img = link(SIMPLE, &LinkConfig::new(0xE000, 0xF000)).unwrap();
+        let mut mcu = Mcu::new(MemLayout::default());
+        img.load_into(&mut mcu.mem);
+        mcu.reset();
+        assert_eq!(mcu.cpu.regs.pc(), 0xF000);
+        // Run: main calls startER, which runs the count-down and returns.
+        for _ in 0..100 {
+            mcu.step();
+            if mcu.cpu.regs.pc() == img.symbol("idle").unwrap() {
+                break;
+            }
+        }
+        assert_eq!(mcu.cpu.regs.pc(), img.symbol("idle").unwrap());
+        assert_eq!(mcu.cpu.regs.get(openmsp430::regs::Reg::r(4)), 0);
+    }
+
+    #[test]
+    fn ivt_generation() {
+        let src = "
+            .section exec.body
+        isr:
+            reti
+            .section text
+        main:
+            jmp main
+        ";
+        let cfg = LinkConfig::new(0xE000, 0xF000).vector(9, "isr").reset("main");
+        let img = link(src, &cfg).unwrap();
+        assert_eq!(img.ivt_entries, vec![(9, img.symbol("isr").unwrap())]);
+        let mut mem = Memory::new();
+        img.load_into(&mut mem);
+        assert_eq!(mem.read_word(0xFFF2), img.symbol("isr").unwrap());
+        assert_eq!(mem.read_word(0xFFFE), img.symbol("main").unwrap());
+    }
+
+    #[test]
+    fn undefined_symbol_is_an_error() {
+        let e = link("jmp nowhere", &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
+        assert!(e.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn out_of_range_jump_is_an_error() {
+        let src = "
+        start:
+            jmp far
+            .space 2000
+        far:
+            ret
+        ";
+        let e = link(src, &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn overlapping_sections_rejected() {
+        let src = "
+            .section exec.body
+            .space 0x1000
+            .section text
+        main:
+            ret
+        ";
+        // text at 0xE800 lands inside the 4 KiB exec.body at 0xE000.
+        let e = link(src, &LinkConfig::new(0xE000, 0xE800)).unwrap_err();
+        assert!(e.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn symbolic_addressing_resolves() {
+        let src = "
+            .section text
+        main:
+            mov counter, r4
+            inc r4
+            mov r4, counter
+        spin:
+            jmp spin
+        counter:
+            .word 41
+        ";
+        let img = link(src, &LinkConfig::new(0xE000, 0xF000)).unwrap();
+        let mut mcu = openmsp430::mcu::Mcu::new(openmsp430::layout::MemLayout::default());
+        img.load_into(&mut mcu.mem);
+        mcu.reset();
+        for _ in 0..3 {
+            mcu.step();
+        }
+        assert_eq!(mcu.mem.read_word(img.symbol("counter").unwrap()), 42);
+    }
+
+    #[test]
+    fn data_section_placement() {
+        let src = "
+            .section data
+        buf:
+            .space 16
+            .section text
+        main:
+            ret
+        ";
+        let cfg = LinkConfig::new(0xE000, 0xF000).data_base(0x0400);
+        let img = link(src, &cfg).unwrap();
+        assert_eq!(img.symbol("buf"), Some(0x0400));
+    }
+
+    #[test]
+    fn er_absent_without_exec_sections() {
+        let img = link("main: ret", &LinkConfig::new(0xE000, 0xF000)).unwrap();
+        assert!(img.er.is_none());
+    }
+
+    #[test]
+    fn duplicate_labels_across_sections_rejected() {
+        let src = "
+            .section text
+        x:
+            ret
+            .section exec.body
+        x:
+            ret
+        ";
+        assert!(link(src, &LinkConfig::new(0xE000, 0xF000)).is_err());
+    }
+}

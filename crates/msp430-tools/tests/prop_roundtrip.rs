@@ -1,0 +1,103 @@
+//! Property test: assembling rendered instructions and disassembling the
+//! linked image reproduces the original instruction stream.
+
+use msp430_tools::disasm::disassemble;
+use msp430_tools::link::{link, LinkConfig};
+use openmsp430::isa::{Instr, Operand, TwoOp};
+use openmsp430::mem::Memory;
+use openmsp430::regs::Reg;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (4u8..16).prop_map(Reg::r)
+}
+
+/// Operands that render to parseable assembly text.
+fn arb_operand_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_reg().prop_map(|r| r.to_string()),
+        (0u16..0xFFFF).prop_map(|v| format!("#{v}")),
+        (0x0200u16..0x0A00).prop_map(|a| format!("&{a:#06x}")),
+        (arb_reg(), -64i16..64).prop_map(|(r, o)| format!("{o}({r})")),
+        arb_reg().prop_map(|r| format!("@{r}")),
+        arb_reg().prop_map(|r| format!("@{r}+")),
+    ]
+}
+
+fn arb_two_mnemonic() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("mov"),
+        Just("add"),
+        Just("addc"),
+        Just("sub"),
+        Just("subc"),
+        Just("cmp"),
+        Just("dadd"),
+        Just("bit"),
+        Just("bic"),
+        Just("bis"),
+        Just("xor"),
+        Just("and"),
+    ]
+}
+
+fn arb_dst_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_reg().prop_map(|r| r.to_string()),
+        (0x0200u16..0x0A00).prop_map(|a| format!("&{a:#06x}")),
+        (arb_reg(), -64i16..64).prop_map(|(r, o)| format!("{o}({r})")),
+    ]
+}
+
+proptest! {
+    /// Random instruction streams survive asm → link → disasm.
+    #[test]
+    fn assemble_disassemble_roundtrip(
+        instrs in proptest::collection::vec(
+            (arb_two_mnemonic(), any::<bool>(), arb_operand_text(), arb_dst_text()),
+            1..20,
+        )
+    ) {
+        let mut src = String::from("    .section text\nmain:\n");
+        for (m, byte, s, d) in &instrs {
+            let suffix = if *byte { ".b" } else { "" };
+            src.push_str(&format!("    {m}{suffix} {s}, {d}\n"));
+        }
+        let img = link(&src, &LinkConfig::new(0xC000, 0xE000)).expect("links");
+        let mut mem = Memory::new();
+        img.load_into(&mut mem);
+        let total: u16 = img.chunks.iter().map(|(_, b)| b.len() as u16).sum();
+        let lines = disassemble(&mem, 0xE000, 0xE000 + total, &BTreeMap::new());
+        prop_assert_eq!(lines.len(), instrs.len());
+        for (line, (m, byte, _, _)) in lines.iter().zip(&instrs) {
+            match line.instr {
+                Instr::Two { op, byte: b, .. } => {
+                    prop_assert_eq!(op.mnemonic(), *m);
+                    prop_assert_eq!(b, *byte);
+                }
+                other => prop_assert!(false, "unexpected decode {:?}", other),
+            }
+        }
+    }
+
+    /// Immediates that hit the constant generator still decode to the
+    /// same value.
+    #[test]
+    fn constant_generator_values_roundtrip(v in prop_oneof![
+        Just(0u16), Just(1), Just(2), Just(4), Just(8), Just(0xFFFF)
+    ]) {
+        let signed = v as i16;
+        let src = format!("    .section text\nmain:\n    mov #{signed}, r5\n");
+        let img = link(&src, &LinkConfig::new(0xC000, 0xE000)).unwrap();
+        let mut mem = Memory::new();
+        img.load_into(&mut mem);
+        let lines = disassemble(&mem, 0xE000, 0xE002, &BTreeMap::new());
+        match lines[0].instr {
+            Instr::Two { op: TwoOp::Mov, src: Operand::Const(c), .. } => {
+                prop_assert_eq!(c, v)
+            }
+            other => prop_assert!(false, "expected const-generator mov, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The MSP430 CPU core: fetch/decode/execute, interrupt entry, low-power
+//! idling and faults.
+//!
+//! The core is deliberately free of any security logic — VRASED, APEX and
+//! ASAP attach *outside* the core as bus/signal observers, exactly like
+//! the `HW-Mod` of the paper (Fig. 2).
+
+use crate::bus::Bus;
+use crate::decode::decode;
+use crate::exec::{
+    alu_one, alu_two, cycles_one, cycles_two, Flags, IDLE_CYCLES, IRQ_ENTRY_CYCLES, JUMP_CYCLES,
+};
+use crate::isa::{ext_words, Cond, Instr, OneOp, Operand, TwoOp};
+use crate::regs::{sr_bits, Reg, RegFile};
+use std::error::Error;
+use std::fmt;
+
+/// Base address of the interrupt vector table (last 32 bytes of memory,
+/// as in OpenMSP430: `0xFFE0..=0xFFFF`).
+pub const IVT_BASE: u16 = 0xFFE0;
+
+/// Number of interrupt vectors.
+pub const IVT_VECTORS: u8 = 16;
+
+/// The reset vector index (highest priority, address `0xFFFE`).
+pub const RESET_VECTOR: u8 = 15;
+
+/// Address of the IVT entry for `vector`.
+///
+/// # Panics
+///
+/// Panics if `vector >= 16`.
+pub fn vector_addr(vector: u8) -> u16 {
+    assert!(vector < IVT_VECTORS, "vector out of range: {vector}");
+    IVT_BASE + 2 * vector as u16
+}
+
+/// A condition that halts the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuFault {
+    /// An undecodable instruction word was executed.
+    IllegalInstruction {
+        /// Address of the offending word.
+        pc: u16,
+        /// The word itself.
+        word: u16,
+    },
+}
+
+impl fmt::Display for CpuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuFault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#06x} at {pc:#06x}")
+            }
+        }
+    }
+}
+
+impl Error for CpuFault {}
+
+/// What one call to [`Cpu::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOut {
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// `PC` when the step began.
+    pub pc_before: u16,
+    /// `PC` after the step (address of the next instruction).
+    pub pc_after: u16,
+    /// Interrupt vector serviced this step, if any.
+    pub serviced_irq: Option<u8>,
+    /// The instruction executed (absent for idle/interrupt-entry steps).
+    pub executed: Option<Instr>,
+    /// Fault raised this step, if any.
+    pub fault: Option<CpuFault>,
+    /// True when the core idled in a low-power mode.
+    pub idle: bool,
+}
+
+/// The CPU core state: the register file plus a latched fault.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// The sixteen CPU registers.
+    pub regs: RegFile,
+    fault: Option<CpuFault>,
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers cleared.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// The latched fault, if the CPU has halted.
+    pub fn fault(&self) -> Option<CpuFault> {
+        self.fault
+    }
+
+    /// True once a fault has halted the core.
+    pub fn is_halted(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Performs a hardware reset: clears registers and loads `PC` from the
+    /// reset vector.
+    pub fn reset(&mut self, bus: &mut impl Bus) {
+        self.regs = RegFile::new();
+        self.fault = None;
+        let entry = bus.read(vector_addr(RESET_VECTOR), false, false);
+        self.regs.set_pc(entry);
+    }
+
+    fn flags(&self) -> Flags {
+        Flags::from_sr(self.regs.sr())
+    }
+
+    fn set_flags(&mut self, f: Flags) {
+        let sr = f.merge_into(self.regs.sr());
+        self.regs.set_sr(sr);
+    }
+
+    /// Effective address of a memory operand. `ext_addr` is the address of
+    /// the operand's extension word (used for symbolic mode).
+    fn operand_ea(&self, op: &Operand, ext_addr: u16) -> Option<u16> {
+        match *op {
+            Operand::Indexed { base, offset } => {
+                let base_val =
+                    if base == Reg::PC { ext_addr } else { self.regs.get(base) };
+                Some(base_val.wrapping_add(offset as u16))
+            }
+            Operand::Absolute(addr) => Some(addr),
+            Operand::Indirect(r) | Operand::IndirectInc(r) => Some(self.regs.get(r)),
+            _ => None,
+        }
+    }
+
+    /// Reads a source operand's value, performing any auto-increment.
+    fn read_operand(
+        &mut self,
+        bus: &mut impl Bus,
+        op: &Operand,
+        byte: bool,
+        ext_addr: u16,
+    ) -> u16 {
+        match *op {
+            Operand::Reg(r) => self.regs.get(r),
+            Operand::Immediate(v) | Operand::Const(v) => v,
+            Operand::IndirectInc(r) => {
+                let ea = self.regs.get(r);
+                let v = bus.read(ea, byte, false);
+                let inc = if byte { 1 } else { 2 };
+                self.regs.set(r, ea.wrapping_add(inc));
+                v
+            }
+            _ => {
+                let ea = self.operand_ea(op, ext_addr).expect("memory operand");
+                bus.read(ea, byte, false)
+            }
+        }
+    }
+
+    /// Writes a value to a destination operand at a pre-computed effective
+    /// address (for memory operands).
+    fn write_operand(
+        &mut self,
+        bus: &mut impl Bus,
+        op: &Operand,
+        ea: Option<u16>,
+        value: u16,
+        byte: bool,
+    ) {
+        match *op {
+            Operand::Reg(r) => {
+                if byte {
+                    self.regs.set_byte(r, value);
+                } else {
+                    self.regs.set(r, value);
+                }
+            }
+            _ => {
+                let ea = ea.expect("memory destination requires an effective address");
+                bus.write(ea, value, byte);
+            }
+        }
+    }
+
+    fn push(&mut self, bus: &mut impl Bus, value: u16) {
+        let sp = self.regs.sp().wrapping_sub(2);
+        self.regs.set_sp(sp);
+        bus.write(sp, value, false);
+    }
+
+    fn pop(&mut self, bus: &mut impl Bus) -> u16 {
+        let sp = self.regs.sp();
+        let v = bus.read(sp, false, false);
+        self.regs.set_sp(sp.wrapping_add(2));
+        v
+    }
+
+    /// Services an interrupt: stacks `PC` and `SR`, clears `SR` (except
+    /// `SCG0`) and loads `PC` from the IVT. Returns the entry cycle count.
+    fn enter_interrupt(&mut self, bus: &mut impl Bus, vector: u8) -> u64 {
+        let pc = self.regs.pc();
+        let sr = self.regs.sr();
+        self.push(bus, pc);
+        self.push(bus, sr);
+        self.regs.set_sr(sr & sr_bits::SCG0);
+        let isr = bus.read(vector_addr(vector), false, false);
+        self.regs.set_pc(isr);
+        IRQ_ENTRY_CYCLES
+    }
+
+    /// Executes one step: services `irq` if given, idles if in a low-power
+    /// mode, otherwise fetches and executes one instruction.
+    ///
+    /// The caller (the MCU) is responsible for interrupt gating (`GIE`,
+    /// priority) — `irq` here is the vector to take *now*.
+    pub fn step(&mut self, bus: &mut impl Bus, irq: Option<u8>) -> StepOut {
+        let pc_before = self.regs.pc();
+        if let Some(fault) = self.fault {
+            return StepOut {
+                cycles: IDLE_CYCLES,
+                pc_before,
+                pc_after: pc_before,
+                serviced_irq: None,
+                executed: None,
+                fault: Some(fault),
+                idle: true,
+            };
+        }
+
+        if let Some(vector) = irq {
+            let cycles = self.enter_interrupt(bus, vector);
+            return StepOut {
+                cycles,
+                pc_before,
+                pc_after: self.regs.pc(),
+                serviced_irq: Some(vector),
+                executed: None,
+                fault: None,
+                idle: false,
+            };
+        }
+
+        if self.regs.cpu_off() {
+            return StepOut {
+                cycles: IDLE_CYCLES,
+                pc_before,
+                pc_after: pc_before,
+                serviced_irq: None,
+                executed: None,
+                fault: None,
+                idle: true,
+            };
+        }
+
+        let d = decode(|addr| bus.read(addr, false, true), pc_before);
+        let instr = d.instr;
+        self.regs.set_pc(pc_before.wrapping_add(d.size));
+        let mut fault = None;
+        let cycles = match instr {
+            Instr::Two { op, byte, src, dst } => {
+                self.exec_two(bus, op, byte, &src, &dst, pc_before)
+            }
+            Instr::One { op, byte, opnd } => self.exec_one(bus, op, byte, &opnd, pc_before),
+            Instr::Jump { cond, offset } => {
+                if self.cond_true(cond) {
+                    let target =
+                        pc_before.wrapping_add(2).wrapping_add((offset as u16).wrapping_mul(2));
+                    self.regs.set_pc(target);
+                }
+                JUMP_CYCLES
+            }
+            Instr::Illegal(word) => {
+                let f = CpuFault::IllegalInstruction { pc: pc_before, word };
+                self.fault = Some(f);
+                fault = Some(f);
+                self.regs.set_pc(pc_before);
+                IDLE_CYCLES
+            }
+        };
+
+        StepOut {
+            cycles,
+            pc_before,
+            pc_after: self.regs.pc(),
+            serviced_irq: None,
+            executed: Some(instr),
+            fault,
+            idle: false,
+        }
+    }
+
+    fn cond_true(&self, cond: Cond) -> bool {
+        let f = self.flags();
+        match cond {
+            Cond::Ne => !f.z,
+            Cond::Eq => f.z,
+            Cond::Nc => !f.c,
+            Cond::C => f.c,
+            Cond::N => f.n,
+            Cond::Ge => f.n == f.v,
+            Cond::L => f.n != f.v,
+            Cond::Always => true,
+        }
+    }
+
+    fn exec_two(
+        &mut self,
+        bus: &mut impl Bus,
+        op: TwoOp,
+        byte: bool,
+        src: &Operand,
+        dst: &Operand,
+        instr_addr: u16,
+    ) -> u64 {
+        let src_ext = instr_addr.wrapping_add(2);
+        let dst_ext = src_ext.wrapping_add(2 * ext_words(src));
+        let cycles = cycles_two(src, dst);
+        let src_val = self.read_operand(bus, src, byte, src_ext);
+        // The destination EA is computed once (before any read) and reused
+        // for the write-back, matching hardware RMW behaviour.
+        let dst_ea = self.operand_ea(dst, dst_ext);
+        let dst_val = if op == TwoOp::Mov {
+            0
+        } else {
+            match *dst {
+                Operand::Reg(r) => self.regs.get(r),
+                _ => bus.read(dst_ea.expect("memory dst"), byte, false),
+            }
+        };
+        let out = alu_two(op, src_val, dst_val, byte, self.flags());
+        if !op.discards_result() {
+            self.write_operand(bus, dst, dst_ea, out.value, byte);
+        }
+        if out.write_flags {
+            self.set_flags(out.flags);
+        }
+        cycles
+    }
+
+    fn exec_one(
+        &mut self,
+        bus: &mut impl Bus,
+        op: OneOp,
+        byte: bool,
+        opnd: &Operand,
+        instr_addr: u16,
+    ) -> u64 {
+        let ext_addr = instr_addr.wrapping_add(2);
+        let cycles = cycles_one(op, opnd);
+        match op {
+            OneOp::Rrc | OneOp::Rra | OneOp::Swpb | OneOp::Sxt => {
+                // Read-modify-write at the pre-increment address.
+                let ea = self.operand_ea(opnd, ext_addr);
+                let value = match *opnd {
+                    Operand::Reg(r) => self.regs.get(r),
+                    Operand::Immediate(_) | Operand::Const(_) => {
+                        // No writable location: fault.
+                        let word = 0x1000 | (op.opcode() << 7);
+                        let f = CpuFault::IllegalInstruction { pc: instr_addr, word };
+                        self.fault = Some(f);
+                        return IDLE_CYCLES;
+                    }
+                    Operand::IndirectInc(r) => {
+                        let ea = self.regs.get(r);
+                        let v = bus.read(ea, byte, false);
+                        let inc = if byte { 1 } else { 2 };
+                        self.regs.set(r, ea.wrapping_add(inc));
+                        v
+                    }
+                    _ => bus.read(ea.expect("memory operand"), byte, false),
+                };
+                let out = alu_one(op, value, byte, self.flags());
+                match *opnd {
+                    Operand::Reg(r) => {
+                        if byte {
+                            self.regs.set_byte(r, out.value);
+                        } else {
+                            self.regs.set(r, out.value);
+                        }
+                    }
+                    _ => bus.write(ea.expect("memory operand"), out.value, byte),
+                }
+                if out.write_flags {
+                    self.set_flags(out.flags);
+                }
+                cycles
+            }
+            OneOp::Push => {
+                let value = self.read_operand(bus, opnd, byte, ext_addr);
+                let sp = self.regs.sp().wrapping_sub(2);
+                self.regs.set_sp(sp);
+                bus.write(sp, value, byte);
+                cycles
+            }
+            OneOp::Call => {
+                let target = self.read_operand(bus, opnd, false, ext_addr);
+                let ret = self.regs.pc();
+                self.push(bus, ret);
+                self.regs.set_pc(target);
+                cycles
+            }
+            OneOp::Reti => {
+                let sr = self.pop(bus);
+                self.regs.set_sr(sr);
+                let pc = self.pop(bus);
+                self.regs.set_pc(pc);
+                cycles
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::RamBus;
+    use crate::encode::encode;
+
+    /// Assembles `instrs` at `org`, pointing the reset vector there.
+    fn setup(org: u16, instrs: &[Instr]) -> (Cpu, RamBus) {
+        let mut bus = RamBus::new();
+        let mut addr = org;
+        for i in instrs {
+            for w in encode(i).expect("encodable") {
+                bus.mem.write_word(addr, w);
+                addr = addr.wrapping_add(2);
+            }
+        }
+        bus.mem.write_word(vector_addr(RESET_VECTOR), org);
+        let mut cpu = Cpu::new();
+        cpu.reset(&mut bus);
+        cpu.regs.set_sp(0x0A00);
+        (cpu, bus)
+    }
+
+    fn two(op: TwoOp, src: Operand, dst: Operand) -> Instr {
+        Instr::Two { op, byte: false, src, dst }
+    }
+
+    #[test]
+    fn reset_loads_pc_from_vector() {
+        let (cpu, _) = setup(0xE000, &[]);
+        assert_eq!(cpu.regs.pc(), 0xE000);
+    }
+
+    #[test]
+    fn mov_immediate_to_register() {
+        let (mut cpu, mut bus) =
+            setup(0xE000, &[two(TwoOp::Mov, Operand::Immediate(0x1234), Operand::Reg(Reg::r(5)))]);
+        let out = cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(5)), 0x1234);
+        assert_eq!(out.cycles, 2);
+        assert_eq!(out.pc_after, 0xE004);
+    }
+
+    #[test]
+    fn add_updates_flags_and_memory() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[
+                two(TwoOp::Mov, Operand::Immediate(0x00FF), Operand::Absolute(0x0200)),
+                two(TwoOp::Add, Operand::Immediate(0x0001), Operand::Absolute(0x0200)),
+            ],
+        );
+        cpu.step(&mut bus, None);
+        cpu.step(&mut bus, None);
+        assert_eq!(bus.mem.read_word(0x0200), 0x0100);
+    }
+
+    #[test]
+    fn symbolic_mode_resolves_relative_to_ext_word() {
+        // mov data, r4 — with data placed right after the instruction.
+        let org = 0xE000u16;
+        let ext_addr = org + 2;
+        let data_addr = 0xE010u16;
+        let offset = (data_addr as i32 - ext_addr as i32) as i16;
+        let (mut cpu, mut bus) = setup(
+            org,
+            &[two(
+                TwoOp::Mov,
+                Operand::Indexed { base: Reg::PC, offset },
+                Operand::Reg(Reg::r(4)),
+            )],
+        );
+        bus.mem.write_word(data_addr, 0xCAFE);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(4)), 0xCAFE);
+    }
+
+    #[test]
+    fn indirect_autoincrement_word_and_byte() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[
+                two(TwoOp::Mov, Operand::IndirectInc(Reg::r(4)), Operand::Reg(Reg::r(5))),
+                Instr::Two {
+                    op: TwoOp::Mov,
+                    byte: true,
+                    src: Operand::IndirectInc(Reg::r(4)),
+                    dst: Operand::Reg(Reg::r(6)),
+                },
+            ],
+        );
+        cpu.regs.set(Reg::r(4), 0x0200);
+        bus.mem.write_word(0x0200, 0xBEEF);
+        bus.mem.write_byte(0x0202, 0x7A);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(5)), 0xBEEF);
+        assert_eq!(cpu.regs.get(Reg::r(4)), 0x0202);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(6)), 0x007A);
+        assert_eq!(cpu.regs.get(Reg::r(4)), 0x0203);
+    }
+
+    #[test]
+    fn push_pop_roundtrip_via_stack() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[
+                Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(0xABCD) },
+                // pop r7 == mov @sp+, r7
+                two(TwoOp::Mov, Operand::IndirectInc(Reg::SP), Operand::Reg(Reg::r(7))),
+            ],
+        );
+        let sp0 = cpu.regs.sp();
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.sp(), sp0 - 2);
+        assert_eq!(bus.mem.read_word(sp0 - 2), 0xABCD);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(7)), 0xABCD);
+        assert_eq!(cpu.regs.sp(), sp0);
+    }
+
+    #[test]
+    fn call_pushes_return_address_and_jumps() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[Instr::One { op: OneOp::Call, byte: false, opnd: Operand::Immediate(0xF000) }],
+        );
+        let sp0 = cpu.regs.sp();
+        let out = cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.pc(), 0xF000);
+        assert_eq!(bus.mem.read_word(sp0 - 2), 0xE004);
+        assert_eq!(out.cycles, 5);
+    }
+
+    #[test]
+    fn jump_conditions() {
+        // cmp #5, r4 ; jeq +2 ; mov #1, r5 ; mov #2, r6
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[
+                two(TwoOp::Cmp, Operand::Immediate(5), Operand::Reg(Reg::r(4))),
+                Instr::Jump { cond: Cond::Eq, offset: 1 },
+                two(TwoOp::Mov, Operand::Const(1), Operand::Reg(Reg::r(5))),
+                two(TwoOp::Mov, Operand::Const(2), Operand::Reg(Reg::r(6))),
+            ],
+        );
+        cpu.regs.set(Reg::r(4), 5);
+        cpu.step(&mut bus, None); // cmp -> Z=1
+        cpu.step(&mut bus, None); // jeq taken, skips the one-word mov #1, r5
+        // jump at 0xE004; target = 0xE004 + 2 + 2*1 = 0xE008
+        assert_eq!(cpu.regs.pc(), 0xE008);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(5)), 0);
+        assert_eq!(cpu.regs.get(Reg::r(6)), 2);
+    }
+
+    #[test]
+    fn interrupt_entry_and_reti() {
+        // Main: nop-equivalent (mov r4, r4) repeated. ISR at 0xF000: reti.
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[
+                two(TwoOp::Mov, Operand::Reg(Reg::r(4)), Operand::Reg(Reg::r(4))),
+                two(TwoOp::Mov, Operand::Reg(Reg::r(4)), Operand::Reg(Reg::r(4))),
+            ],
+        );
+        for (i, w) in encode(&Instr::One {
+            op: OneOp::Reti,
+            byte: false,
+            opnd: Operand::Reg(Reg::PC),
+        })
+        .unwrap()
+        .iter()
+        .enumerate()
+        {
+            bus.mem.write_word(0xF000 + 2 * i as u16, *w);
+        }
+        bus.mem.write_word(vector_addr(9), 0xF000);
+        cpu.regs.sr_assign(sr_bits::GIE, true);
+
+        cpu.step(&mut bus, None); // one main instruction
+        let sp0 = cpu.regs.sp();
+        let out = cpu.step(&mut bus, Some(9));
+        assert_eq!(out.serviced_irq, Some(9));
+        assert_eq!(out.cycles, IRQ_ENTRY_CYCLES);
+        assert_eq!(cpu.regs.pc(), 0xF000);
+        assert!(!cpu.regs.gie(), "GIE cleared on entry");
+        assert_eq!(cpu.regs.sp(), sp0 - 4);
+
+        let out = cpu.step(&mut bus, None); // reti
+        assert_eq!(out.cycles, 5);
+        assert_eq!(cpu.regs.pc(), 0xE002);
+        assert!(cpu.regs.gie(), "GIE restored by RETI");
+        assert_eq!(cpu.regs.sp(), sp0);
+    }
+
+    #[test]
+    fn cpuoff_idles_until_interrupt() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[two(
+                TwoOp::Bis,
+                Operand::Immediate(sr_bits::CPUOFF | sr_bits::GIE),
+                Operand::Reg(Reg::SR),
+            )],
+        );
+        bus.mem.write_word(vector_addr(9), 0xF000);
+        cpu.step(&mut bus, None);
+        assert!(cpu.regs.cpu_off());
+        let out = cpu.step(&mut bus, None);
+        assert!(out.idle);
+        let out = cpu.step(&mut bus, Some(9));
+        assert_eq!(out.serviced_irq, Some(9));
+        assert!(!cpu.regs.cpu_off(), "ISR entry wakes the core");
+    }
+
+    #[test]
+    fn illegal_instruction_halts() {
+        let mut bus = RamBus::new();
+        bus.mem.write_word(vector_addr(RESET_VECTOR), 0xE000);
+        // 0x0000 is not a valid instruction.
+        let mut cpu = Cpu::new();
+        cpu.reset(&mut bus);
+        let out = cpu.step(&mut bus, None);
+        assert!(matches!(out.fault, Some(CpuFault::IllegalInstruction { .. })));
+        assert!(cpu.is_halted());
+        let out = cpu.step(&mut bus, None);
+        assert!(out.idle && out.fault.is_some());
+    }
+
+    #[test]
+    fn byte_write_to_register_clears_high_byte() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[Instr::Two {
+                op: TwoOp::Mov,
+                byte: true,
+                src: Operand::Immediate(0xAB),
+                dst: Operand::Reg(Reg::r(9)),
+            }],
+        );
+        cpu.regs.set(Reg::r(9), 0xFFFF);
+        cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.get(Reg::r(9)), 0x00AB);
+    }
+
+    #[test]
+    fn mov_to_pc_branches() {
+        let (mut cpu, mut bus) =
+            setup(0xE000, &[two(TwoOp::Mov, Operand::Immediate(0xF123), Operand::Reg(Reg::PC))]);
+        let out = cpu.step(&mut bus, None);
+        assert_eq!(cpu.regs.pc(), 0xF122, "PC bit 0 cleared");
+        assert_eq!(out.cycles, 3, "mov #imm, pc takes 3 cycles");
+    }
+
+    #[test]
+    fn rmw_on_memory_operand() {
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[Instr::One { op: OneOp::Rra, byte: false, opnd: Operand::Absolute(0x0200) }],
+        );
+        bus.mem.write_word(0x0200, 0x0004);
+        cpu.step(&mut bus, None);
+        assert_eq!(bus.mem.read_word(0x0200), 0x0002);
+    }
+
+    #[test]
+    fn sr_destination_write_then_status() {
+        // bis #GIE, sr : flags preserved, GIE set.
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[two(TwoOp::Bis, Operand::Immediate(sr_bits::GIE), Operand::Reg(Reg::SR))],
+        );
+        cpu.regs.sr_assign(sr_bits::C, true);
+        cpu.step(&mut bus, None);
+        assert!(cpu.regs.gie());
+        assert!(cpu.regs.sr_has(sr_bits::C));
+    }
+}

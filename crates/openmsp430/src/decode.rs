@@ -1,0 +1,230 @@
+//! Instruction decoder: machine words → [`Instr`].
+//!
+//! [`decode`] is the inverse of [`crate::encode::encode`] for everything
+//! the encoder can produce; constant-generator encodings decode to
+//! [`Operand::Const`], `@PC+` decodes to [`Operand::Immediate`] and indexed
+//! addressing off `SR` decodes to [`Operand::Absolute`].
+
+use crate::isa::{Cond, Instr, OneOp, Operand, TwoOp};
+use crate::regs::Reg;
+
+/// A decoded instruction together with its encoded size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes (2, 4 or 6).
+    pub size: u16,
+}
+
+/// Decodes the source operand given `(reg, As)` and a closure that yields
+/// successive extension words.
+fn decode_src(
+    reg: Reg,
+    a_s: u16,
+    next_ext: &mut impl FnMut() -> u16,
+) -> Operand {
+    match (reg, a_s) {
+        (Reg::CG, 0b00) => Operand::Const(0),
+        (Reg::CG, 0b01) => Operand::Const(1),
+        (Reg::CG, 0b10) => Operand::Const(2),
+        (Reg::CG, 0b11) => Operand::Const(0xFFFF),
+        (Reg::SR, 0b10) => Operand::Const(4),
+        (Reg::SR, 0b11) => Operand::Const(8),
+        (Reg::SR, 0b01) => Operand::Absolute(next_ext()),
+        (Reg::PC, 0b11) => Operand::Immediate(next_ext()),
+        (r, 0b00) => Operand::Reg(r),
+        (r, 0b01) => Operand::Indexed { base: r, offset: next_ext() as i16 },
+        (r, 0b10) => Operand::Indirect(r),
+        (r, 0b11) => Operand::IndirectInc(r),
+        _ => unreachable!("As is a two-bit field"),
+    }
+}
+
+/// Decodes the destination operand given `(reg, Ad)`.
+fn decode_dst(reg: Reg, a_d: u16, next_ext: &mut impl FnMut() -> u16) -> Operand {
+    match (reg, a_d) {
+        (r, 0) => Operand::Reg(r),
+        (Reg::SR, 1) => Operand::Absolute(next_ext()),
+        (r, 1) => Operand::Indexed { base: r, offset: next_ext() as i16 },
+        _ => unreachable!("Ad is a one-bit field"),
+    }
+}
+
+/// Decodes the instruction at `pc`, fetching words through `fetch`.
+///
+/// `fetch` is called with word-aligned addresses: first `pc`, then any
+/// extension words at `pc+2`, `pc+4`.
+///
+/// Undecodable words produce [`Instr::Illegal`] rather than an error, so a
+/// simulator can raise a CPU fault when (and only when) such a word is
+/// actually executed.
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::decode::decode;
+/// use openmsp430::isa::{Instr, Operand, TwoOp};
+/// use openmsp430::regs::Reg;
+///
+/// let words = [0x4035u16, 0x1234]; // mov #0x1234, r5
+/// let d = decode(|addr| words[((addr - 0xE000) / 2) as usize], 0xE000);
+/// assert_eq!(d.size, 4);
+/// assert_eq!(
+///     d.instr,
+///     Instr::Two { op: TwoOp::Mov, byte: false,
+///                  src: Operand::Immediate(0x1234), dst: Operand::Reg(Reg::r(5)) }
+/// );
+/// ```
+pub fn decode(mut fetch: impl FnMut(u16) -> u16, pc: u16) -> Decoded {
+    let word = fetch(pc);
+    let mut ext_at = pc.wrapping_add(2);
+    let mut next_ext = move || {
+        let w = fetch(ext_at);
+        ext_at = ext_at.wrapping_add(2);
+        w
+    };
+
+    let top = word >> 12;
+    let instr = if (0x2..=0x3).contains(&top) {
+        // Jump format: 001 ccc oooooooooo
+        let cond = Cond::from_code((word >> 10) & 0x7);
+        let raw = word & 0x3FF;
+        let offset = if raw & 0x200 != 0 { (raw | 0xFC00) as i16 } else { raw as i16 };
+        Instr::Jump { cond, offset }
+    } else if (word >> 10) == 0b000100 {
+        // Format II: 000100 ooo B As reg
+        let op_bits = (word >> 7) & 0x7;
+        match OneOp::from_opcode(op_bits) {
+            Some(OneOp::Reti) => {
+                Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) }
+            }
+            Some(op) => {
+                let byte = word & 0x40 != 0;
+                let a_s = (word >> 4) & 0x3;
+                let reg = Reg::r((word & 0xF) as u8);
+                let opnd = decode_src(reg, a_s, &mut next_ext);
+                if byte && matches!(op, OneOp::Swpb | OneOp::Sxt | OneOp::Call) {
+                    Instr::Illegal(word)
+                } else {
+                    Instr::One { op, byte, opnd }
+                }
+            }
+            None => Instr::Illegal(word),
+        }
+    } else if let Some(op) = TwoOp::from_opcode(top) {
+        let sreg = Reg::r(((word >> 8) & 0xF) as u8);
+        let a_d = (word >> 7) & 0x1;
+        let byte = word & 0x40 != 0;
+        let a_s = (word >> 4) & 0x3;
+        let dreg = Reg::r((word & 0xF) as u8);
+        let src = decode_src(sreg, a_s, &mut next_ext);
+        let dst = decode_dst(dreg, a_d, &mut next_ext);
+        Instr::Two { op, byte, src, dst }
+    } else {
+        Instr::Illegal(word)
+    };
+
+    let size = instr.size();
+    Decoded { instr, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(instr: Instr) {
+        let words = encode(&instr).expect("encodable");
+        let d = decode(|addr| words[((addr / 2) & 0xFF) as usize % words.len().max(1)], 0);
+        // Fetch closure above maps addr 0,2,4 to indices 0,1,2.
+        let d2 = decode(|addr| words[(addr / 2) as usize], 0);
+        assert_eq!(d2.instr, instr, "decode(encode(i)) == i");
+        assert_eq!(d2.size as usize, words.len() * 2);
+        let _ = d;
+    }
+
+    #[test]
+    fn roundtrip_two_operand_forms() {
+        use Operand::*;
+        let r4 = crate::regs::Reg::r(4);
+        let r9 = crate::regs::Reg::r(9);
+        let ops = [
+            (Reg(r4), Reg(r9)),
+            (Indexed { base: r4, offset: -6 }, Reg(r9)),
+            (Absolute(0x0200), Indexed { base: r9, offset: 8 }),
+            (Indirect(r4), Absolute(0xFFE0)),
+            (IndirectInc(r4), Reg(r9)),
+            (Immediate(0xABCD), Absolute(0x0240)),
+            (Const(8), Reg(r9)),
+            (Const(0xFFFF), Indexed { base: r9, offset: 0 }),
+        ];
+        for op in [TwoOp::Mov, TwoOp::Add, TwoOp::Xor, TwoOp::Cmp, TwoOp::Dadd] {
+            for (src, dst) in ops.iter().copied() {
+                for byte in [false, true] {
+                    roundtrip(Instr::Two { op, byte, src, dst });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_one_operand_forms() {
+        use Operand::*;
+        let r4 = crate::regs::Reg::r(4);
+        for op in [OneOp::Rrc, OneOp::Rra, OneOp::Push] {
+            for opnd in
+                [Reg(r4), Indexed { base: r4, offset: 2 }, Absolute(0x0200), Indirect(r4)]
+            {
+                roundtrip(Instr::One { op, byte: false, opnd });
+            }
+        }
+        roundtrip(Instr::One { op: OneOp::Swpb, byte: false, opnd: Reg(r4) });
+        roundtrip(Instr::One { op: OneOp::Sxt, byte: false, opnd: Reg(r4) });
+        roundtrip(Instr::One { op: OneOp::Call, byte: false, opnd: Immediate(0xE000) });
+        roundtrip(Instr::One { op: OneOp::Push, byte: false, opnd: Immediate(0x1234) });
+        roundtrip(Instr::One { op: OneOp::Push, byte: true, opnd: Reg(r4) });
+    }
+
+    #[test]
+    fn roundtrip_jumps() {
+        for cond in
+            [Cond::Ne, Cond::Eq, Cond::Nc, Cond::C, Cond::N, Cond::Ge, Cond::L, Cond::Always]
+        {
+            for offset in [-512i16, -1, 0, 1, 511] {
+                roundtrip(Instr::Jump { cond, offset });
+            }
+        }
+    }
+
+    #[test]
+    fn reti_decodes_without_operand_fetch() {
+        let d = decode(|addr| if addr == 0 { 0x1300 } else { panic!("no ext fetch") }, 0);
+        assert_eq!(d.instr, Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) });
+        assert_eq!(d.size, 2);
+    }
+
+    #[test]
+    fn illegal_word_decodes_to_illegal() {
+        let d = decode(|_| 0x0000, 0x1000);
+        assert_eq!(d.instr, Instr::Illegal(0x0000));
+        let d = decode(|_| 0x13C0, 0x1000); // format-II op 7 does not exist
+        assert!(matches!(d.instr, Instr::Illegal(_)));
+    }
+
+    #[test]
+    fn byte_swpb_decodes_illegal() {
+        // swpb with B/W set is not a valid MSP430 instruction.
+        let word = 0x1000 | (1 << 7) | (1 << 6) | 4;
+        let d = decode(|_| word, 0);
+        assert!(matches!(d.instr, Instr::Illegal(_)));
+    }
+
+    #[test]
+    fn negative_jump_offset_sign_extends() {
+        // jmp -1 => offset field 0x3FF
+        let word = 0x2000 | (7 << 10) | 0x3FF;
+        let d = decode(|_| word, 0);
+        assert_eq!(d.instr, Instr::Jump { cond: Cond::Always, offset: -1 });
+    }
+}

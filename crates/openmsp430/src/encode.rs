@@ -1,0 +1,271 @@
+//! Instruction encoder: [`Instr`] → machine words.
+//!
+//! The encoder is the single source of truth for binary layout; the
+//! assembler in `msp430-tools` lowers text to [`Instr`] values and calls
+//! [`encode`], and the decoder in [`crate::decode`] inverts it.
+
+use crate::isa::{Instr, OneOp, Operand};
+use crate::regs::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when an [`Instr`] has no MSP430 encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    what: String,
+}
+
+impl EncodeError {
+    fn new(what: impl Into<String>) -> EncodeError {
+        EncodeError { what: what.into() }
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unencodable instruction: {}", self.what)
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Encoded `(register, As)` pair for a source operand.
+fn encode_src(op: &Operand) -> Result<(Reg, u16, Option<u16>), EncodeError> {
+    match *op {
+        Operand::Reg(r) => {
+            if r == Reg::CG {
+                return Err(EncodeError::new("r3 is not addressable in register mode"));
+            }
+            Ok((r, 0b00, None))
+        }
+        Operand::Indexed { base, offset } => {
+            if base == Reg::SR || base == Reg::CG {
+                return Err(EncodeError::new("x(r2)/x(r3) have no indexed encoding"));
+            }
+            Ok((base, 0b01, Some(offset as u16)))
+        }
+        Operand::Absolute(addr) => Ok((Reg::SR, 0b01, Some(addr))),
+        Operand::Indirect(r) => {
+            if r == Reg::SR || r == Reg::CG {
+                return Err(EncodeError::new("@r2/@r3 are constant-generator encodings"));
+            }
+            Ok((r, 0b10, None))
+        }
+        Operand::IndirectInc(r) => {
+            if r == Reg::SR || r == Reg::CG {
+                return Err(EncodeError::new("@r2+/@r3+ are constant-generator encodings"));
+            }
+            Ok((r, 0b11, None))
+        }
+        Operand::Immediate(v) => Ok((Reg::PC, 0b11, Some(v))),
+        Operand::Const(v) => {
+            let (reg, a_s) = Operand::const_generator(v)
+                .ok_or_else(|| EncodeError::new(format!("{v} is not a generated constant")))?;
+            Ok((reg, a_s, None))
+        }
+    }
+}
+
+/// Encoded `(register, Ad)` pair for a destination operand.
+///
+/// `r3` is allowed as a register destination: hardware discards writes to
+/// the constant generator, and the canonical `NOP` encoding (`MOV #0, R3`
+/// = `0x4303`) depends on it.
+fn encode_dst(op: &Operand) -> Result<(Reg, u16, Option<u16>), EncodeError> {
+    match *op {
+        Operand::Reg(r) => Ok((r, 0, None)),
+        Operand::Indexed { base, offset } => {
+            if base == Reg::SR || base == Reg::CG {
+                return Err(EncodeError::new("x(r2)/x(r3) have no indexed destination encoding"));
+            }
+            Ok((base, 1, Some(offset as u16)))
+        }
+        Operand::Absolute(addr) => Ok((Reg::SR, 1, Some(addr))),
+        _ => Err(EncodeError::new(format!("invalid destination operand {op}"))),
+    }
+}
+
+/// Encodes an instruction into 1–3 machine words.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for operand/instruction combinations that do not
+/// exist on the MSP430 (e.g. an immediate destination, or `x(r3)`).
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::isa::{Instr, Operand, TwoOp};
+/// use openmsp430::regs::Reg;
+/// use openmsp430::encode::encode;
+///
+/// // mov #1, r15 uses the constant generator: single word.
+/// let i = Instr::Two { op: TwoOp::Mov, byte: false,
+///                      src: Operand::Const(1), dst: Operand::Reg(Reg::r(15)) };
+/// assert_eq!(encode(&i)?.len(), 1);
+/// # Ok::<(), openmsp430::encode::EncodeError>(())
+/// ```
+pub fn encode(instr: &Instr) -> Result<Vec<u16>, EncodeError> {
+    let mut words = Vec::with_capacity(3);
+    match instr {
+        Instr::Two { op, byte, src, dst } => {
+            let (sreg, a_s, sext) = encode_src(src)?;
+            let (dreg, a_d, dext) = encode_dst(dst)?;
+            let w = (op.opcode() << 12)
+                | ((sreg.index() as u16) << 8)
+                | (a_d << 7)
+                | ((*byte as u16) << 6)
+                | (a_s << 4)
+                | (dreg.index() as u16);
+            words.push(w);
+            words.extend(sext);
+            words.extend(dext);
+        }
+        Instr::One { op, byte, opnd } => {
+            if *op == OneOp::Reti {
+                words.push(0x1300);
+                return Ok(words);
+            }
+            if *byte && matches!(op, OneOp::Swpb | OneOp::Sxt | OneOp::Call) {
+                return Err(EncodeError::new(format!("{} has no byte form", op.mnemonic())));
+            }
+            if matches!(opnd, Operand::Immediate(_) | Operand::Const(_))
+                && !matches!(op, OneOp::Push | OneOp::Call)
+            {
+                return Err(EncodeError::new(format!(
+                    "{} cannot take an immediate operand",
+                    op.mnemonic()
+                )));
+            }
+            let (reg, a_s, ext) = encode_src(opnd)?;
+            let w = 0x1000 | (op.opcode() << 7) | ((*byte as u16) << 6) | (a_s << 4)
+                | (reg.index() as u16);
+            words.push(w);
+            words.extend(ext);
+        }
+        Instr::Jump { cond, offset } => {
+            if *offset < -512 || *offset > 511 {
+                return Err(EncodeError::new(format!("jump offset {offset} out of range")));
+            }
+            words.push(0x2000 | (cond.code() << 10) | ((*offset as u16) & 0x3FF));
+        }
+        Instr::Illegal(w) => words.push(*w),
+    }
+    Ok(words)
+}
+
+/// Convenience: encodes a `MOV src, dst`, selecting the constant generator
+/// automatically for eligible immediates.
+pub fn optimize_literal(op: Operand) -> Operand {
+    match op {
+        Operand::Immediate(v) if Operand::const_generator(v).is_some() => Operand::Const(v),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, TwoOp};
+
+    fn two(op: TwoOp, byte: bool, src: Operand, dst: Operand) -> Instr {
+        Instr::Two { op, byte, src, dst }
+    }
+
+    #[test]
+    fn mov_reg_reg() {
+        let w = encode(&two(
+            TwoOp::Mov,
+            false,
+            Operand::Reg(Reg::r(10)),
+            Operand::Reg(Reg::r(11)),
+        ))
+        .unwrap();
+        assert_eq!(w, vec![0x4A0B]);
+    }
+
+    #[test]
+    fn mov_immediate_uses_ext_word() {
+        let w = encode(&two(
+            TwoOp::Mov,
+            false,
+            Operand::Immediate(0x1234),
+            Operand::Reg(Reg::r(5)),
+        ))
+        .unwrap();
+        assert_eq!(w, vec![0x4035, 0x1234]);
+    }
+
+    #[test]
+    fn const_generator_is_single_word() {
+        for v in [0u16, 1, 2, 4, 8, 0xFFFF] {
+            let w = encode(&two(TwoOp::Mov, false, Operand::Const(v), Operand::Reg(Reg::r(4))))
+                .unwrap();
+            assert_eq!(w.len(), 1, "constant {v} must not need an extension word");
+        }
+    }
+
+    #[test]
+    fn absolute_dst_encodes_via_sr() {
+        let w = encode(&two(
+            TwoOp::Mov,
+            false,
+            Operand::Reg(Reg::r(4)),
+            Operand::Absolute(0x0200),
+        ))
+        .unwrap();
+        assert_eq!(w, vec![0x4482, 0x0200]);
+    }
+
+    #[test]
+    fn reti_is_fixed_word() {
+        let w =
+            encode(&Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) })
+                .unwrap();
+        assert_eq!(w, vec![0x1300]);
+    }
+
+    #[test]
+    fn jump_encoding() {
+        let w = encode(&Instr::Jump { cond: Cond::Always, offset: -1 }).unwrap();
+        assert_eq!(w, vec![0x2000 | (7 << 10) | 0x3FF]);
+        assert!(encode(&Instr::Jump { cond: Cond::Always, offset: 512 }).is_err());
+    }
+
+    #[test]
+    fn immediate_destination_rejected() {
+        let e = encode(&two(
+            TwoOp::Mov,
+            false,
+            Operand::Reg(Reg::r(4)),
+            Operand::Immediate(3),
+        ));
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn byte_swpb_rejected() {
+        let e = encode(&Instr::One { op: OneOp::Swpb, byte: true, opnd: Operand::Reg(Reg::r(4)) });
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn sxt_immediate_rejected() {
+        let e =
+            encode(&Instr::One { op: OneOp::Sxt, byte: false, opnd: Operand::Immediate(3) });
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn push_immediate_allowed() {
+        let w = encode(&Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(7) })
+            .unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn optimize_literal_folds_cg_values() {
+        assert_eq!(optimize_literal(Operand::Immediate(4)), Operand::Const(4));
+        assert_eq!(optimize_literal(Operand::Immediate(5)), Operand::Immediate(5));
+    }
+}

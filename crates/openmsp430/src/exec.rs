@@ -1,0 +1,457 @@
+//! Arithmetic/logic unit: result and flag computation for every MSP430
+//! instruction, plus the instruction cycle-count tables.
+//!
+//! Cycle counts follow the MSP430x1xx family user's guide (SLAU049 /
+//! SLAU144) CPU chapter; the handful of places where documented silicon
+//! revisions disagree are resolved in favour of the classic CPU and noted
+//! inline. The monitors never depend on absolute cycle counts — only the
+//! *determinism* of this table matters for the paper's zero-overhead
+//! experiment.
+
+use crate::isa::{OneOp, Operand, TwoOp};
+use crate::regs::{sr_bits, Reg};
+
+/// ALU flag outputs of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Carry.
+    pub c: bool,
+    /// Zero.
+    pub z: bool,
+    /// Negative.
+    pub n: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Reads the four ALU flags out of a status-register value.
+    pub fn from_sr(sr: u16) -> Flags {
+        Flags {
+            c: sr & sr_bits::C != 0,
+            z: sr & sr_bits::Z != 0,
+            n: sr & sr_bits::N != 0,
+            v: sr & sr_bits::V != 0,
+        }
+    }
+
+    /// Merges the flags into a status-register value, leaving the
+    /// non-ALU bits (GIE, CPUOFF, …) untouched.
+    pub fn merge_into(self, sr: u16) -> u16 {
+        let mut out = sr & !(sr_bits::C | sr_bits::Z | sr_bits::N | sr_bits::V);
+        if self.c {
+            out |= sr_bits::C;
+        }
+        if self.z {
+            out |= sr_bits::Z;
+        }
+        if self.n {
+            out |= sr_bits::N;
+        }
+        if self.v {
+            out |= sr_bits::V;
+        }
+        out
+    }
+}
+
+/// Result of an ALU evaluation: the (possibly discarded) value, the new
+/// flags, and whether the flags should be written at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluOut {
+    /// Result value (already truncated for byte operations).
+    pub value: u16,
+    /// New ALU flags.
+    pub flags: Flags,
+    /// False for `MOV`/`BIC`/`BIS`, which leave `SR` untouched.
+    pub write_flags: bool,
+}
+
+fn mask(byte: bool) -> u32 {
+    if byte {
+        0xFF
+    } else {
+        0xFFFF
+    }
+}
+
+fn sign_bit(byte: bool) -> u32 {
+    if byte {
+        0x80
+    } else {
+        0x8000
+    }
+}
+
+fn nz(value: u16, byte: bool) -> (bool, bool) {
+    let v = value as u32 & mask(byte);
+    (v == 0, v & sign_bit(byte) != 0)
+}
+
+/// Binary addition with carry-in; shared by `ADD`, `ADDC`, `SUB`, `SUBC`
+/// and `CMP` (subtraction is `dst + !src + 1`).
+fn add_core(src: u16, dst: u16, carry_in: bool, byte: bool) -> (u16, Flags) {
+    let m = mask(byte);
+    let s = src as u32 & m;
+    let d = dst as u32 & m;
+    let sum = s + d + carry_in as u32;
+    let value = (sum & m) as u16;
+    let (z, n) = nz(value, byte);
+    let c = sum > m;
+    // Signed overflow: operands share a sign and the result differs.
+    let sb = sign_bit(byte);
+    let v = (s & sb) == (d & sb) && (sum & sb) != (s & sb);
+    (value, Flags { c, z, n, v })
+}
+
+/// Decimal (BCD) addition used by `DADD`: each 4-bit digit is added with
+/// carry, digits wrap at 10.
+fn dadd_core(src: u16, dst: u16, carry_in: bool, byte: bool) -> (u16, Flags) {
+    let digits = if byte { 2 } else { 4 };
+    let mut carry = carry_in as u16;
+    let mut out: u16 = 0;
+    for i in 0..digits {
+        let sd = (src >> (4 * i)) & 0xF;
+        let dd = (dst >> (4 * i)) & 0xF;
+        let mut sum = sd + dd + carry;
+        if sum >= 10 {
+            sum -= 10;
+            carry = 1;
+        } else {
+            carry = 0;
+        }
+        out |= (sum & 0xF) << (4 * i);
+    }
+    let (z, n) = nz(out, byte);
+    // V is formally undefined after DADD; we clear it (documented).
+    (out, Flags { c: carry != 0, z, n, v: false })
+}
+
+/// Evaluates a Format I (two-operand) instruction.
+///
+/// `src` and `dst` are the operand *values*; the caller handles operand
+/// fetch/store. For `CMP`/`BIT` the returned value must be discarded
+/// (see [`TwoOp::discards_result`]).
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::exec::{alu_two, Flags};
+/// use openmsp430::isa::TwoOp;
+///
+/// let out = alu_two(TwoOp::Add, 0x7FFF, 0x0001, false, Flags::default());
+/// assert_eq!(out.value, 0x8000);
+/// assert!(out.flags.v && out.flags.n && !out.flags.c);
+/// ```
+pub fn alu_two(op: TwoOp, src: u16, dst: u16, byte: bool, flags_in: Flags) -> AluOut {
+    let m = mask(byte) as u16;
+    let (value, flags) = match op {
+        TwoOp::Mov => (src & m, Flags::default()),
+        TwoOp::Add => add_core(src, dst, false, byte),
+        TwoOp::Addc => add_core(src, dst, flags_in.c, byte),
+        // SUB/CMP: dst - src == dst + !src + 1
+        TwoOp::Sub | TwoOp::Cmp => add_core(!src & m, dst, true, byte),
+        // SUBC: dst + !src + C
+        TwoOp::Subc => add_core(!src & m, dst, flags_in.c, byte),
+        TwoOp::Dadd => dadd_core(src, dst, flags_in.c, byte),
+        TwoOp::And | TwoOp::Bit => {
+            let value = src & dst & m;
+            let (z, n) = nz(value, byte);
+            (value, Flags { c: !z, z, n, v: false })
+        }
+        TwoOp::Xor => {
+            let value = (src ^ dst) & m;
+            let (z, n) = nz(value, byte);
+            let sb = sign_bit(byte) as u16;
+            // V set when both operands are negative.
+            let v = (src & sb != 0) && (dst & sb != 0);
+            (value, Flags { c: !z, z, n, v })
+        }
+        TwoOp::Bic => ((dst & !src) & m, Flags::default()),
+        TwoOp::Bis => ((dst | src) & m, Flags::default()),
+    };
+    AluOut { value, flags, write_flags: !op.preserves_flags() }
+}
+
+/// Evaluates a Format II (single-operand) ALU instruction (`RRC`, `RRA`,
+/// `SWPB`, `SXT`). `PUSH`, `CALL` and `RETI` are handled by the CPU since
+/// they move data rather than compute.
+pub fn alu_one(op: OneOp, opnd: u16, byte: bool, flags_in: Flags) -> AluOut {
+    let m = mask(byte) as u16;
+    match op {
+        OneOp::Rrc => {
+            let c_out = opnd & 1 != 0;
+            let mut value = (opnd & m) >> 1;
+            if flags_in.c {
+                value |= sign_bit(byte) as u16;
+            }
+            let (z, n) = nz(value, byte);
+            AluOut { value, flags: Flags { c: c_out, z, n, v: false }, write_flags: true }
+        }
+        OneOp::Rra => {
+            let c_out = opnd & 1 != 0;
+            let sb = sign_bit(byte) as u16;
+            let value = ((opnd & m) >> 1) | (opnd & sb);
+            let (z, n) = nz(value, byte);
+            AluOut { value, flags: Flags { c: c_out, z, n, v: false }, write_flags: true }
+        }
+        OneOp::Swpb => {
+            let value = opnd.rotate_left(8);
+            AluOut { value, flags: Flags::default(), write_flags: false }
+        }
+        OneOp::Sxt => {
+            let value = if opnd & 0x80 != 0 { opnd | 0xFF00 } else { opnd & 0x00FF };
+            let (z, n) = nz(value, false);
+            AluOut { value, flags: Flags { c: !z, z, n, v: false }, write_flags: true }
+        }
+        OneOp::Push | OneOp::Call | OneOp::Reti => {
+            AluOut { value: opnd, flags: flags_in, write_flags: false }
+        }
+    }
+}
+
+/// Addressing-mode category used by the cycle tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeClass {
+    /// Register direct or constant generator.
+    Register,
+    /// Indexed, symbolic or absolute.
+    Indexed,
+    /// Register indirect.
+    Indirect,
+    /// Indirect auto-increment or immediate.
+    IndirectInc,
+}
+
+fn class(op: &Operand) -> ModeClass {
+    match op {
+        Operand::Reg(_) | Operand::Const(_) => ModeClass::Register,
+        Operand::Indexed { .. } | Operand::Absolute(_) => ModeClass::Indexed,
+        Operand::Indirect(_) => ModeClass::Indirect,
+        Operand::IndirectInc(_) | Operand::Immediate(_) => ModeClass::IndirectInc,
+    }
+}
+
+/// Cycle count for a Format I instruction.
+pub fn cycles_two(src: &Operand, dst: &Operand) -> u64 {
+    let dst_is_pc = matches!(dst, Operand::Reg(Reg::PC));
+    let dst_is_reg = matches!(class(dst), ModeClass::Register);
+    let base = match (class(src), dst_is_reg) {
+        (ModeClass::Register, true) => 1,
+        (ModeClass::Register, false) => 4,
+        (ModeClass::Indexed, true) => 3,
+        (ModeClass::Indexed, false) => 6,
+        (ModeClass::Indirect, true) => 2,
+        (ModeClass::Indirect, false) => 5,
+        (ModeClass::IndirectInc, true) => 2,
+        (ModeClass::IndirectInc, false) => 5,
+    };
+    base + dst_is_pc as u64
+}
+
+/// Cycle count for a Format II instruction.
+pub fn cycles_one(op: OneOp, opnd: &Operand) -> u64 {
+    match op {
+        OneOp::Reti => 5,
+        OneOp::Rrc | OneOp::Rra | OneOp::Swpb | OneOp::Sxt => match class(opnd) {
+            ModeClass::Register => 1,
+            ModeClass::Indexed => 4,
+            ModeClass::Indirect | ModeClass::IndirectInc => 3,
+        },
+        OneOp::Push => match class(opnd) {
+            ModeClass::Register => 3,
+            ModeClass::Indexed => 5,
+            ModeClass::Indirect => 4,
+            ModeClass::IndirectInc => {
+                if matches!(opnd, Operand::Immediate(_)) {
+                    4
+                } else {
+                    5
+                }
+            }
+        },
+        OneOp::Call => match class(opnd) {
+            ModeClass::Register => 4,
+            ModeClass::Indexed => 5,
+            ModeClass::Indirect => 4,
+            ModeClass::IndirectInc => 5,
+        },
+    }
+}
+
+/// Cycle count of any jump (taken or not): always 2 on the MSP430.
+pub const JUMP_CYCLES: u64 = 2;
+
+/// Cycles consumed by interrupt entry (stacking `PC`/`SR` and fetching the
+/// vector).
+pub const IRQ_ENTRY_CYCLES: u64 = 6;
+
+/// Cycles consumed by an idle (CPUOFF) tick.
+pub const IDLE_CYCLES: u64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(c: bool, z: bool, n: bool, v: bool) -> Flags {
+        Flags { c, z, n, v }
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let out = alu_two(TwoOp::Add, 0xFFFF, 0x0001, false, Flags::default());
+        assert_eq!(out.value, 0);
+        assert_eq!(out.flags, f(true, true, false, false));
+
+        let out = alu_two(TwoOp::Add, 0x7FFF, 0x0001, false, Flags::default());
+        assert_eq!(out.value, 0x8000);
+        assert_eq!(out.flags, f(false, false, true, true));
+
+        let out = alu_two(TwoOp::Add, 0x8000, 0x8000, false, Flags::default());
+        assert_eq!(out.value, 0);
+        assert_eq!(out.flags, f(true, true, false, true));
+    }
+
+    #[test]
+    fn sub_sets_carry_as_not_borrow() {
+        // 5 - 3: no borrow -> C=1
+        let out = alu_two(TwoOp::Sub, 3, 5, false, Flags::default());
+        assert_eq!(out.value, 2);
+        assert!(out.flags.c);
+        // 3 - 5: borrow -> C=0
+        let out = alu_two(TwoOp::Sub, 5, 3, false, Flags::default());
+        assert_eq!(out.value, 0xFFFE);
+        assert!(!out.flags.c);
+        assert!(out.flags.n);
+    }
+
+    #[test]
+    fn cmp_equals_sets_z_and_c() {
+        let out = alu_two(TwoOp::Cmp, 0x1234, 0x1234, false, Flags::default());
+        assert_eq!(out.flags, f(true, true, false, false));
+    }
+
+    #[test]
+    fn subc_uses_carry_in() {
+        // dst - src - 1 + C; with C=0: 10 - 3 - 1 = 6
+        let out = alu_two(TwoOp::Subc, 3, 10, false, f(false, false, false, false));
+        assert_eq!(out.value, 6);
+        // with C=1: 10 - 3 = 7
+        let out = alu_two(TwoOp::Subc, 3, 10, false, f(true, false, false, false));
+        assert_eq!(out.value, 7);
+    }
+
+    #[test]
+    fn addc_chains_carry() {
+        let out = alu_two(TwoOp::Addc, 0, 0xFFFF, false, f(true, false, false, false));
+        assert_eq!(out.value, 0);
+        assert!(out.flags.c && out.flags.z);
+    }
+
+    #[test]
+    fn byte_ops_truncate() {
+        let out = alu_two(TwoOp::Add, 0xFF, 0x01, true, Flags::default());
+        assert_eq!(out.value, 0);
+        assert!(out.flags.c && out.flags.z);
+        let out = alu_two(TwoOp::Add, 0x7F, 0x01, true, Flags::default());
+        assert_eq!(out.value, 0x80);
+        assert!(out.flags.v && out.flags.n);
+    }
+
+    #[test]
+    fn and_bit_set_carry_when_nonzero() {
+        let out = alu_two(TwoOp::And, 0x0F0F, 0x00FF, false, Flags::default());
+        assert_eq!(out.value, 0x000F);
+        assert_eq!(out.flags, f(true, false, false, false));
+        let out = alu_two(TwoOp::Bit, 0xF000, 0x0FFF, false, Flags::default());
+        assert_eq!(out.flags, f(false, true, false, false));
+    }
+
+    #[test]
+    fn xor_overflow_when_both_negative() {
+        let out = alu_two(TwoOp::Xor, 0x8000, 0x8001, false, Flags::default());
+        assert_eq!(out.value, 0x0001);
+        assert!(out.flags.v);
+        let out = alu_two(TwoOp::Xor, 0x8000, 0x0001, false, Flags::default());
+        assert!(!out.flags.v);
+    }
+
+    #[test]
+    fn mov_bic_bis_preserve_flags() {
+        for op in [TwoOp::Mov, TwoOp::Bic, TwoOp::Bis] {
+            let out = alu_two(op, 0xFFFF, 0x0000, false, f(true, true, true, true));
+            assert!(!out.write_flags, "{op:?} must not write flags");
+        }
+    }
+
+    #[test]
+    fn dadd_bcd() {
+        // 19 + 28 = 47 decimal.
+        let out = alu_two(TwoOp::Dadd, 0x0019, 0x0028, false, Flags::default());
+        assert_eq!(out.value, 0x0047);
+        assert!(!out.flags.c);
+        // 99 + 1 = 100 -> 0x00 carry 1 in byte mode.
+        let out = alu_two(TwoOp::Dadd, 0x99, 0x01, true, Flags::default());
+        assert_eq!(out.value, 0x00);
+        assert!(out.flags.c);
+        // carry-in participates.
+        let out = alu_two(TwoOp::Dadd, 0x10, 0x15, false, f(true, false, false, false));
+        assert_eq!(out.value, 0x26);
+    }
+
+    #[test]
+    fn rrc_rra_shift_behaviour() {
+        let out = alu_one(OneOp::Rrc, 0x0001, false, f(true, false, false, false));
+        assert_eq!(out.value, 0x8000);
+        assert!(out.flags.c);
+        let out = alu_one(OneOp::Rra, 0x8002, false, Flags::default());
+        assert_eq!(out.value, 0xC001);
+        assert!(!out.flags.c);
+        let out = alu_one(OneOp::Rra, 0x0003, false, Flags::default());
+        assert_eq!(out.value, 0x0001);
+        assert!(out.flags.c);
+    }
+
+    #[test]
+    fn swpb_and_sxt() {
+        let out = alu_one(OneOp::Swpb, 0x1234, false, Flags::default());
+        assert_eq!(out.value, 0x3412);
+        assert!(!out.write_flags);
+        let out = alu_one(OneOp::Sxt, 0x0080, false, Flags::default());
+        assert_eq!(out.value, 0xFF80);
+        assert!(out.flags.n && out.flags.c);
+        let out = alu_one(OneOp::Sxt, 0x017F, false, Flags::default());
+        assert_eq!(out.value, 0x007F);
+        assert!(!out.flags.n);
+    }
+
+    #[test]
+    fn flags_merge_into_sr_preserves_system_bits() {
+        let sr = sr_bits::GIE | sr_bits::CPUOFF | sr_bits::C;
+        let merged = f(false, true, false, false).merge_into(sr);
+        assert_eq!(merged, sr_bits::GIE | sr_bits::CPUOFF | sr_bits::Z);
+    }
+
+    #[test]
+    fn cycle_table_spot_checks() {
+        use Operand::*;
+        let r4 = crate::regs::Reg::r(4);
+        let r5 = crate::regs::Reg::r(5);
+        assert_eq!(cycles_two(&Reg(r4), &Reg(r5)), 1);
+        assert_eq!(cycles_two(&Reg(r4), &Reg(crate::regs::Reg::PC)), 2);
+        assert_eq!(cycles_two(&Const(1), &Reg(r5)), 1);
+        assert_eq!(cycles_two(&Immediate(9), &Reg(r5)), 2);
+        assert_eq!(cycles_two(&Immediate(9), &Absolute(0x200)), 5);
+        assert_eq!(cycles_two(&Indexed { base: r4, offset: 2 }, &Reg(r5)), 3);
+        assert_eq!(cycles_two(&Indexed { base: r4, offset: 2 }, &Indexed { base: r5, offset: 0 }), 6);
+        assert_eq!(cycles_two(&Indirect(r4), &Reg(r5)), 2);
+        assert_eq!(cycles_two(&Reg(r4), &Absolute(0x200)), 4);
+
+        assert_eq!(cycles_one(OneOp::Rra, &Reg(r4)), 1);
+        assert_eq!(cycles_one(OneOp::Push, &Reg(r4)), 3);
+        assert_eq!(cycles_one(OneOp::Push, &Immediate(1)), 4);
+        assert_eq!(cycles_one(OneOp::Call, &Immediate(0xE000)), 5);
+        assert_eq!(cycles_one(OneOp::Call, &Reg(r4)), 4);
+        assert_eq!(cycles_one(OneOp::Reti, &Reg(r4)), 5);
+    }
+}

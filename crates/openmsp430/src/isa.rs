@@ -1,0 +1,485 @@
+//! MSP430 instruction set: instruction/operand types shared by the
+//! decoder, the execution engine, the assembler and the disassembler.
+//!
+//! The MSP430 has three instruction formats:
+//!
+//! * **Format I** (double operand): `MOV`, `ADD`, `ADDC`, `SUBC`, `SUB`,
+//!   `CMP`, `DADD`, `BIT`, `BIC`, `BIS`, `XOR`, `AND`;
+//! * **Format II** (single operand): `RRC`, `SWPB`, `RRA`, `SXT`, `PUSH`,
+//!   `CALL`, `RETI`;
+//! * **Jumps**: eight conditions with a 10-bit signed word offset.
+//!
+//! Everything else in the MSP430 assembly vocabulary (`RET`, `POP`, `BR`,
+//! `NOP`, `INC`, …) is an *emulated* instruction — an assembler alias for
+//! one of the above, usually exploiting the constant generators.
+
+use crate::regs::Reg;
+use std::fmt;
+
+/// Format I (double-operand) opcodes, with their encoding nibble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoOp {
+    /// Copy source to destination. Does not affect flags.
+    Mov,
+    /// Add.
+    Add,
+    /// Add with carry.
+    Addc,
+    /// Subtract with carry (borrow).
+    Subc,
+    /// Subtract.
+    Sub,
+    /// Compare (subtract without writing back).
+    Cmp,
+    /// Decimal (BCD) add with carry.
+    Dadd,
+    /// Bit test (`AND` without writing back).
+    Bit,
+    /// Bit clear (`dst &= !src`). Does not affect flags.
+    Bic,
+    /// Bit set (`dst |= src`). Does not affect flags.
+    Bis,
+    /// Exclusive or.
+    Xor,
+    /// Logical and.
+    And,
+}
+
+impl TwoOp {
+    /// The encoding nibble (`0x4` for `MOV` … `0xF` for `AND`).
+    pub fn opcode(self) -> u16 {
+        match self {
+            TwoOp::Mov => 0x4,
+            TwoOp::Add => 0x5,
+            TwoOp::Addc => 0x6,
+            TwoOp::Subc => 0x7,
+            TwoOp::Sub => 0x8,
+            TwoOp::Cmp => 0x9,
+            TwoOp::Dadd => 0xA,
+            TwoOp::Bit => 0xB,
+            TwoOp::Bic => 0xC,
+            TwoOp::Bis => 0xD,
+            TwoOp::Xor => 0xE,
+            TwoOp::And => 0xF,
+        }
+    }
+
+    /// Decodes the opcode nibble, if it names a Format I instruction.
+    pub fn from_opcode(op: u16) -> Option<TwoOp> {
+        Some(match op {
+            0x4 => TwoOp::Mov,
+            0x5 => TwoOp::Add,
+            0x6 => TwoOp::Addc,
+            0x7 => TwoOp::Subc,
+            0x8 => TwoOp::Sub,
+            0x9 => TwoOp::Cmp,
+            0xA => TwoOp::Dadd,
+            0xB => TwoOp::Bit,
+            0xC => TwoOp::Bic,
+            0xD => TwoOp::Bis,
+            0xE => TwoOp::Xor,
+            0xF => TwoOp::And,
+            _ => return None,
+        })
+    }
+
+    /// True for `CMP` and `BIT`, which compute flags but do not write the
+    /// destination.
+    pub fn discards_result(self) -> bool {
+        matches!(self, TwoOp::Cmp | TwoOp::Bit)
+    }
+
+    /// True for `MOV`, `BIC` and `BIS`, which leave the flags untouched.
+    pub fn preserves_flags(self) -> bool {
+        matches!(self, TwoOp::Mov | TwoOp::Bic | TwoOp::Bis)
+    }
+
+    /// Canonical lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TwoOp::Mov => "mov",
+            TwoOp::Add => "add",
+            TwoOp::Addc => "addc",
+            TwoOp::Subc => "subc",
+            TwoOp::Sub => "sub",
+            TwoOp::Cmp => "cmp",
+            TwoOp::Dadd => "dadd",
+            TwoOp::Bit => "bit",
+            TwoOp::Bic => "bic",
+            TwoOp::Bis => "bis",
+            TwoOp::Xor => "xor",
+            TwoOp::And => "and",
+        }
+    }
+}
+
+/// Format II (single-operand) opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OneOp {
+    /// Rotate right through carry.
+    Rrc,
+    /// Swap bytes.
+    Swpb,
+    /// Arithmetic shift right.
+    Rra,
+    /// Sign-extend low byte to word.
+    Sxt,
+    /// Push onto the stack.
+    Push,
+    /// Call subroutine (pushes the return address).
+    Call,
+    /// Return from interrupt (pops `SR` then `PC`).
+    Reti,
+}
+
+impl OneOp {
+    /// The 3-bit sub-opcode within the `000100` Format II space.
+    pub fn opcode(self) -> u16 {
+        match self {
+            OneOp::Rrc => 0,
+            OneOp::Swpb => 1,
+            OneOp::Rra => 2,
+            OneOp::Sxt => 3,
+            OneOp::Push => 4,
+            OneOp::Call => 5,
+            OneOp::Reti => 6,
+        }
+    }
+
+    /// Decodes the 3-bit sub-opcode.
+    pub fn from_opcode(op: u16) -> Option<OneOp> {
+        Some(match op {
+            0 => OneOp::Rrc,
+            1 => OneOp::Swpb,
+            2 => OneOp::Rra,
+            3 => OneOp::Sxt,
+            4 => OneOp::Push,
+            5 => OneOp::Call,
+            6 => OneOp::Reti,
+            _ => return None,
+        })
+    }
+
+    /// Canonical lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OneOp::Rrc => "rrc",
+            OneOp::Swpb => "swpb",
+            OneOp::Rra => "rra",
+            OneOp::Sxt => "sxt",
+            OneOp::Push => "push",
+            OneOp::Call => "call",
+            OneOp::Reti => "reti",
+        }
+    }
+}
+
+/// Jump conditions (the 3-bit field of the jump format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `JNE`/`JNZ`: jump if `Z == 0`.
+    Ne,
+    /// `JEQ`/`JZ`: jump if `Z == 1`.
+    Eq,
+    /// `JNC`/`JLO`: jump if `C == 0`.
+    Nc,
+    /// `JC`/`JHS`: jump if `C == 1`.
+    C,
+    /// `JN`: jump if `N == 1`.
+    N,
+    /// `JGE`: jump if `N xor V == 0`.
+    Ge,
+    /// `JL`: jump if `N xor V == 1`.
+    L,
+    /// `JMP`: unconditional.
+    Always,
+}
+
+impl Cond {
+    /// The 3-bit condition code.
+    pub fn code(self) -> u16 {
+        match self {
+            Cond::Ne => 0,
+            Cond::Eq => 1,
+            Cond::Nc => 2,
+            Cond::C => 3,
+            Cond::N => 4,
+            Cond::Ge => 5,
+            Cond::L => 6,
+            Cond::Always => 7,
+        }
+    }
+
+    /// Decodes a 3-bit condition code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 7`.
+    pub fn from_code(code: u16) -> Cond {
+        match code {
+            0 => Cond::Ne,
+            1 => Cond::Eq,
+            2 => Cond::Nc,
+            3 => Cond::C,
+            4 => Cond::N,
+            5 => Cond::Ge,
+            6 => Cond::L,
+            7 => Cond::Always,
+            _ => panic!("condition code out of range: {code}"),
+        }
+    }
+
+    /// Canonical lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Ne => "jne",
+            Cond::Eq => "jeq",
+            Cond::Nc => "jnc",
+            Cond::C => "jc",
+            Cond::N => "jn",
+            Cond::Ge => "jge",
+            Cond::L => "jl",
+            Cond::Always => "jmp",
+        }
+    }
+}
+
+/// A fully resolved operand, after constant-generator expansion.
+///
+/// `Immediate` and `Const` both evaluate to a literal value; they differ in
+/// encoding (`Immediate` occupies an extension word fetched via `@PC+`,
+/// `Const` is generated for free from `R2`/`R3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register direct: `Rn`.
+    Reg(Reg),
+    /// Indexed: `x(Rn)`. Symbolic mode is `Indexed { base: PC, .. }`.
+    Indexed {
+        /// Base register.
+        base: Reg,
+        /// Signed offset stored in the extension word.
+        offset: i16,
+    },
+    /// Absolute: `&addr` (encoded as indexed off `SR`, which reads as 0).
+    Absolute(u16),
+    /// Register indirect: `@Rn`.
+    Indirect(Reg),
+    /// Register indirect with post-increment: `@Rn+`.
+    IndirectInc(Reg),
+    /// Immediate: `#value` (encoded as `@PC+`).
+    Immediate(u16),
+    /// Constant-generator value (`#0`, `#1`, `#2`, `#4`, `#8`, `#-1`),
+    /// encoded for free in the register/`As` fields.
+    Const(u16),
+}
+
+impl Operand {
+    /// True if the operand denotes a literal value (no memory or register
+    /// state involved).
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Operand::Immediate(_) | Operand::Const(_))
+    }
+
+    /// The constant-generator encoding (`reg`, `as`) for a literal value,
+    /// when one exists.
+    pub fn const_generator(value: u16) -> Option<(Reg, u16)> {
+        match value {
+            0 => Some((Reg::CG, 0b00)),
+            1 => Some((Reg::CG, 0b01)),
+            2 => Some((Reg::CG, 0b10)),
+            4 => Some((Reg::SR, 0b10)),
+            8 => Some((Reg::SR, 0b11)),
+            0xFFFF => Some((Reg::CG, 0b11)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Indexed { base, offset } => write!(f, "{offset}({base})"),
+            Operand::Absolute(a) => write!(f, "&{a:#06x}"),
+            Operand::Indirect(r) => write!(f, "@{r}"),
+            Operand::IndirectInc(r) => write!(f, "@{r}+"),
+            Operand::Immediate(v) => write!(f, "#{:#06x}", v),
+            Operand::Const(v) => write!(f, "#{}", v as i16),
+        }
+    }
+}
+
+/// A decoded MSP430 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Format I: `op.b|w src, dst`.
+    Two {
+        /// Operation.
+        op: TwoOp,
+        /// Byte-sized (`.b`) operation.
+        byte: bool,
+        /// Source operand.
+        src: Operand,
+        /// Destination operand.
+        dst: Operand,
+    },
+    /// Format II: `op.b|w operand` (`RETI` has no operand).
+    One {
+        /// Operation.
+        op: OneOp,
+        /// Byte-sized (`.b`) operation.
+        byte: bool,
+        /// Operand (ignored for `RETI`).
+        opnd: Operand,
+    },
+    /// Conditional or unconditional PC-relative jump.
+    Jump {
+        /// Condition.
+        cond: Cond,
+        /// Signed offset in *words* from the instruction after the jump.
+        offset: i16,
+    },
+    /// An undecodable word; executing it halts the CPU with a fault.
+    Illegal(u16),
+}
+
+impl Instr {
+    /// The encoded size of the instruction in bytes (2, 4 or 6).
+    pub fn size(&self) -> u16 {
+        match self {
+            Instr::Jump { .. } | Instr::Illegal(_) => 2,
+            Instr::One { op: OneOp::Reti, .. } => 2,
+            Instr::One { opnd, .. } => 2 + ext_words(opnd) * 2,
+            Instr::Two { src, dst, .. } => 2 + ext_words(src) * 2 + ext_words(dst) * 2,
+        }
+    }
+}
+
+/// Number of extension words an operand occupies (0 or 1).
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::isa::{ext_word_count, Operand};
+///
+/// assert_eq!(ext_word_count(&Operand::Immediate(7)), 1);
+/// assert_eq!(ext_word_count(&Operand::Const(1)), 0);
+/// ```
+pub fn ext_word_count(op: &Operand) -> u16 {
+    match op {
+        Operand::Indexed { .. } | Operand::Absolute(_) | Operand::Immediate(_) => 1,
+        _ => 0,
+    }
+}
+
+pub(crate) use ext_word_count as ext_words;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = |byte: bool| if byte { ".b" } else { "" };
+        match self {
+            Instr::Two { op, byte, src, dst } => {
+                write!(f, "{}{} {}, {}", op.mnemonic(), suffix(*byte), src, dst)
+            }
+            Instr::One { op: OneOp::Reti, .. } => write!(f, "reti"),
+            Instr::One { op, byte, opnd } => {
+                write!(f, "{}{} {}", op.mnemonic(), suffix(*byte), opnd)
+            }
+            Instr::Jump { cond, offset } => write!(f, "{} {:+}", cond.mnemonic(), offset),
+            Instr::Illegal(w) => write!(f, ".word {w:#06x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twoop_opcode_roundtrip() {
+        for op in [
+            TwoOp::Mov,
+            TwoOp::Add,
+            TwoOp::Addc,
+            TwoOp::Subc,
+            TwoOp::Sub,
+            TwoOp::Cmp,
+            TwoOp::Dadd,
+            TwoOp::Bit,
+            TwoOp::Bic,
+            TwoOp::Bis,
+            TwoOp::Xor,
+            TwoOp::And,
+        ] {
+            assert_eq!(TwoOp::from_opcode(op.opcode()), Some(op));
+        }
+        assert_eq!(TwoOp::from_opcode(0x3), None);
+    }
+
+    #[test]
+    fn oneop_opcode_roundtrip() {
+        for op in [
+            OneOp::Rrc,
+            OneOp::Swpb,
+            OneOp::Rra,
+            OneOp::Sxt,
+            OneOp::Push,
+            OneOp::Call,
+            OneOp::Reti,
+        ] {
+            assert_eq!(OneOp::from_opcode(op.opcode()), Some(op));
+        }
+        assert_eq!(OneOp::from_opcode(7), None);
+    }
+
+    #[test]
+    fn cond_code_roundtrip() {
+        for c in 0..8 {
+            assert_eq!(Cond::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn const_generator_table() {
+        assert_eq!(Operand::const_generator(0), Some((Reg::CG, 0b00)));
+        assert_eq!(Operand::const_generator(1), Some((Reg::CG, 0b01)));
+        assert_eq!(Operand::const_generator(2), Some((Reg::CG, 0b10)));
+        assert_eq!(Operand::const_generator(4), Some((Reg::SR, 0b10)));
+        assert_eq!(Operand::const_generator(8), Some((Reg::SR, 0b11)));
+        assert_eq!(Operand::const_generator(0xFFFF), Some((Reg::CG, 0b11)));
+        assert_eq!(Operand::const_generator(3), None);
+    }
+
+    #[test]
+    fn instruction_sizes() {
+        let i = Instr::Two {
+            op: TwoOp::Mov,
+            byte: false,
+            src: Operand::Immediate(5),
+            dst: Operand::Absolute(0x200),
+        };
+        assert_eq!(i.size(), 6);
+        let i = Instr::Two {
+            op: TwoOp::Add,
+            byte: false,
+            src: Operand::Reg(Reg::r(4)),
+            dst: Operand::Reg(Reg::r(5)),
+        };
+        assert_eq!(i.size(), 2);
+        let i = Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(1000) };
+        assert_eq!(i.size(), 4);
+        assert_eq!(Instr::Jump { cond: Cond::Always, offset: -2 }.size(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Two {
+            op: TwoOp::Mov,
+            byte: true,
+            src: Operand::Immediate(0xFF),
+            dst: Operand::Indexed { base: Reg::r(4), offset: -2 },
+        };
+        assert_eq!(i.to_string(), "mov.b #0x00ff, -2(r4)");
+        assert_eq!(Instr::Jump { cond: Cond::Eq, offset: 3 }.to_string(), "jeq +3");
+    }
+}

@@ -1,0 +1,183 @@
+//! The MCU memory map used throughout the reproduction.
+//!
+//! Mirrors the OpenMSP430 arrangement assumed by VRASED/APEX/ASAP: data
+//! memory low, application flash high, and the IVT in the last 32 bytes
+//! (`0xFFE0..=0xFFFF`, §5 of the paper). The VRASED regions (SW-Att ROM,
+//! device key, metadata) and the APEX regions (`ER`, `OR`) are configurable
+//! per device; [`MemLayout::default`] gives the arrangement used by the
+//! examples and experiments.
+
+use crate::cpu::IVT_BASE;
+use crate::mem::MemRegion;
+use std::fmt;
+
+/// Full memory map of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Peripheral / special-function register file (MMIO space).
+    pub sfr: MemRegion,
+    /// Data memory (SRAM).
+    pub data: MemRegion,
+    /// Attestation metadata: challenge in, MAC out (inside `data`).
+    pub meta: MemRegion,
+    /// Device key region — hardware-gated, readable only by SW-Att.
+    pub key: MemRegion,
+    /// SW-Att ROM: the trusted attestation routine.
+    pub swatt: MemRegion,
+    /// Application program flash.
+    pub program: MemRegion,
+    /// Interrupt vector table (last 32 bytes of memory).
+    pub ivt: MemRegion,
+    /// Executable region `ER` (the code whose execution is proved);
+    /// must lie inside `program`.
+    pub er: MemRegion,
+    /// Output region `OR` (where `ER` deposits results); inside `data`.
+    pub or: MemRegion,
+    /// Initial stack pointer (stacks grow down).
+    pub stack_top: u16,
+    /// MMIO address of the hardware-owned `EXEC` flag (read-only to
+    /// software).
+    pub exec_flag_addr: u16,
+}
+
+impl MemLayout {
+    /// Address where the verifier's challenge is deposited.
+    pub fn chal_addr(&self) -> u16 {
+        self.meta.start()
+    }
+
+    /// Address where SW-Att writes the attestation MAC.
+    pub fn mac_addr(&self) -> u16 {
+        self.meta.start() + 32
+    }
+
+    /// `ER`'s legal entry point, the paper's `ERmin`.
+    pub fn er_min(&self) -> u16 {
+        self.er.start()
+    }
+
+    /// `ER`'s legal exit point, the paper's `ERmax`.
+    pub fn er_max(&self) -> u16 {
+        self.er.end()
+    }
+
+    /// Validates internal consistency (containment and disjointness of the
+    /// security-relevant regions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        let err = |what: &str| Err(LayoutError { what: what.to_string() });
+        if !self.program.contains_region(&self.er) {
+            return err("ER must lie inside program memory");
+        }
+        if !self.data.contains_region(&self.or) {
+            return err("OR must lie inside data memory");
+        }
+        if !self.data.contains_region(&self.meta) {
+            return err("metadata must lie inside data memory");
+        }
+        if self.meta.overlaps(&self.or) {
+            return err("metadata and OR must be disjoint");
+        }
+        if self.er.overlaps(&self.ivt) {
+            return err("ER and IVT must be disjoint");
+        }
+        if self.key.overlaps(&self.swatt) {
+            return err("key and SW-Att regions must be disjoint");
+        }
+        if self.swatt.overlaps(&self.program) {
+            return err("SW-Att ROM and program flash must be disjoint");
+        }
+        if self.er.start() % 2 != 0 {
+            return err("ERmin must be word aligned");
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`MemLayout::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    what: String,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid memory layout: {}", self.what)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl Default for MemLayout {
+    /// The layout used by the examples: 2 KiB RAM at `0x0200`, SW-Att ROM
+    /// at `0xA000`, application flash at `0xE000` with a 512-byte `ER` at
+    /// its base, IVT at `0xFFE0`.
+    fn default() -> MemLayout {
+        MemLayout {
+            sfr: MemRegion::new(0x0000, 0x01FF),
+            data: MemRegion::new(0x0200, 0x09FF),
+            meta: MemRegion::new(0x0240, 0x02BF),
+            key: MemRegion::new(0x6A00, 0x6A1F),
+            swatt: MemRegion::new(0xA000, 0xBFFF),
+            program: MemRegion::new(0xE000, 0xFFDF),
+            ivt: MemRegion::new(IVT_BASE, 0xFFFF),
+            er: MemRegion::new(0xE000, 0xE1FF),
+            or: MemRegion::new(0x0300, 0x033F),
+            stack_top: 0x0A00,
+            exec_flag_addr: 0x0190,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_valid() {
+        MemLayout::default().validate().expect("default layout must validate");
+    }
+
+    #[test]
+    fn er_outside_program_rejected() {
+        let mut l = MemLayout::default();
+        l.er = MemRegion::new(0x0300, 0x03FF);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn or_outside_data_rejected() {
+        let mut l = MemLayout::default();
+        l.or = MemRegion::new(0xE000, 0xE03F);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn meta_or_overlap_rejected() {
+        let mut l = MemLayout::default();
+        l.or = MemRegion::new(0x0240, 0x027F);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn er_ivt_overlap_rejected() {
+        let mut l = MemLayout::default();
+        l.program = MemRegion::new(0xE000, 0xFFFF);
+        l.er = MemRegion::new(0xF000, 0xFFFF);
+        let e = l.validate().unwrap_err();
+        assert!(e.to_string().contains("IVT"));
+    }
+
+    #[test]
+    fn accessor_addresses() {
+        let l = MemLayout::default();
+        assert_eq!(l.chal_addr(), 0x0240);
+        assert_eq!(l.mac_addr(), 0x0260);
+        assert_eq!(l.er_min(), 0xE000);
+        assert_eq!(l.er_max(), 0xE1FF);
+    }
+}

@@ -1,0 +1,470 @@
+//! The MCU top level: CPU + memory + peripherals + DMA + interrupt
+//! controller, producing one [`Signals`] bundle per step for hardware
+//! monitors to observe.
+
+use crate::bus::{Bus, Master, MemAccess};
+use crate::cpu::{Cpu, IVT_VECTORS};
+use crate::layout::MemLayout;
+use crate::mem::Memory;
+use crate::periph::{DmaOp, Peripheral};
+use crate::signals::Signals;
+
+/// Hardware-owned MMIO word cell (e.g. the `EXEC` flag): readable by
+/// software, writes silently ignored (only the owning hardware module may
+/// change it via [`Mcu::set_hw_cell`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HwCell {
+    addr: u16,
+    value: u16,
+}
+
+/// A complete simulated MCU.
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::mcu::Mcu;
+/// use openmsp430::layout::MemLayout;
+///
+/// let mut mcu = Mcu::new(MemLayout::default());
+/// // Program: mov #0xBEEF, &0x0200 ; jmp $-0 (spin)
+/// mcu.mem.write_word(0xE000, 0x40B2);
+/// mcu.mem.write_word(0xE002, 0xBEEF);
+/// mcu.mem.write_word(0xE004, 0x0200);
+/// mcu.mem.write_word(0xE006, 0x3FFF); // jmp -1 (self)
+/// mcu.mem.write_word(0xFFFE, 0xE000); // reset vector
+/// mcu.reset();
+/// mcu.step();
+/// assert_eq!(mcu.mem.read_word(0x0200), 0xBEEF);
+/// ```
+pub struct Mcu {
+    /// The CPU core.
+    pub cpu: Cpu,
+    /// Flat memory (flash + RAM); MMIO ranges are intercepted by
+    /// peripherals and hardware cells.
+    pub mem: Memory,
+    /// The memory map.
+    pub layout: MemLayout,
+    periphs: Vec<Box<dyn Peripheral>>,
+    hw_cells: Vec<HwCell>,
+    cycle: u64,
+    step_idx: u64,
+    pending_irq: u16,
+    injected_dma: Vec<DmaOp>,
+}
+
+impl std::fmt::Debug for Mcu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mcu")
+            .field("cycle", &self.cycle)
+            .field("step", &self.step_idx)
+            .field("pc", &self.cpu.regs.pc())
+            .field("periphs", &self.periphs.len())
+            .finish()
+    }
+}
+
+/// The non-maskable interrupt vector (serviced regardless of `GIE`).
+pub const NMI_VECTOR: u8 = 14;
+
+struct McuBus<'a> {
+    mem: &'a mut Memory,
+    periphs: &'a mut [Box<dyn Peripheral>],
+    hw_cells: &'a [HwCell],
+    log: &'a mut Vec<MemAccess>,
+}
+
+impl McuBus<'_> {
+    fn hw_cell_value(&self, addr: u16) -> Option<u16> {
+        self.hw_cells.iter().find(|c| c.addr == addr & !1).map(|c| c.value)
+    }
+
+    fn periph_index(&self, addr: u16) -> Option<usize> {
+        self.periphs.iter().position(|p| p.mmio().contains(addr))
+    }
+}
+
+impl Bus for McuBus<'_> {
+    fn read(&mut self, addr: u16, byte: bool, fetch: bool) -> u16 {
+        let value = if let Some(word) = self.hw_cell_value(addr) {
+            if byte {
+                if addr & 1 == 0 {
+                    word & 0xFF
+                } else {
+                    word >> 8
+                }
+            } else {
+                word
+            }
+        } else if let Some(i) = self.periph_index(addr) {
+            self.periphs[i].read(addr, byte)
+        } else {
+            self.mem.read(addr, byte)
+        };
+        self.log.push(MemAccess { addr, value, byte, write: false, fetch, master: Master::Cpu });
+        value
+    }
+
+    fn write(&mut self, addr: u16, val: u16, byte: bool) {
+        if self.hw_cell_value(addr).is_some() {
+            // Hardware-owned: software writes are dropped (but logged, so
+            // monitors can still observe the attempt).
+        } else if let Some(i) = self.periph_index(addr) {
+            self.periphs[i].write(addr, val, byte);
+        } else {
+            self.mem.write(addr, val, byte);
+        }
+        self.log.push(MemAccess {
+            addr,
+            value: val,
+            byte,
+            write: true,
+            fetch: false,
+            master: Master::Cpu,
+        });
+    }
+}
+
+impl Mcu {
+    /// Creates an MCU with the given memory map and no peripherals.
+    pub fn new(layout: MemLayout) -> Mcu {
+        Mcu {
+            cpu: Cpu::new(),
+            mem: Memory::new(),
+            layout,
+            periphs: Vec::new(),
+            hw_cells: Vec::new(),
+            cycle: 0,
+            step_idx: 0,
+            pending_irq: 0,
+            injected_dma: Vec::new(),
+        }
+    }
+
+    /// Attaches a peripheral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if its MMIO range overlaps an existing peripheral.
+    pub fn add_peripheral(&mut self, p: Box<dyn Peripheral>) {
+        assert!(
+            self.periphs.iter().all(|q| !q.mmio().overlaps(&p.mmio())),
+            "peripheral MMIO ranges overlap"
+        );
+        self.periphs.push(p);
+    }
+
+    /// Declares a hardware-owned MMIO word at `addr` (software read-only).
+    pub fn add_hw_cell(&mut self, addr: u16, value: u16) {
+        assert_eq!(addr & 1, 0, "hardware cells are word aligned");
+        self.hw_cells.push(HwCell { addr, value });
+    }
+
+    /// Updates a hardware-owned cell (monitor-side write).
+    pub fn set_hw_cell(&mut self, addr: u16, value: u16) {
+        if let Some(c) = self.hw_cells.iter_mut().find(|c| c.addr == addr) {
+            c.value = value;
+        }
+    }
+
+    /// Reads a hardware-owned cell.
+    pub fn hw_cell(&self, addr: u16) -> Option<u16> {
+        self.hw_cells.iter().find(|c| c.addr == addr).map(|c| c.value)
+    }
+
+    /// Borrows a concrete peripheral by type.
+    pub fn periph<P: Peripheral>(&self) -> Option<&P> {
+        self.periphs.iter().find_map(|p| p.as_any().downcast_ref::<P>())
+    }
+
+    /// Mutably borrows a concrete peripheral by type.
+    pub fn periph_mut<P: Peripheral>(&mut self) -> Option<&mut P> {
+        self.periphs.iter_mut().find_map(|p| p.as_any_mut().downcast_mut::<P>())
+    }
+
+    /// Asserts an external interrupt line (level-triggered until serviced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector >= 16`.
+    pub fn raise_irq(&mut self, vector: u8) {
+        assert!(vector < IVT_VECTORS, "vector out of range");
+        self.pending_irq |= 1 << vector;
+    }
+
+    /// Queues a DMA operation performed by an external bus master on the
+    /// next step (used to model the adversary's DMA capability).
+    pub fn inject_dma(&mut self, op: DmaOp) {
+        self.injected_dma.push(op);
+    }
+
+    /// Total cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Charges `cycles` of non-CPU time (e.g. a ROM routine modelled
+    /// natively) to the cycle counter, ticking peripherals accordingly.
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        for p in &mut self.periphs {
+            p.tick(cycles);
+        }
+        self.cycle += cycles;
+    }
+
+    /// Total steps executed.
+    pub fn steps(&self) -> u64 {
+        self.step_idx
+    }
+
+    /// True when some interrupt line is pending (pre-gating).
+    pub fn irq_pending(&self) -> bool {
+        self.pending_irq != 0
+    }
+
+    /// Hardware reset: CPU (PC from the reset vector), peripherals and
+    /// pending interrupt state. Memory and cycle counters are preserved.
+    pub fn reset(&mut self) {
+        let mut log = Vec::new();
+        let mut bus = McuBus {
+            mem: &mut self.mem,
+            periphs: &mut self.periphs,
+            hw_cells: &self.hw_cells,
+            log: &mut log,
+        };
+        self.cpu.reset(&mut bus);
+        self.cpu.regs.set_sp(self.layout.stack_top);
+        for p in &mut self.periphs {
+            p.reset();
+        }
+        self.pending_irq = 0;
+        self.injected_dma.clear();
+    }
+
+    fn select_vector(&self, lines: u16) -> Option<u8> {
+        if self.cpu.is_halted() {
+            return None;
+        }
+        if lines & (1 << NMI_VECTOR) != 0 {
+            return Some(NMI_VECTOR);
+        }
+        if !self.cpu.regs.gie() {
+            return None;
+        }
+        let maskable = lines & !(1 << NMI_VECTOR);
+        if maskable == 0 {
+            None
+        } else {
+            Some(15 - maskable.leading_zeros() as u8)
+        }
+    }
+
+    /// Executes one step (one instruction, interrupt entry or idle cycle)
+    /// and returns the observed signals.
+    pub fn step(&mut self) -> Signals {
+        // Interrupt lines: peripheral flags are level signals re-evaluated
+        // each step (the latch lives in each peripheral's IFG register, as
+        // on real silicon); externally raised lines stay pending until
+        // serviced.
+        let mut lines = self.pending_irq;
+        for p in &self.periphs {
+            lines |= p.irq_lines();
+        }
+        let irq_pending = lines != 0;
+        let vector = self.select_vector(lines);
+
+        let mut log = Vec::new();
+        let out = {
+            let mut bus = McuBus {
+                mem: &mut self.mem,
+                periphs: &mut self.periphs,
+                hw_cells: &self.hw_cells,
+                log: &mut log,
+            };
+            self.cpu.step(&mut bus, vector)
+        };
+
+        if let Some(v) = out.serviced_irq {
+            self.pending_irq &= !(1u16 << v);
+            for p in &mut self.periphs {
+                p.ack_irq(v);
+            }
+        }
+
+        // DMA: peripheral-programmed channels plus injected operations.
+        let mut dma_ops: Vec<DmaOp> = std::mem::take(&mut self.injected_dma);
+        for p in &mut self.periphs {
+            dma_ops.extend(p.dma_ops());
+        }
+        for op in dma_ops {
+            let value = self.mem.read(op.src, op.byte);
+            self.mem.write(op.dst, value, op.byte);
+            log.push(MemAccess {
+                addr: op.src,
+                value,
+                byte: op.byte,
+                write: false,
+                fetch: false,
+                master: Master::Dma,
+            });
+            log.push(MemAccess {
+                addr: op.dst,
+                value,
+                byte: op.byte,
+                write: true,
+                fetch: false,
+                master: Master::Dma,
+            });
+        }
+
+        for p in &mut self.periphs {
+            p.tick(out.cycles);
+        }
+        self.cycle += out.cycles;
+        self.step_idx += 1;
+
+        Signals {
+            cycle: self.cycle,
+            step: self.step_idx,
+            pc: out.pc_before,
+            pc_next: out.pc_after,
+            irq: out.serviced_irq.is_some(),
+            irq_vector: out.serviced_irq,
+            irq_pending,
+            gie: self.cpu.regs.gie(),
+            cpu_off: self.cpu.regs.cpu_off(),
+            idle: out.idle,
+            accesses: log,
+            fault: out.fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::vector_addr;
+    use crate::mem::MemRegion;
+
+    fn program(mcu: &mut Mcu, org: u16, words: &[u16]) {
+        let mut addr = org;
+        for w in words {
+            mcu.mem.write_word(addr, *w);
+            addr += 2;
+        }
+        mcu.mem.write_word(0xFFFE, org);
+        mcu.reset();
+    }
+
+    #[test]
+    fn runs_simple_program() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        // mov #0x1234, r4 ; mov r4, &0x0200 ; jmp self
+        program(
+            &mut mcu,
+            0xE000,
+            &[0x4034, 0x1234, 0x4482, 0x0200, 0x3FFF],
+        );
+        mcu.step();
+        mcu.step();
+        assert_eq!(mcu.mem.read_word(0x0200), 0x1234);
+        let s = mcu.step(); // spin jump
+        assert_eq!(s.pc, 0xE008);
+        assert_eq!(s.pc_next, 0xE008);
+    }
+
+    #[test]
+    fn hw_cell_is_read_only_for_software() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        mcu.add_hw_cell(0x0190, 1);
+        // mov &0x0190, r4 ; mov #0, &0x0190 ; jmp self
+        program(
+            &mut mcu,
+            0xE000,
+            &[0x4214, 0x0190, 0x4382, 0x0190, 0x3FFF],
+        );
+        mcu.step();
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(4)), 1);
+        let s = mcu.step();
+        assert!(s.cpu_write_in(MemRegion::new(0x0190, 0x0191)), "write attempt is visible");
+        assert_eq!(mcu.hw_cell(0x0190), Some(1), "but the cell is unchanged");
+    }
+
+    #[test]
+    fn interrupt_serviced_when_gie_set() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        // main: bis #8, sr (GIE, via constant generator) ; jmp self
+        program(&mut mcu, 0xE000, &[0xD232, 0x3FFF]);
+        // isr at 0xF000: reti
+        mcu.mem.write_word(0xF000, 0x1300);
+        mcu.mem.write_word(vector_addr(9), 0xF000);
+        mcu.step(); // set GIE
+        mcu.raise_irq(9);
+        let s = mcu.step();
+        assert!(s.irq);
+        assert_eq!(s.irq_vector, Some(9));
+        assert_eq!(mcu.cpu.regs.pc(), 0xF000);
+        let s = mcu.step(); // reti
+        assert_eq!(s.pc_next, 0xE002);
+        assert!(!mcu.irq_pending());
+    }
+
+    #[test]
+    fn interrupt_masked_without_gie() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x3FFF]); // jmp self
+        mcu.raise_irq(9);
+        let s = mcu.step();
+        assert!(!s.irq);
+        assert!(s.irq_pending);
+        assert_eq!(mcu.cpu.regs.pc(), 0xE000);
+    }
+
+    #[test]
+    fn nmi_ignores_gie() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x3FFF]);
+        mcu.mem.write_word(0xF100, 0x1300);
+        mcu.mem.write_word(vector_addr(NMI_VECTOR), 0xF100);
+        mcu.raise_irq(NMI_VECTOR);
+        let s = mcu.step();
+        assert!(s.irq);
+        assert_eq!(s.irq_vector, Some(NMI_VECTOR));
+    }
+
+    #[test]
+    fn priority_highest_vector_first() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0xD232, 0x3FFF]);
+        mcu.mem.write_word(0xF000, 0x1300);
+        mcu.mem.write_word(0xF100, 0x1300);
+        mcu.mem.write_word(vector_addr(3), 0xF000);
+        mcu.mem.write_word(vector_addr(9), 0xF100);
+        mcu.step();
+        mcu.raise_irq(3);
+        mcu.raise_irq(9);
+        let s = mcu.step();
+        assert_eq!(s.irq_vector, Some(9), "higher vector has priority");
+    }
+
+    #[test]
+    fn injected_dma_appears_as_dma_master() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x3FFF]);
+        mcu.mem.write_word(0x0400, 0xAA55);
+        mcu.inject_dma(DmaOp { src: 0x0400, dst: 0xFFE4, byte: false });
+        let s = mcu.step();
+        assert!(s.dma_write_in(MemRegion::new(0xFFE0, 0xFFFF)));
+        assert_eq!(mcu.mem.read_word(0xFFE4), 0xAA55);
+    }
+
+    #[test]
+    fn cycles_accumulate() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x4034, 0x1234, 0x3FFF]); // mov #imm, r4 (2cy); jmp (2cy)
+        mcu.step();
+        assert_eq!(mcu.cycles(), 2);
+        mcu.step();
+        assert_eq!(mcu.cycles(), 4);
+    }
+}

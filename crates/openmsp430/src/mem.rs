@@ -1,0 +1,289 @@
+//! Flat 64 KiB memory with MSP430 little-endian word semantics, plus the
+//! [`MemRegion`] type used throughout the monitors to describe address
+//! ranges such as `ER`, `OR`, the key region and the IVT.
+
+use std::fmt;
+
+/// An inclusive address range `[start, end]` within the 64 KiB space.
+///
+/// All of the paper's security properties are phrased over membership of
+/// bus addresses in such regions (e.g. `Daddr ∈ IVT`).
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::mem::MemRegion;
+///
+/// let ivt = MemRegion::new(0xFFE0, 0xFFFF);
+/// assert!(ivt.contains(0xFFFE));
+/// assert!(!ivt.contains(0xFFDF));
+/// assert_eq!(ivt.len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRegion {
+    start: u16,
+    end: u16,
+}
+
+impl MemRegion {
+    /// Creates a region from inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u16, end: u16) -> MemRegion {
+        assert!(start <= end, "invalid region: {start:#06x}..={end:#06x}");
+        MemRegion { start, end }
+    }
+
+    /// Creates a region from a base address and a length in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty or overflows the address space.
+    pub fn with_len(start: u16, len: u32) -> MemRegion {
+        assert!(len > 0, "empty region");
+        let end = start as u32 + len - 1;
+        assert!(end <= 0xFFFF, "region overflows address space");
+        MemRegion::new(start, end as u16)
+    }
+
+    /// First address in the region.
+    pub fn start(&self) -> u16 {
+        self.start
+    }
+
+    /// Last address in the region (inclusive).
+    pub fn end(&self) -> u16 {
+        self.end
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        (self.end - self.start) as u32 + 1
+    }
+
+    /// Regions are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `addr` falls within the region.
+    pub fn contains(&self, addr: u16) -> bool {
+        addr >= self.start && addr <= self.end
+    }
+
+    /// True if a `byte`- or word-sized access at `addr` touches the region.
+    pub fn touches(&self, addr: u16, byte: bool) -> bool {
+        self.contains(addr) || (!byte && self.contains(addr.wrapping_add(1)))
+    }
+
+    /// True if the two regions share any address.
+    pub fn overlaps(&self, other: &MemRegion) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn contains_region(&self, other: &MemRegion) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Iterates over every address in the region.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        (self.start..=self.end).map(|a| a)
+    }
+}
+
+impl fmt::Display for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#06x}, {:#06x}]", self.start, self.end)
+    }
+}
+
+/// Flat byte-addressable 64 KiB memory.
+///
+/// Word accesses are little-endian and force-aligned: bit 0 of the address
+/// is ignored, as on the real MSP430 bus.
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_word(0x0200, 0xBEEF);
+/// assert_eq!(mem.read_byte(0x0200), 0xEF);
+/// assert_eq!(mem.read_byte(0x0201), 0xBE);
+/// assert_eq!(mem.read_word(0x0201), 0xBEEF); // alignment forced
+/// ```
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Box<[u8; 0x1_0000]>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory").field("len", &self.bytes.len()).finish()
+    }
+}
+
+impl Memory {
+    /// Creates a zero-filled memory.
+    pub fn new() -> Memory {
+        Memory { bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap() }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u16) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u16, val: u8) {
+        self.bytes[addr as usize] = val;
+    }
+
+    /// Reads a little-endian word; the address is aligned down.
+    pub fn read_word(&self, addr: u16) -> u16 {
+        let a = (addr & !1) as usize;
+        u16::from_le_bytes([self.bytes[a], self.bytes[(a + 1) & 0xFFFF]])
+    }
+
+    /// Writes a little-endian word; the address is aligned down.
+    pub fn write_word(&mut self, addr: u16, val: u16) {
+        let a = (addr & !1) as usize;
+        let [lo, hi] = val.to_le_bytes();
+        self.bytes[a] = lo;
+        self.bytes[(a + 1) & 0xFFFF] = hi;
+    }
+
+    /// Generic read used by the execution engine.
+    pub fn read(&self, addr: u16, byte: bool) -> u16 {
+        if byte {
+            self.read_byte(addr) as u16
+        } else {
+            self.read_word(addr)
+        }
+    }
+
+    /// Generic write used by the execution engine.
+    pub fn write(&mut self, addr: u16, val: u16, byte: bool) {
+        if byte {
+            self.write_byte(addr, val as u8);
+        } else {
+            self.write_word(addr, val);
+        }
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice would run past the end of the address space.
+    pub fn load(&mut self, addr: u16, data: &[u8]) {
+        let start = addr as usize;
+        assert!(start + data.len() <= 0x1_0000, "load overflows memory");
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Returns a copy of the bytes in `region`.
+    pub fn snapshot(&self, region: MemRegion) -> Vec<u8> {
+        self.bytes[region.start() as usize..=region.end() as usize].to_vec()
+    }
+
+    /// Borrows the bytes in `region`.
+    pub fn slice(&self, region: MemRegion) -> &[u8] {
+        &self.bytes[region.start() as usize..=region.end() as usize]
+    }
+
+    /// Fills `region` with a byte value.
+    pub fn fill(&mut self, region: MemRegion, val: u8) {
+        self.bytes[region.start() as usize..=region.end() as usize].fill(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_is_little_endian() {
+        let mut m = Memory::new();
+        m.write_word(0x0200, 0x1234);
+        assert_eq!(m.read_byte(0x0200), 0x34);
+        assert_eq!(m.read_byte(0x0201), 0x12);
+    }
+
+    #[test]
+    fn word_access_aligns_down() {
+        let mut m = Memory::new();
+        m.write_word(0x0203, 0xABCD);
+        assert_eq!(m.read_word(0x0202), 0xABCD);
+        assert_eq!(m.read_word(0x0203), 0xABCD);
+    }
+
+    #[test]
+    fn load_and_snapshot() {
+        let mut m = Memory::new();
+        m.load(0xE000, &[1, 2, 3, 4]);
+        assert_eq!(m.snapshot(MemRegion::new(0xE000, 0xE003)), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn region_membership() {
+        let r = MemRegion::new(0x1000, 0x10FF);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x10FF));
+        assert!(!r.contains(0x0FFF));
+        assert!(!r.contains(0x1100));
+        assert!(r.touches(0x10FF, true));
+        assert!(r.touches(0x0FFF, false));
+        assert!(!r.touches(0x0FFF, true));
+    }
+
+    #[test]
+    fn region_overlap_and_containment() {
+        let a = MemRegion::new(0x1000, 0x1FFF);
+        let b = MemRegion::new(0x1800, 0x2800);
+        let c = MemRegion::new(0x1100, 0x1200);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(a.contains_region(&c));
+        assert!(!a.contains_region(&b));
+        assert!(!c.overlaps(&MemRegion::new(0x1201, 0x1300)));
+    }
+
+    #[test]
+    fn region_len_and_display() {
+        let r = MemRegion::new(0xFFE0, 0xFFFF);
+        assert_eq!(r.len(), 32);
+        assert_eq!(r.to_string(), "[0xffe0, 0xffff]");
+        assert_eq!(MemRegion::new(0, 0xFFFF).len(), 0x1_0000);
+    }
+
+    #[test]
+    fn with_len_constructor() {
+        let r = MemRegion::with_len(0xFFE0, 32);
+        assert_eq!(r.end(), 0xFFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "region overflows")]
+    fn with_len_overflow_panics() {
+        let _ = MemRegion::with_len(0xFFF0, 32);
+    }
+
+    #[test]
+    fn memory_byte_write_does_not_disturb_neighbour() {
+        let mut m = Memory::new();
+        m.write_word(0x0300, 0xFFFF);
+        m.write_byte(0x0300, 0x00);
+        assert_eq!(m.read_word(0x0300), 0xFF00);
+    }
+}

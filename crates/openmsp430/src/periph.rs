@@ -1,0 +1,66 @@
+//! The MMIO peripheral interface and the DMA hook.
+//!
+//! Concrete peripherals (timer, GPIO, UART, DMA controller) live in the
+//! `periph` crate; this module defines the contract the MCU uses to route
+//! bus accesses, advance time and collect interrupt lines.
+
+use crate::mem::MemRegion;
+use std::any::Any;
+
+/// One unit of DMA work: copy a byte/word from `src` to `dst`.
+///
+/// The MCU performs the copy against memory and logs both halves as
+/// DMA-mastered bus accesses, which is what the `DMAen ∧ DMAaddr ∈ R`
+/// propositions of VRASED/APEX/ASAP observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaOp {
+    /// Source address.
+    pub src: u16,
+    /// Destination address.
+    pub dst: u16,
+    /// Byte-sized transfer.
+    pub byte: bool,
+}
+
+/// A memory-mapped peripheral.
+pub trait Peripheral: Any {
+    /// Stable peripheral name.
+    fn name(&self) -> &'static str;
+
+    /// The MMIO address range this peripheral answers to.
+    fn mmio(&self) -> MemRegion;
+
+    /// MMIO read.
+    fn read(&mut self, addr: u16, byte: bool) -> u16;
+
+    /// MMIO write.
+    fn write(&mut self, addr: u16, val: u16, byte: bool);
+
+    /// Advances peripheral time by `cycles` MCLK cycles.
+    fn tick(&mut self, cycles: u64);
+
+    /// Bitmask of interrupt vectors currently asserted by this peripheral
+    /// (bit *n* = vector *n*).
+    fn irq_lines(&self) -> u16 {
+        0
+    }
+
+    /// Notification that `vector` was serviced; single-source interrupt
+    /// flags clear here.
+    fn ack_irq(&mut self, _vector: u8) {}
+
+    /// Pending DMA operations to perform this step (DMA controllers only).
+    fn dma_ops(&mut self) -> Vec<DmaOp> {
+        Vec::new()
+    }
+
+    /// Hardware reset.
+    fn reset(&mut self);
+
+    /// Downcasting support so device-level code can reach a concrete
+    /// peripheral behind `dyn Peripheral`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

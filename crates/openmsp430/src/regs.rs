@@ -1,0 +1,243 @@
+//! CPU register file and status-register bit definitions.
+//!
+//! The MSP430 has sixteen 16-bit registers. Four of them have dedicated
+//! roles: `R0` is the program counter (`PC`), `R1` the stack pointer
+//! (`SP`), `R2` the status register (`SR`, doubling as constant generator
+//! 1) and `R3` is constant generator 2.
+
+use std::fmt;
+
+/// Index of one of the sixteen CPU registers.
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::regs::Reg;
+///
+/// assert_eq!(Reg::PC.index(), 0);
+/// assert_eq!(Reg::r(12).to_string(), "r12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The program counter, `R0`.
+    pub const PC: Reg = Reg(0);
+    /// The stack pointer, `R1`.
+    pub const SP: Reg = Reg(1);
+    /// The status register / constant generator 1, `R2`.
+    pub const SR: Reg = Reg(2);
+    /// Constant generator 2, `R3`.
+    pub const CG: Reg = Reg(3);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn r(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    pub fn try_r(index: u8) -> Option<Reg> {
+        (index < 16).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..=15`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::PC => write!(f, "pc"),
+            Reg::SP => write!(f, "sp"),
+            Reg::SR => write!(f, "sr"),
+            _ => write!(f, "r{}", self.0),
+        }
+    }
+}
+
+/// Status-register bit masks (the low nine bits of `R2`).
+pub mod sr_bits {
+    /// Carry.
+    pub const C: u16 = 0x0001;
+    /// Zero.
+    pub const Z: u16 = 0x0002;
+    /// Negative.
+    pub const N: u16 = 0x0004;
+    /// Global interrupt enable.
+    pub const GIE: u16 = 0x0008;
+    /// CPU off (low-power mode): the core stops fetching instructions.
+    pub const CPUOFF: u16 = 0x0010;
+    /// Oscillator off.
+    pub const OSCOFF: u16 = 0x0020;
+    /// System clock generator 0 off.
+    pub const SCG0: u16 = 0x0040;
+    /// System clock generator 1 off.
+    pub const SCG1: u16 = 0x0080;
+    /// Overflow.
+    pub const V: u16 = 0x0100;
+}
+
+/// The sixteen-register CPU register file.
+///
+/// Word writes to any register store all 16 bits; byte-sized instruction
+/// results clear the upper byte of the destination register, which the
+/// execution engine models by calling [`RegFile::set_byte`].
+///
+/// # Examples
+///
+/// ```
+/// use openmsp430::regs::{Reg, RegFile};
+///
+/// let mut regs = RegFile::new();
+/// regs.set(Reg::r(4), 0xBEEF);
+/// assert_eq!(regs.get(Reg::r(4)), 0xBEEF);
+/// regs.set_byte(Reg::r(4), 0x12);
+/// assert_eq!(regs.get(Reg::r(4)), 0x0012);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegFile {
+    regs: [u16; 16],
+}
+
+impl RegFile {
+    /// Creates a register file with every register cleared.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Reads a register.
+    pub fn get(&self, r: Reg) -> u16 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a word to a register. Writes to `PC` clear bit 0 (the PC is
+    /// always word aligned on the MSP430).
+    pub fn set(&mut self, r: Reg, val: u16) {
+        let val = if r == Reg::PC { val & !1 } else { val };
+        self.regs[r.index() as usize] = val;
+    }
+
+    /// Writes a byte-sized result: the upper byte of the register is
+    /// cleared, matching MSP430 byte-operation semantics.
+    pub fn set_byte(&mut self, r: Reg, val: u16) {
+        self.set(r, val & 0x00FF);
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u16 {
+        self.get(Reg::PC)
+    }
+
+    /// Sets the program counter (bit 0 is cleared).
+    pub fn set_pc(&mut self, pc: u16) {
+        self.set(Reg::PC, pc);
+    }
+
+    /// The stack pointer.
+    pub fn sp(&self) -> u16 {
+        self.get(Reg::SP)
+    }
+
+    /// Sets the stack pointer.
+    pub fn set_sp(&mut self, sp: u16) {
+        self.set(Reg::SP, sp);
+    }
+
+    /// The status register.
+    pub fn sr(&self) -> u16 {
+        self.get(Reg::SR)
+    }
+
+    /// Sets the status register.
+    pub fn set_sr(&mut self, sr: u16) {
+        self.set(Reg::SR, sr);
+    }
+
+    /// True if the given status bit(s) are all set.
+    pub fn sr_has(&self, mask: u16) -> bool {
+        self.sr() & mask == mask
+    }
+
+    /// Sets or clears the given status bit mask.
+    pub fn sr_assign(&mut self, mask: u16, on: bool) {
+        let sr = self.sr();
+        self.set_sr(if on { sr | mask } else { sr & !mask });
+    }
+
+    /// True when global interrupts are enabled (`GIE`).
+    pub fn gie(&self) -> bool {
+        self.sr_has(sr_bits::GIE)
+    }
+
+    /// True when the CPU core is halted in a low-power mode (`CPUOFF`).
+    pub fn cpu_off(&self) -> bool {
+        self.sr_has(sr_bits::CPUOFF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_roundtrip() {
+        let mut r = RegFile::new();
+        for i in 0..16 {
+            r.set(Reg::r(i), 0x1000 + i as u16);
+        }
+        for i in 0..16 {
+            let expect = if i == 0 { 0x1000 } else { 0x1000 + i as u16 };
+            assert_eq!(r.get(Reg::r(i)), expect);
+        }
+    }
+
+    #[test]
+    fn pc_is_word_aligned() {
+        let mut r = RegFile::new();
+        r.set_pc(0x1235);
+        assert_eq!(r.pc(), 0x1234);
+    }
+
+    #[test]
+    fn byte_write_clears_upper_byte() {
+        let mut r = RegFile::new();
+        r.set(Reg::r(7), 0xFFFF);
+        r.set_byte(Reg::r(7), 0xAB);
+        assert_eq!(r.get(Reg::r(7)), 0x00AB);
+    }
+
+    #[test]
+    fn sr_bit_helpers() {
+        let mut r = RegFile::new();
+        r.sr_assign(sr_bits::GIE, true);
+        assert!(r.gie());
+        r.sr_assign(sr_bits::CPUOFF | sr_bits::Z, true);
+        assert!(r.cpu_off());
+        assert!(r.sr_has(sr_bits::Z));
+        r.sr_assign(sr_bits::GIE, false);
+        assert!(!r.gie());
+        assert!(r.cpu_off());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_index_out_of_range_panics() {
+        let _ = Reg::r(16);
+    }
+
+    #[test]
+    fn reg_display_names() {
+        assert_eq!(Reg::PC.to_string(), "pc");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::SR.to_string(), "sr");
+        assert_eq!(Reg::CG.to_string(), "r3");
+        assert_eq!(Reg::r(15).to_string(), "r15");
+    }
+}

@@ -1,0 +1,174 @@
+//! The per-step signal bundle observed by hardware monitors.
+//!
+//! VRASED/APEX/ASAP are specified over MCU wires: `PC`, `irq`, `Wen`,
+//! `Daddr`, `Ren`, `Raddr`, `DMAen`, `DMAaddr`. [`Signals`] is the
+//! simulator's rendering of those wires for one execution step (one
+//! instruction, one interrupt entry, or one idle cycle), including every
+//! bus access performed during the step. Helper predicates mirror the
+//! atomic propositions used in the paper's LTL formulas (e.g.
+//! `Wen ∧ Daddr ∈ IVT`).
+
+use crate::bus::{Master, MemAccess};
+use crate::cpu::CpuFault;
+use crate::mem::MemRegion;
+
+/// Snapshot of the MCU wires during one execution step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signals {
+    /// Cycle counter *after* this step.
+    pub cycle: u64,
+    /// Monotonic step index.
+    pub step: u64,
+    /// `PC` value when the step began (the executed instruction's address).
+    pub pc: u16,
+    /// `PC` after the step — the paper's `X(PC)`.
+    pub pc_next: u16,
+    /// True when interrupt service began this step (the `irq` wire).
+    pub irq: bool,
+    /// Vector serviced this step.
+    pub irq_vector: Option<u8>,
+    /// True when some enabled interrupt line is asserted (pre-gating).
+    pub irq_pending: bool,
+    /// Global interrupt enable bit after the step.
+    pub gie: bool,
+    /// CPU sleeping in a low-power mode.
+    pub cpu_off: bool,
+    /// True when the core idled this step (low-power or halted).
+    pub idle: bool,
+    /// Every bus access performed during the step (CPU and DMA).
+    pub accesses: Vec<MemAccess>,
+    /// Fault raised this step.
+    pub fault: Option<CpuFault>,
+}
+
+impl Signals {
+    /// True if the CPU wrote to `region` this step (`Wen ∧ Daddr ∈ region`).
+    pub fn cpu_write_in(&self, region: MemRegion) -> bool {
+        self.accesses.iter().any(|a| {
+            a.master == Master::Cpu && a.write && region.touches(a.addr, a.byte)
+        })
+    }
+
+    /// True if the CPU read from `region` this step, excluding instruction
+    /// fetches (`Ren ∧ Raddr ∈ region`).
+    pub fn cpu_read_in(&self, region: MemRegion) -> bool {
+        self.accesses.iter().any(|a| {
+            a.master == Master::Cpu && !a.write && !a.fetch && region.touches(a.addr, a.byte)
+        })
+    }
+
+    /// True if the CPU fetched an instruction word from `region`.
+    pub fn fetch_in(&self, region: MemRegion) -> bool {
+        self.accesses.iter().any(|a| a.fetch && region.touches(a.addr, a.byte))
+    }
+
+    /// True if DMA touched `region` this step in any way
+    /// (`DMAen ∧ DMAaddr ∈ region`).
+    pub fn dma_in(&self, region: MemRegion) -> bool {
+        self.accesses
+            .iter()
+            .any(|a| a.master == Master::Dma && region.touches(a.addr, a.byte))
+    }
+
+    /// True if DMA wrote to `region` this step.
+    pub fn dma_write_in(&self, region: MemRegion) -> bool {
+        self.accesses
+            .iter()
+            .any(|a| a.master == Master::Dma && a.write && region.touches(a.addr, a.byte))
+    }
+
+    /// True if any DMA activity occurred this step (`DMAen`).
+    pub fn dma_active(&self) -> bool {
+        self.accesses.iter().any(|a| a.master == Master::Dma)
+    }
+
+    /// True if the executed instruction's address lies in `region`
+    /// (`PC ∈ region`).
+    pub fn pc_in(&self, region: MemRegion) -> bool {
+        region.contains(self.pc)
+    }
+
+    /// True if the next instruction's address lies in `region`
+    /// (`X(PC) ∈ region`).
+    pub fn pc_next_in(&self, region: MemRegion) -> bool {
+        region.contains(self.pc_next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Signals {
+        Signals {
+            cycle: 0,
+            step: 0,
+            pc: 0xE000,
+            pc_next: 0xE002,
+            irq: false,
+            irq_vector: None,
+            irq_pending: false,
+            gie: false,
+            cpu_off: false,
+            idle: false,
+            accesses: vec![],
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn write_predicates() {
+        let ivt = MemRegion::new(0xFFE0, 0xFFFF);
+        let mut s = base();
+        s.accesses.push(MemAccess::write(0xFFE4, 0xF000, false));
+        assert!(s.cpu_write_in(ivt));
+        assert!(!s.dma_in(ivt));
+        assert!(!s.cpu_read_in(ivt));
+    }
+
+    #[test]
+    fn word_write_straddling_region_start_counts() {
+        let ivt = MemRegion::new(0xFFE0, 0xFFFF);
+        let mut s = base();
+        // Word write at 0xFFDF touches 0xFFE0 via its high byte (aligned
+        // down in memory, but the monitor is conservative).
+        s.accesses.push(MemAccess::write(0xFFDF, 0xAA, false));
+        assert!(s.cpu_write_in(ivt));
+    }
+
+    #[test]
+    fn dma_predicates() {
+        let key = MemRegion::new(0x6A00, 0x6A1F);
+        let mut s = base();
+        s.accesses.push(MemAccess {
+            addr: 0x6A10,
+            value: 0,
+            byte: true,
+            write: false,
+            fetch: false,
+            master: Master::Dma,
+        });
+        assert!(s.dma_in(key));
+        assert!(!s.dma_write_in(key));
+        assert!(s.dma_active());
+    }
+
+    #[test]
+    fn fetch_is_not_a_data_read() {
+        let er = MemRegion::new(0xE000, 0xE1FF);
+        let mut s = base();
+        s.accesses.push(MemAccess::fetch(0xE000, 0x4303));
+        assert!(s.fetch_in(er));
+        assert!(!s.cpu_read_in(er));
+    }
+
+    #[test]
+    fn pc_membership() {
+        let er = MemRegion::new(0xE000, 0xE1FF);
+        let s = base();
+        assert!(s.pc_in(er));
+        assert!(s.pc_next_in(er));
+        let outside = MemRegion::new(0xF000, 0xF0FF);
+        assert!(!s.pc_in(outside));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the instruction set: encode/decode round
+//! trips and ALU semantics against independent oracles.
+
+use openmsp430::decode::decode;
+use openmsp430::encode::encode;
+use openmsp430::exec::{alu_two, Flags};
+use openmsp430::isa::{Cond, Instr, OneOp, Operand, TwoOp};
+use openmsp430::regs::Reg;
+use proptest::prelude::*;
+
+fn arb_gp_reg() -> impl Strategy<Value = Reg> {
+    // r4..r15 — the registers with no special encoding.
+    (4u8..16).prop_map(Reg::r)
+}
+
+fn arb_src_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_gp_reg().prop_map(Operand::Reg),
+        Just(Operand::Reg(Reg::PC)),
+        Just(Operand::Reg(Reg::SP)),
+        (arb_gp_reg(), any::<i16>())
+            .prop_map(|(base, offset)| Operand::Indexed { base, offset }),
+        any::<u16>().prop_map(Operand::Absolute),
+        arb_gp_reg().prop_map(Operand::Indirect),
+        arb_gp_reg().prop_map(Operand::IndirectInc),
+        any::<u16>().prop_map(Operand::Immediate),
+        prop_oneof![Just(0u16), Just(1), Just(2), Just(4), Just(8), Just(0xFFFF)]
+            .prop_map(Operand::Const),
+    ]
+}
+
+fn arb_dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_gp_reg().prop_map(Operand::Reg),
+        Just(Operand::Reg(Reg::SP)),
+        (arb_gp_reg(), any::<i16>())
+            .prop_map(|(base, offset)| Operand::Indexed { base, offset }),
+        any::<u16>().prop_map(Operand::Absolute),
+    ]
+}
+
+fn arb_two_op() -> impl Strategy<Value = TwoOp> {
+    prop_oneof![
+        Just(TwoOp::Mov),
+        Just(TwoOp::Add),
+        Just(TwoOp::Addc),
+        Just(TwoOp::Subc),
+        Just(TwoOp::Sub),
+        Just(TwoOp::Cmp),
+        Just(TwoOp::Dadd),
+        Just(TwoOp::Bit),
+        Just(TwoOp::Bic),
+        Just(TwoOp::Bis),
+        Just(TwoOp::Xor),
+        Just(TwoOp::And),
+    ]
+}
+
+fn decode_words(words: &[u16]) -> Instr {
+    let words = words.to_vec();
+    decode(move |addr| words[(addr / 2) as usize], 0).instr
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every encodable Format I instruction.
+    #[test]
+    fn two_operand_roundtrip(
+        op in arb_two_op(),
+        byte in any::<bool>(),
+        src in arb_src_operand(),
+        dst in arb_dst_operand(),
+    ) {
+        let instr = Instr::Two { op, byte, src, dst };
+        let words = encode(&instr).expect("generated operands are encodable");
+        prop_assert_eq!(decode_words(&words), instr);
+        prop_assert_eq!(instr.size() as usize, words.len() * 2);
+    }
+
+    /// decode(encode(i)) == i for Format II instructions.
+    #[test]
+    fn one_operand_roundtrip(
+        op_idx in 0usize..6,
+        byte in any::<bool>(),
+        opnd in arb_src_operand(),
+    ) {
+        let op = [OneOp::Rrc, OneOp::Swpb, OneOp::Rra, OneOp::Sxt, OneOp::Push, OneOp::Call]
+            [op_idx];
+        let byte = byte && !matches!(op, OneOp::Swpb | OneOp::Sxt | OneOp::Call);
+        let literal_ok = matches!(op, OneOp::Push | OneOp::Call);
+        prop_assume!(literal_ok || !opnd.is_literal());
+        let instr = Instr::One { op, byte, opnd };
+        let words = encode(&instr).expect("generated operands are encodable");
+        prop_assert_eq!(decode_words(&words), instr);
+    }
+
+    /// decode(encode(j)) == j for all jumps.
+    #[test]
+    fn jump_roundtrip(code in 0u16..8, offset in -512i16..=511) {
+        let instr = Instr::Jump { cond: Cond::from_code(code), offset };
+        let words = encode(&instr).expect("in-range jump");
+        prop_assert_eq!(decode_words(&words), instr);
+    }
+
+    /// ADD matches a wide-arithmetic oracle.
+    #[test]
+    fn add_matches_oracle(src in any::<u16>(), dst in any::<u16>(), byte in any::<bool>()) {
+        let out = alu_two(TwoOp::Add, src, dst, byte, Flags::default());
+        let m: u32 = if byte { 0xFF } else { 0xFFFF };
+        let wide = (src as u32 & m) + (dst as u32 & m);
+        prop_assert_eq!(out.value as u32, wide & m);
+        prop_assert_eq!(out.flags.c, wide > m);
+        prop_assert_eq!(out.flags.z, wide & m == 0);
+        let sb = if byte { 0x80 } else { 0x8000 };
+        prop_assert_eq!(out.flags.n, wide & sb != 0);
+        // Signed overflow oracle.
+        let sx = |v: u32| if byte { (v as u8) as i8 as i32 } else { (v as u16) as i16 as i32 };
+        let signed = sx(src as u32) + sx(dst as u32);
+        let lim = if byte { 127 } else { 32767 };
+        prop_assert_eq!(out.flags.v, signed > lim || signed < -lim - 1);
+    }
+
+    /// SUB: dst - src via two's complement identity, C = no borrow.
+    #[test]
+    fn sub_matches_oracle(src in any::<u16>(), dst in any::<u16>()) {
+        let out = alu_two(TwoOp::Sub, src, dst, false, Flags::default());
+        prop_assert_eq!(out.value, dst.wrapping_sub(src));
+        prop_assert_eq!(out.flags.c, dst >= src);
+        let signed = dst as i16 as i32 - src as i16 as i32;
+        prop_assert_eq!(out.flags.v, signed > 32767 || signed < -32768);
+    }
+
+    /// CMP computes the same flags as SUB.
+    #[test]
+    fn cmp_flags_equal_sub_flags(src in any::<u16>(), dst in any::<u16>(), byte in any::<bool>()) {
+        let sub = alu_two(TwoOp::Sub, src, dst, byte, Flags::default());
+        let cmp = alu_two(TwoOp::Cmp, src, dst, byte, Flags::default());
+        prop_assert_eq!(sub.flags, cmp.flags);
+        prop_assert_eq!(sub.value, cmp.value);
+    }
+
+    /// DADD matches a decimal-arithmetic oracle for valid BCD inputs.
+    #[test]
+    fn dadd_matches_decimal_oracle(a in 0u32..10000, b in 0u32..10000, cin in any::<bool>()) {
+        let to_bcd = |mut v: u32| {
+            let mut out = 0u16;
+            for i in 0..4 {
+                out |= ((v % 10) as u16) << (4 * i);
+                v /= 10;
+            }
+            out
+        };
+        let out = alu_two(
+            TwoOp::Dadd,
+            to_bcd(a),
+            to_bcd(b),
+            false,
+            Flags { c: cin, ..Flags::default() },
+        );
+        let sum = a + b + cin as u32;
+        prop_assert_eq!(out.value, to_bcd(sum % 10000));
+        prop_assert_eq!(out.flags.c, sum >= 10000);
+    }
+
+    /// XOR/AND/BIT/BIS/BIC results match bitwise oracles.
+    #[test]
+    fn logic_ops_match(src in any::<u16>(), dst in any::<u16>()) {
+        prop_assert_eq!(alu_two(TwoOp::Xor, src, dst, false, Flags::default()).value, src ^ dst);
+        prop_assert_eq!(alu_two(TwoOp::And, src, dst, false, Flags::default()).value, src & dst);
+        prop_assert_eq!(alu_two(TwoOp::Bis, src, dst, false, Flags::default()).value, src | dst);
+        prop_assert_eq!(alu_two(TwoOp::Bic, src, dst, false, Flags::default()).value, dst & !src);
+        prop_assert_eq!(alu_two(TwoOp::Bit, src, dst, false, Flags::default()).value, src & dst);
+    }
+
+    /// ADDC with carry-in equals ADD plus one.
+    #[test]
+    fn addc_is_add_plus_carry(src in any::<u16>(), dst in any::<u16>()) {
+        let plain = alu_two(TwoOp::Add, src, dst, false, Flags::default());
+        let carried =
+            alu_two(TwoOp::Addc, src, dst, false, Flags { c: true, ..Flags::default() });
+        prop_assert_eq!(carried.value, plain.value.wrapping_add(1));
+    }
+}

@@ -1,0 +1,219 @@
+//! A single-channel DMA controller (bus master).
+//!
+//! DMA matters to the security architectures because it can modify memory
+//! *without* the CPU: VRASED forbids DMA during SW-Att, APEX clears
+//! `EXEC` on DMA into `ER`/`OR` during execution, and ASAP's \[AP1\]
+//! additionally clears `EXEC` on DMA writes to the IVT (LTL 4,
+//! `DMAen ∧ DMAaddr ∈ IVT`).
+
+use openmsp430::mem::MemRegion;
+use openmsp430::periph::{DmaOp, Peripheral};
+use std::any::Any;
+
+/// Default MMIO base.
+pub const DMA_BASE: u16 = 0x01D0;
+
+/// Register offsets.
+pub mod reg {
+    /// Source address.
+    pub const SA: u16 = 0x0;
+    /// Destination address.
+    pub const DA: u16 = 0x2;
+    /// Transfer size in units (words or bytes).
+    pub const SZ: u16 = 0x4;
+    /// Control: bit 0 enable, bit 1 byte mode.
+    pub const CTL: u16 = 0x6;
+}
+
+/// Control bits.
+pub mod ctl_bits {
+    /// Channel enable; clears itself when the transfer completes.
+    pub const EN: u16 = 0x1;
+    /// Byte (rather than word) units.
+    pub const BYTE: u16 = 0x2;
+}
+
+/// Units transferred per MCU step while enabled.
+pub const UNITS_PER_STEP: u16 = 1;
+
+/// A programmable memory-to-memory DMA channel.
+///
+/// # Examples
+///
+/// ```
+/// use periph::dma::{ctl_bits, reg, DmaController, DMA_BASE};
+/// use openmsp430::periph::Peripheral;
+///
+/// let mut d = DmaController::new();
+/// d.write(DMA_BASE + reg::SA, 0x0400, false);
+/// d.write(DMA_BASE + reg::DA, 0x0500, false);
+/// d.write(DMA_BASE + reg::SZ, 2, false);
+/// d.write(DMA_BASE + reg::CTL, ctl_bits::EN, false);
+/// let ops = d.dma_ops();
+/// assert_eq!(ops.len(), 1);
+/// assert_eq!(ops[0].src, 0x0400);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DmaController {
+    base: u16,
+    sa: u16,
+    da: u16,
+    sz: u16,
+    ctl: u16,
+    transferred: u64,
+}
+
+impl DmaController {
+    /// Creates a controller at the default base.
+    pub fn new() -> DmaController {
+        DmaController::with_base(DMA_BASE)
+    }
+
+    /// Creates a controller at a custom MMIO base.
+    pub fn with_base(base: u16) -> DmaController {
+        DmaController { base, ..DmaController::default() }
+    }
+
+    /// True while a transfer is in progress.
+    pub fn busy(&self) -> bool {
+        self.ctl & ctl_bits::EN != 0 && self.sz > 0
+    }
+
+    /// Total units moved since reset.
+    pub fn transferred(&self) -> u64 {
+        self.transferred
+    }
+}
+
+impl Peripheral for DmaController {
+    fn name(&self) -> &'static str {
+        "dma"
+    }
+
+    fn mmio(&self) -> MemRegion {
+        MemRegion::new(self.base, self.base + 0x7)
+    }
+
+    fn read(&mut self, addr: u16, _byte: bool) -> u16 {
+        match addr - self.base {
+            x if x < 0x2 => self.sa,
+            x if x < 0x4 => self.da,
+            x if x < 0x6 => self.sz,
+            _ => self.ctl,
+        }
+    }
+
+    fn write(&mut self, addr: u16, val: u16, _byte: bool) {
+        match addr - self.base {
+            x if x < 0x2 => self.sa = val,
+            x if x < 0x4 => self.da = val,
+            x if x < 0x6 => self.sz = val,
+            _ => self.ctl = val,
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) {}
+
+    fn dma_ops(&mut self) -> Vec<DmaOp> {
+        if !self.busy() {
+            return Vec::new();
+        }
+        let byte = self.ctl & ctl_bits::BYTE != 0;
+        let stride = if byte { 1 } else { 2 };
+        let mut ops = Vec::new();
+        for _ in 0..UNITS_PER_STEP.min(self.sz) {
+            ops.push(DmaOp { src: self.sa, dst: self.da, byte });
+            self.sa = self.sa.wrapping_add(stride);
+            self.da = self.da.wrapping_add(stride);
+            self.sz -= 1;
+            self.transferred += 1;
+        }
+        if self.sz == 0 {
+            self.ctl &= !ctl_bits::EN;
+        }
+        ops
+    }
+
+    fn reset(&mut self) {
+        self.sa = 0;
+        self.da = 0;
+        self.sz = 0;
+        self.ctl = 0;
+        self.transferred = 0;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn programmed(sz: u16, byte: bool) -> DmaController {
+        let mut d = DmaController::new();
+        d.write(DMA_BASE + reg::SA, 0x0400, false);
+        d.write(DMA_BASE + reg::DA, 0x0500, false);
+        d.write(DMA_BASE + reg::SZ, sz, false);
+        let mut ctl = ctl_bits::EN;
+        if byte {
+            ctl |= ctl_bits::BYTE;
+        }
+        d.write(DMA_BASE + reg::CTL, ctl, false);
+        d
+    }
+
+    #[test]
+    fn word_transfer_strides_by_two() {
+        let mut d = programmed(3, false);
+        let ops = d.dma_ops();
+        assert_eq!(ops, vec![DmaOp { src: 0x0400, dst: 0x0500, byte: false }]);
+        let ops = d.dma_ops();
+        assert_eq!(ops[0].src, 0x0402);
+        assert!(d.busy());
+        let _ = d.dma_ops();
+        assert!(!d.busy(), "channel disables itself at completion");
+        assert_eq!(d.transferred(), 3);
+    }
+
+    #[test]
+    fn byte_transfer_strides_by_one() {
+        let mut d = programmed(2, true);
+        let _ = d.dma_ops();
+        let ops = d.dma_ops();
+        assert_eq!(ops[0].src, 0x0401);
+        assert!(ops[0].byte);
+    }
+
+    #[test]
+    fn idle_channel_produces_no_ops() {
+        let mut d = DmaController::new();
+        assert!(d.dma_ops().is_empty());
+        d.write(DMA_BASE + reg::SZ, 4, false);
+        assert!(d.dma_ops().is_empty(), "not enabled");
+    }
+
+    #[test]
+    fn registers_read_back() {
+        let mut d = programmed(7, false);
+        assert_eq!(d.read(DMA_BASE + reg::SA, false), 0x0400);
+        assert_eq!(d.read(DMA_BASE + reg::DA, false), 0x0500);
+        assert_eq!(d.read(DMA_BASE + reg::SZ, false), 7);
+        assert_eq!(d.read(DMA_BASE + reg::CTL, false), ctl_bits::EN);
+    }
+
+    #[test]
+    fn reset_aborts_transfer() {
+        let mut d = programmed(5, false);
+        let _ = d.dma_ops();
+        d.reset();
+        assert!(!d.busy());
+        assert!(d.dma_ops().is_empty());
+        assert_eq!(d.transferred(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! GPIO ports with edge-triggered interrupts (P1/P2) and plain digital
+//! I/O (P3–P6).
+//!
+//! The paper's running example (Fig. 4) uses exactly this pair: an ISR
+//! for `PORT1` (e.g. a button) that writes to `PORT5` — the ISR is
+//! trusted and linked inside `ER` under ASAP.
+
+use openmsp430::mem::MemRegion;
+use openmsp430::periph::Peripheral;
+use std::any::Any;
+
+/// Interrupt vector conventionally used for port 1.
+pub const PORT1_VECTOR: u8 = 2;
+
+/// Interrupt vector conventionally used for port 2.
+pub const PORT2_VECTOR: u8 = 3;
+
+/// Register offsets from a port's base address (byte registers).
+pub mod reg {
+    /// Input levels (read-only).
+    pub const IN: u16 = 0;
+    /// Output latch.
+    pub const OUT: u16 = 1;
+    /// Direction (1 = output).
+    pub const DIR: u16 = 2;
+    /// Interrupt flags.
+    pub const IFG: u16 = 3;
+    /// Interrupt edge select (1 = falling).
+    pub const IES: u16 = 4;
+    /// Interrupt enable.
+    pub const IE: u16 = 5;
+}
+
+/// MMIO base of a numbered port (P1 = `0x0020`, each port 8 bytes apart).
+pub fn port_base(port: u8) -> u16 {
+    0x0020 + 0x08 * (port as u16 - 1)
+}
+
+/// An 8-pin digital I/O port.
+///
+/// # Examples
+///
+/// ```
+/// use periph::gpio::{Gpio, PORT1_VECTOR};
+/// use openmsp430::periph::Peripheral;
+///
+/// let mut p1 = Gpio::port(1, Some(PORT1_VECTOR));
+/// // Enable a rising-edge interrupt on pin 0.
+/// let base = periph::gpio::port_base(1);
+/// p1.write(base + periph::gpio::reg::IE, 0x01, true);
+/// p1.set_input(0, true); // button press
+/// assert_ne!(p1.irq_lines(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gpio {
+    port: u8,
+    base: u16,
+    vector: Option<u8>,
+    input: u8,
+    out: u8,
+    dir: u8,
+    ifg: u8,
+    ies: u8,
+    ie: u8,
+    /// History of values written to `OUT` (diagnostic, used by examples
+    /// to observe actuation).
+    out_history: Vec<u8>,
+}
+
+impl Gpio {
+    /// Creates port `port` (1–6) with an optional interrupt vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not in `1..=6`.
+    pub fn port(port: u8, vector: Option<u8>) -> Gpio {
+        assert!((1..=6).contains(&port), "port out of range: {port}");
+        Gpio {
+            port,
+            base: port_base(port),
+            vector,
+            input: 0,
+            out: 0,
+            dir: 0,
+            ifg: 0,
+            ies: 0,
+            ie: 0,
+            out_history: Vec::new(),
+        }
+    }
+
+    /// Drives an external input pin, raising the interrupt flag on a
+    /// matching edge (rising when `IES` bit = 0, falling when 1).
+    pub fn set_input(&mut self, pin: u8, level: bool) {
+        assert!(pin < 8, "pin out of range");
+        let mask = 1u8 << pin;
+        let old = self.input & mask != 0;
+        if level == old {
+            return;
+        }
+        self.input = if level { self.input | mask } else { self.input & !mask };
+        let falling = self.ies & mask != 0;
+        if level != falling {
+            // Rising edge with IES=0, or falling edge with IES=1.
+            self.ifg |= mask;
+        }
+    }
+
+    /// Current output latch value.
+    pub fn out(&self) -> u8 {
+        self.out
+    }
+
+    /// All values ever written to `OUT` since reset.
+    pub fn out_history(&self) -> &[u8] {
+        &self.out_history
+    }
+
+    /// The port number (1–6).
+    pub fn number(&self) -> u8 {
+        self.port
+    }
+}
+
+impl Peripheral for Gpio {
+    fn name(&self) -> &'static str {
+        "gpio"
+    }
+
+    fn mmio(&self) -> MemRegion {
+        MemRegion::new(self.base, self.base + 0x7)
+    }
+
+    fn read(&mut self, addr: u16, _byte: bool) -> u16 {
+        (match addr - self.base {
+            reg::IN => self.input,
+            reg::OUT => self.out,
+            reg::DIR => self.dir,
+            reg::IFG => self.ifg,
+            reg::IES => self.ies,
+            reg::IE => self.ie,
+            _ => 0,
+        }) as u16
+    }
+
+    fn write(&mut self, addr: u16, val: u16, _byte: bool) {
+        let v = val as u8;
+        match addr - self.base {
+            reg::OUT => {
+                self.out = v;
+                self.out_history.push(v);
+            }
+            reg::DIR => self.dir = v,
+            reg::IFG => self.ifg = v,
+            reg::IES => self.ies = v,
+            reg::IE => self.ie = v,
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) {}
+
+    fn irq_lines(&self) -> u16 {
+        match self.vector {
+            Some(v) if self.ifg & self.ie != 0 => 1 << v,
+            _ => 0,
+        }
+    }
+
+    fn ack_irq(&mut self, vector: u8) {
+        if self.vector == Some(vector) {
+            // Single-source convention: clear all enabled pending flags.
+            self.ifg &= !self.ie;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.out = 0;
+        self.dir = 0;
+        self.ifg = 0;
+        self.ies = 0;
+        self.ie = 0;
+        self.out_history.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p1() -> Gpio {
+        Gpio::port(1, Some(PORT1_VECTOR))
+    }
+
+    #[test]
+    fn rising_edge_sets_flag() {
+        let mut g = p1();
+        g.write(g.base + reg::IE, 0x01, true);
+        g.set_input(0, true);
+        assert_eq!(g.ifg, 0x01);
+        assert_eq!(g.irq_lines(), 1 << PORT1_VECTOR);
+    }
+
+    #[test]
+    fn falling_edge_select() {
+        let mut g = p1();
+        g.write(g.base + reg::IE, 0x02, true);
+        g.write(g.base + reg::IES, 0x02, true);
+        g.set_input(1, true); // rising: no flag
+        assert_eq!(g.irq_lines(), 0);
+        g.set_input(1, false); // falling: flag
+        assert_ne!(g.irq_lines(), 0);
+    }
+
+    #[test]
+    fn no_interrupt_when_disabled() {
+        let mut g = p1();
+        g.set_input(0, true);
+        assert_eq!(g.ifg, 0x01, "flag latches regardless");
+        assert_eq!(g.irq_lines(), 0, "but line stays low without IE");
+    }
+
+    #[test]
+    fn level_unchanged_is_no_edge() {
+        let mut g = p1();
+        g.write(g.base + reg::IE, 0x01, true);
+        g.set_input(0, true);
+        g.ack_irq(PORT1_VECTOR);
+        g.set_input(0, true); // no change
+        assert_eq!(g.irq_lines(), 0);
+    }
+
+    #[test]
+    fn out_history_records_actuation() {
+        let mut g = Gpio::port(5, None);
+        let base = port_base(5);
+        g.write(base + reg::OUT, 0xFF, true);
+        g.write(base + reg::OUT, 0x00, true);
+        assert_eq!(g.out_history(), &[0xFF, 0x00]);
+        assert_eq!(g.out(), 0);
+    }
+
+    #[test]
+    fn ports_have_disjoint_mmio() {
+        let a = Gpio::port(1, None).mmio();
+        let b = Gpio::port(2, None).mmio();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn input_readable_via_mmio() {
+        let mut g = p1();
+        g.set_input(3, true);
+        assert_eq!(g.read(g.base + reg::IN, true), 0x08);
+    }
+
+    #[test]
+    fn reset_preserves_input_levels() {
+        let mut g = p1();
+        g.set_input(2, true);
+        g.write(g.base + reg::OUT, 0xAA, true);
+        g.reset();
+        assert_eq!(g.out(), 0);
+        assert_eq!(g.read(g.base + reg::IN, true), 0x04, "external level persists");
+    }
+}

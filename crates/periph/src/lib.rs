@@ -1,0 +1,41 @@
+//! # periph — MMIO peripherals for the openmsp430 simulator
+//!
+//! The interrupt sources and bus masters that make the paper's scenarios
+//! real:
+//!
+//! * [`timer::Timer`] — a Timer_A-style compare timer (the syringe-pump
+//!   dosage clock of §3);
+//! * [`gpio::Gpio`] — ports P1–P6 with edge interrupts on P1/P2 (the
+//!   button/actuation pair of Fig. 4);
+//! * [`uart::Uart`] — byte serial with an RX interrupt (the network
+//!   *abort* command of §3);
+//! * [`dma::DmaController`] — a programmable memory-to-memory bus master
+//!   (the adversary capability that \[AP1\]/LTL 4 defends against).
+//!
+//! Every peripheral implements [`openmsp430::periph::Peripheral`] and is
+//! attached to the MCU with [`openmsp430::mcu::Mcu::add_peripheral`].
+//!
+//! # Examples
+//!
+//! ```
+//! use openmsp430::{layout::MemLayout, mcu::Mcu};
+//! use periph::timer::{reg, Timer, TIMER_BASE};
+//! use openmsp430::periph::Peripheral;
+//!
+//! let mut mcu = Mcu::new(MemLayout::default());
+//! mcu.add_peripheral(Box::new(Timer::new()));
+//! // Firmware would program the timer through MMIO; do it directly here.
+//! let t = mcu.periph_mut::<Timer>().unwrap();
+//! t.write(TIMER_BASE + reg::CCR0, 1000, false);
+//! # let _ = t;
+//! ```
+
+pub mod dma;
+pub mod gpio;
+pub mod timer;
+pub mod uart;
+
+pub use dma::DmaController;
+pub use gpio::Gpio;
+pub use timer::Timer;
+pub use uart::Uart;

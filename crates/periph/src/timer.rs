@@ -1,0 +1,245 @@
+//! A Timer_A-style up-mode timer with compare interrupt.
+//!
+//! This is the peripheral the paper's syringe-pump example (§3) relies
+//! on: the `ER` programs a dosage period into the compare register,
+//! enters a low-power mode, and is woken by the timer ISR.
+
+use openmsp430::mem::MemRegion;
+use openmsp430::periph::Peripheral;
+use std::any::Any;
+
+/// Default MMIO base (mirrors Timer_A at `0x0160`).
+pub const TIMER_BASE: u16 = 0x0160;
+
+/// Default interrupt vector for the timer (vector 9, address `0xFFF2`).
+pub const TIMER_VECTOR: u8 = 9;
+
+/// Register offsets from the base address.
+pub mod reg {
+    /// Control: bits \[5:4\] mode (0 = stop, 1 = up), bit 2 `TACLR`,
+    /// bit 1 `TAIE`, bit 0 `TAIFG`.
+    pub const CTL: u16 = 0x0;
+    /// Current counter value.
+    pub const TAR: u16 = 0x2;
+    /// Compare/period register.
+    pub const CCR0: u16 = 0x4;
+}
+
+/// Control-register bits.
+pub mod ctl_bits {
+    /// Interrupt flag (set by hardware on wrap, cleared by software or
+    /// on interrupt service).
+    pub const TAIFG: u16 = 0x0001;
+    /// Interrupt enable.
+    pub const TAIE: u16 = 0x0002;
+    /// Counter clear (write-only strobe).
+    pub const TACLR: u16 = 0x0004;
+    /// Up-mode enable (simplified mode field).
+    pub const MC_UP: u16 = 0x0010;
+}
+
+/// A compare timer counting MCLK cycles.
+///
+/// # Examples
+///
+/// ```
+/// use periph::timer::{ctl_bits, reg, Timer, TIMER_BASE};
+/// use openmsp430::periph::Peripheral;
+///
+/// let mut t = Timer::new();
+/// t.write(TIMER_BASE + reg::CCR0, 100, false);
+/// t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP | ctl_bits::TAIE, false);
+/// t.tick(99);
+/// assert_eq!(t.irq_lines(), 0);
+/// t.tick(1);
+/// assert_ne!(t.irq_lines(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timer {
+    base: u16,
+    vector: u8,
+    ctl: u16,
+    tar: u32,
+    ccr0: u16,
+    /// Number of expiries since reset (diagnostic).
+    expiries: u64,
+}
+
+impl Default for Timer {
+    fn default() -> Timer {
+        Timer::new()
+    }
+}
+
+impl Timer {
+    /// Creates a timer at the default base/vector.
+    pub fn new() -> Timer {
+        Timer::with_base(TIMER_BASE, TIMER_VECTOR)
+    }
+
+    /// Creates a timer at a custom MMIO base and interrupt vector.
+    pub fn with_base(base: u16, vector: u8) -> Timer {
+        Timer { base, vector, ctl: 0, tar: 0, ccr0: 0, expiries: 0 }
+    }
+
+    /// Number of compare events since reset.
+    pub fn expiries(&self) -> u64 {
+        self.expiries
+    }
+
+    /// True when the timer is running in up mode.
+    pub fn running(&self) -> bool {
+        self.ctl & ctl_bits::MC_UP != 0
+    }
+}
+
+impl Peripheral for Timer {
+    fn name(&self) -> &'static str {
+        "timer_a"
+    }
+
+    fn mmio(&self) -> MemRegion {
+        MemRegion::new(self.base, self.base + 0x5)
+    }
+
+    fn read(&mut self, addr: u16, _byte: bool) -> u16 {
+        match addr - self.base {
+            x if x < 0x2 => self.ctl,
+            x if x < 0x4 => self.tar as u16,
+            _ => self.ccr0,
+        }
+    }
+
+    fn write(&mut self, addr: u16, val: u16, _byte: bool) {
+        match addr - self.base {
+            x if x < 0x2 => {
+                self.ctl = val & !ctl_bits::TACLR;
+                if val & ctl_bits::TACLR != 0 {
+                    self.tar = 0;
+                }
+            }
+            x if x < 0x4 => self.tar = val as u32,
+            _ => self.ccr0 = val,
+        }
+    }
+
+    fn tick(&mut self, cycles: u64) {
+        if !self.running() || self.ccr0 == 0 {
+            return;
+        }
+        let period = self.ccr0 as u64;
+        let mut tar = self.tar as u64 + cycles;
+        while tar >= period {
+            tar -= period;
+            self.ctl |= ctl_bits::TAIFG;
+            self.expiries += 1;
+        }
+        self.tar = tar as u32;
+    }
+
+    fn irq_lines(&self) -> u16 {
+        if self.ctl & ctl_bits::TAIE != 0 && self.ctl & ctl_bits::TAIFG != 0 {
+            1 << self.vector
+        } else {
+            0
+        }
+    }
+
+    fn ack_irq(&mut self, vector: u8) {
+        if vector == self.vector {
+            self.ctl &= !ctl_bits::TAIFG;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ctl = 0;
+        self.tar = 0;
+        self.ccr0 = 0;
+        self.expiries = 0;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up_timer(period: u16) -> Timer {
+        let mut t = Timer::new();
+        t.write(TIMER_BASE + reg::CCR0, period, false);
+        t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP | ctl_bits::TAIE, false);
+        t
+    }
+
+    #[test]
+    fn counts_and_wraps() {
+        let mut t = up_timer(10);
+        t.tick(9);
+        assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 9);
+        assert_eq!(t.irq_lines(), 0);
+        t.tick(1);
+        assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 0);
+        assert_eq!(t.irq_lines(), 1 << TIMER_VECTOR);
+        assert_eq!(t.expiries(), 1);
+    }
+
+    #[test]
+    fn multiple_periods_in_one_tick() {
+        let mut t = up_timer(10);
+        t.tick(35);
+        assert_eq!(t.expiries(), 3);
+        assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 5);
+    }
+
+    #[test]
+    fn no_interrupt_without_ie() {
+        let mut t = Timer::new();
+        t.write(TIMER_BASE + reg::CCR0, 5, false);
+        t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP, false);
+        t.tick(7);
+        assert_eq!(t.irq_lines(), 0, "flag set but not enabled");
+        assert_ne!(t.read(TIMER_BASE + reg::CTL, false) & ctl_bits::TAIFG, 0);
+    }
+
+    #[test]
+    fn ack_clears_flag() {
+        let mut t = up_timer(5);
+        t.tick(5);
+        assert_ne!(t.irq_lines(), 0);
+        t.ack_irq(TIMER_VECTOR);
+        assert_eq!(t.irq_lines(), 0);
+    }
+
+    #[test]
+    fn taclr_strobe_clears_counter() {
+        let mut t = up_timer(100);
+        t.tick(42);
+        t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP | ctl_bits::TACLR, false);
+        assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 0);
+        assert!(t.running());
+    }
+
+    #[test]
+    fn stopped_timer_does_not_count() {
+        let mut t = Timer::new();
+        t.write(TIMER_BASE + reg::CCR0, 5, false);
+        t.tick(100);
+        assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = up_timer(5);
+        t.tick(7);
+        t.reset();
+        assert_eq!(t.read(TIMER_BASE + reg::CTL, false), 0);
+        assert_eq!(t.expiries(), 0);
+    }
+}

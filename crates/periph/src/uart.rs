@@ -1,0 +1,206 @@
+//! A byte-oriented UART with an RX interrupt.
+//!
+//! Models the "network command" path of the paper's §3: the patient's
+//! *abort* command arrives asynchronously over UART and must be serviced
+//! by an ISR while the syringe-pump `ER` sleeps.
+
+use openmsp430::mem::MemRegion;
+use openmsp430::periph::Peripheral;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Default MMIO base.
+pub const UART_BASE: u16 = 0x0070;
+
+/// Default RX interrupt vector.
+pub const UART_RX_VECTOR: u8 = 6;
+
+/// Register offsets.
+pub mod reg {
+    /// Status: bit 0 = RX data available.
+    pub const STAT: u16 = 0x0;
+    /// Receive buffer (reading pops the FIFO).
+    pub const RXBUF: u16 = 0x2;
+    /// Transmit buffer (writing sends a byte).
+    pub const TXBUF: u16 = 0x4;
+    /// Control: bit 0 = RX interrupt enable.
+    pub const CTL: u16 = 0x6;
+}
+
+/// Status bits.
+pub mod stat_bits {
+    /// RX data available.
+    pub const RXAVAIL: u16 = 0x1;
+}
+
+/// Control bits.
+pub mod ctl_bits {
+    /// RX interrupt enable.
+    pub const RXIE: u16 = 0x1;
+}
+
+/// A simple UART.
+///
+/// # Examples
+///
+/// ```
+/// use periph::uart::{ctl_bits, reg, Uart, UART_BASE};
+/// use openmsp430::periph::Peripheral;
+///
+/// let mut u = Uart::new();
+/// u.write(UART_BASE + reg::CTL, ctl_bits::RXIE, false);
+/// u.rx_push(b'A');
+/// assert_ne!(u.irq_lines(), 0);
+/// assert_eq!(u.read(UART_BASE + reg::RXBUF, true), b'A' as u16);
+/// assert_eq!(u.irq_lines(), 0, "line drops when the FIFO drains");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Uart {
+    base: u16,
+    vector: u8,
+    ctl: u16,
+    rx_fifo: VecDeque<u8>,
+    tx_log: Vec<u8>,
+}
+
+impl Uart {
+    /// Creates a UART at the default base/vector.
+    pub fn new() -> Uart {
+        Uart::with_base(UART_BASE, UART_RX_VECTOR)
+    }
+
+    /// Creates a UART at a custom MMIO base and RX vector.
+    pub fn with_base(base: u16, vector: u8) -> Uart {
+        Uart { base, vector, ctl: 0, rx_fifo: VecDeque::new(), tx_log: Vec::new() }
+    }
+
+    /// Delivers a byte from the outside world into the RX FIFO.
+    pub fn rx_push(&mut self, byte: u8) {
+        self.rx_fifo.push_back(byte);
+    }
+
+    /// Delivers a whole message.
+    pub fn rx_push_bytes(&mut self, bytes: &[u8]) {
+        self.rx_fifo.extend(bytes.iter().copied());
+    }
+
+    /// Everything the firmware transmitted since reset.
+    pub fn tx_log(&self) -> &[u8] {
+        &self.tx_log
+    }
+
+    /// Bytes waiting in the RX FIFO.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_fifo.len()
+    }
+}
+
+impl Peripheral for Uart {
+    fn name(&self) -> &'static str {
+        "uart"
+    }
+
+    fn mmio(&self) -> MemRegion {
+        MemRegion::new(self.base, self.base + 0x7)
+    }
+
+    fn read(&mut self, addr: u16, _byte: bool) -> u16 {
+        match addr - self.base {
+            x if x < 0x2 => u16::from(!self.rx_fifo.is_empty()),
+            x if x < 0x4 => self.rx_fifo.pop_front().unwrap_or(0) as u16,
+            x if x < 0x6 => 0,
+            _ => self.ctl,
+        }
+    }
+
+    fn write(&mut self, addr: u16, val: u16, _byte: bool) {
+        match addr - self.base {
+            x if x < 0x4 => {}
+            x if x < 0x6 => self.tx_log.push(val as u8),
+            _ => self.ctl = val,
+        }
+    }
+
+    fn tick(&mut self, _cycles: u64) {}
+
+    fn irq_lines(&self) -> u16 {
+        if self.ctl & ctl_bits::RXIE != 0 && !self.rx_fifo.is_empty() {
+            1 << self.vector
+        } else {
+            0
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ctl = 0;
+        self.rx_fifo.clear();
+        self.tx_log.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_fifo_order() {
+        let mut u = Uart::new();
+        u.rx_push_bytes(b"abc");
+        assert_eq!(u.read(UART_BASE + reg::RXBUF, true), b'a' as u16);
+        assert_eq!(u.read(UART_BASE + reg::RXBUF, true), b'b' as u16);
+        assert_eq!(u.rx_pending(), 1);
+    }
+
+    #[test]
+    fn status_tracks_fifo() {
+        let mut u = Uart::new();
+        assert_eq!(u.read(UART_BASE + reg::STAT, false), 0);
+        u.rx_push(7);
+        assert_eq!(u.read(UART_BASE + reg::STAT, false), stat_bits::RXAVAIL);
+    }
+
+    #[test]
+    fn irq_level_follows_fifo_and_ie() {
+        let mut u = Uart::new();
+        u.rx_push(1);
+        assert_eq!(u.irq_lines(), 0, "IE off");
+        u.write(UART_BASE + reg::CTL, ctl_bits::RXIE, false);
+        assert_eq!(u.irq_lines(), 1 << UART_RX_VECTOR);
+        let _ = u.read(UART_BASE + reg::RXBUF, true);
+        assert_eq!(u.irq_lines(), 0);
+    }
+
+    #[test]
+    fn tx_is_logged() {
+        let mut u = Uart::new();
+        u.write(UART_BASE + reg::TXBUF, b'o' as u16, true);
+        u.write(UART_BASE + reg::TXBUF, b'k' as u16, true);
+        assert_eq!(u.tx_log(), b"ok");
+    }
+
+    #[test]
+    fn empty_rx_reads_zero() {
+        let mut u = Uart::new();
+        assert_eq!(u.read(UART_BASE + reg::RXBUF, true), 0);
+    }
+
+    #[test]
+    fn reset_drains_everything() {
+        let mut u = Uart::new();
+        u.rx_push(1);
+        u.write(UART_BASE + reg::TXBUF, 2, true);
+        u.write(UART_BASE + reg::CTL, 1, false);
+        u.reset();
+        assert_eq!(u.rx_pending(), 0);
+        assert!(u.tx_log().is_empty());
+        assert_eq!(u.irq_lines(), 0);
+    }
+}

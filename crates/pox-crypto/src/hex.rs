@@ -1,0 +1,84 @@
+//! Minimal hex encoding/decoding (avoids an external dependency for test
+//! vectors and report rendering).
+
+use std::error::Error;
+use std::fmt;
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pox_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeHexError {
+    at: usize,
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hex input at byte {}", self.at)
+    }
+}
+
+impl Error for DecodeHexError {}
+
+/// Decodes a hex string (case-insensitive, even length).
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] on non-hex characters or odd length.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pox_crypto::hex::decode("dead")?, vec![0xde, 0xad]);
+/// # Ok::<(), pox_crypto::hex::DecodeHexError>(())
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if s.len() % 2 != 0 {
+        return Err(DecodeHexError { at: s.len() });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = (bytes[i] as char).to_digit(16).ok_or(DecodeHexError { at: i })?;
+        let lo = (bytes[i + 1] as char).to_digit(16).ok_or(DecodeHexError { at: i + 1 })?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("DeAdBeEf").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(decode("abc").is_err());
+        assert!(decode("zz").is_err());
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

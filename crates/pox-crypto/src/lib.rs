@@ -1,0 +1,28 @@
+//! # pox-crypto — attestation crypto primitives
+//!
+//! From-scratch implementations of SHA-256 (FIPS 180-4) and HMAC-SHA256
+//! (RFC 2104), plus constant-time comparison and hex helpers. These are
+//! the primitives VRASED's SW-Att uses to compute authenticated integrity
+//! checks over prover memory, and that the verifier uses to validate
+//! attestation/PoX responses.
+//!
+//! No external crypto dependencies are used: the reproduction's trust
+//! anchor is self-contained, mirroring the self-contained HACL*-derived
+//! HMAC that VRASED ships in ROM.
+//!
+//! # Examples
+//!
+//! ```
+//! use pox_crypto::{hmac::hmac_sha256, hex};
+//!
+//! let tag = hmac_sha256(b"device-key", b"challenge || memory");
+//! assert_eq!(tag.len(), 32);
+//! assert_eq!(hex::decode(&hex::encode(&tag)).unwrap(), tag);
+//! ```
+
+pub mod hex;
+pub mod hmac;
+pub mod sha256;
+
+pub use hmac::{ct_eq, hmac_sha256, HmacSha256};
+pub use sha256::{digest, Sha256, DIGEST_LEN};

@@ -1,0 +1,86 @@
+//! Property-based tests for the crypto primitives.
+
+use pox_crypto::hmac::{ct_eq, hmac_sha256, HmacSha256};
+use pox_crypto::sha256::{digest, Sha256};
+use pox_crypto::hex;
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing with arbitrary chunk boundaries equals one-shot.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let oneshot = digest(&data);
+        let mut h = Sha256::new();
+        let mut pos = 0usize;
+        let mut cuts: Vec<usize> =
+            cuts.iter().map(|c| if data.is_empty() { 0 } else { c % data.len() }).collect();
+        cuts.sort_unstable();
+        for c in cuts {
+            if c > pos {
+                h.update(&data[pos..c]);
+                pos = c;
+            }
+        }
+        h.update(&data[pos..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Hex encode/decode round-trips.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    /// HMAC incremental equals one-shot.
+    #[test]
+    fn hmac_incremental_equals_oneshot(
+        key in proptest::collection::vec(any::<u8>(), 0..200),
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        split in any::<usize>(),
+    ) {
+        let expect = hmac_sha256(&key, &data);
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut m = HmacSha256::new(&key);
+        m.update(&data[..cut]);
+        m.update(&data[cut..]);
+        prop_assert_eq!(m.finalize(), expect);
+    }
+
+    /// Distinct messages essentially never collide (sanity, not proof).
+    #[test]
+    fn sha256_distinguishes_flipped_bit(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut other = data.clone();
+        let i = idx % data.len();
+        other[i] ^= 1 << bit;
+        prop_assert_ne!(digest(&data), digest(&other));
+    }
+
+    /// ct_eq agrees with ==.
+    #[test]
+    fn ct_eq_agrees_with_eq(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+        prop_assert!(ct_eq(&a, &a.clone()));
+    }
+
+    /// Tag depends on every key byte.
+    #[test]
+    fn hmac_key_sensitivity(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in any::<usize>(),
+    ) {
+        let mut other = key.clone();
+        let i = idx % key.len();
+        other[i] ^= 0x01;
+        prop_assert_ne!(hmac_sha256(&key, b"msg"), hmac_sha256(&other, b"msg"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # rtl-synth — netlist IR and LUT/register cost estimation
+//!
+//! The hardware-overhead substrate for the paper's Fig. 6. Monitor RTL
+//! is described programmatically as a gate netlist ([`netlist`]),
+//! technology-mapped onto k-input LUTs ([`mapper`], k = 6 for the
+//! Artix-7 of the paper's Basys3 prototype), and flip-flops are counted
+//! directly. [`designs`] contains the VRASED/APEX/ASAP monitor fabrics;
+//! the APEX-vs-ASAP LUT/FF delta *emerges* from their structure (APEX's
+//! interrupt machinery vs ASAP's single-FF IVT guard), it is not stated
+//! anywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtl_synth::designs::fig6_comparison;
+//!
+//! let (apex, asap) = fig6_comparison();
+//! assert!(asap.luts < apex.luts, "Fig. 6(a): ASAP uses fewer LUTs");
+//! assert!(asap.regs < apex.regs, "Fig. 6(b): ASAP uses fewer registers");
+//! ```
+
+pub mod designs;
+pub mod mapper;
+pub mod netlist;
+
+pub use designs::{apex_design, asap_design, cost_of, fig6_comparison, DesignCost};
+pub use mapper::{map, MapReport};
+pub use netlist::{NetId, Netlist, Node};

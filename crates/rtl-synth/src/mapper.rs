@@ -1,0 +1,233 @@
+//! Technology mapping: covering the gate netlist with k-input LUTs.
+//!
+//! Classic cut-based mapping: enumerate bounded-size cuts per node
+//! (merging child cuts, pruning to the `k` best by area), pick the
+//! lowest-area cut per node, then select LUTs by walking the chosen
+//! cover from the outputs and register inputs. Flip-flops map 1:1 to
+//! registers — the two quantities of the paper's Fig. 6.
+
+use crate::netlist::{Netlist, Node, NetId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A cut: the leaf nets feeding one LUT rooted at a node.
+type Cut = BTreeSet<NetId>;
+
+/// Result of mapping a netlist.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// Number of k-input LUTs.
+    pub luts: usize,
+    /// Number of flip-flops.
+    pub regs: usize,
+    /// The selected LUTs: root net → leaf nets.
+    pub cover: HashMap<NetId, Vec<NetId>>,
+    /// LUT input size used.
+    pub k: usize,
+}
+
+fn is_gate(node: &Node) -> bool {
+    matches!(node, Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..))
+}
+
+fn gate_children(node: &Node) -> Vec<NetId> {
+    match node {
+        Node::Not(a) => vec![*a],
+        Node::And(a, b) | Node::Or(a, b) | Node::Xor(a, b) => vec![*a, *b],
+        _ => Vec::new(),
+    }
+}
+
+/// Maps `netlist` onto `k`-input LUTs (Artix-7: `k = 6`).
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn map(netlist: &Netlist, k: usize) -> MapReport {
+    assert!(k >= 2, "LUTs need at least two inputs");
+    let nodes = &netlist.nodes;
+    let n = nodes.len();
+
+    // Per-node cut sets and best (area, cut).
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n];
+    let mut best_area: Vec<u32> = vec![0; n];
+
+    const MAX_CUTS: usize = 8;
+
+    for id in 0..n {
+        let node = &nodes[id];
+        if !is_gate(node) {
+            continue; // inputs/consts/reg outputs are free leaves
+        }
+        let children = gate_children(node);
+        // Child cut sets: a non-gate child contributes only its trivial cut.
+        let child_cuts: Vec<Vec<Cut>> = children
+            .iter()
+            .map(|c| {
+                let mut v = vec![Cut::from([*c])];
+                if is_gate(&nodes[c.0 as usize]) {
+                    v.extend(cuts[c.0 as usize].iter().cloned());
+                }
+                v
+            })
+            .collect();
+
+        let mut mine: Vec<Cut> = Vec::new();
+        match child_cuts.len() {
+            1 => {
+                for c in &child_cuts[0] {
+                    if c.len() <= k {
+                        mine.push(c.clone());
+                    }
+                }
+            }
+            2 => {
+                for a in &child_cuts[0] {
+                    for b in &child_cuts[1] {
+                        let merged: Cut = a.union(b).copied().collect();
+                        if merged.len() <= k {
+                            mine.push(merged);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("gates have 1 or 2 inputs"),
+        }
+        mine.sort_by_key(|c| {
+            (cut_area(c, nodes, &best_area), c.len())
+        });
+        mine.dedup();
+        mine.truncate(MAX_CUTS);
+        if mine.is_empty() {
+            mine.push(Cut::from([NetId(id as u32)]));
+        }
+        best_area[id] = 1 + cut_area(&mine[0], nodes, &best_area);
+        cuts[id] = mine;
+    }
+
+    // Cover selection from roots.
+    let mut roots: Vec<NetId> = netlist.outputs.iter().map(|(_, n)| *n).collect();
+    for r in &netlist.regs {
+        if let Some(d) = r.d {
+            roots.push(d);
+        }
+    }
+
+    let mut cover: HashMap<NetId, Vec<NetId>> = HashMap::new();
+    let mut visited: HashSet<NetId> = HashSet::new();
+    let mut stack = roots;
+    while let Some(root) = stack.pop() {
+        if !visited.insert(root) {
+            continue;
+        }
+        if !is_gate(&nodes[root.0 as usize]) {
+            continue;
+        }
+        let cut = cuts[root.0 as usize]
+            .first()
+            .cloned()
+            .unwrap_or_else(|| Cut::from([root]));
+        let leaves: Vec<NetId> = cut.iter().copied().collect();
+        for &leaf in &leaves {
+            if leaf != root {
+                stack.push(leaf);
+            }
+        }
+        cover.insert(root, leaves);
+    }
+
+    MapReport { luts: cover.len(), regs: netlist.regs.len(), cover, k }
+}
+
+fn cut_area(cut: &Cut, nodes: &[Node], best_area: &[u32]) -> u32 {
+    cut.iter()
+        .map(|c| if is_gate(&nodes[c.0 as usize]) { best_area[c.0 as usize] } else { 0 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn small_function_fits_one_lut() {
+        // f = (a & b) | (c & !d) — 4 inputs, one LUT6.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let d = nl.input("d");
+        let ab = nl.and(a, b);
+        let nd = nl.not(d);
+        let cnd = nl.and(c, nd);
+        let f = nl.or(ab, cnd);
+        nl.output("f", f);
+        let report = map(&nl, 6);
+        assert_eq!(report.luts, 1, "4-input function in one LUT6");
+        assert_eq!(report.regs, 0);
+    }
+
+    #[test]
+    fn wide_and_needs_multiple_luts() {
+        // 16-input AND: ceil over LUT6 tree => at least 3 LUTs.
+        let mut nl = Netlist::new();
+        let bus = nl.input_bus("x", 16);
+        let f = nl.and_all(&bus);
+        nl.output("f", f);
+        let report = map(&nl, 6);
+        assert!(report.luts >= 3, "16-AND needs ≥3 LUT6, got {}", report.luts);
+        assert!(report.luts <= 6, "but not absurdly many, got {}", report.luts);
+    }
+
+    #[test]
+    fn lut4_costs_more_than_lut6() {
+        let mut nl = Netlist::new();
+        let bus = nl.input_bus("x", 16);
+        let f = nl.and_all(&bus);
+        nl.output("f", f);
+        let l6 = map(&nl, 6).luts;
+        let l4 = map(&nl, 4).luts;
+        assert!(l4 >= l6);
+    }
+
+    #[test]
+    fn registers_counted() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let (r, q) = nl.reg("state");
+        let d = nl.xor(a, q);
+        nl.connect_reg(r, d);
+        nl.output("q", q);
+        let report = map(&nl, 6);
+        assert_eq!(report.regs, 1);
+        assert_eq!(report.luts, 1, "xor of two leaves");
+    }
+
+    #[test]
+    fn cover_leaves_are_within_k() {
+        let mut nl = Netlist::new();
+        let bus = nl.input_bus("x", 12);
+        let f = nl.or_all(&bus);
+        nl.output("f", f);
+        let report = map(&nl, 6);
+        for (root, leaves) in &report.cover {
+            assert!(leaves.len() <= 6, "cut at {root:?} exceeds k");
+        }
+    }
+
+    #[test]
+    fn comparator_cost_is_reasonable() {
+        // 16-bit >= comparator: tens of gates, a handful of LUT6s.
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 16);
+        let b = nl.input_bus("b", 16);
+        let ge = nl.ge_bus(&a, &b);
+        nl.output("ge", ge);
+        let report = map(&nl, 6);
+        assert!(
+            (3..=16).contains(&report.luts),
+            "16-bit comparator should take a few LUT6s, got {}",
+            report.luts
+        );
+    }
+}

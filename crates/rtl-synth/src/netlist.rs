@@ -1,0 +1,483 @@
+//! Gate-level netlist IR with structural hashing and constant folding.
+//!
+//! The Fig. 6 experiment needs hardware cost (LUTs/registers) for the
+//! VRASED/APEX/ASAP monitor RTL. Designs are built programmatically as
+//! netlists of two-input gates plus D flip-flops, then technology-mapped
+//! to k-input LUTs by [`crate::mapper`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A net (wire) in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// A node driving a net.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Constant 0/1.
+    Const(bool),
+    /// Primary input.
+    Input(String),
+    /// Flip-flop output (state bit).
+    RegQ(usize),
+    /// Inverter.
+    Not(NetId),
+    /// 2-input AND.
+    And(NetId, NetId),
+    /// 2-input OR.
+    Or(NetId, NetId),
+    /// 2-input XOR.
+    Xor(NetId, NetId),
+}
+
+/// A D flip-flop.
+#[derive(Debug, Clone)]
+pub struct Reg {
+    /// Diagnostic name.
+    pub name: String,
+    /// Data input (connected via [`Netlist::connect_reg`]).
+    pub d: Option<NetId>,
+    /// Output net.
+    pub q: NetId,
+}
+
+/// A combinational + sequential netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) nodes: Vec<Node>,
+    hash: HashMap<Node, NetId>,
+    pub(crate) regs: Vec<Reg>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    fn intern(&mut self, node: Node) -> NetId {
+        if let Some(&id) = self.hash.get(&node) {
+            return id;
+        }
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.hash.insert(node, id);
+        id
+    }
+
+    /// A constant net.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.intern(Node::Const(value))
+    }
+
+    /// Declares (or reuses) a primary input.
+    pub fn input(&mut self, name: &str) -> NetId {
+        self.intern(Node::Input(name.to_string()))
+    }
+
+    /// Declares a bus of inputs `name[0]..name[width-1]`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+    }
+
+    /// Creates a flip-flop; returns its index and output net.
+    pub fn reg(&mut self, name: &str) -> (usize, NetId) {
+        let idx = self.regs.len();
+        let q = self.intern(Node::RegQ(idx));
+        self.regs.push(Reg { name: name.to_string(), d: None, q });
+        (idx, q)
+    }
+
+    /// A bank of flip-flops (e.g. a 16-bit configuration register).
+    pub fn reg_bus(&mut self, name: &str, width: usize) -> Vec<(usize, NetId)> {
+        (0..width).map(|i| self.reg(&format!("{name}[{i}]"))).collect()
+    }
+
+    /// Connects a flip-flop's D input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected.
+    pub fn connect_reg(&mut self, reg: usize, d: NetId) {
+        assert!(self.regs[reg].d.is_none(), "register D already connected");
+        self.regs[reg].d = Some(d);
+    }
+
+    /// Connects the register whose output is `q` as a hold register
+    /// (`D = Q`) — used for MMIO-written configuration registers whose
+    /// write path lies outside the modelled monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register drives `q` or it is already connected.
+    pub fn connect_reg_by_q(&mut self, q: NetId) {
+        let idx = self
+            .regs
+            .iter()
+            .position(|r| r.q == q)
+            .expect("no register drives this net");
+        self.connect_reg(idx, q);
+    }
+
+    /// Register names in index order (diagnostics; lets tests set up
+    /// configuration-register state by name).
+    pub fn reg_names(&self) -> Vec<String> {
+        self.regs.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Logical NOT with folding.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        match &self.nodes[a.0 as usize] {
+            Node::Const(v) => {
+                let v = !*v;
+                self.constant(v)
+            }
+            Node::Not(inner) => *inner,
+            _ => self.intern(Node::Not(a)),
+        }
+    }
+
+    /// Logical AND with folding and commutativity canonicalization.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (&self.nodes[a.0 as usize], &self.nodes[b.0 as usize]) {
+            (Node::Const(false), _) | (_, Node::Const(false)) => self.constant(false),
+            (Node::Const(true), _) => b,
+            (_, Node::Const(true)) => a,
+            _ if a == b => a,
+            _ => self.intern(Node::And(a, b)),
+        }
+    }
+
+    /// Logical OR with folding.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (&self.nodes[a.0 as usize], &self.nodes[b.0 as usize]) {
+            (Node::Const(true), _) | (_, Node::Const(true)) => self.constant(true),
+            (Node::Const(false), _) => b,
+            (_, Node::Const(false)) => a,
+            _ if a == b => a,
+            _ => self.intern(Node::Or(a, b)),
+        }
+    }
+
+    /// Logical XOR with folding.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (&self.nodes[a.0 as usize], &self.nodes[b.0 as usize]) {
+            (Node::Const(false), _) => b,
+            (_, Node::Const(false)) => a,
+            (Node::Const(true), _) => self.not(b),
+            (_, Node::Const(true)) => self.not(a),
+            _ if a == b => self.constant(false),
+            _ => self.intern(Node::Xor(a, b)),
+        }
+    }
+
+    /// 2:1 multiplexer: `s ? a : b`.
+    pub fn mux(&mut self, s: NetId, a: NetId, b: NetId) -> NetId {
+        let sa = self.and(s, a);
+        let ns = self.not(s);
+        let nsb = self.and(ns, b);
+        self.or(sa, nsb)
+    }
+
+    /// AND over many nets.
+    pub fn and_all(&mut self, nets: &[NetId]) -> NetId {
+        let mut acc = self.constant(true);
+        for &n in nets {
+            acc = self.and(acc, n);
+        }
+        acc
+    }
+
+    /// OR over many nets.
+    pub fn or_all(&mut self, nets: &[NetId]) -> NetId {
+        let mut acc = self.constant(false);
+        for &n in nets {
+            acc = self.or(acc, n);
+        }
+        acc
+    }
+
+    /// `bus == constant` comparator.
+    pub fn eq_const(&mut self, bus: &[NetId], value: u64) -> NetId {
+        let mut terms = Vec::with_capacity(bus.len());
+        for (i, &b) in bus.iter().enumerate() {
+            if value >> i & 1 == 1 {
+                terms.push(b);
+            } else {
+                terms.push(self.not(b));
+            }
+        }
+        self.and_all(&terms)
+    }
+
+    /// `a == b` comparator for two buses.
+    pub fn eq_bus(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len());
+        let mut terms = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let diff = self.xor(x, y);
+            terms.push(self.not(diff));
+        }
+        self.and_all(&terms)
+    }
+
+    /// Unsigned `a >= b` ripple comparator.
+    pub fn ge_bus(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert_eq!(a.len(), b.len());
+        // From LSB to MSB: ge = (a_i & !b_i) | (a_i == b_i) & ge_prev
+        let mut ge = self.constant(true);
+        for (&x, &y) in a.iter().zip(b) {
+            let ny = self.not(y);
+            let gt = self.and(x, ny);
+            let diff = self.xor(x, y);
+            let eq = self.not(diff);
+            let keep = self.and(eq, ge);
+            ge = self.or(gt, keep);
+        }
+        ge
+    }
+
+    /// Unsigned `a <= b`.
+    pub fn le_bus(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let ge = self.ge_bus(b, a);
+        // b >= a  ≡  a <= b
+        ge
+    }
+
+    /// `lo <= bus <= hi` with register-configurable bounds.
+    pub fn in_range(&mut self, bus: &[NetId], lo: &[NetId], hi: &[NetId]) -> NetId {
+        let ge = self.ge_bus(bus, lo);
+        let le = self.le_bus(bus, hi);
+        self.and(ge, le)
+    }
+
+    /// `bus + constant` ripple-carry adder (wrapping), used for
+    /// pipeline-stage offset addresses relative to configurable bounds.
+    pub fn add_const(&mut self, bus: &[NetId], value: u64) -> Vec<NetId> {
+        let mut carry = self.constant(false);
+        let mut out = Vec::with_capacity(bus.len());
+        for (i, &a) in bus.iter().enumerate() {
+            let b = self.constant(value >> i & 1 == 1);
+            let axb = self.xor(a, b);
+            let sum = self.xor(axb, carry);
+            let ab = self.and(a, b);
+            let ac = self.and(axb, carry);
+            carry = self.or(ab, ac);
+            out.push(sum);
+        }
+        out
+    }
+
+    /// Declares a primary output.
+    pub fn output(&mut self, name: &str, net: NetId) {
+        self.outputs.push((name.to_string(), net));
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// A proxy for "lines of HDL": one statement per gate node, register
+    /// and output (reported next to the paper's 2155 Verilog LoC).
+    pub fn statement_count(&self) -> usize {
+        let gates = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..)))
+            .count();
+        gates + self.regs.len() + self.outputs.len()
+    }
+
+    /// Evaluates the combinational logic given input values and current
+    /// register state; returns output values and next register state.
+    pub fn simulate(
+        &self,
+        inputs: &HashMap<String, bool>,
+        reg_state: &[bool],
+    ) -> (HashMap<String, bool>, Vec<bool>) {
+        assert_eq!(reg_state.len(), self.regs.len());
+        let mut values = vec![None; self.nodes.len()];
+
+        fn eval(
+            nl: &Netlist,
+            id: NetId,
+            inputs: &HashMap<String, bool>,
+            regs: &[bool],
+            values: &mut Vec<Option<bool>>,
+        ) -> bool {
+            if let Some(v) = values[id.0 as usize] {
+                return v;
+            }
+            let v = match &nl.nodes[id.0 as usize] {
+                Node::Const(b) => *b,
+                Node::Input(name) => *inputs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("missing input `{name}`")),
+                Node::RegQ(i) => regs[*i],
+                Node::Not(a) => !eval(nl, *a, inputs, regs, values),
+                Node::And(a, b) => {
+                    eval(nl, *a, inputs, regs, values) && eval(nl, *b, inputs, regs, values)
+                }
+                Node::Or(a, b) => {
+                    eval(nl, *a, inputs, regs, values) || eval(nl, *b, inputs, regs, values)
+                }
+                Node::Xor(a, b) => {
+                    eval(nl, *a, inputs, regs, values) != eval(nl, *b, inputs, regs, values)
+                }
+            };
+            values[id.0 as usize] = Some(v);
+            v
+        }
+
+        let mut outs = HashMap::new();
+        for (name, net) in &self.outputs {
+            outs.insert(name.clone(), eval(self, *net, inputs, reg_state, &mut values));
+        }
+        let next: Vec<bool> = self
+            .regs
+            .iter()
+            .map(|r| {
+                let d = r.d.unwrap_or_else(|| panic!("register `{}` unconnected", r.name));
+                eval(self, d, inputs, reg_state, &mut values)
+            })
+            .collect();
+        (outs, next)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} nodes, {} regs, {} outputs",
+            self.node_count(),
+            self.reg_count(),
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and(a, b);
+        let y = n.and(b, a);
+        assert_eq!(x, y, "commuted AND is the same node");
+        let before = n.node_count();
+        let _ = n.and(a, b);
+        assert_eq!(n.node_count(), before);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let t = n.constant(true);
+        let f = n.constant(false);
+        assert_eq!(n.and(a, t), a);
+        assert_eq!(n.and(a, f), f);
+        assert_eq!(n.or(a, f), a);
+        assert_eq!(n.or(a, t), t);
+        assert_eq!(n.xor(a, f), a);
+        let na = n.not(a);
+        assert_eq!(n.xor(a, t), na);
+        assert_eq!(n.not(na), a, "double negation folds");
+        assert_eq!(n.and(a, a), a);
+        assert_eq!(n.xor(a, a), f);
+    }
+
+    #[test]
+    fn comparator_truth() {
+        let mut n = Netlist::new();
+        let bus = n.input_bus("x", 4);
+        let eq5 = n.eq_const(&bus, 5);
+        n.output("eq5", eq5);
+        for v in 0..16u64 {
+            let mut inputs = HashMap::new();
+            for i in 0..4 {
+                inputs.insert(format!("x[{i}]"), v >> i & 1 == 1);
+            }
+            let (outs, _) = n.simulate(&inputs, &[]);
+            assert_eq!(outs["eq5"], v == 5, "value {v}");
+        }
+    }
+
+    #[test]
+    fn range_comparator_truth() {
+        let mut n = Netlist::new();
+        let x = n.input_bus("x", 4);
+        let lo = n.input_bus("lo", 4);
+        let hi = n.input_bus("hi", 4);
+        let inr = n.in_range(&x, &lo, &hi);
+        n.output("in", inr);
+        for v in 0..16u64 {
+            for l in [2u64, 7] {
+                for h in [9u64, 12] {
+                    let mut inputs = HashMap::new();
+                    for i in 0..4 {
+                        inputs.insert(format!("x[{i}]"), v >> i & 1 == 1);
+                        inputs.insert(format!("lo[{i}]"), l >> i & 1 == 1);
+                        inputs.insert(format!("hi[{i}]"), h >> i & 1 == 1);
+                    }
+                    let (outs, _) = n.simulate(&inputs, &[]);
+                    assert_eq!(outs["in"], v >= l && v <= h, "v={v} lo={l} hi={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registers_hold_state() {
+        let mut n = Netlist::new();
+        let en = n.input("en");
+        let (r, q) = n.reg("toggle");
+        let nq = n.not(q);
+        let d = n.mux(en, nq, q);
+        n.connect_reg(r, d);
+        n.output("q", q);
+
+        let mut state = vec![false];
+        let on = HashMap::from([("en".to_string(), true)]);
+        let off = HashMap::from([("en".to_string(), false)]);
+        let (outs, next) = n.simulate(&on, &state);
+        assert!(!outs["q"]);
+        state = next;
+        assert!(state[0], "toggled high");
+        let (_, next) = n.simulate(&off, &state);
+        assert!(next[0], "held");
+        let (_, next) = n.simulate(&on, &next);
+        assert!(!next[0], "toggled low");
+    }
+
+    #[test]
+    fn statement_count_counts_gates() {
+        let mut n = Netlist::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and(a, b);
+        n.output("x", x);
+        assert_eq!(n.statement_count(), 2); // 1 gate + 1 output
+    }
+}

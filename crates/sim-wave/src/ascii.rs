@@ -1,0 +1,118 @@
+//! ASCII timing-diagram rendering (the terminal rendition of Fig. 5).
+//!
+//! Bit signals render as high/low rails (`▔`/`▁` with `/`/`\` edges);
+//! buses render their hex value at each change point.
+
+use crate::WaveSet;
+
+/// Renders the signals of `w` over cycles `[from, to)`.
+///
+/// One column per cycle; signal names are left-aligned in a gutter.
+pub fn render_ascii(w: &WaveSet, from: u64, to: u64) -> String {
+    let gutter = w.signals().iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+
+    // Cycle ruler (every 10 cycles).
+    out.push_str(&format!("{:>gutter$} ", "cycle"));
+    let mut c = from;
+    while c < to {
+        if (c - from) % 10 == 0 {
+            let mark = format!("{c}");
+            out.push_str(&mark);
+            let skip = mark.len() as u64;
+            c += skip;
+        } else {
+            out.push(' ');
+            c += 1;
+        }
+    }
+    out.push('\n');
+
+    for s in w.signals() {
+        out.push_str(&format!("{:>gutter$} ", s.name));
+        if s.width == 1 {
+            let mut prev: Option<u64> = None;
+            for c in from..to {
+                let v = s.value_at(c);
+                let ch = match (prev, v) {
+                    (_, None) => ' ',
+                    (Some(1), Some(0)) => '\\',
+                    (Some(0), Some(1)) => '/',
+                    (_, Some(0)) => '▁',
+                    (_, Some(_)) => '▔',
+                };
+                out.push(ch);
+                prev = v;
+            }
+        } else {
+            // Bus: print the value at every change, padded with '=' rails.
+            let mut c = from;
+            let mut prev: Option<u64> = None;
+            while c < to {
+                let v = s.value_at(c);
+                if v != prev && v.is_some() {
+                    let text = format!("{:#06x}", v.unwrap());
+                    out.push('|');
+                    for ch in text.chars() {
+                        if c >= to {
+                            break;
+                        }
+                        out.push(ch);
+                        c += 1;
+                    }
+                    c += 1; // the '|'
+                    prev = v;
+                } else {
+                    out.push(if v.is_some() { '=' } else { ' ' });
+                    c += 1;
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Signal, WaveSet};
+
+    fn demo() -> WaveSet {
+        let mut w = WaveSet::new();
+        w.add(Signal::bit("irq"));
+        w.add(Signal::bit("exec"));
+        w.add(Signal::bus("pc", 16));
+        w.sample("irq", 0, 0);
+        w.sample("irq", 4, 1);
+        w.sample("irq", 5, 0);
+        w.sample("exec", 0, 1);
+        w.sample("exec", 6, 0);
+        w.sample("pc", 0, 0xE000);
+        w.sample("pc", 4, 0xE1B0);
+        w
+    }
+
+    #[test]
+    fn renders_rails_and_edges() {
+        let art = render_ascii(&demo(), 0, 12);
+        assert!(art.contains("irq"));
+        assert!(art.contains('/'), "rising edge drawn");
+        assert!(art.contains('\\'), "falling edge drawn");
+        assert!(art.contains("▁"));
+        assert!(art.contains("▔"));
+    }
+
+    #[test]
+    fn renders_bus_values() {
+        let art = render_ascii(&demo(), 0, 16);
+        assert!(art.contains("0xe000"));
+        assert!(art.contains("0xe1b0"));
+    }
+
+    #[test]
+    fn window_clips() {
+        let art = render_ascii(&demo(), 0, 3);
+        assert!(!art.contains("0xe1b0"), "change at cycle 4 is outside the window");
+    }
+}

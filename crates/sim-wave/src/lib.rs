@@ -1,0 +1,166 @@
+//! # sim-wave — signal recording, ASCII waveforms and VCD export
+//!
+//! Regenerates the paper's Fig. 5: simulation waveforms of `ERmin`,
+//! `ERmax`, `EXEC`, `irq` and `PC` over time. Signals are recorded as
+//! `(cycle, value)` samples, rendered either as an ASCII timing diagram
+//! (for the terminal / EXPERIMENTS.md) or as a VCD file loadable in
+//! GTKWave — the tool the original authors screenshotted.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_wave::{Signal, WaveSet};
+//!
+//! let mut w = WaveSet::new();
+//! w.add(Signal::bit("irq"));
+//! w.add(Signal::bus("pc", 16));
+//! w.sample("irq", 0, 0);
+//! w.sample("pc", 0, 0xE000);
+//! w.sample("irq", 5, 1);
+//! w.sample("pc", 5, 0xE1B0);
+//! let art = w.render_ascii(0, 10);
+//! assert!(art.contains("irq"));
+//! let vcd = w.render_vcd("fig5");
+//! assert!(vcd.starts_with("$date"));
+//! ```
+
+pub mod ascii;
+pub mod vcd;
+
+pub use ascii::render_ascii;
+pub use vcd::render_vcd;
+
+/// A recorded signal: single-bit or multi-bit bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    /// Display name.
+    pub name: String,
+    /// Bus width in bits (1 for wires).
+    pub width: u8,
+    /// `(cycle, value)` change/sample points, in nondecreasing cycle
+    /// order.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl Signal {
+    /// A 1-bit wire.
+    pub fn bit(name: impl Into<String>) -> Signal {
+        Signal { name: name.into(), width: 1, samples: Vec::new() }
+    }
+
+    /// A multi-bit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn bus(name: impl Into<String>, width: u8) -> Signal {
+        assert!((1..=64).contains(&width), "bus width out of range");
+        Signal { name: name.into(), width, samples: Vec::new() }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, cycle: u64, value: u64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|(c, _)| *c <= cycle),
+            "samples must be time-ordered"
+        );
+        self.samples.push((cycle, value));
+    }
+
+    /// The signal's value at `cycle` (the most recent sample at or before
+    /// it).
+    pub fn value_at(&self, cycle: u64) -> Option<u64> {
+        self.samples.iter().take_while(|(c, _)| *c <= cycle).map(|(_, v)| *v).last()
+    }
+}
+
+/// A set of signals recorded over a common timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaveSet {
+    signals: Vec<Signal>,
+}
+
+impl WaveSet {
+    /// Creates an empty set.
+    pub fn new() -> WaveSet {
+        WaveSet::default()
+    }
+
+    /// Adds a signal (order defines render order).
+    pub fn add(&mut self, signal: Signal) {
+        self.signals.push(signal);
+    }
+
+    /// Appends a sample to the named signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown signal names.
+    pub fn sample(&mut self, name: &str, cycle: u64, value: u64) {
+        let s = self
+            .signals
+            .iter_mut()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown signal `{name}`"));
+        s.push(cycle, value);
+    }
+
+    /// The recorded signals.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Renders an ASCII timing diagram covering `[from, to)` cycles.
+    pub fn render_ascii(&self, from: u64, to: u64) -> String {
+        ascii::render_ascii(self, from, to)
+    }
+
+    /// Renders a VCD document.
+    pub fn render_vcd(&self, module: &str) -> String {
+        vcd::render_vcd(self, module)
+    }
+
+    /// The last cycle sampled on any signal.
+    pub fn last_cycle(&self) -> u64 {
+        self.signals
+            .iter()
+            .filter_map(|s| s.samples.last().map(|(c, _)| *c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_holds_last_sample() {
+        let mut s = Signal::bit("x");
+        s.push(2, 1);
+        s.push(5, 0);
+        assert_eq!(s.value_at(0), None);
+        assert_eq!(s.value_at(2), Some(1));
+        assert_eq!(s.value_at(4), Some(1));
+        assert_eq!(s.value_at(5), Some(0));
+        assert_eq!(s.value_at(100), Some(0));
+    }
+
+    #[test]
+    fn waveset_lookup_and_last_cycle() {
+        let mut w = WaveSet::new();
+        w.add(Signal::bit("a"));
+        w.add(Signal::bus("b", 16));
+        w.sample("a", 1, 1);
+        w.sample("b", 7, 0xBEEF);
+        assert_eq!(w.last_cycle(), 7);
+        assert_eq!(w.signals().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown signal")]
+    fn unknown_signal_panics() {
+        let mut w = WaveSet::new();
+        w.sample("ghost", 0, 0);
+    }
+}

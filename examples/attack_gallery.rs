@@ -1,0 +1,84 @@
+//! A gallery of the adversary's moves from the paper's §4.1 threat
+//! model, each of which must yield an invalid proof of execution.
+//!
+//! ```sh
+//! cargo run --example attack_gallery
+//! ```
+
+use asap::device::{Device, PoxMode};
+use asap::programs;
+use asap::verifier::AsapVerifier;
+use periph::gpio::PORT1_VECTOR;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+type Attack = (&'static str, fn(&mut Device));
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let key = b"gallery-key";
+    let image = programs::fig4_authorized()?;
+    let isr = image.symbol("gpio_isr").unwrap();
+
+    let attacks: Vec<Attack> = vec![
+        ("IVT rewrite via CPU after execution", |d| {
+            d.attacker_cpu_write(0xFFE4, 0xDEAD);
+        }),
+        ("IVT rewrite via DMA after execution", |d| {
+            d.attacker_dma_write(0xFFE4, 0xDEAD);
+            d.step();
+        }),
+        ("ER binary patched post-execution", |d| {
+            let er_min = d.er().min;
+            d.attacker_cpu_write(er_min + 6, 0x4343);
+        }),
+        ("Output (OR) forged post-execution", |d| {
+            let or = d.ctx().layout.or;
+            d.attacker_cpu_write(or.start(), 0xFFFF);
+        }),
+        ("DMA into OR post-execution", |d| {
+            let or = d.ctx().layout.or;
+            d.attacker_dma_write(or.start(), 0x6666);
+            d.step();
+        }),
+        ("jump into the middle of ER (code-reuse)", |d| {
+            let target = d.er().min + 8;
+            d.mcu.cpu.regs.set_pc(target);
+            d.step();
+        }),
+    ];
+
+    println!("honest baseline first:");
+    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+    device.run_until_pc(programs::done_pc(), 5_000);
+    let mut verifier = AsapVerifier::new(
+        key,
+        device.er_bytes(),
+        BTreeMap::from([(PORT1_VECTOR, isr)]),
+    );
+    let (er, or) = device.pox_regions();
+    let req = verifier.request(er, or);
+    let resp = device.attest(&req);
+    println!("  honest run: EXEC={} verify={:?}\n", resp.exec, verifier.verify(&req, &resp).is_ok());
+
+    let mut caught = 0;
+    for (name, attack) in &attacks {
+        let mut device = Device::new(&image, PoxMode::Asap, key)?;
+        device.run_until_pc(programs::done_pc(), 5_000);
+        attack(&mut device);
+        device.run_steps(3);
+        let req = verifier.request(er, or);
+        let resp = device.attest(&req);
+        let verdict = verifier.verify(&req, &resp);
+        let detected = verdict.is_err();
+        caught += detected as u32;
+        println!(
+            "  {name:<44} EXEC={} verdict={:<30} {}",
+            resp.exec as u8,
+            format!("{verdict:?}").chars().take(30).collect::<String>(),
+            if detected { "caught ✔" } else { "MISSED ✘" },
+        );
+    }
+    println!("\n{caught}/{} attacks detected", attacks.len());
+    assert_eq!(caught as usize, attacks.len(), "every attack must be detected");
+    Ok(())
+}

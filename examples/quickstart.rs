@@ -1,0 +1,63 @@
+//! Quickstart: build a provable program, run it on an ASAP device,
+//! attest, and verify — then watch an attack get caught.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use asap::device::{Device, PoxMode};
+use asap::programs;
+use asap::verifier::AsapVerifier;
+use periph::gpio::PORT1_VECTOR;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let key = b"demo-device-key";
+
+    // 1. Link the Fig. 4 program: main task + a trusted GPIO ISR, both
+    //    placed inside the executable region ER by the linker script
+    //    discipline (exec.start / exec.body / exec.leave).
+    let image = programs::fig4_authorized()?;
+    let er = image.er.unwrap();
+    println!("linked ER = {} (entry {:#06x}, exit {:#06x})", er.region, er.min, er.exit);
+    println!(
+        "trusted ISR `gpio_isr` at {:#06x} — inside ER: {}",
+        image.symbol("gpio_isr").unwrap(),
+        er.region.contains(image.symbol("gpio_isr").unwrap()),
+    );
+
+    // 2. Deploy on an ASAP-equipped MCU.
+    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+
+    // 3. Run the provable execution; press the button mid-run so the
+    //    trusted ISR services an asynchronous event *during* ER.
+    device.run_steps(10);
+    device.set_button(0, true);
+    device.run_until_pc(programs::done_pc(), 5_000);
+    println!("after execution: EXEC = {}", device.exec());
+
+    // 4. The verifier requests a proof of execution.
+    let mut verifier = AsapVerifier::new(
+        key,
+        device.er_bytes(),
+        BTreeMap::from([(PORT1_VECTOR, image.symbol("gpio_isr").unwrap())]),
+    );
+    let (er_region, or_region) = device.pox_regions();
+    let request = verifier.request(er_region, or_region);
+    let response = device.attest(&request);
+    match verifier.verify(&request, &response) {
+        Ok(()) => println!("PoX verified: the expected code ran, interrupts and all ✔"),
+        Err(e) => println!("PoX rejected: {e}"),
+    }
+
+    // 5. Now the adversary rewrites an IVT entry and re-runs.
+    device.attacker_cpu_write(0xFFE4, 0xF00D);
+    let request = verifier.request(er_region, or_region);
+    let response = device.attest(&request);
+    match verifier.verify(&request, &response) {
+        Ok(()) => println!("unexpected acceptance!"),
+        Err(e) => println!("attack caught: {e} ✔"),
+    }
+    Ok(())
+}

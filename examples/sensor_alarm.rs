@@ -1,0 +1,70 @@
+//! The Fig. 4 / Fig. 5 story: authorized vs unauthorized interrupts
+//! during a provable execution, shown as waveforms.
+//!
+//! A "sensor-alarm combination": the main task runs inside `ER`; a
+//! button on GPIO port 1 triggers an ISR that actuates port 5 (the
+//! alarm). When the ISR is linked inside `ER`, ASAP keeps `EXEC = 1`
+//! (Fig. 5(a)); when it is linked outside, the PC excursion clears
+//! `EXEC` (Fig. 5(b)); and under plain APEX the interrupt alone clears
+//! it (Fig. 5(c)).
+//!
+//! ```sh
+//! cargo run --example sensor_alarm
+//! ```
+
+use asap::device::{Device, PoxMode, WaveSample};
+use asap::programs;
+use sim_wave::{Signal, WaveSet};
+use std::error::Error;
+
+/// Runs one scenario: press the button a few steps into `ER` execution.
+fn scenario(image: &msp430_tools::link::Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
+    let mut device = Device::new(image, mode, b"alarm-key")?;
+    device.run_steps(6); // into the ER main loop
+    device.set_button(0, true);
+    device.run_until_pc(programs::done_pc(), 5_000);
+    Ok(device)
+}
+
+fn waveform(device: &Device, er: openmsp430::mem::MemRegion) -> String {
+    let mut w = WaveSet::new();
+    w.add(Signal::bit("pc_in_er"));
+    w.add(Signal::bit("irq"));
+    w.add(Signal::bit("exec"));
+    w.add(Signal::bus("pc", 16));
+    let mut last_pc = None;
+    for (i, s) in device.wave().iter().enumerate() {
+        let WaveSample { pc, irq, exec, .. } = *s;
+        let t = i as u64;
+        w.sample("pc_in_er", t, er.contains(pc) as u64);
+        w.sample("irq", t, irq as u64);
+        w.sample("exec", t, exec as u64);
+        if last_pc != Some(pc) {
+            w.sample("pc", t, pc as u64);
+            last_pc = Some(pc);
+        }
+    }
+    w.render_ascii(0, (device.wave().len() as u64).min(70))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let authorized = programs::fig4_authorized()?;
+    let unauthorized = programs::fig4_unauthorized()?;
+    let er = authorized.er.unwrap().region;
+
+    println!("— (a) authorized interrupt under ASAP —");
+    let d = scenario(&authorized, PoxMode::Asap)?;
+    println!("{}", waveform(&d, er));
+    println!("EXEC = {} — proof survives the trusted ISR\n", d.exec());
+
+    println!("— (b) unauthorized interrupt under ASAP —");
+    let d = scenario(&unauthorized, PoxMode::Asap)?;
+    println!("{}", waveform(&d, unauthorized.er.unwrap().region));
+    println!("EXEC = {} — the out-of-ER ISR invalidated the proof\n", d.exec());
+
+    println!("— (c) any interrupt under APEX —");
+    let d = scenario(&authorized, PoxMode::Apex)?;
+    println!("{}", waveform(&d, er));
+    println!("EXEC = {} — APEX rejects even the trusted ISR", d.exec());
+    Ok(())
+}

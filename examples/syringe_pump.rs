@@ -1,0 +1,147 @@
+//! The paper's §3 application: a remotely monitored syringe pump.
+//!
+//! Scenario A — ASAP, interrupt-driven: the pump starts injecting, arms
+//! the dosage timer, sleeps, and is woken by the (trusted, in-`ER`)
+//! timer ISR. The patient can abort at any moment with the button or a
+//! network command. The execution is provable.
+//!
+//! Scenario B — the APEX workaround: busy-wait for the dose period.
+//! Works, but burns the battery and cannot be aborted.
+//!
+//! Scenario C — an abort mid-dose under ASAP: still provable.
+//!
+//! Scenario D — the same interrupt-driven code under plain APEX: the
+//! timer interrupt invalidates the proof (`EXEC = 0`).
+//!
+//! ```sh
+//! cargo run --example syringe_pump
+//! ```
+
+use asap::device::{Device, PoxMode};
+use asap::programs;
+use asap::verifier::AsapVerifier;
+use periph::gpio::PORT1_VECTOR;
+use periph::timer::TIMER_VECTOR;
+use periph::uart::UART_RX_VECTOR;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+/// Current draw in active vs low-power mode (MSP430F1xx-class figures:
+/// ~300 µA at 1 MHz active, ~1.5 µA in LPM3). Energy per run is
+/// `active_cycles·I_active + idle_cycles·I_lpm` in arbitrary µA·cycle
+/// units — only the *ratio* matters here.
+const ACTIVE_UA: f64 = 300.0;
+const LPM_UA: f64 = 1.5;
+
+struct RunStats {
+    active_cycles: u64,
+    idle_cycles: u64,
+    exec: bool,
+    status: u16,
+}
+
+impl RunStats {
+    fn energy(&self) -> f64 {
+        self.active_cycles as f64 * ACTIVE_UA + self.idle_cycles as f64 * LPM_UA
+    }
+}
+
+/// Runs the pump program to its idle loop, optionally pressing the abort
+/// button at the given step, and splits the consumed cycles into
+/// active vs low-power.
+fn run_pump(device: &mut Device, abort_at_step: Option<u64>) -> RunStats {
+    let mut active_cycles = 0u64;
+    let mut idle_cycles = 0u64;
+    let mut prev_cycle = device.mcu.cycles();
+    for step in 0..500_000u64 {
+        if device.mcu.cpu.regs.pc() == programs::done_pc() {
+            break;
+        }
+        if Some(step) == abort_at_step {
+            device.set_button(0, true); // the patient presses "cancel"
+        }
+        let r = device.step();
+        let delta = r.signals.cycle - prev_cycle;
+        prev_cycle = r.signals.cycle;
+        if r.signals.idle {
+            idle_cycles += delta;
+        } else {
+            active_cycles += delta;
+        }
+        if r.signals.fault.is_some() {
+            break;
+        }
+    }
+    RunStats {
+        active_cycles,
+        idle_cycles,
+        exec: device.exec(),
+        status: device.mcu.mem.read_word(0x0300),
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let key = b"pump-key";
+    let dose_cycles = 5_000u16;
+
+    println!("=== A. ASAP, interrupt-driven dosing ===");
+    let image = programs::syringe_pump_interrupt(dose_cycles)?;
+    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+    let a = run_pump(&mut device, None);
+    println!("dose status = {} (2 = completed), EXEC = {}", a.status, a.exec);
+    println!(
+        "cycles: {} active + {} asleep (LPM) — the CPU slept {:.0}% of the dose",
+        a.active_cycles,
+        a.idle_cycles,
+        100.0 * a.idle_cycles as f64 / (a.active_cycles + a.idle_cycles) as f64
+    );
+    let mut verifier = AsapVerifier::new(
+        key,
+        device.er_bytes(),
+        BTreeMap::from([
+            (TIMER_VECTOR, image.symbol("timer_isr").unwrap()),
+            (PORT1_VECTOR, image.symbol("abort_isr").unwrap()),
+            (UART_RX_VECTOR, image.symbol("abort_isr").unwrap()),
+        ]),
+    );
+    let (er, or) = device.pox_regions();
+    let req = verifier.request(er, or);
+    let resp = device.attest(&req);
+    println!("verification: {:?}", verifier.verify(&req, &resp).map(|_| "accepted"));
+
+    println!("\n=== B. APEX workaround: busy-wait dosing ===");
+    // The busy-wait loop (dec + jnz = 4 cycles) calibrated to the same
+    // dose duration.
+    let image_bw = programs::syringe_pump_busywait(dose_cycles / 4)?;
+    let mut device_bw = Device::new(&image_bw, PoxMode::Apex, key)?;
+    let b = run_pump(&mut device_bw, None);
+    println!("dose status = {} (2 = completed), EXEC = {}", b.status, b.exec);
+    println!(
+        "cycles: {} active + {} asleep — no sleep is possible while counting",
+        b.active_cycles, b.idle_cycles
+    );
+    println!(
+        "\nenergy ratio (busy-wait / interrupt-driven) ≈ {:.0}×",
+        b.energy() / a.energy()
+    );
+
+    println!("\n=== C. Patient aborts mid-dose (ASAP) ===");
+    let mut device_ab = Device::new(&image, PoxMode::Asap, key)?;
+    let c = run_pump(&mut device_ab, Some(40));
+    println!("dose status = {} (3 = aborted), EXEC = {}", c.status, c.exec);
+    let req = verifier.request(er, or);
+    let resp = device_ab.attest(&req);
+    println!(
+        "verification of the aborted run: {:?} (the abort is itself provable!)",
+        verifier.verify(&req, &resp).map(|_| "accepted")
+    );
+
+    println!("\n=== D. The same interrupt-driven code under plain APEX ===");
+    let mut device_apex = Device::new(&image, PoxMode::Apex, key)?;
+    let d = run_pump(&mut device_apex, None);
+    println!(
+        "dose status = {}, EXEC = {} — the timer interrupt killed the proof (Fig. 5(c))",
+        d.status, d.exec
+    );
+    Ok(())
+}

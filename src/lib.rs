@@ -1,0 +1,32 @@
+//! # asap-repro — umbrella crate for the ASAP (DAC 2022) reproduction
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can reach the whole stack, and so `cargo doc`
+//! produces a single navigable tree:
+//!
+//! * [`openmsp430`] — the MCU instruction-set/signal simulator;
+//! * [`periph`] — timer, GPIO, UART, DMA;
+//! * [`pox_crypto`] — SHA-256 / HMAC-SHA256;
+//! * [`msp430_tools`] — assembler, linker (Fig. 4 section discipline),
+//!   disassembler;
+//! * [`ltl_mc`] — LTL trace checking and explicit-state model checking;
+//! * [`vrased`] — the hybrid remote-attestation substrate;
+//! * [`apex_pox`] — proofs of execution (the `EXEC` monitor);
+//! * [`asap`] — the paper's contribution: interrupt-tolerant PoX;
+//! * [`rtl_synth`] — LUT/FF cost model (Fig. 6);
+//! * [`sim_wave`] — waveforms (Fig. 5).
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the architecture
+//! and substitution decisions, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use apex_pox;
+pub use asap;
+pub use ltl_mc;
+pub use msp430_tools;
+pub use openmsp430;
+pub use periph;
+pub use pox_crypto;
+pub use rtl_synth;
+pub use sim_wave;
+pub use vrased;

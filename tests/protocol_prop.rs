@@ -1,0 +1,153 @@
+//! Property-based tests of the PoX protocol: honest responses always
+//! verify; any single-field tamper is always rejected.
+
+use apex_pox::protocol::{pox_items, PoxResponse, PoxVerifier};
+use asap::verifier::AsapVerifier;
+use openmsp430::mem::MemRegion;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vrased::swatt::attest;
+
+const KEY: &[u8] = b"prop-key";
+
+fn er_region() -> MemRegion {
+    MemRegion::new(0xE000, 0xE1FF)
+}
+
+fn or_region() -> MemRegion {
+    MemRegion::new(0x0300, 0x033F)
+}
+
+fn ivt_region() -> MemRegion {
+    MemRegion::new(0xFFE0, 0xFFFF)
+}
+
+proptest! {
+    /// APEX: honest responses verify for arbitrary ER/OR contents.
+    #[test]
+    fn honest_apex_roundtrip(
+        er_bytes in proptest::collection::vec(any::<u8>(), 16..512),
+        out in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut vrf = PoxVerifier::new(KEY, er_bytes.clone());
+        let req = vrf.request(er_region(), or_region());
+        let items = pox_items(true, req.er, &er_bytes, req.or, &out, None);
+        let resp = PoxResponse {
+            exec: true,
+            output: out,
+            ivt: None,
+            mac: attest(KEY, &req.chal.0, &items),
+        };
+        prop_assert!(vrf.verify_apex(&req, &resp).is_ok());
+    }
+
+    /// APEX: flipping any bit of the ER image breaks verification.
+    #[test]
+    fn er_bitflip_rejected(
+        er_bytes in proptest::collection::vec(any::<u8>(), 16..256),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut infected = er_bytes.clone();
+        let i = idx % infected.len();
+        infected[i] ^= 1 << bit;
+        let mut vrf = PoxVerifier::new(KEY, er_bytes);
+        let req = vrf.request(er_region(), or_region());
+        let items = pox_items(true, req.er, &infected, req.or, b"out", None);
+        let resp = PoxResponse {
+            exec: true,
+            output: b"out".to_vec(),
+            ivt: None,
+            mac: attest(KEY, &req.chal.0, &items),
+        };
+        prop_assert!(vrf.verify_apex(&req, &resp).is_err());
+    }
+
+    /// APEX: tampering with the claimed output after measurement fails.
+    #[test]
+    fn output_tamper_rejected(
+        out in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in any::<usize>(),
+    ) {
+        let er_bytes = vec![0x4A; 64];
+        let mut vrf = PoxVerifier::new(KEY, er_bytes.clone());
+        let req = vrf.request(er_region(), or_region());
+        let items = pox_items(true, req.er, &er_bytes, req.or, &out, None);
+        let mut resp = PoxResponse {
+            exec: true,
+            output: out,
+            ivt: None,
+            mac: attest(KEY, &req.chal.0, &items),
+        };
+        let i = idx % resp.output.len();
+        resp.output[i] ^= 0xFF;
+        prop_assert!(vrf.verify_apex(&req, &resp).is_err());
+    }
+
+    /// ASAP: an IVT whose in-ER entries match the expected ISR map
+    /// verifies; any in-ER entry not in the map is rejected.
+    #[test]
+    fn asap_ivt_policy(
+        isr_vector in 0u8..16,
+        isr_offset in (0u16..0x100).prop_map(|o| o & !1),
+        rogue_vector in 0u8..16,
+        rogue_offset in (0u16..0x100).prop_map(|o| o & !1),
+    ) {
+        prop_assume!(isr_vector != rogue_vector);
+        prop_assume!(isr_offset != rogue_offset);
+        let er = er_region();
+        let isr_addr = er.start() + isr_offset;
+        let rogue_addr = er.start() + rogue_offset;
+        let er_bytes = vec![0x4A; er.len() as usize];
+        let expected = BTreeMap::from([(isr_vector, isr_addr)]);
+        let mut vrf = AsapVerifier::new(KEY, er_bytes.clone(), expected);
+
+        // Honest IVT: only the expected vector points into ER.
+        let mut ivt = vec![0u8; 32];
+        ivt[2 * isr_vector as usize..2 * isr_vector as usize + 2]
+            .copy_from_slice(&isr_addr.to_le_bytes());
+        let req = vrf.request(er, or_region());
+        let items =
+            pox_items(true, er, &er_bytes, req.or, b"out", Some((ivt_region(), &ivt)));
+        let resp = PoxResponse {
+            exec: true,
+            output: b"out".to_vec(),
+            ivt: Some(ivt.clone()),
+            mac: attest(KEY, &req.chal.0, &items),
+        };
+        prop_assert!(vrf.verify(&req, &resp).is_ok());
+
+        // Rogue IVT: another vector re-routed into ER.
+        let mut bad_ivt = ivt;
+        bad_ivt[2 * rogue_vector as usize..2 * rogue_vector as usize + 2]
+            .copy_from_slice(&rogue_addr.to_le_bytes());
+        let req = vrf.request(er, or_region());
+        let items =
+            pox_items(true, er, &er_bytes, req.or, b"out", Some((ivt_region(), &bad_ivt)));
+        let resp = PoxResponse {
+            exec: true,
+            output: b"out".to_vec(),
+            ivt: Some(bad_ivt),
+            mac: attest(KEY, &req.chal.0, &items),
+        };
+        prop_assert!(vrf.verify(&req, &resp).is_err());
+    }
+
+    /// Responses never verify under a different challenge (freshness).
+    #[test]
+    fn challenge_binding(out in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let er_bytes = vec![0x11; 64];
+        let mut vrf = PoxVerifier::new(KEY, er_bytes.clone());
+        let req1 = vrf.request(er_region(), or_region());
+        let items = pox_items(true, req1.er, &er_bytes, req1.or, &out, None);
+        let resp = PoxResponse {
+            exec: true,
+            output: out,
+            ivt: None,
+            mac: attest(KEY, &req1.chal.0, &items),
+        };
+        let req2 = vrf.request(er_region(), or_region());
+        prop_assert!(vrf.verify_apex(&req1, &resp).is_ok());
+        prop_assert!(vrf.verify_apex(&req2, &resp).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate behavioural tests of the simulator through the assembler:
+//! real MSP430 idioms executed end to end.
+
+use msp430_tools::link::{link, LinkConfig};
+use openmsp430::layout::MemLayout;
+use openmsp430::mcu::Mcu;
+use openmsp430::regs::Reg;
+
+fn run(src: &str, steps: u64) -> Mcu {
+    let img = link(src, &LinkConfig::new(0xC000, 0xE000)).expect("links");
+    let mut mcu = Mcu::new(MemLayout::default());
+    img.load_into(&mut mcu.mem);
+    mcu.reset();
+    for _ in 0..steps {
+        let s = mcu.step();
+        if s.fault.is_some() {
+            break;
+        }
+    }
+    mcu
+}
+
+#[test]
+fn fibonacci_in_assembly() {
+    let mcu = run(
+        "
+        main:
+            mov #10, r10    ; n
+            clr r4          ; a
+            mov #1, r5      ; b
+        fib:
+            mov r5, r6
+            add r4, r6      ; c = a + b
+            mov r5, r4
+            mov r6, r5
+            dec r10
+            jnz fib
+        spin:
+            jmp spin
+        ",
+        200,
+    );
+    assert_eq!(mcu.cpu.regs.get(Reg::r(4)), 55, "fib(10)");
+}
+
+#[test]
+fn memcpy_via_autoincrement() {
+    let src = "
+        main:
+            mov #src_buf, r4
+            mov #0x0400, r5
+            mov #4, r6
+        copy:
+            mov.b @r4+, 0(r5)
+            inc r5
+            dec r6
+            jnz copy
+        spin:
+            jmp spin
+        src_buf:
+            .byte 0xDE, 0xAD, 0xBE, 0xEF
+    ";
+    let mcu = run(src, 100);
+    assert_eq!(mcu.mem.read_byte(0x0400), 0xDE);
+    assert_eq!(mcu.mem.read_byte(0x0403), 0xEF);
+}
+
+#[test]
+fn subroutine_stack_discipline() {
+    let src = "
+        main:
+            mov #0xBEEF, r7
+            push r7
+            call #double
+            pop r8
+        spin:
+            jmp spin
+        double:
+            rla r7
+            ret
+    ";
+    let mcu = run(src, 50);
+    assert_eq!(mcu.cpu.regs.get(Reg::r(7)), 0x7DDE, "0xBEEF << 1");
+    assert_eq!(mcu.cpu.regs.get(Reg::r(8)), 0xBEEF, "stack preserved the original");
+    assert_eq!(mcu.cpu.regs.sp(), MemLayout::default().stack_top);
+}
+
+#[test]
+fn bcd_counter_with_dadd() {
+    // Classic MSP430 idiom: decimal counting with DADD.
+    let src = "
+        main:
+            clr r4
+            mov #25, r10
+        tick:
+            clrc            ; dec sets C; clear it before each DADD
+            dadd #1, r4     ; r4 increments in BCD
+            dec r10
+            jnz tick
+        spin:
+            jmp spin
+    ";
+    let mcu = run(src, 200);
+    assert_eq!(mcu.cpu.regs.get(Reg::r(4)), 0x0025, "BCD 25 after 25 ticks");
+}
+
+#[test]
+fn carry_chain_32bit_addition() {
+    // 32-bit add across two registers with ADDC.
+    let src = "
+        main:
+            mov #0xFFFF, r4 ; low(a)
+            mov #0x0001, r5 ; high(a)
+            mov #0x0001, r6 ; low(b)
+            clr r7          ; high(b)
+            add r6, r4      ; low sum, sets carry
+            addc r7, r5     ; high sum + carry
+        spin:
+            jmp spin
+    ";
+    let mcu = run(src, 50);
+    assert_eq!(mcu.cpu.regs.get(Reg::r(4)), 0x0000);
+    assert_eq!(mcu.cpu.regs.get(Reg::r(5)), 0x0002, "carry propagated");
+}
+
+#[test]
+fn nested_interrupts_masked_until_reti() {
+    // ISR runs with GIE cleared; a second pending interrupt is serviced
+    // only after RETI.
+    let src = "
+        main:
+            eint
+            mov #100, r10
+        loop:
+            dec r10
+            jnz loop
+        spin:
+            jmp spin
+        isr:
+            inc r14        ; count ISR entries
+            mov #50, r13
+        busy:
+            dec r13
+            jnz busy
+            reti
+    ";
+    let img = link(
+        src,
+        &LinkConfig::new(0xC000, 0xE000).vector(9, "isr").reset("main"),
+    )
+    .unwrap();
+    let mut mcu = Mcu::new(MemLayout::default());
+    img.load_into(&mut mcu.mem);
+    mcu.reset();
+    mcu.step(); // eint
+    mcu.raise_irq(9);
+    let s = mcu.step();
+    assert_eq!(s.irq_vector, Some(9));
+    // While inside the ISR, raise the line again: masked (GIE=0).
+    mcu.raise_irq(9);
+    let mut second_entry = 0u64;
+    for _ in 0..400 {
+        let s = mcu.step();
+        if s.irq_vector == Some(9) {
+            second_entry = s.step;
+            break;
+        }
+    }
+    assert!(second_entry > 0, "second interrupt serviced after RETI");
+    assert_eq!(mcu.cpu.regs.get(Reg::r(14)), 1, "exactly one ISR entry before re-service");
+}
+
+#[test]
+fn byte_and_word_mmio_access_to_gpio() {
+    use openmsp430::periph::Peripheral;
+    use periph::gpio::Gpio;
+
+    let src = "
+        main:
+            mov.b #0xAA, &0x0041  ; P5OUT byte write
+        spin:
+            jmp spin
+    ";
+    let img = link(src, &LinkConfig::new(0xC000, 0xE000)).unwrap();
+    let mut mcu = Mcu::new(MemLayout::default());
+    mcu.add_peripheral(Box::new(Gpio::port(5, None)));
+    img.load_into(&mut mcu.mem);
+    mcu.reset();
+    mcu.step();
+    let p5: &Gpio = mcu.periph().unwrap();
+    assert_eq!(p5.out(), 0xAA);
+    let _ = p5.mmio();
+}
