@@ -9,7 +9,16 @@
 //!   The kernel takes a `check_irq` flag: `true` is APEX (any interrupt
 //!   invalidates the proof), `false` is the ASAP relaxation;
 //! * [`protocol`] — the PoX request/response protocol whose measurement
-//!   covers `EXEC ‖ ER ‖ OR` (and `‖ IVT` under ASAP).
+//!   covers `EXEC ‖ ER ‖ OR` (and `‖ IVT` under ASAP);
+//! * [`wire`] — the canonical byte encoding of [`PoxRequest`] and
+//!   [`PoxResponse`], so a verifier session and a prover can talk across
+//!   any byte transport.
+//!
+//! The ergonomic entry points live one layer up, in the `asap` crate:
+//! `Device::builder` constructs provers, `VerifierSpec::from_image`
+//! derives the verifier's expectations from the linked image, and
+//! `PoxSession` walks the `Issued → Evidence → Verified/Rejected`
+//! state machine over these message types.
 //!
 //! # Examples
 //!
@@ -26,6 +35,8 @@
 
 pub mod monitor;
 pub mod protocol;
+pub mod wire;
 
 pub use monitor::{exec_inputs, exec_kernel, ApexMonitor, ExecIn, ExecState};
-pub use protocol::{pox_items, labels, PoxError, PoxRequest, PoxResponse, PoxVerifier};
+pub use protocol::{labels, pox_items, PoxError, PoxRequest, PoxResponse, PoxVerifier};
+pub use wire::WireError;

@@ -53,7 +53,7 @@ pub struct ExecIn {
 }
 
 /// Register state of the `EXEC` monitor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ExecState {
     /// The `EXEC` flag.
     pub exec: bool,
@@ -63,12 +63,6 @@ pub struct ExecState {
     pub prev_in_er: bool,
     /// `PC = ERmax` on the previous step.
     pub prev_at_exit: bool,
-}
-
-impl Default for ExecState {
-    fn default() -> ExecState {
-        ExecState { exec: false, active: false, prev_in_er: false, prev_at_exit: false }
-    }
 }
 
 /// One clock of the `EXEC` kernel.
@@ -123,7 +117,12 @@ pub fn exec_kernel(s: ExecState, i: ExecIn, check_irq: bool) -> ExecState {
         exec = false;
     }
 
-    ExecState { exec, active, prev_in_er: i.pc_in_er, prev_at_exit: i.pc_at_erexit }
+    ExecState {
+        exec,
+        active,
+        prev_in_er: i.pc_in_er,
+        prev_at_exit: i.pc_at_erexit,
+    }
 }
 
 /// Extracts the kernel inputs from a simulation step.
@@ -153,7 +152,10 @@ pub struct ApexMonitor {
 impl ApexMonitor {
     /// Creates the monitor for runtime use.
     pub fn new(ctx: PropCtx) -> ApexMonitor {
-        ApexMonitor { ctx: Some(ctx), state: ExecState::default() }
+        ApexMonitor {
+            ctx: Some(ctx),
+            state: ExecState::default(),
+        }
     }
 
     /// Creates the monitor for model checking.
@@ -247,7 +249,10 @@ pub fn shared_exec_properties() -> Vec<Property> {
         ),
         Property::new(
             "P12 ER immutability: G(wen_er | dma_er -> !exec)",
-            p(names::WEN_ER).or(p(names::DMA_ER)).implies(p(names::EXEC).not()).globally(),
+            p(names::WEN_ER)
+                .or(p(names::DMA_ER))
+                .implies(p(names::EXEC).not())
+                .globally(),
         ),
         Property::new(
             "P13 OR protection: G((wen_or & !pc_in_er) | dma_or -> !exec)",
@@ -266,7 +271,10 @@ pub fn shared_exec_properties() -> Vec<Property> {
         ),
         Property::new(
             "P15 no completion via fault: G(pc_in_er & fault -> !exec)",
-            p(names::PC_IN_ER).and(p(names::FAULT)).implies(p(names::EXEC).not()).globally(),
+            p(names::PC_IN_ER)
+                .and(p(names::FAULT))
+                .implies(p(names::EXEC).not())
+                .globally(),
         ),
         Property::new(
             "P16 EXEC rises only at ERmin: G(!exec & X exec -> X pc_at_ermin)",
@@ -297,7 +305,10 @@ impl HwModule for ApexMonitor {
         let i = exec_inputs(ctx, signals);
         let before = self.state.exec;
         self.state = exec_kernel(self.state, i, true);
-        let mut action = HwAction { exec: Some(self.state.exec), ..HwAction::none() };
+        let mut action = HwAction {
+            exec: Some(self.state.exec),
+            ..HwAction::none()
+        };
         if before && !self.state.exec {
             action.violations.push("APEX: EXEC cleared".into());
         }
@@ -344,13 +355,33 @@ mod tests {
     fn honest_execution_sets_and_keeps_exec() {
         let s0 = ExecState::default();
         // Enter at ERmin.
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
         assert!(s1.exec && s1.active);
         // Run inside ER.
-        let s2 = step(s1, ExecIn { pc_in_er: true, ..Default::default() });
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                ..Default::default()
+            },
+        );
         assert!(s2.exec);
         // Reach the exit instruction.
-        let s3 = step(s2, ExecIn { pc_in_er: true, pc_at_erexit: true, ..Default::default() });
+        let s3 = step(
+            s2,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_erexit: true,
+                ..Default::default()
+            },
+        );
         assert!(s3.exec);
         // Leave from the exit.
         let s4 = step(s3, ExecIn::default());
@@ -361,7 +392,14 @@ mod tests {
     #[test]
     fn early_exit_clears_exec() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
         let s2 = step(s1, ExecIn::default()); // left without touching ERmax
         assert!(!s2.exec);
     }
@@ -369,15 +407,35 @@ mod tests {
     #[test]
     fn mid_entry_clears_exec() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                ..Default::default()
+            },
+        );
         assert!(!s1.exec);
     }
 
     #[test]
     fn irq_during_execution_clears_exec_in_apex_mode() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
-        let s2 = step(s1, ExecIn { pc_in_er: true, irq: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                irq: true,
+                ..Default::default()
+            },
+        );
         assert!(!s2.exec, "Fig. 5(c): any irq kills EXEC under APEX");
     }
 
@@ -386,10 +444,22 @@ mod tests {
         let s0 = ExecState::default();
         let s1 = exec_kernel(
             s0,
-            ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() },
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
             false,
         );
-        let s2 = exec_kernel(s1, ExecIn { pc_in_er: true, irq: true, ..Default::default() }, false);
+        let s2 = exec_kernel(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                irq: true,
+                ..Default::default()
+            },
+            false,
+        );
         assert!(s2.exec, "Fig. 5(a): in-ER ISR keeps EXEC under ASAP");
         // ISR located outside ER: the next step shows PC outside.
         let s3 = exec_kernel(s2, ExecIn::default(), false);
@@ -399,41 +469,129 @@ mod tests {
     #[test]
     fn er_write_clears_exec_even_after_completion() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
-        let s2 = step(s1, ExecIn { pc_in_er: true, pc_at_erexit: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_erexit: true,
+                ..Default::default()
+            },
+        );
         let s3 = step(s2, ExecIn::default());
         assert!(s3.exec);
-        let s4 = step(s3, ExecIn { wen_er: true, ..Default::default() });
+        let s4 = step(
+            s3,
+            ExecIn {
+                wen_er: true,
+                ..Default::default()
+            },
+        );
         assert!(!s4.exec, "post-execution ER tamper invalidates the proof");
     }
 
     #[test]
     fn or_write_by_er_code_is_legal() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
-        let s2 = step(s1, ExecIn { pc_in_er: true, wen_or: true, ..Default::default() });
-        assert!(s2.exec, "ER code writing its own output region is the point of OR");
-        let s3 = step(s2, ExecIn { pc_in_er: true, pc_at_erexit: true, ..Default::default() });
-        let s4 = step(s3, ExecIn { wen_or: true, ..Default::default() });
-        assert!(!s4.exec, "untrusted code writing OR afterwards is a violation");
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                wen_or: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            s2.exec,
+            "ER code writing its own output region is the point of OR"
+        );
+        let s3 = step(
+            s2,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_erexit: true,
+                ..Default::default()
+            },
+        );
+        let s4 = step(
+            s3,
+            ExecIn {
+                wen_or: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !s4.exec,
+            "untrusted code writing OR afterwards is a violation"
+        );
     }
 
     #[test]
     fn dma_during_execution_clears_exec() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
-        let s2 = step(s1, ExecIn { pc_in_er: true, dma_active: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                dma_active: true,
+                ..Default::default()
+            },
+        );
         assert!(!s2.exec);
     }
 
     #[test]
     fn reentry_at_ermin_rearms() {
         let s0 = ExecState::default();
-        let s1 = step(s0, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
-        let s2 = step(s1, ExecIn { pc_in_er: true, irq: true, ..Default::default() });
+        let s1 = step(
+            s0,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
+        let s2 = step(
+            s1,
+            ExecIn {
+                pc_in_er: true,
+                irq: true,
+                ..Default::default()
+            },
+        );
         assert!(!s2.exec);
         let s3 = step(s2, ExecIn::default()); // pc leaves (already invalid)
-        let s4 = step(s3, ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() });
+        let s4 = step(
+            s3,
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+        );
         assert!(s4.exec, "restarting from ERmin re-arms the proof");
     }
 
@@ -446,8 +604,7 @@ mod tests {
             assert!(
                 row.result.holds,
                 "{} failed: {:?}",
-                row.name,
-                row.result.counterexample
+                row.name, row.result.counterexample
             );
         }
     }

@@ -9,10 +9,10 @@
 
 use openmsp430::mem::MemRegion;
 use pox_crypto::hmac::ct_eq;
-use vrased::protocol::Challenge;
-use vrased::swatt::{attest, MeasuredItem, MAC_LEN};
 use std::error::Error;
 use std::fmt;
+use vrased::protocol::Challenge;
+use vrased::swatt::{attest, MeasuredItem, MAC_LEN};
 
 /// Measurement labels (domain separation within the SW-Att transcript).
 pub mod labels {
@@ -132,13 +132,21 @@ pub struct PoxVerifier {
 impl PoxVerifier {
     /// Creates a verifier expecting the given `ER` binary.
     pub fn new(key: &[u8], expected_er: Vec<u8>) -> PoxVerifier {
-        PoxVerifier { key: key.to_vec(), counter: 0, expected_er }
+        PoxVerifier {
+            key: key.to_vec(),
+            counter: 0,
+            expected_er,
+        }
     }
 
     /// Issues a fresh PoX request.
     pub fn request(&mut self, er: MemRegion, or: MemRegion) -> PoxRequest {
         self.counter += 1;
-        PoxRequest { chal: Challenge::from_counter(self.counter), er, or }
+        PoxRequest {
+            chal: Challenge::from_counter(self.counter),
+            er,
+            or,
+        }
     }
 
     /// Verifies an APEX-style response (no IVT attestation; the
@@ -148,11 +156,7 @@ impl PoxVerifier {
     ///
     /// [`PoxError::NotExecuted`] when `EXEC = 0`, [`PoxError::BadMac`] on
     /// transcript mismatch.
-    pub fn verify_apex(
-        &self,
-        req: &PoxRequest,
-        resp: &PoxResponse,
-    ) -> Result<(), PoxError> {
+    pub fn verify_apex(&self, req: &PoxRequest, resp: &PoxResponse) -> Result<(), PoxError> {
         if !resp.exec {
             return Err(PoxError::NotExecuted);
         }
@@ -253,8 +257,14 @@ mod tests {
     fn items_include_ivt_when_present() {
         let ivt_region = MemRegion::new(0xFFE0, 0xFFFF);
         let ivt = vec![0u8; 32];
-        let items =
-            pox_items(true, region_er(), &[1], region_or(), &[2], Some((ivt_region, &ivt)));
+        let items = pox_items(
+            true,
+            region_er(),
+            &[1],
+            region_or(),
+            &[2],
+            Some((ivt_region, &ivt)),
+        );
         assert_eq!(items.len(), 4);
         assert_eq!(items[3].label, labels::IVT);
         assert_eq!(items[3].start, 0xFFE0);

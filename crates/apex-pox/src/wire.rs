@@ -1,0 +1,398 @@
+//! Canonical byte encoding for the PoX protocol messages.
+//!
+//! [`PoxRequest`] and [`PoxResponse`] gain `to_bytes`/`from_bytes` here
+//! so a verifier and a prover can talk across any byte transport (UART,
+//! network, attestation broker) without re-agreeing on framing. The
+//! format is deliberately rigid:
+//!
+//! * every message starts with the 4-byte magic `PXP1` (protocol +
+//!   version) and a one-byte message type;
+//! * integers are little-endian, matching the MSP430;
+//! * variable-length fields are length-prefixed (`u32`) and bounded by
+//!   the 16-bit address space, so a corrupted length cannot cause an
+//!   outsized allocation;
+//! * decoding must consume the buffer exactly; trailing bytes are an
+//!   error, and boolean flags must be literally `0` or `1` — any bit
+//!   flip in a flag, length or header is detected rather than folded
+//!   into a "close enough" value.
+//!
+//! Decoding is *syntactic* only: a well-formed buffer yields a message,
+//! and all semantic judgement (MAC, `EXEC`, IVT policy) stays in the
+//! verifier. In particular a forged-but-well-formed response decodes
+//! fine and is then rejected by the MAC check.
+
+use crate::protocol::{PoxRequest, PoxResponse};
+use openmsp430::mem::MemRegion;
+use std::error::Error;
+use std::fmt;
+use vrased::protocol::Challenge;
+use vrased::swatt::{CHAL_LEN, MAC_LEN};
+
+/// Message magic: protocol name plus wire-format version.
+pub const MAGIC: &[u8; 4] = b"PXP1";
+
+/// Message-type byte of a [`PoxRequest`].
+pub const TYPE_REQUEST: u8 = 0x01;
+
+/// Message-type byte of a [`PoxResponse`].
+pub const TYPE_RESPONSE: u8 = 0x02;
+
+/// Upper bound on any variable-length field: nothing measured on a
+/// 16-bit MCU exceeds its address space.
+pub const MAX_FIELD_LEN: u32 = 0x1_0000;
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The magic/version prefix is wrong.
+    BadMagic,
+    /// The message-type byte matches no known message.
+    BadMessageType(u8),
+    /// A boolean flag byte was neither 0 nor 1.
+    BadFlag {
+        /// Which field.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A length prefix exceeds [`MAX_FIELD_LEN`].
+    Oversize {
+        /// Which field.
+        field: &'static str,
+        /// The claimed length.
+        len: u32,
+    },
+    /// A region's bounds are inverted (`start > end`).
+    BadRegion {
+        /// Claimed first address.
+        start: u16,
+        /// Claimed last address.
+        end: u16,
+    },
+    /// The message decoded but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated message: needed {needed} more bytes, have {have}"
+                )
+            }
+            WireError::BadMagic => write!(f, "bad magic/version prefix"),
+            WireError::BadMessageType(t) => write!(f, "unknown message type {t:#04x}"),
+            WireError::BadFlag { field, value } => {
+                write!(f, "flag `{field}` must be 0 or 1, got {value:#04x}")
+            }
+            WireError::Oversize { field, len } => {
+                write!(
+                    f,
+                    "field `{field}` claims {len} bytes, over the 64 KiB bound"
+                )
+            }
+            WireError::BadRegion { start, end } => {
+                write!(f, "inverted region bounds {start:#06x}..={end:#06x}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// A checked, consuming reader over a received buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated {
+                needed: n - self.buf.len(),
+                have: self.buf.len(),
+            });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn flag(&mut self, field: &'static str) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            value => Err(WireError::BadFlag { field, value }),
+        }
+    }
+
+    fn var_bytes(&mut self, field: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()?;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::Oversize { field, len });
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+fn header(out: &mut Vec<u8>, msg_type: u8) {
+    out.extend_from_slice(MAGIC);
+    out.push(msg_type);
+}
+
+fn check_header(r: &mut Reader<'_>, expect_type: u8) -> Result<(), WireError> {
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let t = r.u8()?;
+    if t != expect_type {
+        return Err(WireError::BadMessageType(t));
+    }
+    Ok(())
+}
+
+fn put_region(out: &mut Vec<u8>, region: MemRegion) {
+    out.extend_from_slice(&region.start().to_le_bytes());
+    out.extend_from_slice(&region.end().to_le_bytes());
+}
+
+fn get_region(r: &mut Reader<'_>) -> Result<MemRegion, WireError> {
+    let start = r.u16()?;
+    let end = r.u16()?;
+    if start > end {
+        return Err(WireError::BadRegion { start, end });
+    }
+    Ok(MemRegion::new(start, end))
+}
+
+impl PoxRequest {
+    /// Serializes the request to its canonical wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + CHAL_LEN + 8);
+        header(&mut out, TYPE_REQUEST);
+        out.extend_from_slice(self.chal.as_bytes());
+        put_region(&mut out, self.er);
+        put_region(&mut out, self.or);
+        out
+    }
+
+    /// Decodes a request from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] describing the first framing defect.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PoxRequest, WireError> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, TYPE_REQUEST)?;
+        let mut chal = [0u8; CHAL_LEN];
+        chal.copy_from_slice(r.take(CHAL_LEN)?);
+        let er = get_region(&mut r)?;
+        let or = get_region(&mut r)?;
+        r.finish()?;
+        Ok(PoxRequest {
+            chal: Challenge::from_bytes(chal),
+            er,
+            or,
+        })
+    }
+}
+
+impl PoxResponse {
+    /// Serializes the response to its canonical wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            6 + 4 + self.output.len() + 5 + self.ivt.as_ref().map_or(0, Vec::len) + MAC_LEN,
+        );
+        header(&mut out, TYPE_RESPONSE);
+        out.push(self.exec as u8);
+        out.extend_from_slice(&(self.output.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.output);
+        match &self.ivt {
+            Some(ivt) => {
+                out.push(1);
+                out.extend_from_slice(&(ivt.len() as u32).to_le_bytes());
+                out.extend_from_slice(ivt);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Decodes a response from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] describing the first framing defect.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PoxResponse, WireError> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, TYPE_RESPONSE)?;
+        let exec = r.flag("exec")?;
+        let output = r.var_bytes("output")?;
+        let ivt = if r.flag("ivt-present")? {
+            Some(r.var_bytes("ivt")?)
+        } else {
+            None
+        };
+        let mut mac = [0u8; MAC_LEN];
+        mac.copy_from_slice(r.take(MAC_LEN)?);
+        r.finish()?;
+        Ok(PoxResponse {
+            exec,
+            output,
+            ivt,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> PoxRequest {
+        PoxRequest {
+            chal: Challenge::from_counter(7),
+            er: MemRegion::new(0xE000, 0xE1FF),
+            or: MemRegion::new(0x0300, 0x033F),
+        }
+    }
+
+    fn response(ivt: Option<Vec<u8>>) -> PoxResponse {
+        PoxResponse {
+            exec: true,
+            output: b"dose=2".to_vec(),
+            ivt,
+            mac: [0xAB; MAC_LEN],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = request();
+        assert_eq!(PoxRequest::from_bytes(&req.to_bytes()), Ok(req));
+    }
+
+    #[test]
+    fn response_roundtrip_with_and_without_ivt() {
+        for resp in [response(None), response(Some(vec![0u8; 32]))] {
+            assert_eq!(PoxResponse::from_bytes(&resp.to_bytes()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_rejected() {
+        let req = request().to_bytes();
+        let resp = response(Some(vec![9u8; 32])).to_bytes();
+        for n in 0..req.len() {
+            assert!(
+                PoxRequest::from_bytes(&req[..n]).is_err(),
+                "request prefix {n}"
+            );
+        }
+        for n in 0..resp.len() {
+            assert!(
+                PoxResponse::from_bytes(&resp[..n]).is_err(),
+                "response prefix {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = request().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            PoxRequest::from_bytes(&bytes),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_crossed_types_rejected() {
+        let mut bytes = request().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(PoxRequest::from_bytes(&bytes), Err(WireError::BadMagic));
+        // A valid request buffer is not a response and vice versa.
+        assert_eq!(
+            PoxResponse::from_bytes(&request().to_bytes()),
+            Err(WireError::BadMessageType(TYPE_REQUEST))
+        );
+    }
+
+    #[test]
+    fn nonbinary_flags_rejected() {
+        let mut bytes = response(None).to_bytes();
+        bytes[5] = 2; // exec flag
+        assert_eq!(
+            PoxResponse::from_bytes(&bytes),
+            Err(WireError::BadFlag {
+                field: "exec",
+                value: 2
+            })
+        );
+    }
+
+    #[test]
+    fn inverted_region_rejected() {
+        let mut bytes = request().to_bytes();
+        // er.start (offset 21) 0xE000 -> 0xF000 while er.end stays 0xE1FF.
+        bytes[22] = 0xF0;
+        assert_eq!(
+            PoxRequest::from_bytes(&bytes),
+            Err(WireError::BadRegion {
+                start: 0xF000,
+                end: 0xE1FF
+            })
+        );
+    }
+
+    #[test]
+    fn oversize_length_rejected() {
+        let mut bytes = response(None).to_bytes();
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            PoxResponse::from_bytes(&bytes),
+            Err(WireError::Oversize {
+                field: "output",
+                len: u32::MAX
+            })
+        );
+    }
+}

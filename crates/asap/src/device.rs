@@ -7,6 +7,7 @@
 //! routine — synthesizing the corresponding bus signals so the monitors
 //! *observe* the attestation code running — and charges its cycle cost.
 
+use crate::error::AsapError;
 use crate::monitor::AsapMonitor;
 use apex_pox::monitor::ApexMonitor;
 use apex_pox::protocol::{pox_items, PoxRequest, PoxResponse};
@@ -16,16 +17,14 @@ use openmsp430::bus::{Master, MemAccess};
 use openmsp430::hwmod::{HwAction, HwModule};
 use openmsp430::layout::MemLayout;
 use openmsp430::mcu::Mcu;
-use openmsp430::mem::MemRegion;
 use openmsp430::periph::DmaOp;
 use openmsp430::signals::Signals;
 use periph::gpio::{Gpio, PORT1_VECTOR, PORT2_VECTOR};
 use periph::{DmaController, Timer, Uart};
+use std::fmt;
 use vrased::hw::{swatt_exit_addr, KeyGuard, SwAttAtomicity};
 use vrased::props::{names, ErInfo, PropCtx};
 use vrased::swatt::{attest, swatt_cycle_cost, CHAL_LEN};
-use std::error::Error;
-use std::fmt;
 
 /// Which PoX architecture the hardware implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,28 +36,100 @@ pub enum PoxMode {
     Asap,
 }
 
-/// Device construction errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DeviceError {
-    /// The image was linked without `exec.*` sections.
-    NoEr,
-    /// The memory layout is inconsistent.
-    BadLayout(String),
-    /// The linked `ER` does not fit the layout's program region.
-    ErOutsideProgram,
+/// Fluent constructor for [`Device`], obtained from [`Device::builder`].
+///
+/// Replaces the old positional `Device::new(image, mode, key)` calls:
+/// every knob is named, the defaults (ASAP mode, default layout, no
+/// capture) are explicit, and a missing key is a typed
+/// [`AsapError::MissingKey`] rather than a positional-argument shuffle.
+///
+/// # Examples
+///
+/// ```
+/// use asap::device::{Device, PoxMode};
+/// use asap::programs;
+///
+/// let image = programs::fig4_authorized()?;
+/// let device = Device::builder(&image)
+///     .mode(PoxMode::Asap)
+///     .key(b"device-key")
+///     .record_wave(true)
+///     .build()?;
+/// assert_eq!(device.mode(), PoxMode::Asap);
+/// # Ok::<(), asap::AsapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder<'a> {
+    image: &'a Image,
+    mode: PoxMode,
+    key: Option<Vec<u8>>,
+    layout: MemLayout,
+    record_wave: bool,
+    record_trace: bool,
 }
 
-impl fmt::Display for DeviceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DeviceError::NoEr => write!(f, "image has no exec.* sections (no ER)"),
-            DeviceError::BadLayout(m) => write!(f, "bad layout: {m}"),
-            DeviceError::ErOutsideProgram => write!(f, "linked ER lies outside program memory"),
+impl<'a> DeviceBuilder<'a> {
+    fn new(image: &'a Image) -> DeviceBuilder<'a> {
+        DeviceBuilder {
+            image,
+            mode: PoxMode::Asap,
+            key: None,
+            layout: MemLayout::default(),
+            record_wave: false,
+            record_trace: false,
         }
     }
-}
 
-impl Error for DeviceError {}
+    /// Selects the PoX architecture (default: [`PoxMode::Asap`]).
+    pub fn mode(mut self, mode: PoxMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Provisions the device key (required).
+    pub fn key(mut self, key: &[u8]) -> Self {
+        self.key = Some(key.to_vec());
+        self
+    }
+
+    /// Uses a custom memory layout (default: [`MemLayout::default`]).
+    pub fn layout(mut self, layout: MemLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Records one [`WaveSample`] per step (Fig. 5 signals). Off by
+    /// default: waveform capture costs memory on long runs.
+    pub fn record_wave(mut self, on: bool) -> Self {
+        self.record_wave = on;
+        self
+    }
+
+    /// Records a proposition trace for LTL conformance checking, as if
+    /// [`Device::record_trace`] were called at power-on.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Builds the device.
+    ///
+    /// # Errors
+    ///
+    /// [`AsapError::MissingKey`] when no key was provided;
+    /// [`AsapError::NoEr`], [`AsapError::BadLayout`] or
+    /// [`AsapError::ErOutsideProgram`] when the image and layout do not
+    /// form a provable configuration.
+    pub fn build(self) -> Result<Device, AsapError> {
+        let key = self.key.ok_or(AsapError::MissingKey)?;
+        let mut device = Device::assemble(self.image, self.mode, &key, self.layout)?;
+        device.wave_enabled = self.record_wave;
+        if self.record_trace {
+            device.record_trace();
+        }
+        Ok(device)
+    }
+}
 
 /// One waveform sample per step — the signals of Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +190,7 @@ pub struct Device {
     atomicity: SwAttAtomicity,
     pox: PoxHw,
     trace: Option<Trace>,
+    wave_enabled: bool,
     wave: Vec<WaveSample>,
     violations: Vec<(u64, String)>,
     resets: u64,
@@ -136,35 +208,35 @@ impl fmt::Debug for Device {
 }
 
 impl Device {
-    /// Builds a device running `image` under the given PoX architecture.
+    /// Starts building a device that runs `image`. See [`DeviceBuilder`]
+    /// for the knobs; `.key(..)` is required.
     ///
     /// The standard peripheral set is attached: a timer, GPIO ports P1
     /// (button, interrupt-capable), P2 and P5 (actuation), a UART and a
     /// DMA controller. The device key is written to the hardware-gated
     /// key region and the `EXEC` flag is exposed as a read-only MMIO
     /// word at [`MemLayout::exec_flag_addr`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DeviceError`] when the image lacks `exec.*` sections or
-    /// the `ER` falls outside program memory.
-    pub fn new(image: &Image, mode: PoxMode, key: &[u8]) -> Result<Device, DeviceError> {
-        Device::with_layout(image, mode, key, MemLayout::default())
+    pub fn builder(image: &Image) -> DeviceBuilder<'_> {
+        DeviceBuilder::new(image)
     }
 
-    /// [`Device::new`] with a custom memory layout.
-    pub fn with_layout(
+    /// The construction path behind [`DeviceBuilder::build`].
+    fn assemble(
         image: &Image,
         mode: PoxMode,
         key: &[u8],
         mut layout: MemLayout,
-    ) -> Result<Device, DeviceError> {
-        let er_bounds = image.er.as_ref().ok_or(DeviceError::NoEr)?;
-        let er = ErInfo { min: er_bounds.min, exit: er_bounds.exit, region: er_bounds.region };
+    ) -> Result<Device, AsapError> {
+        let er_bounds = image.er.as_ref().ok_or(AsapError::NoEr)?;
+        let er = ErInfo {
+            min: er_bounds.min,
+            exit: er_bounds.exit,
+            region: er_bounds.region,
+        };
         layout.er = er.region;
-        layout.validate().map_err(|e| DeviceError::BadLayout(e.to_string()))?;
+        layout.validate()?;
         if !layout.program.contains_region(&er.region) {
-            return Err(DeviceError::ErOutsideProgram);
+            return Err(AsapError::ErOutsideProgram);
         }
         let ctx = PropCtx::with_er(layout, er);
 
@@ -199,6 +271,7 @@ impl Device {
             atomicity: SwAttAtomicity::new(ctx),
             pox,
             trace: None,
+            wave_enabled: false,
             wave: Vec::new(),
             violations: Vec::new(),
             resets: 0,
@@ -245,7 +318,8 @@ impl Device {
         self.trace.as_ref()
     }
 
-    /// The recorded waveform samples (Fig. 5 signals).
+    /// The recorded waveform samples (Fig. 5 signals). Empty unless the
+    /// device was built with [`DeviceBuilder::record_wave`].
     pub fn wave(&self) -> &[WaveSample] {
         &self.wave
     }
@@ -257,7 +331,8 @@ impl Device {
         action.merge(self.pox.as_module().step(signals));
 
         let exec = action.exec.unwrap_or(false);
-        self.mcu.set_hw_cell(self.ctx.layout.exec_flag_addr, exec as u16);
+        self.mcu
+            .set_hw_cell(self.ctx.layout.exec_flag_addr, exec as u16);
 
         for v in &action.violations {
             self.violations.push((signals.step, v.clone()));
@@ -273,7 +348,14 @@ impl Device {
             }
             trace.push_state(props);
         }
-        self.wave.push(WaveSample { cycle: signals.cycle, pc: signals.pc, irq: signals.irq, exec });
+        if self.wave_enabled {
+            self.wave.push(WaveSample {
+                cycle: signals.cycle,
+                pc: signals.pc,
+                irq: signals.irq,
+                exec,
+            });
+        }
 
         if action.reset_mcu {
             self.hard_reset();
@@ -357,16 +439,17 @@ impl Device {
         // the access is genuinely DMA-mastered.
         let scratch = self.ctx.layout.data.end() & !1;
         self.mcu.mem.write_word(scratch, value);
-        self.mcu.inject_dma(DmaOp { src: scratch, dst: addr, byte: false });
+        self.mcu.inject_dma(DmaOp {
+            src: scratch,
+            dst: addr,
+            byte: false,
+        });
     }
 
     /// Presses (or releases) the button wired to GPIO port 1, pin
     /// `pin` — the asynchronous event of Fig. 4 / §3.
     pub fn set_button(&mut self, pin: u8, level: bool) {
-        let p1: &mut Gpio = self
-            .mcu
-            .periph_mut()
-            .expect("port 1 attached");
+        let p1: &mut Gpio = self.mcu.periph_mut().expect("port 1 attached");
         p1.set_input(pin, level);
     }
 
@@ -403,7 +486,7 @@ impl Device {
     /// the attestation exactly as they would observe real ROM code.
     pub fn attest(&mut self, req: &PoxRequest) -> PoxResponse {
         let layout = self.ctx.layout;
-        let chal: [u8; CHAL_LEN] = req.chal.0;
+        let chal: [u8; CHAL_LEN] = *req.chal.as_bytes();
 
         // --- Step 1: enter SW-Att at its first instruction.
         self.swatt_step(layout.swatt.start(), vec![]);
@@ -457,6 +540,19 @@ impl Device {
         }
     }
 
+    /// Transport-level [`Device::attest`]: decodes a wire-encoded
+    /// [`PoxRequest`], runs SW-Att, and returns the wire-encoded
+    /// response. This is the prover end of a [`crate::PoxSession`]
+    /// crossing a byte transport.
+    ///
+    /// # Errors
+    ///
+    /// [`AsapError::Wire`] when the request bytes do not decode.
+    pub fn attest_bytes(&mut self, request: &[u8]) -> Result<Vec<u8>, AsapError> {
+        let req = PoxRequest::from_bytes(request)?;
+        Ok(self.attest(&req).to_bytes())
+    }
+
     /// Clocks all monitors with one synthetic SW-Att step.
     fn swatt_step(&mut self, pc: u16, accesses: Vec<MemAccess>) {
         debug_assert!(accesses.iter().all(|a| a.master == Master::Cpu));
@@ -475,11 +571,6 @@ impl Device {
             fault: None,
         };
         self.observe(&signals);
-    }
-
-    /// Convenience for tests: the region the verifier should request.
-    pub fn pox_regions(&self) -> (MemRegion, MemRegion) {
-        (self.er.region, self.ctx.layout.or)
     }
 }
 
@@ -515,10 +606,19 @@ mod tests {
         jmp done
     ";
 
+    fn image() -> Image {
+        let cfg = LinkConfig::new(0xE000, 0xF000)
+            .vector(2, "gpio_isr")
+            .reset("main");
+        link(FIG4, &cfg).unwrap()
+    }
+
     fn build() -> Device {
-        let cfg = LinkConfig::new(0xE000, 0xF000).vector(2, "gpio_isr").reset("main");
-        let img = link(FIG4, &cfg).unwrap();
-        Device::new(&img, PoxMode::Asap, b"test-key").unwrap()
+        Device::builder(&image())
+            .key(b"test-key")
+            .record_wave(true)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -532,18 +632,17 @@ mod tests {
 
     #[test]
     fn attestation_roundtrip_verifies() {
-        use apex_pox::protocol::PoxVerifier;
+        use crate::verifier::{AsapVerifier, VerifierSpec};
 
-        let mut d = build();
+        let img = image();
+        let mut d = Device::builder(&img).key(b"test-key").build().unwrap();
         d.run_until_pc(0xF004, 1000);
-        let er_bytes = d.er_bytes();
-        let (er, or) = d.pox_regions();
-        let mut vrf = PoxVerifier::new(b"test-key", er_bytes);
-        let req = vrf.request(er, or);
-        let resp = d.attest(&req);
+        let mut vrf = AsapVerifier::new(b"test-key", VerifierSpec::from_image(&img).unwrap());
+        let session = vrf.begin();
+        let resp = d.attest(session.request());
         assert!(resp.exec);
         assert!(resp.ivt.is_some(), "ASAP responses carry the IVT");
-        let _ = vrf; // full ASAP verification happens in crate::verifier
+        assert!(session.evidence(resp).conclude(&vrf).is_verified());
     }
 
     #[test]
@@ -587,22 +686,65 @@ mod tests {
             fault: None,
         };
         d.observe(&signals);
-        assert_eq!(d.resets(), before + 1, "VRASED hard-resets on key leakage attempts");
+        assert_eq!(
+            d.resets(),
+            before + 1,
+            "VRASED hard-resets on key leakage attempts"
+        );
         assert!(!d.exec());
     }
 
     #[test]
     fn attestation_does_not_trip_guards() {
-        let mut d = build();
+        use crate::verifier::{AsapVerifier, VerifierSpec};
+
+        let img = image();
+        let mut d = Device::builder(&img).key(b"test-key").build().unwrap();
         d.run_until_pc(0xF004, 1000);
-        let (er, or) = d.pox_regions();
-        let mut vrf = apex_pox::protocol::PoxVerifier::new(b"test-key", d.er_bytes());
-        let req = vrf.request(er, or);
+        let mut vrf = AsapVerifier::new(b"test-key", VerifierSpec::from_image(&img).unwrap());
+        let session = vrf.begin();
         let resets_before = d.resets();
-        let resp = d.attest(&req);
+        let resp = d.attest(session.request());
         assert_eq!(d.resets(), resets_before, "SW-Att runs without violations");
         assert!(resp.exec, "attestation preserves EXEC");
         assert!(d.exec());
+    }
+
+    #[test]
+    fn attest_bytes_is_the_wire_face_of_attest() {
+        use crate::verifier::{AsapVerifier, VerifierSpec};
+
+        let img = image();
+        let mut d = Device::builder(&img).key(b"test-key").build().unwrap();
+        d.run_until_pc(0xF004, 1000);
+        let mut vrf = AsapVerifier::new(b"test-key", VerifierSpec::from_image(&img).unwrap());
+        let session = vrf.begin();
+        let resp_bytes = d.attest_bytes(&session.request_bytes()).unwrap();
+        let outcome = session.evidence_bytes(&resp_bytes).unwrap().conclude(&vrf);
+        assert!(outcome.is_verified());
+        assert!(
+            d.attest_bytes(b"garbage").is_err(),
+            "garbled requests are rejected"
+        );
+    }
+
+    #[test]
+    fn builder_requires_a_key() {
+        use crate::error::AsapError;
+
+        let img = image();
+        assert_eq!(
+            Device::builder(&img).build().unwrap_err(),
+            AsapError::MissingKey
+        );
+    }
+
+    #[test]
+    fn wave_capture_is_opt_in() {
+        let img = image();
+        let mut d = Device::builder(&img).key(b"test-key").build().unwrap();
+        d.run_steps(5);
+        assert!(d.wave().is_empty(), "no samples unless record_wave(true)");
     }
 
     #[test]
@@ -612,7 +754,10 @@ mod tests {
         assert!(d.exec());
         let er_min = d.er().min;
         d.attacker_cpu_write(er_min + 8, 0x4343);
-        assert!(!d.exec(), "post-execution ER modification invalidates the proof");
+        assert!(
+            !d.exec(),
+            "post-execution ER modification invalidates the proof"
+        );
     }
 
     #[test]

@@ -20,47 +20,88 @@
 //! * [`monitor`] — the ASAP hardware monitor (relaxed APEX kernel +
 //!   Fig. 3 IVT guard), model-checked against its LTL specs;
 //! * [`device`] — the prover: MCU, peripherals, monitors and the SW-Att
-//!   ROM trap;
-//! * [`verifier`] — APEX verification plus the IVT/ISR entry-point
-//!   checks;
+//!   ROM trap, built through [`Device::builder`];
+//! * [`verifier`] — [`VerifierSpec`] derivation from the linked image
+//!   plus mode-aware verification (APEX and the IVT/ISR checks);
+//! * [`session`] — the [`PoxSession`] state machine
+//!   (`Issued → Evidence → Verified/Rejected`) with wire-encodable
+//!   messages;
+//! * [`error`] — the unified [`AsapError`];
 //! * [`properties`] — the complete 21-LTL-property suite of §5;
 //! * [`programs`] — the paper's demo programs (Fig. 4, the §3 syringe
 //!   pump, a sensing task).
 //!
 //! # Quick start
 //!
+//! One linked image drives both sides: the device boots it, and the
+//! verifier derives its expectations ([`VerifierSpec::from_image`])
+//! from it — there is nothing to hand-wire and nothing to mis-bind.
+//!
 //! ```
-//! use asap::device::{Device, PoxMode};
+//! use asap::{Device, PoxMode, VerifierSpec, AsapVerifier};
 //! use asap::programs;
-//! use asap::verifier::AsapVerifier;
-//! use std::collections::BTreeMap;
 //!
 //! // Build and run the Fig. 4 program on an ASAP device.
 //! let image = programs::fig4_authorized()?;
-//! let mut device = Device::new(&image, PoxMode::Asap, b"device-key")?;
+//! let mut device = Device::builder(&image)
+//!     .mode(PoxMode::Asap)
+//!     .key(b"device-key")
+//!     .build()?;
 //! device.run_until_pc(programs::done_pc(), 2_000);
 //!
-//! // Press the button mid-run? Here execution already finished; attest.
-//! let isr = image.symbol("gpio_isr").unwrap();
-//! let mut vrf = AsapVerifier::new(
-//!     b"device-key",
-//!     device.er_bytes(),
-//!     BTreeMap::from([(periph::gpio::PORT1_VECTOR, isr)]),
-//! );
-//! let (er, or) = device.pox_regions();
-//! let req = vrf.request(er, or);
-//! let resp = device.attest(&req);
-//! assert!(vrf.verify(&req, &resp).is_ok());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! // The verifier's expectations come from the same linked image.
+//! let spec = VerifierSpec::from_image(&image)?.mode(PoxMode::Asap);
+//! let mut verifier = AsapVerifier::new(b"device-key", spec);
+//!
+//! // Issued → Evidence → Verified, one consuming step at a time.
+//! let session = verifier.begin();
+//! let response = device.attest(session.request());
+//! let attested = session.evidence(response).conclude(&verifier).into_result()?;
+//! assert!(attested.ivt.is_some(), "ASAP proofs cover the IVT");
+//! # Ok::<(), asap::AsapError>(())
+//! ```
+//!
+//! # APEX vs ASAP
+//!
+//! The same program, the same button press mid-`ER` — APEX rejects the
+//! interrupted execution (its LTL 3 clears `EXEC` on any interrupt),
+//! ASAP accepts it because the handler is linked inside `ER`:
+//!
+//! ```
+//! use asap::{AsapVerifier, Device, PoxMode, VerifierSpec};
+//! use asap::programs;
+//!
+//! let image = programs::fig4_authorized()?;
+//! for mode in [PoxMode::Apex, PoxMode::Asap] {
+//!     let mut device = Device::builder(&image).mode(mode).key(b"k").build()?;
+//!     device.run_steps(10);
+//!     device.set_button(0, true); // interrupt during ER
+//!     device.run_until_pc(programs::done_pc(), 5_000);
+//!
+//!     let mut vrf =
+//!         AsapVerifier::new(b"k", VerifierSpec::from_image(&image)?.mode(mode));
+//!     let session = vrf.begin();
+//!     let response = device.attest(session.request());
+//!     let verdict = session.evidence(response).conclude(&vrf);
+//!     match mode {
+//!         PoxMode::Apex => assert!(!verdict.is_verified()), // LTL 3: irq kills EXEC
+//!         PoxMode::Asap => assert!(verdict.is_verified()),  // trusted in-ER ISR ok
+//!     }
+//! }
+//! # Ok::<(), asap::AsapError>(())
 //! ```
 
 pub mod device;
+pub mod error;
 pub mod monitor;
 pub mod programs;
 pub mod properties;
+pub mod session;
 pub mod verifier;
 
-pub use device::{Device, DeviceError, PoxMode, StepReport, WaveSample};
+pub use device::{Device, DeviceBuilder, PoxMode, StepReport, WaveSample};
+pub use error::AsapError;
 pub use monitor::{ivt_kernel, AsapMonitor, AsapState, IvtGuard, IvtIn};
 pub use properties::{verify_all, PropertyRow, SuiteReport};
-pub use verifier::AsapVerifier;
+pub use session::{Attested, Evidence, Issued, PoxSession, SessionOutcome};
+pub use verifier::{AsapVerifier, VerifierSpec};

@@ -63,7 +63,10 @@ impl IvtGuard {
     /// Creates the guard for runtime use (starts in `NotExec` until the
     /// first `ERmin` entry, matching the power-on value `EXEC = 0`).
     pub fn new(ctx: PropCtx) -> IvtGuard {
-        IvtGuard { ctx: Some(ctx), run: false }
+        IvtGuard {
+            ctx: Some(ctx),
+            run: false,
+        }
     }
 
     /// Creates the guard for model checking.
@@ -125,7 +128,10 @@ impl HwModule for IvtGuard {
         };
         let was = self.run;
         self.run = ivt_kernel(self.run, i);
-        let mut action = HwAction { exec: Some(self.run), ..HwAction::none() };
+        let mut action = HwAction {
+            exec: Some(self.run),
+            ..HwAction::none()
+        };
         if was && !self.run {
             action.violations.push("ASAP [AP1]: IVT modified".into());
         }
@@ -141,7 +147,11 @@ impl MonitorFsm for IvtGuard {
     }
 
     fn inputs(&self) -> Vec<String> {
-        vec![names::WEN_IVT.into(), names::DMA_IVT.into(), names::PC_AT_ERMIN.into()]
+        vec![
+            names::WEN_IVT.into(),
+            names::DMA_IVT.into(),
+            names::PC_AT_ERMIN.into(),
+        ]
     }
 
     fn outputs(&self) -> Vec<String> {
@@ -185,7 +195,10 @@ pub struct AsapMonitor {
 impl AsapMonitor {
     /// Creates the monitor for runtime use.
     pub fn new(ctx: PropCtx) -> AsapMonitor {
-        AsapMonitor { ctx: Some(ctx), state: AsapState::default() }
+        AsapMonitor {
+            ctx: Some(ctx),
+            state: AsapState::default(),
+        }
     }
 
     /// Creates the monitor for model checking.
@@ -281,7 +294,10 @@ impl HwModule for AsapMonitor {
         };
         let before = self.exec();
         self.state = AsapMonitor::kernel(self.state, exec_in, ivt_in);
-        let mut action = HwAction { exec: Some(self.exec()), ..HwAction::none() };
+        let mut action = HwAction {
+            exec: Some(self.exec()),
+            ..HwAction::none()
+        };
         if before && !self.exec() {
             action.violations.push("ASAP: EXEC cleared".into());
         }
@@ -341,16 +357,38 @@ mod tests {
     #[test]
     fn fig3_fsm_transitions() {
         // Run --write--> NotExec
-        assert!(!ivt_kernel(true, IvtIn { wen_ivt: true, ..Default::default() }));
-        assert!(!ivt_kernel(true, IvtIn { dma_ivt: true, ..Default::default() }));
+        assert!(!ivt_kernel(
+            true,
+            IvtIn {
+                wen_ivt: true,
+                ..Default::default()
+            }
+        ));
+        assert!(!ivt_kernel(
+            true,
+            IvtIn {
+                dma_ivt: true,
+                ..Default::default()
+            }
+        ));
         // Run --otherwise--> Run
         assert!(ivt_kernel(true, IvtIn::default()));
         // NotExec --ERmin & no write--> Run
-        assert!(ivt_kernel(false, IvtIn { pc_at_ermin: true, ..Default::default() }));
+        assert!(ivt_kernel(
+            false,
+            IvtIn {
+                pc_at_ermin: true,
+                ..Default::default()
+            }
+        ));
         // NotExec --ERmin & write--> NotExec (write wins)
         assert!(!ivt_kernel(
             false,
-            IvtIn { pc_at_ermin: true, wen_ivt: true, ..Default::default() }
+            IvtIn {
+                pc_at_ermin: true,
+                wen_ivt: true,
+                ..Default::default()
+            }
         ));
         // NotExec --otherwise--> NotExec
         assert!(!ivt_kernel(false, IvtIn::default()));
@@ -362,7 +400,11 @@ mod tests {
         let rows = check_suite(&k, &IvtGuard::properties());
         assert_eq!(rows.len(), 3);
         for row in &rows {
-            assert!(row.result.holds, "{} failed: {:?}", row.name, row.result.counterexample);
+            assert!(
+                row.result.holds,
+                "{} failed: {:?}",
+                row.name, row.result.counterexample
+            );
         }
     }
 
@@ -370,26 +412,53 @@ mod tests {
     fn composite_preserves_exec_across_interrupts() {
         // The Fig. 5(a) story at kernel level.
         let s0 = AsapState::default();
-        let enter = apex_pox::ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() };
-        let arm = IvtIn { pc_at_ermin: true, ..Default::default() };
+        let enter = apex_pox::ExecIn {
+            pc_in_er: true,
+            pc_at_ermin: true,
+            ..Default::default()
+        };
+        let arm = IvtIn {
+            pc_at_ermin: true,
+            ..Default::default()
+        };
         let s1 = AsapMonitor::kernel(s0, enter, arm);
         assert!(s1.exec.exec && s1.ivt_run);
         // Interrupt: PC jumps to the in-ER ISR (pc stays in ER).
-        let isr = apex_pox::ExecIn { pc_in_er: true, irq: true, ..Default::default() };
+        let isr = apex_pox::ExecIn {
+            pc_in_er: true,
+            irq: true,
+            ..Default::default()
+        };
         let s2 = AsapMonitor::kernel(s1, isr, IvtIn::default());
-        assert!(s2.exec.exec && s2.ivt_run, "authorized interrupt preserves EXEC");
+        assert!(
+            s2.exec.exec && s2.ivt_run,
+            "authorized interrupt preserves EXEC"
+        );
     }
 
     #[test]
     fn composite_kills_exec_on_ivt_write() {
         let s0 = AsapState::default();
-        let enter = apex_pox::ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() };
-        let arm = IvtIn { pc_at_ermin: true, ..Default::default() };
+        let enter = apex_pox::ExecIn {
+            pc_in_er: true,
+            pc_at_ermin: true,
+            ..Default::default()
+        };
+        let arm = IvtIn {
+            pc_at_ermin: true,
+            ..Default::default()
+        };
         let s1 = AsapMonitor::kernel(s0, enter, arm);
         let s2 = AsapMonitor::kernel(
             s1,
-            apex_pox::ExecIn { pc_in_er: true, ..Default::default() },
-            IvtIn { wen_ivt: true, ..Default::default() },
+            apex_pox::ExecIn {
+                pc_in_er: true,
+                ..Default::default()
+            },
+            IvtIn {
+                wen_ivt: true,
+                ..Default::default()
+            },
         );
         assert!(s2.exec.exec, "the APEX part does not see IVT writes");
         assert!(!s2.ivt_run, "but [AP1] does");
@@ -397,19 +466,21 @@ mod tests {
 
     #[test]
     fn composite_suite_model_checks() {
-        let k =
-            kripke_of_constrained(&AsapMonitor::for_model(), AsapMonitor::env_constraint);
+        let k = kripke_of_constrained(&AsapMonitor::for_model(), AsapMonitor::env_constraint);
         let rows = check_suite(&k, &AsapMonitor::properties());
         for row in &rows {
-            assert!(row.result.holds, "{} failed: {:?}", row.name, row.result.counterexample);
+            assert!(
+                row.result.holds,
+                "{} failed: {:?}",
+                row.name, row.result.counterexample
+            );
         }
     }
 
     #[test]
     fn composite_ltl4_model_checks() {
         // P18 over the composite EXEC wire (not just the guard's).
-        let k =
-            kripke_of_constrained(&AsapMonitor::for_model(), AsapMonitor::env_constraint);
+        let k = kripke_of_constrained(&AsapMonitor::for_model(), AsapMonitor::env_constraint);
         let ltl4 = ltl_mc::mc::Property::new(
             "LTL4 over composite",
             p(names::WEN_IVT)

@@ -290,7 +290,10 @@ mod tests {
         let img = syringe_pump_interrupt(100).unwrap();
         let er = img.er.unwrap();
         for sym in ["timer_isr", "abort_isr", "pump_main"] {
-            assert!(er.region.contains(img.symbol(sym).unwrap()), "{sym} inside ER");
+            assert!(
+                er.region.contains(img.symbol(sym).unwrap()),
+                "{sym} inside ER"
+            );
         }
     }
 }

@@ -1,18 +1,18 @@
 //! The full 21-LTL-property verification suite.
 //!
 //! The paper reports: *"ASAP verification takes ≈150s for a total of 21
-//! LTL properties"* (§5, Verification Cost) — the combined VRASED + APEX
-//! + ASAP property set re-checked over the modified hardware. This
-//! module reproduces that suite: 21 named properties distributed over
-//! five monitor models, each checked with the `ltl-mc` explicit-state
-//! model checker.
+//! LTL properties"* (§5, Verification Cost) — the combined VRASED +
+//! APEX + ASAP property set re-checked over the modified hardware.
+//! This module reproduces that suite: 21 named properties distributed
+//! over five monitor models, each checked with the `ltl-mc`
+//! explicit-state model checker.
 
 use crate::monitor::{AsapMonitor, IvtGuard};
 use apex_pox::monitor::ApexMonitor;
 use ltl_mc::fsm::{kripke_of, kripke_of_constrained};
 use ltl_mc::mc::{check_suite, CheckStats};
-use vrased::hw::{KeyGuard, SwAttAtomicity};
 use std::time::Duration;
+use vrased::hw::{KeyGuard, SwAttAtomicity};
 
 /// One row of the verification report.
 #[derive(Debug, Clone)]
@@ -109,7 +109,10 @@ pub fn verify_all() -> SuiteReport {
     push("vrased.key_guard", check_suite(&k, &KeyGuard::properties()));
 
     let k = kripke_of_constrained(&SwAttAtomicity::for_model(), SwAttAtomicity::env_constraint);
-    push("vrased.atomicity", check_suite(&k, &SwAttAtomicity::properties()));
+    push(
+        "vrased.atomicity",
+        check_suite(&k, &SwAttAtomicity::properties()),
+    );
 
     let k = kripke_of_constrained(&ApexMonitor::for_model(), ApexMonitor::env_constraint);
     push("apex.exec", check_suite(&k, &ApexMonitor::properties()));
@@ -118,7 +121,10 @@ pub fn verify_all() -> SuiteReport {
     push("asap.ivt_guard", check_suite(&k, &IvtGuard::properties()));
 
     let k = kripke_of_constrained(&AsapMonitor::for_model(), AsapMonitor::env_constraint);
-    push("asap.composite", check_suite(&k, &AsapMonitor::properties()));
+    push(
+        "asap.composite",
+        check_suite(&k, &AsapMonitor::properties()),
+    );
 
     SuiteReport { rows }
 }

@@ -1,0 +1,151 @@
+//! The PoX session state machine: `Issued → Evidence → Verified/Rejected`.
+//!
+//! A [`PoxSession`] is created by [`AsapVerifier::begin`] and carries the
+//! challenge and the exact `ER`/`OR` geometry the verifier derived from
+//! the linked image. The typestate makes the two classic protocol
+//! mistakes unrepresentable:
+//!
+//! * **replay** — verifying consumes the session, and a response can
+//!   only be judged against the challenge of the session it was absorbed
+//!   into; there is no way to re-verify or to pair an old response with
+//!   a fresh challenge;
+//! * **mis-binding** — callers never hand regions, expected `ER` bytes
+//!   or ISR maps to the verification call; everything the check needs
+//!   travels inside the session and the verifier's
+//!   [`VerifierSpec`](crate::verifier::VerifierSpec).
+//!
+//! Both messages cross transports via their canonical wire encodings
+//! ([`PoxSession::request_bytes`] / [`PoxSession::evidence_bytes`]).
+
+use crate::error::AsapError;
+use crate::verifier::AsapVerifier;
+use apex_pox::protocol::{PoxRequest, PoxResponse};
+
+/// Typestate: the challenge is issued; no evidence absorbed yet.
+#[derive(Debug)]
+pub struct Issued(());
+
+/// Typestate: prover evidence absorbed; ready to conclude. Owns the
+/// response, so an evidence-less `Evidence` stage is unrepresentable.
+#[derive(Debug)]
+pub struct Evidence(PoxResponse);
+
+/// One challenge/evidence/verdict exchange. See the module docs.
+/// Deliberately not `Clone`: a duplicated session could absorb and
+/// conclude the same evidence twice, which is the replay shape the
+/// consume-on-verify typestate exists to rule out.
+#[derive(Debug)]
+pub struct PoxSession<Stage> {
+    request: PoxRequest,
+    stage: Stage,
+}
+
+impl PoxSession<Issued> {
+    pub(crate) fn issue(request: PoxRequest) -> PoxSession<Issued> {
+        PoxSession {
+            request,
+            stage: Issued(()),
+        }
+    }
+
+    /// The request to deliver to the prover.
+    pub fn request(&self) -> &PoxRequest {
+        &self.request
+    }
+
+    /// The request in wire encoding, for byte transports.
+    pub fn request_bytes(&self) -> Vec<u8> {
+        self.request.to_bytes()
+    }
+
+    /// Absorbs the prover's response.
+    pub fn evidence(self, response: PoxResponse) -> PoxSession<Evidence> {
+        PoxSession {
+            request: self.request,
+            stage: Evidence(response),
+        }
+    }
+
+    /// Absorbs a wire-encoded response.
+    ///
+    /// # Errors
+    ///
+    /// [`AsapError::Wire`] when the bytes do not decode; the session is
+    /// spent either way (a garbled transcript is not retryable evidence).
+    pub fn evidence_bytes(self, bytes: &[u8]) -> Result<PoxSession<Evidence>, AsapError> {
+        let response = PoxResponse::from_bytes(bytes)?;
+        Ok(self.evidence(response))
+    }
+}
+
+impl PoxSession<Evidence> {
+    /// The absorbed response.
+    pub fn response(&self) -> &PoxResponse {
+        &self.stage.0
+    }
+
+    /// Concludes the session against the verifier that issued it,
+    /// consuming the session.
+    pub fn conclude(self, verifier: &AsapVerifier) -> SessionOutcome {
+        let Evidence(response) = self.stage;
+        match verifier.check(&self.request, &response) {
+            Ok(()) => SessionOutcome::Verified(Attested {
+                output: response.output,
+                ivt: response.ivt,
+            }),
+            Err(reason) => SessionOutcome::Rejected { reason, response },
+        }
+    }
+}
+
+/// What a concluded session yielded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The proof of execution is valid.
+    Verified(Attested),
+    /// The proof was rejected; the offending response is retained for
+    /// forensics.
+    Rejected {
+        /// The first failed check.
+        reason: AsapError,
+        /// The response as received.
+        response: PoxResponse,
+    },
+}
+
+impl SessionOutcome {
+    /// True when the proof verified.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, SessionOutcome::Verified(_))
+    }
+
+    /// The rejection reason, if any.
+    pub fn err(&self) -> Option<&AsapError> {
+        match self {
+            SessionOutcome::Verified(_) => None,
+            SessionOutcome::Rejected { reason, .. } => Some(reason),
+        }
+    }
+
+    /// Converts to a `Result`, dropping the forensic response.
+    ///
+    /// # Errors
+    ///
+    /// The rejection reason when the proof did not verify.
+    pub fn into_result(self) -> Result<Attested, AsapError> {
+        match self {
+            SessionOutcome::Verified(a) => Ok(a),
+            SessionOutcome::Rejected { reason, .. } => Err(reason),
+        }
+    }
+}
+
+/// The facts a verified proof of execution establishes: the expected
+/// code ran to completion untampered and deposited these outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attested {
+    /// The authenticated contents of `OR`.
+    pub output: Vec<u8>,
+    /// The authenticated IVT image (ASAP mode only).
+    pub ivt: Option<Vec<u8>>,
+}

@@ -1,5 +1,14 @@
-//! The ASAP verifier: APEX's PoX verification plus the IVT/ISR checks of
-//! the paper's security argument (§4.2).
+//! The verifier side of the PoX protocol: specs derived from the linked
+//! image, and mode-aware verification of prover evidence.
+//!
+//! The centrepiece is [`VerifierSpec::from_image`]: everything the
+//! verifier must agree with the prover about — the `ER` geometry and
+//! bytes, the trusted-ISR entry points, the `OR` and IVT regions — is
+//! derived from the *same linked [`Image`]* that is flashed onto the
+//! device, so the two sides can never disagree about what "the expected
+//! code" is. Hand-maintained ISR maps and copy-pasted `er_bytes()` are
+//! gone, and with them the mis-binding bugs ASAP's security argument
+//! (§4.2) assumes away.
 //!
 //! Under ASAP the attestation measurement additionally covers the IVT,
 //! and the verifier checks that **every IVT entry pointing into `ER`
@@ -9,47 +18,147 @@
 //! started would have tripped \[AP1\] — so a valid response proves the
 //! asynchronous behaviour was exactly the intended one.
 
-use apex_pox::protocol::{pox_items, PoxError, PoxRequest, PoxResponse};
-use openmsp430::cpu::{IVT_BASE, IVT_VECTORS};
+use crate::device::PoxMode;
+use crate::error::AsapError;
+use crate::session::{Issued, PoxSession};
+use apex_pox::protocol::{pox_items, PoxRequest, PoxResponse};
+use msp430_tools::link::Image;
+use openmsp430::cpu::IVT_VECTORS;
+use openmsp430::layout::MemLayout;
 use openmsp430::mem::MemRegion;
 use pox_crypto::hmac::ct_eq;
+use std::collections::BTreeMap;
 use vrased::protocol::Challenge;
 use vrased::swatt::attest;
-use std::collections::BTreeMap;
 
-/// The ASAP verifier.
+/// What the verifier expects of a provable deployment — derived from
+/// the linked image rather than hand-assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifierSpec {
+    /// The PoX architecture the device implements.
+    pub mode: PoxMode,
+    /// The executable region to request.
+    pub er: MemRegion,
+    /// The output region to request.
+    pub or: MemRegion,
+    /// The IVT region covered by ASAP attestations.
+    pub ivt_region: MemRegion,
+    /// Expected bytes of the linked `ER` (main task + trusted ISRs).
+    pub expected_er: Vec<u8>,
+    /// Trusted-ISR entry points: vector → address inside `ER`.
+    pub trusted_isrs: BTreeMap<u8, u16>,
+}
+
+impl VerifierSpec {
+    /// Derives a spec from a linked image, with the default
+    /// [`MemLayout`] supplying the `OR` and IVT regions. Mode defaults
+    /// to [`PoxMode::Asap`]; override with [`VerifierSpec::mode`].
+    ///
+    /// # Errors
+    ///
+    /// [`AsapError::NoEr`] when the image has no `exec.*` sections.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asap::programs;
+    /// use asap::VerifierSpec;
+    ///
+    /// let image = programs::fig4_authorized()?;
+    /// let spec = VerifierSpec::from_image(&image)?;
+    /// // The trusted GPIO ISR was picked up from the image's IVT.
+    /// assert_eq!(spec.trusted_isrs.len(), 1);
+    /// assert_eq!(spec.expected_er.len() as u32, spec.er.len());
+    /// # Ok::<(), asap::AsapError>(())
+    /// ```
+    pub fn from_image(image: &Image) -> Result<VerifierSpec, AsapError> {
+        VerifierSpec::from_image_with_layout(image, MemLayout::default())
+    }
+
+    /// [`VerifierSpec::from_image`] with a custom layout — use when the
+    /// device is built with [`DeviceBuilder::layout`]
+    /// (`crate::device::DeviceBuilder::layout`).
+    ///
+    /// # Errors
+    ///
+    /// [`AsapError::NoEr`] when the image has no `exec.*` sections.
+    pub fn from_image_with_layout(
+        image: &Image,
+        layout: MemLayout,
+    ) -> Result<VerifierSpec, AsapError> {
+        let er = image.er.ok_or(AsapError::NoEr)?;
+
+        // The ER bytes exactly as Image::load_into will lay them out:
+        // chunks copied over zero-initialised memory (section alignment
+        // gaps stay zero).
+        let mut expected_er = vec![0u8; er.region.len() as usize];
+        for (base, bytes) in &image.chunks {
+            for (i, b) in bytes.iter().enumerate() {
+                let addr = base.wrapping_add(i as u16);
+                if er.region.contains(addr) {
+                    expected_er[(addr - er.region.start()) as usize] = *b;
+                }
+            }
+        }
+
+        let trusted_isrs = image
+            .ivt_entries
+            .iter()
+            .copied()
+            .filter(|(_, target)| er.region.contains(*target))
+            .collect();
+
+        Ok(VerifierSpec {
+            mode: PoxMode::Asap,
+            er: er.region,
+            or: layout.or,
+            ivt_region: layout.ivt,
+            expected_er,
+            trusted_isrs,
+        })
+    }
+
+    /// Selects the PoX architecture the deployment runs.
+    pub fn mode(mut self, mode: PoxMode) -> VerifierSpec {
+        self.mode = mode;
+        self
+    }
+}
+
+/// The verifier: holds the shared device key, a [`VerifierSpec`], and
+/// the monotone challenge counter. Issue sessions with
+/// [`AsapVerifier::begin`].
 #[derive(Debug, Clone)]
 pub struct AsapVerifier {
     key: Vec<u8>,
     counter: u64,
-    /// Expected bytes of the linked `ER` (main task + trusted ISRs).
-    pub expected_er: Vec<u8>,
-    /// Expected trusted-ISR entry points: vector → address inside `ER`.
-    pub expected_isrs: BTreeMap<u8, u16>,
-    /// The IVT region (fixed on OpenMSP430: the last 32 bytes).
-    pub ivt_region: MemRegion,
+    spec: VerifierSpec,
 }
 
 impl AsapVerifier {
-    /// Creates a verifier for the given `ER` binary and trusted ISR map.
-    pub fn new(
-        key: &[u8],
-        expected_er: Vec<u8>,
-        expected_isrs: BTreeMap<u8, u16>,
-    ) -> AsapVerifier {
+    /// Creates a verifier for a deployment described by `spec`.
+    pub fn new(key: &[u8], spec: VerifierSpec) -> AsapVerifier {
         AsapVerifier {
             key: key.to_vec(),
             counter: 0,
-            expected_er,
-            expected_isrs,
-            ivt_region: MemRegion::new(IVT_BASE, 0xFFFF),
+            spec,
         }
     }
 
-    /// Issues a fresh PoX request.
-    pub fn request(&mut self, er: MemRegion, or: MemRegion) -> PoxRequest {
+    /// The spec in force.
+    pub fn spec(&self) -> &VerifierSpec {
+        &self.spec
+    }
+
+    /// Opens a fresh PoX session: bumps the challenge counter and binds
+    /// the spec's `ER`/`OR` geometry into the request.
+    pub fn begin(&mut self) -> PoxSession<Issued> {
         self.counter += 1;
-        PoxRequest { chal: Challenge::from_counter(self.counter), er, or }
+        PoxSession::issue(PoxRequest {
+            chal: Challenge::from_counter(self.counter),
+            er: self.spec.er,
+            or: self.spec.or,
+        })
     }
 
     /// Parses an IVT byte image into vector → target pairs.
@@ -62,43 +171,58 @@ impl AsapVerifier {
             .collect()
     }
 
-    /// Verifies an ASAP PoX response.
-    ///
-    /// Checks, in order: `EXEC = 1`; the IVT report is present; every
-    /// IVT entry pointing into `ER` matches an expected trusted-ISR
-    /// entry point; and the MAC binds
-    /// `EXEC ‖ ER(expected) ‖ OR(claimed) ‖ IVT(reported)` under the
-    /// fresh challenge.
-    ///
-    /// # Errors
-    ///
-    /// The corresponding [`PoxError`] for the first failed check.
-    pub fn verify(&self, req: &PoxRequest, resp: &PoxResponse) -> Result<(), PoxError> {
-        if !resp.exec {
-            return Err(PoxError::NotExecuted);
-        }
-        let ivt_bytes = resp.ivt.as_ref().ok_or(PoxError::MissingIvt)?;
-
-        for (vector, target) in Self::parse_ivt(ivt_bytes) {
-            if req.er.contains(target) {
-                match self.expected_isrs.get(&vector) {
-                    Some(&want) if want == target => {}
-                    _ => return Err(PoxError::UnexpectedIsrEntry { vector, target }),
-                }
+    /// Renders vector → target pairs back into an IVT byte image of
+    /// `IVT_VECTORS` entries (the inverse of [`AsapVerifier::parse_ivt`]
+    /// for in-range vectors).
+    pub fn render_ivt(entries: &[(u8, u16)]) -> Vec<u8> {
+        let mut bytes = vec![0u8; 2 * IVT_VECTORS as usize];
+        for (vector, target) in entries {
+            if *vector < IVT_VECTORS {
+                let at = 2 * *vector as usize;
+                bytes[at..at + 2].copy_from_slice(&target.to_le_bytes());
             }
         }
+        bytes
+    }
+
+    /// Judges a response against a request this verifier issued.
+    ///
+    /// Checks, in order: `EXEC = 1`; the IVT report matches the mode
+    /// (present under ASAP, absent under APEX); every IVT entry pointing
+    /// into `ER` matches a trusted-ISR entry point; and the MAC binds
+    /// `EXEC ‖ ER(expected) ‖ OR(claimed) (‖ IVT(reported))` under the
+    /// session's challenge.
+    pub(crate) fn check(&self, req: &PoxRequest, resp: &PoxResponse) -> Result<(), AsapError> {
+        if !resp.exec {
+            return Err(AsapError::NotExecuted);
+        }
+        let ivt = match (self.spec.mode, resp.ivt.as_ref()) {
+            (PoxMode::Asap, Some(bytes)) => {
+                for (vector, target) in Self::parse_ivt(bytes) {
+                    if req.er.contains(target)
+                        && self.spec.trusted_isrs.get(&vector) != Some(&target)
+                    {
+                        return Err(AsapError::UnexpectedIsrEntry { vector, target });
+                    }
+                }
+                Some((self.spec.ivt_region, bytes.as_slice()))
+            }
+            (PoxMode::Asap, None) => return Err(AsapError::MissingIvt),
+            (PoxMode::Apex, Some(_)) => return Err(AsapError::UnexpectedIvt),
+            (PoxMode::Apex, None) => None,
+        };
 
         let items = pox_items(
             true,
             req.er,
-            &self.expected_er,
+            &self.spec.expected_er,
             req.or,
             &resp.output,
-            Some((self.ivt_region, ivt_bytes)),
+            ivt,
         );
-        let want = attest(&self.key, &req.chal.0, &items);
+        let want = attest(&self.key, req.chal.as_bytes(), &items);
         if !ct_eq(&want, &resp.mac) {
-            return Err(PoxError::BadMac);
+            return Err(AsapError::BadMac);
         }
         Ok(())
     }
@@ -107,136 +231,200 @@ impl AsapVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionOutcome;
 
-    fn er() -> MemRegion {
-        MemRegion::new(0xE000, 0xE0FF)
-    }
+    const KEY: &[u8] = b"k";
 
-    fn or() -> MemRegion {
-        MemRegion::new(0x0300, 0x033F)
-    }
-
-    fn ivt_with(vector: u8, target: u16) -> Vec<u8> {
-        let mut bytes = vec![0u8; 32];
-        bytes[2 * vector as usize..2 * vector as usize + 2]
-            .copy_from_slice(&target.to_le_bytes());
-        bytes
-    }
-
-    fn honest(
-        vrf: &AsapVerifier,
-        key: &[u8],
-        req: &PoxRequest,
-        ivt: Vec<u8>,
-        out: &[u8],
-    ) -> PoxResponse {
-        let items =
-            pox_items(true, req.er, &vrf.expected_er, req.or, out, Some((vrf.ivt_region, &ivt)));
-        PoxResponse {
-            exec: true,
-            output: out.to_vec(),
-            ivt: Some(ivt),
-            mac: attest(key, &req.chal.0, &items),
+    fn spec(mode: PoxMode, trusted: &[(u8, u16)]) -> VerifierSpec {
+        VerifierSpec {
+            mode,
+            er: MemRegion::new(0xE000, 0xE0FF),
+            or: MemRegion::new(0x0300, 0x033F),
+            ivt_region: MemRegion::new(0xFFE0, 0xFFFF),
+            expected_er: vec![0xAA; 256],
+            trusted_isrs: trusted.iter().copied().collect(),
         }
     }
 
-    #[test]
-    fn honest_asap_response_verifies() {
-        let key = b"k";
-        let isrs = BTreeMap::from([(2u8, 0xE020u16)]);
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], isrs);
-        let req = vrf.request(er(), or());
-        let resp = honest(&vrf, key, &req, ivt_with(2, 0xE020), b"out");
-        assert!(vrf.verify(&req, &resp).is_ok());
+    fn ivt_with(vector: u8, target: u16) -> Vec<u8> {
+        AsapVerifier::render_ivt(&[(vector, target)])
+    }
+
+    /// A prover that measured honestly: contents match the spec.
+    fn honest(
+        vrf: &AsapVerifier,
+        req: &PoxRequest,
+        ivt: Option<Vec<u8>>,
+        out: &[u8],
+    ) -> PoxResponse {
+        let items = pox_items(
+            true,
+            req.er,
+            &vrf.spec.expected_er,
+            req.or,
+            out,
+            ivt.as_ref().map(|b| (vrf.spec.ivt_region, b.as_slice())),
+        );
+        PoxResponse {
+            exec: true,
+            output: out.to_vec(),
+            ivt,
+            mac: attest(KEY, req.chal.as_bytes(), &items),
+        }
+    }
+
+    fn conclude(vrf: &mut AsapVerifier, ivt: Option<Vec<u8>>, out: &[u8]) -> SessionOutcome {
+        let session = vrf.begin();
+        let resp = honest(vrf, session.request(), ivt, out);
+        session.evidence(resp).conclude(vrf)
     }
 
     #[test]
-    fn ivt_entry_into_er_must_match_expected_isr() {
-        let key = b"k";
-        let isrs = BTreeMap::from([(2u8, 0xE020u16)]);
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], isrs);
-        let req = vrf.request(er(), or());
+    fn honest_asap_session_verifies() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[(2, 0xE020)]));
+        let outcome = conclude(&mut vrf, Some(ivt_with(2, 0xE020)), b"out");
+        let attested = outcome.into_result().expect("verifies");
+        assert_eq!(attested.output, b"out");
+        assert!(attested.ivt.is_some());
+    }
+
+    #[test]
+    fn honest_apex_session_verifies() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Apex, &[]));
+        assert!(conclude(&mut vrf, None, b"out").is_verified());
+    }
+
+    #[test]
+    fn ivt_entry_into_er_must_match_trusted_isr() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[(2, 0xE020)]));
         // Vector 2 re-routed to a different in-ER address: a gadget jump.
-        let resp = honest(&vrf, key, &req, ivt_with(2, 0xE050), b"out");
+        let outcome = conclude(&mut vrf, Some(ivt_with(2, 0xE050)), b"out");
         assert_eq!(
-            vrf.verify(&req, &resp),
-            Err(PoxError::UnexpectedIsrEntry { vector: 2, target: 0xE050 })
+            outcome.err(),
+            Some(&AsapError::UnexpectedIsrEntry {
+                vector: 2,
+                target: 0xE050
+            })
         );
     }
 
     #[test]
     fn unknown_vector_into_er_rejected() {
-        let key = b"k";
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
-        let req = vrf.request(er(), or());
-        let resp = honest(&vrf, key, &req, ivt_with(9, 0xE004), b"out");
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let outcome = conclude(&mut vrf, Some(ivt_with(9, 0xE004)), b"out");
         assert!(matches!(
-            vrf.verify(&req, &resp),
-            Err(PoxError::UnexpectedIsrEntry { vector: 9, .. })
+            outcome.err(),
+            Some(&AsapError::UnexpectedIsrEntry { vector: 9, .. })
         ));
     }
 
     #[test]
     fn vectors_outside_er_are_unconstrained() {
         // Untrusted ISRs may exist — they simply clear EXEC if they run.
-        let key = b"k";
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
-        let req = vrf.request(er(), or());
-        let resp = honest(&vrf, key, &req, ivt_with(9, 0xF800), b"out");
-        assert!(vrf.verify(&req, &resp).is_ok());
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        assert!(conclude(&mut vrf, Some(ivt_with(9, 0xF800)), b"out").is_verified());
     }
 
     #[test]
-    fn missing_ivt_rejected() {
-        let key = b"k";
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
-        let req = vrf.request(er(), or());
-        let mut resp = honest(&vrf, key, &req, vec![0u8; 32], b"out");
-        resp.ivt = None;
-        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::MissingIvt));
+    fn missing_ivt_rejected_under_asap() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let outcome = conclude(&mut vrf, None, b"out");
+        assert_eq!(outcome.err(), Some(&AsapError::MissingIvt));
+    }
+
+    #[test]
+    fn unexpected_ivt_rejected_under_apex() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Apex, &[]));
+        let outcome = conclude(&mut vrf, Some(vec![0u8; 32]), b"out");
+        assert_eq!(outcome.err(), Some(&AsapError::UnexpectedIvt));
     }
 
     #[test]
     fn tampered_ivt_report_fails_mac() {
         // The prover cannot report a clean IVT if the measured one was
         // dirty: the MAC binds the measured bytes.
-        let key = b"k";
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
-        let req = vrf.request(er(), or());
-        let measured = ivt_with(9, 0xF800);
-        let items = pox_items(
-            true,
-            req.er,
-            &vrf.expected_er,
-            req.or,
-            b"out",
-            Some((vrf.ivt_region, &measured)),
-        );
-        let resp = PoxResponse {
-            exec: true,
-            output: b"out".to_vec(),
-            ivt: Some(vec![0u8; 32]), // forged report
-            mac: attest(key, &req.chal.0, &items),
-        };
-        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::BadMac));
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let session = vrf.begin();
+        let mut resp = honest(&vrf, session.request(), Some(ivt_with(9, 0xF800)), b"out");
+        resp.ivt = Some(vec![0u8; 32]); // forged report
+        let outcome = session.evidence(resp).conclude(&vrf);
+        assert_eq!(outcome.err(), Some(&AsapError::BadMac));
     }
 
     #[test]
     fn exec_zero_rejected() {
-        let key = b"k";
-        let mut vrf = AsapVerifier::new(key, vec![0xAA; 256], BTreeMap::new());
-        let req = vrf.request(er(), or());
-        let mut resp = honest(&vrf, key, &req, vec![0u8; 32], b"out");
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let session = vrf.begin();
+        let mut resp = honest(&vrf, session.request(), Some(vec![0u8; 32]), b"out");
         resp.exec = false;
-        assert_eq!(vrf.verify(&req, &resp), Err(PoxError::NotExecuted));
+        let outcome = session.evidence(resp).conclude(&vrf);
+        assert_eq!(outcome.err(), Some(&AsapError::NotExecuted));
     }
 
     #[test]
-    fn parse_ivt_layout() {
+    fn stale_evidence_fails_fresh_session() {
+        // A response computed for session N cannot conclude session N+1:
+        // the challenge differs, so the MAC check fails.
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let first = vrf.begin();
+        let stale = honest(&vrf, first.request(), Some(vec![0u8; 32]), b"out");
+        let _abandoned = first; // session N is never concluded
+        let second = vrf.begin();
+        let outcome = second.evidence(stale).conclude(&vrf);
+        assert_eq!(outcome.err(), Some(&AsapError::BadMac));
+    }
+
+    #[test]
+    fn sessions_cross_a_byte_transport() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let session = vrf.begin();
+        // Round-trip the request through its wire form, as a transport
+        // would, and check the prover sees the identical request.
+        let req = PoxRequest::from_bytes(&session.request_bytes()).unwrap();
+        assert_eq!(&req, session.request());
+        let resp = honest(&vrf, &req, Some(vec![0u8; 32]), b"out");
+        let session = session.evidence_bytes(&resp.to_bytes()).unwrap();
+        assert!(session.conclude(&vrf).is_verified());
+    }
+
+    #[test]
+    fn garbled_evidence_bytes_are_a_wire_error() {
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        let session = vrf.begin();
+        assert!(matches!(
+            session.evidence_bytes(b"not a response"),
+            Err(AsapError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn parse_ivt_layout_and_render_inverse() {
         let bytes = ivt_with(15, 0xE000);
         let entries = AsapVerifier::parse_ivt(&bytes);
         assert_eq!(entries.len(), 16);
         assert_eq!(entries[15], (15, 0xE000));
         assert_eq!(entries[0], (0, 0x0000));
+        assert_eq!(AsapVerifier::render_ivt(&entries), bytes);
+    }
+
+    #[test]
+    fn spec_from_image_matches_device_er() {
+        use crate::device::Device;
+        use crate::programs;
+
+        let image = programs::fig4_authorized().unwrap();
+        let spec = VerifierSpec::from_image(&image).unwrap();
+        let device = Device::builder(&image).key(KEY).build().unwrap();
+        assert_eq!(
+            spec.expected_er,
+            device.er_bytes(),
+            "image-derived ER = flashed ER"
+        );
+        assert_eq!(spec.er, device.er().region);
+        let isr = image.symbol("gpio_isr").unwrap();
+        assert_eq!(
+            spec.trusted_isrs,
+            [(periph::gpio::PORT1_VECTOR, isr)].into()
+        );
     }
 }

@@ -17,7 +17,13 @@ fn bench_swatt_mac(c: &mut Criterion) {
         let chal = [7u8; 16];
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| attest(black_box(KEY), black_box(&chal), black_box(std::slice::from_ref(&item))))
+            b.iter(|| {
+                attest(
+                    black_box(KEY),
+                    black_box(&chal),
+                    black_box(std::slice::from_ref(&item)),
+                )
+            })
         });
     }
     group.finish();
@@ -25,22 +31,15 @@ fn bench_swatt_mac(c: &mut Criterion) {
 
 fn bench_pox_roundtrip(c: &mut Criterion) {
     let image = programs::fig4_authorized().unwrap();
+    let spec = asap::VerifierSpec::from_image(&image).unwrap();
     c.bench_function("pox_roundtrip_asap", |b| {
         b.iter(|| {
             let mut device = device_for(&image, PoxMode::Asap).unwrap();
             device.run_until_pc(programs::done_pc(), 5_000);
-            let mut vrf = asap::verifier::AsapVerifier::new(
-                KEY,
-                device.er_bytes(),
-                std::collections::BTreeMap::from([(
-                    periph::gpio::PORT1_VECTOR,
-                    image.symbol("gpio_isr").unwrap(),
-                )]),
-            );
-            let (er, or) = device.pox_regions();
-            let req = vrf.request(er, or);
-            let resp = device.attest(&req);
-            black_box(vrf.verify(&req, &resp).is_ok())
+            let mut vrf = asap::AsapVerifier::new(KEY, spec.clone());
+            let session = vrf.begin();
+            let resp = device.attest(session.request());
+            black_box(session.evidence(resp).conclude(&vrf).is_verified())
         })
     });
 }

@@ -18,10 +18,8 @@ fn bench_monitor_suites(c: &mut Criterion) {
     });
     c.bench_function("mc_atomicity_suite", |b| {
         b.iter(|| {
-            let k = kripke_of_constrained(
-                &SwAttAtomicity::for_model(),
-                SwAttAtomicity::env_constraint,
-            );
+            let k =
+                kripke_of_constrained(&SwAttAtomicity::for_model(), SwAttAtomicity::env_constraint);
             black_box(check_suite(&k, &SwAttAtomicity::properties()))
         })
     });

@@ -22,8 +22,12 @@ fn bench_mapping(c: &mut Criterion) {
 }
 
 fn bench_design_construction(c: &mut Criterion) {
-    c.bench_function("build_apex_netlist", |b| b.iter(|| black_box(apex_design())));
-    c.bench_function("build_asap_netlist", |b| b.iter(|| black_box(asap_design())));
+    c.bench_function("build_apex_netlist", |b| {
+        b.iter(|| black_box(apex_design()))
+    });
+    c.bench_function("build_asap_netlist", |b| {
+        b.iter(|| black_box(asap_design()))
+    });
 }
 
 criterion_group!(benches, bench_mapping, bench_design_construction);

@@ -23,17 +23,41 @@ fn ablate_ap1() {
     // legally, then the attacker writes the IVT.
     let history: Vec<(ExecIn, IvtIn)> = vec![
         (
-            ExecIn { pc_in_er: true, pc_at_ermin: true, ..Default::default() },
-            IvtIn { pc_at_ermin: true, ..Default::default() },
+            ExecIn {
+                pc_in_er: true,
+                pc_at_ermin: true,
+                ..Default::default()
+            },
+            IvtIn {
+                pc_at_ermin: true,
+                ..Default::default()
+            },
         ),
-        (ExecIn { pc_in_er: true, irq: true, ..Default::default() }, IvtIn::default()),
         (
-            ExecIn { pc_in_er: true, pc_at_erexit: true, ..Default::default() },
+            ExecIn {
+                pc_in_er: true,
+                irq: true,
+                ..Default::default()
+            },
+            IvtIn::default(),
+        ),
+        (
+            ExecIn {
+                pc_in_er: true,
+                pc_at_erexit: true,
+                ..Default::default()
+            },
             IvtIn::default(),
         ),
         (ExecIn::default(), IvtIn::default()),
         // The attack: CPU write into the IVT.
-        (ExecIn::default(), IvtIn { wen_ivt: true, ..Default::default() }),
+        (
+            ExecIn::default(),
+            IvtIn {
+                wen_ivt: true,
+                ..Default::default()
+            },
+        ),
     ];
 
     let mut full_exec = ExecState::default();
@@ -46,7 +70,10 @@ fn ablate_ap1() {
     }
     let full = full_exec.exec && full_ivt;
     println!("  full ASAP   : EXEC = {} (attack detected)", full as u8);
-    println!("  without AP1 : EXEC = {} (attack WOULD SUCCEED)", ablated.exec as u8);
+    println!(
+        "  without AP1 : EXEC = {} (attack WOULD SUCCEED)",
+        ablated.exec as u8
+    );
     assert!(!full && ablated.exec, "ablation must flip the outcome");
 }
 
@@ -54,10 +81,20 @@ fn ablate_ap1() {
 /// outside `ER`, on real devices.
 fn ablate_ap2() {
     for (what, image) in [
-        ("ISR inside ER ([AP2] respected)", programs::fig4_authorized().unwrap()),
-        ("ISR outside ER ([AP2] ablated) ", programs::fig4_unauthorized().unwrap()),
+        (
+            "ISR inside ER ([AP2] respected)",
+            programs::fig4_authorized().unwrap(),
+        ),
+        (
+            "ISR outside ER ([AP2] ablated) ",
+            programs::fig4_unauthorized().unwrap(),
+        ),
     ] {
-        let mut d = Device::new(&image, PoxMode::Asap, b"ablate").unwrap();
+        let mut d = Device::builder(&image)
+            .mode(PoxMode::Asap)
+            .key(b"ablate")
+            .build()
+            .unwrap();
         d.run_steps(6);
         d.set_button(0, true);
         d.run_until_pc(programs::done_pc(), 10_000);

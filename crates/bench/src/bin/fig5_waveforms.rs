@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let d = run_button_scenario(&authorized, PoxMode::Asap)?;
     println!("{}", fig5_waveform(&d, 60));
     println!("EXEC = {} (expected 1)\n", d.exec() as u8);
-    assert!(d.exec(), "Fig 5(a) shape: EXEC must survive the trusted ISR");
+    assert!(
+        d.exec(),
+        "Fig 5(a) shape: EXEC must survive the trusted ISR"
+    );
     export_vcd(&d, "fig5a.vcd")?;
 
     println!("=== Fig. 5(b): unauthorized interrupt in ASAP ===");

@@ -18,8 +18,14 @@ fn bare_cycles(image: &Image) -> u64 {
     let mut mcu = Mcu::new(MemLayout::default());
     // Match the device's peripheral set so MMIO behaves identically.
     mcu.add_peripheral(Box::new(periph::Timer::new()));
-    mcu.add_peripheral(Box::new(periph::Gpio::port(1, Some(periph::gpio::PORT1_VECTOR))));
-    mcu.add_peripheral(Box::new(periph::Gpio::port(2, Some(periph::gpio::PORT2_VECTOR))));
+    mcu.add_peripheral(Box::new(periph::Gpio::port(
+        1,
+        Some(periph::gpio::PORT1_VECTOR),
+    )));
+    mcu.add_peripheral(Box::new(periph::Gpio::port(
+        2,
+        Some(periph::gpio::PORT2_VECTOR),
+    )));
     mcu.add_peripheral(Box::new(periph::Gpio::port(5, None)));
     mcu.add_peripheral(Box::new(periph::Uart::new()));
     mcu.add_peripheral(Box::new(periph::DmaController::new()));
@@ -44,8 +50,14 @@ fn monitored_cycles(image: &Image, mode: PoxMode) -> u64 {
 fn main() {
     let workloads = [
         ("fig4 (button demo)", programs::fig4_authorized().unwrap()),
-        ("syringe pump (interrupt)", programs::syringe_pump_interrupt(2_000).unwrap()),
-        ("syringe pump (busy-wait)", programs::syringe_pump_busywait(500).unwrap()),
+        (
+            "syringe pump (interrupt)",
+            programs::syringe_pump_interrupt(2_000).unwrap(),
+        ),
+        (
+            "syringe pump (busy-wait)",
+            programs::syringe_pump_busywait(500).unwrap(),
+        ),
         ("sensor task", programs::sensor_task().unwrap()),
     ];
     let _ = KEY;
@@ -59,9 +71,7 @@ fn main() {
         let apex = monitored_cycles(image, PoxMode::Apex);
         let asap = monitored_cycles(image, PoxMode::Asap);
         let overhead = (apex as i64 - bare as i64).max(asap as i64 - bare as i64);
-        println!(
-            "{name:<28} {bare:>12} {apex:>12} {asap:>12} {overhead:>9}cy"
-        );
+        println!("{name:<28} {bare:>12} {apex:>12} {asap:>12} {overhead:>9}cy");
         assert_eq!(bare, apex, "{name}: APEX must add zero cycles");
         assert_eq!(bare, asap, "{name}: ASAP must add zero cycles");
     }

@@ -11,21 +11,25 @@
 //! | §5 runtime overhead (zero cycles) | `runtime_overhead` |
 
 use asap::device::{Device, PoxMode};
-use asap::programs;
+use asap::{programs, AsapError};
 use msp430_tools::link::Image;
-use std::error::Error;
 
 /// The shared demo key.
 pub const KEY: &[u8] = b"bench-key";
 
-/// Builds a device for an image/mode pair.
-pub fn device_for(image: &Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
-    Ok(Device::new(image, mode, KEY)?)
+/// Builds a device for an image/mode pair, with waveform capture on so
+/// the figure binaries can render Fig. 5.
+pub fn device_for(image: &Image, mode: PoxMode) -> Result<Device, AsapError> {
+    Device::builder(image)
+        .mode(mode)
+        .key(KEY)
+        .record_wave(true)
+        .build()
 }
 
 /// Runs the Fig. 4 scenario: a few steps into `ER`, press the button,
 /// run to completion. Returns the device for inspection.
-pub fn run_button_scenario(image: &Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
+pub fn run_button_scenario(image: &Image, mode: PoxMode) -> Result<Device, AsapError> {
     let mut device = device_for(image, mode)?;
     device.run_steps(6);
     device.set_button(0, true);

@@ -1,0 +1,209 @@
+//! # criterion (offline shim)
+//!
+//! A self-contained, dependency-free stand-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) benchmarking API this
+//! workspace uses. The build environment has no network access to
+//! crates.io, so the `[[bench]]` targets link against this shim.
+//!
+//! It is a real (if minimal) harness: each benchmark closure is warmed
+//! up once and then timed over an adaptive number of iterations within a
+//! small wall-clock budget, and the mean per-iteration time is printed.
+//! Precision is deliberately modest — the goal is trend visibility and
+//! keeping the bench targets compiling and runnable, not statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-iteration wall-clock budget for one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(40);
+
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u32 = 200;
+
+/// Declared throughput of a benchmark, used to derive rate units.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then as many iterations as fit the
+    /// budget. The mean is recorded for the caller to print.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let started = Instant::now();
+        let mut iters: u32 = 0;
+        while iters < MAX_ITERS && (iters == 0 || started.elapsed() < MEASURE_BUDGET) {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.mean = Some(started.elapsed() / iters);
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let rate = throughput
+                .map(|t| describe_rate(t, mean))
+                .unwrap_or_default();
+            println!("bench {label:<44} {mean:>12.2?}/iter{rate}");
+        }
+        None => println!("bench {label:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn describe_rate(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(f64::MIN_POSITIVE);
+    match t {
+        Throughput::Bytes(n) => format!("  ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0)),
+        Throughput::Elements(n) => format!("  ({:.0} elem/s)", n as f64 / secs),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.bench_function("plain", |b| b.iter(|| ()));
+        group.finish();
+    }
+}

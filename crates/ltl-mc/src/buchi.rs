@@ -58,7 +58,10 @@ const INIT: usize = usize::MAX;
 
 fn lit_negation(f: &Nnf) -> Option<Nnf> {
     match f {
-        Nnf::Lit { name, neg } => Some(Nnf::Lit { name: name.clone(), neg: !neg }),
+        Nnf::Lit { name, neg } => Some(Nnf::Lit {
+            name: name.clone(),
+            neg: !neg,
+        }),
         _ => None,
     }
 }
@@ -211,7 +214,10 @@ pub fn from_ltl(f: &Ltl) -> Buchi {
                     _ => None,
                 })
                 .collect();
-            BuchiState { lits, succs: Vec::new() }
+            BuchiState {
+                lits,
+                succs: Vec::new(),
+            }
         })
         .collect();
 
@@ -245,14 +251,21 @@ pub fn from_ltl(f: &Ltl) -> Buchi {
         })
         .collect();
 
-    Buchi { states, initial, acceptance }
+    Buchi {
+        states,
+        initial,
+        acceptance,
+    }
 }
 
 impl Buchi {
     /// True when a symbol (set of true proposition names) satisfies the
     /// literal constraints of `state`.
     pub fn symbol_matches(&self, state: usize, holds: &dyn Fn(&str) -> bool) -> bool {
-        self.states[state].lits.iter().all(|(name, neg)| holds(name) != *neg)
+        self.states[state]
+            .lits
+            .iter()
+            .all(|(name, neg)| holds(name) != *neg)
     }
 }
 
@@ -277,7 +290,13 @@ mod tests {
                 &cycle[i - prefix.len()]
             }
         };
-        let next_pos = |pos: usize| if pos + 1 < total { pos + 1 } else { prefix.len() };
+        let next_pos = |pos: usize| {
+            if pos + 1 < total {
+                pos + 1
+            } else {
+                prefix.len()
+            }
+        };
         let acc_mask = |q: usize| -> u32 {
             b.acceptance
                 .iter()
@@ -359,7 +378,10 @@ mod tests {
     fn until_requires_witness() {
         let b = from_ltl(&Ltl::prop("a").until(Ltl::prop("b")));
         assert!(accepts(&b, &[vec!["a"], vec!["a"], vec!["b"]], &[vec![]]));
-        assert!(!accepts(&b, &[], &[vec!["a"]]), "a forever without b is rejected");
+        assert!(
+            !accepts(&b, &[], &[vec!["a"]]),
+            "a forever without b is rejected"
+        );
         assert!(accepts(&b, &[vec!["b"]], &[vec![]]));
     }
 
@@ -380,6 +402,10 @@ mod tests {
             .globally()
             .not();
         let b = from_ltl(&f);
-        assert!(b.states.len() <= 16, "negated safety automaton too big: {}", b.states.len());
+        assert!(
+            b.states.len() <= 16,
+            "negated safety automaton too big: {}",
+            b.states.len()
+        );
     }
 }

@@ -128,8 +128,7 @@ impl Ltl {
             Ltl::True | Ltl::False => {}
             Ltl::Prop(p) => out.push(p.clone()),
             Ltl::Not(a) | Ltl::X(a) | Ltl::G(a) | Ltl::F(a) => a.collect_props(out),
-            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b) | Ltl::U(a, b)
-            | Ltl::R(a, b) => {
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b) | Ltl::U(a, b) | Ltl::R(a, b) => {
                 a.collect_props(out);
                 b.collect_props(out);
             }
@@ -205,7 +204,10 @@ fn nnf(f: &Ltl, negated: bool) -> Rc<Nnf> {
     match (f, negated) {
         (Ltl::True, false) | (Ltl::False, true) => Rc::new(Nnf::True),
         (Ltl::True, true) | (Ltl::False, false) => Rc::new(Nnf::False),
-        (Ltl::Prop(p), neg) => Rc::new(Nnf::Lit { name: p.clone(), neg }),
+        (Ltl::Prop(p), neg) => Rc::new(Nnf::Lit {
+            name: p.clone(),
+            neg,
+        }),
         (Ltl::Not(a), neg) => nnf(a, !neg),
         (Ltl::And(a, b), false) => Rc::new(Nnf::And(nnf(a, false), nnf(b, false))),
         (Ltl::And(a, b), true) => Rc::new(Nnf::Or(nnf(a, true), nnf(b, true))),
@@ -233,7 +235,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_style() {
-        let f = Ltl::prop("a").and(Ltl::prop("b")).implies(Ltl::prop("c").not()).globally();
+        let f = Ltl::prop("a")
+            .and(Ltl::prop("b"))
+            .implies(Ltl::prop("c").not())
+            .globally();
         assert_eq!(f.to_string(), "G ((a & b) -> !c)");
     }
 
@@ -249,8 +254,14 @@ mod tests {
         let f = Ltl::prop("a").and(Ltl::prop("b").next()).not();
         let n = Nnf::from_ltl(&f);
         let expect = Rc::new(Nnf::Or(
-            Rc::new(Nnf::Lit { name: "a".into(), neg: true }),
-            Rc::new(Nnf::X(Rc::new(Nnf::Lit { name: "b".into(), neg: true }))),
+            Rc::new(Nnf::Lit {
+                name: "a".into(),
+                neg: true,
+            }),
+            Rc::new(Nnf::X(Rc::new(Nnf::Lit {
+                name: "b".into(),
+                neg: true,
+            }))),
         ));
         assert_eq!(n, expect);
     }
@@ -263,7 +274,10 @@ mod tests {
             n,
             Rc::new(Nnf::U(
                 Rc::new(Nnf::True),
-                Rc::new(Nnf::Lit { name: "a".into(), neg: true })
+                Rc::new(Nnf::Lit {
+                    name: "a".into(),
+                    neg: true
+                })
             ))
         );
         // ¬F a = false R ¬a
@@ -272,7 +286,10 @@ mod tests {
             n,
             Rc::new(Nnf::R(
                 Rc::new(Nnf::False),
-                Rc::new(Nnf::Lit { name: "a".into(), neg: true })
+                Rc::new(Nnf::Lit {
+                    name: "a".into(),
+                    neg: true
+                })
             ))
         );
     }
@@ -283,8 +300,14 @@ mod tests {
         assert_eq!(
             n,
             Rc::new(Nnf::Or(
-                Rc::new(Nnf::Lit { name: "a".into(), neg: true }),
-                Rc::new(Nnf::Lit { name: "b".into(), neg: false })
+                Rc::new(Nnf::Lit {
+                    name: "a".into(),
+                    neg: true
+                }),
+                Rc::new(Nnf::Lit {
+                    name: "b".into(),
+                    neg: false
+                })
             ))
         );
     }

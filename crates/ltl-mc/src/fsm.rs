@@ -115,13 +115,15 @@ pub fn kripke_of_constrained<M: MonitorFsm>(
     let valuations: Vec<u32> = (0..(1u32 << n))
         .filter(|&v| constraint(&InputVal::new(&inputs, v)))
         .collect();
-    assert!(!valuations.is_empty(), "environment constraint rejects all inputs");
+    assert!(
+        !valuations.is_empty(),
+        "environment constraint rejects all inputs"
+    );
 
     let mut props = inputs.clone();
     props.extend(outputs.iter().cloned());
 
-    let seeds: Vec<(M::State, u32)> =
-        valuations.iter().map(|&v| (fsm.initial(), v)).collect();
+    let seeds: Vec<(M::State, u32)> = valuations.iter().map(|&v| (fsm.initial(), v)).collect();
 
     let inputs_for_label = inputs.clone();
     let outputs_for_label = outputs.clone();
@@ -132,8 +134,7 @@ pub fn kripke_of_constrained<M: MonitorFsm>(
         seeds,
         move |(s, v)| {
             let iv = InputVal::new(&inputs_for_label, *v);
-            let mut names: Vec<String> =
-                iv.true_names().into_iter().map(str::to_string).collect();
+            let mut names: Vec<String> = iv.true_names().into_iter().map(str::to_string).collect();
             for o in &outputs_for_label {
                 if fsm.output(s, &iv, o) {
                     names.push(o.clone());

@@ -52,7 +52,11 @@ impl Kripke {
     /// Panics if there are more than 64 propositions.
     pub fn new(props: Vec<String>) -> Kripke {
         assert!(props.len() <= 64, "at most 64 propositions supported");
-        Kripke { props, states: Vec::new(), initial: Vec::new() }
+        Kripke {
+            props,
+            states: Vec::new(),
+            initial: Vec::new(),
+        }
     }
 
     /// The proposition table.
@@ -82,7 +86,10 @@ impl Kripke {
                 .unwrap_or_else(|| panic!("unknown proposition `{}`", p.as_ref()));
             label |= 1 << i;
         }
-        self.states.push(StateData { label, succs: Vec::new() });
+        self.states.push(StateData {
+            label,
+            succs: Vec::new(),
+        });
         self.states.len() - 1
     }
 
@@ -143,7 +150,12 @@ impl Kripke {
     /// Panics if `label` produces a name missing from `props`, or if a
     /// state has no successors (Kripke structures must be total — add a
     /// self-loop for terminal states).
-    pub fn explore<S, FL, FS, I, N>(props: Vec<String>, seeds: Vec<S>, label: FL, succ: FS) -> Kripke
+    pub fn explore<S, FL, FS, I, N>(
+        props: Vec<String>,
+        seeds: Vec<S>,
+        label: FL,
+        succ: FS,
+    ) -> Kripke
     where
         S: Clone + Eq + Hash,
         FL: Fn(&S) -> I,
@@ -220,12 +232,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "total")]
     fn exploration_requires_totality() {
-        let _ = Kripke::explore(
-            vec![],
-            vec![0u8],
-            |_| Vec::<String>::new(),
-            |_| Vec::new(),
-        );
+        let _ = Kripke::explore(vec![], vec![0u8], |_| Vec::<String>::new(), |_| Vec::new());
     }
 
     #[test]

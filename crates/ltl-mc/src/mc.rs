@@ -241,15 +241,13 @@ pub fn check(k: &Kripke, spec: &Ltl) -> CheckResult {
             scc_sizes[s] += 1;
         }
     }
-    let nontrivial = |scc: usize, member: usize| {
-        scc_sizes[scc] > 1 || p.succs[member].contains(&member)
-    };
+    let nontrivial =
+        |scc: usize, member: usize| scc_sizes[scc] > 1 || p.succs[member].contains(&member);
 
     // Acceptance intersection per SCC.
     let mut hits: Vec<Vec<bool>> = vec![vec![false; a.acceptance.len()]; scc_count];
     let mut has_nontrivial = vec![false; scc_count];
-    for v in 0..p.states.len() {
-        let scc = scc_of[v];
+    for (v, &scc) in scc_of.iter().enumerate().take(p.states.len()) {
         if nontrivial(scc, v) {
             has_nontrivial[scc] = true;
         }
@@ -260,18 +258,22 @@ pub fn check(k: &Kripke, spec: &Ltl) -> CheckResult {
         }
     }
 
-    let accepting_scc = (0..scc_count)
-        .find(|&scc| has_nontrivial[scc] && hits[scc].iter().all(|&h| h));
+    let accepting_scc =
+        (0..scc_count).find(|&scc| has_nontrivial[scc] && hits[scc].iter().all(|&h| h));
 
     let Some(scc) = accepting_scc else {
-        return CheckResult { holds: true, counterexample: None, stats, elapsed: start.elapsed() };
+        return CheckResult {
+            holds: true,
+            counterexample: None,
+            stats,
+            elapsed: start.elapsed(),
+        };
     };
 
     // Counterexample: stem to the SCC, then a cycle through every
     // acceptance set.
     let in_scc = |v: usize| scc_of[v] == scc;
-    let stem =
-        bfs_path(&p.succs, &p.initial, |v| in_scc(v), |_| true).expect("SCC is reachable");
+    let stem = bfs_path(&p.succs, &p.initial, in_scc, |_| true).expect("SCC is reachable");
     let entry = *stem.last().expect("nonempty stem");
 
     // Walk through one representative of each acceptance set, then back.
@@ -283,9 +285,12 @@ pub fn check(k: &Kripke, spec: &Ltl) -> CheckResult {
             continue;
         }
         // Step off `cursor` first so the path has at least one edge.
-        let starts: Vec<usize> =
-            p.succs[cursor].iter().copied().filter(|&v| in_scc(v)).collect();
-        let seg = bfs_path(&p.succs, &starts, hit, &in_scc).expect("acceptance reachable in SCC");
+        let starts: Vec<usize> = p.succs[cursor]
+            .iter()
+            .copied()
+            .filter(|&v| in_scc(v))
+            .collect();
+        let seg = bfs_path(&p.succs, &starts, hit, in_scc).expect("acceptance reachable in SCC");
         cycle_nodes.extend(seg);
         cursor = *cycle_nodes.last().unwrap();
     }
@@ -295,16 +300,22 @@ pub fn check(k: &Kripke, spec: &Ltl) -> CheckResult {
         // duplicate (the wrap-around re-adds it implicitly).
         cycle_nodes.pop();
     } else {
-        let starts: Vec<usize> =
-            p.succs[cursor].iter().copied().filter(|&v| in_scc(v)).collect();
-        let back = bfs_path(&p.succs, &starts, |v| v == entry, &in_scc)
+        let starts: Vec<usize> = p.succs[cursor]
+            .iter()
+            .copied()
+            .filter(|&v| in_scc(v))
+            .collect();
+        let back = bfs_path(&p.succs, &starts, |v| v == entry, in_scc)
             .expect("entry reachable within SCC");
         cycle_nodes.extend(back);
         cycle_nodes.pop(); // entry repeats at the wrap-around
     }
 
     let labels = |nodes: &[usize]| -> Vec<BTreeSet<String>> {
-        nodes.iter().map(|&v| k.label_names(p.states[v].0)).collect()
+        nodes
+            .iter()
+            .map(|&v| k.label_names(p.states[v].0))
+            .collect()
     };
     let lasso = Lasso {
         prefix: labels(&stem[..stem.len() - 1]),
@@ -331,7 +342,10 @@ pub struct Property {
 impl Property {
     /// Creates a named property.
     pub fn new(name: impl Into<String>, formula: Ltl) -> Property {
-        Property { name: name.into(), formula }
+        Property {
+            name: name.into(),
+            formula,
+        }
     }
 }
 
@@ -348,7 +362,10 @@ pub struct SuiteRow {
 pub fn check_suite(k: &Kripke, properties: &[Property]) -> Vec<SuiteRow> {
     properties
         .iter()
-        .map(|p| SuiteRow { name: p.name.clone(), result: check(k, &p.formula) })
+        .map(|p| SuiteRow {
+            name: p.name.clone(),
+            result: check(k, &p.formula),
+        })
         .collect()
 }
 
@@ -387,8 +404,11 @@ mod tests {
         let ce = r.counterexample.expect("lasso");
         assert!(!ce.cycle.is_empty());
         // The violation (a ¬p state) must appear somewhere in the lasso.
-        let has_not_p =
-            ce.prefix.iter().chain(ce.cycle.iter()).any(|s| !s.contains("p"));
+        let has_not_p = ce
+            .prefix
+            .iter()
+            .chain(ce.cycle.iter())
+            .any(|s| !s.contains("p"));
         assert!(has_not_p, "lasso must witness !p: {ce:?}");
     }
 
@@ -427,7 +447,10 @@ mod tests {
         k.add_initial(s0);
         assert!(check(&k, &Ltl::prop("a").until(Ltl::prop("b"))).holds);
         assert!(check(&k, &Ltl::prop("b").not().until(Ltl::prop("b"))).holds);
-        assert!(check(&k, &Ltl::prop("b").until(Ltl::prop("a"))).holds, "a holds at step 0");
+        assert!(
+            check(&k, &Ltl::prop("b").until(Ltl::prop("a"))).holds,
+            "a holds at step 0"
+        );
         assert!(!check(&k, &Ltl::prop("a").globally()).holds);
         assert!(check(&k, &Ltl::prop("b").globally().eventually()).holds);
     }

@@ -45,7 +45,8 @@ impl Trace {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.states.push(props.into_iter().map(Into::into).collect());
+        self.states
+            .push(props.into_iter().map(Into::into).collect());
     }
 
     /// Appends a pre-built state.
@@ -92,9 +93,8 @@ impl Trace {
             Ltl::X(a) => i + 1 < self.states.len() && self.satisfies_at(a, i + 1),
             Ltl::G(a) => (i..self.states.len()).all(|j| self.satisfies_at(a, j)),
             Ltl::F(a) => (i..self.states.len()).any(|j| self.satisfies_at(a, j)),
-            Ltl::U(a, b) => (i..self.states.len()).any(|j| {
-                self.satisfies_at(b, j) && (i..j).all(|k| self.satisfies_at(a, k))
-            }),
+            Ltl::U(a, b) => (i..self.states.len())
+                .any(|j| self.satisfies_at(b, j) && (i..j).all(|k| self.satisfies_at(a, k))),
             // Finite-trace release: b holds up to and including the first
             // position where a holds, or b holds for the whole suffix.
             Ltl::R(a, b) => {
@@ -116,7 +116,9 @@ impl Trace {
 
 impl FromIterator<TraceState> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceState>>(iter: I) -> Trace {
-        Trace { states: iter.into_iter().collect() }
+        Trace {
+            states: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -199,7 +201,11 @@ mod tests {
             .implies(Ltl::prop("exec").not().next())
             .globally();
         // Compliant trace: irq inside ER followed by exec dropping.
-        let good = t(&[&["pc_in_er", "exec"], &["pc_in_er", "irq", "exec"], &["pc_in_er"]]);
+        let good = t(&[
+            &["pc_in_er", "exec"],
+            &["pc_in_er", "irq", "exec"],
+            &["pc_in_er"],
+        ]);
         assert!(good.satisfies(&spec));
         // Violating trace: exec stays high after irq.
         let bad = t(&[

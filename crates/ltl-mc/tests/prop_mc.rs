@@ -117,8 +117,11 @@ fn kripke_of_word(word: &Word) -> Kripke {
     };
     let ids: Vec<usize> = (0..n)
         .map(|i| {
-            let names: Vec<&str> =
-                PROPS.iter().copied().filter(|p| holds(mask_at(i), p)).collect();
+            let names: Vec<&str> = PROPS
+                .iter()
+                .copied()
+                .filter(|p| holds(mask_at(i), p))
+                .collect();
             k.add_state(names)
         })
         .collect();

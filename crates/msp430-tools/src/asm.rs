@@ -29,7 +29,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Default section items land in when no `.section` was seen.
@@ -78,8 +81,11 @@ fn parse_num(s: &str) -> Option<i32> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 /// Parses an expression: `num`, `sym`, `sym+num`, `sym-num`.
@@ -95,7 +101,10 @@ fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
             let name = name.trim();
             if is_ident(name) {
                 if let Some(n) = parse_num(rest) {
-                    return Ok(Expr::Sym { name: name.to_string(), addend: n });
+                    return Ok(Expr::Sym {
+                        name: name.to_string(),
+                        addend: n,
+                    });
                 }
             }
         }
@@ -103,7 +112,10 @@ fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
     if is_ident(s) {
         // Registers are not valid bare expressions.
         if parse_reg(s).is_some() {
-            return err(line, format!("register `{s}` used where an expression was expected"));
+            return err(
+                line,
+                format!("register `{s}` used where an expression was expected"),
+            );
         }
         return Ok(Expr::sym(s));
     }
@@ -127,9 +139,15 @@ fn parse_operand(s: &str, line: usize) -> Result<OperandSpec, AsmError> {
             Some(b) => (b, true),
             None => (rest, false),
         };
-        let reg = parse_reg(body.trim())
-            .ok_or_else(|| AsmError { line, msg: format!("bad register `{body}`") })?;
-        return Ok(if inc { OperandSpec::IndInc(reg) } else { OperandSpec::Ind(reg) });
+        let reg = parse_reg(body.trim()).ok_or_else(|| AsmError {
+            line,
+            msg: format!("bad register `{body}`"),
+        })?;
+        return Ok(if inc {
+            OperandSpec::IndInc(reg)
+        } else {
+            OperandSpec::Ind(reg)
+        });
     }
     if let Some(open) = s.find('(') {
         if let Some(close) = s.rfind(')') {
@@ -238,7 +256,11 @@ fn emulated(
         }
         "ret" => {
             nullary(ops)?;
-            two(TwoOp::Mov, OperandSpec::IndInc(Reg::SP), OperandSpec::Reg(Reg::PC))
+            two(
+                TwoOp::Mov,
+                OperandSpec::IndInc(Reg::SP),
+                OperandSpec::Reg(Reg::PC),
+            )
         }
         "pop" => two(TwoOp::Mov, OperandSpec::IndInc(Reg::SP), unary(ops)?),
         "br" => two(TwoOp::Mov, unary(ops)?, OperandSpec::Reg(Reg::PC)),
@@ -322,7 +344,10 @@ fn emulated(
 /// ```
 pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
     let mut sections: Vec<SourceSection> = Vec::new();
-    let mut current = SourceSection { name: DEFAULT_SECTION.to_string(), ..Default::default() };
+    let mut current = SourceSection {
+        name: DEFAULT_SECTION.to_string(),
+        ..Default::default()
+    };
     let mut started = false;
 
     let flush = |sections: &mut Vec<SourceSection>, current: &mut SourceSection| {
@@ -372,7 +397,10 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
                         // Reopen an existing section.
                         current = sections.remove(pos);
                     } else {
-                        current = SourceSection { name: args.to_string(), ..Default::default() };
+                        current = SourceSection {
+                            name: args.to_string(),
+                            ..Default::default()
+                        };
                     }
                     started = true;
                 }
@@ -405,8 +433,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
                             line: line_no,
                             msg: ".ascii needs a double-quoted string".into(),
                         })?;
-                    let bytes: Vec<Expr> =
-                        inner.bytes().map(|b| Expr::Num(b as i32)).collect();
+                    let bytes: Vec<Expr> = inner.bytes().map(|b| Expr::Num(b as i32)).collect();
                     push_item(&mut current, Item::Bytes(bytes), line_no);
                 }
                 "space" => {
@@ -435,7 +462,10 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
         let (mnemonic, byte) = match mnemonic_lc.strip_suffix(".b") {
             Some(m) => (m.to_string(), true),
             None => (
-                mnemonic_lc.strip_suffix(".w").unwrap_or(&mnemonic_lc).to_string(),
+                mnemonic_lc
+                    .strip_suffix(".w")
+                    .unwrap_or(&mnemonic_lc)
+                    .to_string(),
                 false,
             ),
         };
@@ -448,18 +478,31 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
             if ops.len() != 2 {
                 return err(line_no, format!("`{mnemonic}` takes two operands"));
             }
-            Item::Two { op, byte, src: ops[0].clone(), dst: ops[1].clone() }
+            Item::Two {
+                op,
+                byte,
+                src: ops[0].clone(),
+                dst: ops[1].clone(),
+            }
         } else if let Some(op) = one_op_mnemonic(&mnemonic) {
             if op == OneOp::Reti {
                 if !ops.is_empty() {
                     return err(line_no, "`reti` takes no operands");
                 }
-                Item::One { op, byte: false, opnd: OperandSpec::Reg(Reg::PC) }
+                Item::One {
+                    op,
+                    byte: false,
+                    opnd: OperandSpec::Reg(Reg::PC),
+                }
             } else {
                 if ops.len() != 1 {
                     return err(line_no, format!("`{mnemonic}` takes one operand"));
                 }
-                Item::One { op, byte, opnd: ops[0].clone() }
+                Item::One {
+                    op,
+                    byte,
+                    opnd: ops[0].clone(),
+                }
             }
         } else if let Some(cond) = jump_mnemonic(&mnemonic) {
             if ops.len() != 1 {
@@ -487,7 +530,11 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
 
 fn push_item(section: &mut SourceSection, item: Item, line: usize) {
     let size = item.size_at(section.size);
-    section.items.push(LocatedItem { item, offset: section.size, line });
+    section.items.push(LocatedItem {
+        item,
+        offset: section.size,
+        line,
+    });
     section.size += size;
 }
 
@@ -518,19 +565,40 @@ mod tests {
     fn parses_operand_forms() {
         let l = 1;
         assert_eq!(parse_operand("r5", l).unwrap(), OperandSpec::Reg(Reg::r(5)));
-        assert_eq!(parse_operand("#42", l).unwrap(), OperandSpec::Imm(Expr::Num(42)));
-        assert_eq!(parse_operand("&0x200", l).unwrap(), OperandSpec::Abs(Expr::Num(0x200)));
-        assert_eq!(parse_operand("@r4", l).unwrap(), OperandSpec::Ind(Reg::r(4)));
-        assert_eq!(parse_operand("@r4+", l).unwrap(), OperandSpec::IndInc(Reg::r(4)));
+        assert_eq!(
+            parse_operand("#42", l).unwrap(),
+            OperandSpec::Imm(Expr::Num(42))
+        );
+        assert_eq!(
+            parse_operand("&0x200", l).unwrap(),
+            OperandSpec::Abs(Expr::Num(0x200))
+        );
+        assert_eq!(
+            parse_operand("@r4", l).unwrap(),
+            OperandSpec::Ind(Reg::r(4))
+        );
+        assert_eq!(
+            parse_operand("@r4+", l).unwrap(),
+            OperandSpec::IndInc(Reg::r(4))
+        );
         assert_eq!(
             parse_operand("4(r6)", l).unwrap(),
             OperandSpec::Idx(Expr::Num(4), Reg::r(6))
         );
         assert_eq!(
             parse_operand("buf+2(r6)", l).unwrap(),
-            OperandSpec::Idx(Expr::Sym { name: "buf".into(), addend: 2 }, Reg::r(6))
+            OperandSpec::Idx(
+                Expr::Sym {
+                    name: "buf".into(),
+                    addend: 2
+                },
+                Reg::r(6)
+            )
         );
-        assert_eq!(parse_operand("data", l).unwrap(), OperandSpec::Sym(Expr::sym("data")));
+        assert_eq!(
+            parse_operand("data", l).unwrap(),
+            OperandSpec::Sym(Expr::sym("data"))
+        );
     }
 
     #[test]

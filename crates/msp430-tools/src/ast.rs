@@ -25,7 +25,10 @@ pub enum Expr {
 impl Expr {
     /// A plain symbol reference.
     pub fn sym(name: impl Into<String>) -> Expr {
-        Expr::Sym { name: name.into(), addend: 0 }
+        Expr::Sym {
+            name: name.into(),
+            addend: 0,
+        }
     }
 
     /// True when no symbol is referenced.
@@ -74,13 +77,13 @@ impl OperandSpec {
     pub fn ext_words(&self) -> u16 {
         match self {
             OperandSpec::Reg(_) | OperandSpec::Ind(_) | OperandSpec::IndInc(_) => 0,
-            OperandSpec::Imm(Expr::Num(n)) => {
-                match n {
-                    0 | 1 | 2 | 4 | 8 | -1 => 0,
-                    _ => 1,
-                }
-            }
-            OperandSpec::Imm(_) | OperandSpec::Abs(_) | OperandSpec::Idx(..)
+            OperandSpec::Imm(Expr::Num(n)) => match n {
+                0 | 1 | 2 | 4 | 8 | -1 => 0,
+                _ => 1,
+            },
+            OperandSpec::Imm(_)
+            | OperandSpec::Abs(_)
+            | OperandSpec::Idx(..)
             | OperandSpec::Sym(_) => 1,
         }
     }
@@ -146,7 +149,10 @@ impl Item {
     pub fn size_at(&self, offset: u16) -> u16 {
         match self {
             Item::Two { src, dst, .. } => 2 + 2 * (src.ext_words() + dst.ext_words()),
-            Item::One { op: openmsp430::isa::OneOp::Reti, .. } => 2,
+            Item::One {
+                op: openmsp430::isa::OneOp::Reti,
+                ..
+            } => 2,
             Item::One { opnd, .. } => 2 + 2 * opnd.ext_words(),
             Item::Jump { .. } => 2,
             Item::Words(ws) => 2 * ws.len() as u16,
@@ -158,7 +164,10 @@ impl Item {
 
     /// True for executable instructions (vs. data directives).
     pub fn is_instruction(&self) -> bool {
-        matches!(self, Item::Two { .. } | Item::One { .. } | Item::Jump { .. })
+        matches!(
+            self,
+            Item::Two { .. } | Item::One { .. } | Item::Jump { .. }
+        )
     }
 }
 
@@ -196,10 +205,18 @@ mod tests {
     #[test]
     fn ext_word_accounting() {
         assert_eq!(OperandSpec::Reg(Reg::r(4)).ext_words(), 0);
-        assert_eq!(OperandSpec::Imm(Expr::Num(1)).ext_words(), 0, "constant generator");
+        assert_eq!(
+            OperandSpec::Imm(Expr::Num(1)).ext_words(),
+            0,
+            "constant generator"
+        );
         assert_eq!(OperandSpec::Imm(Expr::Num(-1)).ext_words(), 0);
         assert_eq!(OperandSpec::Imm(Expr::Num(100)).ext_words(), 1);
-        assert_eq!(OperandSpec::Imm(Expr::sym("label")).ext_words(), 1, "symbols reserve a word");
+        assert_eq!(
+            OperandSpec::Imm(Expr::sym("label")).ext_words(),
+            1,
+            "symbols reserve a word"
+        );
         assert_eq!(OperandSpec::Sym(Expr::sym("x")).ext_words(), 1);
     }
 
@@ -222,7 +239,21 @@ mod tests {
     fn expr_display() {
         assert_eq!(Expr::Num(5).to_string(), "5");
         assert_eq!(Expr::sym("foo").to_string(), "foo");
-        assert_eq!(Expr::Sym { name: "foo".into(), addend: 2 }.to_string(), "foo+2");
-        assert_eq!(Expr::Sym { name: "foo".into(), addend: -2 }.to_string(), "foo-2");
+        assert_eq!(
+            Expr::Sym {
+                name: "foo".into(),
+                addend: 2
+            }
+            .to_string(),
+            "foo+2"
+        );
+        assert_eq!(
+            Expr::Sym {
+                name: "foo".into(),
+                addend: -2
+            }
+            .to_string(),
+            "foo-2"
+        );
     }
 }

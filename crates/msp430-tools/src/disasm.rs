@@ -43,13 +43,18 @@ pub fn disassemble(
     end: u16,
     symbols: &BTreeMap<String, u16>,
 ) -> Vec<DisasmLine> {
-    let by_addr: BTreeMap<u16, &str> =
-        symbols.iter().map(|(name, addr)| (*addr, name.as_str())).collect();
+    let by_addr: BTreeMap<u16, &str> = symbols
+        .iter()
+        .map(|(name, addr)| (*addr, name.as_str()))
+        .collect();
     let mut out = Vec::new();
     let mut pc = start & !1;
     while pc < end {
         let d = decode(|a| mem.read_word(a), pc);
-        let label = by_addr.get(&pc).map(|n| format!("{n}: ")).unwrap_or_default();
+        let label = by_addr
+            .get(&pc)
+            .map(|n| format!("{n}: "))
+            .unwrap_or_default();
         out.push(DisasmLine {
             addr: pc,
             instr: d.instr,

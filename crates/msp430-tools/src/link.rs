@@ -76,7 +76,13 @@ impl LinkConfig {
     /// A configuration placing `ER` at `exec_base` and untrusted text at
     /// `text_base`.
     pub fn new(exec_base: u16, text_base: u16) -> LinkConfig {
-        LinkConfig { exec_base, text_base, data_base: None, ivt: Vec::new(), reset: None }
+        LinkConfig {
+            exec_base,
+            text_base,
+            data_base: None,
+            ivt: Vec::new(),
+            reset: None,
+        }
     }
 
     /// Adds an IVT entry: `vector` will point at `symbol`.
@@ -198,11 +204,7 @@ impl Resolver<'_> {
     /// Lowers an operand template to a concrete operand. `ext_addr` is the
     /// address the operand's extension word would occupy (for symbolic
     /// mode).
-    fn lower_operand(
-        &self,
-        spec: &OperandSpec,
-        ext_addr: u16,
-    ) -> Result<Operand, LinkError> {
+    fn lower_operand(&self, spec: &OperandSpec, ext_addr: u16) -> Result<Operand, LinkError> {
         Ok(match spec {
             OperandSpec::Reg(r) => Operand::Reg(*r),
             OperandSpec::Imm(Expr::Num(n)) if matches!(n, 0 | 1 | 2 | 4 | 8 | -1) => {
@@ -210,15 +212,19 @@ impl Resolver<'_> {
             }
             OperandSpec::Imm(e) => Operand::Immediate(self.resolve_word(e)?),
             OperandSpec::Abs(e) => Operand::Absolute(self.resolve_word(e)?),
-            OperandSpec::Idx(e, r) => {
-                Operand::Indexed { base: *r, offset: self.resolve_word(e)? as i16 }
-            }
+            OperandSpec::Idx(e, r) => Operand::Indexed {
+                base: *r,
+                offset: self.resolve_word(e)? as i16,
+            },
             OperandSpec::Ind(r) => Operand::Indirect(*r),
             OperandSpec::IndInc(r) => Operand::IndirectInc(*r),
             OperandSpec::Sym(e) => {
                 let target = self.resolve_word(e)?;
                 let offset = target.wrapping_sub(ext_addr) as i16;
-                Operand::Indexed { base: Reg::PC, offset }
+                Operand::Indexed {
+                    base: Reg::PC,
+                    offset,
+                }
             }
         })
     }
@@ -230,9 +236,7 @@ fn encode_item(
     res: &Resolver<'_>,
     line: usize,
 ) -> Result<Vec<u8>, LinkError> {
-    let werr = |e: openmsp430::encode::EncodeError| {
-        LinkError::new(format!("line {line}: {e}"))
-    };
+    let werr = |e: openmsp430::encode::EncodeError| LinkError::new(format!("line {line}: {e}"));
     let words_to_bytes = |words: Vec<u16>| {
         let mut out = Vec::with_capacity(words.len() * 2);
         for w in words {
@@ -244,15 +248,23 @@ fn encode_item(
         Item::Two { op, byte, src, dst } => {
             let src_ext = addr.wrapping_add(2);
             let src_op = res.lower_operand(src, src_ext)?;
-            let dst_ext =
-                src_ext.wrapping_add(2 * openmsp430::isa::ext_word_count(&src_op));
+            let dst_ext = src_ext.wrapping_add(2 * openmsp430::isa::ext_word_count(&src_op));
             let dst_op = res.lower_operand(dst, dst_ext)?;
-            let instr = Instr::Two { op: *op, byte: *byte, src: src_op, dst: dst_op };
+            let instr = Instr::Two {
+                op: *op,
+                byte: *byte,
+                src: src_op,
+                dst: dst_op,
+            };
             Ok(words_to_bytes(encode(&instr).map_err(werr)?))
         }
         Item::One { op, byte, opnd } => {
             let opnd = res.lower_operand(opnd, addr.wrapping_add(2))?;
-            let instr = Instr::One { op: *op, byte: *byte, opnd };
+            let instr = Instr::One {
+                op: *op,
+                byte: *byte,
+                opnd,
+            };
             Ok(words_to_bytes(encode(&instr).map_err(werr)?))
         }
         Item::Jump { cond, target } => {
@@ -270,7 +282,10 @@ fn encode_item(
                     "line {line}: jump to {target:#06x} out of range ({offset} words)"
                 )));
             }
-            let instr = Instr::Jump { cond: *cond, offset };
+            let instr = Instr::Jump {
+                cond: *cond,
+                offset,
+            };
             Ok(words_to_bytes(encode(&instr).map_err(werr)?))
         }
         Item::Words(ws) => {
@@ -292,10 +307,7 @@ fn encode_item(
 ///
 /// Returns a [`LinkError`] on undefined symbols, overlapping placements,
 /// out-of-range jumps or unencodable instructions.
-pub fn link_sections(
-    sections: &[SourceSection],
-    config: &LinkConfig,
-) -> Result<Image, LinkError> {
+pub fn link_sections(sections: &[SourceSection], config: &LinkConfig) -> Result<Image, LinkError> {
     // 1. Assign base addresses.
     let mut placed: Vec<(&SourceSection, u16)> = Vec::new();
     let mut exec_cursor = config.exec_base;
@@ -307,7 +319,7 @@ pub fn link_sections(
             exec_cursor = exec_cursor
                 .checked_add(s.size)
                 .ok_or_else(|| LinkError::new("exec group overflows address space"))?;
-            if exec_cursor % 2 != 0 {
+            if !exec_cursor.is_multiple_of(2) {
                 exec_cursor += 1; // keep instructions word aligned
             }
         }
@@ -329,7 +341,7 @@ pub fn link_sections(
         text_cursor = text_cursor
             .checked_add(s.size)
             .ok_or_else(|| LinkError::new("text overflows address space"))?;
-        if text_cursor % 2 != 0 {
+        if !text_cursor.is_multiple_of(2) {
             text_cursor += 1;
         }
     }
@@ -392,7 +404,11 @@ pub fn link_sections(
             .iter()
             .rev()
             .find_map(|(s, base)| {
-                s.items.iter().rev().find(|li| li.item.is_instruction()).map(|li| base + li.offset)
+                s.items
+                    .iter()
+                    .rev()
+                    .find(|li| li.item.is_instruction())
+                    .map(|li| base + li.offset)
             })
             .ok_or_else(|| LinkError::new("exec group contains no instructions"))?;
         Some(ErBounds {
@@ -420,7 +436,14 @@ pub fn link_sections(
         None => symbols.get("main").copied().unwrap_or(config.text_base),
     };
 
-    Ok(Image { chunks, symbols, sections: regions, er, ivt_entries, reset })
+    Ok(Image {
+        chunks,
+        symbols,
+        sections: regions,
+        er,
+        ivt_entries,
+        reset,
+    })
 }
 
 /// Assembles and links a single source in one call.
@@ -535,7 +558,9 @@ mod tests {
         main:
             jmp main
         ";
-        let cfg = LinkConfig::new(0xE000, 0xF000).vector(9, "isr").reset("main");
+        let cfg = LinkConfig::new(0xE000, 0xF000)
+            .vector(9, "isr")
+            .reset("main");
         let img = link(src, &cfg).unwrap();
         assert_eq!(img.ivt_entries, vec![(9, img.symbol("isr").unwrap())]);
         let mut mem = Memory::new();

@@ -34,17 +34,38 @@ pub struct MemAccess {
 impl MemAccess {
     /// A CPU data read.
     pub fn read(addr: u16, value: u16, byte: bool) -> MemAccess {
-        MemAccess { addr, value, byte, write: false, fetch: false, master: Master::Cpu }
+        MemAccess {
+            addr,
+            value,
+            byte,
+            write: false,
+            fetch: false,
+            master: Master::Cpu,
+        }
     }
 
     /// A CPU data write.
     pub fn write(addr: u16, value: u16, byte: bool) -> MemAccess {
-        MemAccess { addr, value, byte, write: true, fetch: false, master: Master::Cpu }
+        MemAccess {
+            addr,
+            value,
+            byte,
+            write: true,
+            fetch: false,
+            master: Master::Cpu,
+        }
     }
 
     /// A CPU instruction fetch.
     pub fn fetch(addr: u16, value: u16) -> MemAccess {
-        MemAccess { addr, value, byte: false, write: false, fetch: true, master: Master::Cpu }
+        MemAccess {
+            addr,
+            value,
+            byte: false,
+            write: false,
+            fetch: true,
+            master: Master::Cpu,
+        }
     }
 }
 

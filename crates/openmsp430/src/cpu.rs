@@ -125,8 +125,11 @@ impl Cpu {
     fn operand_ea(&self, op: &Operand, ext_addr: u16) -> Option<u16> {
         match *op {
             Operand::Indexed { base, offset } => {
-                let base_val =
-                    if base == Reg::PC { ext_addr } else { self.regs.get(base) };
+                let base_val = if base == Reg::PC {
+                    ext_addr
+                } else {
+                    self.regs.get(base)
+                };
                 Some(base_val.wrapping_add(offset as u16))
             }
             Operand::Absolute(addr) => Some(addr),
@@ -136,13 +139,7 @@ impl Cpu {
     }
 
     /// Reads a source operand's value, performing any auto-increment.
-    fn read_operand(
-        &mut self,
-        bus: &mut impl Bus,
-        op: &Operand,
-        byte: bool,
-        ext_addr: u16,
-    ) -> u16 {
+    fn read_operand(&mut self, bus: &mut impl Bus, op: &Operand, byte: bool, ext_addr: u16) -> u16 {
         match *op {
             Operand::Reg(r) => self.regs.get(r),
             Operand::Immediate(v) | Operand::Const(v) => v,
@@ -266,14 +263,18 @@ impl Cpu {
             Instr::One { op, byte, opnd } => self.exec_one(bus, op, byte, &opnd, pc_before),
             Instr::Jump { cond, offset } => {
                 if self.cond_true(cond) {
-                    let target =
-                        pc_before.wrapping_add(2).wrapping_add((offset as u16).wrapping_mul(2));
+                    let target = pc_before
+                        .wrapping_add(2)
+                        .wrapping_add((offset as u16).wrapping_mul(2));
                     self.regs.set_pc(target);
                 }
                 JUMP_CYCLES
             }
             Instr::Illegal(word) => {
-                let f = CpuFault::IllegalInstruction { pc: pc_before, word };
+                let f = CpuFault::IllegalInstruction {
+                    pc: pc_before,
+                    word,
+                };
                 self.fault = Some(f);
                 fault = Some(f);
                 self.regs.set_pc(pc_before);
@@ -359,7 +360,10 @@ impl Cpu {
                     Operand::Immediate(_) | Operand::Const(_) => {
                         // No writable location: fault.
                         let word = 0x1000 | (op.opcode() << 7);
-                        let f = CpuFault::IllegalInstruction { pc: instr_addr, word };
+                        let f = CpuFault::IllegalInstruction {
+                            pc: instr_addr,
+                            word,
+                        };
                         self.fault = Some(f);
                         return IDLE_CYCLES;
                     }
@@ -437,7 +441,12 @@ mod tests {
     }
 
     fn two(op: TwoOp, src: Operand, dst: Operand) -> Instr {
-        Instr::Two { op, byte: false, src, dst }
+        Instr::Two {
+            op,
+            byte: false,
+            src,
+            dst,
+        }
     }
 
     #[test]
@@ -448,8 +457,14 @@ mod tests {
 
     #[test]
     fn mov_immediate_to_register() {
-        let (mut cpu, mut bus) =
-            setup(0xE000, &[two(TwoOp::Mov, Operand::Immediate(0x1234), Operand::Reg(Reg::r(5)))]);
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[two(
+                TwoOp::Mov,
+                Operand::Immediate(0x1234),
+                Operand::Reg(Reg::r(5)),
+            )],
+        );
         let out = cpu.step(&mut bus, None);
         assert_eq!(cpu.regs.get(Reg::r(5)), 0x1234);
         assert_eq!(out.cycles, 2);
@@ -461,8 +476,16 @@ mod tests {
         let (mut cpu, mut bus) = setup(
             0xE000,
             &[
-                two(TwoOp::Mov, Operand::Immediate(0x00FF), Operand::Absolute(0x0200)),
-                two(TwoOp::Add, Operand::Immediate(0x0001), Operand::Absolute(0x0200)),
+                two(
+                    TwoOp::Mov,
+                    Operand::Immediate(0x00FF),
+                    Operand::Absolute(0x0200),
+                ),
+                two(
+                    TwoOp::Add,
+                    Operand::Immediate(0x0001),
+                    Operand::Absolute(0x0200),
+                ),
             ],
         );
         cpu.step(&mut bus, None);
@@ -481,7 +504,10 @@ mod tests {
             org,
             &[two(
                 TwoOp::Mov,
-                Operand::Indexed { base: Reg::PC, offset },
+                Operand::Indexed {
+                    base: Reg::PC,
+                    offset,
+                },
                 Operand::Reg(Reg::r(4)),
             )],
         );
@@ -495,7 +521,11 @@ mod tests {
         let (mut cpu, mut bus) = setup(
             0xE000,
             &[
-                two(TwoOp::Mov, Operand::IndirectInc(Reg::r(4)), Operand::Reg(Reg::r(5))),
+                two(
+                    TwoOp::Mov,
+                    Operand::IndirectInc(Reg::r(4)),
+                    Operand::Reg(Reg::r(5)),
+                ),
                 Instr::Two {
                     op: TwoOp::Mov,
                     byte: true,
@@ -520,9 +550,17 @@ mod tests {
         let (mut cpu, mut bus) = setup(
             0xE000,
             &[
-                Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(0xABCD) },
+                Instr::One {
+                    op: OneOp::Push,
+                    byte: false,
+                    opnd: Operand::Immediate(0xABCD),
+                },
                 // pop r7 == mov @sp+, r7
-                two(TwoOp::Mov, Operand::IndirectInc(Reg::SP), Operand::Reg(Reg::r(7))),
+                two(
+                    TwoOp::Mov,
+                    Operand::IndirectInc(Reg::SP),
+                    Operand::Reg(Reg::r(7)),
+                ),
             ],
         );
         let sp0 = cpu.regs.sp();
@@ -538,7 +576,11 @@ mod tests {
     fn call_pushes_return_address_and_jumps() {
         let (mut cpu, mut bus) = setup(
             0xE000,
-            &[Instr::One { op: OneOp::Call, byte: false, opnd: Operand::Immediate(0xF000) }],
+            &[Instr::One {
+                op: OneOp::Call,
+                byte: false,
+                opnd: Operand::Immediate(0xF000),
+            }],
         );
         let sp0 = cpu.regs.sp();
         let out = cpu.step(&mut bus, None);
@@ -554,7 +596,10 @@ mod tests {
             0xE000,
             &[
                 two(TwoOp::Cmp, Operand::Immediate(5), Operand::Reg(Reg::r(4))),
-                Instr::Jump { cond: Cond::Eq, offset: 1 },
+                Instr::Jump {
+                    cond: Cond::Eq,
+                    offset: 1,
+                },
                 two(TwoOp::Mov, Operand::Const(1), Operand::Reg(Reg::r(5))),
                 two(TwoOp::Mov, Operand::Const(2), Operand::Reg(Reg::r(6))),
             ],
@@ -562,7 +607,7 @@ mod tests {
         cpu.regs.set(Reg::r(4), 5);
         cpu.step(&mut bus, None); // cmp -> Z=1
         cpu.step(&mut bus, None); // jeq taken, skips the one-word mov #1, r5
-        // jump at 0xE004; target = 0xE004 + 2 + 2*1 = 0xE008
+                                  // jump at 0xE004; target = 0xE004 + 2 + 2*1 = 0xE008
         assert_eq!(cpu.regs.pc(), 0xE008);
         cpu.step(&mut bus, None);
         assert_eq!(cpu.regs.get(Reg::r(5)), 0);
@@ -637,7 +682,10 @@ mod tests {
         let mut cpu = Cpu::new();
         cpu.reset(&mut bus);
         let out = cpu.step(&mut bus, None);
-        assert!(matches!(out.fault, Some(CpuFault::IllegalInstruction { .. })));
+        assert!(matches!(
+            out.fault,
+            Some(CpuFault::IllegalInstruction { .. })
+        ));
         assert!(cpu.is_halted());
         let out = cpu.step(&mut bus, None);
         assert!(out.idle && out.fault.is_some());
@@ -661,8 +709,14 @@ mod tests {
 
     #[test]
     fn mov_to_pc_branches() {
-        let (mut cpu, mut bus) =
-            setup(0xE000, &[two(TwoOp::Mov, Operand::Immediate(0xF123), Operand::Reg(Reg::PC))]);
+        let (mut cpu, mut bus) = setup(
+            0xE000,
+            &[two(
+                TwoOp::Mov,
+                Operand::Immediate(0xF123),
+                Operand::Reg(Reg::PC),
+            )],
+        );
         let out = cpu.step(&mut bus, None);
         assert_eq!(cpu.regs.pc(), 0xF122, "PC bit 0 cleared");
         assert_eq!(out.cycles, 3, "mov #imm, pc takes 3 cycles");
@@ -672,7 +726,11 @@ mod tests {
     fn rmw_on_memory_operand() {
         let (mut cpu, mut bus) = setup(
             0xE000,
-            &[Instr::One { op: OneOp::Rra, byte: false, opnd: Operand::Absolute(0x0200) }],
+            &[Instr::One {
+                op: OneOp::Rra,
+                byte: false,
+                opnd: Operand::Absolute(0x0200),
+            }],
         );
         bus.mem.write_word(0x0200, 0x0004);
         cpu.step(&mut bus, None);
@@ -684,7 +742,11 @@ mod tests {
         // bis #GIE, sr : flags preserved, GIE set.
         let (mut cpu, mut bus) = setup(
             0xE000,
-            &[two(TwoOp::Bis, Operand::Immediate(sr_bits::GIE), Operand::Reg(Reg::SR))],
+            &[two(
+                TwoOp::Bis,
+                Operand::Immediate(sr_bits::GIE),
+                Operand::Reg(Reg::SR),
+            )],
         );
         cpu.regs.sr_assign(sr_bits::C, true);
         cpu.step(&mut bus, None);

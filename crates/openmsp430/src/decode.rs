@@ -19,11 +19,7 @@ pub struct Decoded {
 
 /// Decodes the source operand given `(reg, As)` and a closure that yields
 /// successive extension words.
-fn decode_src(
-    reg: Reg,
-    a_s: u16,
-    next_ext: &mut impl FnMut() -> u16,
-) -> Operand {
+fn decode_src(reg: Reg, a_s: u16, next_ext: &mut impl FnMut() -> u16) -> Operand {
     match (reg, a_s) {
         (Reg::CG, 0b00) => Operand::Const(0),
         (Reg::CG, 0b01) => Operand::Const(1),
@@ -34,7 +30,10 @@ fn decode_src(
         (Reg::SR, 0b01) => Operand::Absolute(next_ext()),
         (Reg::PC, 0b11) => Operand::Immediate(next_ext()),
         (r, 0b00) => Operand::Reg(r),
-        (r, 0b01) => Operand::Indexed { base: r, offset: next_ext() as i16 },
+        (r, 0b01) => Operand::Indexed {
+            base: r,
+            offset: next_ext() as i16,
+        },
         (r, 0b10) => Operand::Indirect(r),
         (r, 0b11) => Operand::IndirectInc(r),
         _ => unreachable!("As is a two-bit field"),
@@ -46,7 +45,10 @@ fn decode_dst(reg: Reg, a_d: u16, next_ext: &mut impl FnMut() -> u16) -> Operand
     match (reg, a_d) {
         (r, 0) => Operand::Reg(r),
         (Reg::SR, 1) => Operand::Absolute(next_ext()),
-        (r, 1) => Operand::Indexed { base: r, offset: next_ext() as i16 },
+        (r, 1) => Operand::Indexed {
+            base: r,
+            offset: next_ext() as i16,
+        },
         _ => unreachable!("Ad is a one-bit field"),
     }
 }
@@ -90,15 +92,21 @@ pub fn decode(mut fetch: impl FnMut(u16) -> u16, pc: u16) -> Decoded {
         // Jump format: 001 ccc oooooooooo
         let cond = Cond::from_code((word >> 10) & 0x7);
         let raw = word & 0x3FF;
-        let offset = if raw & 0x200 != 0 { (raw | 0xFC00) as i16 } else { raw as i16 };
+        let offset = if raw & 0x200 != 0 {
+            (raw | 0xFC00) as i16
+        } else {
+            raw as i16
+        };
         Instr::Jump { cond, offset }
     } else if (word >> 10) == 0b000100 {
         // Format II: 000100 ooo B As reg
         let op_bits = (word >> 7) & 0x7;
         match OneOp::from_opcode(op_bits) {
-            Some(OneOp::Reti) => {
-                Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) }
-            }
+            Some(OneOp::Reti) => Instr::One {
+                op: OneOp::Reti,
+                byte: false,
+                opnd: Operand::Reg(Reg::PC),
+            },
             Some(op) => {
                 let byte = word & 0x40 != 0;
                 let a_s = (word >> 4) & 0x3;
@@ -136,7 +144,10 @@ mod tests {
 
     fn roundtrip(instr: Instr) {
         let words = encode(&instr).expect("encodable");
-        let d = decode(|addr| words[((addr / 2) & 0xFF) as usize % words.len().max(1)], 0);
+        let d = decode(
+            |addr| words[((addr / 2) & 0xFF) as usize % words.len().max(1)],
+            0,
+        );
         // Fetch closure above maps addr 0,2,4 to indices 0,1,2.
         let d2 = decode(|addr| words[(addr / 2) as usize], 0);
         assert_eq!(d2.instr, instr, "decode(encode(i)) == i");
@@ -151,13 +162,31 @@ mod tests {
         let r9 = crate::regs::Reg::r(9);
         let ops = [
             (Reg(r4), Reg(r9)),
-            (Indexed { base: r4, offset: -6 }, Reg(r9)),
-            (Absolute(0x0200), Indexed { base: r9, offset: 8 }),
+            (
+                Indexed {
+                    base: r4,
+                    offset: -6,
+                },
+                Reg(r9),
+            ),
+            (
+                Absolute(0x0200),
+                Indexed {
+                    base: r9,
+                    offset: 8,
+                },
+            ),
             (Indirect(r4), Absolute(0xFFE0)),
             (IndirectInc(r4), Reg(r9)),
             (Immediate(0xABCD), Absolute(0x0240)),
             (Const(8), Reg(r9)),
-            (Const(0xFFFF), Indexed { base: r9, offset: 0 }),
+            (
+                Const(0xFFFF),
+                Indexed {
+                    base: r9,
+                    offset: 0,
+                },
+            ),
         ];
         for op in [TwoOp::Mov, TwoOp::Add, TwoOp::Xor, TwoOp::Cmp, TwoOp::Dadd] {
             for (src, dst) in ops.iter().copied() {
@@ -173,24 +202,61 @@ mod tests {
         use Operand::*;
         let r4 = crate::regs::Reg::r(4);
         for op in [OneOp::Rrc, OneOp::Rra, OneOp::Push] {
-            for opnd in
-                [Reg(r4), Indexed { base: r4, offset: 2 }, Absolute(0x0200), Indirect(r4)]
-            {
-                roundtrip(Instr::One { op, byte: false, opnd });
+            for opnd in [
+                Reg(r4),
+                Indexed {
+                    base: r4,
+                    offset: 2,
+                },
+                Absolute(0x0200),
+                Indirect(r4),
+            ] {
+                roundtrip(Instr::One {
+                    op,
+                    byte: false,
+                    opnd,
+                });
             }
         }
-        roundtrip(Instr::One { op: OneOp::Swpb, byte: false, opnd: Reg(r4) });
-        roundtrip(Instr::One { op: OneOp::Sxt, byte: false, opnd: Reg(r4) });
-        roundtrip(Instr::One { op: OneOp::Call, byte: false, opnd: Immediate(0xE000) });
-        roundtrip(Instr::One { op: OneOp::Push, byte: false, opnd: Immediate(0x1234) });
-        roundtrip(Instr::One { op: OneOp::Push, byte: true, opnd: Reg(r4) });
+        roundtrip(Instr::One {
+            op: OneOp::Swpb,
+            byte: false,
+            opnd: Reg(r4),
+        });
+        roundtrip(Instr::One {
+            op: OneOp::Sxt,
+            byte: false,
+            opnd: Reg(r4),
+        });
+        roundtrip(Instr::One {
+            op: OneOp::Call,
+            byte: false,
+            opnd: Immediate(0xE000),
+        });
+        roundtrip(Instr::One {
+            op: OneOp::Push,
+            byte: false,
+            opnd: Immediate(0x1234),
+        });
+        roundtrip(Instr::One {
+            op: OneOp::Push,
+            byte: true,
+            opnd: Reg(r4),
+        });
     }
 
     #[test]
     fn roundtrip_jumps() {
-        for cond in
-            [Cond::Ne, Cond::Eq, Cond::Nc, Cond::C, Cond::N, Cond::Ge, Cond::L, Cond::Always]
-        {
+        for cond in [
+            Cond::Ne,
+            Cond::Eq,
+            Cond::Nc,
+            Cond::C,
+            Cond::N,
+            Cond::Ge,
+            Cond::L,
+            Cond::Always,
+        ] {
             for offset in [-512i16, -1, 0, 1, 511] {
                 roundtrip(Instr::Jump { cond, offset });
             }
@@ -199,8 +265,24 @@ mod tests {
 
     #[test]
     fn reti_decodes_without_operand_fetch() {
-        let d = decode(|addr| if addr == 0 { 0x1300 } else { panic!("no ext fetch") }, 0);
-        assert_eq!(d.instr, Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) });
+        let d = decode(
+            |addr| {
+                if addr == 0 {
+                    0x1300
+                } else {
+                    panic!("no ext fetch")
+                }
+            },
+            0,
+        );
+        assert_eq!(
+            d.instr,
+            Instr::One {
+                op: OneOp::Reti,
+                byte: false,
+                opnd: Operand::Reg(Reg::PC)
+            }
+        );
         assert_eq!(d.size, 2);
     }
 
@@ -225,6 +307,12 @@ mod tests {
         // jmp -1 => offset field 0x3FF
         let word = 0x2000 | (7 << 10) | 0x3FF;
         let d = decode(|_| word, 0);
-        assert_eq!(d.instr, Instr::Jump { cond: Cond::Always, offset: -1 });
+        assert_eq!(
+            d.instr,
+            Instr::Jump {
+                cond: Cond::Always,
+                offset: -1
+            }
+        );
     }
 }

@@ -53,7 +53,9 @@ fn encode_src(op: &Operand) -> Result<(Reg, u16, Option<u16>), EncodeError> {
         }
         Operand::IndirectInc(r) => {
             if r == Reg::SR || r == Reg::CG {
-                return Err(EncodeError::new("@r2+/@r3+ are constant-generator encodings"));
+                return Err(EncodeError::new(
+                    "@r2+/@r3+ are constant-generator encodings",
+                ));
             }
             Ok((r, 0b11, None))
         }
@@ -76,12 +78,16 @@ fn encode_dst(op: &Operand) -> Result<(Reg, u16, Option<u16>), EncodeError> {
         Operand::Reg(r) => Ok((r, 0, None)),
         Operand::Indexed { base, offset } => {
             if base == Reg::SR || base == Reg::CG {
-                return Err(EncodeError::new("x(r2)/x(r3) have no indexed destination encoding"));
+                return Err(EncodeError::new(
+                    "x(r2)/x(r3) have no indexed destination encoding",
+                ));
             }
             Ok((base, 1, Some(offset as u16)))
         }
         Operand::Absolute(addr) => Ok((Reg::SR, 1, Some(addr))),
-        _ => Err(EncodeError::new(format!("invalid destination operand {op}"))),
+        _ => Err(EncodeError::new(format!(
+            "invalid destination operand {op}"
+        ))),
     }
 }
 
@@ -127,7 +133,10 @@ pub fn encode(instr: &Instr) -> Result<Vec<u16>, EncodeError> {
                 return Ok(words);
             }
             if *byte && matches!(op, OneOp::Swpb | OneOp::Sxt | OneOp::Call) {
-                return Err(EncodeError::new(format!("{} has no byte form", op.mnemonic())));
+                return Err(EncodeError::new(format!(
+                    "{} has no byte form",
+                    op.mnemonic()
+                )));
             }
             if matches!(opnd, Operand::Immediate(_) | Operand::Const(_))
                 && !matches!(op, OneOp::Push | OneOp::Call)
@@ -138,14 +147,19 @@ pub fn encode(instr: &Instr) -> Result<Vec<u16>, EncodeError> {
                 )));
             }
             let (reg, a_s, ext) = encode_src(opnd)?;
-            let w = 0x1000 | (op.opcode() << 7) | ((*byte as u16) << 6) | (a_s << 4)
+            let w = 0x1000
+                | (op.opcode() << 7)
+                | ((*byte as u16) << 6)
+                | (a_s << 4)
                 | (reg.index() as u16);
             words.push(w);
             words.extend(ext);
         }
         Instr::Jump { cond, offset } => {
             if *offset < -512 || *offset > 511 {
-                return Err(EncodeError::new(format!("jump offset {offset} out of range")));
+                return Err(EncodeError::new(format!(
+                    "jump offset {offset} out of range"
+                )));
             }
             words.push(0x2000 | (cond.code() << 10) | ((*offset as u16) & 0x3FF));
         }
@@ -199,8 +213,13 @@ mod tests {
     #[test]
     fn const_generator_is_single_word() {
         for v in [0u16, 1, 2, 4, 8, 0xFFFF] {
-            let w = encode(&two(TwoOp::Mov, false, Operand::Const(v), Operand::Reg(Reg::r(4))))
-                .unwrap();
+            let w = encode(&two(
+                TwoOp::Mov,
+                false,
+                Operand::Const(v),
+                Operand::Reg(Reg::r(4)),
+            ))
+            .unwrap();
             assert_eq!(w.len(), 1, "constant {v} must not need an extension word");
         }
     }
@@ -219,17 +238,28 @@ mod tests {
 
     #[test]
     fn reti_is_fixed_word() {
-        let w =
-            encode(&Instr::One { op: OneOp::Reti, byte: false, opnd: Operand::Reg(Reg::PC) })
-                .unwrap();
+        let w = encode(&Instr::One {
+            op: OneOp::Reti,
+            byte: false,
+            opnd: Operand::Reg(Reg::PC),
+        })
+        .unwrap();
         assert_eq!(w, vec![0x1300]);
     }
 
     #[test]
     fn jump_encoding() {
-        let w = encode(&Instr::Jump { cond: Cond::Always, offset: -1 }).unwrap();
+        let w = encode(&Instr::Jump {
+            cond: Cond::Always,
+            offset: -1,
+        })
+        .unwrap();
         assert_eq!(w, vec![0x2000 | (7 << 10) | 0x3FF]);
-        assert!(encode(&Instr::Jump { cond: Cond::Always, offset: 512 }).is_err());
+        assert!(encode(&Instr::Jump {
+            cond: Cond::Always,
+            offset: 512
+        })
+        .is_err());
     }
 
     #[test]
@@ -245,27 +275,41 @@ mod tests {
 
     #[test]
     fn byte_swpb_rejected() {
-        let e = encode(&Instr::One { op: OneOp::Swpb, byte: true, opnd: Operand::Reg(Reg::r(4)) });
+        let e = encode(&Instr::One {
+            op: OneOp::Swpb,
+            byte: true,
+            opnd: Operand::Reg(Reg::r(4)),
+        });
         assert!(e.is_err());
     }
 
     #[test]
     fn sxt_immediate_rejected() {
-        let e =
-            encode(&Instr::One { op: OneOp::Sxt, byte: false, opnd: Operand::Immediate(3) });
+        let e = encode(&Instr::One {
+            op: OneOp::Sxt,
+            byte: false,
+            opnd: Operand::Immediate(3),
+        });
         assert!(e.is_err());
     }
 
     #[test]
     fn push_immediate_allowed() {
-        let w = encode(&Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(7) })
-            .unwrap();
+        let w = encode(&Instr::One {
+            op: OneOp::Push,
+            byte: false,
+            opnd: Operand::Immediate(7),
+        })
+        .unwrap();
         assert_eq!(w.len(), 2);
     }
 
     #[test]
     fn optimize_literal_folds_cg_values() {
         assert_eq!(optimize_literal(Operand::Immediate(4)), Operand::Const(4));
-        assert_eq!(optimize_literal(Operand::Immediate(5)), Operand::Immediate(5));
+        assert_eq!(
+            optimize_literal(Operand::Immediate(5)),
+            Operand::Immediate(5)
+        );
     }
 }

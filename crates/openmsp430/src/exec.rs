@@ -124,7 +124,15 @@ fn dadd_core(src: u16, dst: u16, carry_in: bool, byte: bool) -> (u16, Flags) {
     }
     let (z, n) = nz(out, byte);
     // V is formally undefined after DADD; we clear it (documented).
-    (out, Flags { c: carry != 0, z, n, v: false })
+    (
+        out,
+        Flags {
+            c: carry != 0,
+            z,
+            n,
+            v: false,
+        },
+    )
 }
 
 /// Evaluates a Format I (two-operand) instruction.
@@ -157,7 +165,15 @@ pub fn alu_two(op: TwoOp, src: u16, dst: u16, byte: bool, flags_in: Flags) -> Al
         TwoOp::And | TwoOp::Bit => {
             let value = src & dst & m;
             let (z, n) = nz(value, byte);
-            (value, Flags { c: !z, z, n, v: false })
+            (
+                value,
+                Flags {
+                    c: !z,
+                    z,
+                    n,
+                    v: false,
+                },
+            )
         }
         TwoOp::Xor => {
             let value = (src ^ dst) & m;
@@ -170,7 +186,11 @@ pub fn alu_two(op: TwoOp, src: u16, dst: u16, byte: bool, flags_in: Flags) -> Al
         TwoOp::Bic => ((dst & !src) & m, Flags::default()),
         TwoOp::Bis => ((dst | src) & m, Flags::default()),
     };
-    AluOut { value, flags, write_flags: !op.preserves_flags() }
+    AluOut {
+        value,
+        flags,
+        write_flags: !op.preserves_flags(),
+    }
 }
 
 /// Evaluates a Format II (single-operand) ALU instruction (`RRC`, `RRA`,
@@ -186,27 +206,64 @@ pub fn alu_one(op: OneOp, opnd: u16, byte: bool, flags_in: Flags) -> AluOut {
                 value |= sign_bit(byte) as u16;
             }
             let (z, n) = nz(value, byte);
-            AluOut { value, flags: Flags { c: c_out, z, n, v: false }, write_flags: true }
+            AluOut {
+                value,
+                flags: Flags {
+                    c: c_out,
+                    z,
+                    n,
+                    v: false,
+                },
+                write_flags: true,
+            }
         }
         OneOp::Rra => {
             let c_out = opnd & 1 != 0;
             let sb = sign_bit(byte) as u16;
             let value = ((opnd & m) >> 1) | (opnd & sb);
             let (z, n) = nz(value, byte);
-            AluOut { value, flags: Flags { c: c_out, z, n, v: false }, write_flags: true }
+            AluOut {
+                value,
+                flags: Flags {
+                    c: c_out,
+                    z,
+                    n,
+                    v: false,
+                },
+                write_flags: true,
+            }
         }
         OneOp::Swpb => {
             let value = opnd.rotate_left(8);
-            AluOut { value, flags: Flags::default(), write_flags: false }
+            AluOut {
+                value,
+                flags: Flags::default(),
+                write_flags: false,
+            }
         }
         OneOp::Sxt => {
-            let value = if opnd & 0x80 != 0 { opnd | 0xFF00 } else { opnd & 0x00FF };
+            let value = if opnd & 0x80 != 0 {
+                opnd | 0xFF00
+            } else {
+                opnd & 0x00FF
+            };
             let (z, n) = nz(value, false);
-            AluOut { value, flags: Flags { c: !z, z, n, v: false }, write_flags: true }
+            AluOut {
+                value,
+                flags: Flags {
+                    c: !z,
+                    z,
+                    n,
+                    v: false,
+                },
+                write_flags: true,
+            }
         }
-        OneOp::Push | OneOp::Call | OneOp::Reti => {
-            AluOut { value: opnd, flags: flags_in, write_flags: false }
-        }
+        OneOp::Push | OneOp::Call | OneOp::Reti => AluOut {
+            value: opnd,
+            flags: flags_in,
+            write_flags: false,
+        },
     }
 }
 
@@ -442,8 +499,29 @@ mod tests {
         assert_eq!(cycles_two(&Const(1), &Reg(r5)), 1);
         assert_eq!(cycles_two(&Immediate(9), &Reg(r5)), 2);
         assert_eq!(cycles_two(&Immediate(9), &Absolute(0x200)), 5);
-        assert_eq!(cycles_two(&Indexed { base: r4, offset: 2 }, &Reg(r5)), 3);
-        assert_eq!(cycles_two(&Indexed { base: r4, offset: 2 }, &Indexed { base: r5, offset: 0 }), 6);
+        assert_eq!(
+            cycles_two(
+                &Indexed {
+                    base: r4,
+                    offset: 2
+                },
+                &Reg(r5)
+            ),
+            3
+        );
+        assert_eq!(
+            cycles_two(
+                &Indexed {
+                    base: r4,
+                    offset: 2
+                },
+                &Indexed {
+                    base: r5,
+                    offset: 0
+                }
+            ),
+            6
+        );
         assert_eq!(cycles_two(&Indirect(r4), &Reg(r5)), 2);
         assert_eq!(cycles_two(&Reg(r4), &Absolute(0x200)), 4);
 

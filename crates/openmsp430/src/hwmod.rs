@@ -59,12 +59,21 @@ mod tests {
 
     #[test]
     fn merge_conjoins_exec() {
-        let mut a = HwAction { exec: Some(true), ..HwAction::none() };
-        a.merge(HwAction { exec: Some(false), ..HwAction::none() });
+        let mut a = HwAction {
+            exec: Some(true),
+            ..HwAction::none()
+        };
+        a.merge(HwAction {
+            exec: Some(false),
+            ..HwAction::none()
+        });
         assert_eq!(a.exec, Some(false));
 
         let mut a = HwAction::none();
-        a.merge(HwAction { exec: Some(true), ..HwAction::none() });
+        a.merge(HwAction {
+            exec: Some(true),
+            ..HwAction::none()
+        });
         assert_eq!(a.exec, Some(true));
     }
 

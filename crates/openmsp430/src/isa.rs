@@ -348,7 +348,9 @@ impl Instr {
     pub fn size(&self) -> u16 {
         match self {
             Instr::Jump { .. } | Instr::Illegal(_) => 2,
-            Instr::One { op: OneOp::Reti, .. } => 2,
+            Instr::One {
+                op: OneOp::Reti, ..
+            } => 2,
             Instr::One { opnd, .. } => 2 + ext_words(opnd) * 2,
             Instr::Two { src, dst, .. } => 2 + ext_words(src) * 2 + ext_words(dst) * 2,
         }
@@ -381,7 +383,9 @@ impl fmt::Display for Instr {
             Instr::Two { op, byte, src, dst } => {
                 write!(f, "{}{} {}, {}", op.mnemonic(), suffix(*byte), src, dst)
             }
-            Instr::One { op: OneOp::Reti, .. } => write!(f, "reti"),
+            Instr::One {
+                op: OneOp::Reti, ..
+            } => write!(f, "reti"),
             Instr::One { op, byte, opnd } => {
                 write!(f, "{}{} {}", op.mnemonic(), suffix(*byte), opnd)
             }
@@ -466,9 +470,20 @@ mod tests {
             dst: Operand::Reg(Reg::r(5)),
         };
         assert_eq!(i.size(), 2);
-        let i = Instr::One { op: OneOp::Push, byte: false, opnd: Operand::Immediate(1000) };
+        let i = Instr::One {
+            op: OneOp::Push,
+            byte: false,
+            opnd: Operand::Immediate(1000),
+        };
         assert_eq!(i.size(), 4);
-        assert_eq!(Instr::Jump { cond: Cond::Always, offset: -2 }.size(), 2);
+        assert_eq!(
+            Instr::Jump {
+                cond: Cond::Always,
+                offset: -2
+            }
+            .size(),
+            2
+        );
     }
 
     #[test]
@@ -477,9 +492,19 @@ mod tests {
             op: TwoOp::Mov,
             byte: true,
             src: Operand::Immediate(0xFF),
-            dst: Operand::Indexed { base: Reg::r(4), offset: -2 },
+            dst: Operand::Indexed {
+                base: Reg::r(4),
+                offset: -2,
+            },
         };
         assert_eq!(i.to_string(), "mov.b #0x00ff, -2(r4)");
-        assert_eq!(Instr::Jump { cond: Cond::Eq, offset: 3 }.to_string(), "jeq +3");
+        assert_eq!(
+            Instr::Jump {
+                cond: Cond::Eq,
+                offset: 3
+            }
+            .to_string(),
+            "jeq +3"
+        );
     }
 }

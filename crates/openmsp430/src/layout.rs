@@ -69,7 +69,11 @@ impl MemLayout {
     /// Returns a human-readable description of the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), LayoutError> {
-        let err = |what: &str| Err(LayoutError { what: what.to_string() });
+        let err = |what: &str| {
+            Err(LayoutError {
+                what: what.to_string(),
+            })
+        };
         if !self.program.contains_region(&self.er) {
             return err("ER must lie inside program memory");
         }
@@ -91,7 +95,7 @@ impl MemLayout {
         if self.swatt.overlaps(&self.program) {
             return err("SW-Att ROM and program flash must be disjoint");
         }
-        if self.er.start() % 2 != 0 {
+        if !self.er.start().is_multiple_of(2) {
             return err("ERmin must be word aligned");
         }
         Ok(())
@@ -139,35 +143,45 @@ mod tests {
 
     #[test]
     fn default_layout_is_valid() {
-        MemLayout::default().validate().expect("default layout must validate");
+        MemLayout::default()
+            .validate()
+            .expect("default layout must validate");
     }
 
     #[test]
     fn er_outside_program_rejected() {
-        let mut l = MemLayout::default();
-        l.er = MemRegion::new(0x0300, 0x03FF);
+        let l = MemLayout {
+            er: MemRegion::new(0x0300, 0x03FF),
+            ..MemLayout::default()
+        };
         assert!(l.validate().is_err());
     }
 
     #[test]
     fn or_outside_data_rejected() {
-        let mut l = MemLayout::default();
-        l.or = MemRegion::new(0xE000, 0xE03F);
+        let l = MemLayout {
+            or: MemRegion::new(0xE000, 0xE03F),
+            ..MemLayout::default()
+        };
         assert!(l.validate().is_err());
     }
 
     #[test]
     fn meta_or_overlap_rejected() {
-        let mut l = MemLayout::default();
-        l.or = MemRegion::new(0x0240, 0x027F);
+        let l = MemLayout {
+            or: MemRegion::new(0x0240, 0x027F),
+            ..MemLayout::default()
+        };
         assert!(l.validate().is_err());
     }
 
     #[test]
     fn er_ivt_overlap_rejected() {
-        let mut l = MemLayout::default();
-        l.program = MemRegion::new(0xE000, 0xFFFF);
-        l.er = MemRegion::new(0xF000, 0xFFFF);
+        let l = MemLayout {
+            program: MemRegion::new(0xE000, 0xFFFF),
+            er: MemRegion::new(0xF000, 0xFFFF),
+            ..MemLayout::default()
+        };
         let e = l.validate().unwrap_err();
         assert!(e.to_string().contains("IVT"));
     }

@@ -76,7 +76,10 @@ struct McuBus<'a> {
 
 impl McuBus<'_> {
     fn hw_cell_value(&self, addr: u16) -> Option<u16> {
-        self.hw_cells.iter().find(|c| c.addr == addr & !1).map(|c| c.value)
+        self.hw_cells
+            .iter()
+            .find(|c| c.addr == addr & !1)
+            .map(|c| c.value)
     }
 
     fn periph_index(&self, addr: u16) -> Option<usize> {
@@ -101,7 +104,14 @@ impl Bus for McuBus<'_> {
         } else {
             self.mem.read(addr, byte)
         };
-        self.log.push(MemAccess { addr, value, byte, write: false, fetch, master: Master::Cpu });
+        self.log.push(MemAccess {
+            addr,
+            value,
+            byte,
+            write: false,
+            fetch,
+            master: Master::Cpu,
+        });
         value
     }
 
@@ -169,17 +179,24 @@ impl Mcu {
 
     /// Reads a hardware-owned cell.
     pub fn hw_cell(&self, addr: u16) -> Option<u16> {
-        self.hw_cells.iter().find(|c| c.addr == addr).map(|c| c.value)
+        self.hw_cells
+            .iter()
+            .find(|c| c.addr == addr)
+            .map(|c| c.value)
     }
 
     /// Borrows a concrete peripheral by type.
     pub fn periph<P: Peripheral>(&self) -> Option<&P> {
-        self.periphs.iter().find_map(|p| p.as_any().downcast_ref::<P>())
+        self.periphs
+            .iter()
+            .find_map(|p| p.as_any().downcast_ref::<P>())
     }
 
     /// Mutably borrows a concrete peripheral by type.
     pub fn periph_mut<P: Peripheral>(&mut self) -> Option<&mut P> {
-        self.periphs.iter_mut().find_map(|p| p.as_any_mut().downcast_mut::<P>())
+        self.periphs
+            .iter_mut()
+            .find_map(|p| p.as_any_mut().downcast_mut::<P>())
     }
 
     /// Asserts an external interrupt line (level-triggered until serviced).
@@ -360,11 +377,7 @@ mod tests {
     fn runs_simple_program() {
         let mut mcu = Mcu::new(MemLayout::default());
         // mov #0x1234, r4 ; mov r4, &0x0200 ; jmp self
-        program(
-            &mut mcu,
-            0xE000,
-            &[0x4034, 0x1234, 0x4482, 0x0200, 0x3FFF],
-        );
+        program(&mut mcu, 0xE000, &[0x4034, 0x1234, 0x4482, 0x0200, 0x3FFF]);
         mcu.step();
         mcu.step();
         assert_eq!(mcu.mem.read_word(0x0200), 0x1234);
@@ -378,15 +391,14 @@ mod tests {
         let mut mcu = Mcu::new(MemLayout::default());
         mcu.add_hw_cell(0x0190, 1);
         // mov &0x0190, r4 ; mov #0, &0x0190 ; jmp self
-        program(
-            &mut mcu,
-            0xE000,
-            &[0x4214, 0x0190, 0x4382, 0x0190, 0x3FFF],
-        );
+        program(&mut mcu, 0xE000, &[0x4214, 0x0190, 0x4382, 0x0190, 0x3FFF]);
         mcu.step();
         assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(4)), 1);
         let s = mcu.step();
-        assert!(s.cpu_write_in(MemRegion::new(0x0190, 0x0191)), "write attempt is visible");
+        assert!(
+            s.cpu_write_in(MemRegion::new(0x0190, 0x0191)),
+            "write attempt is visible"
+        );
         assert_eq!(mcu.hw_cell(0x0190), Some(1), "but the cell is unchanged");
     }
 
@@ -452,7 +464,11 @@ mod tests {
         let mut mcu = Mcu::new(MemLayout::default());
         program(&mut mcu, 0xE000, &[0x3FFF]);
         mcu.mem.write_word(0x0400, 0xAA55);
-        mcu.inject_dma(DmaOp { src: 0x0400, dst: 0xFFE4, byte: false });
+        mcu.inject_dma(DmaOp {
+            src: 0x0400,
+            dst: 0xFFE4,
+            byte: false,
+        });
         let s = mcu.step();
         assert!(s.dma_write_in(MemRegion::new(0xFFE0, 0xFFFF)));
         assert_eq!(mcu.mem.read_word(0xFFE4), 0xAA55);

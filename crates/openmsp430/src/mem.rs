@@ -90,7 +90,7 @@ impl MemRegion {
 
     /// Iterates over every address in the region.
     pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
-        (self.start..=self.end).map(|a| a)
+        self.start..=self.end
     }
 }
 
@@ -129,14 +129,18 @@ impl Default for Memory {
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Memory").field("len", &self.bytes.len()).finish()
+        f.debug_struct("Memory")
+            .field("len", &self.bytes.len())
+            .finish()
     }
 }
 
 impl Memory {
     /// Creates a zero-filled memory.
     pub fn new() -> Memory {
-        Memory { bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap() }
+        Memory {
+            bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap(),
+        }
     }
 
     /// Reads one byte.

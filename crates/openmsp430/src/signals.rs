@@ -44,9 +44,9 @@ pub struct Signals {
 impl Signals {
     /// True if the CPU wrote to `region` this step (`Wen ∧ Daddr ∈ region`).
     pub fn cpu_write_in(&self, region: MemRegion) -> bool {
-        self.accesses.iter().any(|a| {
-            a.master == Master::Cpu && a.write && region.touches(a.addr, a.byte)
-        })
+        self.accesses
+            .iter()
+            .any(|a| a.master == Master::Cpu && a.write && region.touches(a.addr, a.byte))
     }
 
     /// True if the CPU read from `region` this step, excluding instruction
@@ -59,7 +59,9 @@ impl Signals {
 
     /// True if the CPU fetched an instruction word from `region`.
     pub fn fetch_in(&self, region: MemRegion) -> bool {
-        self.accesses.iter().any(|a| a.fetch && region.touches(a.addr, a.byte))
+        self.accesses
+            .iter()
+            .any(|a| a.fetch && region.touches(a.addr, a.byte))
     }
 
     /// True if DMA touched `region` this step in any way

@@ -18,8 +18,7 @@ fn arb_src_operand() -> impl Strategy<Value = Operand> {
         arb_gp_reg().prop_map(Operand::Reg),
         Just(Operand::Reg(Reg::PC)),
         Just(Operand::Reg(Reg::SP)),
-        (arb_gp_reg(), any::<i16>())
-            .prop_map(|(base, offset)| Operand::Indexed { base, offset }),
+        (arb_gp_reg(), any::<i16>()).prop_map(|(base, offset)| Operand::Indexed { base, offset }),
         any::<u16>().prop_map(Operand::Absolute),
         arb_gp_reg().prop_map(Operand::Indirect),
         arb_gp_reg().prop_map(Operand::IndirectInc),
@@ -33,8 +32,7 @@ fn arb_dst_operand() -> impl Strategy<Value = Operand> {
     prop_oneof![
         arb_gp_reg().prop_map(Operand::Reg),
         Just(Operand::Reg(Reg::SP)),
-        (arb_gp_reg(), any::<i16>())
-            .prop_map(|(base, offset)| Operand::Indexed { base, offset }),
+        (arb_gp_reg(), any::<i16>()).prop_map(|(base, offset)| Operand::Indexed { base, offset }),
         any::<u16>().prop_map(Operand::Absolute),
     ]
 }
@@ -126,7 +124,7 @@ proptest! {
         prop_assert_eq!(out.value, dst.wrapping_sub(src));
         prop_assert_eq!(out.flags.c, dst >= src);
         let signed = dst as i16 as i32 - src as i16 as i32;
-        prop_assert_eq!(out.flags.v, signed > 32767 || signed < -32768);
+        prop_assert_eq!(out.flags.v, !(-32768..=32767).contains(&signed));
     }
 
     /// CMP computes the same flags as SUB.

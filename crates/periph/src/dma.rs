@@ -71,7 +71,10 @@ impl DmaController {
 
     /// Creates a controller at a custom MMIO base.
     pub fn with_base(base: u16) -> DmaController {
-        DmaController { base, ..DmaController::default() }
+        DmaController {
+            base,
+            ..DmaController::default()
+        }
     }
 
     /// True while a transfer is in progress.
@@ -122,7 +125,11 @@ impl Peripheral for DmaController {
         let stride = if byte { 1 } else { 2 };
         let mut ops = Vec::new();
         for _ in 0..UNITS_PER_STEP.min(self.sz) {
-            ops.push(DmaOp { src: self.sa, dst: self.da, byte });
+            ops.push(DmaOp {
+                src: self.sa,
+                dst: self.da,
+                byte,
+            });
             self.sa = self.sa.wrapping_add(stride);
             self.da = self.da.wrapping_add(stride);
             self.sz -= 1;
@@ -172,7 +179,14 @@ mod tests {
     fn word_transfer_strides_by_two() {
         let mut d = programmed(3, false);
         let ops = d.dma_ops();
-        assert_eq!(ops, vec![DmaOp { src: 0x0400, dst: 0x0500, byte: false }]);
+        assert_eq!(
+            ops,
+            vec![DmaOp {
+                src: 0x0400,
+                dst: 0x0500,
+                byte: false
+            }]
+        );
         let ops = d.dma_ops();
         assert_eq!(ops[0].src, 0x0402);
         assert!(d.busy());

@@ -98,7 +98,11 @@ impl Gpio {
         if level == old {
             return;
         }
-        self.input = if level { self.input | mask } else { self.input & !mask };
+        self.input = if level {
+            self.input | mask
+        } else {
+            self.input & !mask
+        };
         let falling = self.ies & mask != 0;
         if level != falling {
             // Rising edge with IES=0, or falling edge with IES=1.
@@ -269,6 +273,10 @@ mod tests {
         g.write(g.base + reg::OUT, 0xAA, true);
         g.reset();
         assert_eq!(g.out(), 0);
-        assert_eq!(g.read(g.base + reg::IN, true), 0x04, "external level persists");
+        assert_eq!(
+            g.read(g.base + reg::IN, true),
+            0x04,
+            "external level persists"
+        );
     }
 }

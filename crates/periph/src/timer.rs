@@ -79,7 +79,14 @@ impl Timer {
 
     /// Creates a timer at a custom MMIO base and interrupt vector.
     pub fn with_base(base: u16, vector: u8) -> Timer {
-        Timer { base, vector, ctl: 0, tar: 0, ccr0: 0, expiries: 0 }
+        Timer {
+            base,
+            vector,
+            ctl: 0,
+            tar: 0,
+            ccr0: 0,
+            expiries: 0,
+        }
     }
 
     /// Number of compare events since reset.
@@ -174,7 +181,11 @@ mod tests {
     fn up_timer(period: u16) -> Timer {
         let mut t = Timer::new();
         t.write(TIMER_BASE + reg::CCR0, period, false);
-        t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP | ctl_bits::TAIE, false);
+        t.write(
+            TIMER_BASE + reg::CTL,
+            ctl_bits::MC_UP | ctl_bits::TAIE,
+            false,
+        );
         t
     }
 
@@ -221,7 +232,11 @@ mod tests {
     fn taclr_strobe_clears_counter() {
         let mut t = up_timer(100);
         t.tick(42);
-        t.write(TIMER_BASE + reg::CTL, ctl_bits::MC_UP | ctl_bits::TACLR, false);
+        t.write(
+            TIMER_BASE + reg::CTL,
+            ctl_bits::MC_UP | ctl_bits::TACLR,
+            false,
+        );
         assert_eq!(t.read(TIMER_BASE + reg::TAR, false), 0);
         assert!(t.running());
     }

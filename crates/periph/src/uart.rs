@@ -71,7 +71,13 @@ impl Uart {
 
     /// Creates a UART at a custom MMIO base and RX vector.
     pub fn with_base(base: u16, vector: u8) -> Uart {
-        Uart { base, vector, ctl: 0, rx_fifo: VecDeque::new(), tx_log: Vec::new() }
+        Uart {
+            base,
+            vector,
+            ctl: 0,
+            rx_fifo: VecDeque::new(),
+            tx_log: Vec::new(),
+        }
     }
 
     /// Delivers a byte from the outside world into the RX FIFO.

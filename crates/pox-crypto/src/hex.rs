@@ -47,14 +47,18 @@ impl Error for DecodeHexError {}
 /// # Ok::<(), pox_crypto::hex::DecodeHexError>(())
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DecodeHexError { at: s.len() });
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     let bytes = s.as_bytes();
     for i in (0..bytes.len()).step_by(2) {
-        let hi = (bytes[i] as char).to_digit(16).ok_or(DecodeHexError { at: i })?;
-        let lo = (bytes[i + 1] as char).to_digit(16).ok_or(DecodeHexError { at: i + 1 })?;
+        let hi = (bytes[i] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError { at: i })?;
+        let lo = (bytes[i + 1] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError { at: i + 1 })?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)

@@ -1,8 +1,8 @@
 //! Property-based tests for the crypto primitives.
 
+use pox_crypto::hex;
 use pox_crypto::hmac::{ct_eq, hmac_sha256, HmacSha256};
 use pox_crypto::sha256::{digest, Sha256};
-use pox_crypto::hex;
 use proptest::prelude::*;
 
 proptest! {

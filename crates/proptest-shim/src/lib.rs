@@ -1,0 +1,216 @@
+//! # proptest (offline shim)
+//!
+//! A self-contained, dependency-free re-implementation of the subset of
+//! the [proptest](https://crates.io/crates/proptest) API this workspace
+//! uses. The build environment has no network access to crates.io, so
+//! the property-test suites link against this shim instead of the real
+//! crate. The generation model is intentionally simple:
+//!
+//! * strategies are pure generators (`&mut TestRng -> Value`) — there is
+//!   no shrinking; a failing case panics with the rendered assertion
+//!   message so the deterministic seed reproduces it;
+//! * every test function derives its RNG seed from its own name (FNV-1a),
+//!   overridable with the `PROPTEST_SEED` environment variable;
+//! * the case count defaults to 256 and honours `PROPTEST_CASES`.
+//!
+//! Supported surface: `proptest!` (item and closure forms, with
+//! `#![proptest_config(..)]`), `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`, `prop_oneof!`, `any::<T>()`,
+//! integer range strategies, strategy tuples, `Just`,
+//! `proptest::collection::vec`, `prop_map`, `prop_recursive`, `boxed`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The core macro: runs each embedded test function over many generated
+/// cases. Supports the item form (with optional `#![proptest_config]`)
+/// and the closure form `proptest!(config, |(a in s, ...)| { .. })`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    // Item form. Must precede the closure form: an `expr` fragment would
+    // otherwise commit on a leading doc-comment/attribute and abort.
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::__proptest_items!(
+            $crate::test_runner::Config::default();
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        );
+    };
+    ($cfg:expr, |($($arg:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        $crate::test_runner::run_cases(
+            &__config,
+            concat!(file!(), ":", line!()),
+            &($($strat,)+),
+            |($($arg,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        );
+    }};
+}
+
+/// Expansion helper for the item form of [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_cases(
+                    &__config,
+                    stringify!($name),
+                    &($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current test case (it is regenerated, not failed) when
+/// the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type. Weights are not supported (the workspace never uses them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds and tuples compose.
+        #[test]
+        fn range_and_tuple(v in 3u8..9, (a, b) in (0u16..5, any::<bool>())) {
+            prop_assert!((3..9).contains(&v));
+            prop_assert!(a < 5);
+            let _ = b;
+        }
+
+        /// Vec strategies honour the size range.
+        #[test]
+        fn vec_sizes(xs in crate::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+        }
+
+        /// prop_oneof samples every variant eventually.
+        #[test]
+        fn oneof_hits_variants(v in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let mut seen = 0u32;
+        proptest!(ProptestConfig::with_cases(16), |(x in 0u32..10)| {
+            prop_assert!(x < 10);
+            seen += 1;
+        });
+        assert_eq!(seen, 16);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursive");
+        for _ in 0..200 {
+            let t = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+}

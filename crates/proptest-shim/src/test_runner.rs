@@ -1,0 +1,151 @@
+//! Test-runner plumbing: configuration, the deterministic RNG and the
+//! per-case result type the assertion macros return.
+
+/// Run configuration. Mirrors `proptest::test_runner::Config` for the
+/// fields this workspace touches.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required before the test passes.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 256 cases, overridable with the `PROPTEST_CASES` environment
+    /// variable.
+    fn default() -> Config {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Config { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard and regenerate.
+    Reject(String),
+    /// `prop_assert*!` failed: the property is violated.
+    Fail(String),
+}
+
+/// Result type produced by a single test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property: generates cases from `strategy` until
+/// `config.cases` of them pass, rejecting (and regenerating) cases that
+/// fail a `prop_assume!`. Panics — with the rendered assertion message —
+/// on the first failing case.
+///
+/// The strategy is a single (tuple) strategy so the closure's parameter
+/// type is pinned by the `F` bound; the `proptest!` macro packs the
+/// per-argument strategies into a tuple and unpacks them with a tuple
+/// pattern.
+pub fn run_cases<S, F>(config: &Config, name: &str, strategy: &S, mut case: F)
+where
+    S: crate::strategy::Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts = config.cases.saturating_mul(16);
+    while passed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        match case(strategy.generate(&mut rng)) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` case {passed} failed: {msg}");
+            }
+        }
+    }
+    assert!(
+        passed == config.cases,
+        "proptest `{name}`: too many rejected cases ({} passed of {} wanted)",
+        passed,
+        config.cases
+    );
+}
+
+/// Deterministic RNG (SplitMix64). Seeded per test from the test name so
+/// failures reproduce; `PROPTEST_SEED` overrides the seed globally.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG with an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The RNG for a named test: FNV-1a over the name, XORed with
+    /// `PROPTEST_SEED` when set.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s;
+            }
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_names_diverge() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("y");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+}

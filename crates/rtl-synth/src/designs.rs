@@ -299,7 +299,12 @@ pub struct DesignCost {
 /// Synthesizes one design with `k`-input LUTs.
 pub fn cost_of(name: &'static str, nl: &Netlist, k: usize) -> DesignCost {
     let MapReport { luts, regs, .. } = map(nl, k);
-    DesignCost { name, luts, regs, statements: nl.statement_count() }
+    DesignCost {
+        name,
+        luts,
+        regs,
+        statements: nl.statement_count(),
+    }
 }
 
 /// The Fig. 6 comparison: APEX vs ASAP on 6-input LUTs (Artix-7).
@@ -316,7 +321,11 @@ mod tests {
     #[test]
     fn designs_build_and_map() {
         let (apex, asap) = fig6_comparison();
-        assert!(apex.luts > 50, "APEX monitor is a real circuit: {} LUTs", apex.luts);
+        assert!(
+            apex.luts > 50,
+            "APEX monitor is a real circuit: {} LUTs",
+            apex.luts
+        );
         assert!(asap.luts > 50);
         assert!(apex.regs > 60, "bound registers dominate: {}", apex.regs);
     }

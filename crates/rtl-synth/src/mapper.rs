@@ -6,7 +6,7 @@
 //! cover from the outputs and register inputs. Flip-flops map 1:1 to
 //! registers — the two quantities of the paper's Fig. 6.
 
-use crate::netlist::{Netlist, Node, NetId};
+use crate::netlist::{NetId, Netlist, Node};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// A cut: the leaf nets feeding one LUT rooted at a node.
@@ -26,7 +26,10 @@ pub struct MapReport {
 }
 
 fn is_gate(node: &Node) -> bool {
-    matches!(node, Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..))
+    matches!(
+        node,
+        Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..)
+    )
 }
 
 fn gate_children(node: &Node) -> Vec<NetId> {
@@ -92,9 +95,7 @@ pub fn map(netlist: &Netlist, k: usize) -> MapReport {
             }
             _ => unreachable!("gates have 1 or 2 inputs"),
         }
-        mine.sort_by_key(|c| {
-            (cut_area(c, nodes, &best_area), c.len())
-        });
+        mine.sort_by_key(|c| (cut_area(c, nodes, &best_area), c.len()));
         mine.dedup();
         mine.truncate(MAX_CUTS);
         if mine.is_empty() {
@@ -135,12 +136,23 @@ pub fn map(netlist: &Netlist, k: usize) -> MapReport {
         cover.insert(root, leaves);
     }
 
-    MapReport { luts: cover.len(), regs: netlist.regs.len(), cover, k }
+    MapReport {
+        luts: cover.len(),
+        regs: netlist.regs.len(),
+        cover,
+        k,
+    }
 }
 
 fn cut_area(cut: &Cut, nodes: &[Node], best_area: &[u32]) -> u32 {
     cut.iter()
-        .map(|c| if is_gate(&nodes[c.0 as usize]) { best_area[c.0 as usize] } else { 0 })
+        .map(|c| {
+            if is_gate(&nodes[c.0 as usize]) {
+                best_area[c.0 as usize]
+            } else {
+                0
+            }
+        })
         .sum()
 }
 
@@ -175,8 +187,16 @@ mod tests {
         let f = nl.and_all(&bus);
         nl.output("f", f);
         let report = map(&nl, 6);
-        assert!(report.luts >= 3, "16-AND needs ≥3 LUT6, got {}", report.luts);
-        assert!(report.luts <= 6, "but not absurdly many, got {}", report.luts);
+        assert!(
+            report.luts >= 3,
+            "16-AND needs ≥3 LUT6, got {}",
+            report.luts
+        );
+        assert!(
+            report.luts <= 6,
+            "but not absurdly many, got {}",
+            report.luts
+        );
     }
 
     #[test]

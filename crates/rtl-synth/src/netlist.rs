@@ -79,20 +79,28 @@ impl Netlist {
 
     /// Declares a bus of inputs `name[0]..name[width-1]`.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Creates a flip-flop; returns its index and output net.
     pub fn reg(&mut self, name: &str) -> (usize, NetId) {
         let idx = self.regs.len();
         let q = self.intern(Node::RegQ(idx));
-        self.regs.push(Reg { name: name.to_string(), d: None, q });
+        self.regs.push(Reg {
+            name: name.to_string(),
+            d: None,
+            q,
+        });
         (idx, q)
     }
 
     /// A bank of flip-flops (e.g. a 16-bit configuration register).
     pub fn reg_bus(&mut self, name: &str, width: usize) -> Vec<(usize, NetId)> {
-        (0..width).map(|i| self.reg(&format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.reg(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Connects a flip-flop's D input.
@@ -299,7 +307,12 @@ impl Netlist {
         let gates = self
             .nodes
             .iter()
-            .filter(|n| matches!(n, Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..)))
+            .filter(|n| {
+                matches!(
+                    n,
+                    Node::Not(_) | Node::And(..) | Node::Or(..) | Node::Xor(..)
+                )
+            })
             .count();
         gates + self.regs.len() + self.outputs.len()
     }
@@ -347,13 +360,17 @@ impl Netlist {
 
         let mut outs = HashMap::new();
         for (name, net) in &self.outputs {
-            outs.insert(name.clone(), eval(self, *net, inputs, reg_state, &mut values));
+            outs.insert(
+                name.clone(),
+                eval(self, *net, inputs, reg_state, &mut values),
+            );
         }
         let next: Vec<bool> = self
             .regs
             .iter()
             .map(|r| {
-                let d = r.d.unwrap_or_else(|| panic!("register `{}` unconnected", r.name));
+                let d =
+                    r.d.unwrap_or_else(|| panic!("register `{}` unconnected", r.name));
                 eval(self, d, inputs, reg_state, &mut values)
             })
             .collect();

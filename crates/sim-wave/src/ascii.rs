@@ -9,14 +9,20 @@ use crate::WaveSet;
 ///
 /// One column per cycle; signal names are left-aligned in a gutter.
 pub fn render_ascii(w: &WaveSet, from: u64, to: u64) -> String {
-    let gutter = w.signals().iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+    let gutter = w
+        .signals()
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
     let mut out = String::new();
 
     // Cycle ruler (every 10 cycles).
     out.push_str(&format!("{:>gutter$} ", "cycle"));
     let mut c = from;
     while c < to {
-        if (c - from) % 10 == 0 {
+        if (c - from).is_multiple_of(10) {
             let mark = format!("{c}");
             out.push_str(&mark);
             let skip = mark.len() as u64;
@@ -50,8 +56,8 @@ pub fn render_ascii(w: &WaveSet, from: u64, to: u64) -> String {
             let mut prev: Option<u64> = None;
             while c < to {
                 let v = s.value_at(c);
-                if v != prev && v.is_some() {
-                    let text = format!("{:#06x}", v.unwrap());
+                if let Some(value) = v.filter(|_| v != prev) {
+                    let text = format!("{value:#06x}");
                     out.push('|');
                     for ch in text.chars() {
                         if c >= to {
@@ -113,6 +119,9 @@ mod tests {
     #[test]
     fn window_clips() {
         let art = render_ascii(&demo(), 0, 3);
-        assert!(!art.contains("0xe1b0"), "change at cycle 4 is outside the window");
+        assert!(
+            !art.contains("0xe1b0"),
+            "change at cycle 4 is outside the window"
+        );
     }
 }

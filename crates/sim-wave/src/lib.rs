@@ -45,7 +45,11 @@ pub struct Signal {
 impl Signal {
     /// A 1-bit wire.
     pub fn bit(name: impl Into<String>) -> Signal {
-        Signal { name: name.into(), width: 1, samples: Vec::new() }
+        Signal {
+            name: name.into(),
+            width: 1,
+            samples: Vec::new(),
+        }
     }
 
     /// A multi-bit bus.
@@ -55,7 +59,11 @@ impl Signal {
     /// Panics if `width` is 0 or exceeds 64.
     pub fn bus(name: impl Into<String>, width: u8) -> Signal {
         assert!((1..=64).contains(&width), "bus width out of range");
-        Signal { name: name.into(), width, samples: Vec::new() }
+        Signal {
+            name: name.into(),
+            width,
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample.
@@ -70,7 +78,11 @@ impl Signal {
     /// The signal's value at `cycle` (the most recent sample at or before
     /// it).
     pub fn value_at(&self, cycle: u64) -> Option<u64> {
-        self.samples.iter().take_while(|(c, _)| *c <= cycle).map(|(_, v)| *v).last()
+        self.samples
+            .iter()
+            .take_while(|(c, _)| *c <= cycle)
+            .map(|(_, v)| *v)
+            .last()
     }
 }
 

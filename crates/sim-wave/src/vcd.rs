@@ -15,7 +15,9 @@ pub fn render_vcd(w: &WaveSet, module: &str) -> String {
     out.push_str(&format!("$scope module {module} $end\n"));
 
     // VCD id codes: printable characters starting at '!'.
-    let ids: Vec<char> = (0..w.signals().len()).map(|i| (b'!' + i as u8) as char).collect();
+    let ids: Vec<char> = (0..w.signals().len())
+        .map(|i| (b'!' + i as u8) as char)
+        .collect();
     for (s, id) in w.signals().iter().zip(&ids) {
         out.push_str(&format!("$var wire {} {} {} $end\n", s.width, id, s.name));
     }

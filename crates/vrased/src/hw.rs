@@ -47,7 +47,10 @@ pub struct KeyGuard {
 impl KeyGuard {
     /// Creates the monitor for runtime use.
     pub fn new(ctx: PropCtx) -> KeyGuard {
-        KeyGuard { ctx: Some(ctx), violated: false }
+        KeyGuard {
+            ctx: Some(ctx),
+            violated: false,
+        }
     }
 
     /// Creates the monitor for model checking (no signal context needed).
@@ -102,9 +105,14 @@ impl HwModule for KeyGuard {
         };
         let was = self.violated;
         self.violated = KeyGuard::kernel(self.violated, i);
-        let mut action = HwAction { reset_mcu: self.violated, ..HwAction::none() };
+        let mut action = HwAction {
+            reset_mcu: self.violated,
+            ..HwAction::none()
+        };
         if self.violated && !was {
-            action.violations.push("key region accessed outside SW-Att".into());
+            action
+                .violations
+                .push("key region accessed outside SW-Att".into());
         }
         action
     }
@@ -118,7 +126,11 @@ impl MonitorFsm for KeyGuard {
     }
 
     fn inputs(&self) -> Vec<String> {
-        vec![names::REN_KEY.into(), names::DMA_KEY.into(), names::PC_IN_SWATT.into()]
+        vec![
+            names::REN_KEY.into(),
+            names::DMA_KEY.into(),
+            names::PC_IN_SWATT.into(),
+        ]
     }
 
     fn outputs(&self) -> Vec<String> {
@@ -184,7 +196,10 @@ pub struct SwAttAtomicity {
 impl SwAttAtomicity {
     /// Creates the monitor for runtime use.
     pub fn new(ctx: PropCtx) -> SwAttAtomicity {
-        SwAttAtomicity { ctx: Some(ctx), state: AtomicityState::default() }
+        SwAttAtomicity {
+            ctx: Some(ctx),
+            state: AtomicityState::default(),
+        }
     }
 
     /// Creates the monitor for model checking.
@@ -228,11 +243,17 @@ impl SwAttAtomicity {
             ),
             Property::new(
                 "P06 SW-Att no-irq: G(pc_in_swatt & irq -> reset)",
-                in_swatt().and(p(names::IRQ)).implies(p(names::RESET)).globally(),
+                in_swatt()
+                    .and(p(names::IRQ))
+                    .implies(p(names::RESET))
+                    .globally(),
             ),
             Property::new(
                 "P07 SW-Att no-DMA: G(pc_in_swatt & dma_active -> reset)",
-                in_swatt().and(p(names::DMA_ACTIVE)).implies(p(names::RESET)).globally(),
+                in_swatt()
+                    .and(p(names::DMA_ACTIVE))
+                    .implies(p(names::RESET))
+                    .globally(),
             ),
             Property::new(
                 "P08 atomicity latch: G(reset -> X reset)",
@@ -270,7 +291,10 @@ impl HwModule for SwAttAtomicity {
         };
         let was = self.state.violated;
         self.state = SwAttAtomicity::kernel(self.state, i);
-        let mut action = HwAction { reset_mcu: self.state.violated, ..HwAction::none() };
+        let mut action = HwAction {
+            reset_mcu: self.state.violated,
+            ..HwAction::none()
+        };
         if self.state.violated && !was {
             action.violations.push("SW-Att atomicity violated".into());
         }
@@ -344,11 +368,21 @@ mod tests {
     #[test]
     fn key_guard_kernel_truth_table() {
         let k = |v, r, d, s| {
-            KeyGuard::kernel(v, KeyGuardIn { ren_key: r, dma_key: d, pc_in_swatt: s })
+            KeyGuard::kernel(
+                v,
+                KeyGuardIn {
+                    ren_key: r,
+                    dma_key: d,
+                    pc_in_swatt: s,
+                },
+            )
         };
         assert!(!k(false, false, false, false));
         assert!(k(false, true, false, false), "CPU key read outside SW-Att");
-        assert!(!k(false, true, false, true), "CPU key read during SW-Att is legal");
+        assert!(
+            !k(false, true, false, true),
+            "CPU key read during SW-Att is legal"
+        );
         assert!(k(false, false, true, true), "DMA key access is never legal");
         assert!(k(true, false, false, false), "latched");
     }
@@ -358,7 +392,11 @@ mod tests {
         let k = kripke_of(&KeyGuard::for_model());
         let rows = check_suite(&k, &KeyGuard::properties());
         for row in &rows {
-            assert!(row.result.holds, "{} failed: {:?}", row.name, row.result.counterexample);
+            assert!(
+                row.result.holds,
+                "{} failed: {:?}",
+                row.name, row.result.counterexample
+            );
         }
     }
 
@@ -368,27 +406,47 @@ mod tests {
         // Legal entry at the first instruction.
         let s1 = SwAttAtomicity::kernel(
             s0,
-            AtomicityIn { pc_in_swatt: true, pc_at_min: true, ..Default::default() },
+            AtomicityIn {
+                pc_in_swatt: true,
+                pc_at_min: true,
+                ..Default::default()
+            },
         );
         assert!(!s1.violated);
         // Interrupt mid-attestation.
         let s2 = SwAttAtomicity::kernel(
             s1,
-            AtomicityIn { pc_in_swatt: true, irq: true, ..Default::default() },
+            AtomicityIn {
+                pc_in_swatt: true,
+                irq: true,
+                ..Default::default()
+            },
         );
         assert!(s2.violated);
         // Entry in the middle.
         let s3 = SwAttAtomicity::kernel(
             s0,
-            AtomicityIn { pc_in_swatt: true, pc_at_min: false, ..Default::default() },
+            AtomicityIn {
+                pc_in_swatt: true,
+                pc_at_min: false,
+                ..Default::default()
+            },
         );
         assert!(s3.violated);
         // Legal exit from the last instruction.
-        let mid = AtomicityState { violated: false, prev_in_swatt: true, prev_at_max: true };
+        let mid = AtomicityState {
+            violated: false,
+            prev_in_swatt: true,
+            prev_at_max: true,
+        };
         let s4 = SwAttAtomicity::kernel(mid, AtomicityIn::default());
         assert!(!s4.violated);
         // Early exit.
-        let mid = AtomicityState { violated: false, prev_in_swatt: true, prev_at_max: false };
+        let mid = AtomicityState {
+            violated: false,
+            prev_in_swatt: true,
+            prev_at_max: false,
+        };
         let s5 = SwAttAtomicity::kernel(mid, AtomicityIn::default());
         assert!(s5.violated);
     }
@@ -398,7 +456,11 @@ mod tests {
         let k = kripke_of_constrained(&SwAttAtomicity::for_model(), SwAttAtomicity::env_constraint);
         let rows = check_suite(&k, &SwAttAtomicity::properties());
         for row in &rows {
-            assert!(row.result.holds, "{} failed: {:?}", row.name, row.result.counterexample);
+            assert!(
+                row.result.holds,
+                "{} failed: {:?}",
+                row.name, row.result.counterexample
+            );
         }
     }
 

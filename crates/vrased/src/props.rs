@@ -90,7 +90,10 @@ impl PropCtx {
 
     /// Context with `ER` geometry.
     pub fn with_er(layout: MemLayout, er: ErInfo) -> PropCtx {
-        PropCtx { layout, er: Some(er) }
+        PropCtx {
+            layout,
+            er: Some(er),
+        }
     }
 
     /// Converts one simulation step into the set of proposition names
@@ -155,7 +158,11 @@ mod tests {
     #[test]
     fn er_props() {
         let layout = MemLayout::default();
-        let er = ErInfo { min: 0xE000, exit: 0xE010, region: MemRegion::new(0xE000, 0xE0FF) };
+        let er = ErInfo {
+            min: 0xE000,
+            exit: 0xE010,
+            region: MemRegion::new(0xE000, 0xE0FF),
+        };
         let ctx = PropCtx::with_er(layout, er);
         let s = base_signals();
         let p = ctx.props_of(&s);
@@ -177,8 +184,10 @@ mod tests {
         let layout = MemLayout::default();
         let ctx = PropCtx::new(layout);
         let mut s = base_signals();
-        s.accesses.push(MemAccess::read(layout.key.start(), 0, true));
-        s.accesses.push(MemAccess::write(layout.ivt.start(), 0xF000, false));
+        s.accesses
+            .push(MemAccess::read(layout.key.start(), 0, true));
+        s.accesses
+            .push(MemAccess::write(layout.ivt.start(), 0xF000, false));
         let p = ctx.props_of(&s);
         assert!(p.contains(names::REN_KEY));
         assert!(p.contains(names::WEN_IVT));

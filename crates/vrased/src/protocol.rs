@@ -21,6 +21,16 @@ impl Challenge {
         c.copy_from_slice(&digest[..CHAL_LEN]);
         Challenge(c)
     }
+
+    /// The canonical wire bytes of the challenge.
+    pub fn as_bytes(&self) -> &[u8; CHAL_LEN] {
+        &self.0
+    }
+
+    /// Rebuilds a challenge from its wire bytes.
+    pub fn from_bytes(bytes: [u8; CHAL_LEN]) -> Challenge {
+        Challenge(bytes)
+    }
 }
 
 /// An attestation request sent to the prover.
@@ -65,13 +75,18 @@ pub struct Verifier {
 impl Verifier {
     /// Creates a verifier sharing `key` with the prover.
     pub fn new(key: &[u8]) -> Verifier {
-        Verifier { key: key.to_vec(), counter: 0 }
+        Verifier {
+            key: key.to_vec(),
+            counter: 0,
+        }
     }
 
     /// Issues a fresh attestation request.
     pub fn request(&mut self) -> AttRequest {
         self.counter += 1;
-        AttRequest { chal: Challenge::from_counter(self.counter) }
+        AttRequest {
+            chal: Challenge::from_counter(self.counter),
+        }
     }
 
     /// Verifies a response against the expected measured items.
@@ -105,7 +120,9 @@ mod tests {
         let mut vrf = Verifier::new(key);
         let req = vrf.request();
         let items = vec![MeasuredItem::value("pmem", vec![1, 2, 3])];
-        let response = AttResponse { mac: attest(key, &req.chal.0, &items) };
+        let response = AttResponse {
+            mac: attest(key, &req.chal.0, &items),
+        };
         assert!(vrf.verify(&req, &items, &response).is_ok());
     }
 
@@ -116,8 +133,13 @@ mod tests {
         let req = vrf.request();
         let honest = vec![MeasuredItem::value("pmem", vec![1, 2, 3])];
         let infected = vec![MeasuredItem::value("pmem", vec![1, 2, 0xFF])];
-        let response = AttResponse { mac: attest(key, &req.chal.0, &infected) };
-        assert_eq!(vrf.verify(&req, &honest, &response), Err(VerifyError::BadMac));
+        let response = AttResponse {
+            mac: attest(key, &req.chal.0, &infected),
+        };
+        assert_eq!(
+            vrf.verify(&req, &honest, &response),
+            Err(VerifyError::BadMac)
+        );
     }
 
     #[test]
@@ -126,10 +148,15 @@ mod tests {
         let mut vrf = Verifier::new(key);
         let req1 = vrf.request();
         let items = vec![MeasuredItem::value("pmem", vec![9])];
-        let old = AttResponse { mac: attest(key, &req1.chal.0, &items) };
+        let old = AttResponse {
+            mac: attest(key, &req1.chal.0, &items),
+        };
         let req2 = vrf.request();
         assert_ne!(req1.chal, req2.chal);
-        assert!(vrf.verify(&req2, &items, &old).is_err(), "replayed MAC fails");
+        assert!(
+            vrf.verify(&req2, &items, &old).is_err(),
+            "replayed MAC fails"
+        );
     }
 
     #[test]
@@ -137,7 +164,9 @@ mod tests {
         let mut vrf = Verifier::new(b"right-key");
         let req = vrf.request();
         let items = vec![MeasuredItem::value("pmem", vec![1])];
-        let response = AttResponse { mac: attest(b"wrong-key", &req.chal.0, &items) };
+        let response = AttResponse {
+            mac: attest(b"wrong-key", &req.chal.0, &items),
+        };
         assert!(vrf.verify(&req, &items, &response).is_err());
     }
 

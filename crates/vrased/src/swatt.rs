@@ -45,7 +45,11 @@ impl MeasuredItem {
 
     /// Measures a direct value.
     pub fn value(label: &str, bytes: Vec<u8>) -> MeasuredItem {
-        MeasuredItem { label: label.to_string(), start: 0, bytes }
+        MeasuredItem {
+            label: label.to_string(),
+            start: 0,
+            bytes,
+        }
     }
 }
 
@@ -107,7 +111,10 @@ mod tests {
     #[test]
     fn challenge_freshness_changes_mac() {
         let items = vec![MeasuredItem::value("exec", vec![1])];
-        assert_ne!(attest(b"k", &chal(1), &items), attest(b"k", &chal(2), &items));
+        assert_ne!(
+            attest(b"k", &chal(1), &items),
+            attest(b"k", &chal(2), &items)
+        );
     }
 
     #[test]
@@ -147,7 +154,10 @@ mod tests {
     #[test]
     fn cycle_cost_scales_with_size() {
         assert!(swatt_cycle_cost(64) < swatt_cycle_cost(4096));
-        assert!(swatt_cycle_cost(0) > 0, "setup cost is charged even for empty input");
+        assert!(
+            swatt_cycle_cost(0) > 0,
+            "setup cost is charged even for empty input"
+        );
     }
 
     #[test]

@@ -5,19 +5,14 @@
 //! cargo run --example attack_gallery
 //! ```
 
-use asap::device::{Device, PoxMode};
 use asap::programs;
-use asap::verifier::AsapVerifier;
-use periph::gpio::PORT1_VECTOR;
-use std::collections::BTreeMap;
-use std::error::Error;
+use asap::{AsapError, AsapVerifier, Device, PoxMode, VerifierSpec};
 
 type Attack = (&'static str, fn(&mut Device));
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> Result<(), AsapError> {
     let key = b"gallery-key";
     let image = programs::fig4_authorized()?;
-    let isr = image.symbol("gpio_isr").unwrap();
 
     let attacks: Vec<Attack> = vec![
         ("IVT rewrite via CPU after execution", |d| {
@@ -47,38 +42,55 @@ fn main() -> Result<(), Box<dyn Error>> {
         }),
     ];
 
+    // The verifier's expectations come straight from the linked image.
+    let mut verifier =
+        AsapVerifier::new(key, VerifierSpec::from_image(&image)?.mode(PoxMode::Asap));
+
     println!("honest baseline first:");
-    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+    let mut device = Device::builder(&image)
+        .mode(PoxMode::Asap)
+        .key(key)
+        .build()?;
     device.run_until_pc(programs::done_pc(), 5_000);
-    let mut verifier = AsapVerifier::new(
-        key,
-        device.er_bytes(),
-        BTreeMap::from([(PORT1_VECTOR, isr)]),
+    let session = verifier.begin();
+    let resp = device.attest(session.request());
+    let exec = resp.exec;
+    let outcome = session.evidence(resp).conclude(&verifier);
+    println!(
+        "  honest run: EXEC={exec} verify={}\n",
+        outcome.is_verified()
     );
-    let (er, or) = device.pox_regions();
-    let req = verifier.request(er, or);
-    let resp = device.attest(&req);
-    println!("  honest run: EXEC={} verify={:?}\n", resp.exec, verifier.verify(&req, &resp).is_ok());
 
     let mut caught = 0;
     for (name, attack) in &attacks {
-        let mut device = Device::new(&image, PoxMode::Asap, key)?;
+        let mut device = Device::builder(&image)
+            .mode(PoxMode::Asap)
+            .key(key)
+            .build()?;
         device.run_until_pc(programs::done_pc(), 5_000);
         attack(&mut device);
         device.run_steps(3);
-        let req = verifier.request(er, or);
-        let resp = device.attest(&req);
-        let verdict = verifier.verify(&req, &resp);
-        let detected = verdict.is_err();
+        let session = verifier.begin();
+        let resp = device.attest(session.request());
+        let exec = resp.exec;
+        let outcome = session.evidence(resp).conclude(&verifier);
+        let detected = !outcome.is_verified();
         caught += detected as u32;
+        let verdict = outcome
+            .err()
+            .map_or("accepted".to_string(), |e| e.to_string());
         println!(
             "  {name:<44} EXEC={} verdict={:<30} {}",
-            resp.exec as u8,
-            format!("{verdict:?}").chars().take(30).collect::<String>(),
+            exec as u8,
+            verdict.chars().take(30).collect::<String>(),
             if detected { "caught ✔" } else { "MISSED ✘" },
         );
     }
     println!("\n{caught}/{} attacks detected", attacks.len());
-    assert_eq!(caught as usize, attacks.len(), "every attack must be detected");
+    assert_eq!(
+        caught as usize,
+        attacks.len(),
+        "every attack must be detected"
+    );
     Ok(())
 }

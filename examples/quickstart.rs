@@ -1,18 +1,21 @@
-//! Quickstart: build a provable program, run it on an ASAP device,
-//! attest, and verify — then watch an attack get caught.
+//! Quickstart: build a provable program, run it on a PoX device, attest
+//! through a typed session, and verify — in both APEX and ASAP modes —
+//! then watch an attack get caught.
+//!
+//! One linked image drives both sides of the protocol: the device boots
+//! it, and the verifier derives everything it must agree with the prover
+//! about (`ER` geometry and bytes, trusted-ISR entry points, the IVT
+//! region) from the same image via `VerifierSpec::from_image`. No manual
+//! region wiring, no hand-maintained ISR maps.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use asap::device::{Device, PoxMode};
 use asap::programs;
-use asap::verifier::AsapVerifier;
-use periph::gpio::PORT1_VECTOR;
-use std::collections::BTreeMap;
-use std::error::Error;
+use asap::{AsapError, AsapVerifier, Device, PoxMode, VerifierSpec};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> Result<(), AsapError> {
     let key = b"demo-device-key";
 
     // 1. Link the Fig. 4 program: main task + a trusted GPIO ISR, both
@@ -20,44 +23,72 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    discipline (exec.start / exec.body / exec.leave).
     let image = programs::fig4_authorized()?;
     let er = image.er.unwrap();
-    println!("linked ER = {} (entry {:#06x}, exit {:#06x})", er.region, er.min, er.exit);
     println!(
-        "trusted ISR `gpio_isr` at {:#06x} — inside ER: {}",
-        image.symbol("gpio_isr").unwrap(),
-        er.region.contains(image.symbol("gpio_isr").unwrap()),
+        "linked ER = {} (entry {:#06x}, exit {:#06x})",
+        er.region, er.min, er.exit
     );
 
-    // 2. Deploy on an ASAP-equipped MCU.
-    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+    // 2. One spec per architecture, both derived from the linked image.
+    let asap_spec = VerifierSpec::from_image(&image)?.mode(PoxMode::Asap);
+    let apex_spec = VerifierSpec::from_image(&image)?.mode(PoxMode::Apex);
+    println!(
+        "spec from image: {} ER bytes, trusted ISRs at {:?}\n",
+        asap_spec.expected_er.len(),
+        asap_spec.trusted_isrs,
+    );
 
-    // 3. Run the provable execution; press the button mid-run so the
-    //    trusted ISR services an asynchronous event *during* ER.
+    // 3. APEX first: the same program, run without pressing the button.
+    //    An interrupt-free execution proves fine under both modes.
+    println!("— APEX: interrupt-free execution —");
+    let mut device = Device::builder(&image)
+        .mode(PoxMode::Apex)
+        .key(key)
+        .build()?;
+    device.run_until_pc(programs::done_pc(), 5_000);
+    let mut verifier = AsapVerifier::new(key, apex_spec);
+    let session = verifier.begin();
+    let response = device.attest(session.request());
+    match session.evidence(response).conclude(&verifier).into_result() {
+        Ok(att) => println!(
+            "APEX PoX verified (no IVT in the measurement: {:?}) ✔",
+            att.ivt
+        ),
+        Err(e) => println!("APEX PoX rejected: {e}"),
+    }
+
+    // 4. ASAP: press the button mid-run so the trusted ISR services an
+    //    asynchronous event *during* ER — and the proof still holds.
+    println!("\n— ASAP: interrupted execution —");
+    let mut device = Device::builder(&image)
+        .mode(PoxMode::Asap)
+        .key(key)
+        .build()?;
     device.run_steps(10);
     device.set_button(0, true);
     device.run_until_pc(programs::done_pc(), 5_000);
     println!("after execution: EXEC = {}", device.exec());
 
-    // 4. The verifier requests a proof of execution.
-    let mut verifier = AsapVerifier::new(
-        key,
-        device.er_bytes(),
-        BTreeMap::from([(PORT1_VECTOR, image.symbol("gpio_isr").unwrap())]),
-    );
-    let (er_region, or_region) = device.pox_regions();
-    let request = verifier.request(er_region, or_region);
-    let response = device.attest(&request);
-    match verifier.verify(&request, &response) {
-        Ok(()) => println!("PoX verified: the expected code ran, interrupts and all ✔"),
-        Err(e) => println!("PoX rejected: {e}"),
+    let mut verifier = AsapVerifier::new(key, asap_spec);
+    let session = verifier.begin();
+    // The request and response cross a byte transport in wire encoding.
+    let response_bytes = device.attest_bytes(&session.request_bytes())?;
+    let session = session.evidence_bytes(&response_bytes)?;
+    match session.conclude(&verifier).into_result() {
+        Ok(att) => println!(
+            "ASAP PoX verified: the expected code ran, interrupts and all \
+             ({}-byte attested IVT) ✔",
+            att.ivt.map_or(0, |i| i.len()),
+        ),
+        Err(e) => println!("ASAP PoX rejected: {e}"),
     }
 
     // 5. Now the adversary rewrites an IVT entry and re-runs.
     device.attacker_cpu_write(0xFFE4, 0xF00D);
-    let request = verifier.request(er_region, or_region);
-    let response = device.attest(&request);
-    match verifier.verify(&request, &response) {
-        Ok(()) => println!("unexpected acceptance!"),
-        Err(e) => println!("attack caught: {e} ✔"),
+    let session = verifier.begin();
+    let response = device.attest(session.request());
+    match session.evidence(response).conclude(&verifier) {
+        outcome if outcome.is_verified() => println!("unexpected acceptance!"),
+        outcome => println!("attack caught: {} ✔", outcome.err().unwrap()),
     }
     Ok(())
 }

@@ -13,13 +13,16 @@
 //! ```
 
 use asap::device::{Device, PoxMode, WaveSample};
-use asap::programs;
+use asap::{programs, AsapError};
 use sim_wave::{Signal, WaveSet};
-use std::error::Error;
 
 /// Runs one scenario: press the button a few steps into `ER` execution.
-fn scenario(image: &msp430_tools::link::Image, mode: PoxMode) -> Result<Device, Box<dyn Error>> {
-    let mut device = Device::new(image, mode, b"alarm-key")?;
+fn scenario(image: &msp430_tools::link::Image, mode: PoxMode) -> Result<Device, AsapError> {
+    let mut device = Device::builder(image)
+        .mode(mode)
+        .key(b"alarm-key")
+        .record_wave(true)
+        .build()?;
     device.run_steps(6); // into the ER main loop
     device.set_button(0, true);
     device.run_until_pc(programs::done_pc(), 5_000);
@@ -47,7 +50,7 @@ fn waveform(device: &Device, er: openmsp430::mem::MemRegion) -> String {
     w.render_ascii(0, (device.wave().len() as u64).min(70))
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> Result<(), AsapError> {
     let authorized = programs::fig4_authorized()?;
     let unauthorized = programs::fig4_unauthorized()?;
     let er = authorized.er.unwrap().region;
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("— (b) unauthorized interrupt under ASAP —");
     let d = scenario(&unauthorized, PoxMode::Asap)?;
     println!("{}", waveform(&d, unauthorized.er.unwrap().region));
-    println!("EXEC = {} — the out-of-ER ISR invalidated the proof\n", d.exec());
+    println!(
+        "EXEC = {} — the out-of-ER ISR invalidated the proof\n",
+        d.exec()
+    );
 
     println!("— (c) any interrupt under APEX —");
     let d = scenario(&authorized, PoxMode::Apex)?;

@@ -18,13 +18,7 @@
 //! ```
 
 use asap::device::{Device, PoxMode};
-use asap::programs;
-use asap::verifier::AsapVerifier;
-use periph::gpio::PORT1_VECTOR;
-use periph::timer::TIMER_VECTOR;
-use periph::uart::UART_RX_VECTOR;
-use std::collections::BTreeMap;
-use std::error::Error;
+use asap::{programs, AsapError, AsapVerifier, VerifierSpec};
 
 /// Current draw in active vs low-power mode (MSP430F1xx-class figures:
 /// ~300 µA at 1 MHz active, ~1.5 µA in LPM3). Energy per run is
@@ -80,42 +74,56 @@ fn run_pump(device: &mut Device, abort_at_step: Option<u64>) -> RunStats {
     }
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> Result<(), AsapError> {
     let key = b"pump-key";
     let dose_cycles = 5_000u16;
 
     println!("=== A. ASAP, interrupt-driven dosing ===");
     let image = programs::syringe_pump_interrupt(dose_cycles)?;
-    let mut device = Device::new(&image, PoxMode::Asap, key)?;
+    let mut device = Device::builder(&image)
+        .mode(PoxMode::Asap)
+        .key(key)
+        .build()?;
     let a = run_pump(&mut device, None);
-    println!("dose status = {} (2 = completed), EXEC = {}", a.status, a.exec);
+    println!(
+        "dose status = {} (2 = completed), EXEC = {}",
+        a.status, a.exec
+    );
     println!(
         "cycles: {} active + {} asleep (LPM) — the CPU slept {:.0}% of the dose",
         a.active_cycles,
         a.idle_cycles,
         100.0 * a.idle_cycles as f64 / (a.active_cycles + a.idle_cycles) as f64
     );
-    let mut verifier = AsapVerifier::new(
-        key,
-        device.er_bytes(),
-        BTreeMap::from([
-            (TIMER_VECTOR, image.symbol("timer_isr").unwrap()),
-            (PORT1_VECTOR, image.symbol("abort_isr").unwrap()),
-            (UART_RX_VECTOR, image.symbol("abort_isr").unwrap()),
-        ]),
+    // The pump's three trusted ISRs (timer tick, abort button, network
+    // abort) are picked up from the linked image — nothing hand-wired.
+    let spec = VerifierSpec::from_image(&image)?.mode(PoxMode::Asap);
+    println!("trusted ISRs from the image: {:?}", spec.trusted_isrs);
+    let mut verifier = AsapVerifier::new(key, spec);
+    let session = verifier.begin();
+    let resp = device.attest(session.request());
+    println!(
+        "verification: {:?}",
+        session
+            .evidence(resp)
+            .conclude(&verifier)
+            .into_result()
+            .map(|_| "accepted")
     );
-    let (er, or) = device.pox_regions();
-    let req = verifier.request(er, or);
-    let resp = device.attest(&req);
-    println!("verification: {:?}", verifier.verify(&req, &resp).map(|_| "accepted"));
 
     println!("\n=== B. APEX workaround: busy-wait dosing ===");
     // The busy-wait loop (dec + jnz = 4 cycles) calibrated to the same
     // dose duration.
     let image_bw = programs::syringe_pump_busywait(dose_cycles / 4)?;
-    let mut device_bw = Device::new(&image_bw, PoxMode::Apex, key)?;
+    let mut device_bw = Device::builder(&image_bw)
+        .mode(PoxMode::Apex)
+        .key(key)
+        .build()?;
     let b = run_pump(&mut device_bw, None);
-    println!("dose status = {} (2 = completed), EXEC = {}", b.status, b.exec);
+    println!(
+        "dose status = {} (2 = completed), EXEC = {}",
+        b.status, b.exec
+    );
     println!(
         "cycles: {} active + {} asleep — no sleep is possible while counting",
         b.active_cycles, b.idle_cycles
@@ -126,18 +134,31 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     println!("\n=== C. Patient aborts mid-dose (ASAP) ===");
-    let mut device_ab = Device::new(&image, PoxMode::Asap, key)?;
+    let mut device_ab = Device::builder(&image)
+        .mode(PoxMode::Asap)
+        .key(key)
+        .build()?;
     let c = run_pump(&mut device_ab, Some(40));
-    println!("dose status = {} (3 = aborted), EXEC = {}", c.status, c.exec);
-    let req = verifier.request(er, or);
-    let resp = device_ab.attest(&req);
+    println!(
+        "dose status = {} (3 = aborted), EXEC = {}",
+        c.status, c.exec
+    );
+    let session = verifier.begin();
+    let resp = device_ab.attest(session.request());
     println!(
         "verification of the aborted run: {:?} (the abort is itself provable!)",
-        verifier.verify(&req, &resp).map(|_| "accepted")
+        session
+            .evidence(resp)
+            .conclude(&verifier)
+            .into_result()
+            .map(|_| "accepted")
     );
 
     println!("\n=== D. The same interrupt-driven code under plain APEX ===");
-    let mut device_apex = Device::new(&image, PoxMode::Apex, key)?;
+    let mut device_apex = Device::builder(&image)
+        .mode(PoxMode::Apex)
+        .key(key)
+        .build()?;
     let d = run_pump(&mut device_apex, None);
     println!(
         "dose status = {}, EXEC = {} — the timer interrupt killed the proof (Fig. 5(c))",

@@ -11,14 +11,15 @@
 //!   disassembler;
 //! * [`ltl_mc`] — LTL trace checking and explicit-state model checking;
 //! * [`vrased`] — the hybrid remote-attestation substrate;
-//! * [`apex_pox`] — proofs of execution (the `EXEC` monitor);
-//! * [`asap`] — the paper's contribution: interrupt-tolerant PoX;
+//! * [`apex_pox`] — proofs of execution (the `EXEC` monitor and the
+//!   PoX wire protocol);
+//! * [`asap`] — the paper's contribution: interrupt-tolerant PoX,
+//!   exposed through `Device::builder`, `VerifierSpec::from_image` and
+//!   the `PoxSession` state machine;
 //! * [`rtl_synth`] — LUT/FF cost model (Fig. 6);
 //! * [`sim_wave`] — waveforms (Fig. 5).
 //!
-//! See `README.md` for the quickstart, `DESIGN.md` for the architecture
-//! and substitution decisions, and `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! See `README.md` for the quickstart and the workspace map.
 
 pub use apex_pox;
 pub use asap;

@@ -32,7 +32,10 @@ fn trace_specs(mode: PoxMode) -> Vec<(&'static str, Ltl)> {
         ),
         (
             "ER immutability: er write => !exec",
-            p(names::WEN_ER).or(p(names::DMA_ER)).implies(p(names::EXEC).not()).globally(),
+            p(names::WEN_ER)
+                .or(p(names::DMA_ER))
+                .implies(p(names::EXEC).not())
+                .globally(),
         ),
         (
             "LTL1: leaving ER not at exit kills exec",
@@ -60,15 +63,22 @@ fn trace_specs(mode: PoxMode) -> Vec<(&'static str, Ltl)> {
     if mode == PoxMode::Apex {
         specs.push((
             "LTL3: irq during ER kills exec",
-            p(names::PC_IN_ER).and(p(names::IRQ)).implies(p(names::EXEC).not()).globally(),
+            p(names::PC_IN_ER)
+                .and(p(names::IRQ))
+                .implies(p(names::EXEC).not())
+                .globally(),
         ));
     }
     specs
 }
 
 fn run_and_check(image: &msp430_tools::link::Image, mode: PoxMode, action: impl Fn(&mut Device)) {
-    let mut device = Device::new(image, mode, b"conf-key").unwrap();
-    device.record_trace();
+    let mut device = Device::builder(image)
+        .mode(mode)
+        .key(b"conf-key")
+        .record_trace(true)
+        .build()
+        .unwrap();
     device.run_steps(6);
     action(&mut device);
     device.run_until_pc(programs::done_pc(), 10_000);

@@ -1,29 +1,26 @@
 //! End-to-end proof-of-execution flows across the whole stack:
 //! assembler → linker → device (CPU + peripherals + monitors) → SW-Att →
-//! verifier, under both APEX and ASAP, honest and adversarial.
+//! session → verifier, under both APEX and ASAP, honest and adversarial.
 
-use asap::device::{Device, PoxMode};
 use asap::programs;
-use asap::verifier::AsapVerifier;
-use periph::gpio::{Gpio, PORT1_VECTOR};
-use periph::timer::TIMER_VECTOR;
-use periph::uart::UART_RX_VECTOR;
-use std::collections::BTreeMap;
+use asap::{AsapError, AsapVerifier, Device, PoxMode, VerifierSpec};
+use msp430_tools::link::Image;
+use periph::gpio::Gpio;
 
 const KEY: &[u8] = b"integration-key";
 
-fn fig4_verifier(device: &Device, image: &msp430_tools::link::Image) -> AsapVerifier {
-    AsapVerifier::new(
-        KEY,
-        device.er_bytes(),
-        BTreeMap::from([(PORT1_VECTOR, image.symbol("gpio_isr").unwrap())]),
-    )
+fn device(image: &Image, mode: PoxMode) -> Device {
+    Device::builder(image).mode(mode).key(KEY).build().unwrap()
+}
+
+fn verifier(image: &Image, mode: PoxMode) -> AsapVerifier {
+    AsapVerifier::new(KEY, VerifierSpec::from_image(image).unwrap().mode(mode))
 }
 
 #[test]
 fn honest_asap_interrupted_execution_verifies() {
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_steps(6);
     device.set_button(0, true); // async event mid-ER
     assert!(device.run_until_pc(programs::done_pc(), 10_000));
@@ -33,73 +30,82 @@ fn honest_asap_interrupted_execution_verifies() {
     let p5 = device.mcu.periph::<Gpio>().into_iter().find(|_| true);
     let _ = p5;
 
-    let mut vrf = fig4_verifier(&device, &image);
-    let (er, or) = device.pox_regions();
-    let req = vrf.request(er, or);
-    let resp = device.attest(&req);
-    assert!(vrf.verify(&req, &resp).is_ok());
+    let mut vrf = verifier(&image, PoxMode::Asap);
+    let session = vrf.begin();
+    let resp = device.attest(session.request());
+    assert!(session.evidence(resp).conclude(&vrf).is_verified());
 }
 
 #[test]
 fn same_flow_under_apex_is_rejected() {
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Apex, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Apex);
     device.run_steps(6);
     device.set_button(0, true);
     device.run_until_pc(programs::done_pc(), 10_000);
     assert!(!device.exec(), "APEX clears EXEC on any interrupt (LTL 3)");
+
+    let mut vrf = verifier(&image, PoxMode::Apex);
+    let session = vrf.begin();
+    let resp = device.attest(session.request());
+    let outcome = session.evidence(resp).conclude(&vrf);
+    assert_eq!(outcome.err(), Some(&AsapError::NotExecuted));
 }
 
 #[test]
 fn unauthorized_isr_rejected_under_asap() {
     let image = programs::fig4_unauthorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_steps(6);
     device.set_button(0, true);
     device.run_until_pc(programs::done_pc(), 10_000);
-    assert!(!device.exec(), "out-of-ER ISR forces the PC out: LTL 1 clears EXEC");
+    assert!(
+        !device.exec(),
+        "out-of-ER ISR forces the PC out: LTL 1 clears EXEC"
+    );
 }
 
 #[test]
 fn uninterrupted_execution_verifies_under_both() {
     let image = programs::fig4_authorized().unwrap();
     for mode in [PoxMode::Apex, PoxMode::Asap] {
-        let mut device = Device::new(&image, mode, KEY).unwrap();
+        let mut device = device(&image, mode);
         assert!(device.run_until_pc(programs::done_pc(), 10_000));
         assert!(device.exec(), "{mode:?}: interrupt-free run proves fine");
+
+        let mut vrf = verifier(&image, mode);
+        let session = vrf.begin();
+        let resp = device.attest(session.request());
+        assert!(
+            session.evidence(resp).conclude(&vrf).is_verified(),
+            "{mode:?}: interrupt-free run verifies"
+        );
     }
 }
 
 #[test]
 fn syringe_pump_full_cycle_with_timer_wakeup() {
     let image = programs::syringe_pump_interrupt(3_000).unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     assert!(device.run_until_pc(programs::done_pc(), 500_000));
     assert!(device.exec());
     assert_eq!(device.mcu.mem.read_word(0x0300), 2, "dose completed");
     assert_eq!(device.mcu.mem.read_word(0x0302), 1, "one dose delivered");
 
-    let mut vrf = AsapVerifier::new(
-        KEY,
-        device.er_bytes(),
-        BTreeMap::from([
-            (TIMER_VECTOR, image.symbol("timer_isr").unwrap()),
-            (PORT1_VECTOR, image.symbol("abort_isr").unwrap()),
-            (UART_RX_VECTOR, image.symbol("abort_isr").unwrap()),
-        ]),
-    );
-    let (er, or) = device.pox_regions();
-    let req = vrf.request(er, or);
-    let resp = device.attest(&req);
-    assert!(vrf.verify(&req, &resp).is_ok());
+    // All three trusted ISRs come from the image-derived spec.
+    let mut vrf = verifier(&image, PoxMode::Asap);
+    assert_eq!(vrf.spec().trusted_isrs.len(), 3);
+    let session = vrf.begin();
+    let resp = device.attest(session.request());
+    let attested = session.evidence(resp).conclude(&vrf).into_result().unwrap();
     // The proof binds the outputs: the verifier sees the dose record.
-    assert_eq!(resp.output[0], 2);
+    assert_eq!(attested.output[0], 2);
 }
 
 #[test]
 fn uart_abort_is_provable() {
     let image = programs::syringe_pump_interrupt(5_000).unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_steps(30); // pump armed, CPU sleeping
     device.uart_rx(b"A"); // network abort command
     assert!(device.run_until_pc(programs::done_pc(), 100_000));
@@ -110,17 +116,19 @@ fn uart_abort_is_provable() {
 #[test]
 fn ivt_tamper_between_execution_and_attestation_detected() {
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_until_pc(programs::done_pc(), 10_000);
     assert!(device.exec());
     // TOCTOU attempt: re-route vector 9 after execution, before attest.
     device.attacker_cpu_write(openmsp430::cpu::vector_addr(9), 0xF00D);
-    let mut vrf = fig4_verifier(&device, &image);
-    let (er, or) = device.pox_regions();
-    let req = vrf.request(er, or);
-    let resp = device.attest(&req);
+    let mut vrf = verifier(&image, PoxMode::Asap);
+    let session = vrf.begin();
+    let resp = device.attest(session.request());
     assert!(!resp.exec, "[AP1] cleared EXEC");
-    assert!(vrf.verify(&req, &resp).is_err());
+    assert_eq!(
+        session.evidence(resp).conclude(&vrf).err(),
+        Some(&AsapError::NotExecuted)
+    );
 }
 
 #[test]
@@ -129,20 +137,29 @@ fn ivt_routed_to_gadget_inside_er_rejected_by_verifier() {
     // inside ER must fail the verifier's ISR check. Build a response
     // from a device whose IVT was dirty *before* execution started.
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     // Pre-execution IVT rewrite: vector 9 → mid-ER gadget.
     let gadget = device.er().min + 8;
-    device.mcu.mem.write_word(openmsp430::cpu::vector_addr(9), gadget);
+    device
+        .mcu
+        .mem
+        .write_word(openmsp430::cpu::vector_addr(9), gadget);
     device.run_until_pc(programs::done_pc(), 10_000);
-    assert!(device.exec(), "tamper happened before the window: EXEC unaffected");
-
-    let mut vrf = fig4_verifier(&device, &image);
-    let (er, or) = device.pox_regions();
-    let req = vrf.request(er, or);
-    let resp = device.attest(&req);
-    let err = vrf.verify(&req, &resp).unwrap_err();
     assert!(
-        matches!(err, apex_pox::protocol::PoxError::UnexpectedIsrEntry { vector: 9, .. }),
+        device.exec(),
+        "tamper happened before the window: EXEC unaffected"
+    );
+
+    let mut vrf = verifier(&image, PoxMode::Asap);
+    let session = vrf.begin();
+    let resp = device.attest(session.request());
+    let err = session
+        .evidence(resp)
+        .conclude(&vrf)
+        .into_result()
+        .unwrap_err();
+    assert!(
+        matches!(err, AsapError::UnexpectedIsrEntry { vector: 9, .. }),
         "verifier must flag the gadget entry: {err:?}"
     );
 }
@@ -150,7 +167,7 @@ fn ivt_routed_to_gadget_inside_er_rejected_by_verifier() {
 #[test]
 fn key_exfiltration_attempt_resets_device() {
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_until_pc(programs::done_pc(), 10_000);
     let key_addr = device.ctx().layout.key.start();
     let before = device.resets();
@@ -168,27 +185,53 @@ fn key_exfiltration_attempt_resets_device() {
 
 #[test]
 fn attestation_is_temporally_consistent() {
-    // Two attestations with different challenges produce different MACs
-    // over identical state (no replay).
+    // Attestations under different sessions produce different MACs over
+    // identical state, and stale evidence cannot conclude a fresh
+    // session (no replay).
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_until_pc(programs::done_pc(), 10_000);
-    let mut vrf = fig4_verifier(&device, &image);
-    let (er, or) = device.pox_regions();
-    let r1 = vrf.request(er, or);
-    let a1 = device.attest(&r1);
-    let r2 = vrf.request(er, or);
-    let a2 = device.attest(&r2);
+    let mut vrf = verifier(&image, PoxMode::Asap);
+
+    let s1 = vrf.begin();
+    let a1 = device.attest(s1.request());
+    assert!(s1.evidence(a1.clone()).conclude(&vrf).is_verified());
+
+    let s2 = vrf.begin();
+    let a2 = device.attest(s2.request());
     assert_ne!(a1.mac, a2.mac);
-    assert!(vrf.verify(&r1, &a1).is_ok());
-    assert!(vrf.verify(&r2, &a2).is_ok());
-    assert!(vrf.verify(&r2, &a1).is_err(), "replay rejected");
+    assert!(s2.evidence(a2).conclude(&vrf).is_verified());
+
+    let s3 = vrf.begin();
+    assert_eq!(
+        s3.evidence(a1).conclude(&vrf).err(),
+        Some(&AsapError::BadMac),
+        "replayed evidence rejected"
+    );
+}
+
+#[test]
+fn wire_encoded_session_round_trips_the_transport() {
+    // The whole exchange crosses a byte transport: request out as
+    // bytes, response back as bytes.
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = device(&image, PoxMode::Asap);
+    device.run_until_pc(programs::done_pc(), 10_000);
+    let mut vrf = verifier(&image, PoxMode::Asap);
+    let session = vrf.begin();
+    let request_bytes = session.request_bytes();
+    let response_bytes = device.attest_bytes(&request_bytes).unwrap();
+    let outcome = session
+        .evidence_bytes(&response_bytes)
+        .unwrap()
+        .conclude(&vrf);
+    assert!(outcome.is_verified());
 }
 
 #[test]
 fn exec_flag_readable_but_not_writable_by_software() {
     let image = programs::fig4_authorized().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_until_pc(programs::done_pc(), 10_000);
     let addr = device.ctx().layout.exec_flag_addr;
     assert_eq!(device.mcu.hw_cell(addr), Some(1), "EXEC mirror reads 1");
@@ -200,10 +243,14 @@ fn exec_flag_readable_but_not_writable_by_software() {
 #[test]
 fn sensor_task_binds_async_request_id() {
     let image = programs::sensor_task().unwrap();
-    let mut device = Device::new(&image, PoxMode::Asap, KEY).unwrap();
+    let mut device = device(&image, PoxMode::Asap);
     device.run_steps(4);
     device.uart_rx(&[0x2A]); // request id 42 arrives mid-sense
     device.run_until_pc(programs::done_pc(), 10_000);
     assert!(device.exec());
-    assert_eq!(device.mcu.mem.read_byte(0x0302), 0x2A, "id recorded by the trusted ISR");
+    assert_eq!(
+        device.mcu.mem.read_byte(0x0302),
+        0x2A,
+        "id recorded by the trusted ISR"
+    );
 }

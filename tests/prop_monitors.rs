@@ -7,8 +7,8 @@
 //! formulas, independent evaluation path (`ltl_mc::trace` instead of
 //! the Büchi/product machinery).
 
-use asap::monitor::{ivt_kernel, IvtGuard, IvtIn};
 use apex_pox::monitor::{exec_kernel, ApexMonitor, ExecIn, ExecState};
+use asap::monitor::{ivt_kernel, IvtGuard, IvtIn};
 use ltl_mc::formula::Ltl;
 use ltl_mc::trace::Trace;
 use proptest::prelude::*;
@@ -16,7 +16,11 @@ use vrased::hw::{AtomicityIn, AtomicityState, KeyGuard, KeyGuardIn, SwAttAtomici
 use vrased::props::names;
 
 fn state_set(props: &[(&str, bool)]) -> std::collections::BTreeSet<String> {
-    props.iter().filter(|(_, v)| *v).map(|(n, _)| n.to_string()).collect()
+    props
+        .iter()
+        .filter(|(_, v)| *v)
+        .map(|(n, _)| n.to_string())
+        .collect()
 }
 
 /// Finite-trace conformance for monitor specs: `G ψ` obligations that
@@ -26,9 +30,7 @@ fn state_set(props: &[(&str, bool)]) -> std::collections::BTreeSet<String> {
 /// not a violation).
 fn conforms(trace: &Trace, f: &Ltl) -> bool {
     match f {
-        Ltl::G(inner) => {
-            (0..trace.len().saturating_sub(1)).all(|i| trace.satisfies_at(inner, i))
-        }
+        Ltl::G(inner) => (0..trace.len().saturating_sub(1)).all(|i| trace.satisfies_at(inner, i)),
         _ => trace.satisfies(f),
     }
 }

@@ -2,10 +2,9 @@
 //! verify; any single-field tamper is always rejected.
 
 use apex_pox::protocol::{pox_items, PoxResponse, PoxVerifier};
-use asap::verifier::AsapVerifier;
+use asap::{AsapVerifier, PoxMode, VerifierSpec};
 use openmsp430::mem::MemRegion;
 use proptest::prelude::*;
-use std::collections::BTreeMap;
 use vrased::swatt::attest;
 
 const KEY: &[u8] = b"prop-key";
@@ -84,7 +83,7 @@ proptest! {
         prop_assert!(vrf.verify_apex(&req, &resp).is_err());
     }
 
-    /// ASAP: an IVT whose in-ER entries match the expected ISR map
+    /// ASAP: an IVT whose in-ER entries match the spec's trusted-ISR map
     /// verifies; any in-ER entry not in the map is rejected.
     #[test]
     fn asap_ivt_policy(
@@ -98,39 +97,44 @@ proptest! {
         let er = er_region();
         let isr_addr = er.start() + isr_offset;
         let rogue_addr = er.start() + rogue_offset;
-        let er_bytes = vec![0x4A; er.len() as usize];
-        let expected = BTreeMap::from([(isr_vector, isr_addr)]);
-        let mut vrf = AsapVerifier::new(KEY, er_bytes.clone(), expected);
+        let spec = VerifierSpec {
+            mode: PoxMode::Asap,
+            er,
+            or: or_region(),
+            ivt_region: ivt_region(),
+            expected_er: vec![0x4A; er.len() as usize],
+            trusted_isrs: [(isr_vector, isr_addr)].into(),
+        };
+        let mut vrf = AsapVerifier::new(KEY, spec.clone());
 
         // Honest IVT: only the expected vector points into ER.
-        let mut ivt = vec![0u8; 32];
-        ivt[2 * isr_vector as usize..2 * isr_vector as usize + 2]
-            .copy_from_slice(&isr_addr.to_le_bytes());
-        let req = vrf.request(er, or_region());
-        let items =
-            pox_items(true, er, &er_bytes, req.or, b"out", Some((ivt_region(), &ivt)));
+        let ivt = AsapVerifier::render_ivt(&[(isr_vector, isr_addr)]);
+        let session = vrf.begin();
+        let items = pox_items(
+            true, er, &spec.expected_er, or_region(), b"out", Some((ivt_region(), &ivt)),
+        );
         let resp = PoxResponse {
             exec: true,
             output: b"out".to_vec(),
-            ivt: Some(ivt.clone()),
-            mac: attest(KEY, &req.chal.0, &items),
+            ivt: Some(ivt),
+            mac: attest(KEY, session.request().chal.as_bytes(), &items),
         };
-        prop_assert!(vrf.verify(&req, &resp).is_ok());
+        prop_assert!(session.evidence(resp).conclude(&vrf).is_verified());
 
         // Rogue IVT: another vector re-routed into ER.
-        let mut bad_ivt = ivt;
-        bad_ivt[2 * rogue_vector as usize..2 * rogue_vector as usize + 2]
-            .copy_from_slice(&rogue_addr.to_le_bytes());
-        let req = vrf.request(er, or_region());
-        let items =
-            pox_items(true, er, &er_bytes, req.or, b"out", Some((ivt_region(), &bad_ivt)));
+        let bad_ivt =
+            AsapVerifier::render_ivt(&[(isr_vector, isr_addr), (rogue_vector, rogue_addr)]);
+        let session = vrf.begin();
+        let items = pox_items(
+            true, er, &spec.expected_er, or_region(), b"out", Some((ivt_region(), &bad_ivt)),
+        );
         let resp = PoxResponse {
             exec: true,
             output: b"out".to_vec(),
             ivt: Some(bad_ivt),
-            mac: attest(KEY, &req.chal.0, &items),
+            mac: attest(KEY, session.request().chal.as_bytes(), &items),
         };
-        prop_assert!(vrf.verify(&req, &resp).is_err());
+        prop_assert!(!session.evidence(resp).conclude(&vrf).is_verified());
     }
 
     /// Responses never verify under a different challenge (freshness).

@@ -81,7 +81,11 @@ fn subroutine_stack_discipline() {
     ";
     let mcu = run(src, 50);
     assert_eq!(mcu.cpu.regs.get(Reg::r(7)), 0x7DDE, "0xBEEF << 1");
-    assert_eq!(mcu.cpu.regs.get(Reg::r(8)), 0xBEEF, "stack preserved the original");
+    assert_eq!(
+        mcu.cpu.regs.get(Reg::r(8)),
+        0xBEEF,
+        "stack preserved the original"
+    );
     assert_eq!(mcu.cpu.regs.sp(), MemLayout::default().stack_top);
 }
 
@@ -146,7 +150,9 @@ fn nested_interrupts_masked_until_reti() {
     ";
     let img = link(
         src,
-        &LinkConfig::new(0xC000, 0xE000).vector(9, "isr").reset("main"),
+        &LinkConfig::new(0xC000, 0xE000)
+            .vector(9, "isr")
+            .reset("main"),
     )
     .unwrap();
     let mut mcu = Mcu::new(MemLayout::default());
@@ -167,7 +173,11 @@ fn nested_interrupts_masked_until_reti() {
         }
     }
     assert!(second_entry > 0, "second interrupt serviced after RETI");
-    assert_eq!(mcu.cpu.regs.get(Reg::r(14)), 1, "exactly one ISR entry before re-service");
+    assert_eq!(
+        mcu.cpu.regs.get(Reg::r(14)),
+        1,
+        "exactly one ISR entry before re-service"
+    );
 }
 
 #[test]

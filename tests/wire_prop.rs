@@ -1,0 +1,129 @@
+//! Property-based tests of the PoX wire encoding: encoding round-trips,
+//! corrupted or truncated buffers never decode to the original message,
+//! and the verifier's IVT parser inverts its renderer.
+
+use apex_pox::protocol::{PoxRequest, PoxResponse};
+use asap::AsapVerifier;
+use openmsp430::mem::MemRegion;
+use proptest::prelude::*;
+use vrased::protocol::Challenge;
+use vrased::swatt::{CHAL_LEN, MAC_LEN};
+
+fn region(a: u16, b: u16) -> MemRegion {
+    MemRegion::new(a.min(b), a.max(b))
+}
+
+fn request(chal: Vec<u8>, er: (u16, u16), or: (u16, u16)) -> PoxRequest {
+    let mut c = [0u8; CHAL_LEN];
+    c.copy_from_slice(&chal);
+    PoxRequest {
+        chal: Challenge::from_bytes(c),
+        er: region(er.0, er.1),
+        or: region(or.0, or.1),
+    }
+}
+
+fn response(exec: bool, output: Vec<u8>, ivt: Option<Vec<u8>>, mac: Vec<u8>) -> PoxResponse {
+    let mut m = [0u8; MAC_LEN];
+    m.copy_from_slice(&mac);
+    PoxResponse {
+        exec,
+        output,
+        ivt,
+        mac: m,
+    }
+}
+
+proptest! {
+    /// from_bytes(to_bytes(request)) == request.
+    #[test]
+    fn request_roundtrip(
+        chal in proptest::collection::vec(any::<u8>(), CHAL_LEN),
+        er in (any::<u16>(), any::<u16>()),
+        or in (any::<u16>(), any::<u16>()),
+    ) {
+        let req = request(chal, er, or);
+        prop_assert_eq!(PoxRequest::from_bytes(&req.to_bytes()), Ok(req));
+    }
+
+    /// from_bytes(to_bytes(response)) == response, IVT present or not.
+    #[test]
+    fn response_roundtrip(
+        exec in any::<bool>(),
+        output in proptest::collection::vec(any::<u8>(), 0..128),
+        ivt in prop_oneof![
+            Just(None),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Some),
+        ],
+        mac in proptest::collection::vec(any::<u8>(), MAC_LEN),
+    ) {
+        let resp = response(exec, output, ivt, mac);
+        prop_assert_eq!(PoxResponse::from_bytes(&resp.to_bytes()), Ok(resp));
+    }
+
+    /// Every strict prefix of an encoded message is rejected.
+    #[test]
+    fn truncation_rejected(
+        output in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        let req_bytes = request(vec![7; CHAL_LEN], (0xE000, 0xE1FF), (0x300, 0x33F)).to_bytes();
+        let resp_bytes = response(true, output, Some(vec![0; 32]), vec![9; MAC_LEN]).to_bytes();
+        let req_cut = cut % req_bytes.len();
+        let resp_cut = cut % resp_bytes.len();
+        prop_assert!(PoxRequest::from_bytes(&req_bytes[..req_cut]).is_err());
+        prop_assert!(PoxResponse::from_bytes(&resp_bytes[..resp_cut]).is_err());
+    }
+
+    /// Flipping any single bit of an encoded request never yields the
+    /// original message back: it either fails to decode or decodes to a
+    /// different request.
+    #[test]
+    fn request_bitflip_never_silently_accepted(
+        chal in proptest::collection::vec(any::<u8>(), CHAL_LEN),
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let req = request(chal, (0xE000, 0xE1FF), (0x300, 0x33F));
+        let mut bytes = req.to_bytes();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(decoded) = PoxRequest::from_bytes(&bytes) { prop_assert_ne!(decoded, req) }
+    }
+
+    /// Same for responses: corruption is detected or changes the message.
+    #[test]
+    fn response_bitflip_never_silently_accepted(
+        output in proptest::collection::vec(any::<u8>(), 1..64),
+        ivt in prop_oneof![
+            Just(None),
+            proptest::collection::vec(any::<u8>(), 32usize..33).prop_map(Some),
+        ],
+        idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let resp = response(true, output, ivt, vec![0xAB; MAC_LEN]);
+        let mut bytes = resp.to_bytes();
+        let i = idx % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(decoded) = PoxResponse::from_bytes(&bytes) { prop_assert_ne!(decoded, resp) }
+    }
+
+    /// parse_ivt(render_ivt(entries)) == entries for full vector tables.
+    #[test]
+    fn parse_ivt_roundtrip(targets in proptest::collection::vec(any::<u16>(), 16usize..17)) {
+        let entries: Vec<(u8, u16)> =
+            targets.iter().enumerate().map(|(v, t)| (v as u8, *t)).collect();
+        let bytes = AsapVerifier::render_ivt(&entries);
+        prop_assert_eq!(bytes.len(), 32);
+        prop_assert_eq!(AsapVerifier::parse_ivt(&bytes), entries);
+    }
+
+    /// And the other direction: render_ivt(parse_ivt(bytes)) == bytes
+    /// for any 32-byte IVT image.
+    #[test]
+    fn render_ivt_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 32usize..33)) {
+        let entries = AsapVerifier::parse_ivt(&bytes);
+        prop_assert_eq!(AsapVerifier::render_ivt(&entries), bytes);
+    }
+}
