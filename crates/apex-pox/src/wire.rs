@@ -37,9 +37,18 @@ pub const TYPE_REQUEST: u8 = 0x01;
 /// Message-type byte of a [`PoxResponse`].
 pub const TYPE_RESPONSE: u8 = 0x02;
 
+/// Message-type byte of an [`Envelope`].
+pub const TYPE_ENVELOPE: u8 = 0x03;
+
 /// Upper bound on any variable-length field: nothing measured on a
 /// 16-bit MCU exceeds its address space.
 pub const MAX_FIELD_LEN: u32 = 0x1_0000;
+
+/// Upper bound on an [`Envelope`] payload: a whole framed message. A
+/// maximal legal [`PoxResponse`] carries *two* [`MAX_FIELD_LEN`] fields
+/// (output and IVT report), so the bound covers both plus headroom for
+/// the fixed framing overhead.
+pub const MAX_PAYLOAD_LEN: u32 = 2 * MAX_FIELD_LEN + 128;
 
 /// Why a buffer failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,8 +164,12 @@ impl<'a> Reader<'a> {
     }
 
     fn var_bytes(&mut self, field: &'static str) -> Result<Vec<u8>, WireError> {
+        self.var_bytes_bounded(field, MAX_FIELD_LEN)
+    }
+
+    fn var_bytes_bounded(&mut self, field: &'static str, max: u32) -> Result<Vec<u8>, WireError> {
         let len = self.u32()?;
-        if len > MAX_FIELD_LEN {
+        if len > max {
             return Err(WireError::Oversize { field, len });
         }
         Ok(self.take(len as usize)?.to_vec())
@@ -282,6 +295,65 @@ impl PoxResponse {
     }
 }
 
+/// A device-addressed frame wrapping one protocol message.
+///
+/// A point-to-point link needs no addressing, but a fleet verifier
+/// multiplexing thousands of provers over one byte stream must know
+/// *which* device a request is destined for and *which* device a
+/// response claims to come from. The envelope adds exactly that: a
+/// 64-bit device id plus the wrapped message's canonical bytes.
+///
+/// The device id is **routing metadata, not authentication** — it is
+/// attacker-controlled, like any header. A response smuggled under the
+/// wrong device's id still fails that device's MAC check, because the
+/// MAC binds the session key and challenge of the claimed device. The
+/// envelope only decides *whose* session judges the evidence.
+///
+/// Layout: `MAGIC ‖ 0x03 ‖ device_id (u64 LE) ‖ len (u32 LE) ‖ payload`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The addressed (requests) or claimed (responses) device.
+    pub device_id: u64,
+    /// The wrapped message in its own canonical wire encoding.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps already-encoded message bytes for `device_id`.
+    pub fn wrap(device_id: u64, payload: Vec<u8>) -> Envelope {
+        Envelope { device_id, payload }
+    }
+
+    /// Serializes the envelope to its canonical wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + 8 + 4 + self.payload.len());
+        header(&mut out, TYPE_ENVELOPE);
+        out.extend_from_slice(&self.device_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes an envelope from wire bytes. The payload is *not*
+    /// decoded: a bad inner message surfaces when the payload is parsed,
+    /// after the frame has already attributed it to a device.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] describing the first framing defect.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Envelope, WireError> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, TYPE_ENVELOPE)?;
+        let device_id = {
+            let b = r.take(8)?;
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        };
+        let payload = r.var_bytes_bounded("payload", MAX_PAYLOAD_LEN)?;
+        r.finish()?;
+        Ok(Envelope { device_id, payload })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +451,71 @@ mod tests {
             Err(WireError::BadRegion {
                 start: 0xF000,
                 end: 0xE1FF
+            })
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrips_any_payload() {
+        for payload in [vec![], request().to_bytes(), response(None).to_bytes()] {
+            let env = Envelope::wrap(0xDEAD_BEEF_0042_1234, payload);
+            assert_eq!(Envelope::from_bytes(&env.to_bytes()), Ok(env));
+        }
+    }
+
+    #[test]
+    fn envelope_carries_a_maximal_response() {
+        // Both variable fields at their individual MAX_FIELD_LEN bound:
+        // the largest response the bare codec accepts must also fit an
+        // envelope, or the fleet layer would reject legal evidence.
+        let resp = PoxResponse {
+            exec: true,
+            output: vec![0x11; MAX_FIELD_LEN as usize],
+            ivt: Some(vec![0x22; MAX_FIELD_LEN as usize]),
+            mac: [0xAB; MAC_LEN],
+        };
+        let bytes = resp.to_bytes();
+        assert_eq!(PoxResponse::from_bytes(&bytes), Ok(resp), "bare codec");
+        let env = Envelope::wrap(7, bytes);
+        assert_eq!(Envelope::from_bytes(&env.to_bytes()), Ok(env), "enveloped");
+    }
+
+    #[test]
+    fn envelope_truncations_and_trailing_rejected() {
+        let bytes = Envelope::wrap(7, request().to_bytes()).to_bytes();
+        for n in 0..bytes.len() {
+            assert!(Envelope::from_bytes(&bytes[..n]).is_err(), "prefix {n}");
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert_eq!(
+            Envelope::from_bytes(&extended),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn envelope_is_not_a_bare_message() {
+        let env = Envelope::wrap(7, request().to_bytes()).to_bytes();
+        assert_eq!(
+            PoxRequest::from_bytes(&env),
+            Err(WireError::BadMessageType(TYPE_ENVELOPE))
+        );
+        assert_eq!(
+            Envelope::from_bytes(&request().to_bytes()),
+            Err(WireError::BadMessageType(TYPE_REQUEST))
+        );
+    }
+
+    #[test]
+    fn envelope_oversize_payload_rejected() {
+        let mut bytes = Envelope::wrap(7, vec![1, 2, 3]).to_bytes();
+        bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Envelope::from_bytes(&bytes),
+            Err(WireError::Oversize {
+                field: "payload",
+                len: u32::MAX
             })
         );
     }

@@ -1,0 +1,264 @@
+//! # asap-fleet — PoX verification at fleet scale
+//!
+//! The paper's protocol is one verifier talking to one MCU. This crate
+//! is everything above that single session: identity, concurrency,
+//! batching and transport for a verifier that manages *many* provers at
+//! once.
+//!
+//! * [`DeviceId`] — a 64-bit fleet-wide prover identity, carried on the
+//!   wire by the [`apex_pox::wire::Envelope`] frame;
+//! * [`FleetVerifier`] — one [`asap::AsapVerifier`] per device behind a
+//!   fixed array of independently locked shards, so sessions on
+//!   different devices never contend ([`registry`]);
+//! * batched rounds — [`FleetVerifier::begin_round`] issues a challenge
+//!   per device, [`FleetVerifier::conclude_round`] judges every
+//!   response with per-device isolation: one garbled or forged frame
+//!   rejects that device alone, never the round ([`round`]);
+//! * [`Transport`] — the delivery abstraction, with the in-memory
+//!   [`Loopback`] implementation wired to real simulated devices
+//!   ([`transport`]).
+//!
+//! # Fleet quickstart
+//!
+//! One image, two provers, one batched round over the loopback
+//! transport:
+//!
+//! ```
+//! use asap::{programs, Device, PoxMode, VerifierSpec};
+//! use asap_fleet::{DeviceId, FleetVerifier, Loopback};
+//!
+//! let image = programs::fig4_authorized()?;
+//! let fleet = FleetVerifier::new();
+//! let mut fabric = Loopback::new();
+//!
+//! for raw in 1u64..=2 {
+//!     let id = DeviceId(raw);
+//!     let key = raw.to_le_bytes();
+//!
+//!     // Prover: a real simulated MCU that runs the image to completion.
+//!     let mut device = Device::builder(&image).key(&key).build()?;
+//!     device.run_until_pc(programs::done_pc(), 10_000);
+//!     fabric.attach(id, device);
+//!
+//!     // Verifier side: expectations derived from the same image.
+//!     fleet.register(id, &key, VerifierSpec::from_image(&image)?.mode(PoxMode::Asap))?;
+//! }
+//!
+//! let ids = [DeviceId(1), DeviceId(2)];
+//! let report = fleet.run_round(&ids, &mut fabric)?;
+//! assert_eq!(report.verified(), 2);
+//! assert_eq!(fleet.in_flight(), 0, "rounds never leak sessions");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod error;
+pub mod registry;
+pub mod round;
+pub mod transport;
+
+pub use error::FleetError;
+pub use registry::{FleetVerifier, SHARD_COUNT};
+pub use round::{RoundOutcome, RoundReport};
+pub use transport::{Loopback, Transport};
+
+use std::fmt;
+
+/// A fleet-wide prover identity.
+///
+/// Purely administrative: the id routes frames and keys the registry,
+/// while all authentication comes from the per-device key inside the
+/// MAC. Ids are carried on the wire by [`apex_pox::wire::Envelope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u64);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap::{programs, AsapError, Device, PoxMode, VerifierSpec};
+
+    fn key_for(id: DeviceId) -> Vec<u8> {
+        format!("key-{id}").into_bytes()
+    }
+
+    /// A fleet of `n` ASAP devices, enrolled and run to completion.
+    fn fleet_of(n: u64) -> (FleetVerifier, Loopback) {
+        let image = programs::fig4_authorized().unwrap();
+        let fleet = FleetVerifier::new();
+        let mut fabric = Loopback::new();
+        for raw in 1..=n {
+            let id = DeviceId(raw);
+            let mut device = Device::builder(&image).key(&key_for(id)).build().unwrap();
+            assert!(device.run_until_pc(programs::done_pc(), 10_000));
+            fabric.attach(id, device);
+            fleet
+                .register(
+                    id,
+                    &key_for(id),
+                    VerifierSpec::from_image(&image)
+                        .unwrap()
+                        .mode(PoxMode::Asap),
+                )
+                .unwrap();
+        }
+        (fleet, fabric)
+    }
+
+    #[test]
+    fn honest_round_verifies_every_device() {
+        let (fleet, mut fabric) = fleet_of(5);
+        let ids: Vec<DeviceId> = (1..=5).map(DeviceId).collect();
+        let report = fleet.run_round(&ids, &mut fabric).unwrap();
+        assert_eq!(report.verified(), 5);
+        assert_eq!(report.rejected(), 0);
+        assert_eq!(fleet.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_devices_are_typed_errors() {
+        let (fleet, _) = fleet_of(1);
+        let image = programs::fig4_authorized().unwrap();
+        assert_eq!(
+            fleet.register(DeviceId(1), b"k", VerifierSpec::from_image(&image).unwrap()),
+            Err(FleetError::DuplicateDevice(DeviceId(1)))
+        );
+        assert_eq!(
+            fleet.begin(DeviceId(99)),
+            Err(FleetError::UnknownDevice(DeviceId(99)))
+        );
+        assert_eq!(
+            fleet.begin_round(&[DeviceId(1), DeviceId(99)]),
+            Err(FleetError::UnknownDevice(DeviceId(99)))
+        );
+        assert_eq!(fleet.in_flight(), 0, "failed round issues no challenges");
+    }
+
+    #[test]
+    fn evidence_without_a_challenge_is_no_session() {
+        let (fleet, mut fabric) = fleet_of(1);
+        let id = DeviceId(1);
+        // Obtain a valid response frame, conclude it…
+        let req = fleet.begin(id).unwrap();
+        let resp = fabric.exchange(id, &req).unwrap();
+        let (device, result) = fleet.conclude(&resp);
+        assert_eq!(device, Some(id));
+        assert!(result.is_ok());
+        // …then feed the same frame again: fleet-level replay.
+        let (device, result) = fleet.conclude(&resp);
+        assert_eq!(device, Some(id));
+        assert_eq!(result, Err(FleetError::NoSession(id)));
+    }
+
+    #[test]
+    fn rechallenge_makes_prior_evidence_stale() {
+        let (fleet, mut fabric) = fleet_of(1);
+        let id = DeviceId(1);
+        let stale_req = fleet.begin(id).unwrap();
+        let stale_resp = fabric.exchange(id, &stale_req).unwrap();
+        // Re-challenge before concluding: the old challenge is dead.
+        let _fresh_req = fleet.begin(id).unwrap();
+        assert_eq!(fleet.in_flight(), 1, "re-begin replaces, never stacks");
+        let (_, result) = fleet.conclude(&stale_resp);
+        assert_eq!(result, Err(FleetError::Rejected(AsapError::BadMac)));
+    }
+
+    #[test]
+    fn duplicated_ids_are_challenged_once() {
+        let (fleet, mut fabric) = fleet_of(2);
+        let (a, b) = (DeviceId(1), DeviceId(2));
+        // Listing a device twice must not stale its own challenge.
+        let report = fleet.run_round(&[a, a, b], &mut fabric).unwrap();
+        assert_eq!(report.verified(), 2);
+        assert_eq!(report.outcomes.len(), 2, "one verdict per device");
+        assert_eq!(fleet.in_flight(), 0);
+    }
+
+    #[test]
+    fn one_bad_frame_never_poisons_the_round() {
+        let (fleet, mut fabric) = fleet_of(3);
+        let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+        let requests = fleet.begin_round(&ids).unwrap();
+        let mut frames: Vec<Vec<u8>> = requests
+            .iter()
+            .map(|(id, req)| fabric.exchange(*id, req).unwrap())
+            .collect();
+        frames[1][0] ^= 0xFF; // destroy device 2's envelope magic
+        let report = fleet.conclude_round(&ids, &frames);
+        assert_eq!(report.verified(), 2, "devices 1 and 3 still verify");
+        // The broken frame is unattributable; device 2's dangling
+        // session is charged as NoResponse.
+        assert_eq!(report.dropped(), 1);
+        assert_eq!(fleet.in_flight(), 0);
+    }
+
+    #[test]
+    fn misrouted_envelope_is_rejected_not_cross_verified() {
+        let (fleet, mut fabric) = fleet_of(2);
+        let (a, b) = (DeviceId(1), DeviceId(2));
+        let requests = fleet.begin_round(&[a, b]).unwrap();
+        let resp_a = fabric.exchange(a, &requests[0].1).unwrap();
+        let payload_a = apex_pox::wire::Envelope::from_bytes(&resp_a)
+            .unwrap()
+            .payload;
+        // Device 1's honest evidence, re-addressed as device 2's.
+        let forged = apex_pox::wire::Envelope::wrap(b.0, payload_a).to_bytes();
+        let (device, result) = fleet.conclude(&forged);
+        assert_eq!(device, Some(b));
+        assert_eq!(result, Err(FleetError::Rejected(AsapError::BadMac)));
+    }
+
+    #[test]
+    fn shards_serve_concurrent_threads() {
+        use std::sync::Arc;
+
+        // The simulated Device is deliberately not Send (it models one
+        // physical MCU), so exchanges happen here; issuance and
+        // conclusion hit the shared registry from four threads.
+        let (fleet, mut fabric) = fleet_of(32);
+        let fleet = Arc::new(fleet);
+
+        let issue: Vec<_> = (0..4u64)
+            .map(|t| {
+                let fleet = Arc::clone(&fleet);
+                std::thread::spawn(move || {
+                    (1 + t..=32)
+                        .step_by(4)
+                        .map(|raw| (DeviceId(raw), fleet.begin(DeviceId(raw)).unwrap()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let requests: Vec<(DeviceId, Vec<u8>)> =
+            issue.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        assert_eq!(fleet.in_flight(), 32);
+
+        let responses: Vec<Vec<u8>> = requests
+            .iter()
+            .map(|(id, req)| fabric.exchange(*id, req).unwrap())
+            .collect();
+
+        let conclude: Vec<_> = responses
+            .chunks(8)
+            .map(|chunk| {
+                let fleet = Arc::clone(&fleet);
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for frame in &chunk {
+                        let (device, result) = fleet.conclude(frame);
+                        assert!(device.is_some());
+                        result.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in conclude {
+            h.join().unwrap();
+        }
+        assert_eq!(fleet.in_flight(), 0);
+    }
+}

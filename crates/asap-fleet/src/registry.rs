@@ -1,0 +1,263 @@
+//! The sharded fleet verifier: many per-device [`AsapVerifier`]s behind
+//! a fixed array of independently locked shards.
+//!
+//! Scale shape: challenge issuance and evidence conclusion are hash-map
+//! operations plus (for conclusion) a MAC recomputation. The registry
+//! keeps the *map operations* under per-shard mutexes — a fixed
+//! [`SHARD_COUNT`]-entry array, shard picked by a multiplicative hash of
+//! the device id — and performs the MAC work on a clone of the device's
+//! verifier *outside* any lock. Two sessions on devices in different
+//! shards therefore never contend at all, and even same-shard devices
+//! only serialize the cheap map lookups, not the crypto.
+
+use crate::error::FleetError;
+use crate::round::{RoundOutcome, RoundReport};
+use crate::transport::Transport;
+use crate::DeviceId;
+use apex_pox::wire::Envelope;
+use asap::session::{Issued, PoxSession};
+use asap::{AsapVerifier, Attested, VerifierSpec};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of registry shards. Fixed at construction: shard selection is
+/// a pure function of the device id, so no resize coordination is ever
+/// needed.
+pub const SHARD_COUNT: usize = 16;
+
+/// One enrolled device: its verifier (key + spec + challenge counter)
+/// and the session in flight, if any.
+struct DeviceEntry {
+    verifier: AsapVerifier,
+    in_flight: Option<PoxSession<Issued>>,
+}
+
+#[derive(Default)]
+struct Shard {
+    devices: HashMap<DeviceId, DeviceEntry>,
+}
+
+/// A verifier for a whole fleet of provers, keyed by [`DeviceId`].
+///
+/// All methods take `&self`: the registry is internally synchronized
+/// and meant to be shared across verifier threads (`FleetVerifier` is
+/// `Send + Sync`). See the [module docs](self) for the locking story,
+/// and [`crate`] docs for a full loopback walk-through.
+pub struct FleetVerifier {
+    shards: [Mutex<Shard>; SHARD_COUNT],
+}
+
+impl Default for FleetVerifier {
+    fn default() -> FleetVerifier {
+        FleetVerifier::new()
+    }
+}
+
+impl FleetVerifier {
+    /// An empty fleet.
+    pub fn new() -> FleetVerifier {
+        FleetVerifier {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+        }
+    }
+
+    fn shard(&self, id: DeviceId) -> &Mutex<Shard> {
+        // Fibonacci hashing: spreads dense (0, 1, 2, …) id assignments
+        // across shards instead of clustering them modulo SHARD_COUNT.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % SHARD_COUNT]
+    }
+
+    /// Enrolls a device under its shared key and image-derived spec.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateDevice`] when the id is already enrolled.
+    pub fn register(&self, id: DeviceId, key: &[u8], spec: VerifierSpec) -> Result<(), FleetError> {
+        let mut shard = self.shard(id).lock().unwrap();
+        if shard.devices.contains_key(&id) {
+            return Err(FleetError::DuplicateDevice(id));
+        }
+        shard.devices.insert(
+            id,
+            DeviceEntry {
+                verifier: AsapVerifier::new(key, spec),
+                in_flight: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of enrolled devices.
+    pub fn device_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().devices.len())
+            .sum()
+    }
+
+    /// True when `id` is enrolled.
+    pub fn is_registered(&self, id: DeviceId) -> bool {
+        self.shard(id).lock().unwrap().devices.contains_key(&id)
+    }
+
+    /// Number of sessions currently awaiting evidence, fleet-wide.
+    pub fn in_flight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .devices
+                    .values()
+                    .filter(|d| d.in_flight.is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Issues a fresh challenge to one device and returns the
+    /// enveloped, wire-encoded request frame to deliver to it.
+    ///
+    /// If a session was already in flight for the device it is
+    /// *replaced*: the old challenge becomes stale, and evidence bound
+    /// to it will fail the new session's MAC check. (A verifier that
+    /// re-challenges has, by definition, given up on the old round.)
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when the id is not enrolled.
+    pub fn begin(&self, id: DeviceId) -> Result<Vec<u8>, FleetError> {
+        let mut shard = self.shard(id).lock().unwrap();
+        let entry = shard
+            .devices
+            .get_mut(&id)
+            .ok_or(FleetError::UnknownDevice(id))?;
+        let session = entry.verifier.begin();
+        let frame = Envelope::wrap(id.0, session.request_bytes()).to_bytes();
+        entry.in_flight = Some(session);
+        Ok(frame)
+    }
+
+    /// Issues one challenge per device and returns the request frames,
+    /// in input order. A device listed more than once is challenged
+    /// once, at its first occurrence — issuing twice would silently
+    /// stale the first challenge and turn an honest device's evidence
+    /// into a `BadMac` rejection.
+    ///
+    /// All-or-nothing: ids are validated up front, so an unknown device
+    /// fails the call before any challenge is issued and the registry
+    /// is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] naming the first unknown id.
+    pub fn begin_round(&self, ids: &[DeviceId]) -> Result<Vec<(DeviceId, Vec<u8>)>, FleetError> {
+        if let Some(&id) = ids.iter().find(|&&id| !self.is_registered(id)) {
+            return Err(FleetError::UnknownDevice(id));
+        }
+        let mut seen = std::collections::HashSet::new();
+        ids.iter()
+            .filter(|&&id| seen.insert(id))
+            .map(|&id| Ok((id, self.begin(id)?)))
+            .collect()
+    }
+
+    /// Absorbs one enveloped response frame and concludes the session
+    /// it answers.
+    ///
+    /// Returns the device the frame was attributed to (when the
+    /// envelope decoded) and the per-device verdict. The shard lock is
+    /// held only while the session is popped; MAC verification runs on
+    /// a clone of the device's verifier outside all locks.
+    pub fn conclude(&self, frame: &[u8]) -> (Option<DeviceId>, Result<Attested, FleetError>) {
+        let envelope = match Envelope::from_bytes(frame) {
+            Ok(e) => e,
+            Err(e) => return (None, Err(FleetError::Frame(e))),
+        };
+        let id = DeviceId(envelope.device_id);
+
+        let (verifier, session) = {
+            let mut shard = self.shard(id).lock().unwrap();
+            let Some(entry) = shard.devices.get_mut(&id) else {
+                return (Some(id), Err(FleetError::UnknownDevice(id)));
+            };
+            let Some(session) = entry.in_flight.take() else {
+                return (Some(id), Err(FleetError::NoSession(id)));
+            };
+            (entry.verifier.clone(), session)
+        };
+
+        let result = session
+            .evidence_bytes(&envelope.payload)
+            .map_err(FleetError::Rejected)
+            .and_then(|s| {
+                s.conclude(&verifier)
+                    .into_result()
+                    .map_err(FleetError::Rejected)
+            });
+        (Some(id), result)
+    }
+
+    /// Concludes a whole round: absorbs every response frame, then
+    /// charges [`FleetError::NoResponse`] to each challenged device
+    /// whose session is still dangling — aborting it, so the registry
+    /// ends the round with zero sessions in flight for `challenged`.
+    ///
+    /// Per-device isolation: a frame that fails to decode, or evidence
+    /// that fails its check, yields a rejected outcome for that device
+    /// only; every other frame in the round is still judged.
+    pub fn conclude_round(&self, challenged: &[DeviceId], frames: &[Vec<u8>]) -> RoundReport {
+        let mut outcomes: Vec<RoundOutcome> = frames
+            .iter()
+            .map(|frame| {
+                let (device, result) = self.conclude(frame);
+                RoundOutcome { device, result }
+            })
+            .collect();
+
+        let mut seen = std::collections::HashSet::new();
+        for &id in challenged {
+            if seen.insert(id) && self.abort(id) {
+                outcomes.push(RoundOutcome {
+                    device: Some(id),
+                    result: Err(FleetError::NoResponse(id)),
+                });
+            }
+        }
+        RoundReport { outcomes }
+    }
+
+    /// Drops the in-flight session for `id`, if any. Returns whether a
+    /// session was actually aborted.
+    pub fn abort(&self, id: DeviceId) -> bool {
+        let mut shard = self.shard(id).lock().unwrap();
+        shard
+            .devices
+            .get_mut(&id)
+            .and_then(|e| e.in_flight.take())
+            .is_some()
+    }
+
+    /// Drives one full round over a [`Transport`]: challenges every
+    /// device in `ids`, exchanges frames, and concludes. Devices whose
+    /// transport exchange yields nothing are reported as
+    /// [`FleetError::NoResponse`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when an id is not enrolled (no
+    /// challenge is issued in that case).
+    pub fn run_round<T: Transport + ?Sized>(
+        &self,
+        ids: &[DeviceId],
+        transport: &mut T,
+    ) -> Result<RoundReport, FleetError> {
+        let requests = self.begin_round(ids)?;
+        let responses: Vec<Vec<u8>> = requests
+            .iter()
+            .filter_map(|(id, frame)| transport.exchange(*id, frame))
+            .collect();
+        Ok(self.conclude_round(ids, &responses))
+    }
+}

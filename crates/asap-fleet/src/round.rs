@@ -1,0 +1,110 @@
+//! Per-round results: one verdict per frame/challenged device.
+
+use crate::error::FleetError;
+use crate::DeviceId;
+use asap::{AsapError, Attested};
+
+/// The verdict for one device (or one unattributable frame) in a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// The device the outcome belongs to; `None` when the frame's
+    /// envelope did not decode, so no attribution was possible.
+    pub device: Option<DeviceId>,
+    /// The verdict: authenticated outputs, or why not.
+    pub result: Result<Attested, FleetError>,
+}
+
+/// Everything a [`FleetVerifier::conclude_round`] produced.
+///
+/// [`FleetVerifier::conclude_round`]: crate::FleetVerifier::conclude_round
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// One entry per response frame, plus one `NoResponse` entry per
+    /// challenged-but-silent device.
+    pub outcomes: Vec<RoundOutcome>,
+}
+
+impl RoundReport {
+    /// Number of devices whose proof of execution verified.
+    pub fn verified(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Number of outcomes that did not verify, for any reason.
+    pub fn rejected(&self) -> usize {
+        self.outcomes.len() - self.verified()
+    }
+
+    /// Number of outcomes rejected with exactly this per-session reason.
+    pub fn rejected_with(&self, reason: &AsapError) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.result.as_ref().err().and_then(FleetError::rejection) == Some(reason))
+            .count()
+    }
+
+    /// Number of challenged devices that never answered.
+    pub fn dropped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(FleetError::NoResponse(_))))
+            .count()
+    }
+
+    /// The verdict recorded for `id`, if any.
+    pub fn of(&self, id: DeviceId) -> Option<&Result<Attested, FleetError>> {
+        self.outcomes
+            .iter()
+            .find(|o| o.device == Some(id))
+            .map(|o| &o.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_pox::wire::WireError;
+
+    fn verified(id: u64) -> RoundOutcome {
+        RoundOutcome {
+            device: Some(DeviceId(id)),
+            result: Ok(Attested {
+                output: vec![id as u8],
+                ivt: None,
+            }),
+        }
+    }
+
+    fn rejected(id: u64, reason: AsapError) -> RoundOutcome {
+        RoundOutcome {
+            device: Some(DeviceId(id)),
+            result: Err(FleetError::Rejected(reason)),
+        }
+    }
+
+    #[test]
+    fn tallies_partition_the_round() {
+        let report = RoundReport {
+            outcomes: vec![
+                verified(1),
+                rejected(2, AsapError::BadMac),
+                rejected(3, AsapError::NotExecuted),
+                RoundOutcome {
+                    device: None,
+                    result: Err(FleetError::Frame(WireError::BadMagic)),
+                },
+                RoundOutcome {
+                    device: Some(DeviceId(4)),
+                    result: Err(FleetError::NoResponse(DeviceId(4))),
+                },
+            ],
+        };
+        assert_eq!(report.verified(), 1);
+        assert_eq!(report.rejected(), 4);
+        assert_eq!(report.rejected_with(&AsapError::BadMac), 1);
+        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.verified() + report.rejected(), report.outcomes.len());
+        assert!(report.of(DeviceId(1)).unwrap().is_ok());
+        assert!(report.of(DeviceId(9)).is_none());
+    }
+}

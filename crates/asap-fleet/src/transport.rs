@@ -1,0 +1,74 @@
+//! How request frames reach provers and response frames come back.
+//!
+//! The fleet verifier is transport-agnostic: anything that can carry an
+//! enveloped request to a device and bring an enveloped response back
+//! implements [`Transport`]. The in-process [`Loopback`] implementation
+//! wires frames straight into simulated [`Device`]s — the reference
+//! vehicle for tests, scenarios and benchmarks. A real deployment would
+//! implement the same trait over sockets (see `ROADMAP.md`).
+
+use crate::DeviceId;
+use apex_pox::wire::Envelope;
+use asap::Device;
+use std::collections::HashMap;
+
+/// One challenge/response exchange with a remote prover.
+pub trait Transport {
+    /// Delivers an enveloped request frame to `device` and returns its
+    /// enveloped response frame, or `None` when the device is
+    /// unreachable or the response was lost — transports report loss by
+    /// omission, never by forging frames.
+    fn exchange(&mut self, device: DeviceId, frame: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// An in-memory transport backed by real simulated devices.
+///
+/// Each frame is unwrapped, dispatched to the owned [`Device`]'s
+/// [`attest_bytes`](Device::attest_bytes), and the response re-enveloped
+/// under the device's id — exactly the work a network stack plus the
+/// prover's UART shim would do.
+#[derive(Default)]
+pub struct Loopback {
+    devices: HashMap<DeviceId, Device>,
+}
+
+impl Loopback {
+    /// An empty loopback fabric.
+    pub fn new() -> Loopback {
+        Loopback::default()
+    }
+
+    /// Attaches a device under `id`, replacing any previous occupant.
+    pub fn attach(&mut self, id: DeviceId, device: Device) {
+        self.devices.insert(id, device);
+    }
+
+    /// The attached device, for scenario setup (running it to its done
+    /// loop, pressing buttons, tampering with memory).
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut Device> {
+        self.devices.get_mut(&id)
+    }
+
+    /// Number of attached devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no devices are attached.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+impl Transport for Loopback {
+    fn exchange(&mut self, device: DeviceId, frame: &[u8]) -> Option<Vec<u8>> {
+        let envelope = Envelope::from_bytes(frame).ok()?;
+        // A prover ignores frames addressed to somebody else.
+        if envelope.device_id != device.0 {
+            return None;
+        }
+        let prover = self.devices.get_mut(&device)?;
+        let response = prover.attest_bytes(&envelope.payload).ok()?;
+        Some(Envelope::wrap(device.0, response).to_bytes())
+    }
+}

@@ -125,39 +125,71 @@ impl VerifierSpec {
     }
 }
 
+/// The immutable half of a verifier: the shared device key and the
+/// image-derived spec. Kept behind an `Arc` so cloning a verifier (as
+/// fleet registries do to run MAC checks outside their locks) is a
+/// refcount bump, not a copy of the expected `ER` bytes.
+#[derive(Debug)]
+struct VerifierCore {
+    key: Vec<u8>,
+    spec: VerifierSpec,
+}
+
 /// The verifier: holds the shared device key, a [`VerifierSpec`], and
 /// the monotone challenge counter. Issue sessions with
 /// [`AsapVerifier::begin`].
 #[derive(Debug, Clone)]
 pub struct AsapVerifier {
-    key: Vec<u8>,
+    core: std::sync::Arc<VerifierCore>,
     counter: u64,
-    spec: VerifierSpec,
 }
 
 impl AsapVerifier {
     /// Creates a verifier for a deployment described by `spec`.
     pub fn new(key: &[u8], spec: VerifierSpec) -> AsapVerifier {
         AsapVerifier {
-            key: key.to_vec(),
+            core: std::sync::Arc::new(VerifierCore {
+                key: key.to_vec(),
+                spec,
+            }),
             counter: 0,
-            spec,
         }
     }
 
     /// The spec in force.
     pub fn spec(&self) -> &VerifierSpec {
-        &self.spec
+        &self.core.spec
+    }
+
+    /// Number of sessions this verifier has issued so far — the current
+    /// value of its challenge counter.
+    pub fn sessions_issued(&self) -> u64 {
+        self.counter
     }
 
     /// Opens a fresh PoX session: bumps the challenge counter and binds
     /// the spec's `ER`/`OR` geometry into the request.
+    ///
+    /// The challenge counter is **per-verifier state**, not global: two
+    /// `AsapVerifier`s constructed alike will issue the same challenge
+    /// sequence, so a deployment must hold exactly one verifier per
+    /// device key (as [`asap_fleet`'s registry] does). Within one
+    /// verifier the counter is monotone, which means:
+    ///
+    /// * any number of sessions may be in flight concurrently — each
+    ///   `begin` call gets a distinct challenge, and evidence can only
+    ///   conclude the session whose challenge it was computed under;
+    /// * evidence bound to a superseded (stale) challenge fails the
+    ///   fresh session's MAC check and is rejected with
+    ///   [`AsapError::BadMac`](crate::AsapError::BadMac).
+    ///
+    /// [`asap_fleet`'s registry]: https://docs.rs/asap-fleet
     pub fn begin(&mut self) -> PoxSession<Issued> {
         self.counter += 1;
         PoxSession::issue(PoxRequest {
             chal: Challenge::from_counter(self.counter),
-            er: self.spec.er,
-            or: self.spec.or,
+            er: self.core.spec.er,
+            or: self.core.spec.or,
         })
     }
 
@@ -193,34 +225,26 @@ impl AsapVerifier {
     /// `EXEC ‖ ER(expected) ‖ OR(claimed) (‖ IVT(reported))` under the
     /// session's challenge.
     pub(crate) fn check(&self, req: &PoxRequest, resp: &PoxResponse) -> Result<(), AsapError> {
+        let spec = &self.core.spec;
         if !resp.exec {
             return Err(AsapError::NotExecuted);
         }
-        let ivt = match (self.spec.mode, resp.ivt.as_ref()) {
+        let ivt = match (spec.mode, resp.ivt.as_ref()) {
             (PoxMode::Asap, Some(bytes)) => {
                 for (vector, target) in Self::parse_ivt(bytes) {
-                    if req.er.contains(target)
-                        && self.spec.trusted_isrs.get(&vector) != Some(&target)
-                    {
+                    if req.er.contains(target) && spec.trusted_isrs.get(&vector) != Some(&target) {
                         return Err(AsapError::UnexpectedIsrEntry { vector, target });
                     }
                 }
-                Some((self.spec.ivt_region, bytes.as_slice()))
+                Some((spec.ivt_region, bytes.as_slice()))
             }
             (PoxMode::Asap, None) => return Err(AsapError::MissingIvt),
             (PoxMode::Apex, Some(_)) => return Err(AsapError::UnexpectedIvt),
             (PoxMode::Apex, None) => None,
         };
 
-        let items = pox_items(
-            true,
-            req.er,
-            &self.spec.expected_er,
-            req.or,
-            &resp.output,
-            ivt,
-        );
-        let want = attest(&self.key, req.chal.as_bytes(), &items);
+        let items = pox_items(true, req.er, &spec.expected_er, req.or, &resp.output, ivt);
+        let want = attest(&self.core.key, req.chal.as_bytes(), &items);
         if !ct_eq(&want, &resp.mac) {
             return Err(AsapError::BadMac);
         }
@@ -260,10 +284,10 @@ mod tests {
         let items = pox_items(
             true,
             req.er,
-            &vrf.spec.expected_er,
+            &vrf.spec().expected_er,
             req.or,
             out,
-            ivt.as_ref().map(|b| (vrf.spec.ivt_region, b.as_slice())),
+            ivt.as_ref().map(|b| (vrf.spec().ivt_region, b.as_slice())),
         );
         PoxResponse {
             exec: true,
@@ -359,6 +383,31 @@ mod tests {
         resp.exec = false;
         let outcome = session.evidence(resp).conclude(&vrf);
         assert_eq!(outcome.err(), Some(&AsapError::NotExecuted));
+    }
+
+    #[test]
+    fn concurrent_sessions_get_distinct_challenges() {
+        // The counter is per-verifier: sessions opened before earlier
+        // ones conclude still receive fresh, pairwise-distinct
+        // challenges, and each session's evidence only concludes the
+        // session it was computed for.
+        let mut vrf = AsapVerifier::new(KEY, spec(PoxMode::Asap, &[]));
+        assert_eq!(vrf.sessions_issued(), 0);
+        let first = vrf.begin();
+        let second = vrf.begin();
+        let third = vrf.begin();
+        assert_eq!(vrf.sessions_issued(), 3);
+        assert_ne!(first.request().chal, second.request().chal);
+        assert_ne!(second.request().chal, third.request().chal);
+        assert_ne!(first.request().chal, third.request().chal);
+
+        // Evidence for session two concludes session two even with one
+        // and three still open…
+        let resp2 = honest(&vrf, second.request(), Some(vec![0u8; 32]), b"two");
+        assert!(second.evidence(resp2.clone()).conclude(&vrf).is_verified());
+        // …and cannot conclude session three.
+        let outcome = third.evidence(resp2).conclude(&vrf);
+        assert_eq!(outcome.err(), Some(&AsapError::BadMac));
     }
 
     #[test]

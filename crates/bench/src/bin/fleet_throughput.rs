@@ -1,0 +1,94 @@
+//! Fleet throughput: sessions/sec vs device count, in-memory.
+//!
+//! Builds an all-honest fleet of N simulated devices (each one a real
+//! OpenMSP430 run to completion), then times a full batched PoX round —
+//! challenge issuance, loopback delivery, SW-Att attestation, evidence
+//! conclusion — and records the results into `BENCH_fleet.json`.
+//!
+//! Device construction and execution are *not* timed: the measured
+//! quantity is verifier-side round throughput, which is what a
+//! production fleet service would scale on.
+//!
+//! Environment knobs:
+//!
+//! * `FLEET_SMOKE=1` — one small round only, for CI bit-rot checks;
+//! * `FLEET_DEVICES=a,b,c` — explicit device-count series.
+
+use asap_bench::fleet::{ScenarioHarness, ScenarioMix};
+use std::time::Instant;
+
+struct Row {
+    devices: usize,
+    build_secs: f64,
+    round_secs: f64,
+    sessions_per_sec: f64,
+}
+
+fn measure(devices: usize, seed: u64) -> Row {
+    let t0 = Instant::now();
+    let mut harness = ScenarioHarness::build(seed, &ScenarioMix::honest(devices));
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let report = harness.run_round();
+    let round_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        report.verified(),
+        devices,
+        "an all-honest round must verify every device"
+    );
+    assert_eq!(
+        harness.fleet().in_flight(),
+        0,
+        "rounds must not leak sessions"
+    );
+    Row {
+        devices,
+        build_secs,
+        round_secs,
+        sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
+fn main() {
+    let counts: Vec<usize> = if let Ok(list) = std::env::var("FLEET_DEVICES") {
+        list.split(',')
+            .map(|s| s.trim().parse().expect("FLEET_DEVICES: usize list"))
+            .collect()
+    } else if std::env::var("FLEET_SMOKE").is_ok() {
+        vec![25]
+    } else {
+        vec![100, 250, 500]
+    };
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>16}",
+        "devices", "build (s)", "round (s)", "sessions/sec"
+    );
+    let rows: Vec<Row> = counts.iter().map(|&n| measure(n, 0xA5A5)).collect();
+    for r in &rows {
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>16.1}",
+            r.devices, r.build_secs, r.round_secs, r.sessions_per_sec
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fleet_throughput\",\n");
+    json.push_str("  \"transport\": \"loopback\",\n  \"rounds\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"devices\": {}, \"build_secs\": {:.6}, \"round_secs\": {:.6}, \
+             \"sessions_per_sec\": {:.1}, \"verified\": {}}}{}\n",
+            r.devices,
+            r.build_secs,
+            r.round_secs,
+            r.sessions_per_sec,
+            r.devices,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json");
+}

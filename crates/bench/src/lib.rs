@@ -9,6 +9,12 @@
 //! | Fig. 6 (a)(b) hardware overhead | `fig6_overhead` |
 //! | §5 verification cost (21 LTL properties) | `verification_cost` |
 //! | §5 runtime overhead (zero cycles) | `runtime_overhead` |
+//!
+//! Beyond the paper, the [`fleet`] module hosts the deterministic
+//! multi-device scenario harness, and `fleet_throughput` records
+//! sessions/sec vs device count into `BENCH_fleet.json`.
+
+pub mod fleet;
 
 use asap::device::{Device, PoxMode};
 use asap::{programs, AsapError};

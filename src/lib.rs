@@ -16,6 +16,9 @@
 //! * [`asap`] — the paper's contribution: interrupt-tolerant PoX,
 //!   exposed through `Device::builder`, `VerifierSpec::from_image` and
 //!   the `PoxSession` state machine;
+//! * [`asap_fleet`] — fleet-scale verification: the `DeviceId`-keyed
+//!   `FleetVerifier` with its sharded session registry, batched rounds
+//!   and the `Transport`/`Loopback` delivery layer;
 //! * [`rtl_synth`] — LUT/FF cost model (Fig. 6);
 //! * [`sim_wave`] — waveforms (Fig. 5).
 //!
@@ -23,6 +26,7 @@
 
 pub use apex_pox;
 pub use asap;
+pub use asap_fleet;
 pub use ltl_mc;
 pub use msp430_tools;
 pub use openmsp430;

@@ -118,6 +118,87 @@ fn pump_trace_conforms() {
 }
 
 // ---------------------------------------------------------------------
+// Wire-format golden vectors
+// ---------------------------------------------------------------------
+
+/// Checked-in canonical encodings of the fleet envelope frame. These
+/// pin the byte layout: any codec change that silently alters the wire
+/// format fails here before it can strand deployed provers.
+mod envelope_golden {
+    use apex_pox::protocol::{PoxRequest, PoxResponse};
+    use apex_pox::wire::Envelope;
+    use openmsp430::mem::MemRegion;
+    use vrased::protocol::Challenge;
+
+    /// `Envelope(device 0x0001000200030004, PoxRequest{chal(7), ER, OR})`.
+    const REQUEST_HEX: &str = "505850310304000300020001001d000000505850310176108f84396dc2d72ce275fdb0e0ef3700e0ffe100033f03";
+
+    /// Same envelope around an ASAP response (IVT report present).
+    const ASAP_RESPONSE_HEX: &str = "505850310304000300020001005500000050585031020106000000646f73653d320120000000000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1fabababababababababababababababababababababababababababababababab";
+
+    /// Same envelope around an APEX response (no IVT report).
+    const APEX_RESPONSE_HEX: &str = "505850310304000300020001003100000050585031020106000000646f73653d3200abababababababababababababababababababababababababababababababab";
+
+    const DEVICE_ID: u64 = 0x0001_0002_0003_0004;
+
+    fn request() -> PoxRequest {
+        PoxRequest {
+            chal: Challenge::from_counter(7),
+            er: MemRegion::new(0xE000, 0xE1FF),
+            or: MemRegion::new(0x0300, 0x033F),
+        }
+    }
+
+    fn response(ivt: Option<Vec<u8>>) -> PoxResponse {
+        PoxResponse {
+            exec: true,
+            output: b"dose=2".to_vec(),
+            ivt,
+            mac: [0xAB; 32],
+        }
+    }
+
+    fn check(fixture_hex: &str, actual: &Envelope) {
+        let fixture: String = fixture_hex.split_whitespace().collect();
+        assert_eq!(
+            pox_crypto::hex::encode(&actual.to_bytes()),
+            fixture,
+            "wire format drifted from the checked-in vector"
+        );
+        let decoded = Envelope::from_bytes(&pox_crypto::hex::decode(&fixture).unwrap()).unwrap();
+        assert_eq!(&decoded, actual, "fixture no longer decodes to the value");
+    }
+
+    #[test]
+    fn enveloped_request_matches_golden_vector() {
+        let env = Envelope::wrap(DEVICE_ID, request().to_bytes());
+        check(REQUEST_HEX, &env);
+        assert_eq!(
+            PoxRequest::from_bytes(&env.payload).unwrap(),
+            request(),
+            "payload is the canonical bare-request encoding"
+        );
+    }
+
+    #[test]
+    fn enveloped_asap_response_matches_golden_vector() {
+        let ivt: Vec<u8> = (0u8..32).collect();
+        check(
+            ASAP_RESPONSE_HEX,
+            &Envelope::wrap(DEVICE_ID, response(Some(ivt)).to_bytes()),
+        );
+    }
+
+    #[test]
+    fn enveloped_apex_response_matches_golden_vector() {
+        check(
+            APEX_RESPONSE_HEX,
+            &Envelope::wrap(DEVICE_ID, response(None).to_bytes()),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Netlist ⇔ kernel equivalence
 // ---------------------------------------------------------------------
 

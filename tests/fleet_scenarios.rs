@@ -1,0 +1,124 @@
+//! Fleet-scale scenario suite: 200 simulated devices per run, mixed
+//! honest/adversarial behaviours, *exact* deterministic verdict counts.
+//!
+//! The point of asserting exact counts (not just "some rejections") is
+//! that detection must work at fleet scale: every attack class is
+//! caught for every device it was scripted on, every honest device
+//! verifies, and no verdict bleeds across devices. Two fixed seeds run
+//! the same assertions over two different fleet layouts (mode
+//! assignment, scenario interleaving, per-device keys all derive from
+//! the seed).
+
+use apex_pox::wire::WireError;
+use asap::device::PoxMode;
+use asap::AsapError;
+use asap_bench::fleet::{Scenario, ScenarioHarness, ScenarioMix};
+use asap_fleet::FleetError;
+
+/// 200 devices: 120 honest, 30 replaying, 20 corrupted in transit,
+/// 20 mis-binding (10 swap pairs), 10 silent.
+const MIX: ScenarioMix = ScenarioMix {
+    honest: 120,
+    replay: 30,
+    bit_flip: 20,
+    mis_bind: 20,
+    dropped: 10,
+};
+
+fn assert_exact_verdicts(seed: u64) {
+    let mut harness = ScenarioHarness::build(seed, &MIX);
+    assert_eq!(harness.device_count(), 200);
+    let report = harness.run_round();
+
+    // Every device got a verdict, and none was misjudged.
+    assert_eq!(report.entries.len(), 200);
+    assert!(
+        report.misjudged().is_empty(),
+        "seed {seed}: misjudged devices: {:#?}",
+        report.misjudged()
+    );
+
+    // Exact per-scenario counts, by the precise error variant.
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 120);
+    assert_eq!(
+        report.count(Scenario::ReplayedEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        30,
+        "replayed evidence is bound to the superseded challenge"
+    );
+    assert_eq!(
+        report.count(Scenario::BitFlippedFrame, |r| {
+            r == &Err(FleetError::Rejected(AsapError::Wire(WireError::BadMagic)))
+        }),
+        20,
+        "a corrupted payload is a framing defect, not a MAC surprise"
+    );
+    assert_eq!(
+        report.count(Scenario::WrongDeviceEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        20,
+        "another device's evidence fails this device's key and challenge"
+    );
+    assert_eq!(
+        report.count(Scenario::DroppedResponse, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        10
+    );
+
+    // Totals partition: only the honest verify.
+    assert_eq!(report.verified(), 120);
+
+    // The fleet genuinely mixes architectures, and honest devices of
+    // *both* architectures verified.
+    for mode in [PoxMode::Apex, PoxMode::Asap] {
+        assert!(
+            report
+                .entries
+                .iter()
+                .any(|e| e.mode == mode && e.scenario == Scenario::Honest && e.result.is_ok()),
+            "seed {seed}: no verified honest {mode:?} device in the mix"
+        );
+    }
+
+    // And the round left nothing behind.
+    assert_eq!(harness.fleet().in_flight(), 0, "sessions leaked");
+}
+
+#[test]
+fn two_hundred_device_round_seed_a() {
+    assert_exact_verdicts(0xA5A5_0001);
+}
+
+#[test]
+fn two_hundred_device_round_seed_b() {
+    assert_exact_verdicts(0x5A5A_0002);
+}
+
+#[test]
+fn consecutive_rounds_stay_exact() {
+    // The same fleet, challenged twice: counters advance, stale state
+    // from round one must not perturb round two's verdicts.
+    let mut harness = ScenarioHarness::build(
+        7,
+        &ScenarioMix {
+            honest: 20,
+            replay: 4,
+            bit_flip: 4,
+            mis_bind: 4,
+            dropped: 4,
+        },
+    );
+    for round in 0..2 {
+        let report = harness.run_round();
+        assert!(
+            report.misjudged().is_empty(),
+            "round {round}: {:#?}",
+            report.misjudged()
+        );
+        assert_eq!(report.verified(), 20, "round {round}");
+        assert_eq!(harness.fleet().in_flight(), 0, "round {round}");
+    }
+}
