@@ -50,6 +50,15 @@ pub const MAX_FIELD_LEN: u32 = 0x1_0000;
 /// the fixed framing overhead.
 pub const MAX_PAYLOAD_LEN: u32 = 2 * MAX_FIELD_LEN + 128;
 
+/// Fixed size of the [`Envelope`] framing around its payload:
+/// magic (4) + type (1) + device id (8) + length prefix (4).
+pub const ENVELOPE_OVERHEAD: u32 = 17;
+
+/// Upper bound on one stream frame: a maximal envelope. A length
+/// prefix claiming more than this is a protocol violation, not a
+/// request for a 4 GiB allocation.
+pub const MAX_FRAME_LEN: u32 = MAX_PAYLOAD_LEN + ENVELOPE_OVERHEAD;
+
 /// Why a buffer failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -354,6 +363,100 @@ impl Envelope {
     }
 }
 
+/// Wraps one envelope's bytes for transmission over a byte *stream*.
+///
+/// [`Envelope`] frames are self-delimiting to a trusted decoder, but a
+/// TCP/UDS stream delivers arbitrary byte chunks: the receiver must
+/// know where one frame ends before it can hand the bytes to
+/// [`Envelope::from_bytes`] (which rejects trailing bytes). Stream
+/// framing is therefore a plain `u32` little-endian length prefix
+/// followed by the envelope's canonical bytes:
+///
+/// `len (u32 LE) ‖ envelope`
+///
+/// The prefix is bounded by [`MAX_FRAME_LEN`]; see [`StreamDeframer`]
+/// for the receive side. Sending an over-bound frame would poison the
+/// peer's deframer permanently, so the bound is asserted here, where
+/// the bug originates — every frame [`Envelope::to_bytes`] can legally
+/// produce fits.
+pub fn frame_stream(envelope: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        envelope.len() <= MAX_FRAME_LEN as usize,
+        "frame of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN}): the peer would reject it \
+         as an unrecoverable protocol violation",
+        envelope.len()
+    );
+    let mut out = Vec::with_capacity(4 + envelope.len());
+    out.extend_from_slice(&(envelope.len() as u32).to_le_bytes());
+    out.extend_from_slice(envelope);
+    out
+}
+
+/// Incremental decoder for [`frame_stream`]-framed byte streams.
+///
+/// Feed whatever chunks the socket yields with [`extend`]; pull
+/// complete envelope frames with [`next_frame`]. The deframer is
+/// sans-IO: it never reads a socket, so the same type serves a blocking
+/// prover loop and a non-blocking verifier transport.
+///
+/// A length prefix over [`MAX_FRAME_LEN`] is unrecoverable — frame
+/// boundaries are lost for good — so [`next_frame`] keeps returning
+/// [`WireError::Oversize`] and the caller must drop the connection.
+///
+/// [`extend`]: StreamDeframer::extend
+/// [`next_frame`]: StreamDeframer::next_frame
+#[derive(Debug, Default)]
+pub struct StreamDeframer {
+    buf: Vec<u8>,
+}
+
+impl StreamDeframer {
+    /// An empty deframer.
+    pub fn new() -> StreamDeframer {
+        StreamDeframer::default()
+    }
+
+    /// Absorbs one received chunk, of any size (including empty).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// The next complete envelope frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes" — a stream that ends here has
+    /// truncated a frame, which the *caller* observes as EOF with
+    /// [`pending`](StreamDeframer::pending)` > 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] when the length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; the stream is unrecoverable from here.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversize {
+                field: "stream frame",
+                len,
+            });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet forming a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +621,52 @@ mod tests {
                 len: u32::MAX
             })
         );
+    }
+
+    #[test]
+    fn stream_framing_roundtrips_byte_by_byte() {
+        // Deliver two frames in one-byte chunks: each frame surfaces
+        // exactly when its last byte arrives, in order.
+        let envelopes = [
+            Envelope::wrap(1, request().to_bytes()).to_bytes(),
+            Envelope::wrap(2, response(None).to_bytes()).to_bytes(),
+        ];
+        let stream: Vec<u8> = envelopes.iter().flat_map(|e| frame_stream(e)).collect();
+        let mut deframer = StreamDeframer::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            deframer.extend(&[b]);
+            while let Some(frame) = deframer.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, envelopes);
+        assert_eq!(deframer.pending(), 0);
+    }
+
+    #[test]
+    fn truncated_stream_frame_never_surfaces() {
+        let framed = frame_stream(&Envelope::wrap(7, request().to_bytes()).to_bytes());
+        for n in 0..framed.len() {
+            let mut deframer = StreamDeframer::new();
+            deframer.extend(&framed[..n]);
+            assert_eq!(deframer.next_frame(), Ok(None), "prefix {n}");
+            assert_eq!(deframer.pending(), n, "prefix {n} stays buffered");
+        }
+    }
+
+    #[test]
+    fn oversized_stream_frame_poisons_the_deframer() {
+        let mut deframer = StreamDeframer::new();
+        deframer.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        deframer.extend(&[0; 64]);
+        let oversize = Err(WireError::Oversize {
+            field: "stream frame",
+            len: MAX_FRAME_LEN + 1,
+        });
+        assert_eq!(deframer.next_frame(), oversize);
+        // The error is sticky: frame boundaries are unrecoverable.
+        assert_eq!(deframer.next_frame(), oversize);
     }
 
     #[test]

@@ -10,18 +10,28 @@
 //! * [`FleetVerifier`] — one [`asap::AsapVerifier`] per device behind a
 //!   fixed array of independently locked shards, so sessions on
 //!   different devices never contend ([`registry`]);
-//! * batched rounds — [`FleetVerifier::begin_round`] issues a challenge
-//!   per device, [`FleetVerifier::conclude_round`] judges every
-//!   response with per-device isolation: one garbled or forged frame
-//!   rejects that device alone, never the round ([`round`]);
-//! * [`Transport`] — the delivery abstraction, with the in-memory
-//!   [`Loopback`] implementation wired to real simulated devices
-//!   ([`transport`]).
+//! * [`RoundEngine`] — the whole round protocol as a **sans-IO state
+//!   machine** ([`engine`]): feed it events (`frame_received`, `tick`
+//!   on injected [`LogicalTime`]), drain actions (`poll_transmit`,
+//!   `poll_outcome`). No I/O, no threads, no clocks — identical event
+//!   schedules give identical [`RoundReport`]s, and a slow prover never
+//!   stalls the round: its deadline just expires;
+//! * batched rounds — [`FleetVerifier::begin_round`] /
+//!   [`FleetVerifier::conclude_round`] / [`FleetVerifier::run_round`]
+//!   are thin lock-step drivers over the engine, judging every response
+//!   with per-device isolation: one garbled or forged frame rejects
+//!   that device alone, never the round ([`round`]);
+//! * [`Transport`] — the non-blocking byte pump (`send` / `try_recv`)
+//!   any delivery fabric implements: the in-memory [`Loopback`] wired
+//!   to real simulated devices ([`transport`]), and the framed TCP/UDS
+//!   [`StreamTransport`] for provers in other processes or hosts
+//!   ([`stream`]).
 //!
 //! # Fleet quickstart
 //!
 //! One image, two provers, one batched round over the loopback
-//! transport:
+//! transport (`run_round` drives the engine lock-step; see
+//! `examples/fleet_socket.rs` for the same round over a real socket):
 //!
 //! ```
 //! use asap::{programs, Device, PoxMode, VerifierSpec};
@@ -50,15 +60,66 @@
 //! assert_eq!(fleet.in_flight(), 0, "rounds never leak sessions");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Driving the engine by hand
+//!
+//! The engine makes asynchrony explicit: here device 2's response is
+//! delivered *out of order* and device 1 never answers, resolved purely
+//! by a tick — no sleeps anywhere:
+//!
+//! ```
+//! use asap::{programs, Device, PoxMode, VerifierSpec};
+//! use asap_fleet::{DeviceId, FleetVerifier, LogicalTime, Loopback, RoundConfig, RoundEngine};
+//!
+//! # let image = programs::fig4_authorized()?;
+//! # let fleet = FleetVerifier::new();
+//! # let mut fabric = Loopback::new();
+//! # for raw in 1u64..=2 {
+//! #     let id = DeviceId(raw);
+//! #     let key = raw.to_le_bytes();
+//! #     let mut device = Device::builder(&image).key(&key).build()?;
+//! #     device.run_until_pc(programs::done_pc(), 10_000);
+//! #     fabric.attach(id, device);
+//! #     fleet.register(id, &key, VerifierSpec::from_image(&image)?.mode(PoxMode::Asap))?;
+//! # }
+//! let ids = [DeviceId(1), DeviceId(2)];
+//! let mut engine = RoundEngine::begin(&fleet, &ids, RoundConfig::new(LogicalTime(0), 10))?;
+//!
+//! // Pump requests out; keep device 2's response, "lose" device 1's.
+//! let mut responses = Vec::new();
+//! while let Some((id, frame)) = engine.poll_transmit() {
+//!     if id == DeviceId(2) {
+//!         responses.extend(fabric.exchange(id, &frame));
+//!     }
+//! }
+//! engine.tick(LogicalTime(7));                  // time passes…
+//! for frame in &responses {
+//!     engine.frame_received(frame);             // …device 2 answers late
+//! }
+//! engine.tick(LogicalTime(10));                 // device 1's deadline
+//!
+//! let report = engine.into_report();
+//! assert!(report.of(DeviceId(2)).unwrap().is_ok());
+//! assert_eq!(
+//!     report.of(DeviceId(1)),
+//!     Some(&Err(asap_fleet::FleetError::NoResponse(DeviceId(1))))
+//! );
+//! assert_eq!(fleet.in_flight(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
+pub mod engine;
 pub mod error;
 pub mod registry;
 pub mod round;
+pub mod stream;
 pub mod transport;
 
+pub use engine::{LogicalTime, RoundConfig, RoundEngine};
 pub use error::FleetError;
 pub use registry::{FleetVerifier, SHARD_COUNT};
 pub use round::{RoundOutcome, RoundReport};
+pub use stream::{drive_round, serve_frames, StreamTransport};
 pub use transport::{Loopback, Transport};
 
 use std::fmt;
@@ -210,6 +271,107 @@ mod tests {
         let (device, result) = fleet.conclude(&forged);
         assert_eq!(device, Some(b));
         assert_eq!(result, Err(FleetError::Rejected(AsapError::BadMac)));
+    }
+
+    #[test]
+    fn loopback_pumps_responses_in_send_order() {
+        let (fleet, mut fabric) = fleet_of(3);
+        let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+        let requests = fleet.begin_round(&ids).unwrap();
+        for (id, frame) in &requests {
+            fabric.send(*id, frame);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| fabric.try_recv())
+            .map(|f| apex_pox::wire::Envelope::from_bytes(&f).unwrap().device_id)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        // Drain the sessions cleanly.
+        fleet.conclude_round(&ids, &[]);
+    }
+
+    #[test]
+    fn engine_late_frame_within_deadline_verifies() {
+        let (fleet, mut fabric) = fleet_of(1);
+        let ids = [DeviceId(1)];
+        let mut engine =
+            RoundEngine::begin(&fleet, &ids, RoundConfig::new(LogicalTime(0), 5)).unwrap();
+        let (id, request) = engine.poll_transmit().unwrap();
+        let response = fabric.exchange(id, &request).unwrap();
+
+        engine.tick(LogicalTime(4));
+        assert_eq!(engine.awaiting(), 1, "deadline not reached yet");
+        engine.frame_received(&response);
+        assert!(engine.is_settled());
+        assert_eq!(engine.next_deadline(), None);
+        let outcome = engine.poll_outcome().unwrap();
+        assert_eq!(outcome.device, Some(id));
+        assert!(outcome.result.is_ok(), "late but in time still verifies");
+        assert_eq!(fleet.in_flight(), 0);
+    }
+
+    #[test]
+    fn engine_frame_after_deadline_does_not_reopen_the_verdict() {
+        let (fleet, mut fabric) = fleet_of(1);
+        let id = DeviceId(1);
+        let mut engine =
+            RoundEngine::begin(&fleet, &[id], RoundConfig::new(LogicalTime(0), 3)).unwrap();
+        let (_, request) = engine.poll_transmit().unwrap();
+        let response = fabric.exchange(id, &request).unwrap();
+
+        engine.tick(LogicalTime(3)); // deadline crossed: NoResponse
+        engine.frame_received(&response); // the response limps in
+        let report = engine.into_report();
+        // The round's verdict is NoResponse; the late frame settles as
+        // a separate NoSession entry and is never cross-verified.
+        assert_eq!(
+            report.outcome_for(id).unwrap().result,
+            Err(FleetError::NoResponse(id))
+        );
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(
+            report.outcomes[1].result,
+            Err(FleetError::NoSession(id)),
+            "late evidence answers an aborted session"
+        );
+        assert_eq!(fleet.in_flight(), 0);
+    }
+
+    #[test]
+    fn engine_deadlines_are_per_device() {
+        let (fleet, _fabric) = fleet_of(2);
+        let ids = [DeviceId(1), DeviceId(2)];
+        let mut engine =
+            RoundEngine::begin(&fleet, &ids, RoundConfig::new(LogicalTime(0), 4)).unwrap();
+        while engine.poll_transmit().is_some() {} // requests "on the wire"
+        engine.set_deadline(DeviceId(2), LogicalTime(9));
+        assert_eq!(engine.next_deadline(), Some(LogicalTime(4)));
+
+        engine.tick(LogicalTime(4)); // only device 1 expires
+        assert_eq!(engine.awaiting(), 1);
+        assert_eq!(engine.next_deadline(), Some(LogicalTime(9)));
+        assert_eq!(
+            engine.poll_outcome().unwrap().result,
+            Err(FleetError::NoResponse(DeviceId(1)))
+        );
+
+        engine.tick(LogicalTime(9));
+        assert!(engine.is_settled());
+        assert_eq!(fleet.in_flight(), 0, "expiry aborts both sessions");
+    }
+
+    #[test]
+    fn engine_time_never_runs_backwards() {
+        let (fleet, _fabric) = fleet_of(1);
+        let mut engine =
+            RoundEngine::begin(&fleet, &[DeviceId(1)], RoundConfig::new(LogicalTime(0), 5))
+                .unwrap();
+        while engine.poll_transmit().is_some() {}
+        engine.tick(LogicalTime(4));
+        engine.tick(LogicalTime(1)); // a confused driver rewinds
+        assert_eq!(engine.now(), LogicalTime(4));
+        assert_eq!(engine.awaiting(), 1, "rewind must not expire anyone");
+        engine.tick(LogicalTime(5));
+        assert!(engine.is_settled());
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! shards therefore never contend at all, and even same-shard devices
 //! only serialize the cheap map lookups, not the crypto.
 
+use crate::engine::{RoundConfig, RoundEngine};
 use crate::error::FleetError;
-use crate::round::{RoundOutcome, RoundReport};
+use crate::round::RoundReport;
 use crate::transport::Transport;
 use crate::DeviceId;
 use apex_pox::wire::Envelope;
@@ -99,6 +100,16 @@ impl FleetVerifier {
     /// True when `id` is enrolled.
     pub fn is_registered(&self, id: DeviceId) -> bool {
         self.shard(id).lock().unwrap().devices.contains_key(&id)
+    }
+
+    /// True when `id` has a session awaiting evidence right now.
+    pub fn session_pending(&self, id: DeviceId) -> bool {
+        self.shard(id)
+            .lock()
+            .unwrap()
+            .devices
+            .get(&id)
+            .is_some_and(|e| e.in_flight.is_some())
     }
 
     /// Number of sessions currently awaiting evidence, fleet-wide.
@@ -207,25 +218,17 @@ impl FleetVerifier {
     /// Per-device isolation: a frame that fails to decode, or evidence
     /// that fails its check, yields a rejected outcome for that device
     /// only; every other frame in the round is still judged.
+    ///
+    /// A thin lock-step driver over [`RoundEngine`]: every frame is an
+    /// event, and one tick at the lock-step deadline settles the silent
+    /// devices.
     pub fn conclude_round(&self, challenged: &[DeviceId], frames: &[Vec<u8>]) -> RoundReport {
-        let mut outcomes: Vec<RoundOutcome> = frames
-            .iter()
-            .map(|frame| {
-                let (device, result) = self.conclude(frame);
-                RoundOutcome { device, result }
-            })
-            .collect();
-
-        let mut seen = std::collections::HashSet::new();
-        for &id in challenged {
-            if seen.insert(id) && self.abort(id) {
-                outcomes.push(RoundOutcome {
-                    device: Some(id),
-                    result: Err(FleetError::NoResponse(id)),
-                });
-            }
+        let mut engine = RoundEngine::resume(self, challenged, RoundConfig::lockstep());
+        for frame in frames {
+            engine.frame_received(frame);
         }
-        RoundReport { outcomes }
+        engine.tick(engine.now());
+        engine.into_report()
     }
 
     /// Drops the in-flight session for `id`, if any. Returns whether a
@@ -239,10 +242,17 @@ impl FleetVerifier {
             .is_some()
     }
 
-    /// Drives one full round over a [`Transport`]: challenges every
-    /// device in `ids`, exchanges frames, and concludes. Devices whose
-    /// transport exchange yields nothing are reported as
-    /// [`FleetError::NoResponse`].
+    /// Drives one full lock-step round over a [`Transport`]:
+    /// challenges every device in `ids`, pumps every request frame out
+    /// and every immediately-available response frame back in, and
+    /// settles. Devices whose response is not available by then are
+    /// reported as [`FleetError::NoResponse`].
+    ///
+    /// This is the zero-latency driver over [`RoundEngine`] — right
+    /// for [`Loopback`](crate::Loopback), where responses appear the
+    /// moment a request is sent. A transport with real latency wants
+    /// [`drive_round`](crate::stream::drive_round) (a response budget
+    /// mapped onto engine ticks) or a hand-rolled engine loop.
     ///
     /// # Errors
     ///
@@ -253,11 +263,14 @@ impl FleetVerifier {
         ids: &[DeviceId],
         transport: &mut T,
     ) -> Result<RoundReport, FleetError> {
-        let requests = self.begin_round(ids)?;
-        let responses: Vec<Vec<u8>> = requests
-            .iter()
-            .filter_map(|(id, frame)| transport.exchange(*id, frame))
-            .collect();
-        Ok(self.conclude_round(ids, &responses))
+        let mut engine = RoundEngine::begin(self, ids, RoundConfig::lockstep())?;
+        while let Some((device, frame)) = engine.poll_transmit() {
+            transport.send(device, &frame);
+        }
+        while let Some(frame) = transport.try_recv() {
+            engine.frame_received(&frame);
+        }
+        engine.tick(engine.now());
+        Ok(engine.into_report())
     }
 }

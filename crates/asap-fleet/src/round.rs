@@ -51,12 +51,20 @@ impl RoundReport {
             .count()
     }
 
+    /// The full outcome recorded for `id`, if any — the lookup callers
+    /// used to hand-roll as a linear scan over [`outcomes`]. When a
+    /// device settled more than once (say, a late frame after its
+    /// deadline verdict), the *first* outcome — the round's verdict —
+    /// is returned.
+    ///
+    /// [`outcomes`]: RoundReport::outcomes
+    pub fn outcome_for(&self, id: DeviceId) -> Option<&RoundOutcome> {
+        self.outcomes.iter().find(|o| o.device == Some(id))
+    }
+
     /// The verdict recorded for `id`, if any.
     pub fn of(&self, id: DeviceId) -> Option<&Result<Attested, FleetError>> {
-        self.outcomes
-            .iter()
-            .find(|o| o.device == Some(id))
-            .map(|o| &o.result)
+        self.outcome_for(id).map(|o| &o.result)
     }
 }
 
@@ -106,5 +114,52 @@ mod tests {
         assert_eq!(report.verified() + report.rejected(), report.outcomes.len());
         assert!(report.of(DeviceId(1)).unwrap().is_ok());
         assert!(report.of(DeviceId(9)).is_none());
+    }
+
+    #[test]
+    fn outcome_for_finds_devices_not_frames() {
+        let report = RoundReport {
+            outcomes: vec![
+                verified(1),
+                RoundOutcome {
+                    device: None,
+                    result: Err(FleetError::Frame(WireError::BadMagic)),
+                },
+                rejected(2, AsapError::BadMac),
+            ],
+        };
+        assert_eq!(report.outcome_for(DeviceId(1)), Some(&verified(1)));
+        assert_eq!(
+            report.outcome_for(DeviceId(2)),
+            Some(&rejected(2, AsapError::BadMac))
+        );
+        assert_eq!(report.outcome_for(DeviceId(3)), None, "unlisted device");
+        // `of` is the result view of the same lookup.
+        assert_eq!(
+            report.of(DeviceId(2)),
+            Some(&report.outcome_for(DeviceId(2)).unwrap().result)
+        );
+    }
+
+    #[test]
+    fn outcome_for_returns_the_first_settlement() {
+        // A device can settle twice when a frame limps in after its
+        // deadline verdict; the round's verdict is the first entry.
+        let report = RoundReport {
+            outcomes: vec![
+                RoundOutcome {
+                    device: Some(DeviceId(5)),
+                    result: Err(FleetError::NoResponse(DeviceId(5))),
+                },
+                RoundOutcome {
+                    device: Some(DeviceId(5)),
+                    result: Err(FleetError::NoSession(DeviceId(5))),
+                },
+            ],
+        };
+        assert_eq!(
+            report.outcome_for(DeviceId(5)).unwrap().result,
+            Err(FleetError::NoResponse(DeviceId(5)))
+        );
     }
 }

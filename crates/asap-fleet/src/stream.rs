@@ -1,0 +1,310 @@
+//! The first real transport: length-prefixed [`Envelope`] frames over
+//! a byte stream (TCP or Unix-domain), std-only.
+//!
+//! [`StreamTransport`] multiplexes a whole fleet over **one** stream —
+//! the envelope's device id does the routing, which is exactly what it
+//! exists for. The transport is still a non-blocking pump: `send`
+//! writes one [`frame_stream`]-framed envelope, `try_recv` reads
+//! whatever bytes are available within the socket's read timeout and
+//! returns at most one complete frame. A timeout is *not* an error —
+//! it returns `None`, the driver [`tick`]s the engine, and a device
+//! that stays silent past its deadline settles as
+//! [`FleetError::NoResponse`](crate::FleetError::NoResponse). All
+//! framing state lives in the sans-IO
+//! [`StreamDeframer`](apex_pox::wire::StreamDeframer).
+//!
+//! [`drive_round`] is the wall-clock driver gluing a [`Transport`] to
+//! the [`RoundEngine`]: it maps elapsed milliseconds to
+//! [`LogicalTime`] ticks, so the engine itself stays free of clocks.
+//! [`serve_frames`] is the matching prover-side loop for examples,
+//! tests and benches that host simulated devices behind a socket.
+//!
+//! [`tick`]: RoundEngine::tick
+
+use crate::engine::{LogicalTime, RoundConfig, RoundEngine};
+use crate::error::FleetError;
+use crate::registry::FleetVerifier;
+use crate::round::RoundReport;
+use crate::transport::Transport;
+use crate::DeviceId;
+use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Default socket read timeout: how long one `try_recv` may wait
+/// before reporting "nothing yet" and letting the driver tick.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// A verifier-side transport over one framed byte stream.
+///
+/// Generic over the stream type so TCP ([`TcpStream`]) and Unix-domain
+/// ([`std::os::unix::net::UnixStream`]) sockets — or an in-memory pipe
+/// in tests — share one implementation. The stream should have a read
+/// timeout configured (the `connect*` constructors do this); without
+/// one, `try_recv` blocks until the peer writes or hangs up.
+pub struct StreamTransport<S> {
+    stream: S,
+    deframer: StreamDeframer,
+    /// Set once the stream or framing is beyond recovery (EOF, I/O
+    /// error, oversized frame): all further sends and receives are
+    /// no-ops, and outstanding devices settle as `NoResponse`.
+    dead: bool,
+}
+
+impl StreamTransport<TcpStream> {
+    /// Connects over TCP with [`DEFAULT_READ_TIMEOUT`].
+    ///
+    /// # Errors
+    ///
+    /// Any connect/configure error from the socket layer.
+    pub fn connect(
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<StreamTransport<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(StreamTransport::over(stream))
+    }
+}
+
+#[cfg(unix)]
+impl StreamTransport<std::os::unix::net::UnixStream> {
+    /// Connects over a Unix-domain socket with [`DEFAULT_READ_TIMEOUT`].
+    ///
+    /// # Errors
+    ///
+    /// Any connect/configure error from the socket layer.
+    pub fn connect_uds(
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<StreamTransport<std::os::unix::net::UnixStream>> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        Ok(StreamTransport::over(stream))
+    }
+
+    /// A connected socketpair: the verifier-side transport plus the raw
+    /// prover-side stream (hand it to [`serve_frames`] in a prover
+    /// thread). The verifier side gets [`DEFAULT_READ_TIMEOUT`].
+    ///
+    /// # Errors
+    ///
+    /// Any socketpair/configure error from the socket layer.
+    pub fn pair() -> std::io::Result<(
+        StreamTransport<std::os::unix::net::UnixStream>,
+        std::os::unix::net::UnixStream,
+    )> {
+        let (verifier, prover) = std::os::unix::net::UnixStream::pair()?;
+        verifier.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        verifier.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        Ok((StreamTransport::over(verifier), prover))
+    }
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Wraps an already-connected, already-configured stream.
+    pub fn over(stream: S) -> StreamTransport<S> {
+        StreamTransport {
+            stream,
+            deframer: StreamDeframer::new(),
+            dead: false,
+        }
+    }
+
+    /// True once the stream has failed (EOF, I/O error, or an
+    /// oversized/unrecoverable frame). A dead transport never yields
+    /// another frame, so outstanding devices settle by deadline.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// Consecutive stalled write attempts (write timed out *and* nothing
+/// was readable) before a send declares the stream dead. With the
+/// default timeouts this bounds a wedged peer to roughly two seconds,
+/// instead of deadlocking the round forever.
+const MAX_SEND_STALLS: u32 = 50;
+
+impl<S: Read + Write> Transport for StreamTransport<S> {
+    fn send(&mut self, _device: DeviceId, frame: &[u8]) {
+        // The envelope already carries the device id; the stream needs
+        // only the length prefix. Write errors kill the transport —
+        // loss is reported by omission, per the trait contract.
+        if self.dead {
+            return;
+        }
+        let framed = frame_stream(frame);
+        let mut written = 0;
+        let mut stalls = 0;
+        while written < framed.len() {
+            match self.stream.write(&framed[written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    written += n;
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Backpressure: with both sides single-threaded, a
+                    // full send buffer usually means the peer is itself
+                    // blocked writing responses we have not read. Drain
+                    // whatever is readable into the deframer (the frames
+                    // surface later via try_recv) so the peer can make
+                    // progress, then retry the write. Only *write*
+                    // progress resets the stall counter: a peer that
+                    // floods bytes while never draining our writes must
+                    // still run out of stalls, not hold send() forever.
+                    stalls += 1;
+                    if stalls >= MAX_SEND_STALLS {
+                        self.dead = true; // wedged or hostile peer, give up
+                        return;
+                    }
+                    let mut chunk = [0u8; 4096];
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            self.dead = true;
+                            return;
+                        }
+                        Ok(n) => self.deframer.extend(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e)
+                            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                        Err(_) => {
+                            self.dead = true;
+                            return;
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.stream.flush().is_err() {
+            self.dead = true;
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        loop {
+            match self.deframer.next_frame() {
+                Ok(Some(frame)) => return Some(frame),
+                Ok(None) => {}
+                Err(_) => {
+                    // Framing is unrecoverable: a length prefix over the
+                    // bound means the frame boundary is lost for good.
+                    self.dead = true;
+                    return None;
+                }
+            }
+            if self.dead {
+                return None;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true; // EOF: the peer hung up.
+                    return None;
+                }
+                Ok(n) => self.deframer.extend(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return None; // Read timeout: nothing yet — tick.
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Prover-side frame loop: reads [`frame_stream`]-framed envelopes off
+/// `stream`, hands each to `respond`, and writes back every frame the
+/// handler returns (`None` models a device that stays silent). Returns
+/// when the peer hangs up or the framing breaks.
+///
+/// This is the glue an out-of-process prover host needs: the examples,
+/// the socket integration test and the bench all run simulated
+/// [`Device`](asap::Device)s behind it in their own thread.
+pub fn serve_frames<S: Read + Write>(
+    mut stream: S,
+    mut respond: impl FnMut(DeviceId, &Envelope) -> Option<Vec<u8>>,
+) {
+    let mut deframer = StreamDeframer::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match deframer.next_frame() {
+            Ok(Some(frame)) => {
+                let Ok(envelope) = Envelope::from_bytes(&frame) else {
+                    continue; // A prover ignores garbled frames.
+                };
+                let id = DeviceId(envelope.device_id);
+                if let Some(response) = respond(id, &envelope) {
+                    if stream.write_all(&frame_stream(&response)).is_err() {
+                        return;
+                    }
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(_) => return, // Oversized frame: boundaries are lost.
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => deframer.extend(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drives one full round over any [`Transport`] with a real-time
+/// response budget: challenges every device, pumps the transport, and
+/// maps elapsed wall-clock milliseconds onto the engine's
+/// [`LogicalTime`] — so every read timeout becomes a `tick`, and a
+/// device that stays silent past `budget` settles as
+/// [`FleetError::NoResponse`](crate::FleetError::NoResponse). The
+/// wall clock stays *here*, in the driver; the engine only ever sees
+/// injected time.
+///
+/// # Errors
+///
+/// [`FleetError::UnknownDevice`] when an id is not enrolled (no
+/// challenge is issued in that case).
+pub fn drive_round<T: Transport + ?Sized>(
+    fleet: &FleetVerifier,
+    ids: &[DeviceId],
+    transport: &mut T,
+    budget: Duration,
+) -> Result<RoundReport, FleetError> {
+    let config = RoundConfig::new(LogicalTime(0), budget.as_millis() as u64);
+    let mut engine = RoundEngine::begin(fleet, ids, config)?;
+    // The budget clock starts before the send phase: sends can stall on
+    // backpressure, and that time must count against the round too.
+    let started = Instant::now();
+    while let Some((device, frame)) = engine.poll_transmit() {
+        transport.send(device, &frame);
+    }
+    while !engine.is_settled() {
+        match transport.try_recv() {
+            Some(frame) => engine.frame_received(&frame),
+            // No frame: yield briefly so a dead or instantly-returning
+            // transport does not busy-spin a core for the whole budget.
+            // (A live socket already paced us via its read timeout.)
+            None => std::thread::sleep(Duration::from_millis(1)),
+        }
+        // Tick unconditionally: a peer flooding frames must not be able
+        // to hold the round open past its budget.
+        engine.tick(LogicalTime(started.elapsed().as_millis() as u64));
+    }
+    Ok(engine.into_report())
+}

@@ -1,35 +1,55 @@
 //! How request frames reach provers and response frames come back.
 //!
-//! The fleet verifier is transport-agnostic: anything that can carry an
-//! enveloped request to a device and bring an enveloped response back
-//! implements [`Transport`]. The in-process [`Loopback`] implementation
-//! wires frames straight into simulated [`Device`]s — the reference
-//! vehicle for tests, scenarios and benchmarks. A real deployment would
-//! implement the same trait over sockets (see `ROADMAP.md`).
+//! A transport is a **non-blocking byte pump**: [`send`] puts one
+//! enveloped frame on the wire, [`try_recv`] returns a received frame
+//! if one is available *right now*. Nothing here blocks on a device —
+//! waiting, deadlines and verdicts all live in the sans-IO
+//! [`RoundEngine`](crate::RoundEngine), which any transport drives by
+//! pumping frames in and ticking logical time.
+//!
+//! Two implementations ship: the in-process [`Loopback`] wiring frames
+//! straight into simulated [`Device`]s (the reference vehicle for
+//! tests, scenarios and benchmarks), and the socket-backed
+//! [`StreamTransport`](crate::StreamTransport) for provers living in
+//! other processes or hosts.
+//!
+//! [`send`]: Transport::send
+//! [`try_recv`]: Transport::try_recv
 
 use crate::DeviceId;
 use apex_pox::wire::Envelope;
 use asap::Device;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-/// One challenge/response exchange with a remote prover.
+/// A non-blocking frame pump between the verifier and its provers.
 pub trait Transport {
-    /// Delivers an enveloped request frame to `device` and returns its
-    /// enveloped response frame, or `None` when the device is
-    /// unreachable or the response was lost — transports report loss by
-    /// omission, never by forging frames.
-    fn exchange(&mut self, device: DeviceId, frame: &[u8]) -> Option<Vec<u8>>;
+    /// Puts one enveloped request frame on the wire towards `device`.
+    /// Delivery is best-effort: a transport reports loss by the
+    /// response simply never appearing in [`try_recv`], never by
+    /// forging frames — the engine's deadline then charges the device
+    /// [`NoResponse`](crate::FleetError::NoResponse).
+    ///
+    /// [`try_recv`]: Transport::try_recv
+    fn send(&mut self, device: DeviceId, frame: &[u8]);
+
+    /// The next received enveloped response frame, if one is available
+    /// without blocking indefinitely. Implementations may wait a
+    /// bounded interval (a socket read timeout); `None` means "nothing
+    /// yet", and the driver should `tick` the engine.
+    fn try_recv(&mut self) -> Option<Vec<u8>>;
 }
 
 /// An in-memory transport backed by real simulated devices.
 ///
-/// Each frame is unwrapped, dispatched to the owned [`Device`]'s
-/// [`attest_bytes`](Device::attest_bytes), and the response re-enveloped
-/// under the device's id — exactly the work a network stack plus the
-/// prover's UART shim would do.
+/// [`send`](Transport::send) unwraps the frame, dispatches it to the
+/// owned [`Device`]'s [`attest_bytes`](Device::attest_bytes), and
+/// queues the re-enveloped response for [`try_recv`](Transport::try_recv)
+/// — exactly the work a network stack plus the prover's UART shim
+/// would do, minus the latency.
 #[derive(Default)]
 pub struct Loopback {
     devices: HashMap<DeviceId, Device>,
+    inbox: VecDeque<Vec<u8>>,
 }
 
 impl Loopback {
@@ -58,10 +78,12 @@ impl Loopback {
     pub fn is_empty(&self) -> bool {
         self.devices.is_empty()
     }
-}
 
-impl Transport for Loopback {
-    fn exchange(&mut self, device: DeviceId, frame: &[u8]) -> Option<Vec<u8>> {
+    /// One synchronous exchange, bypassing the receive queue: the
+    /// device's response to `frame`, if it answers. A convenience for
+    /// tests and scenario priming that need a specific device's frame
+    /// in hand; round driving goes through [`Transport`].
+    pub fn exchange(&mut self, device: DeviceId, frame: &[u8]) -> Option<Vec<u8>> {
         let envelope = Envelope::from_bytes(frame).ok()?;
         // A prover ignores frames addressed to somebody else.
         if envelope.device_id != device.0 {
@@ -70,5 +92,17 @@ impl Transport for Loopback {
         let prover = self.devices.get_mut(&device)?;
         let response = prover.attest_bytes(&envelope.payload).ok()?;
         Some(Envelope::wrap(device.0, response).to_bytes())
+    }
+}
+
+impl Transport for Loopback {
+    fn send(&mut self, device: DeviceId, frame: &[u8]) {
+        if let Some(response) = self.exchange(device, frame) {
+            self.inbox.push_back(response);
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        self.inbox.pop_front()
     }
 }

@@ -1,9 +1,17 @@
-//! Fleet throughput: sessions/sec vs device count, in-memory.
+//! Fleet throughput: sessions/sec vs device count, loopback and socket.
 //!
 //! Builds an all-honest fleet of N simulated devices (each one a real
 //! OpenMSP430 run to completion), then times a full batched PoX round —
-//! challenge issuance, loopback delivery, SW-Att attestation, evidence
+//! challenge issuance, delivery, SW-Att attestation, evidence
 //! conclusion — and records the results into `BENCH_fleet.json`.
+//!
+//! Two transports are measured through the same sans-IO `RoundEngine`:
+//!
+//! * **loopback** — frames wired straight into in-process devices
+//!   (the PR 2 baseline series);
+//! * **uds** — length-prefixed envelope frames over a Unix-domain
+//!   socketpair to a prover-host thread (`StreamTransport`), so the
+//!   delta against loopback is the framing + socket overhead.
 //!
 //! Device construction and execution are *not* timed: the measured
 //! quantity is verifier-side round throughput, which is what a
@@ -11,20 +19,27 @@
 //!
 //! Environment knobs:
 //!
-//! * `FLEET_SMOKE=1` — one small round only, for CI bit-rot checks;
-//! * `FLEET_DEVICES=a,b,c` — explicit device-count series.
+//! * `FLEET_SMOKE=1` — one small loopback round only, for CI bit-rot
+//!   checks;
+//! * `SOCKET_SMOKE=1` — one small loopback round *plus* one small
+//!   socket round, for the CI socket step;
+//! * `FLEET_DEVICES=a,b,c` — explicit device-count series (both
+//!   transports).
 
-use asap_bench::fleet::{ScenarioHarness, ScenarioMix};
-use std::time::Instant;
+use asap::{programs, PoxMode, VerifierSpec};
+use asap_bench::fleet::{device_key, host_simulated_provers, ScenarioHarness, ScenarioMix};
+use asap_fleet::{drive_round, DeviceId, FleetVerifier, StreamTransport};
+use std::time::{Duration, Instant};
 
 struct Row {
+    transport: &'static str,
     devices: usize,
     build_secs: f64,
     round_secs: f64,
     sessions_per_sec: f64,
 }
 
-fn measure(devices: usize, seed: u64) -> Row {
+fn measure_loopback(devices: usize, seed: u64) -> Row {
     let t0 = Instant::now();
     let mut harness = ScenarioHarness::build(seed, &ScenarioMix::honest(devices));
     let build_secs = t0.elapsed().as_secs_f64();
@@ -44,6 +59,66 @@ fn measure(devices: usize, seed: u64) -> Row {
         "rounds must not leak sessions"
     );
     Row {
+        transport: "loopback",
+        devices,
+        build_secs,
+        round_secs,
+        sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
+fn measure_socket(devices: usize, seed: u64) -> Row {
+    let ids: Vec<DeviceId> = (1..=devices as u64).map(DeviceId).collect();
+
+    let t0 = Instant::now();
+    // Verifier side: keys and specs only.
+    let image = programs::fig4_authorized().expect("image links");
+    let fleet = FleetVerifier::new();
+    for &id in &ids {
+        fleet
+            .register(
+                id,
+                &device_key(seed, id),
+                VerifierSpec::from_image(&image)
+                    .expect("spec derives")
+                    .mode(PoxMode::Asap),
+            )
+            .expect("ids are unique");
+    }
+    // Prover host: a thread owning every device behind the socketpair.
+    // It signals readiness once every device is built and run, so the
+    // timed round measures transport + verification, not construction.
+    let (mut transport, prover_stream) = StreamTransport::pair().expect("socketpair");
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        host_simulated_provers(
+            prover_stream,
+            &host_ids,
+            |id| device_key(seed, id),
+            &[],
+            move || ready_tx.send(()).expect("bench main thread waits"),
+        );
+    });
+    ready_rx.recv().expect("prover host builds its fleet");
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let report =
+        drive_round(&fleet, &ids, &mut transport, Duration::from_secs(30)).expect("round runs");
+    let round_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        report.verified(),
+        devices,
+        "an all-honest socket round must verify every device"
+    );
+    assert_eq!(fleet.in_flight(), 0, "rounds must not leak sessions");
+    drop(transport);
+    host.join().expect("prover host exits");
+
+    Row {
+        transport: "uds",
         devices,
         build_secs,
         round_secs,
@@ -52,34 +127,62 @@ fn measure(devices: usize, seed: u64) -> Row {
 }
 
 fn main() {
-    let counts: Vec<usize> = if let Ok(list) = std::env::var("FLEET_DEVICES") {
+    let explicit: Option<Vec<usize>> = std::env::var("FLEET_DEVICES").ok().map(|list| {
         list.split(',')
             .map(|s| s.trim().parse().expect("FLEET_DEVICES: usize list"))
             .collect()
-    } else if std::env::var("FLEET_SMOKE").is_ok() {
-        vec![25]
-    } else {
-        vec![100, 250, 500]
+    });
+    let socket_smoke = std::env::var("SOCKET_SMOKE").is_ok();
+    let fleet_smoke = std::env::var("FLEET_SMOKE").is_ok();
+
+    let (loopback_counts, socket_counts): (Vec<usize>, Vec<usize>) = match &explicit {
+        Some(counts) => (counts.clone(), counts.clone()),
+        None if socket_smoke => (vec![25], vec![25]),
+        None if fleet_smoke => (vec![25], vec![]),
+        None => (vec![100, 250, 500], vec![100, 250]),
     };
 
     println!(
-        "{:<10} {:>12} {:>12} {:>16}",
-        "devices", "build (s)", "round (s)", "sessions/sec"
+        "{:<10} {:<10} {:>12} {:>12} {:>16}",
+        "transport", "devices", "build (s)", "round (s)", "sessions/sec"
     );
-    let rows: Vec<Row> = counts.iter().map(|&n| measure(n, 0xA5A5)).collect();
+    let mut rows: Vec<Row> = loopback_counts
+        .iter()
+        .map(|&n| measure_loopback(n, 0xA5A5))
+        .collect();
+    rows.extend(socket_counts.iter().map(|&n| measure_socket(n, 0xA5A5)));
     for r in &rows {
         println!(
-            "{:<10} {:>12.3} {:>12.3} {:>16.1}",
-            r.devices, r.build_secs, r.round_secs, r.sessions_per_sec
+            "{:<10} {:<10} {:>12.3} {:>12.3} {:>16.1}",
+            r.transport, r.devices, r.build_secs, r.round_secs, r.sessions_per_sec
         );
     }
 
+    // Socket overhead vs loopback at the largest device count both
+    // transports measured.
+    let overhead = rows
+        .iter()
+        .filter(|r| r.transport == "uds")
+        .filter_map(|s| {
+            rows.iter()
+                .find(|l| l.transport == "loopback" && l.devices == s.devices)
+                .map(|l| (s.devices, l.sessions_per_sec / s.sessions_per_sec))
+        })
+        .max_by_key(|&(devices, _)| devices);
+    if let Some((devices, factor)) = overhead {
+        // factor = loopback sessions/sec ÷ socket sessions/sec; single
+        // runs are noisy, so <1.0 just means the loopback sample drew
+        // the short straw on a loaded host.
+        println!("\nsocket/loopback round-cost ratio at {devices} devices: {factor:.2}x");
+    }
+
     let mut json = String::from("{\n  \"bench\": \"fleet_throughput\",\n");
-    json.push_str("  \"transport\": \"loopback\",\n  \"rounds\": [\n");
+    json.push_str("  \"rounds\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"devices\": {}, \"build_secs\": {:.6}, \"round_secs\": {:.6}, \
-             \"sessions_per_sec\": {:.1}, \"verified\": {}}}{}\n",
+            "    {{\"transport\": \"{}\", \"devices\": {}, \"build_secs\": {:.6}, \
+             \"round_secs\": {:.6}, \"sessions_per_sec\": {:.1}, \"verified\": {}}}{}\n",
+            r.transport,
             r.devices,
             r.build_secs,
             r.round_secs,
@@ -88,7 +191,13 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if let Some((devices, factor)) = overhead {
+        json.push_str(&format!(
+            ",\n  \"socket_overhead\": {{\"devices\": {devices}, \"vs_loopback\": {factor:.3}}}"
+        ));
+    }
+    json.push_str("\n}\n");
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
     println!("\nwrote BENCH_fleet.json");
 }

@@ -2,24 +2,41 @@
 //!
 //! Drives N simulated provers through a mixed population of behaviours
 //! — honest devices, replayed evidence, bit-flipped frames, evidence
-//! smuggled under the wrong device id, dropped responses — against one
-//! [`FleetVerifier`], under a mixed APEX/ASAP fleet.
+//! smuggled under the wrong device id, late responses, dropped
+//! responses — against one [`FleetVerifier`], under a mixed APEX/ASAP
+//! fleet.
+//!
+//! A round is an **event schedule** over the sans-IO
+//! [`RoundEngine`](asap_fleet::RoundEngine): every response frame is
+//! assigned a delivery tick drawn from the seed, deliveries interleave
+//! out of challenge order, late devices answer on the last tick before
+//! the round deadline, and silent devices expire purely via `tick` —
+//! shapes the old blocking one-exchange-per-device API could not
+//! represent at all.
 //!
 //! Everything is derived from a caller-supplied seed through a local
-//! xorshift generator: device keys, mode assignment and the scenario
-//! shuffle. There is **no wall-clock input anywhere**, so a (seed, mix)
-//! pair replays the identical fleet, byte for byte, on every run — the
-//! property the exact-verdict-count assertions in
-//! `tests/fleet_scenarios.rs` rely on.
+//! xorshift generator: device keys, mode assignment, the scenario
+//! shuffle and the delivery schedule. There is **no wall-clock input
+//! anywhere**, so a (seed, mix) pair replays the identical fleet, byte
+//! for byte, on every run — the property the exact-verdict-count
+//! assertions in `tests/fleet_scenarios.rs` rely on.
 
 use asap::device::PoxMode;
 use asap::{programs, AsapError, Attested, Device, VerifierSpec};
-use asap_fleet::{DeviceId, FleetError, FleetVerifier, Loopback, Transport};
+use asap_fleet::{
+    DeviceId, FleetError, FleetVerifier, LogicalTime, Loopback, RoundConfig, RoundEngine,
+};
 use pox_crypto::sha256;
 
-/// Offset of the envelope payload inside an envelope frame:
-/// magic (4) + type (1) + device id (8) + length prefix (4).
-const ENVELOPE_PAYLOAD_AT: usize = 17;
+/// Offset of the envelope payload inside an envelope frame — the
+/// fixed framing the codec itself declares.
+const ENVELOPE_PAYLOAD_AT: usize = apex_pox::wire::ENVELOPE_OVERHEAD as usize;
+
+/// Logical ticks one harness round spans: devices that have not
+/// answered when the engine ticks to this instant are charged
+/// [`FleetError::NoResponse`]. Late devices answer on tick
+/// `ROUND_DEADLINE - 1`, the last one still in time.
+pub const ROUND_DEADLINE: u64 = 8;
 
 /// A deterministic xorshift64* generator — the harness's only source of
 /// "randomness".
@@ -71,6 +88,9 @@ pub enum Scenario {
     BitFlippedFrame,
     /// Delivers another device's evidence under its own id.
     WrongDeviceEvidence,
+    /// Answers honestly, but only on the last tick before the round
+    /// deadline — late, yet still in time, so it must verify.
+    LateResponse,
     /// Never answers the challenge.
     DroppedResponse,
 }
@@ -87,6 +107,8 @@ pub struct ScenarioMix {
     /// Devices delivering a partner's evidence (must be even: they
     /// swap pairwise).
     pub mis_bind: usize,
+    /// Devices answering honestly on the round's last in-time tick.
+    pub late: usize,
     /// Devices that never respond.
     pub dropped: usize,
 }
@@ -102,7 +124,7 @@ impl ScenarioMix {
 
     /// Total number of simulated devices.
     pub fn total(&self) -> usize {
-        self.honest + self.replay + self.bit_flip + self.mis_bind + self.dropped
+        self.honest + self.replay + self.bit_flip + self.mis_bind + self.late + self.dropped
     }
 }
 
@@ -162,7 +184,7 @@ pub fn expected_verdict(
     device: DeviceId,
 ) -> impl Fn(&Result<Attested, FleetError>) -> bool {
     move |result| match scenario {
-        Scenario::Honest => result.is_ok(),
+        Scenario::Honest | Scenario::LateResponse => result.is_ok(),
         Scenario::ReplayedEvidence | Scenario::WrongDeviceEvidence => {
             result == &Err(FleetError::Rejected(AsapError::BadMac))
         }
@@ -174,11 +196,13 @@ pub fn expected_verdict(
 }
 
 /// The harness: a [`FleetVerifier`], a [`Loopback`] fabric of real
-/// simulated devices, and a seeded per-device behaviour script.
+/// simulated devices, a seeded per-device behaviour script, and the
+/// generator that keeps drawing each round's delivery schedule.
 pub struct ScenarioHarness {
     fleet: FleetVerifier,
     fabric: Loopback,
     plans: Vec<(DeviceId, PoxMode, Scenario)>,
+    rng: DetRng,
 }
 
 impl ScenarioHarness {
@@ -210,6 +234,7 @@ impl ScenarioHarness {
             (Scenario::ReplayedEvidence, mix.replay),
             (Scenario::BitFlippedFrame, mix.bit_flip),
             (Scenario::WrongDeviceEvidence, mix.mis_bind),
+            (Scenario::LateResponse, mix.late),
             (Scenario::DroppedResponse, mix.dropped),
         ] {
             scenarios.extend(std::iter::repeat_n(scenario, n));
@@ -273,6 +298,7 @@ impl ScenarioHarness {
             fleet,
             fabric,
             plans,
+            rng,
         }
     }
 
@@ -286,8 +312,16 @@ impl ScenarioHarness {
         self.plans.len()
     }
 
-    /// Runs one full batched round, applying each device's scripted
+    /// Runs one full batched round as an event schedule over the
+    /// sans-IO [`RoundEngine`], applying each device's scripted
     /// behaviour to its transcript, and returns the tagged verdicts.
+    ///
+    /// The schedule: every delivered frame gets a seed-drawn tick in
+    /// `0..ROUND_DEADLINE - 1` (so deliveries interleave out of
+    /// challenge order), late devices deliver on tick
+    /// `ROUND_DEADLINE - 1`, dropped devices never deliver and expire
+    /// when the engine ticks to [`ROUND_DEADLINE`]. Purely logical
+    /// time: no sleeps, no clocks, replayable byte for byte.
     pub fn run_round(&mut self) -> ScenarioReport {
         // Replaying devices first obtain evidence for a challenge that
         // the scored round will supersede.
@@ -301,51 +335,93 @@ impl ScenarioHarness {
         }
 
         let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
-        let requests = self.fleet.begin_round(&ids).expect("all registered");
+        let mut engine = RoundEngine::begin(
+            &self.fleet,
+            &ids,
+            RoundConfig::new(LogicalTime(0), ROUND_DEADLINE),
+        )
+        .expect("all registered");
 
-        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(requests.len());
+        // Drain the engine's request frames (challenge order == plan
+        // order) and script each device's response frame, if any.
+        let mut requests: Vec<(DeviceId, Vec<u8>)> = Vec::with_capacity(self.plans.len());
+        while let Some(tx) = engine.poll_transmit() {
+            requests.push(tx);
+        }
+        let mut frames: Vec<Option<Vec<u8>>> = Vec::with_capacity(requests.len());
         let mut swap_pending: Option<usize> = None;
         for (i, (id, request)) in requests.iter().enumerate() {
             match self.plans[i].2 {
-                Scenario::Honest => {
-                    frames.push(self.fabric.exchange(*id, request).expect("honest response"));
+                Scenario::Honest | Scenario::LateResponse => {
+                    frames.push(Some(
+                        self.fabric.exchange(*id, request).expect("honest response"),
+                    ));
                 }
                 Scenario::ReplayedEvidence => {
                     let (_, frame) = stale
                         .iter()
                         .find(|(sid, _)| sid == id)
                         .expect("stale evidence was primed");
-                    frames.push(frame.clone());
+                    frames.push(Some(frame.clone()));
                 }
                 Scenario::BitFlippedFrame => {
                     let mut frame = self.fabric.exchange(*id, request).expect("honest response");
                     frame[ENVELOPE_PAYLOAD_AT] ^= 0x01; // corrupt the inner magic
-                    frames.push(frame);
+                    frames.push(Some(frame));
                 }
                 Scenario::WrongDeviceEvidence => {
                     // Pair up: the second of each pair swaps payloads
                     // with the first, each re-addressed as the other.
                     let frame = self.fabric.exchange(*id, request).expect("honest response");
-                    frames.push(frame);
+                    frames.push(Some(frame));
                     match swap_pending.take() {
                         None => swap_pending = Some(frames.len() - 1),
                         Some(first) => {
                             let second = frames.len() - 1;
                             let (a, b) = (
-                                cross_address(&frames[first], &frames[second]),
-                                cross_address(&frames[second], &frames[first]),
+                                cross_address(
+                                    frames[first].as_deref().unwrap(),
+                                    frames[second].as_deref().unwrap(),
+                                ),
+                                cross_address(
+                                    frames[second].as_deref().unwrap(),
+                                    frames[first].as_deref().unwrap(),
+                                ),
                             );
-                            frames[first] = a;
-                            frames[second] = b;
+                            frames[first] = Some(a);
+                            frames[second] = Some(b);
                         }
                     }
                 }
-                Scenario::DroppedResponse => {}
+                Scenario::DroppedResponse => frames.push(None),
             }
         }
         assert!(swap_pending.is_none(), "mis-binding devices come in pairs");
 
-        let report = self.fleet.conclude_round(&ids, &frames);
+        // Assign delivery ticks, shuffle so same-tick deliveries also
+        // interleave, then play the schedule into the engine.
+        let mut events: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (i, frame) in frames.into_iter().enumerate() {
+            let Some(frame) = frame else { continue };
+            let tick = match self.plans[i].2 {
+                Scenario::LateResponse => ROUND_DEADLINE - 1,
+                _ => self.rng.below((ROUND_DEADLINE - 1) as usize) as u64,
+            };
+            events.push((tick, frame));
+        }
+        shuffle(&mut events, &mut self.rng);
+        events.sort_by_key(|e| e.0); // stable: keeps the shuffle within each tick
+
+        let mut next = 0;
+        for now in 0..=ROUND_DEADLINE {
+            while next < events.len() && events[next].0 == now {
+                engine.frame_received(&events[next].1);
+                next += 1;
+            }
+            engine.tick(LogicalTime(now));
+        }
+        let report = engine.into_report();
+
         let entries = self
             .plans
             .iter()
@@ -363,8 +439,65 @@ impl ScenarioHarness {
     }
 }
 
-/// The per-device key: first 16 bytes of `SHA-256(seed ‖ id)`.
-fn device_key(seed: u64, id: DeviceId) -> Vec<u8> {
+/// A prover host for socket transports: builds one honestly-run ASAP
+/// device per id (keys from `key_for`, a mid-`ER` button interrupt,
+/// run to its done loop), calls `ready`, then serves attestation
+/// frames on `stream` via [`asap_fleet::serve_frames`] until the peer
+/// hangs up. Devices in `silent` are built but never answer — the
+/// shape of a crashed or partitioned prover.
+///
+/// Meant to run in its own thread (it models another process): the
+/// socket integration tests and the `fleet_throughput` socket series
+/// both host their fleets behind it, so the prover-side loop exists in
+/// exactly one place. `ready` lets a bench separate device
+/// construction from the timed round.
+///
+/// # Panics
+///
+/// When the image fails to link or a device fails to build/run.
+pub fn host_simulated_provers<S: std::io::Read + std::io::Write>(
+    stream: S,
+    ids: &[DeviceId],
+    key_for: impl Fn(DeviceId) -> Vec<u8>,
+    silent: &[DeviceId],
+    ready: impl FnOnce(),
+) {
+    use apex_pox::wire::Envelope;
+    use std::collections::HashMap;
+
+    let image = programs::fig4_authorized().expect("image links");
+    let mut devices: HashMap<DeviceId, Device> = ids
+        .iter()
+        .map(|&id| {
+            let mut device = Device::builder(&image)
+                .mode(PoxMode::Asap)
+                .key(&key_for(id))
+                .build()
+                .expect("device builds");
+            device.run_steps(6);
+            device.set_button(0, true); // async event mid-ER: ASAP shrugs
+            assert!(
+                device.run_until_pc(programs::done_pc(), 10_000),
+                "device {id} must reach its done loop"
+            );
+            (id, device)
+        })
+        .collect();
+    ready();
+    let silent = silent.to_vec();
+    asap_fleet::serve_frames(stream, move |id, envelope| {
+        if silent.contains(&id) {
+            return None;
+        }
+        let response = devices.get_mut(&id)?.attest_bytes(&envelope.payload).ok()?;
+        Some(Envelope::wrap(id.0, response).to_bytes())
+    });
+}
+
+/// The per-device key: first 16 bytes of `SHA-256(seed ‖ id)`. Public
+/// so out-of-process prover hosts (the socket bench, examples) can
+/// derive the same keys the harness enrolls.
+pub fn device_key(seed: u64, id: DeviceId) -> Vec<u8> {
     let mut input = [0u8; 16];
     input[..8].copy_from_slice(&seed.to_le_bytes());
     input[8..].copy_from_slice(&id.0.to_le_bytes());
@@ -420,12 +553,13 @@ mod tests {
             replay: 2,
             bit_flip: 2,
             mis_bind: 2,
+            late: 2,
             dropped: 2,
         };
         let mut harness = ScenarioHarness::build(11, &mix);
         let report = harness.run_round();
         assert!(report.misjudged().is_empty(), "{:?}", report.misjudged());
-        assert_eq!(report.verified(), 4);
+        assert_eq!(report.verified(), 6, "honest + late-but-in-time");
         assert_eq!(harness.fleet().in_flight(), 0);
     }
 
@@ -436,6 +570,7 @@ mod tests {
             replay: 1,
             bit_flip: 1,
             mis_bind: 2,
+            late: 1,
             dropped: 1,
         };
         let a = ScenarioHarness::build(99, &mix).run_round();

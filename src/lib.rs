@@ -17,8 +17,11 @@
 //!   exposed through `Device::builder`, `VerifierSpec::from_image` and
 //!   the `PoxSession` state machine;
 //! * [`asap_fleet`] — fleet-scale verification: the `DeviceId`-keyed
-//!   `FleetVerifier` with its sharded session registry, batched rounds
-//!   and the `Transport`/`Loopback` delivery layer;
+//!   `FleetVerifier` with its sharded session registry, the sans-IO
+//!   `RoundEngine` (events in, frames and deadlines out, on injected
+//!   logical time), and the non-blocking `Transport` layer with
+//!   in-memory `Loopback` and framed TCP/UDS `StreamTransport`
+//!   implementations;
 //! * [`rtl_synth`] — LUT/FF cost model (Fig. 6);
 //! * [`sim_wave`] — waveforms (Fig. 5).
 //!

@@ -196,6 +196,103 @@ mod envelope_golden {
             &Envelope::wrap(DEVICE_ID, response(None).to_bytes()),
         );
     }
+
+    // -----------------------------------------------------------------
+    // Stream framing: `len (u32 LE) ‖ envelope`, as spoken by
+    // `StreamTransport` over TCP/UDS. The prefix is the envelope's
+    // byte length, so each golden stream vector is the length prefix
+    // followed by the corresponding envelope vector.
+    // -----------------------------------------------------------------
+
+    use apex_pox::wire::{frame_stream, StreamDeframer, WireError, MAX_FRAME_LEN};
+
+    /// `frame_stream` around the golden request envelope (46 = 0x2e
+    /// envelope bytes).
+    const STREAM_REQUEST_PREFIX_HEX: &str = "2e000000";
+
+    /// `frame_stream` around the golden ASAP response envelope
+    /// (102 = 0x66 envelope bytes).
+    const STREAM_ASAP_RESPONSE_PREFIX_HEX: &str = "66000000";
+
+    /// `frame_stream` around the golden APEX response envelope
+    /// (66 = 0x42 envelope bytes).
+    const STREAM_APEX_RESPONSE_PREFIX_HEX: &str = "42000000";
+
+    fn check_stream(prefix_hex: &str, envelope_hex: &str, envelope: &Envelope) {
+        let fixture: String = format!("{prefix_hex}{envelope_hex}")
+            .split_whitespace()
+            .collect();
+        assert_eq!(
+            pox_crypto::hex::encode(&frame_stream(&envelope.to_bytes())),
+            fixture,
+            "stream framing drifted from the checked-in vector"
+        );
+        // The fixture deframes back to exactly one envelope frame.
+        let mut deframer = StreamDeframer::new();
+        deframer.extend(&pox_crypto::hex::decode(&fixture).unwrap());
+        let frame = deframer.next_frame().unwrap().expect("one whole frame");
+        assert_eq!(&Envelope::from_bytes(&frame).unwrap(), envelope);
+        assert_eq!(deframer.next_frame(), Ok(None));
+        assert_eq!(deframer.pending(), 0, "nothing left over");
+    }
+
+    #[test]
+    fn stream_framed_request_matches_golden_vector() {
+        check_stream(
+            STREAM_REQUEST_PREFIX_HEX,
+            REQUEST_HEX,
+            &Envelope::wrap(DEVICE_ID, request().to_bytes()),
+        );
+    }
+
+    #[test]
+    fn stream_framed_asap_response_matches_golden_vector() {
+        let ivt: Vec<u8> = (0u8..32).collect();
+        check_stream(
+            STREAM_ASAP_RESPONSE_PREFIX_HEX,
+            ASAP_RESPONSE_HEX,
+            &Envelope::wrap(DEVICE_ID, response(Some(ivt)).to_bytes()),
+        );
+    }
+
+    #[test]
+    fn stream_framed_apex_response_matches_golden_vector() {
+        check_stream(
+            STREAM_APEX_RESPONSE_PREFIX_HEX,
+            APEX_RESPONSE_HEX,
+            &Envelope::wrap(DEVICE_ID, response(None).to_bytes()),
+        );
+    }
+
+    #[test]
+    fn truncated_stream_frame_is_withheld_not_delivered() {
+        let framed = frame_stream(&Envelope::wrap(DEVICE_ID, request().to_bytes()).to_bytes());
+        // Every strict prefix: the deframer must neither deliver a
+        // partial frame nor error — the bytes stay buffered, and the
+        // driver sees the truncation as EOF with `pending() > 0`.
+        for n in 0..framed.len() {
+            let mut deframer = StreamDeframer::new();
+            deframer.extend(&framed[..n]);
+            assert_eq!(deframer.next_frame(), Ok(None), "prefix {n}");
+            assert_eq!(deframer.pending(), n);
+        }
+    }
+
+    #[test]
+    fn oversized_stream_frame_is_rejected() {
+        // A length prefix over MAX_FRAME_LEN is a protocol violation:
+        // the deframer rejects it without allocating, and the error is
+        // sticky because the frame boundary is unrecoverable.
+        let mut deframer = StreamDeframer::new();
+        deframer.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let oversize = Err(WireError::Oversize {
+            field: "stream frame",
+            len: MAX_FRAME_LEN + 1,
+        });
+        assert_eq!(deframer.next_frame(), oversize);
+        deframer.extend(&[0u8; 32]);
+        assert_eq!(deframer.next_frame(), oversize, "the error is sticky");
+    }
 }
 
 // ---------------------------------------------------------------------

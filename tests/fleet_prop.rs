@@ -1,18 +1,25 @@
-//! Property tests for the fleet session registry.
+//! Property tests for the fleet session registry and round engine.
 //!
-//! Two invariants, exercised over random device subsets, response
-//! orderings and loss patterns:
+//! Three invariants, exercised over random device subsets, response
+//! orderings, loss patterns and event schedules:
 //!
 //! 1. **no cross-verification** — evidence produced by device A never
 //!    verifies as device B, no matter how frames are re-addressed or
 //!    reordered;
 //! 2. **no session leaks** — however a round ends (all answered, some
 //!    dropped, everything re-addressed), the in-flight session count
-//!    returns to exactly zero.
+//!    returns to exactly zero;
+//! 3. **determinism** — the sans-IO engine is a pure function of its
+//!    event schedule: identical schedules yield identical
+//!    `RoundReport`s, and dropped responses resolve to `NoResponse`
+//!    purely via `tick` on logical time.
 
 use asap::{programs, Device, PoxMode, VerifierSpec};
 use asap_bench::fleet::{cross_address, DetRng};
-use asap_fleet::{DeviceId, FleetError, FleetVerifier, Loopback, Transport};
+use asap_fleet::{
+    DeviceId, FleetError, FleetVerifier, LogicalTime, Loopback, RoundConfig, RoundEngine,
+    RoundReport,
+};
 use msp430_tools::link::Image;
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -139,6 +146,71 @@ proptest! {
         prop_assert_eq!(report.verified(), delivered.len());
         prop_assert_eq!(report.dropped(), ids.len() - delivered.len());
         prop_assert_eq!(fleet.in_flight(), 0, "dropped sessions leaked");
+    }
+
+    /// The engine is a pure state machine: replaying the *identical*
+    /// event schedule against a freshly built (but identically keyed)
+    /// fleet yields the identical `RoundReport`, and every device the
+    /// schedule silences resolves to `NoResponse` purely because a
+    /// `tick` crossed its deadline — no clocks, no sleeps, no I/O.
+    #[test]
+    fn identical_event_schedules_yield_identical_reports(
+        n in 2usize..6,
+        answer_bits in any::<u32>(),
+        tick_seed in any::<u64>(),
+    ) {
+        const DEADLINE: u64 = 16;
+        let run = || -> (Vec<DeviceId>, RoundReport) {
+            let (fleet, mut fabric, ids) = fleet_of(n);
+            let mut engine = RoundEngine::begin(
+                &fleet,
+                &ids,
+                RoundConfig::new(LogicalTime(0), DEADLINE),
+            )
+            .unwrap();
+            // The schedule: answering devices deliver at a seed-drawn
+            // tick before the deadline; the rest stay silent forever.
+            let mut rng = DetRng::new(tick_seed);
+            let mut events: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut i = 0usize;
+            while let Some((id, request)) = engine.poll_transmit() {
+                if answer_bits >> i & 1 == 1 {
+                    let frame = fabric.exchange(id, &request).unwrap();
+                    events.push((rng.next_u64() % DEADLINE, frame));
+                }
+                i += 1;
+            }
+            events.sort_by_key(|e| e.0);
+            let mut next = 0;
+            for now in 0..=DEADLINE {
+                while next < events.len() && events[next].0 == now {
+                    engine.frame_received(&events[next].1);
+                    next += 1;
+                }
+                engine.tick(LogicalTime(now));
+            }
+            assert!(engine.is_settled());
+            (ids, engine.into_report())
+        };
+
+        let (ids, first) = run();
+        let (_, second) = run();
+        prop_assert_eq!(&first, &second, "identical schedules must replay identically");
+
+        for (i, &id) in ids.iter().enumerate() {
+            if answer_bits >> i & 1 == 1 {
+                prop_assert!(
+                    first.of(id).unwrap().is_ok(),
+                    "device {} answered in time and must verify", id
+                );
+            } else {
+                prop_assert_eq!(
+                    first.of(id),
+                    Some(&Err(FleetError::NoResponse(id))),
+                    "device {} was silenced and must expire via tick", id
+                );
+            }
+        }
     }
 
     /// Back-to-back rounds on one fleet: each round issues fresh

@@ -6,8 +6,14 @@
 //! caught for every device it was scripted on, every honest device
 //! verifies, and no verdict bleeds across devices. Two fixed seeds run
 //! the same assertions over two different fleet layouts (mode
-//! assignment, scenario interleaving, per-device keys all derive from
-//! the seed).
+//! assignment, scenario interleaving, per-device keys and the delivery
+//! schedule all derive from the seed).
+//!
+//! Since the harness became an event schedule over the sans-IO
+//! `RoundEngine`, rounds also exercise the asynchronous edge the paper
+//! cares about: responses arrive interleaved out of challenge order,
+//! late devices answer on the last in-time tick, and silent devices
+//! expire purely via logical ticks.
 
 use apex_pox::wire::WireError;
 use asap::device::PoxMode;
@@ -15,13 +21,14 @@ use asap::AsapError;
 use asap_bench::fleet::{Scenario, ScenarioHarness, ScenarioMix};
 use asap_fleet::FleetError;
 
-/// 200 devices: 120 honest, 30 replaying, 20 corrupted in transit,
-/// 20 mis-binding (10 swap pairs), 10 silent.
+/// 200 devices: 110 honest, 30 replaying, 20 corrupted in transit,
+/// 20 mis-binding (10 swap pairs), 10 late-but-in-time, 10 silent.
 const MIX: ScenarioMix = ScenarioMix {
-    honest: 120,
+    honest: 110,
     replay: 30,
     bit_flip: 20,
     mis_bind: 20,
+    late: 10,
     dropped: 10,
 };
 
@@ -39,7 +46,12 @@ fn assert_exact_verdicts(seed: u64) {
     );
 
     // Exact per-scenario counts, by the precise error variant.
-    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 120);
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 110);
+    assert_eq!(
+        report.count(Scenario::LateResponse, Result::is_ok),
+        10,
+        "late but before the deadline still verifies"
+    );
     assert_eq!(
         report.count(Scenario::ReplayedEvidence, |r| {
             r == &Err(FleetError::Rejected(AsapError::BadMac))
@@ -68,7 +80,7 @@ fn assert_exact_verdicts(seed: u64) {
         10
     );
 
-    // Totals partition: only the honest verify.
+    // Totals partition: only the honest (on-time or late) verify.
     assert_eq!(report.verified(), 120);
 
     // The fleet genuinely mixes architectures, and honest devices of
@@ -100,7 +112,9 @@ fn two_hundred_device_round_seed_b() {
 #[test]
 fn consecutive_rounds_stay_exact() {
     // The same fleet, challenged twice: counters advance, stale state
-    // from round one must not perturb round two's verdicts.
+    // from round one must not perturb round two's verdicts — and the
+    // delivery schedule redraws each round, so the interleaving
+    // differs while the verdicts must not.
     let mut harness = ScenarioHarness::build(
         7,
         &ScenarioMix {
@@ -108,6 +122,7 @@ fn consecutive_rounds_stay_exact() {
             replay: 4,
             bit_flip: 4,
             mis_bind: 4,
+            late: 4,
             dropped: 4,
         },
     );
@@ -118,7 +133,106 @@ fn consecutive_rounds_stay_exact() {
             "round {round}: {:#?}",
             report.misjudged()
         );
-        assert_eq!(report.verified(), 20, "round {round}");
+        assert_eq!(report.verified(), 24, "round {round}");
         assert_eq!(harness.fleet().in_flight(), 0, "round {round}");
     }
+}
+
+#[test]
+fn all_late_round_verifies_on_the_deadline_edge() {
+    // Every device answers on the last in-time tick: the engine's
+    // deadline arithmetic must not eat a single one of them.
+    let mut harness = ScenarioHarness::build(
+        21,
+        &ScenarioMix {
+            late: 30,
+            ..ScenarioMix::default()
+        },
+    );
+    let report = harness.run_round();
+    assert!(report.misjudged().is_empty(), "{:#?}", report.misjudged());
+    assert_eq!(report.verified(), 30);
+    assert_eq!(harness.fleet().in_flight(), 0);
+}
+
+#[test]
+fn late_devices_beat_dropped_devices_exactly() {
+    // Late and dropped devices look identical until the last tick; the
+    // engine must split them exactly — late verifies, dropped expires —
+    // across several seeds (i.e. several interleavings).
+    for seed in [1u64, 2, 3, 4] {
+        let mut harness = ScenarioHarness::build(
+            seed,
+            &ScenarioMix {
+                late: 8,
+                dropped: 8,
+                ..ScenarioMix::default()
+            },
+        );
+        let report = harness.run_round();
+        assert!(
+            report.misjudged().is_empty(),
+            "seed {seed}: {:#?}",
+            report.misjudged()
+        );
+        assert_eq!(report.count(Scenario::LateResponse, Result::is_ok), 8);
+        assert_eq!(
+            report.count(Scenario::DroppedResponse, |r| matches!(
+                r,
+                Err(FleetError::NoResponse(_))
+            )),
+            8,
+            "seed {seed}"
+        );
+        assert_eq!(harness.fleet().in_flight(), 0);
+    }
+}
+
+/// Out-of-order delivery, driven by hand against the raw engine:
+/// responses are fed back in exactly *reversed* challenge order, and
+/// every device must still verify — the engine never assumes frames
+/// arrive in the order challenges went out.
+#[test]
+fn reversed_delivery_order_verifies_every_device() {
+    use asap::{programs, Device, VerifierSpec};
+    use asap_fleet::{DeviceId, FleetVerifier, LogicalTime, Loopback, RoundConfig, RoundEngine};
+
+    let image = programs::fig4_authorized().unwrap();
+    let fleet = FleetVerifier::new();
+    let mut fabric = Loopback::new();
+    let ids: Vec<DeviceId> = (1..=6).map(DeviceId).collect();
+    for &id in &ids {
+        let key = id.0.to_le_bytes();
+        let mut device = Device::builder(&image).key(&key).build().unwrap();
+        assert!(device.run_until_pc(programs::done_pc(), 10_000));
+        fabric.attach(id, device);
+        fleet
+            .register(
+                id,
+                &key,
+                VerifierSpec::from_image(&image)
+                    .unwrap()
+                    .mode(PoxMode::Asap),
+            )
+            .unwrap();
+    }
+
+    let mut engine =
+        RoundEngine::begin(&fleet, &ids, RoundConfig::new(LogicalTime(0), 10)).unwrap();
+    let mut responses = Vec::new();
+    while let Some((id, request)) = engine.poll_transmit() {
+        responses.push(fabric.exchange(id, &request).unwrap());
+    }
+    // Device 6 answers first, device 1 last, one tick apart.
+    for (t, frame) in responses.iter().rev().enumerate() {
+        engine.tick(LogicalTime(t as u64));
+        engine.frame_received(frame);
+    }
+    assert!(engine.is_settled());
+    let report = engine.into_report();
+    assert_eq!(report.verified(), 6);
+    // Outcomes settled in delivery order, not challenge order.
+    assert_eq!(report.outcomes[0].device, Some(DeviceId(6)));
+    assert_eq!(report.outcomes[5].device, Some(DeviceId(1)));
+    assert_eq!(fleet.in_flight(), 0);
 }

@@ -1,0 +1,132 @@
+//! The fleet layer over a *real* socket: provers live behind a
+//! byte stream served from another thread, frames are length-prefixed
+//! envelopes, and silence is resolved by deadline — never by blocking
+//! the round on one device.
+//!
+//! Topology per test: the verifier drives a `StreamTransport` over one
+//! end of a socketpair (or a TCP connection); a prover-host thread owns
+//! the simulated devices and answers frames via `serve_frames`. Devices
+//! are built *inside* the prover thread — it models a different
+//! process, and nothing but bytes crosses the boundary.
+
+use asap::{programs, PoxMode, VerifierSpec};
+use asap_bench::fleet::host_simulated_provers;
+use asap_fleet::{drive_round, DeviceId, FleetError, FleetVerifier, StreamTransport};
+use std::time::Duration;
+
+fn key_for(id: DeviceId) -> Vec<u8> {
+    format!("socket-key-{id}").into_bytes()
+}
+
+/// Enrolls `ids` into a fresh fleet (verifier side).
+fn fleet_for(ids: &[DeviceId]) -> FleetVerifier {
+    let image = programs::fig4_authorized().unwrap();
+    let fleet = FleetVerifier::new();
+    for &id in ids {
+        fleet
+            .register(
+                id,
+                &key_for(id),
+                VerifierSpec::from_image(&image)
+                    .unwrap()
+                    .mode(PoxMode::Asap),
+            )
+            .unwrap();
+    }
+    fleet
+}
+
+/// The prover host, run *in its own thread*: devices are built there —
+/// it models a different process, and nothing but bytes crosses the
+/// boundary.
+fn host_provers(
+    stream: impl std::io::Read + std::io::Write,
+    ids: Vec<DeviceId>,
+    silent: Vec<DeviceId>,
+) {
+    host_simulated_provers(stream, &ids, key_for, &silent, || ());
+}
+
+#[test]
+fn socketpair_round_verifies_every_device() {
+    let ids: Vec<DeviceId> = (1..=4).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+
+    let (mut transport, prover_stream) = StreamTransport::pair().unwrap();
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || host_provers(prover_stream, host_ids, Vec::new()));
+
+    let report = drive_round(&fleet, &ids, &mut transport, Duration::from_secs(5)).unwrap();
+    assert_eq!(report.verified(), ids.len(), "{:#?}", report.outcomes);
+    assert_eq!(fleet.in_flight(), 0, "rounds never leak sessions");
+
+    drop(transport); // hang up: the prover host sees EOF and returns
+    host.join().unwrap();
+}
+
+#[test]
+fn silent_prover_times_out_as_no_response_only() {
+    let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+    let silent = DeviceId(2);
+
+    let (mut transport, prover_stream) = StreamTransport::pair().unwrap();
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || host_provers(prover_stream, host_ids, vec![silent]));
+
+    // The budget bounds the wall-clock cost of the silent device; the
+    // answering devices settle as soon as their frames arrive.
+    let report = drive_round(&fleet, &ids, &mut transport, Duration::from_millis(400)).unwrap();
+    assert_eq!(
+        report.of(silent),
+        Some(&Err(FleetError::NoResponse(silent))),
+        "the read timeout surfaced as ticks that expired the deadline"
+    );
+    assert_eq!(report.verified(), 2, "silence never stalls the others");
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(transport);
+    host.join().unwrap();
+}
+
+#[test]
+fn peer_hangup_settles_the_round_by_deadline() {
+    let ids: Vec<DeviceId> = (1..=2).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+
+    let (mut transport, prover_stream) = StreamTransport::pair().unwrap();
+    drop(prover_stream); // nobody home
+
+    let report = drive_round(&fleet, &ids, &mut transport, Duration::from_millis(200)).unwrap();
+    assert!(transport.is_dead(), "EOF kills the transport");
+    assert_eq!(report.verified(), 0);
+    for &id in &ids {
+        assert_eq!(report.of(id), Some(&Err(FleetError::NoResponse(id))));
+    }
+    assert_eq!(fleet.in_flight(), 0);
+}
+
+#[test]
+fn tcp_round_verifies_over_a_real_listener() {
+    let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Small back-to-back response frames: without nodelay, Nagle +
+        // delayed ACKs can stall each one ~40 ms.
+        stream.set_nodelay(true).unwrap();
+        host_provers(stream, host_ids, Vec::new());
+    });
+
+    let mut transport = StreamTransport::connect(addr).unwrap();
+    let report = drive_round(&fleet, &ids, &mut transport, Duration::from_secs(5)).unwrap();
+    assert_eq!(report.verified(), ids.len(), "{:#?}", report.outcomes);
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(transport);
+    host.join().unwrap();
+}
