@@ -21,7 +21,8 @@ use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
 use openmsp430::hwmod::{HwAction, HwModule};
 use openmsp430::signals::Signals;
-use vrased::props::{names, PropCtx};
+use vrased::hw::WireStep;
+use vrased::props::{names, PropCtx, WireImage};
 
 fn p(name: &str) -> Ltl {
     Ltl::prop(name)
@@ -125,6 +126,24 @@ pub fn exec_kernel(s: ExecState, i: ExecIn, check_irq: bool) -> ExecState {
     }
 }
 
+impl ExecIn {
+    /// The kernel inputs from an already-extracted [`WireImage`].
+    pub fn from_wires(w: &WireImage) -> ExecIn {
+        ExecIn {
+            pc_in_er: w.pc_in_er,
+            pc_at_ermin: w.pc_at_ermin,
+            pc_at_erexit: w.pc_at_erexit,
+            irq: w.irq,
+            wen_er: w.wen_er,
+            dma_er: w.dma_er,
+            wen_or: w.wen_or,
+            dma_or: w.dma_or,
+            dma_active: w.dma_active,
+            fault: w.fault,
+        }
+    }
+}
+
 /// Extracts the kernel inputs from a simulation step.
 pub fn exec_inputs(ctx: &PropCtx, signals: &Signals) -> ExecIn {
     let er = ctx.er.expect("PoX monitor requires ER geometry");
@@ -166,6 +185,22 @@ impl ApexMonitor {
     /// Current `EXEC` level.
     pub fn exec(&self) -> bool {
         self.state.exec
+    }
+
+    /// The violation message raised when `EXEC` falls, shared by the
+    /// `HwModule` path and the device's wire-level rendering.
+    pub const EXEC_CLEARED: &'static str = "APEX: EXEC cleared";
+
+    /// One wire-level clock of the `EXEC` kernel (LTL 3 enforced) against
+    /// a pre-extracted [`WireImage`]. The returned wire is `EXEC`; the
+    /// edge reports `EXEC` falling this step.
+    pub fn step_wires(&mut self, w: &WireImage) -> WireStep {
+        let before = self.state.exec;
+        self.state = exec_kernel(self.state, ExecIn::from_wires(w), true);
+        WireStep {
+            wire: self.state.exec,
+            raised: before && !self.state.exec,
+        }
     }
 
     /// The input wire names shared by APEX- and ASAP-mode monitors.
@@ -310,7 +345,7 @@ impl HwModule for ApexMonitor {
             ..HwAction::none()
         };
         if before && !self.state.exec {
-            action.violations.push("APEX: EXEC cleared".into());
+            action.violations.push(ApexMonitor::EXEC_CLEARED.into());
         }
         action
     }

@@ -14,7 +14,7 @@ use apex_pox::protocol::{pox_items, PoxRequest, PoxResponse};
 use ltl_mc::trace::Trace;
 use msp430_tools::link::Image;
 use openmsp430::bus::{Master, MemAccess};
-use openmsp430::hwmod::{HwAction, HwModule};
+use openmsp430::hwmod::{Compose, HwModule};
 use openmsp430::layout::MemLayout;
 use openmsp430::mcu::Mcu;
 use openmsp430::periph::DmaOp;
@@ -23,8 +23,12 @@ use periph::gpio::{Gpio, PORT1_VECTOR, PORT2_VECTOR};
 use periph::{DmaController, Timer, Uart};
 use std::fmt;
 use vrased::hw::{swatt_exit_addr, KeyGuard, SwAttAtomicity};
-use vrased::props::{names, ErInfo, PropCtx};
+use vrased::props::{names, ErInfo, PropCtx, WireImage};
 use vrased::swatt::{attest, swatt_cycle_cost, CHAL_LEN};
+
+/// A streaming consumer of per-step waveform samples — the opt-in
+/// alternative to buffering a [`WaveSample`] per step inside the device.
+pub type WaveSink = Box<dyn FnMut(WaveSample) + Send>;
 
 /// Which PoX architecture the hardware implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +62,6 @@ pub enum PoxMode {
 /// assert_eq!(device.mode(), PoxMode::Asap);
 /// # Ok::<(), asap::AsapError>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct DeviceBuilder<'a> {
     image: &'a Image,
     mode: PoxMode,
@@ -66,6 +69,18 @@ pub struct DeviceBuilder<'a> {
     layout: MemLayout,
     record_wave: bool,
     record_trace: bool,
+    wave_sink: Option<WaveSink>,
+}
+
+impl fmt::Debug for DeviceBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceBuilder")
+            .field("mode", &self.mode)
+            .field("record_wave", &self.record_wave)
+            .field("record_trace", &self.record_trace)
+            .field("streaming", &self.wave_sink.is_some())
+            .finish()
+    }
 }
 
 impl<'a> DeviceBuilder<'a> {
@@ -77,6 +92,7 @@ impl<'a> DeviceBuilder<'a> {
             layout: MemLayout::default(),
             record_wave: false,
             record_trace: false,
+            wave_sink: None,
         }
     }
 
@@ -112,6 +128,16 @@ impl<'a> DeviceBuilder<'a> {
         self
     }
 
+    /// Streams one [`WaveSample`] per step into `sink` instead of (or in
+    /// addition to) buffering them on the device — e.g. to feed an
+    /// incremental VCD writer or an on-line dashboard without the
+    /// unbounded `Vec` growth of [`DeviceBuilder::record_wave`] on long
+    /// runs.
+    pub fn stream_wave(mut self, sink: impl FnMut(WaveSample) + Send + 'static) -> Self {
+        self.wave_sink = Some(Box::new(sink));
+        self
+    }
+
     /// Builds the device.
     ///
     /// # Errors
@@ -123,7 +149,10 @@ impl<'a> DeviceBuilder<'a> {
     pub fn build(self) -> Result<Device, AsapError> {
         let key = self.key.ok_or(AsapError::MissingKey)?;
         let mut device = Device::assemble(self.image, self.mode, &key, self.layout)?;
-        device.wave_enabled = self.record_wave;
+        if self.record_wave {
+            device.wave = Some(Vec::new());
+        }
+        device.wave_sink = self.wave_sink;
         if self.record_trace {
             device.record_trace();
         }
@@ -157,25 +186,93 @@ pub struct StepReport {
     pub violations: Vec<String>,
 }
 
-enum PoxHw {
-    Apex(ApexMonitor),
-    Asap(AsapMonitor),
+/// The VRASED guard pair every device carries, as one static composition.
+type VrasedGuards = Compose<KeyGuard, SwAttAtomicity>;
+
+/// The complete `HW-Mod` stack of Fig. 2 as a statically composed monitor
+/// — VRASED's key guard and SW-Att atomicity conjoined with the
+/// mode-specific `EXEC` monitor (the APEX kernel, or ASAP's kernel +
+/// `IvtGuard` composite). One enum arm per architecture, each a concrete
+/// [`Compose`] chain: the per-step walk is fully monomorphized, with no
+/// `dyn HwModule` dispatch and no heap allocation on the clean path.
+enum MonitorStack {
+    Apex(Compose<VrasedGuards, ApexMonitor>),
+    Asap(Compose<VrasedGuards, AsapMonitor>),
 }
 
-impl PoxHw {
-    fn as_module(&mut self) -> &mut dyn HwModule {
+/// The merged output wires of one monitor-stack clock. Plain booleans:
+/// violation text is rendered by the device only on the rising edges, so
+/// the clean path allocates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+struct StackOut {
+    exec: bool,
+    reset: bool,
+    key_raised: bool,
+    atomicity_raised: bool,
+    exec_fell: bool,
+}
+
+impl StackOut {
+    fn violations(&self) -> usize {
+        self.key_raised as usize + self.atomicity_raised as usize + self.exec_fell as usize
+    }
+}
+
+impl MonitorStack {
+    fn new(ctx: PropCtx, mode: PoxMode) -> MonitorStack {
+        let guards = Compose(KeyGuard::new(ctx), SwAttAtomicity::new(ctx));
+        match mode {
+            PoxMode::Apex => MonitorStack::Apex(Compose(guards, ApexMonitor::new(ctx))),
+            PoxMode::Asap => MonitorStack::Asap(Compose(guards, AsapMonitor::new(ctx))),
+        }
+    }
+
+    /// Clocks every monitor against one shared single-pass [`WireImage`]
+    /// extraction — the hardware picture exactly: all modules sample the
+    /// same wires on the same clock edge, and the outputs conjoin.
+    fn step_wires(&mut self, ctx: &PropCtx, signals: &Signals) -> StackOut {
+        let w = WireImage::of(ctx, signals);
+        let (guards, exec) = match self {
+            MonitorStack::Apex(Compose(guards, monitor)) => (guards, monitor.step_wires(&w)),
+            MonitorStack::Asap(Compose(guards, monitor)) => (guards, monitor.step_wires(&w)),
+        };
+        let key = guards.0.step_wires(&w);
+        let atomicity = guards.1.step_wires(&w);
+        StackOut {
+            exec: exec.wire,
+            reset: key.wire || atomicity.wire,
+            key_raised: key.raised,
+            atomicity_raised: atomicity.raised,
+            exec_fell: exec.raised,
+        }
+    }
+
+    fn reset(&mut self) {
         match self {
-            PoxHw::Apex(m) => m,
-            PoxHw::Asap(m) => m,
+            MonitorStack::Apex(stack) => stack.reset(),
+            MonitorStack::Asap(stack) => stack.reset(),
         }
     }
 
     fn exec(&self) -> bool {
         match self {
-            PoxHw::Apex(m) => m.exec(),
-            PoxHw::Asap(m) => m.exec(),
+            MonitorStack::Apex(stack) => stack.1.exec(),
+            MonitorStack::Asap(stack) => stack.1.exec(),
         }
     }
+}
+
+/// The allocation-free outcome of one [`Device::step_into`] call; the
+/// signals themselves land in the caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepVerdict {
+    /// `EXEC` after the step.
+    pub exec: bool,
+    /// A VRASED guard forced a hard reset this step.
+    pub reset: bool,
+    /// Number of violations raised this step (full text in
+    /// [`Device::violations`]).
+    pub violations: usize,
 }
 
 /// The prover device.
@@ -186,14 +283,16 @@ pub struct Device {
     mode: PoxMode,
     er: ErInfo,
     key: Vec<u8>,
-    key_guard: KeyGuard,
-    atomicity: SwAttAtomicity,
-    pox: PoxHw,
+    stack: MonitorStack,
     trace: Option<Trace>,
-    wave_enabled: bool,
-    wave: Vec<WaveSample>,
+    wave: Option<Vec<WaveSample>>,
+    wave_sink: Option<WaveSink>,
     violations: Vec<(u64, String)>,
     resets: u64,
+    /// Reused per-step signal buffer for the internal run loops and the
+    /// synthetic SW-Att steps, so attestation rounds allocate nothing for
+    /// signal traffic.
+    scratch: Signals,
 }
 
 impl fmt::Debug for Device {
@@ -256,25 +355,23 @@ impl Device {
         key_bytes[..n].copy_from_slice(&key[..n]);
         mcu.mem.load(layout.key.start(), &key_bytes);
         mcu.reset();
+        // Warm the predecode cache over the proved region; everything
+        // else fills lazily on first fetch.
+        mcu.predecode(er.region);
 
-        let pox = match mode {
-            PoxMode::Apex => PoxHw::Apex(ApexMonitor::new(ctx)),
-            PoxMode::Asap => PoxHw::Asap(AsapMonitor::new(ctx)),
-        };
         Ok(Device {
             mcu,
             ctx,
             mode,
             er,
             key: key_bytes,
-            key_guard: KeyGuard::new(ctx),
-            atomicity: SwAttAtomicity::new(ctx),
-            pox,
+            stack: MonitorStack::new(ctx, mode),
             trace: None,
-            wave_enabled: false,
-            wave: Vec::new(),
+            wave: None,
+            wave_sink: None,
             violations: Vec::new(),
             resets: 0,
+            scratch: Signals::default(),
         })
     }
 
@@ -295,7 +392,7 @@ impl Device {
 
     /// Current `EXEC` level.
     pub fn exec(&self) -> bool {
-        self.pox.exec()
+        self.stack.exec()
     }
 
     /// Number of VRASED-forced hard resets so far.
@@ -321,21 +418,33 @@ impl Device {
     /// The recorded waveform samples (Fig. 5 signals). Empty unless the
     /// device was built with [`DeviceBuilder::record_wave`].
     pub fn wave(&self) -> &[WaveSample] {
-        &self.wave
+        self.wave.as_deref().unwrap_or(&[])
     }
 
-    fn observe(&mut self, signals: &Signals) -> StepReport {
-        let mut action = HwAction::none();
-        action.merge(self.key_guard.step(signals));
-        action.merge(self.atomicity.step(signals));
-        action.merge(self.pox.as_module().step(signals));
+    /// Clocks the monitor stack with one step's signals and applies its
+    /// output wires. The clean path (no violation, no capture sink)
+    /// performs no heap allocation.
+    fn observe(&mut self, signals: &Signals) -> StepVerdict {
+        let out = self.stack.step_wires(&self.ctx, signals);
 
-        let exec = action.exec.unwrap_or(false);
+        let exec = out.exec;
         self.mcu
             .set_hw_cell(self.ctx.layout.exec_flag_addr, exec as u16);
 
-        for v in &action.violations {
-            self.violations.push((signals.step, v.clone()));
+        if out.key_raised {
+            self.violations
+                .push((signals.step, KeyGuard::VIOLATION.into()));
+        }
+        if out.atomicity_raised {
+            self.violations
+                .push((signals.step, SwAttAtomicity::VIOLATION.into()));
+        }
+        if out.exec_fell {
+            let message = match self.mode {
+                PoxMode::Apex => ApexMonitor::EXEC_CLEARED,
+                PoxMode::Asap => AsapMonitor::EXEC_CLEARED,
+            };
+            self.violations.push((signals.step, message.into()));
         }
 
         if let Some(trace) = self.trace.as_mut() {
@@ -343,28 +452,33 @@ impl Device {
             if exec {
                 props.insert(names::EXEC.to_string());
             }
-            if action.reset_mcu {
+            if out.reset {
                 props.insert(names::RESET.to_string());
             }
             trace.push_state(props);
         }
-        if self.wave_enabled {
-            self.wave.push(WaveSample {
+        if self.wave.is_some() || self.wave_sink.is_some() {
+            let sample = WaveSample {
                 cycle: signals.cycle,
                 pc: signals.pc,
                 irq: signals.irq,
                 exec,
-            });
+            };
+            if let Some(buffer) = self.wave.as_mut() {
+                buffer.push(sample);
+            }
+            if let Some(sink) = self.wave_sink.as_mut() {
+                sink(sample);
+            }
         }
 
-        if action.reset_mcu {
+        if out.reset {
             self.hard_reset();
         }
-        StepReport {
-            signals: signals.clone(),
+        StepVerdict {
             exec,
-            reset: action.reset_mcu,
-            violations: action.violations,
+            reset: out.reset,
+            violations: out.violations(),
         }
     }
 
@@ -372,41 +486,69 @@ impl Device {
     /// included; `EXEC` returns to 0).
     fn hard_reset(&mut self) {
         self.mcu.reset();
-        self.key_guard.reset();
-        self.atomicity.reset();
-        self.pox.as_module().reset();
+        self.stack.reset();
         self.resets += 1;
     }
 
     /// Executes one step.
+    ///
+    /// Compatibility wrapper over [`Device::step_into`]: allocates a
+    /// fresh [`Signals`] (and its report) per call. Hot loops should hold
+    /// one `Signals` and call `step_into`.
     pub fn step(&mut self) -> StepReport {
-        let signals = self.mcu.step();
-        self.observe(&signals)
+        let mut signals = Signals::default();
+        let verdict = self.step_into(&mut signals);
+        let raised = &self.violations[self.violations.len() - verdict.violations..];
+        let violations = raised.iter().map(|(_, v)| v.clone()).collect();
+        StepReport {
+            signals,
+            exec: verdict.exec,
+            reset: verdict.reset,
+            violations,
+        }
+    }
+
+    /// Executes one step, writing the observed signals into the
+    /// caller-owned `signals` buffer (cleared and refilled in place) and
+    /// clocking the monitor stack against them. The fast path of the
+    /// step pipeline: no per-step allocation once the buffer's capacity
+    /// has stabilized.
+    pub fn step_into(&mut self, signals: &mut Signals) -> StepVerdict {
+        self.mcu.step_into(signals);
+        self.observe(signals)
     }
 
     /// Runs up to `max_steps`, stopping early when the PC reaches
     /// `stop_pc`. Returns true if the stop address was reached.
     pub fn run_until_pc(&mut self, stop_pc: u16, max_steps: u64) -> bool {
+        let mut signals = std::mem::take(&mut self.scratch);
+        let mut outcome = None;
         for _ in 0..max_steps {
             if self.mcu.cpu.regs.pc() == stop_pc {
-                return true;
+                outcome = Some(true);
+                break;
             }
-            let r = self.step();
-            if r.signals.fault.is_some() {
-                return false;
+            self.step_into(&mut signals);
+            if signals.fault.is_some() {
+                outcome = Some(false);
+                break;
             }
         }
-        self.mcu.cpu.regs.pc() == stop_pc
+        let reached = outcome.unwrap_or_else(|| self.mcu.cpu.regs.pc() == stop_pc);
+        self.scratch = signals;
+        reached
     }
 
     /// Runs exactly `steps` steps (or until a CPU fault).
     pub fn run_steps(&mut self, steps: u64) {
+        let mut signals = std::mem::take(&mut self.scratch);
         for _ in 0..steps {
-            let r = self.step();
-            if r.signals.fault.is_some() {
+            self.step_into(&mut signals);
+            if signals.fault.is_some() {
                 break;
             }
         }
+        self.scratch = signals;
     }
 
     /// Models an attacker-controlled CPU instruction writing `value` at
@@ -415,21 +557,14 @@ impl Device {
     pub fn attacker_cpu_write(&mut self, addr: u16, value: u16) {
         self.mcu.mem.write_word(addr, value);
         let pc = self.mcu.cpu.regs.pc();
-        let signals = Signals {
-            cycle: self.mcu.cycles(),
-            step: self.mcu.steps(),
-            pc,
-            pc_next: pc,
-            irq: false,
-            irq_vector: None,
-            irq_pending: self.mcu.irq_pending(),
-            gie: self.mcu.cpu.regs.gie(),
-            cpu_off: self.mcu.cpu.regs.cpu_off(),
-            idle: false,
-            accesses: vec![MemAccess::write(addr, value, false)],
-            fault: None,
-        };
+        let gie = self.mcu.cpu.regs.gie();
+        let cpu_off = self.mcu.cpu.regs.cpu_off();
+        let mut signals = std::mem::take(&mut self.scratch);
+        self.fill_synthetic_step(&mut signals, pc, &[MemAccess::write(addr, value, false)]);
+        signals.gie = gie;
+        signals.cpu_off = cpu_off;
         self.observe(&signals);
+        self.scratch = signals;
     }
 
     /// Queues a DMA write of `value` to `addr`, performed by the DMA
@@ -489,7 +624,7 @@ impl Device {
         let chal: [u8; CHAL_LEN] = *req.chal.as_bytes();
 
         // --- Step 1: enter SW-Att at its first instruction.
-        self.swatt_step(layout.swatt.start(), vec![]);
+        self.swatt_step(layout.swatt.start(), &[]);
 
         // --- Step 2: the measurement body — key + region reads.
         let exec = self.exec();
@@ -499,13 +634,16 @@ impl Device {
             PoxMode::Asap => Some((layout.ivt, self.ivt_bytes())),
             PoxMode::Apex => None,
         };
-        let mut accesses = vec![MemAccess::read(layout.key.start(), 0, true)];
-        accesses.push(MemAccess::read(self.er.region.start(), 0, true));
-        accesses.push(MemAccess::read(layout.or.start(), 0, true));
+        let mut accesses = [MemAccess::read(0, 0, true); 4];
+        let mut measured_regions = 3;
+        accesses[0] = MemAccess::read(layout.key.start(), 0, true);
+        accesses[1] = MemAccess::read(self.er.region.start(), 0, true);
+        accesses[2] = MemAccess::read(layout.or.start(), 0, true);
         if self.mode == PoxMode::Asap {
-            accesses.push(MemAccess::read(layout.ivt.start(), 0, true));
+            accesses[3] = MemAccess::read(layout.ivt.start(), 0, true);
+            measured_regions = 4;
         }
-        self.swatt_step(layout.swatt.start() + 2, accesses);
+        self.swatt_step(layout.swatt.start() + 2, &accesses[..measured_regions]);
 
         let items = pox_items(
             exec,
@@ -523,14 +661,14 @@ impl Device {
         self.mcu.mem.load(layout.mac_addr(), &mac);
         self.swatt_step(
             layout.swatt.start() + 4,
-            vec![MemAccess::write(layout.mac_addr(), 0, true)],
+            &[MemAccess::write(layout.mac_addr(), 0, true)],
         );
 
         // --- Step 4: leave from the ROM's last instruction.
-        self.swatt_step(swatt_exit_addr(&layout), vec![]);
+        self.swatt_step(swatt_exit_addr(&layout), &[]);
         // One step after the ROM: back in untrusted code.
         let ret_pc = self.mcu.cpu.regs.pc();
-        self.swatt_step(ret_pc, vec![]);
+        self.swatt_step(ret_pc, &[]);
 
         PoxResponse {
             exec,
@@ -553,24 +691,34 @@ impl Device {
         Ok(self.attest(&req).to_bytes())
     }
 
-    /// Clocks all monitors with one synthetic SW-Att step.
-    fn swatt_step(&mut self, pc: u16, accesses: Vec<MemAccess>) {
+    /// Clocks all monitors with one synthetic SW-Att step. The reused
+    /// scratch buffer means attestation rounds cost no signal
+    /// allocations, round after round.
+    fn swatt_step(&mut self, pc: u16, accesses: &[MemAccess]) {
         debug_assert!(accesses.iter().all(|a| a.master == Master::Cpu));
-        let signals = Signals {
-            cycle: self.mcu.cycles(),
-            step: self.mcu.steps(),
-            pc,
-            pc_next: pc,
-            irq: false,
-            irq_vector: None,
-            irq_pending: self.mcu.irq_pending(),
-            gie: false,
-            cpu_off: false,
-            idle: false,
-            accesses,
-            fault: None,
-        };
+        let mut signals = std::mem::take(&mut self.scratch);
+        self.fill_synthetic_step(&mut signals, pc, accesses);
         self.observe(&signals);
+        self.scratch = signals;
+    }
+
+    /// Renders a monitor-only synthetic step (no CPU execution) into the
+    /// reusable buffer: `irq_pending` is live, everything else is the
+    /// quiescent footprint plus the given bus accesses.
+    fn fill_synthetic_step(&mut self, signals: &mut Signals, pc: u16, accesses: &[MemAccess]) {
+        signals.cycle = self.mcu.cycles();
+        signals.step = self.mcu.steps();
+        signals.pc = pc;
+        signals.pc_next = pc;
+        signals.irq = false;
+        signals.irq_vector = None;
+        signals.irq_pending = self.mcu.irq_pending();
+        signals.gie = false;
+        signals.cpu_off = false;
+        signals.idle = false;
+        signals.accesses.clear();
+        signals.accesses.extend_from_slice(accesses);
+        signals.fault = None;
     }
 }
 
@@ -745,6 +893,43 @@ mod tests {
         let mut d = Device::builder(&img).key(b"test-key").build().unwrap();
         d.run_steps(5);
         assert!(d.wave().is_empty(), "no samples unless record_wave(true)");
+    }
+
+    #[test]
+    fn streaming_wave_sink_sees_every_step() {
+        use std::sync::{Arc, Mutex};
+
+        let img = image();
+        let sunk = Arc::new(Mutex::new(Vec::new()));
+        let tap = Arc::clone(&sunk);
+        let mut d = Device::builder(&img)
+            .key(b"test-key")
+            .record_wave(true)
+            .stream_wave(move |s| tap.lock().unwrap().push(s))
+            .build()
+            .unwrap();
+        d.run_steps(7);
+        assert_eq!(
+            sunk.lock().unwrap().as_slice(),
+            d.wave(),
+            "the stream and the buffer observe the same samples"
+        );
+    }
+
+    #[test]
+    fn step_into_matches_step_reports() {
+        let img = image();
+        let mut a = Device::builder(&img).key(b"test-key").build().unwrap();
+        let mut b = Device::builder(&img).key(b"test-key").build().unwrap();
+        let mut signals = Signals::default();
+        for _ in 0..40 {
+            let report = a.step();
+            let verdict = b.step_into(&mut signals);
+            assert_eq!(report.signals, signals);
+            assert_eq!(report.exec, verdict.exec);
+            assert_eq!(report.reset, verdict.reset);
+            assert_eq!(report.violations.len(), verdict.violations);
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`monitor`] — the ASAP hardware monitor (relaxed APEX kernel +
 //!   Fig. 3 IVT guard), model-checked against its LTL specs;
 //! * [`device`] — the prover: MCU, peripherals, monitors and the SW-Att
-//!   ROM trap, built through [`Device::builder`];
+//!   ROM trap, built through [`Device::builder`]. Monitors run as one
+//!   statically composed stack over a single-pass wire extraction, and
+//!   [`Device::step_into`] steps the whole pipeline without heap
+//!   allocation (see the README's "Execution pipeline" section);
 //! * [`verifier`] — [`VerifierSpec`] derivation from the linked image
 //!   plus mode-aware verification (APEX and the IVT/ISR checks);
 //! * [`session`] — the [`PoxSession`] state machine
@@ -99,7 +102,7 @@ pub mod properties;
 pub mod session;
 pub mod verifier;
 
-pub use device::{Device, DeviceBuilder, PoxMode, StepReport, WaveSample};
+pub use device::{Device, DeviceBuilder, PoxMode, StepReport, StepVerdict, WaveSample, WaveSink};
 pub use error::AsapError;
 pub use monitor::{ivt_kernel, AsapMonitor, AsapState, IvtGuard, IvtIn};
 pub use properties::{verify_all, PropertyRow, SuiteReport};

@@ -22,7 +22,8 @@ use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
 use openmsp430::hwmod::{HwAction, HwModule};
 use openmsp430::signals::Signals;
-use vrased::props::{names, PropCtx};
+use vrased::hw::WireStep;
+use vrased::props::{names, PropCtx, WireImage};
 
 fn p(name: &str) -> Ltl {
     Ltl::prop(name)
@@ -219,6 +220,28 @@ impl AsapMonitor {
         }
     }
 
+    /// The violation message raised when the composite `EXEC` falls,
+    /// shared by the `HwModule` path and the device's wire-level
+    /// rendering.
+    pub const EXEC_CLEARED: &'static str = "ASAP: EXEC cleared";
+
+    /// One wire-level clock of the composite (relaxed `EXEC` kernel +
+    /// \[AP1\] guard) against a pre-extracted [`WireImage`]. The returned
+    /// wire is the composite `EXEC`; the edge reports it falling.
+    pub fn step_wires(&mut self, w: &WireImage) -> WireStep {
+        let ivt_in = IvtIn {
+            wen_ivt: w.wen_ivt,
+            dma_ivt: w.dma_ivt,
+            pc_at_ermin: w.pc_at_ermin,
+        };
+        let before = self.exec();
+        self.state = AsapMonitor::kernel(self.state, apex_pox::ExecIn::from_wires(w), ivt_in);
+        WireStep {
+            wire: self.exec(),
+            raised: before && !self.exec(),
+        }
+    }
+
     /// Input wires of the composite monitor. `irq` is omitted: the ASAP
     /// kernel provably ignores it (that is the point of the paper), so
     /// the quotient is exact.
@@ -299,7 +322,7 @@ impl HwModule for AsapMonitor {
             ..HwAction::none()
         };
         if before && !self.exec() {
-            action.violations.push("ASAP: EXEC cleared".into());
+            action.violations.push(AsapMonitor::EXEC_CLEARED.into());
         }
         action
     }

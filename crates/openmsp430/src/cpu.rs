@@ -208,15 +208,13 @@ impl Cpu {
         IRQ_ENTRY_CYCLES
     }
 
-    /// Executes one step: services `irq` if given, idles if in a low-power
-    /// mode, otherwise fetches and executes one instruction.
-    ///
-    /// The caller (the MCU) is responsible for interrupt gating (`GIE`,
-    /// priority) — `irq` here is the vector to take *now*.
-    pub fn step(&mut self, bus: &mut impl Bus, irq: Option<u8>) -> StepOut {
+    /// Handles the pre-fetch step outcomes — a latched fault, an interrupt
+    /// entry or a low-power idle cycle. Returns `None` when an instruction
+    /// should be fetched and executed.
+    fn step_prelude(&mut self, bus: &mut impl Bus, irq: Option<u8>) -> Option<StepOut> {
         let pc_before = self.regs.pc();
         if let Some(fault) = self.fault {
-            return StepOut {
+            return Some(StepOut {
                 cycles: IDLE_CYCLES,
                 pc_before,
                 pc_after: pc_before,
@@ -224,12 +222,12 @@ impl Cpu {
                 executed: None,
                 fault: Some(fault),
                 idle: true,
-            };
+            });
         }
 
         if let Some(vector) = irq {
             let cycles = self.enter_interrupt(bus, vector);
-            return StepOut {
+            return Some(StepOut {
                 cycles,
                 pc_before,
                 pc_after: self.regs.pc(),
@@ -237,11 +235,11 @@ impl Cpu {
                 executed: None,
                 fault: None,
                 idle: false,
-            };
+            });
         }
 
         if self.regs.cpu_off() {
-            return StepOut {
+            return Some(StepOut {
                 cycles: IDLE_CYCLES,
                 pc_before,
                 pc_after: pc_before,
@@ -249,12 +247,51 @@ impl Cpu {
                 executed: None,
                 fault: None,
                 idle: true,
-            };
+            });
         }
+        None
+    }
 
+    /// Executes one step: services `irq` if given, idles if in a low-power
+    /// mode, otherwise fetches and executes one instruction.
+    ///
+    /// The caller (the MCU) is responsible for interrupt gating (`GIE`,
+    /// priority) — `irq` here is the vector to take *now*.
+    pub fn step(&mut self, bus: &mut impl Bus, irq: Option<u8>) -> StepOut {
+        if let Some(out) = self.step_prelude(bus, irq) {
+            return out;
+        }
+        let pc_before = self.regs.pc();
         let d = decode(|addr| bus.read(addr, false, true), pc_before);
-        let instr = d.instr;
-        self.regs.set_pc(pc_before.wrapping_add(d.size));
+        self.execute(bus, d.instr, d.size, pc_before)
+    }
+
+    /// [`Cpu::step`] with the fetch/decode stage already done: executes
+    /// `instr` (whose encoding occupies `size` bytes at the current `PC`)
+    /// without touching the bus for instruction words.
+    ///
+    /// The caller owns the contract that `(instr, size)` is exactly what
+    /// [`crate::decode::decode`] would produce at `PC` against current
+    /// memory — the MCU's generation-checked predecode cache guarantees
+    /// this. Fault, interrupt-entry and low-power steps behave exactly as
+    /// in [`Cpu::step`] (the predecoded instruction is ignored).
+    pub fn step_predecoded(
+        &mut self,
+        bus: &mut impl Bus,
+        irq: Option<u8>,
+        instr: Instr,
+        size: u16,
+    ) -> StepOut {
+        if let Some(out) = self.step_prelude(bus, irq) {
+            return out;
+        }
+        let pc_before = self.regs.pc();
+        self.execute(bus, instr, size, pc_before)
+    }
+
+    /// The execution stage shared by the fetching and predecoded paths.
+    fn execute(&mut self, bus: &mut impl Bus, instr: Instr, size: u16, pc_before: u16) -> StepOut {
+        self.regs.set_pc(pc_before.wrapping_add(size));
         let mut fault = None;
         let cycles = match instr {
             Instr::Two { op, byte, src, dst } => {

@@ -53,6 +53,33 @@ pub trait HwModule {
     fn step(&mut self, signals: &Signals) -> HwAction;
 }
 
+/// Two monitors composed statically, clocked with the same signals and
+/// merged by wire conjunction — the software analogue of instantiating
+/// both Verilog modules against the same CPU wires.
+///
+/// Nesting `Compose` builds a whole monitor stack as one concrete type,
+/// so a device can clock its `HW-Mod` without `dyn` dispatch or per-step
+/// allocation: `Compose(Compose(key_guard, atomicity), exec_monitor)`.
+#[derive(Debug, Clone, Default)]
+pub struct Compose<A, B>(pub A, pub B);
+
+impl<A: HwModule, B: HwModule> HwModule for Compose<A, B> {
+    fn name(&self) -> &'static str {
+        "hwmod.compose"
+    }
+
+    fn reset(&mut self) {
+        self.0.reset();
+        self.1.reset();
+    }
+
+    fn step(&mut self, signals: &Signals) -> HwAction {
+        let mut action = self.0.step(signals);
+        action.merge(self.1.step(signals));
+        action
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

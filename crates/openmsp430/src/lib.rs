@@ -11,9 +11,15 @@
 //!   [`exec`]) with flag semantics and deterministic cycle counts;
 //! * a CPU core ([`cpu`]) with interrupt entry/`RETI`, low-power modes
 //!   and faults;
-//! * a flat memory plus bus abstraction ([`mem`], [`bus`]);
+//! * a flat memory plus bus abstraction ([`mem`], [`bus`]), with
+//!   per-page write generations backing the predecoded-instruction
+//!   cache's consistency check;
 //! * an MCU top level ([`mcu`]) integrating peripherals ([`periph`]) and
-//!   DMA, and emitting one [`signals::Signals`] bundle per executed step;
+//!   DMA, and emitting one [`signals::Signals`] bundle per executed step
+//!   — either freshly allocated ([`mcu::Mcu::step`]) or packed into a
+//!   caller-owned reusable buffer ([`mcu::Mcu::step_into`], the
+//!   zero-allocation fast path fed by the generation-checked predecode
+//!   cache);
 //! * the hardware-monitor contract ([`hwmod`]) through which security
 //!   modules (VRASED / APEX / ASAP) observe the wires — mirroring the
 //!   `HW-Mod` attachment of the paper's Fig. 2.
@@ -47,12 +53,13 @@ pub mod layout;
 pub mod mcu;
 pub mod mem;
 pub mod periph;
+mod predecode;
 pub mod regs;
 pub mod signals;
 
 pub use bus::{Bus, Master, MemAccess};
 pub use cpu::{Cpu, CpuFault, StepOut, IVT_BASE, IVT_VECTORS, RESET_VECTOR};
-pub use hwmod::{HwAction, HwModule};
+pub use hwmod::{Compose, HwAction, HwModule};
 pub use isa::{Cond, Instr, OneOp, Operand, TwoOp};
 pub use layout::MemLayout;
 pub use mcu::{Mcu, NMI_VECTOR};

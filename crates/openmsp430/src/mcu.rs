@@ -5,8 +5,9 @@
 use crate::bus::{Bus, Master, MemAccess};
 use crate::cpu::{Cpu, IVT_VECTORS};
 use crate::layout::MemLayout;
-use crate::mem::Memory;
+use crate::mem::{MemRegion, Memory};
 use crate::periph::{DmaOp, Peripheral};
+use crate::predecode::DecodeCache;
 use crate::signals::Signals;
 
 /// Hardware-owned MMIO word cell (e.g. the `EXEC` flag): readable by
@@ -16,6 +17,25 @@ use crate::signals::Signals;
 struct HwCell {
     addr: u16,
     value: u16,
+}
+
+/// A peripheral's MMIO extent, indexed for sorted-range lookup:
+/// `(start, end, index into periphs)`.
+type PeriphRange = (u16, u16, usize);
+
+/// Sorted-range lookup: the peripheral (by `periphs` index) answering
+/// `addr`, if any. Ranges are sorted by start and non-overlapping
+/// (enforced by [`Mcu::add_peripheral`]), so the predecessor by start is
+/// the only candidate.
+fn periph_lookup(ranges: &[PeriphRange], addr: u16) -> Option<usize> {
+    let i = ranges.partition_point(|r| r.0 <= addr);
+    let &(_, end, idx) = ranges.get(i.checked_sub(1)?)?;
+    (addr <= end).then_some(idx)
+}
+
+/// Sorted lookup of a hardware cell by its word-aligned address.
+fn hw_cell_lookup(cells: &[HwCell], addr: u16) -> Option<usize> {
+    cells.binary_search_by_key(&(addr & !1), |c| c.addr).ok()
 }
 
 /// A complete simulated MCU.
@@ -46,11 +66,22 @@ pub struct Mcu {
     /// The memory map.
     pub layout: MemLayout,
     periphs: Vec<Box<dyn Peripheral>>,
+    /// Kept sorted by MMIO start for sorted-range lookup.
+    periph_ranges: Vec<PeriphRange>,
+    /// Peripheral indices by capability, snapshotted at attach time so
+    /// the per-step polling loops only visit peripherals that can answer.
+    irq_periphs: Vec<usize>,
+    dma_periphs: Vec<usize>,
+    tick_periphs: Vec<usize>,
+    /// Kept sorted by address for binary-search lookup.
     hw_cells: Vec<HwCell>,
+    decode_cache: DecodeCache,
+    predecode_enabled: bool,
     cycle: u64,
     step_idx: u64,
     pending_irq: u16,
     injected_dma: Vec<DmaOp>,
+    dma_scratch: Vec<DmaOp>,
 }
 
 impl std::fmt::Debug for Mcu {
@@ -70,20 +101,18 @@ pub const NMI_VECTOR: u8 = 14;
 struct McuBus<'a> {
     mem: &'a mut Memory,
     periphs: &'a mut [Box<dyn Peripheral>],
+    periph_ranges: &'a [PeriphRange],
     hw_cells: &'a [HwCell],
     log: &'a mut Vec<MemAccess>,
 }
 
 impl McuBus<'_> {
     fn hw_cell_value(&self, addr: u16) -> Option<u16> {
-        self.hw_cells
-            .iter()
-            .find(|c| c.addr == addr & !1)
-            .map(|c| c.value)
+        hw_cell_lookup(self.hw_cells, addr).map(|i| self.hw_cells[i].value)
     }
 
     fn periph_index(&self, addr: u16) -> Option<usize> {
-        self.periphs.iter().position(|p| p.mmio().contains(addr))
+        periph_lookup(self.periph_ranges, addr)
     }
 }
 
@@ -143,11 +172,18 @@ impl Mcu {
             mem: Memory::new(),
             layout,
             periphs: Vec::new(),
+            periph_ranges: Vec::new(),
+            irq_periphs: Vec::new(),
+            dma_periphs: Vec::new(),
+            tick_periphs: Vec::new(),
             hw_cells: Vec::new(),
+            decode_cache: DecodeCache::new(),
+            predecode_enabled: true,
             cycle: 0,
             step_idx: 0,
             pending_irq: 0,
             injected_dma: Vec::new(),
+            dma_scratch: Vec::new(),
         }
     }
 
@@ -157,32 +193,94 @@ impl Mcu {
     ///
     /// Panics if its MMIO range overlaps an existing peripheral.
     pub fn add_peripheral(&mut self, p: Box<dyn Peripheral>) {
+        let mmio = p.mmio();
         assert!(
-            self.periphs.iter().all(|q| !q.mmio().overlaps(&p.mmio())),
+            self.periphs.iter().all(|q| !q.mmio().overlaps(&mmio)),
             "peripheral MMIO ranges overlap"
         );
+        let index = self.periphs.len();
+        if p.raises_irqs() {
+            self.irq_periphs.push(index);
+        }
+        if p.masters_dma() {
+            self.dma_periphs.push(index);
+        }
+        if p.advances_time() {
+            self.tick_periphs.push(index);
+        }
         self.periphs.push(p);
+        let entry = (mmio.start(), mmio.end(), index);
+        let at = self.periph_ranges.partition_point(|r| r.0 < entry.0);
+        self.periph_ranges.insert(at, entry);
+        // The MMIO topology changed: entries cached before this range
+        // existed may now shadow it, so start over.
+        self.decode_cache = DecodeCache::new();
     }
 
     /// Declares a hardware-owned MMIO word at `addr` (software read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is odd or a cell already exists there.
     pub fn add_hw_cell(&mut self, addr: u16, value: u16) {
         assert_eq!(addr & 1, 0, "hardware cells are word aligned");
-        self.hw_cells.push(HwCell { addr, value });
+        match self.hw_cells.binary_search_by_key(&addr, |c| c.addr) {
+            Ok(_) => panic!("duplicate hardware cell at {addr:#06x}"),
+            Err(at) => self.hw_cells.insert(at, HwCell { addr, value }),
+        }
+        // The MMIO topology changed: drop any decode cached over it.
+        self.decode_cache = DecodeCache::new();
     }
 
     /// Updates a hardware-owned cell (monitor-side write).
     pub fn set_hw_cell(&mut self, addr: u16, value: u16) {
-        if let Some(c) = self.hw_cells.iter_mut().find(|c| c.addr == addr) {
-            c.value = value;
+        if let Ok(i) = self.hw_cells.binary_search_by_key(&addr, |c| c.addr) {
+            self.hw_cells[i].value = value;
         }
     }
 
     /// Reads a hardware-owned cell.
     pub fn hw_cell(&self, addr: u16) -> Option<u16> {
         self.hw_cells
-            .iter()
-            .find(|c| c.addr == addr)
-            .map(|c| c.value)
+            .binary_search_by_key(&addr, |c| c.addr)
+            .ok()
+            .map(|i| self.hw_cells[i].value)
+    }
+
+    /// Enables or disables the predecoded-instruction cache (on by
+    /// default). With it off, every step decodes through live bus reads —
+    /// the legacy pipeline, kept selectable for ablation benchmarks and
+    /// differential tests; both paths produce identical [`Signals`].
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode_enabled = on;
+    }
+
+    /// Eagerly predecodes every word-aligned address in `region` (e.g. the
+    /// freshly loaded flash image), so the first pass over the code runs
+    /// from the cache. Purely a warm-up: the cache also fills lazily on
+    /// first fetch, and stays consistent under any later write via the
+    /// memory write-generation check.
+    pub fn predecode(&mut self, region: MemRegion) {
+        if !self.predecode_enabled {
+            return;
+        }
+        let mut addr = region.start() & !1;
+        while region.contains(addr) {
+            self.cached_instr(addr);
+            match addr.checked_add(2) {
+                Some(next) => addr = next,
+                None => break,
+            }
+        }
+    }
+
+    /// Cache lookup/fill for the instruction at `pc`; `None` when the
+    /// encoding touches MMIO (hardware cells or peripheral ranges).
+    fn cached_instr(&mut self, pc: u16) -> Option<crate::predecode::CachedInstr> {
+        let (hw_cells, periph_ranges) = (&self.hw_cells, &self.periph_ranges);
+        self.decode_cache.lookup(pc, &self.mem, |addr| {
+            hw_cell_lookup(hw_cells, addr).is_some() || periph_lookup(periph_ranges, addr).is_some()
+        })
     }
 
     /// Borrows a concrete peripheral by type.
@@ -223,8 +321,8 @@ impl Mcu {
     /// Charges `cycles` of non-CPU time (e.g. a ROM routine modelled
     /// natively) to the cycle counter, ticking peripherals accordingly.
     pub fn charge_cycles(&mut self, cycles: u64) {
-        for p in &mut self.periphs {
-            p.tick(cycles);
+        for &i in &self.tick_periphs {
+            self.periphs[i].tick(cycles);
         }
         self.cycle += cycles;
     }
@@ -246,6 +344,7 @@ impl Mcu {
         let mut bus = McuBus {
             mem: &mut self.mem,
             periphs: &mut self.periphs,
+            periph_ranges: &self.periph_ranges,
             hw_cells: &self.hw_cells,
             log: &mut log,
         };
@@ -278,30 +377,75 @@ impl Mcu {
 
     /// Executes one step (one instruction, interrupt entry or idle cycle)
     /// and returns the observed signals.
+    ///
+    /// Thin compatibility wrapper over [`Mcu::step_into`]: allocates a
+    /// fresh [`Signals`] per call. Hot loops should hold one `Signals` and
+    /// call `step_into` so the per-step access log reuses its buffer.
     pub fn step(&mut self) -> Signals {
+        let mut signals = Signals::default();
+        self.step_into(&mut signals);
+        signals
+    }
+
+    /// Executes one step, writing the observed signals into `out`.
+    ///
+    /// `out.accesses` is cleared and refilled in place — across a steady
+    /// workload its capacity stabilizes and stepping performs no heap
+    /// allocation. The produced `Signals` are bit-for-bit identical to
+    /// [`Mcu::step`]'s (which is this method plus an allocation), whether
+    /// the instruction came from the predecode cache or a live fetch.
+    pub fn step_into(&mut self, out: &mut Signals) {
         // Interrupt lines: peripheral flags are level signals re-evaluated
         // each step (the latch lives in each peripheral's IFG register, as
         // on real silicon); externally raised lines stay pending until
         // serviced.
         let mut lines = self.pending_irq;
-        for p in &self.periphs {
-            lines |= p.irq_lines();
+        for &i in &self.irq_periphs {
+            lines |= self.periphs[i].irq_lines();
         }
         let irq_pending = lines != 0;
         let vector = self.select_vector(lines);
 
-        let mut log = Vec::new();
-        let out = {
+        out.accesses.clear();
+
+        // Predecode stage: only when this step will actually fetch an
+        // instruction (not halted / interrupt entry / low-power idle).
+        // The cache replays the fetch bus traffic into the access log so
+        // monitors observe exactly what a live fetch would have shown.
+        let pc = self.cpu.regs.pc();
+        let predecoded = if self.predecode_enabled
+            && vector.is_none()
+            && !self.cpu.is_halted()
+            && !self.cpu.regs.cpu_off()
+        {
+            self.cached_instr(pc)
+        } else {
+            None
+        };
+        if let Some(entry) = &predecoded {
+            for i in 0..entry.size / 2 {
+                out.accesses.push(MemAccess::fetch(
+                    pc.wrapping_add(2 * i),
+                    entry.words[i as usize],
+                ));
+            }
+        }
+
+        let step_out = {
             let mut bus = McuBus {
                 mem: &mut self.mem,
                 periphs: &mut self.periphs,
+                periph_ranges: &self.periph_ranges,
                 hw_cells: &self.hw_cells,
-                log: &mut log,
+                log: &mut out.accesses,
             };
-            self.cpu.step(&mut bus, vector)
+            match predecoded {
+                Some(e) => self.cpu.step_predecoded(&mut bus, vector, e.instr, e.size),
+                None => self.cpu.step(&mut bus, vector),
+            }
         };
 
-        if let Some(v) = out.serviced_irq {
+        if let Some(v) = step_out.serviced_irq {
             self.pending_irq &= !(1u16 << v);
             for p in &mut self.periphs {
                 p.ack_irq(v);
@@ -309,14 +453,16 @@ impl Mcu {
         }
 
         // DMA: peripheral-programmed channels plus injected operations.
-        let mut dma_ops: Vec<DmaOp> = std::mem::take(&mut self.injected_dma);
-        for p in &mut self.periphs {
-            dma_ops.extend(p.dma_ops());
+        self.dma_scratch.clear();
+        self.dma_scratch.append(&mut self.injected_dma);
+        for i in 0..self.dma_periphs.len() {
+            let ops = self.periphs[self.dma_periphs[i]].dma_ops();
+            self.dma_scratch.extend(ops);
         }
-        for op in dma_ops {
+        for op in self.dma_scratch.drain(..) {
             let value = self.mem.read(op.src, op.byte);
             self.mem.write(op.dst, value, op.byte);
-            log.push(MemAccess {
+            out.accesses.push(MemAccess {
                 addr: op.src,
                 value,
                 byte: op.byte,
@@ -324,7 +470,7 @@ impl Mcu {
                 fetch: false,
                 master: Master::Dma,
             });
-            log.push(MemAccess {
+            out.accesses.push(MemAccess {
                 addr: op.dst,
                 value,
                 byte: op.byte,
@@ -334,26 +480,28 @@ impl Mcu {
             });
         }
 
-        for p in &mut self.periphs {
-            p.tick(out.cycles);
+        for &i in &self.tick_periphs {
+            self.periphs[i].tick(step_out.cycles);
         }
-        self.cycle += out.cycles;
+        self.cycle += step_out.cycles;
         self.step_idx += 1;
 
-        Signals {
-            cycle: self.cycle,
-            step: self.step_idx,
-            pc: out.pc_before,
-            pc_next: out.pc_after,
-            irq: out.serviced_irq.is_some(),
-            irq_vector: out.serviced_irq,
-            irq_pending,
-            gie: self.cpu.regs.gie(),
-            cpu_off: self.cpu.regs.cpu_off(),
-            idle: out.idle,
-            accesses: log,
-            fault: out.fault,
-        }
+        out.cycle = self.cycle;
+        out.step = self.step_idx;
+        out.pc = step_out.pc_before;
+        out.pc_next = step_out.pc_after;
+        out.irq = step_out.serviced_irq.is_some();
+        out.irq_vector = step_out.serviced_irq;
+        out.irq_pending = irq_pending;
+        out.gie = self.cpu.regs.gie();
+        out.cpu_off = self.cpu.regs.cpu_off();
+        out.idle = step_out.idle;
+        out.fault = step_out.fault;
+    }
+
+    /// Number of predecode-cache pages currently materialized.
+    pub fn predecode_pages(&self) -> usize {
+        self.decode_cache.resident_pages()
     }
 }
 
@@ -472,6 +620,188 @@ mod tests {
         let s = mcu.step();
         assert!(s.dma_write_in(MemRegion::new(0xFFE0, 0xFFFF)));
         assert_eq!(mcu.mem.read_word(0xFFE4), 0xAA55);
+    }
+
+    /// A word-register MMIO scratch peripheral for bus-routing tests.
+    struct ScratchPeriph {
+        mmio: MemRegion,
+        regs: [u16; 8],
+    }
+
+    impl ScratchPeriph {
+        fn over(mmio: MemRegion) -> ScratchPeriph {
+            ScratchPeriph { mmio, regs: [0; 8] }
+        }
+
+        fn slot(&self, addr: u16) -> usize {
+            ((addr - self.mmio.start()) / 2) as usize % self.regs.len()
+        }
+    }
+
+    impl crate::periph::Peripheral for ScratchPeriph {
+        fn name(&self) -> &'static str {
+            "scratch"
+        }
+
+        fn mmio(&self) -> MemRegion {
+            self.mmio
+        }
+
+        fn read(&mut self, addr: u16, _byte: bool) -> u16 {
+            self.regs[self.slot(addr)]
+        }
+
+        fn write(&mut self, addr: u16, val: u16, _byte: bool) {
+            let slot = self.slot(addr);
+            self.regs[slot] = val;
+        }
+
+        fn tick(&mut self, _cycles: u64) {}
+
+        fn reset(&mut self) {
+            self.regs = [0; 8];
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn sorted_bus_lookup_routes_across_many_ranges() {
+        // Peripherals and cells registered out of address order must
+        // still route exactly, via the sorted-range index.
+        let mut mcu = Mcu::new(MemLayout::default());
+        mcu.add_peripheral(Box::new(ScratchPeriph::over(MemRegion::new(
+            0x0120, 0x012F,
+        ))));
+        mcu.add_peripheral(Box::new(ScratchPeriph::over(MemRegion::new(
+            0x0100, 0x010F,
+        ))));
+        mcu.add_peripheral(Box::new(ScratchPeriph::over(MemRegion::new(
+            0x0140, 0x014F,
+        ))));
+        mcu.add_hw_cell(0x0192, 0xBEEF);
+        mcu.add_hw_cell(0x0190, 0xCAFE);
+
+        // mov #0x1111, &0x0102 ; mov &0x0190, r4 ; mov &0x0141, r5 ; jmp $
+        program(
+            &mut mcu,
+            0xE000,
+            &[
+                0x40B2, 0x1111, 0x0102, // periph write (middle range)
+                0x4214, 0x0190, // hw cell read
+                0x4215, 0x0141, // periph read (odd addr inside last range)
+                0x3FFF,
+            ],
+        );
+        mcu.step();
+        mcu.step();
+        mcu.step();
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(4)), 0xCAFE);
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(5)), 0);
+        assert_eq!(mcu.hw_cell(0x0192), Some(0xBEEF));
+        // Gaps between ranges fall through to flat memory.
+        mcu.mem.write_word(0x0130, 0xA5A5);
+        assert_eq!(mcu.mem.read_word(0x0130), 0xA5A5);
+    }
+
+    #[test]
+    fn hw_cell_takes_precedence_over_overlapping_peripheral() {
+        // A hardware cell may sit inside a peripheral's MMIO window (the
+        // EXEC flag lives in SFR space); the cell must win on both reads
+        // and write suppression, while the rest of the window still
+        // belongs to the peripheral.
+        let mut mcu = Mcu::new(MemLayout::default());
+        mcu.add_peripheral(Box::new(ScratchPeriph::over(MemRegion::new(
+            0x0100, 0x010F,
+        ))));
+        mcu.add_hw_cell(0x0104, 0x7777);
+
+        // mov &0x0104, r4      ; reads the cell, not the peripheral
+        // mov #0x2222, &0x0104 ; dropped by the cell, not seen by periph
+        // mov #0x3333, &0x0106 ; lands in the peripheral
+        // jmp $
+        program(
+            &mut mcu,
+            0xE000,
+            &[
+                0x4214, 0x0104, //
+                0x40B2, 0x2222, 0x0104, //
+                0x40B2, 0x3333, 0x0106, //
+                0x3FFF,
+            ],
+        );
+        mcu.step();
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(4)), 0x7777);
+        let s = mcu.step();
+        assert!(
+            s.cpu_write_in(MemRegion::new(0x0104, 0x0105)),
+            "the write attempt is still observable"
+        );
+        assert_eq!(mcu.hw_cell(0x0104), Some(0x7777), "cell unchanged");
+        mcu.step();
+        let p: &ScratchPeriph = mcu.periph().unwrap();
+        assert_eq!(p.regs[p.slot(0x0106)], 0x3333);
+        assert_eq!(
+            p.regs[p.slot(0x0104)],
+            0,
+            "the cell-shadowed word never reached the peripheral"
+        );
+    }
+
+    #[test]
+    fn mmio_topology_change_drops_cached_decodes() {
+        // Cache an instruction, then map a hardware cell over its
+        // address: the next fetch must route through the cell (a live
+        // fetch would), not replay the stale raw-memory decode.
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x3FFF]); // jmp $
+        mcu.step();
+        mcu.step();
+        assert_eq!(mcu.cpu.regs.pc(), 0xE000);
+        mcu.add_hw_cell(0xE000, 0x4324); // now reads as `mov #2, r4`
+        mcu.step();
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(4)), 2);
+        assert_eq!(mcu.cpu.regs.pc(), 0xE002);
+    }
+
+    #[test]
+    fn step_into_reuses_the_access_buffer() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x4034, 0x1234, 0x3FFF]);
+        let mut signals = Signals::default();
+        mcu.step_into(&mut signals);
+        let cap = signals.accesses.capacity();
+        assert!(cap > 0);
+        for _ in 0..1000 {
+            mcu.step_into(&mut signals);
+        }
+        assert_eq!(
+            signals.accesses.capacity(),
+            cap,
+            "steady-state stepping must not regrow the log"
+        );
+    }
+
+    #[test]
+    fn predecode_on_and_off_produce_identical_signals() {
+        let words = [0x4034u16, 0x1234, 0x4482, 0x0200, 0xD232, 0x3FFF];
+        let mut cached = Mcu::new(MemLayout::default());
+        let mut fetched = Mcu::new(MemLayout::default());
+        fetched.set_predecode(false);
+        program(&mut cached, 0xE000, &words);
+        program(&mut fetched, 0xE000, &words);
+        cached.predecode(MemRegion::new(0xE000, 0xE00B));
+        for _ in 0..32 {
+            assert_eq!(cached.step(), fetched.step());
+        }
+        assert!(cached.predecode_pages() > 0);
+        assert_eq!(fetched.predecode_pages(), 0);
     }
 
     #[test]

@@ -100,10 +100,26 @@ impl fmt::Display for MemRegion {
     }
 }
 
+/// Log2 of the write-tracking page size (512 bytes per page).
+pub(crate) const PAGE_SHIFT: u32 = 9;
+
+/// Number of write-tracking pages covering the 64 KiB space.
+pub(crate) const PAGE_COUNT: usize = 0x1_0000 >> PAGE_SHIFT;
+
+/// The write-tracking page an address belongs to.
+pub(crate) fn page_of(addr: u16) -> usize {
+    (addr >> PAGE_SHIFT) as usize
+}
+
 /// Flat byte-addressable 64 KiB memory.
 ///
 /// Word accesses are little-endian and force-aligned: bit 0 of the address
 /// is ignored, as on the real MSP430 bus.
+///
+/// Every write bumps a per-page generation counter (512-byte pages), which
+/// the predecoded-instruction cache uses to notice *any* mutation of code
+/// it has cached — CPU stores, DMA transfers and direct host-side
+/// `load`/`write_*` calls alike — without scanning memory.
 ///
 /// # Examples
 ///
@@ -119,6 +135,7 @@ impl fmt::Display for MemRegion {
 #[derive(Clone)]
 pub struct Memory {
     bytes: Box<[u8; 0x1_0000]>,
+    page_gen: Box<[u64; PAGE_COUNT]>,
 }
 
 impl Default for Memory {
@@ -140,7 +157,18 @@ impl Memory {
     pub fn new() -> Memory {
         Memory {
             bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap(),
+            page_gen: vec![0u64; PAGE_COUNT]
+                .into_boxed_slice()
+                .try_into()
+                .unwrap(),
         }
+    }
+
+    /// The write generation of the page containing `addr`: bumped by every
+    /// write into that 512-byte page, whatever the master. Cache
+    /// consistency checks compare snapshots of this counter.
+    pub(crate) fn page_generation(&self, addr: u16) -> u64 {
+        self.page_gen[page_of(addr)]
     }
 
     /// Reads one byte.
@@ -151,6 +179,7 @@ impl Memory {
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u16, val: u8) {
         self.bytes[addr as usize] = val;
+        self.page_gen[page_of(addr)] += 1;
     }
 
     /// Reads a little-endian word; the address is aligned down.
@@ -165,6 +194,8 @@ impl Memory {
         let [lo, hi] = val.to_le_bytes();
         self.bytes[a] = lo;
         self.bytes[(a + 1) & 0xFFFF] = hi;
+        // An aligned word never straddles a (512-byte, even-sized) page.
+        self.page_gen[page_of(a as u16)] += 1;
     }
 
     /// Generic read used by the execution engine.
@@ -191,9 +222,15 @@ impl Memory {
     ///
     /// Panics if the slice would run past the end of the address space.
     pub fn load(&mut self, addr: u16, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
         let start = addr as usize;
         assert!(start + data.len() <= 0x1_0000, "load overflows memory");
         self.bytes[start..start + data.len()].copy_from_slice(data);
+        for page in page_of(addr)..=page_of((start + data.len() - 1) as u16) {
+            self.page_gen[page] += 1;
+        }
     }
 
     /// Returns a copy of the bytes in `region`.
@@ -209,6 +246,9 @@ impl Memory {
     /// Fills `region` with a byte value.
     pub fn fill(&mut self, region: MemRegion, val: u8) {
         self.bytes[region.start() as usize..=region.end() as usize].fill(val);
+        for page in page_of(region.start())..=page_of(region.end()) {
+            self.page_gen[page] += 1;
+        }
     }
 }
 
@@ -281,6 +321,26 @@ mod tests {
     #[should_panic(expected = "region overflows")]
     fn with_len_overflow_panics() {
         let _ = MemRegion::with_len(0xFFF0, 32);
+    }
+
+    #[test]
+    fn page_generation_tracks_every_write_path() {
+        let mut m = Memory::new();
+        let g0 = m.page_generation(0xE000);
+        m.write_byte(0xE000, 1);
+        m.write_word(0xE010, 2);
+        m.load(0xE020, &[1, 2, 3]);
+        m.fill(MemRegion::new(0xE030, 0xE03F), 0xAA);
+        assert_eq!(m.page_generation(0xE000), g0 + 4);
+        assert_eq!(
+            m.page_generation(0x0200),
+            0,
+            "untouched pages keep their generation"
+        );
+        // Reads never bump.
+        let g1 = m.page_generation(0xE000);
+        let _ = m.read_word(0xE000);
+        assert_eq!(m.page_generation(0xE000), g1);
     }
 
     #[test]

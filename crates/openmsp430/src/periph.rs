@@ -54,6 +54,30 @@ pub trait Peripheral: Any {
         Vec::new()
     }
 
+    /// True when this peripheral can ever assert an interrupt line. Must
+    /// be constant for the peripheral's lifetime: the MCU snapshots it at
+    /// attach time and polls [`Peripheral::irq_lines`] each step only on
+    /// peripherals reporting true. The conservative default is true.
+    fn raises_irqs(&self) -> bool {
+        true
+    }
+
+    /// True when this peripheral can master DMA. Must be constant for the
+    /// peripheral's lifetime: [`Peripheral::dma_ops`] is polled each step
+    /// only on peripherals reporting true. The conservative default is
+    /// true.
+    fn masters_dma(&self) -> bool {
+        true
+    }
+
+    /// True when this peripheral observes the passage of time. Must be
+    /// constant for the peripheral's lifetime: [`Peripheral::tick`] is
+    /// delivered only to peripherals reporting true. The conservative
+    /// default is true.
+    fn advances_time(&self) -> bool {
+        true
+    }
+
     /// Hardware reset.
     fn reset(&mut self);
 

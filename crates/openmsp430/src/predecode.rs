@@ -1,0 +1,239 @@
+//! Lazily built, generation-validated predecoded-instruction cache.
+//!
+//! Re-decoding every instruction through closure-based bus reads is the
+//! single hottest cost of [`crate::mcu::Mcu::step`]. This cache stores the
+//! decoded form (plus the raw words, so fetch bus traffic can still be
+//! reported to the monitors bit-for-bit) per word-aligned PC, in 512-byte
+//! pages allocated on first fetch.
+//!
+//! Consistency does not rely on callers remembering to invalidate: every
+//! entry snapshots the [`Memory`] write generations of the page(s) its
+//! encoded bytes occupy, and a hit is honoured only while those
+//! generations are unchanged. Self-modifying code, DMA into code, and
+//! host-side `mem.load`/`write_*` calls all bump the page generation and
+//! therefore force a re-decode — see the invalidation tests in
+//! `tests/simulator_behavior.rs`.
+//!
+//! Fetches that would touch MMIO (a peripheral range or a hardware cell)
+//! are never cached: those reads can have side effects or return
+//! hardware-owned values, so the caller falls back to the closure-decoding
+//! path for them.
+
+use crate::decode::decode;
+use crate::isa::Instr;
+use crate::mem::{Memory, PAGE_COUNT, PAGE_SHIFT};
+
+/// Word-aligned slots per cache page (one per possible instruction start
+/// in a 512-byte memory page).
+const WORDS_PER_PAGE: usize = 1 << (PAGE_SHIFT - 1);
+
+/// A predecoded instruction: the decoded form plus the raw words it was
+/// decoded from, so the per-step fetch accesses can be replayed into the
+/// signal log without touching the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CachedInstr {
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Encoded size in bytes (2, 4 or 6).
+    pub size: u16,
+    /// The `size / 2` words at `pc`, `pc+2`, `pc+4`.
+    pub words: [u16; 3],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: CachedInstr,
+    /// Generation of the page holding the first encoded word.
+    gen_first: u64,
+    /// Generation of the page holding the last encoded word.
+    gen_last: u64,
+    valid: bool,
+}
+
+const EMPTY: Slot = Slot {
+    entry: CachedInstr {
+        instr: Instr::Illegal(0),
+        size: 2,
+        words: [0; 3],
+    },
+    gen_first: 0,
+    gen_last: 0,
+    valid: false,
+};
+
+/// The PC-indexed cache. Pages materialize on first fetch, so memory cost
+/// scales with the amount of code actually executed, not the address
+/// space — a fleet of thousands of simulated devices stays cheap.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeCache {
+    pages: Vec<Option<Box<[Slot; WORDS_PER_PAGE]>>>,
+}
+
+impl DecodeCache {
+    pub(crate) fn new() -> DecodeCache {
+        DecodeCache {
+            pages: vec![None; PAGE_COUNT],
+        }
+    }
+
+    /// Returns the predecoded instruction at `pc`, decoding and caching it
+    /// on a miss or a stale generation. Returns `None` when any of the
+    /// instruction's encoded bytes fall on MMIO (`is_mmio`): such fetches
+    /// must go through the live bus.
+    pub(crate) fn lookup(
+        &mut self,
+        pc: u16,
+        mem: &Memory,
+        is_mmio: impl Fn(u16) -> bool,
+    ) -> Option<CachedInstr> {
+        let word = (pc >> 1) as usize;
+        let (page, idx) = (word / WORDS_PER_PAGE, word % WORDS_PER_PAGE);
+        if let Some(p) = &self.pages[page] {
+            let slot = &p[idx];
+            if slot.valid {
+                let last = pc.wrapping_add(slot.entry.size - 2);
+                if slot.gen_first == mem.page_generation(pc)
+                    && slot.gen_last == mem.page_generation(last)
+                {
+                    return Some(slot.entry);
+                }
+            }
+        }
+
+        // Miss (or stale): decode straight from memory, recording the
+        // fetched words.
+        let mut words = [0u16; 3];
+        let mut fetched = 0usize;
+        let d = decode(
+            |addr| {
+                let w = mem.read_word(addr);
+                if fetched < words.len() {
+                    words[fetched] = w;
+                    fetched += 1;
+                }
+                w
+            },
+            pc,
+        );
+
+        for i in 0..d.size / 2 {
+            let a = pc.wrapping_add(2 * i);
+            if is_mmio(a) || is_mmio(a.wrapping_add(1)) {
+                return None;
+            }
+        }
+
+        let entry = CachedInstr {
+            instr: d.instr,
+            size: d.size,
+            words,
+        };
+        let slot = Slot {
+            entry,
+            gen_first: mem.page_generation(pc),
+            gen_last: mem.page_generation(pc.wrapping_add(d.size - 2)),
+            valid: true,
+        };
+        self.pages[page].get_or_insert_with(|| Box::new([EMPTY; WORDS_PER_PAGE]))[idx] = slot;
+        Some(entry)
+    }
+
+    /// Number of cache pages currently materialized (diagnostics).
+    pub(crate) fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Operand, TwoOp};
+    use crate::regs::Reg;
+
+    fn never_mmio(_: u16) -> bool {
+        false
+    }
+
+    #[test]
+    fn caches_and_replays_decoded_words() {
+        let mut mem = Memory::new();
+        // mov #0x1234, r5
+        mem.write_word(0xE000, 0x4035);
+        mem.write_word(0xE002, 0x1234);
+        let mut cache = DecodeCache::new();
+        let a = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        assert_eq!(a.size, 4);
+        assert_eq!(a.words[..2], [0x4035, 0x1234]);
+        assert_eq!(
+            a.instr,
+            Instr::Two {
+                op: TwoOp::Mov,
+                byte: false,
+                src: Operand::Immediate(0x1234),
+                dst: Operand::Reg(Reg::r(5)),
+            }
+        );
+        // Second lookup is a pure hit (same entry, one resident page).
+        let b = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.resident_pages(), 1);
+    }
+
+    #[test]
+    fn stale_generation_forces_redecode() {
+        let mut mem = Memory::new();
+        mem.write_word(0xE000, 0x4035);
+        mem.write_word(0xE002, 0x1234);
+        let mut cache = DecodeCache::new();
+        let _ = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        // Overwrite the immediate word: same page, new generation.
+        mem.write_word(0xE002, 0xBEEF);
+        let b = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        assert_eq!(b.words[1], 0xBEEF);
+        assert_eq!(
+            b.instr,
+            Instr::Two {
+                op: TwoOp::Mov,
+                byte: false,
+                src: Operand::Immediate(0xBEEF),
+                dst: Operand::Reg(Reg::r(5)),
+            }
+        );
+    }
+
+    #[test]
+    fn unrelated_page_writes_keep_entries_hot() {
+        let mut mem = Memory::new();
+        mem.write_word(0xE000, 0x3FFF); // jmp $
+        let mut cache = DecodeCache::new();
+        let a = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        mem.write_word(0x0200, 0xAAAA); // data page, not the code page
+        let b = cache.lookup(0xE000, &mem, never_mmio).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mmio_fetches_are_never_cached() {
+        let mut mem = Memory::new();
+        mem.write_word(0x0190, 0x4303); // would decode, but lives on MMIO
+        let mut cache = DecodeCache::new();
+        assert!(cache.lookup(0x0190, &mem, |a| a == 0x0190).is_none());
+        assert_eq!(cache.resident_pages(), 0);
+    }
+
+    #[test]
+    fn instruction_straddling_page_boundary_validates_both_pages() {
+        let mut mem = Memory::new();
+        // Place `mov #imm, r5` so its extension word is on the next page:
+        // pages are 512 bytes, so 0xE1FE/0xE200 straddle.
+        mem.write_word(0xE1FE, 0x4035);
+        mem.write_word(0xE200, 0x1234);
+        let mut cache = DecodeCache::new();
+        let a = cache.lookup(0xE1FE, &mem, never_mmio).unwrap();
+        assert_eq!(a.words[1], 0x1234);
+        // A write into the *second* page alone must still invalidate.
+        mem.write_word(0xE200, 0x5678);
+        let b = cache.lookup(0xE1FE, &mem, never_mmio).unwrap();
+        assert_eq!(b.words[1], 0x5678);
+    }
+}

@@ -13,7 +13,11 @@ use crate::cpu::CpuFault;
 use crate::mem::MemRegion;
 
 /// Snapshot of the MCU wires during one execution step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The default value is the blank pre-step bundle handed to
+/// [`crate::mcu::Mcu::step_into`], whose access log buffer is reused
+/// across steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Signals {
     /// Cycle counter *after* this step.
     pub cycle: u64,

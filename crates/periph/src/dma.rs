@@ -117,6 +117,14 @@ impl Peripheral for DmaController {
 
     fn tick(&mut self, _cycles: u64) {}
 
+    fn raises_irqs(&self) -> bool {
+        false
+    }
+
+    fn advances_time(&self) -> bool {
+        false
+    }
+
     fn dma_ops(&mut self) -> Vec<DmaOp> {
         if !self.busy() {
             return Vec::new();

@@ -164,6 +164,18 @@ impl Peripheral for Gpio {
 
     fn tick(&mut self, _cycles: u64) {}
 
+    fn raises_irqs(&self) -> bool {
+        self.vector.is_some()
+    }
+
+    fn masters_dma(&self) -> bool {
+        false
+    }
+
+    fn advances_time(&self) -> bool {
+        false
+    }
+
     fn irq_lines(&self) -> u16 {
         match self.vector {
             Some(v) if self.ifg & self.ie != 0 => 1 << v,

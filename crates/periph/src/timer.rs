@@ -144,6 +144,10 @@ impl Peripheral for Timer {
         self.tar = tar as u32;
     }
 
+    fn masters_dma(&self) -> bool {
+        false
+    }
+
     fn irq_lines(&self) -> u16 {
         if self.ctl & ctl_bits::TAIE != 0 && self.ctl & ctl_bits::TAIFG != 0 {
             1 << self.vector

@@ -129,6 +129,14 @@ impl Peripheral for Uart {
 
     fn tick(&mut self, _cycles: u64) {}
 
+    fn masters_dma(&self) -> bool {
+        false
+    }
+
+    fn advances_time(&self) -> bool {
+        false
+    }
+
     fn irq_lines(&self) -> u16 {
         if self.ctl & ctl_bits::RXIE != 0 && !self.rx_fifo.is_empty() {
             1 << self.vector

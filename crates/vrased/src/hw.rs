@@ -8,7 +8,7 @@
 //! same kernel, so the model checker verifies the code that actually
 //! runs — the Rust analogue of VRASED's verified Verilog.
 
-use crate::props::{names, PropCtx};
+use crate::props::{names, PropCtx, WireImage};
 use ltl_mc::formula::Ltl;
 use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
@@ -44,6 +44,41 @@ pub struct KeyGuard {
     violated: bool,
 }
 
+impl KeyGuardIn {
+    /// Extracts the kernel inputs straight from one step's signals —
+    /// three region tests over the packed access log, no proposition-set
+    /// allocation.
+    pub fn from_signals(ctx: &PropCtx, signals: &Signals) -> KeyGuardIn {
+        let key = ctx.layout.key;
+        KeyGuardIn {
+            ren_key: signals.cpu_read_in(key) || signals.fetch_in(key),
+            dma_key: signals.dma_in(key),
+            pc_in_swatt: ctx.layout.swatt.contains(signals.pc),
+        }
+    }
+
+    /// The kernel inputs from an already-extracted [`WireImage`].
+    pub fn from_wires(w: &WireImage) -> KeyGuardIn {
+        KeyGuardIn {
+            ren_key: w.ren_key,
+            dma_key: w.dma_key,
+            pc_in_swatt: w.pc_in_swatt,
+        }
+    }
+}
+
+/// The `(output wire, rising violation edge)` pair of one wire-level
+/// monitor clock — the allocation-free face of [`HwModule::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStep {
+    /// The monitor's output wire this step (`reset` for the VRASED
+    /// guards, `EXEC` for the PoX monitors).
+    pub wire: bool,
+    /// True exactly when the monitor newly flagged a violation this step
+    /// (the edge on which the `HwModule` path would emit a message).
+    pub raised: bool,
+}
+
 impl KeyGuard {
     /// Creates the monitor for runtime use.
     pub fn new(ctx: PropCtx) -> KeyGuard {
@@ -61,6 +96,22 @@ impl KeyGuard {
     /// The kernel: one clock of the monitor.
     pub fn kernel(violated: bool, i: KeyGuardIn) -> bool {
         violated || i.dma_key || (i.ren_key && !i.pc_in_swatt)
+    }
+
+    /// The violation message this monitor raises, shared by the
+    /// `HwModule` path and the device's wire-level rendering.
+    pub const VIOLATION: &'static str = "key region accessed outside SW-Att";
+
+    /// One wire-level clock: the same kernel as [`HwModule::step`], fed
+    /// from a pre-extracted [`WireImage`]. The returned wire is the reset
+    /// request.
+    pub fn step_wires(&mut self, w: &WireImage) -> WireStep {
+        let was = self.violated;
+        self.violated = KeyGuard::kernel(self.violated, KeyGuardIn::from_wires(w));
+        WireStep {
+            wire: self.violated,
+            raised: self.violated && !was,
+        }
     }
 
     /// The LTL properties this monitor is verified against (P1–P3 of the
@@ -97,12 +148,7 @@ impl HwModule for KeyGuard {
 
     fn step(&mut self, signals: &Signals) -> HwAction {
         let ctx = self.ctx.as_ref().expect("runtime monitor needs a PropCtx");
-        let props = ctx.props_of(signals);
-        let i = KeyGuardIn {
-            ren_key: props.contains(names::REN_KEY),
-            dma_key: props.contains(names::DMA_KEY),
-            pc_in_swatt: props.contains(names::PC_IN_SWATT),
-        };
+        let i = KeyGuardIn::from_signals(ctx, signals);
         let was = self.violated;
         self.violated = KeyGuard::kernel(self.violated, i);
         let mut action = HwAction {
@@ -110,9 +156,7 @@ impl HwModule for KeyGuard {
             ..HwAction::none()
         };
         if self.violated && !was {
-            action
-                .violations
-                .push("key region accessed outside SW-Att".into());
+            action.violations.push(KeyGuard::VIOLATION.into());
         }
         action
     }
@@ -220,6 +264,28 @@ impl SwAttAtomicity {
         }
     }
 
+    /// The violation message this monitor raises, shared by the
+    /// `HwModule` path and the device's wire-level rendering.
+    pub const VIOLATION: &'static str = "SW-Att atomicity violated";
+
+    /// One wire-level clock of the atomicity FSM against a pre-extracted
+    /// [`WireImage`]. The returned wire is the reset request.
+    pub fn step_wires(&mut self, w: &WireImage) -> WireStep {
+        let i = AtomicityIn {
+            pc_in_swatt: w.pc_in_swatt,
+            pc_at_min: w.pc_at_swatt_min,
+            pc_at_max: w.pc_at_swatt_max,
+            irq: w.irq,
+            dma_active: w.dma_active,
+        };
+        let was = self.state.violated;
+        self.state = SwAttAtomicity::kernel(self.state, i);
+        WireStep {
+            wire: self.state.violated,
+            raised: self.state.violated && !was,
+        }
+    }
+
     /// The LTL properties this monitor is verified against (P4–P8).
     pub fn properties() -> Vec<Property> {
         let in_swatt = || p(names::PC_IN_SWATT);
@@ -296,7 +362,7 @@ impl HwModule for SwAttAtomicity {
             ..HwAction::none()
         };
         if self.state.violated && !was {
-            action.violations.push("SW-Att atomicity violated".into());
+            action.violations.push(SwAttAtomicity::VIOLATION.into());
         }
         action
     }

@@ -7,6 +7,7 @@
 //! name per proposition and provides the conversion from a simulation
 //! step's [`Signals`] to the set of names that hold in it.
 
+use openmsp430::bus::Master;
 use openmsp430::layout::MemLayout;
 use openmsp430::mem::MemRegion;
 use openmsp430::signals::Signals;
@@ -133,6 +134,100 @@ impl PropCtx {
     }
 }
 
+/// One step's security-relevant wires as plain booleans, extracted in a
+/// **single pass** over the packed access log.
+///
+/// This is the allocation-free sibling of [`PropCtx::props_of`]: the
+/// proposition-set conversion allocates a `BTreeSet<String>` per step and
+/// is meant for trace capture and conformance checking; `WireImage` is
+/// what the runtime monitor stack evaluates every step. Field names
+/// mirror the [`names`] constants one for one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireImage {
+    /// Interrupt service began this step.
+    pub irq: bool,
+    /// CPU fault this step.
+    pub fault: bool,
+    /// Any DMA activity (`DMAen`).
+    pub dma_active: bool,
+    /// CPU read (or fetch) touching the key region.
+    pub ren_key: bool,
+    /// DMA touching the key region.
+    pub dma_key: bool,
+    /// CPU write into the IVT.
+    pub wen_ivt: bool,
+    /// DMA touching the IVT.
+    pub dma_ivt: bool,
+    /// CPU write into `OR`.
+    pub wen_or: bool,
+    /// DMA touching `OR`.
+    pub dma_or: bool,
+    /// CPU write into `ER`.
+    pub wen_er: bool,
+    /// DMA touching `ER`.
+    pub dma_er: bool,
+    /// `PC ∈ SW-Att`.
+    pub pc_in_swatt: bool,
+    /// `PC` at the SW-Att entry point.
+    pub pc_at_swatt_min: bool,
+    /// `PC` at the SW-Att exit point.
+    pub pc_at_swatt_max: bool,
+    /// `PC ∈ ER` (false when no `ER` is configured).
+    pub pc_in_er: bool,
+    /// `PC = ERmin`.
+    pub pc_at_ermin: bool,
+    /// `PC = ERmax`.
+    pub pc_at_erexit: bool,
+}
+
+impl WireImage {
+    /// Extracts the wires for one step.
+    pub fn of(ctx: &PropCtx, s: &Signals) -> WireImage {
+        let l = &ctx.layout;
+        let mut w = WireImage {
+            irq: s.irq,
+            fault: s.fault.is_some(),
+            pc_in_swatt: l.swatt.contains(s.pc),
+            pc_at_swatt_min: s.pc == l.swatt.start(),
+            pc_at_swatt_max: s.pc == l.swatt.end() & !1,
+            ..WireImage::default()
+        };
+        if let Some(er) = &ctx.er {
+            w.pc_in_er = er.region.contains(s.pc);
+            w.pc_at_ermin = s.pc == er.min;
+            w.pc_at_erexit = s.pc == er.exit;
+        }
+        let er = ctx.er.as_ref().map(|e| e.region);
+        for a in &s.accesses {
+            match a.master {
+                Master::Cpu => {
+                    if a.write {
+                        w.wen_ivt |= l.ivt.touches(a.addr, a.byte);
+                        w.wen_or |= l.or.touches(a.addr, a.byte);
+                        if let Some(er) = er {
+                            w.wen_er |= er.touches(a.addr, a.byte);
+                        }
+                    } else {
+                        // Data reads and instruction fetches both count
+                        // as `Ren` on the key region.
+                        w.ren_key |= l.key.touches(a.addr, a.byte);
+                    }
+                }
+                Master::Dma => {
+                    w.dma_active = true;
+                    w.dma_key |= l.key.touches(a.addr, a.byte);
+                    w.dma_ivt |= l.ivt.touches(a.addr, a.byte);
+                    w.dma_or |= l.or.touches(a.addr, a.byte);
+                    if let Some(er) = er {
+                        w.dma_er |= er.touches(a.addr, a.byte);
+                    }
+                }
+            }
+        }
+        w
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +287,83 @@ mod tests {
         assert!(p.contains(names::REN_KEY));
         assert!(p.contains(names::WEN_IVT));
         assert!(!p.contains(names::DMA_IVT));
+    }
+
+    fn assert_wires_match_props(ctx: &PropCtx, s: &Signals) {
+        let w = WireImage::of(ctx, s);
+        let p = ctx.props_of(s);
+        let pairs = [
+            (w.irq, names::IRQ),
+            (w.fault, names::FAULT),
+            (w.dma_active, names::DMA_ACTIVE),
+            (w.ren_key, names::REN_KEY),
+            (w.dma_key, names::DMA_KEY),
+            (w.wen_ivt, names::WEN_IVT),
+            (w.dma_ivt, names::DMA_IVT),
+            (w.wen_or, names::WEN_OR),
+            (w.dma_or, names::DMA_OR),
+            (w.wen_er, names::WEN_ER),
+            (w.dma_er, names::DMA_ER),
+            (w.pc_in_swatt, names::PC_IN_SWATT),
+            (w.pc_at_swatt_min, names::PC_AT_SWATT_MIN),
+            (w.pc_at_swatt_max, names::PC_AT_SWATT_MAX),
+            (w.pc_in_er, names::PC_IN_ER),
+            (w.pc_at_ermin, names::PC_AT_ERMIN),
+            (w.pc_at_erexit, names::PC_AT_EREXIT),
+        ];
+        for (wire, name) in pairs {
+            assert_eq!(wire, p.contains(name), "wire `{name}` disagrees");
+        }
+    }
+
+    #[test]
+    fn wire_image_agrees_with_props_of() {
+        let layout = MemLayout::default();
+        let er = ErInfo {
+            min: 0xE000,
+            exit: 0xE010,
+            region: MemRegion::new(0xE000, 0xE0FF),
+        };
+        for ctx in [PropCtx::with_er(layout, er), PropCtx::new(layout)] {
+            let mut s = base_signals();
+            assert_wires_match_props(&ctx, &s);
+
+            s.accesses
+                .push(MemAccess::read(layout.key.start(), 0, true));
+            s.accesses.push(MemAccess::fetch(layout.key.start(), 0));
+            s.accesses
+                .push(MemAccess::write(layout.ivt.start(), 0xF000, false));
+            s.accesses
+                .push(MemAccess::write(layout.or.start(), 1, true));
+            s.accesses.push(MemAccess::write(0xE004, 0x4343, false));
+            assert_wires_match_props(&ctx, &s);
+
+            for dma_target in [
+                layout.key.start(),
+                layout.ivt.start(),
+                layout.or.start(),
+                0xE008,
+            ] {
+                s.accesses.push(MemAccess {
+                    addr: dma_target,
+                    value: 0,
+                    byte: false,
+                    write: true,
+                    fetch: false,
+                    master: Master::Dma,
+                });
+            }
+            s.irq = true;
+            s.pc = layout.swatt.start();
+            assert_wires_match_props(&ctx, &s);
+
+            s.pc = 0xE010;
+            s.fault = Some(openmsp430::cpu::CpuFault::IllegalInstruction {
+                pc: 0xE010,
+                word: 0,
+            });
+            assert_wires_match_props(&ctx, &s);
+        }
     }
 
     #[test]

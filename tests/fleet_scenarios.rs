@@ -1,4 +1,4 @@
-//! Fleet-scale scenario suite: 200 simulated devices per run, mixed
+//! Fleet-scale scenario suite: 200- and 1000-device rounds, mixed
 //! honest/adversarial behaviours, *exact* deterministic verdict counts.
 //!
 //! The point of asserting exact counts (not just "some rejections") is
@@ -107,6 +107,60 @@ fn two_hundred_device_round_seed_a() {
 #[test]
 fn two_hundred_device_round_seed_b() {
     assert_exact_verdicts(0x5A5A_0002);
+}
+
+/// 1000 devices in one round — the scale the zero-allocation predecoded
+/// step pipeline buys: every device is a *real* simulated MCU run to
+/// completion, and the round still asserts exact per-scenario verdict
+/// counts (no sampling, no tolerance).
+#[test]
+fn thousand_device_round_stays_exact() {
+    const BIG: ScenarioMix = ScenarioMix {
+        honest: 560,
+        replay: 120,
+        bit_flip: 100,
+        mis_bind: 100,
+        late: 60,
+        dropped: 60,
+    };
+    let mut harness = ScenarioHarness::build(0x1000_0003, &BIG);
+    assert_eq!(harness.device_count(), 1000);
+    let report = harness.run_round();
+
+    assert_eq!(report.entries.len(), 1000);
+    assert!(
+        report.misjudged().is_empty(),
+        "misjudged devices: {:#?}",
+        report.misjudged()
+    );
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 560);
+    assert_eq!(report.count(Scenario::LateResponse, Result::is_ok), 60);
+    assert_eq!(
+        report.count(Scenario::ReplayedEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        120
+    );
+    assert_eq!(
+        report.count(Scenario::BitFlippedFrame, |r| {
+            r == &Err(FleetError::Rejected(AsapError::Wire(WireError::BadMagic)))
+        }),
+        100
+    );
+    assert_eq!(
+        report.count(Scenario::WrongDeviceEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        100
+    );
+    assert_eq!(
+        report.count(Scenario::DroppedResponse, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        60
+    );
+    assert_eq!(report.verified(), 620);
+    assert_eq!(harness.fleet().in_flight(), 0, "sessions leaked");
 }
 
 #[test]

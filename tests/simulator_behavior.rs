@@ -181,6 +181,113 @@ fn nested_interrupts_masked_until_reti() {
 }
 
 #[test]
+fn self_modifying_code_executes_the_new_bytes() {
+    // The classic predecode-cache killer: the program rewrites the
+    // immediate word of an instruction it has already executed (and the
+    // simulator has already cached), then runs it again. Pass 1 must see
+    // 0x1111, pass 2 the patched 0x2222 — a stale decode cache would
+    // replay 0x1111 forever.
+    let src = "
+        main:
+            clr r7
+        again:
+        patch:
+            mov #0x1111, r5
+            mov #0x2222, &patch+2   ; rewrite our own immediate
+            cmp #0, r7
+            jnz second
+            mov r5, r6              ; pass 1 observation
+            mov #1, r7
+            jmp again
+        second:
+            mov r5, r8              ; pass 2 observation
+        spin:
+            jmp spin
+    ";
+    let mcu = run(src, 100);
+    assert_eq!(mcu.cpu.regs.get(Reg::r(6)), 0x1111, "first pass");
+    assert_eq!(
+        mcu.cpu.regs.get(Reg::r(8)),
+        0x2222,
+        "second pass executes the patched bytes"
+    );
+}
+
+#[test]
+fn dma_write_into_code_invalidates_the_decode_cache() {
+    use openmsp430::periph::DmaOp;
+
+    // A tight loop whose body is a single constant-generator `mov`:
+    //   target: mov #1, r4 (0x4314) ; jmp target
+    // (linked at the 0xE000 text base). After a few cached iterations,
+    // an injected (adversary-modelled) DMA transfer overwrites the
+    // instruction with `mov #2, r4` (0x4324). The very next pass must
+    // execute the new word.
+    let src = "
+        main:
+        target:
+            mov #1, r4
+            jmp target
+    ";
+    let img = link(src, &LinkConfig::new(0xC000, 0xE000)).expect("links");
+    let mut mcu = Mcu::new(MemLayout::default());
+    img.load_into(&mut mcu.mem);
+    mcu.reset();
+    for _ in 0..6 {
+        mcu.step();
+    }
+    assert_eq!(mcu.cpu.regs.get(Reg::r(4)), 1);
+
+    // Stage the new instruction word in RAM and DMA it over the code.
+    mcu.mem.write_word(0x0400, 0x4324);
+    mcu.inject_dma(DmaOp {
+        src: 0x0400,
+        dst: 0xE000,
+        byte: false,
+    });
+    let s = mcu.step();
+    assert!(
+        s.accesses
+            .iter()
+            .any(|a| a.write && a.addr == 0xE000 && a.master == openmsp430::bus::Master::Dma),
+        "the overwrite is DMA-mastered and visible on the bus"
+    );
+    for _ in 0..3 {
+        mcu.step();
+    }
+    assert_eq!(
+        mcu.cpu.regs.get(Reg::r(4)),
+        2,
+        "the DMA-patched instruction executes, not the cached one"
+    );
+}
+
+#[test]
+fn host_write_into_code_invalidates_the_decode_cache() {
+    // Direct host-side memory pokes (how tests and attack models mutate
+    // flash) must also defeat the cache: the write-generation check
+    // covers every mutation path, not just bus traffic.
+    let src = "
+        main:
+        target:
+            mov #1, r4
+            jmp target
+    ";
+    let img = link(src, &LinkConfig::new(0xC000, 0xE000)).expect("links");
+    let mut mcu = Mcu::new(MemLayout::default());
+    img.load_into(&mut mcu.mem);
+    mcu.reset();
+    for _ in 0..4 {
+        mcu.step();
+    }
+    mcu.mem.write_word(0xE000, 0x4334); // mov #-1, r4 via CG
+    for _ in 0..2 {
+        mcu.step();
+    }
+    assert_eq!(mcu.cpu.regs.get(Reg::r(4)), 0xFFFF);
+}
+
+#[test]
 fn byte_and_word_mmio_access_to_gpio() {
     use openmsp430::periph::Peripheral;
     use periph::gpio::Gpio;
