@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Guard against fleet-round throughput regressions.
+
+Usage: check_fleet_regression.py <baseline BENCH_fleet.json> <fresh BENCH_fleet.json>
+
+Compares loopback sessions_per_sec at every device count both files
+measured and fails when the fresh run is more than 20% below the
+checked-in baseline. Loopback is the guarded series because it is the
+pure verifier-side cost — no socket scheduling noise — so a regression
+there means the round pipeline itself got slower.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.8  # fresh must reach at least this fraction of baseline
+
+
+def loopback_rows(path):
+    with open(path) as f:
+        bench = json.load(f)
+    return {
+        row["devices"]: row["sessions_per_sec"]
+        for row in bench["rounds"]
+        if row["transport"] == "loopback"
+    }
+
+
+def main():
+    baseline = loopback_rows(sys.argv[1])
+    fresh = loopback_rows(sys.argv[2])
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        sys.exit(
+            f"no common loopback device counts: baseline {sorted(baseline)}, "
+            f"fresh {sorted(fresh)}"
+        )
+    failed = []
+    for devices in common:
+        ratio = fresh[devices] / baseline[devices]
+        print(
+            f"loopback @ {devices} devices: baseline {baseline[devices]:.0f}/s, "
+            f"fresh {fresh[devices]:.0f}/s ({ratio:.2f}x)"
+        )
+        if ratio < TOLERANCE:
+            failed.append(devices)
+    if failed:
+        sys.exit(
+            f"loopback sessions_per_sec regressed more than 20% at {failed} "
+            "devices vs the checked-in BENCH_fleet.json"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,7 @@ use crate::error::FleetError;
 use crate::registry::FleetVerifier;
 use crate::round::{RoundOutcome, RoundReport};
 use crate::DeviceId;
+use asap::Attested;
 use std::collections::VecDeque;
 
 /// A point in injected, driver-defined time.
@@ -207,10 +208,49 @@ impl<'a> RoundEngine<'a> {
     /// [`NoResponse`]: FleetError::NoResponse
     pub fn frame_received(&mut self, frame: &[u8]) {
         let (device, result) = self.fleet.conclude(frame);
+        self.outcome_received(device, result);
+    }
+
+    /// Absorbs one *already-concluded* verdict — the half of
+    /// [`frame_received`](RoundEngine::frame_received) below the
+    /// [`FleetVerifier::conclude`] call. Drivers that conclude frames
+    /// elsewhere (say, a batch on a worker pool via
+    /// [`FleetVerifier::conclude_batch`]) inject the results here, in
+    /// whatever order the report should record them.
+    pub fn outcome_received(
+        &mut self,
+        device: Option<DeviceId>,
+        result: Result<Attested, FleetError>,
+    ) {
         if let Some(id) = device {
             self.awaiting.retain(|p| p.device != id);
         }
         self.settle(RoundOutcome { device, result });
+    }
+
+    /// Settles one still-awaited device as [`FleetError::NoResponse`]
+    /// *now*, without waiting for its deadline, aborting its in-flight
+    /// session — the verdict for a device whose only path to the
+    /// verifier is gone (its connection hung up or turned hostile).
+    /// Returns whether the device was actually awaited; a device that
+    /// already settled is left untouched.
+    pub fn charge_no_response(&mut self, id: DeviceId) -> bool {
+        let before = self.awaiting.len();
+        self.awaiting.retain(|p| p.device != id);
+        if self.awaiting.len() == before {
+            return false;
+        }
+        self.fleet.abort(id);
+        self.settle(RoundOutcome {
+            device: Some(id),
+            result: Err(FleetError::NoResponse(id)),
+        });
+        true
+    }
+
+    /// The fleet registry this round runs against.
+    pub fn fleet(&self) -> &'a FleetVerifier {
+        self.fleet
     }
 
     /// Advances logical time to `now` (never backwards) and charges

@@ -9,7 +9,9 @@
 //!   wire by the [`apex_pox::wire::Envelope`] frame;
 //! * [`FleetVerifier`] — one [`asap::AsapVerifier`] per device behind a
 //!   fixed array of independently locked shards, so sessions on
-//!   different devices never contend ([`registry`]);
+//!   different devices never contend; large frame batches verify their
+//!   MACs on a [`std::thread::scope`] worker pool
+//!   ([`FleetVerifier::conclude_batch`], [`registry`]);
 //! * [`RoundEngine`] — the whole round protocol as a **sans-IO state
 //!   machine** ([`engine`]): feed it events (`frame_received`, `tick`
 //!   on injected [`LogicalTime`]), drain actions (`poll_transmit`,
@@ -26,6 +28,31 @@
 //!   to real simulated devices ([`transport`]), and the framed TCP/UDS
 //!   [`StreamTransport`] for provers in other processes or hosts
 //!   ([`stream`]).
+//!
+//! # Two driving modes
+//!
+//! Everything real-time funnels into the same engine through one of
+//! two drivers:
+//!
+//! 1. **Single-peer** — [`drive_round`] pumps one [`Transport`]
+//!    (usually a [`StreamTransport`]) against a wall-clock budget:
+//!    right when one prover host carries the whole fleet behind a
+//!    single stream, or in tests and benches. The whole round
+//!    serializes through that one connection.
+//! 2. **Multi-peer** — [`FleetGateway`] ([`gateway`]) owns a listening
+//!    socket plus every accepted prover connection, each with its own
+//!    deframer and bounded write queue, serviced by a poll-driven
+//!    readiness loop that never blocks on any one peer. Devices are
+//!    routed by the hello frames they announce themselves with
+//!    ([`announce_devices`]), not pinned to a transport; a hangup or
+//!    poisoned connection charges its still-awaited devices
+//!    [`FleetError::NoResponse`] immediately. Drive it with
+//!    [`FleetVerifier::run_round_gateway`], or sweep-by-sweep via
+//!    [`GatewayRound`] when the caller interleaves its own work.
+//!
+//! Both map elapsed wall-clock milliseconds onto engine ticks, so the
+//! verdict semantics — deadlines, late frames, per-device isolation —
+//! are identical; only the fan-in differs.
 //!
 //! # Fleet quickstart
 //!
@@ -110,6 +137,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod gateway;
 pub mod registry;
 pub mod round;
 pub mod stream;
@@ -117,9 +145,16 @@ pub mod transport;
 
 pub use engine::{LogicalTime, RoundConfig, RoundEngine};
 pub use error::FleetError;
+pub use gateway::{
+    FleetGateway, GatewayConn, GatewayListener, GatewayPoll, GatewayRound, NoListener,
+    MAX_ROUTED_PER_CONN,
+};
 pub use registry::{FleetVerifier, SHARD_COUNT};
 pub use round::{RoundOutcome, RoundReport};
-pub use stream::{drive_round, serve_frames, StreamTransport};
+pub use stream::{
+    announce_devices, drive_round, pump_read, serve_frames, ReadPump, StreamTransport, WritePump,
+    WriteQueue,
+};
 pub use transport::{Loopback, Transport};
 
 use std::fmt;
@@ -253,7 +288,7 @@ mod tests {
         assert_eq!(report.verified(), 2, "devices 1 and 3 still verify");
         // The broken frame is unattributable; device 2's dangling
         // session is charged as NoResponse.
-        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.no_response(), 1);
         assert_eq!(fleet.in_flight(), 0);
     }
 

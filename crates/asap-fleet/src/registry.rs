@@ -12,6 +12,7 @@
 
 use crate::engine::{RoundConfig, RoundEngine};
 use crate::error::FleetError;
+use crate::gateway::{FleetGateway, GatewayListener};
 use crate::round::RoundReport;
 use crate::transport::Transport;
 use crate::DeviceId;
@@ -210,6 +211,49 @@ impl FleetVerifier {
         (Some(id), result)
     }
 
+    /// Concludes a whole batch of response frames, MAC verification
+    /// fanned out onto a [`std::thread::scope`] worker pool when the
+    /// batch is large enough to pay for the threads. Results come back
+    /// in **input order**, so callers can feed them to
+    /// [`RoundEngine::outcome_received`] and get the same report a
+    /// serial conclusion would have produced.
+    ///
+    /// This is where the sharded registry earns its sharding: each
+    /// worker's [`conclude`](FleetVerifier::conclude) holds a shard
+    /// lock only for the session pop, and the MAC recomputation — the
+    /// actual work — runs outside all locks, so workers on devices in
+    /// different shards never contend.
+    ///
+    /// One caveat: when a batch carries *several* frames for the same
+    /// device, which frame wins the in-flight session is decided by
+    /// worker scheduling, not input order. Batches assembled from one
+    /// round (at most one response per device) are unaffected.
+    pub fn conclude_batch(
+        &self,
+        frames: &[Vec<u8>],
+    ) -> Vec<(Option<DeviceId>, Result<Attested, FleetError>)> {
+        /// Below this, thread spawn/join costs more than it buys.
+        const PARALLEL_MIN: usize = 32;
+
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        if frames.len() < PARALLEL_MIN || workers < 2 {
+            return frames.iter().map(|f| self.conclude(f)).collect();
+        }
+        let per_worker = frames.len().div_ceil(workers.min(8));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = frames
+                .chunks(per_worker)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(|f| self.conclude(f)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("conclude worker never panics"))
+                .collect()
+        })
+    }
+
     /// Concludes a whole round: absorbs every response frame, then
     /// charges [`FleetError::NoResponse`] to each challenged device
     /// whose session is still dangling — aborting it, so the registry
@@ -219,13 +263,15 @@ impl FleetVerifier {
     /// that fails its check, yields a rejected outcome for that device
     /// only; every other frame in the round is still judged.
     ///
-    /// A thin lock-step driver over [`RoundEngine`]: every frame is an
-    /// event, and one tick at the lock-step deadline settles the silent
-    /// devices.
+    /// A thin lock-step driver over [`RoundEngine`]: the frames are
+    /// concluded as one [`conclude_batch`](FleetVerifier::conclude_batch)
+    /// (so large rounds verify MACs on the worker pool), their verdicts
+    /// injected in frame order, and one tick at the lock-step deadline
+    /// settles the silent devices.
     pub fn conclude_round(&self, challenged: &[DeviceId], frames: &[Vec<u8>]) -> RoundReport {
         let mut engine = RoundEngine::resume(self, challenged, RoundConfig::lockstep());
-        for frame in frames {
-            engine.frame_received(frame);
+        for (device, result) in self.conclude_batch(frames) {
+            engine.outcome_received(device, result);
         }
         engine.tick(engine.now());
         engine.into_report()
@@ -272,5 +318,28 @@ impl FleetVerifier {
         }
         engine.tick(engine.now());
         Ok(engine.into_report())
+    }
+
+    /// Drives one full round through a [`FleetGateway`]: challenges
+    /// every device in `ids`, lets the gateway route each request to
+    /// whichever connection its device announced itself on, and maps
+    /// the wall-clock `budget` onto engine ticks — exactly
+    /// [`drive_round`](crate::stream::drive_round)'s contract, but over
+    /// *many* concurrent prover connections instead of one stream.
+    /// Inbound frames are concluded via
+    /// [`conclude_batch`](FleetVerifier::conclude_batch), so a busy
+    /// sweep verifies MACs on the scoped worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when an id is not enrolled (no
+    /// challenge is issued in that case).
+    pub fn run_round_gateway<L: GatewayListener>(
+        &self,
+        ids: &[DeviceId],
+        gateway: &mut FleetGateway<L>,
+        budget: std::time::Duration,
+    ) -> Result<RoundReport, FleetError> {
+        gateway.drive_round(self, ids, budget)
     }
 }

@@ -3,6 +3,7 @@
 use crate::error::FleetError;
 use crate::DeviceId;
 use asap::{AsapError, Attested};
+use std::fmt;
 
 /// The verdict for one device (or one unattributable frame) in a round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,8 +44,10 @@ impl RoundReport {
             .count()
     }
 
-    /// Number of challenged devices that never answered.
-    pub fn dropped(&self) -> usize {
+    /// Number of challenged devices that never answered — charged
+    /// [`FleetError::NoResponse`] by deadline expiry, a hangup of their
+    /// only connection, or the round being cut short.
+    pub fn no_response(&self) -> usize {
         self.outcomes
             .iter()
             .filter(|o| matches!(o.result, Err(FleetError::NoResponse(_))))
@@ -65,6 +68,22 @@ impl RoundReport {
     /// The verdict recorded for `id`, if any.
     pub fn of(&self, id: DeviceId) -> Option<&Result<Attested, FleetError>> {
         self.outcome_for(id).map(|o| &o.result)
+    }
+}
+
+impl fmt::Display for RoundReport {
+    /// The round at a glance, counters included — what a fleet
+    /// operator's log line should say:
+    /// `round: 5 outcomes, 3 verified, 2 rejected (1 no response)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "round: {} outcomes, {} verified, {} rejected ({} no response)",
+            self.outcomes.len(),
+            self.verified(),
+            self.rejected(),
+            self.no_response()
+        )
     }
 }
 
@@ -110,10 +129,14 @@ mod tests {
         assert_eq!(report.verified(), 1);
         assert_eq!(report.rejected(), 4);
         assert_eq!(report.rejected_with(&AsapError::BadMac), 1);
-        assert_eq!(report.dropped(), 1);
+        assert_eq!(report.no_response(), 1);
         assert_eq!(report.verified() + report.rejected(), report.outcomes.len());
         assert!(report.of(DeviceId(1)).unwrap().is_ok());
         assert!(report.of(DeviceId(9)).is_none());
+        assert_eq!(
+            report.to_string(),
+            "round: 5 outcomes, 1 verified, 4 rejected (1 no response)"
+        );
     }
 
     #[test]

@@ -1,23 +1,33 @@
-//! The first real transport: length-prefixed [`Envelope`] frames over
-//! a byte stream (TCP or Unix-domain), std-only.
+//! The single-peer stream transport: length-prefixed [`Envelope`]
+//! frames over one byte stream (TCP or Unix-domain), std-only — plus
+//! the reusable non-blocking halves every stream speaker in this crate
+//! is built from.
 //!
-//! [`StreamTransport`] multiplexes a whole fleet over **one** stream —
-//! the envelope's device id does the routing, which is exactly what it
-//! exists for. The transport is still a non-blocking pump: `send`
-//! writes one [`frame_stream`]-framed envelope, `try_recv` reads
-//! whatever bytes are available within the socket's read timeout and
-//! returns at most one complete frame. A timeout is *not* an error —
-//! it returns `None`, the driver [`tick`]s the engine, and a device
-//! that stays silent past its deadline settles as
-//! [`FleetError::NoResponse`](crate::FleetError::NoResponse). All
-//! framing state lives in the sans-IO
-//! [`StreamDeframer`](apex_pox::wire::StreamDeframer).
+//! Three layers live here:
 //!
-//! [`drive_round`] is the wall-clock driver gluing a [`Transport`] to
-//! the [`RoundEngine`]: it maps elapsed milliseconds to
-//! [`LogicalTime`] ticks, so the engine itself stays free of clocks.
-//! [`serve_frames`] is the matching prover-side loop for examples,
-//! tests and benches that host simulated devices behind a socket.
+//! * **The halves** — [`pump_read`] (one non-blocking read attempt into
+//!   a [`StreamDeframer`], every outcome named by [`ReadPump`]) and
+//!   [`WriteQueue`] (a bounded byte queue flushed with partial-write
+//!   backpressure, outcomes named by [`WritePump`]). These are the
+//!   *only* places raw socket reads and writes happen: the single-peer
+//!   transport below, the prover loop, and the multi-peer
+//!   [`FleetGateway`](crate::FleetGateway) all share them, so framing
+//!   behaviour cannot drift between the two driving modes.
+//! * **[`StreamTransport`]** — the verifier-side single-peer transport:
+//!   a non-blocking pump (`send`/`try_recv`) multiplexing a whole fleet
+//!   over **one** stream, the envelope's device id doing the routing. A
+//!   read timeout is *not* an error — `try_recv` returns `None`, the
+//!   driver [`tick`]s the engine, and a device that stays silent past
+//!   its deadline settles as
+//!   [`FleetError::NoResponse`](crate::FleetError::NoResponse).
+//! * **The drivers** — [`drive_round`] glues a [`Transport`] to the
+//!   [`RoundEngine`] by mapping elapsed wall-clock milliseconds to
+//!   [`LogicalTime`] ticks (the engine itself stays free of clocks),
+//!   pacing its idle loop by the transport's
+//!   [`recv_pacing`](Transport::recv_pacing) hint; [`serve_frames`] and
+//!   [`announce_devices`] are the matching prover-side pieces for
+//!   examples, tests and benches that host simulated devices behind a
+//!   socket.
 //!
 //! [`tick`]: RoundEngine::tick
 
@@ -27,7 +37,8 @@ use crate::registry::FleetVerifier;
 use crate::round::RoundReport;
 use crate::transport::Transport;
 use crate::DeviceId;
-use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
+use apex_pox::wire::{frame_stream, Envelope, StreamDeframer, MAX_FRAME_LEN};
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -35,6 +46,144 @@ use std::time::{Duration, Instant};
 /// Default socket read timeout: how long one `try_recv` may wait
 /// before reporting "nothing yet" and letting the driver tick.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// True for the error kinds that mean "nothing to do right now" on a
+/// non-blocking or timeout-configured socket.
+fn is_not_ready(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// What one [`pump_read`] attempt did to the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPump {
+    /// Bytes were read and absorbed into the deframer.
+    Bytes(usize),
+    /// Nothing available right now (`WouldBlock`/read timeout).
+    Idle,
+    /// Orderly EOF: the peer hung up.
+    Closed,
+    /// A hard I/O error: the stream is beyond recovery.
+    Broken,
+}
+
+/// One read attempt from `stream` into `deframer` — the shared receive
+/// half. Never loops waiting for data: a non-blocking socket yields
+/// [`ReadPump::Idle`] immediately, a timeout-configured one after at
+/// most its read timeout. `Interrupted` is retried, since it carries no
+/// information about the stream.
+pub fn pump_read<S: Read + ?Sized>(stream: &mut S, deframer: &mut StreamDeframer) -> ReadPump {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadPump::Closed,
+            Ok(n) => {
+                deframer.extend(&chunk[..n]);
+                return ReadPump::Bytes(n);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_not_ready(e.kind()) => return ReadPump::Idle,
+            Err(_) => return ReadPump::Broken,
+        }
+    }
+}
+
+/// What one [`WriteQueue::flush`] attempt did to the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePump {
+    /// Every queued byte is on the wire.
+    Drained,
+    /// The stream stopped accepting bytes; the payload is how many were
+    /// written before it did. The rest stay queued for the next flush.
+    Blocked(usize),
+    /// The peer hung up mid-write.
+    Closed,
+    /// A hard I/O error: the stream is beyond recovery.
+    Broken,
+}
+
+/// The shared transmit half: a bounded byte queue in front of a
+/// non-blocking (or timeout-configured) stream.
+///
+/// [`enqueue`](WriteQueue::enqueue) accepts a frame when it fits the
+/// bound — except that an *empty* queue always accepts one frame, so a
+/// frame no larger than the bound can never be stuck un-sendable.
+/// [`flush`](WriteQueue::flush) writes as much as the stream will take
+/// and leaves the rest queued: a `WouldBlock` mid-frame is
+/// backpressure, not an error, and never wedges the caller's loop.
+#[derive(Debug)]
+pub struct WriteQueue {
+    buf: VecDeque<u8>,
+    capacity: usize,
+}
+
+/// Default [`WriteQueue`] bound: two maximal frames, so one oversized
+/// burst is absorbed while a peer that never drains is still detected.
+pub const DEFAULT_WRITE_QUEUE_CAPACITY: usize = 2 * (MAX_FRAME_LEN as usize + 4);
+
+impl Default for WriteQueue {
+    fn default() -> WriteQueue {
+        WriteQueue::with_capacity(DEFAULT_WRITE_QUEUE_CAPACITY)
+    }
+}
+
+impl WriteQueue {
+    /// An empty queue bounded at `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> WriteQueue {
+        WriteQueue {
+            buf: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Queues `bytes` for transmission. Returns `false` — queuing
+    /// *nothing* — when the queue is non-empty and the bytes would push
+    /// it over capacity: the peer is not draining, and the caller
+    /// decides whether that means "drop the connection" (the gateway)
+    /// or "keep flushing first" (a lock-step sender).
+    #[must_use]
+    pub fn enqueue(&mut self, bytes: &[u8]) -> bool {
+        if !self.buf.is_empty() && self.buf.len() + bytes.len() > self.capacity {
+            return false;
+        }
+        self.buf.extend(bytes);
+        true
+    }
+
+    /// Writes as many queued bytes as `stream` accepts right now.
+    pub fn flush<S: Write + ?Sized>(&mut self, stream: &mut S) -> WritePump {
+        let mut wrote = 0;
+        while !self.buf.is_empty() {
+            let (head, _) = self.buf.as_slices();
+            match stream.write(head) {
+                Ok(0) => return WritePump::Closed,
+                Ok(n) => {
+                    self.buf.drain(..n);
+                    wrote += n;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_not_ready(e.kind()) => return WritePump::Blocked(wrote),
+                Err(_) => return WritePump::Broken,
+            }
+        }
+        match stream.flush() {
+            Ok(()) => WritePump::Drained,
+            Err(e) if e.kind() == ErrorKind::Interrupted || is_not_ready(e.kind()) => {
+                WritePump::Drained
+            }
+            Err(_) => WritePump::Broken,
+        }
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn queued(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
 
 /// A verifier-side transport over one framed byte stream.
 ///
@@ -46,6 +195,11 @@ pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_millis(20);
 pub struct StreamTransport<S> {
     stream: S,
     deframer: StreamDeframer,
+    outbox: WriteQueue,
+    /// The configured socket read timeout, surfaced to drivers via
+    /// [`Transport::recv_pacing`] so they know `try_recv` already
+    /// paces the loop.
+    read_timeout: Option<Duration>,
     /// Set once the stream or framing is beyond recovery (EOF, I/O
     /// error, oversized frame): all further sends and receives are
     /// no-ops, and outstanding devices settle as `NoResponse`.
@@ -61,11 +215,25 @@ impl StreamTransport<TcpStream> {
     pub fn connect(
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<StreamTransport<TcpStream>> {
+        StreamTransport::connect_with(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects over TCP with an explicit read/write timeout — the
+    /// knob for links whose round-trip does not fit the default (a
+    /// congested uplink wants more; a loopback bench wants less).
+    ///
+    /// # Errors
+    ///
+    /// Any connect/configure error from the socket layer.
+    pub fn connect_with(
+        addr: impl std::net::ToSocketAddrs,
+        timeout: Duration,
+    ) -> std::io::Result<StreamTransport<TcpStream>> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        stream.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(StreamTransport::over(stream))
+        Ok(StreamTransport::over(stream).paced_by(timeout))
     }
 }
 
@@ -79,10 +247,23 @@ impl StreamTransport<std::os::unix::net::UnixStream> {
     pub fn connect_uds(
         path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<StreamTransport<std::os::unix::net::UnixStream>> {
+        StreamTransport::connect_uds_with(path, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connects over a Unix-domain socket with an explicit read/write
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// Any connect/configure error from the socket layer.
+    pub fn connect_uds_with(
+        path: impl AsRef<std::path::Path>,
+        timeout: Duration,
+    ) -> std::io::Result<StreamTransport<std::os::unix::net::UnixStream>> {
         let stream = std::os::unix::net::UnixStream::connect(path)?;
-        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        stream.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        Ok(StreamTransport::over(stream))
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(StreamTransport::over(stream).paced_by(timeout))
     }
 
     /// A connected socketpair: the verifier-side transport plus the raw
@@ -96,21 +277,53 @@ impl StreamTransport<std::os::unix::net::UnixStream> {
         StreamTransport<std::os::unix::net::UnixStream>,
         std::os::unix::net::UnixStream,
     )> {
+        StreamTransport::pair_with(DEFAULT_READ_TIMEOUT)
+    }
+
+    /// A connected socketpair whose verifier side uses an explicit
+    /// read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Any socketpair/configure error from the socket layer.
+    pub fn pair_with(
+        timeout: Duration,
+    ) -> std::io::Result<(
+        StreamTransport<std::os::unix::net::UnixStream>,
+        std::os::unix::net::UnixStream,
+    )> {
         let (verifier, prover) = std::os::unix::net::UnixStream::pair()?;
-        verifier.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        verifier.set_write_timeout(Some(DEFAULT_READ_TIMEOUT))?;
-        Ok((StreamTransport::over(verifier), prover))
+        verifier.set_read_timeout(Some(timeout))?;
+        verifier.set_write_timeout(Some(timeout))?;
+        Ok((StreamTransport::over(verifier).paced_by(timeout), prover))
     }
 }
 
 impl<S: Read + Write> StreamTransport<S> {
-    /// Wraps an already-connected, already-configured stream.
+    /// Wraps an already-connected, already-configured stream. The
+    /// transport assumes no read timeout is set; if one is, record it
+    /// with [`paced_by`](StreamTransport::paced_by) so drivers skip
+    /// their fallback sleep.
     pub fn over(stream: S) -> StreamTransport<S> {
         StreamTransport {
             stream,
             deframer: StreamDeframer::new(),
+            outbox: WriteQueue::default(),
+            read_timeout: None,
             dead: false,
         }
+    }
+
+    /// Declares the read timeout already configured on the wrapped
+    /// stream, so [`Transport::recv_pacing`] can report it.
+    pub fn paced_by(mut self, timeout: Duration) -> StreamTransport<S> {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// The read timeout this transport believes its stream has.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
     }
 
     /// True once the stream has failed (EOF, I/O error, or an
@@ -121,10 +334,10 @@ impl<S: Read + Write> StreamTransport<S> {
     }
 }
 
-/// Consecutive stalled write attempts (write timed out *and* nothing
-/// was readable) before a send declares the stream dead. With the
-/// default timeouts this bounds a wedged peer to roughly two seconds,
-/// instead of deadlocking the round forever.
+/// Consecutive stalled write attempts (write timed out *and* no write
+/// progress) before a send declares the stream dead. With the default
+/// timeouts this bounds a wedged peer to roughly two seconds, instead
+/// of deadlocking the round forever.
 const MAX_SEND_STALLS: u32 = 50;
 
 impl<S: Read + Write> Transport for StreamTransport<S> {
@@ -135,21 +348,16 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
         if self.dead {
             return;
         }
-        let framed = frame_stream(frame);
-        let mut written = 0;
+        if !self.outbox.enqueue(&frame_stream(frame)) {
+            // Over the bound with a peer that is not draining: wedged.
+            self.dead = true;
+            return;
+        }
         let mut stalls = 0;
-        while written < framed.len() {
-            match self.stream.write(&framed[written..]) {
-                Ok(0) => {
-                    self.dead = true;
-                    return;
-                }
-                Ok(n) => {
-                    written += n;
-                    stalls = 0;
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        loop {
+            match self.outbox.flush(&mut self.stream) {
+                WritePump::Drained => return,
+                WritePump::Blocked(wrote) => {
                     // Backpressure: with both sides single-threaded, a
                     // full send buffer usually means the peer is itself
                     // blocked writing responses we have not read. Drain
@@ -159,35 +367,24 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
                     // progress resets the stall counter: a peer that
                     // floods bytes while never draining our writes must
                     // still run out of stalls, not hold send() forever.
-                    stalls += 1;
+                    stalls = if wrote > 0 { 1 } else { stalls + 1 };
                     if stalls >= MAX_SEND_STALLS {
                         self.dead = true; // wedged or hostile peer, give up
                         return;
                     }
-                    let mut chunk = [0u8; 4096];
-                    match self.stream.read(&mut chunk) {
-                        Ok(0) => {
-                            self.dead = true;
-                            return;
-                        }
-                        Ok(n) => self.deframer.extend(&chunk[..n]),
-                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                        Err(e)
-                            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-                        Err(_) => {
+                    match pump_read(&mut self.stream, &mut self.deframer) {
+                        ReadPump::Bytes(_) | ReadPump::Idle => {}
+                        ReadPump::Closed | ReadPump::Broken => {
                             self.dead = true;
                             return;
                         }
                     }
                 }
-                Err(_) => {
+                WritePump::Closed | WritePump::Broken => {
                     self.dead = true;
                     return;
                 }
             }
-        }
-        if self.stream.flush().is_err() {
-            self.dead = true;
         }
     }
 
@@ -206,24 +403,47 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
             if self.dead {
                 return None;
             }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => {
-                    self.dead = true; // EOF: the peer hung up.
-                    return None;
-                }
-                Ok(n) => self.deframer.extend(&chunk[..n]),
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    return None; // Read timeout: nothing yet — tick.
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
+            match pump_read(&mut self.stream, &mut self.deframer) {
+                ReadPump::Bytes(_) => {}
+                ReadPump::Idle => return None, // Read timeout: nothing yet — tick.
+                ReadPump::Closed | ReadPump::Broken => {
                     self.dead = true;
                     return None;
                 }
             }
         }
     }
+
+    fn recv_pacing(&self) -> Option<Duration> {
+        // A dead stream returns from try_recv instantly; report no
+        // pacing so the driver falls back to its own yield instead of
+        // busy-spinning the rest of the budget.
+        if self.dead {
+            None
+        } else {
+            self.read_timeout
+        }
+    }
+}
+
+/// Announces the devices hosted behind `stream` to a listening
+/// [`FleetGateway`](crate::FleetGateway): one *hello* frame — an
+/// [`Envelope`] with an empty payload — per id. The gateway never
+/// judges a hello; it only learns "frames for this device go to this
+/// connection", which is how challenges find provers that dialed in.
+///
+/// Single-peer transports must **not** be sent hellos: a
+/// [`StreamTransport`] driver would feed the empty payload to the
+/// engine as (rejected) evidence.
+///
+/// # Errors
+///
+/// Any write error from the stream.
+pub fn announce_devices<S: Write>(stream: &mut S, ids: &[DeviceId]) -> std::io::Result<()> {
+    for &id in ids {
+        stream.write_all(&frame_stream(&Envelope::wrap(id.0, Vec::new()).to_bytes()))?;
+    }
+    stream.flush()
 }
 
 /// Prover-side frame loop: reads [`frame_stream`]-framed envelopes off
@@ -232,14 +452,15 @@ impl<S: Read + Write> Transport for StreamTransport<S> {
 /// when the peer hangs up or the framing breaks.
 ///
 /// This is the glue an out-of-process prover host needs: the examples,
-/// the socket integration test and the bench all run simulated
-/// [`Device`](asap::Device)s behind it in their own thread.
+/// the socket integration tests and the benches all run simulated
+/// [`Device`](asap::Device)s behind it in their own thread. Pair it
+/// with [`announce_devices`] when the verifier side is a
+/// [`FleetGateway`](crate::FleetGateway).
 pub fn serve_frames<S: Read + Write>(
     mut stream: S,
     mut respond: impl FnMut(DeviceId, &Envelope) -> Option<Vec<u8>>,
 ) {
     let mut deframer = StreamDeframer::new();
-    let mut chunk = [0u8; 4096];
     loop {
         match deframer.next_frame() {
             Ok(Some(frame)) => {
@@ -257,12 +478,9 @@ pub fn serve_frames<S: Read + Write>(
             Ok(None) => {}
             Err(_) => return, // Oversized frame: boundaries are lost.
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => deframer.extend(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-            Err(_) => return,
+        match pump_read(&mut stream, &mut deframer) {
+            ReadPump::Bytes(_) | ReadPump::Idle => {}
+            ReadPump::Closed | ReadPump::Broken => return,
         }
     }
 }
@@ -275,6 +493,14 @@ pub fn serve_frames<S: Read + Write>(
 /// [`FleetError::NoResponse`](crate::FleetError::NoResponse). The
 /// wall clock stays *here*, in the driver; the engine only ever sees
 /// injected time.
+///
+/// The idle loop is paced by the transport itself: a transport whose
+/// [`recv_pacing`](Transport::recv_pacing) reports a read timeout has
+/// already waited that long inside `try_recv`, so the driver ticks and
+/// retries immediately; one with no pacing (or a dead stream returning
+/// instantly) gets a short sleep so it cannot busy-spin a core for the
+/// whole budget. The budget should comfortably exceed the transport's
+/// read timeout, or the first silent wait may overshoot it.
 ///
 /// # Errors
 ///
@@ -297,14 +523,93 @@ pub fn drive_round<T: Transport + ?Sized>(
     while !engine.is_settled() {
         match transport.try_recv() {
             Some(frame) => engine.frame_received(&frame),
-            // No frame: yield briefly so a dead or instantly-returning
-            // transport does not busy-spin a core for the whole budget.
-            // (A live socket already paced us via its read timeout.)
-            None => std::thread::sleep(Duration::from_millis(1)),
+            // No frame: a transport with a configured read timeout has
+            // already paced this iteration; anything else yields
+            // briefly so an instantly-returning transport does not
+            // busy-spin a core for the whole budget.
+            None => {
+                if transport.recv_pacing().is_none() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
         }
         // Tick unconditionally: a peer flooding frames must not be able
         // to hold the round open past its budget.
         engine.tick(LogicalTime(started.elapsed().as_millis() as u64));
     }
     Ok(engine.into_report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stream scripted to accept `accept` bytes per write call, then
+    /// report `WouldBlock`.
+    struct Throttled {
+        accept: Vec<usize>,
+        written: Vec<u8>,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            match self.accept.pop() {
+                Some(0) | None => Err(ErrorKind::WouldBlock.into()),
+                Some(n) => {
+                    let n = n.min(buf.len());
+                    self.written.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_survives_partial_writes() {
+        let mut q = WriteQueue::with_capacity(64);
+        assert!(q.enqueue(b"hello world"));
+        let mut stream = Throttled {
+            accept: vec![3], // popped back-to-front
+            written: Vec::new(),
+        };
+        assert_eq!(q.flush(&mut stream), WritePump::Blocked(3));
+        assert_eq!(q.queued(), 8, "the rest stays queued");
+        stream.accept = vec![100];
+        assert_eq!(q.flush(&mut stream), WritePump::Drained);
+        assert_eq!(stream.written, b"hello world");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn write_queue_bound_rejects_only_when_nonempty() {
+        let mut q = WriteQueue::with_capacity(4);
+        // An empty queue always accepts one frame, even over the bound.
+        assert!(q.enqueue(b"oversized"));
+        // A non-empty queue refuses to grow past the bound...
+        assert!(!q.enqueue(b"x"));
+        // ...and refusal queues nothing.
+        assert_eq!(q.queued(), 9);
+    }
+
+    #[test]
+    fn pump_read_maps_io_outcomes() {
+        let mut deframer = StreamDeframer::new();
+        let mut eof: &[u8] = &[];
+        assert_eq!(pump_read(&mut eof, &mut deframer), ReadPump::Closed);
+
+        struct NotReady;
+        impl Read for NotReady {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(ErrorKind::WouldBlock.into())
+            }
+        }
+        assert_eq!(pump_read(&mut NotReady, &mut deframer), ReadPump::Idle);
+
+        let mut bytes: &[u8] = &[1, 2, 3];
+        assert_eq!(pump_read(&mut bytes, &mut deframer), ReadPump::Bytes(3));
+        assert_eq!(deframer.pending(), 3);
+    }
 }

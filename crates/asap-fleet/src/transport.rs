@@ -37,6 +37,16 @@ pub trait Transport {
     /// bounded interval (a socket read timeout); `None` means "nothing
     /// yet", and the driver should `tick` the engine.
     fn try_recv(&mut self) -> Option<Vec<u8>>;
+
+    /// How long one empty [`try_recv`](Transport::try_recv) may already
+    /// have waited — the transport's configured read timeout, if it has
+    /// one. Drivers use this to pace their idle loop: a paced transport
+    /// is retried immediately, an unpaced (or instantly-returning) one
+    /// gets the driver's own yield. `None`, the default, means "I
+    /// return immediately; pace me yourself".
+    fn recv_pacing(&self) -> Option<std::time::Duration> {
+        None
+    }
 }
 
 /// An in-memory transport backed by real simulated devices.

@@ -21,12 +21,17 @@
 //! for byte, on every run — the property the exact-verdict-count
 //! assertions in `tests/fleet_scenarios.rs` rely on.
 
+use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
 use asap::device::PoxMode;
 use asap::{programs, AsapError, Attested, Device, VerifierSpec};
 use asap_fleet::{
-    DeviceId, FleetError, FleetVerifier, LogicalTime, Loopback, RoundConfig, RoundEngine,
+    pump_read, DeviceId, FleetError, FleetGateway, FleetVerifier, GatewayConn, GatewayListener,
+    GatewayPoll, GatewayRound, LogicalTime, Loopback, ReadPump, RoundConfig, RoundEngine,
+    WritePump, WriteQueue,
 };
 use pox_crypto::sha256;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Offset of the envelope payload inside an envelope frame — the
 /// fixed framing the codec itself declares.
@@ -93,6 +98,13 @@ pub enum Scenario {
     LateResponse,
     /// Never answers the challenge.
     DroppedResponse,
+    /// Receives its challenge, then severs its connection without
+    /// answering — the crashed-prover shape. Over a gateway the hangup
+    /// is observed directly and the device is charged
+    /// [`FleetError::NoResponse`] on the spot; over loopback (which has
+    /// no connection to sever) it degenerates to a dropped response and
+    /// expires by deadline. Either way the verdict is `NoResponse`.
+    MidRoundHangup,
 }
 
 /// How many devices of each behaviour to simulate.
@@ -111,6 +123,8 @@ pub struct ScenarioMix {
     pub late: usize,
     /// Devices that never respond.
     pub dropped: usize,
+    /// Devices that hang up mid-round after receiving their challenge.
+    pub hangup: usize,
 }
 
 impl ScenarioMix {
@@ -124,7 +138,13 @@ impl ScenarioMix {
 
     /// Total number of simulated devices.
     pub fn total(&self) -> usize {
-        self.honest + self.replay + self.bit_flip + self.mis_bind + self.late + self.dropped
+        self.honest
+            + self.replay
+            + self.bit_flip
+            + self.mis_bind
+            + self.late
+            + self.dropped
+            + self.hangup
     }
 }
 
@@ -191,7 +211,9 @@ pub fn expected_verdict(
         Scenario::BitFlippedFrame => {
             matches!(result, Err(FleetError::Rejected(AsapError::Wire(_))))
         }
-        Scenario::DroppedResponse => result == &Err(FleetError::NoResponse(device)),
+        Scenario::DroppedResponse | Scenario::MidRoundHangup => {
+            result == &Err(FleetError::NoResponse(device))
+        }
     }
 }
 
@@ -236,6 +258,7 @@ impl ScenarioHarness {
             (Scenario::WrongDeviceEvidence, mix.mis_bind),
             (Scenario::LateResponse, mix.late),
             (Scenario::DroppedResponse, mix.dropped),
+            (Scenario::MidRoundHangup, mix.hangup),
         ] {
             scenarios.extend(std::iter::repeat_n(scenario, n));
         }
@@ -393,7 +416,9 @@ impl ScenarioHarness {
                         }
                     }
                 }
-                Scenario::DroppedResponse => frames.push(None),
+                // Loopback has no connection to sever: a mid-round
+                // hangup is indistinguishable from silence here.
+                Scenario::DroppedResponse | Scenario::MidRoundHangup => frames.push(None),
             }
         }
         assert!(swap_pending.is_none(), "mis-binding devices come in pairs");
@@ -437,6 +462,291 @@ impl ScenarioHarness {
             .collect();
         ScenarioReport { entries }
     }
+
+    /// Runs one full scripted round **over real sockets**: every device
+    /// gets its own connection into one
+    /// [`FleetGateway`](asap_fleet::FleetGateway), and the whole
+    /// scenario matrix — honest, replayed, bit-flipped, cross-addressed,
+    /// late, dropped, mid-round hangups — plays out as actual bytes on
+    /// actual file descriptors, with the same expected verdicts as the
+    /// loopback schedule.
+    ///
+    /// Both sides run on *this* thread: the gateway round is polled via
+    /// [`GatewayRound::poll`] (it never blocks), and between sweeps the
+    /// harness services every prover-side socket — announcing hellos,
+    /// answering challenges per the script, hanging up where scripted.
+    /// Late devices answer after a quarter of `budget`; dropped devices
+    /// stay silently connected and expire when `budget` runs out, so a
+    /// mix with dropped devices makes the round last the full budget.
+    ///
+    /// # Panics
+    ///
+    /// On socket-layer failures, or when a scripted exchange fails.
+    pub fn run_round_gateway(
+        &mut self,
+        transport: GatewayTransport,
+        budget: Duration,
+    ) -> ScenarioReport {
+        match transport {
+            GatewayTransport::Socketpair => {
+                let mut gateway = FleetGateway::detached();
+                let peers: Vec<(DeviceId, std::os::unix::net::UnixStream)> = self
+                    .plans
+                    .iter()
+                    .map(|&(id, _, _)| {
+                        let (gw_end, prover_end) =
+                            std::os::unix::net::UnixStream::pair().expect("socketpair");
+                        gateway.adopt(gw_end).expect("adopt gateway end");
+                        (id, prover_end)
+                    })
+                    .collect();
+                self.gateway_round(&mut gateway, peers, budget)
+            }
+            GatewayTransport::Tcp => {
+                let mut gateway =
+                    FleetGateway::bind_tcp("127.0.0.1:0").expect("bind ephemeral listener");
+                let addr = gateway
+                    .listener()
+                    .expect("own listener")
+                    .local_addr()
+                    .expect("listener addr");
+                let mut peers = Vec::with_capacity(self.plans.len());
+                // Dial in bounded bursts, draining the accept queue in
+                // between, so the listener backlog never overflows.
+                for chunk in self.plans.chunks(64) {
+                    for &(id, _, _) in chunk {
+                        peers.push((id, std::net::TcpStream::connect(addr).expect("connect")));
+                    }
+                    gateway.accept_pending().expect("accept burst");
+                }
+                while gateway.connections() < peers.len() {
+                    if gateway.accept_pending().expect("accept stragglers") == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                self.gateway_round(&mut gateway, peers, budget)
+            }
+        }
+    }
+
+    /// The shared gateway round loop: one scripted prover peer per
+    /// connection, serviced strictly without blocking so verifier and
+    /// provers can interleave on a single thread.
+    fn gateway_round<L: GatewayListener, C: GatewayConn>(
+        &mut self,
+        gateway: &mut FleetGateway<L>,
+        peers: Vec<(DeviceId, C)>,
+        budget: Duration,
+    ) -> ScenarioReport {
+        /// One scripted prover behind its own connection.
+        struct Prover<C> {
+            id: DeviceId,
+            scenario: Scenario,
+            /// `None` once the prover hung up (scripted or observed).
+            stream: Option<C>,
+            deframer: StreamDeframer,
+            outbox: WriteQueue,
+        }
+
+        // Replaying devices first obtain evidence for a challenge that
+        // the scored round will supersede.
+        let mut stale: HashMap<DeviceId, Vec<u8>> = HashMap::new();
+        for &(id, _, scenario) in &self.plans {
+            if scenario == Scenario::ReplayedEvidence {
+                let req = self.fleet.begin(id).expect("registered");
+                let resp = self.fabric.exchange(id, &req).expect("loopback answers");
+                stale.insert(id, resp);
+            }
+        }
+
+        // Mis-binding devices swap evidence pairwise, in plan order.
+        let mut partner: HashMap<DeviceId, DeviceId> = HashMap::new();
+        let mut half: Option<DeviceId> = None;
+        for &(id, _, scenario) in &self.plans {
+            if scenario == Scenario::WrongDeviceEvidence {
+                match half.take() {
+                    None => half = Some(id),
+                    Some(first) => {
+                        partner.insert(first, id);
+                        partner.insert(id, first);
+                    }
+                }
+            }
+        }
+        assert!(half.is_none(), "mis-binding devices come in pairs");
+
+        let scenario_of: HashMap<DeviceId, Scenario> =
+            self.plans.iter().map(|&(id, _, s)| (id, s)).collect();
+        let index_of: HashMap<DeviceId, usize> = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, _))| (id, i))
+            .collect();
+        let mut provers: Vec<Prover<C>> =
+            peers
+                .into_iter()
+                .map(|(id, mut stream)| {
+                    stream.prepare().expect("nonblocking prover stream");
+                    let mut outbox = WriteQueue::default();
+                    // The hello: an empty-payload envelope announcing which
+                    // device lives behind this connection.
+                    assert!(
+                        outbox.enqueue(&frame_stream(&Envelope::wrap(id.0, Vec::new()).to_bytes()))
+                    );
+                    Prover {
+                        id,
+                        scenario: scenario_of[&id],
+                        stream: Some(stream),
+                        deframer: StreamDeframer::new(),
+                        outbox,
+                    }
+                })
+                .collect();
+
+        let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
+        let fleet: &FleetVerifier = &self.fleet;
+        let fabric = &mut self.fabric;
+        let mut round = GatewayRound::begin(fleet, &ids, gateway, budget).expect("all registered");
+        let started = Instant::now();
+        let late_at = budget / 4;
+
+        // Honest frames of mis-binding devices, waiting for partners.
+        let mut swap_bank: HashMap<DeviceId, Vec<u8>> = HashMap::new();
+        // (prover index, response frame) held back until `late_at`.
+        let mut late_pending: Vec<(usize, Vec<u8>)> = Vec::new();
+
+        loop {
+            let status = round.poll(gateway);
+
+            if started.elapsed() >= late_at && !late_pending.is_empty() {
+                for (idx, frame) in late_pending.drain(..) {
+                    assert!(
+                        provers[idx].outbox.enqueue(&frame_stream(&frame)),
+                        "late frame fits an empty queue"
+                    );
+                }
+            }
+
+            for idx in 0..provers.len() {
+                loop {
+                    let prover = &mut provers[idx];
+                    let Some(stream) = prover.stream.as_mut() else {
+                        break;
+                    };
+                    match prover.deframer.next_frame() {
+                        Ok(Some(request)) => {
+                            let id = prover.id;
+                            match prover.scenario {
+                                Scenario::Honest => {
+                                    let resp =
+                                        fabric.exchange(id, &request).expect("honest response");
+                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&resp)));
+                                }
+                                Scenario::LateResponse => {
+                                    let resp =
+                                        fabric.exchange(id, &request).expect("honest response");
+                                    late_pending.push((idx, resp));
+                                }
+                                Scenario::ReplayedEvidence => {
+                                    let frame = stale[&id].clone();
+                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&frame)));
+                                }
+                                Scenario::BitFlippedFrame => {
+                                    let mut resp =
+                                        fabric.exchange(id, &request).expect("honest response");
+                                    resp[ENVELOPE_PAYLOAD_AT] ^= 0x01; // corrupt the inner magic
+                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&resp)));
+                                }
+                                Scenario::WrongDeviceEvidence => {
+                                    let resp =
+                                        fabric.exchange(id, &request).expect("honest response");
+                                    let pid = partner[&id];
+                                    match swap_bank.remove(&pid) {
+                                        // Both halves ready: each device
+                                        // sends the *other's* payload
+                                        // under its own id, on its own
+                                        // connection.
+                                        Some(partner_resp) => {
+                                            let mine = cross_address(&resp, &partner_resp);
+                                            let theirs = cross_address(&partner_resp, &resp);
+                                            assert!(provers[idx]
+                                                .outbox
+                                                .enqueue(&frame_stream(&mine)));
+                                            let pidx = index_of[&pid];
+                                            assert!(provers[pidx]
+                                                .outbox
+                                                .enqueue(&frame_stream(&theirs)));
+                                        }
+                                        None => {
+                                            swap_bank.insert(id, resp);
+                                        }
+                                    }
+                                }
+                                Scenario::DroppedResponse => {}
+                                Scenario::MidRoundHangup => {
+                                    // Challenge received: sever the
+                                    // connection without answering.
+                                    provers[idx].stream = None;
+                                }
+                            }
+                        }
+                        Ok(None) => match pump_read(stream, &mut prover.deframer) {
+                            ReadPump::Bytes(_) => {}
+                            ReadPump::Idle => break,
+                            ReadPump::Closed | ReadPump::Broken => {
+                                prover.stream = None;
+                                break;
+                            }
+                        },
+                        Err(_) => {
+                            prover.stream = None;
+                            break;
+                        }
+                    }
+                }
+                let prover = &mut provers[idx];
+                if let Some(stream) = prover.stream.as_mut() {
+                    match prover.outbox.flush(stream) {
+                        WritePump::Drained | WritePump::Blocked(_) => {}
+                        WritePump::Closed | WritePump::Broken => prover.stream = None,
+                    }
+                }
+            }
+
+            match status {
+                GatewayPoll::Settled => break,
+                GatewayPoll::Progressed => {}
+                GatewayPoll::Idle => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        let report = round.finish();
+
+        let entries = self
+            .plans
+            .iter()
+            .map(|&(id, mode, scenario)| ScenarioEntry {
+                device: id,
+                mode,
+                scenario,
+                result: report
+                    .of(id)
+                    .cloned()
+                    .unwrap_or(Err(FleetError::NoResponse(id))),
+            })
+            .collect();
+        ScenarioReport { entries }
+    }
+}
+
+/// Which socket fabric a gateway scenario round runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayTransport {
+    /// One Unix socketpair per device, adopted into a detached gateway
+    /// — no listener, no ports, maximum connection count.
+    Socketpair,
+    /// Real TCP: every device dials the gateway's ephemeral loopback
+    /// listener, exercising accept and `TCP_NODELAY` configuration.
+    Tcp,
 }
 
 /// A prover host for socket transports: builds one honestly-run ASAP
@@ -462,12 +772,59 @@ pub fn host_simulated_provers<S: std::io::Read + std::io::Write>(
     silent: &[DeviceId],
     ready: impl FnOnce(),
 ) {
-    use apex_pox::wire::Envelope;
-    use std::collections::HashMap;
+    let mut devices = build_asap_provers(ids, key_for);
+    ready();
+    let silent = silent.to_vec();
+    asap_fleet::serve_frames(stream, move |id, envelope| {
+        if silent.contains(&id) {
+            return None;
+        }
+        let response = devices.get_mut(&id)?.attest_bytes(&envelope.payload).ok()?;
+        Some(Envelope::wrap(id.0, response).to_bytes())
+    });
+}
 
+/// The gateway flavour of [`host_simulated_provers`]: identical fleet
+/// construction and serve loop, but the host first **announces** its
+/// devices with hello frames so a [`FleetGateway`] on the other end
+/// learns to route their challenges here. Never pair this with a
+/// single-peer [`StreamTransport`](asap_fleet::StreamTransport) — its
+/// driver would judge the hellos as (rejected) evidence.
+///
+/// # Panics
+///
+/// When the image fails to link or a device fails to build/run.
+pub fn host_gateway_provers<S: std::io::Read + std::io::Write>(
+    mut stream: S,
+    ids: &[DeviceId],
+    key_for: impl Fn(DeviceId) -> Vec<u8>,
+    silent: &[DeviceId],
+    ready: impl FnOnce(),
+) {
+    let mut devices = build_asap_provers(ids, key_for);
+    ready();
+    if asap_fleet::announce_devices(&mut stream, ids).is_err() {
+        return; // the gateway is already gone
+    }
+    let silent = silent.to_vec();
+    asap_fleet::serve_frames(stream, move |id, envelope| {
+        if silent.contains(&id) {
+            return None;
+        }
+        let response = devices.get_mut(&id)?.attest_bytes(&envelope.payload).ok()?;
+        Some(Envelope::wrap(id.0, response).to_bytes())
+    });
+}
+
+/// One honestly-run ASAP device per id: keys from `key_for`, a
+/// mid-`ER` button interrupt, run to the done loop — the fleet shape
+/// both prover hosts serve.
+fn build_asap_provers(
+    ids: &[DeviceId],
+    key_for: impl Fn(DeviceId) -> Vec<u8>,
+) -> HashMap<DeviceId, Device> {
     let image = programs::fig4_authorized().expect("image links");
-    let mut devices: HashMap<DeviceId, Device> = ids
-        .iter()
+    ids.iter()
         .map(|&id| {
             let mut device = Device::builder(&image)
                 .mode(PoxMode::Asap)
@@ -482,16 +839,7 @@ pub fn host_simulated_provers<S: std::io::Read + std::io::Write>(
             );
             (id, device)
         })
-        .collect();
-    ready();
-    let silent = silent.to_vec();
-    asap_fleet::serve_frames(stream, move |id, envelope| {
-        if silent.contains(&id) {
-            return None;
-        }
-        let response = devices.get_mut(&id)?.attest_bytes(&envelope.payload).ok()?;
-        Some(Envelope::wrap(id.0, response).to_bytes())
-    });
+        .collect()
 }
 
 /// The per-device key: first 16 bytes of `SHA-256(seed ‖ id)`. Public
@@ -519,7 +867,6 @@ pub fn shuffle<T>(items: &mut [T], rng: &mut DetRng) {
 ///
 /// When either frame is not a well-formed envelope.
 pub fn cross_address(addressee: &[u8], donor: &[u8]) -> Vec<u8> {
-    use apex_pox::wire::Envelope;
     let to = Envelope::from_bytes(addressee).expect("well-formed frame");
     let from = Envelope::from_bytes(donor).expect("well-formed frame");
     Envelope::wrap(to.device_id, from.payload).to_bytes()
@@ -555,6 +902,7 @@ mod tests {
             mis_bind: 2,
             late: 2,
             dropped: 2,
+            hangup: 2,
         };
         let mut harness = ScenarioHarness::build(11, &mix);
         let report = harness.run_round();
@@ -572,6 +920,7 @@ mod tests {
             mis_bind: 2,
             late: 1,
             dropped: 1,
+            hangup: 1,
         };
         let a = ScenarioHarness::build(99, &mix).run_round();
         let b = ScenarioHarness::build(99, &mix).run_round();

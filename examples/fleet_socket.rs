@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!(
         "round settled: {} verified, {} timed out, 0 sessions leaked",
         report.verified(),
-        report.dropped()
+        report.no_response()
     );
 
     drop(transport); // hang up; the prover host sees EOF and exits

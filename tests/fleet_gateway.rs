@@ -1,0 +1,422 @@
+//! The multi-peer gateway under load: hundreds of *concurrent* prover
+//! connections into one `FleetGateway`, every scripted behaviour in
+//! the scenario matrix playing out as real bytes on real sockets —
+//! and still exact, per-variant verdict counts.
+//!
+//! Two fabrics run the same 500-device matrix: one Unix socketpair per
+//! device (adopted into a detached gateway) and real TCP (every device
+//! dials an ephemeral loopback listener). On top of the matrix, the
+//! direct tests pin down the gateway-only behaviours: routing by
+//! hello, multi-device connections, connections that outlive rounds,
+//! mid-round hangups and poisoned framing resolving to `NoResponse`
+//! *immediately*, and never-connected devices expiring by deadline.
+
+use asap::{programs, AsapError, PoxMode, VerifierSpec};
+use asap_bench::fleet::{
+    host_gateway_provers, GatewayTransport, Scenario, ScenarioHarness, ScenarioMix,
+};
+use asap_fleet::{DeviceId, FleetError, FleetGateway, FleetVerifier};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// 500 devices, every behaviour represented: 360 honest, 40 replaying,
+/// 30 corrupted in transit, 30 mis-binding (15 swap pairs), 20
+/// late-but-in-time, 10 silent, 10 hanging up mid-round.
+const MIX: ScenarioMix = ScenarioMix {
+    honest: 360,
+    replay: 40,
+    bit_flip: 30,
+    mis_bind: 30,
+    late: 20,
+    dropped: 10,
+    hangup: 10,
+};
+
+/// The wall-clock response budget: silent devices expire when it runs
+/// out, late devices answer after a quarter of it. Generous enough
+/// that an honest device can never miss it on a loaded CI box.
+const BUDGET: Duration = Duration::from_millis(1500);
+
+fn assert_exact_gateway_verdicts(transport: GatewayTransport, seed: u64) {
+    let mut harness = ScenarioHarness::build(seed, &MIX);
+    assert_eq!(harness.device_count(), 500);
+    let report = harness.run_round_gateway(transport, BUDGET);
+
+    assert_eq!(report.entries.len(), 500);
+    assert!(
+        report.misjudged().is_empty(),
+        "{transport:?}: misjudged devices: {:#?}",
+        report.misjudged()
+    );
+
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 360);
+    assert_eq!(
+        report.count(Scenario::LateResponse, Result::is_ok),
+        20,
+        "late but within the budget still verifies"
+    );
+    assert_eq!(
+        report.count(Scenario::ReplayedEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        40
+    );
+    assert_eq!(
+        report.count(Scenario::BitFlippedFrame, |r| {
+            matches!(r, Err(FleetError::Rejected(AsapError::Wire(_))))
+        }),
+        30
+    );
+    assert_eq!(
+        report.count(Scenario::WrongDeviceEvidence, |r| {
+            r == &Err(FleetError::Rejected(AsapError::BadMac))
+        }),
+        30
+    );
+    assert_eq!(
+        report.count(Scenario::DroppedResponse, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        10
+    );
+    assert_eq!(
+        report.count(Scenario::MidRoundHangup, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        10,
+        "a severed connection is charged NoResponse"
+    );
+    assert_eq!(report.verified(), 380);
+    assert_eq!(harness.fleet().in_flight(), 0, "sessions leaked");
+}
+
+#[test]
+fn five_hundred_connections_over_socketpairs_stay_exact() {
+    assert_exact_gateway_verdicts(GatewayTransport::Socketpair, 0x6A7E_0001);
+}
+
+#[test]
+fn five_hundred_connections_over_tcp_stay_exact() {
+    assert_exact_gateway_verdicts(GatewayTransport::Tcp, 0x6A7E_0002);
+}
+
+#[test]
+fn hangups_settle_immediately_not_by_deadline() {
+    // No silent devices in the mix, so nothing waits for the budget:
+    // the round should settle as soon as the hangups are observed —
+    // far inside a deliberately enormous budget.
+    let mix = ScenarioMix {
+        honest: 6,
+        hangup: 4,
+        ..ScenarioMix::default()
+    };
+    let mut harness = ScenarioHarness::build(0x6A7E_0003, &mix);
+    let started = Instant::now();
+    let report = harness.run_round_gateway(GatewayTransport::Socketpair, Duration::from_secs(30));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "hangups must settle the round early, not at the 30 s deadline"
+    );
+    assert!(report.misjudged().is_empty(), "{:#?}", report.misjudged());
+    assert_eq!(report.verified(), 6);
+    assert_eq!(harness.fleet().in_flight(), 0);
+}
+
+fn key_for(id: DeviceId) -> Vec<u8> {
+    format!("gateway-key-{id}").into_bytes()
+}
+
+/// Enrolls `ids` into a fresh fleet (verifier side).
+fn fleet_for(ids: &[DeviceId]) -> FleetVerifier {
+    let image = programs::fig4_authorized().unwrap();
+    let fleet = FleetVerifier::new();
+    for &id in ids {
+        fleet
+            .register(
+                id,
+                &key_for(id),
+                VerifierSpec::from_image(&image)
+                    .unwrap()
+                    .mode(PoxMode::Asap),
+            )
+            .unwrap();
+    }
+    fleet
+}
+
+#[test]
+fn one_connection_may_host_many_devices() {
+    // Devices are routed by their hellos, not pinned to a transport:
+    // ten devices share one socketpair behind a threaded prover host.
+    let ids: Vec<DeviceId> = (1..=10).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        host_gateway_provers(prover_end, &host_ids, key_for, &[], || ())
+    });
+
+    let report = fleet
+        .run_round_gateway(&ids, &mut gateway, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(report.verified(), ids.len(), "{report}");
+    assert_eq!(gateway.connections(), 1);
+    assert_eq!(gateway.routed_devices(), 10);
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(gateway); // hang up: the prover host sees EOF and returns
+    host.join().unwrap();
+}
+
+#[test]
+fn connections_and_routes_survive_across_rounds() {
+    let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        host_gateway_provers(prover_end, &host_ids, key_for, &[], || ())
+    });
+
+    for round in 0..3 {
+        let report = fleet
+            .run_round_gateway(&ids, &mut gateway, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(report.verified(), ids.len(), "round {round}: {report}");
+        assert_eq!(fleet.in_flight(), 0, "round {round}");
+    }
+    assert_eq!(
+        gateway.accepted_connections(),
+        1,
+        "one connection served every round"
+    );
+
+    drop(gateway);
+    host.join().unwrap();
+}
+
+#[test]
+fn unconnected_devices_expire_by_deadline_alone() {
+    // Device 2 is enrolled but never dials in: its challenge stays
+    // parked and it must be charged NoResponse when the budget runs
+    // out — without stalling device 1.
+    let ids: Vec<DeviceId> = (1..=2).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    let connected = vec![DeviceId(1)];
+    let host = std::thread::spawn(move || {
+        host_gateway_provers(prover_end, &connected, key_for, &[], || ())
+    });
+
+    let report = fleet
+        .run_round_gateway(&ids, &mut gateway, Duration::from_millis(400))
+        .unwrap();
+    assert!(report.of(DeviceId(1)).unwrap().is_ok());
+    assert_eq!(
+        report.of(DeviceId(2)),
+        Some(&Err(FleetError::NoResponse(DeviceId(2))))
+    );
+    assert_eq!(report.no_response(), 1);
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(gateway);
+    host.join().unwrap();
+}
+
+#[test]
+fn prover_announcing_after_the_round_started_still_verifies() {
+    // The device's connection is unknown when its challenge is issued:
+    // the frame parks, the late hello reveals the route, and the
+    // challenge is delivered then.
+    let ids = vec![DeviceId(7)];
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150)); // round is running
+        host_gateway_provers(prover_end, &host_ids, key_for, &[], || ());
+    });
+
+    let report = fleet
+        .run_round_gateway(&ids, &mut gateway, Duration::from_secs(5))
+        .unwrap();
+    assert!(report.of(DeviceId(7)).unwrap().is_ok(), "{report}");
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(gateway);
+    host.join().unwrap();
+}
+
+#[test]
+fn foreign_hello_hijack_cannot_falsify_a_verdict() {
+    use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
+    use asap::{programs, Device, PoxMode};
+    use asap_fleet::{GatewayPoll, GatewayRound};
+    use std::io::{Read, Write};
+
+    // Device 1 is honestly connected on B and slow to answer. A second
+    // connection A announces device 1's id (hellos are unauthenticated
+    // routing metadata) and hangs up. The hijacked route must NOT let
+    // A's death settle device 1 as NoResponse: its challenge traveled
+    // on B, and its eventual honest answer must still verify.
+    let ids = vec![DeviceId(1)];
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (b_gw, mut b_prover) = UnixStream::pair().unwrap();
+    gateway.adopt(b_gw).unwrap();
+    b_prover
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .unwrap();
+    b_prover
+        .write_all(&frame_stream(&Envelope::wrap(1, Vec::new()).to_bytes()))
+        .unwrap();
+
+    let mut round =
+        GatewayRound::begin(&fleet, &ids, &mut gateway, Duration::from_secs(10)).unwrap();
+
+    // Pump until device 1's challenge lands on B.
+    let mut deframer = StreamDeframer::new();
+    let challenge = loop {
+        round.poll(&mut gateway);
+        if let Ok(Some(frame)) = deframer.next_frame() {
+            break frame;
+        }
+        let mut chunk = [0u8; 4096];
+        if let Ok(n) = b_prover.read(&mut chunk) {
+            deframer.extend(&chunk[..n]);
+        }
+    };
+
+    // The hijack: connection A claims device 1, then dies.
+    let (a_gw, mut a_prover) = UnixStream::pair().unwrap();
+    gateway.adopt(a_gw).unwrap();
+    a_prover
+        .write_all(&frame_stream(&Envelope::wrap(1, Vec::new()).to_bytes()))
+        .unwrap();
+    drop(a_prover);
+    while gateway.dropped_connections() == 0 {
+        assert_ne!(round.poll(&mut gateway), GatewayPoll::Settled);
+    }
+    assert_eq!(round.awaiting(), 1, "device 1 must still be awaited");
+
+    // Device 1 finally answers, honestly, on B.
+    let image = programs::fig4_authorized().unwrap();
+    let mut device = Device::builder(&image)
+        .mode(PoxMode::Asap)
+        .key(&key_for(DeviceId(1)))
+        .build()
+        .unwrap();
+    device.run_steps(6);
+    device.set_button(0, true);
+    assert!(device.run_until_pc(programs::done_pc(), 10_000));
+    let payload = Envelope::from_bytes(&challenge).unwrap().payload;
+    let response = device.attest_bytes(&payload).unwrap();
+    b_prover
+        .write_all(&frame_stream(&Envelope::wrap(1, response).to_bytes()))
+        .unwrap();
+
+    while round.poll(&mut gateway) != GatewayPoll::Settled {}
+    let report = round.finish();
+    assert!(
+        report.of(DeviceId(1)).unwrap().is_ok(),
+        "hijacked route must not deny the verdict: {report}"
+    );
+    assert_eq!(fleet.in_flight(), 0);
+}
+
+#[test]
+fn hello_floods_past_the_route_cap_drop_the_connection() {
+    use apex_pox::wire::{frame_stream, Envelope};
+    use asap_fleet::MAX_ROUTED_PER_CONN;
+    use std::io::Write;
+
+    // One connection announces far more device ids than any honest
+    // host plausibly carries: the gateway must drop it instead of
+    // letting the route map grow without bound.
+    let ids = vec![DeviceId(1)];
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    let flooder = std::thread::spawn(move || {
+        let mut prover_end = prover_end;
+        for fake in 0..(MAX_ROUTED_PER_CONN as u64 + 64) {
+            if prover_end
+                .write_all(&frame_stream(
+                    &Envelope::wrap(fake + 10, Vec::new()).to_bytes(),
+                ))
+                .is_err()
+            {
+                return; // dropped mid-flood: exactly the point
+            }
+        }
+    });
+
+    let report = fleet
+        .run_round_gateway(&ids, &mut gateway, Duration::from_millis(300))
+        .unwrap();
+    flooder.join().unwrap();
+    assert_eq!(gateway.dropped_connections(), 1, "flooder must be dropped");
+    assert!(
+        gateway.routed_devices() <= MAX_ROUTED_PER_CONN,
+        "route map stays bounded, got {}",
+        gateway.routed_devices()
+    );
+    // Device 1 never actually connected; it expires by deadline.
+    assert_eq!(
+        report.of(DeviceId(1)),
+        Some(&Err(FleetError::NoResponse(DeviceId(1))))
+    );
+    assert_eq!(fleet.in_flight(), 0);
+}
+
+#[test]
+fn oversized_frame_poisons_the_connection_and_charges_no_response() {
+    use apex_pox::wire::{frame_stream, Envelope, MAX_FRAME_LEN};
+    use std::io::Write;
+
+    let ids = vec![DeviceId(1)];
+    let fleet = fleet_for(&ids);
+    let mut gateway = FleetGateway::detached();
+    let (gw_end, mut prover_end) = UnixStream::pair().unwrap();
+    gateway.adopt(gw_end).unwrap();
+
+    // The prover announces itself honestly, then turns hostile: a
+    // length prefix over the bound, which no deframer can recover from.
+    prover_end
+        .write_all(&frame_stream(&Envelope::wrap(1, Vec::new()).to_bytes()))
+        .unwrap();
+    prover_end
+        .write_all(&(MAX_FRAME_LEN + 1).to_le_bytes())
+        .unwrap();
+    prover_end.write_all(&[0u8; 64]).unwrap();
+
+    let started = Instant::now();
+    let report = fleet
+        .run_round_gateway(&ids, &mut gateway, Duration::from_secs(30))
+        .unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the sticky framing error must settle the round early"
+    );
+    assert_eq!(
+        report.of(DeviceId(1)),
+        Some(&Err(FleetError::NoResponse(DeviceId(1))))
+    );
+    assert_eq!(gateway.dropped_connections(), 1);
+    assert_eq!(gateway.connections(), 0);
+    assert_eq!(fleet.in_flight(), 0);
+}

@@ -144,7 +144,7 @@ proptest! {
 
         let report = fleet.conclude_round(&ids, &delivered);
         prop_assert_eq!(report.verified(), delivered.len());
-        prop_assert_eq!(report.dropped(), ids.len() - delivered.len());
+        prop_assert_eq!(report.no_response(), ids.len() - delivered.len());
         prop_assert_eq!(fleet.in_flight(), 0, "dropped sessions leaked");
     }
 
@@ -231,7 +231,7 @@ proptest! {
         }
         // Abandon round two cleanly.
         let report = fleet.conclude_round(&ids, &[]);
-        prop_assert_eq!(report.dropped(), n);
+        prop_assert_eq!(report.no_response(), n);
         prop_assert_eq!(fleet.in_flight(), 0);
     }
 }

@@ -21,15 +21,17 @@ use asap::AsapError;
 use asap_bench::fleet::{Scenario, ScenarioHarness, ScenarioMix};
 use asap_fleet::FleetError;
 
-/// 200 devices: 110 honest, 30 replaying, 20 corrupted in transit,
-/// 20 mis-binding (10 swap pairs), 10 late-but-in-time, 10 silent.
+/// 200 devices: 105 honest, 30 replaying, 20 corrupted in transit,
+/// 20 mis-binding (10 swap pairs), 10 late-but-in-time, 10 silent,
+/// 5 hanging up mid-round (indistinguishable from silence on loopback).
 const MIX: ScenarioMix = ScenarioMix {
-    honest: 110,
+    honest: 105,
     replay: 30,
     bit_flip: 20,
     mis_bind: 20,
     late: 10,
     dropped: 10,
+    hangup: 5,
 };
 
 fn assert_exact_verdicts(seed: u64) {
@@ -46,7 +48,7 @@ fn assert_exact_verdicts(seed: u64) {
     );
 
     // Exact per-scenario counts, by the precise error variant.
-    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 110);
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 105);
     assert_eq!(
         report.count(Scenario::LateResponse, Result::is_ok),
         10,
@@ -79,9 +81,16 @@ fn assert_exact_verdicts(seed: u64) {
         }),
         10
     );
+    assert_eq!(
+        report.count(Scenario::MidRoundHangup, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        5,
+        "on loopback a hangup degenerates to a dropped response"
+    );
 
     // Totals partition: only the honest (on-time or late) verify.
-    assert_eq!(report.verified(), 120);
+    assert_eq!(report.verified(), 115);
 
     // The fleet genuinely mixes architectures, and honest devices of
     // *both* architectures verified.
@@ -116,12 +125,13 @@ fn two_hundred_device_round_seed_b() {
 #[test]
 fn thousand_device_round_stays_exact() {
     const BIG: ScenarioMix = ScenarioMix {
-        honest: 560,
+        honest: 540,
         replay: 120,
         bit_flip: 100,
         mis_bind: 100,
         late: 60,
         dropped: 60,
+        hangup: 20,
     };
     let mut harness = ScenarioHarness::build(0x1000_0003, &BIG);
     assert_eq!(harness.device_count(), 1000);
@@ -133,7 +143,7 @@ fn thousand_device_round_stays_exact() {
         "misjudged devices: {:#?}",
         report.misjudged()
     );
-    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 560);
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 540);
     assert_eq!(report.count(Scenario::LateResponse, Result::is_ok), 60);
     assert_eq!(
         report.count(Scenario::ReplayedEvidence, |r| {
@@ -159,7 +169,13 @@ fn thousand_device_round_stays_exact() {
         }),
         60
     );
-    assert_eq!(report.verified(), 620);
+    assert_eq!(
+        report.count(Scenario::MidRoundHangup, |r| {
+            matches!(r, Err(FleetError::NoResponse(_)))
+        }),
+        20
+    );
+    assert_eq!(report.verified(), 600);
     assert_eq!(harness.fleet().in_flight(), 0, "sessions leaked");
 }
 
@@ -178,6 +194,7 @@ fn consecutive_rounds_stay_exact() {
             mis_bind: 4,
             late: 4,
             dropped: 4,
+            hangup: 4,
         },
     );
     for round in 0..2 {

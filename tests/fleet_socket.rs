@@ -9,9 +9,11 @@
 //! are built *inside* the prover thread — it models a different
 //! process, and nothing but bytes crosses the boundary.
 
+use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
 use asap::{programs, PoxMode, VerifierSpec};
-use asap_bench::fleet::host_simulated_provers;
+use asap_bench::fleet::{host_simulated_provers, DetRng};
 use asap_fleet::{drive_round, DeviceId, FleetError, FleetVerifier, StreamTransport};
+use proptest::prelude::*;
 use std::time::Duration;
 
 fn key_for(id: DeviceId) -> Vec<u8> {
@@ -104,6 +106,72 @@ fn peer_hangup_settles_the_round_by_deadline() {
         assert_eq!(report.of(id), Some(&Err(FleetError::NoResponse(id))));
     }
     assert_eq!(fleet.in_flight(), 0);
+}
+
+#[test]
+fn explicit_read_timeout_threads_through_the_round() {
+    // connect_with: same round as below, but with a caller-chosen read
+    // timeout. The transport reports the timeout as its pacing, and
+    // the tighter tick granularity must not change any verdict.
+    let ids: Vec<DeviceId> = (1..=3).map(DeviceId).collect();
+    let fleet = fleet_for(&ids);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let host_ids = ids.clone();
+    let host = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nodelay(true).unwrap();
+        host_provers(stream, host_ids, Vec::new());
+    });
+
+    let timeout = Duration::from_millis(5);
+    let mut transport = StreamTransport::connect_with(addr, timeout).unwrap();
+    assert_eq!(transport.read_timeout(), Some(timeout));
+    let report = drive_round(&fleet, &ids, &mut transport, Duration::from_secs(5)).unwrap();
+    assert_eq!(report.verified(), ids.len(), "{report}");
+    assert_eq!(fleet.in_flight(), 0);
+
+    drop(transport);
+    host.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adversarial segmentation: any sequence of frames, delivered in
+    /// chunks split at arbitrary byte boundaries (1-byte reads
+    /// included), deframes to the identical frame sequence — each
+    /// frame surfacing exactly once, in order, with nothing left over.
+    #[test]
+    fn any_segmentation_deframes_to_the_same_frames(
+        payload_lens in proptest::collection::vec(0usize..300, 1..6),
+        split_seed in any::<u64>(),
+    ) {
+        let frames: Vec<Vec<u8>> = payload_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| Envelope::wrap(i as u64, vec![i as u8; len]).to_bytes())
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| frame_stream(f)).collect();
+
+        // Seed-drawn cuts, biased hard toward tiny reads so length
+        // prefixes and frame boundaries get split mid-field often.
+        let mut rng = DetRng::new(split_seed);
+        let mut deframer = StreamDeframer::new();
+        let mut got = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let n = 1 + rng.below(7.min(stream.len() - offset));
+            deframer.extend(&stream[offset..offset + n]);
+            offset += n;
+            while let Some(frame) = deframer.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(deframer.pending(), 0, "no bytes left behind");
+    }
 }
 
 #[test]
