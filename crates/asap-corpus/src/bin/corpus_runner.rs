@@ -1,0 +1,181 @@
+//! Corpus runner CLI: discover (or generate) literate programs and
+//! drive them through the attestation backends.
+//!
+//! ```text
+//! corpus_runner [--dir DIR] [--backend device|loopback|gateway|all]
+//!               [--generate N] [--seed S] [--digest] [--list]
+//! ```
+//!
+//! Exit status: 0 when every program matched its annotated verdict on
+//! every selected backend, 1 on any mismatch, 2 on usage/load errors.
+
+use asap_corpus::{
+    batch_digest, default_programs_dir, discover, generate_batch, load_str, run_device,
+    run_gateway, run_loopback, CorpusProgram, RunReport,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    Device,
+    Loopback,
+    Gateway,
+    All,
+}
+
+struct Options {
+    dir: PathBuf,
+    backend: BackendChoice,
+    generate: Option<usize>,
+    seed: u64,
+    digest: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: corpus_runner [--dir DIR] [--backend device|loopback|gateway|all]\n\
+         \x20                    [--generate N] [--seed S] [--digest] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> u64 {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    };
+    parsed.unwrap_or_else(|| usage())
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        dir: default_programs_dir(),
+        backend: BackendChoice::All,
+        generate: None,
+        seed: 0xA5A9_2022,
+        digest: false,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--dir" => options.dir = PathBuf::from(value()),
+            "--backend" => {
+                options.backend = match value().as_str() {
+                    "device" => BackendChoice::Device,
+                    "loopback" => BackendChoice::Loopback,
+                    "gateway" => BackendChoice::Gateway,
+                    "all" => BackendChoice::All,
+                    _ => usage(),
+                }
+            }
+            "--generate" => options.generate = Some(parse_u64(&value()) as usize),
+            "--seed" => options.seed = parse_u64(&value()),
+            "--digest" => options.digest = true,
+            "--list" => options.list = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn load_programs(options: &Options) -> Result<Vec<CorpusProgram>, ExitCode> {
+    if let Some(count) = options.generate {
+        let batch = generate_batch(options.seed, count);
+        if options.digest {
+            println!("digest {}", batch_digest(&batch));
+        }
+        let mut programs = Vec::with_capacity(batch.len());
+        for generated in &batch {
+            match load_str(&generated.name, &generated.text) {
+                Ok(p) => programs.push(p),
+                Err(e) => {
+                    eprintln!("generated program failed to load: {e}");
+                    eprintln!("--- source ---\n{}", generated.text);
+                    return Err(ExitCode::from(2));
+                }
+            }
+        }
+        println!(
+            "generated {} programs (seed {:#x})",
+            programs.len(),
+            options.seed
+        );
+        Ok(programs)
+    } else {
+        match discover(&options.dir) {
+            Ok(programs) => {
+                println!(
+                    "discovered {} programs under {}",
+                    programs.len(),
+                    options.dir.display()
+                );
+                Ok(programs)
+            }
+            Err(e) => {
+                eprintln!("corpus load failed: {e}");
+                Err(ExitCode::from(2))
+            }
+        }
+    }
+}
+
+fn print_report(report: &RunReport) -> bool {
+    println!("{report}");
+    for failure in report.failures() {
+        println!("  FAIL [{}] {failure}", failure.origin);
+    }
+    report.all_passed()
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let programs = match load_programs(&options) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+
+    if options.list {
+        for p in &programs {
+            let attack = p
+                .manifest
+                .attack
+                .as_deref()
+                .map(|a| format!(" [attack: {a}]"))
+                .unwrap_or_default();
+            let mode = match p.manifest.mode {
+                asap::PoxMode::Asap => "asap",
+                asap::PoxMode::Apex => "apex",
+            };
+            println!(
+                "{}  mode={mode} expect={}{}",
+                p.manifest.name, p.manifest.expect, attack
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ok = true;
+    if matches!(options.backend, BackendChoice::Device | BackendChoice::All) {
+        ok &= print_report(&run_device(&programs));
+    }
+    if matches!(
+        options.backend,
+        BackendChoice::Loopback | BackendChoice::All
+    ) {
+        ok &= print_report(&run_loopback(&programs));
+    }
+    if matches!(options.backend, BackendChoice::Gateway | BackendChoice::All) {
+        ok &= print_report(&run_gateway(&programs));
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,144 @@
+//! Corpus discovery: find, parse and link every `.s.md` program.
+
+use crate::manifest::Manifest;
+use asap::programs;
+use msp430_tools::link::Image;
+use msp430_tools::literate::LiterateSource;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A corpus-level failure, always attributed to one program so a bad
+/// file never hides the rest of the suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// The program (file path or generated name) that failed.
+    pub origin: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl CorpusError {
+    pub(crate) fn new(origin: impl Into<String>, detail: impl Into<String>) -> CorpusError {
+        CorpusError {
+            origin: origin.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.origin, self.detail)
+    }
+}
+
+impl Error for CorpusError {}
+
+/// One loaded corpus program: parsed manifest + linked image.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// Where it came from (file path, or a generated name).
+    pub origin: String,
+    /// The markdown title, when the file has one.
+    pub title: Option<String>,
+    /// The runner-facing manifest.
+    pub manifest: Manifest,
+    /// The linked memory image (default `param:` values).
+    pub image: Image,
+}
+
+/// The `programs/` tree at the repository root.
+pub fn default_programs_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../programs"))
+}
+
+/// Parses, manifests and links one literate source.
+///
+/// # Errors
+///
+/// Malformed literate structure, manifest keys, assembly/link errors,
+/// or a `run-until:` symbol the image does not define.
+pub fn load_str(origin: &str, text: &str) -> Result<CorpusProgram, CorpusError> {
+    let lit = LiterateSource::parse(text).map_err(|e| CorpusError::new(origin, e.to_string()))?;
+    let manifest = Manifest::from_front(&lit.front).map_err(|e| CorpusError::new(origin, e))?;
+    let image = lit
+        .link(programs::default_link_config(), &programs::isr_vector, &[])
+        .map_err(|e| CorpusError::new(origin, e.to_string()))?;
+    if image.symbol(&manifest.run_until).is_none() {
+        return Err(CorpusError::new(
+            origin,
+            format!(
+                "`run-until:` symbol `{}` is not defined",
+                manifest.run_until
+            ),
+        ));
+    }
+    if image.er.is_none() {
+        return Err(CorpusError::new(
+            origin,
+            "no exec.* sections: nothing to attest",
+        ));
+    }
+    Ok(CorpusProgram {
+        origin: origin.to_string(),
+        title: lit.title,
+        manifest,
+        image,
+    })
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_sources(&path, out)?;
+        } else if path.to_string_lossy().ends_with(".s.md") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Discovers and loads every `**/*.s.md` under `dir`, sorted by path
+/// so runs are deterministic.
+///
+/// # Errors
+///
+/// I/O failures walking the tree, or any program failing to load —
+/// the error names the offending file.
+pub fn discover(dir: &Path) -> Result<Vec<CorpusProgram>, CorpusError> {
+    let mut paths = Vec::new();
+    collect_sources(dir, &mut paths)
+        .map_err(|e| CorpusError::new(dir.display().to_string(), e.to_string()))?;
+    paths.sort();
+    let mut programs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let origin = path.display().to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| CorpusError::new(&origin, e.to_string()))?;
+        programs.push(load_str(&origin, &text)?);
+    }
+    Ok(programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_until_symbol_is_checked() {
+        let text = "---\nname: x\nreset: main\nexpect: verified\nrun-until: nowhere\n---\n\
+```asm\n    .section exec.start\nstartER:\n    ret\n    .section text\nmain:\n    call #startER\ndone:\n    jmp done\n```\n";
+        let e = load_str("inline", text).unwrap_err();
+        assert!(e.detail.contains("`nowhere` is not defined"), "{e}");
+    }
+
+    #[test]
+    fn er_is_required() {
+        let text = "---\nname: x\nreset: main\nexpect: verified\n---\n\
+```asm\n    .section text\nmain:\ndone:\n    jmp done\n```\n";
+        let e = load_str("inline", text).unwrap_err();
+        assert!(e.detail.contains("nothing to attest"), "{e}");
+    }
+}

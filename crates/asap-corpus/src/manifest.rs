@@ -1,0 +1,371 @@
+//! The runner-facing half of a literate program's front matter.
+//!
+//! A `.s.md` front matter serves two layers: the toolchain keys
+//! (`isr:`, `reset:`, `param:`, `*-base:`) are consumed by
+//! [`msp430_tools::literate`] when linking, and everything else is the
+//! *manifest* — what the scenario runner needs to exercise the program
+//! and judge the verifier's verdict. Unknown keys are rejected so a
+//! typo (`expct:`) fails loudly instead of silently weakening a test.
+
+use asap::{AsapError, PoxMode};
+use msp430_tools::literate::FrontMatter;
+use std::fmt;
+
+/// Keys owned by the literate toolchain layer; the manifest parser
+/// skips them without complaint.
+const TOOLCHAIN_KEYS: &[&str] = &[
+    "exec-base",
+    "text-base",
+    "data-base",
+    "reset",
+    "isr",
+    "param",
+];
+
+/// The verifier verdict a corpus program pins down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The session concluded [`Attested`](asap::Attested).
+    Verified,
+    /// [`AsapError::NotExecuted`] — `EXEC` was cleared.
+    NotExecuted,
+    /// [`AsapError::BadMac`].
+    BadMac,
+    /// [`AsapError::MissingIvt`].
+    MissingIvt,
+    /// [`AsapError::UnexpectedIvt`].
+    UnexpectedIvt,
+    /// [`AsapError::UnexpectedIsrEntry`] (any vector/target).
+    UnexpectedIsrEntry,
+}
+
+impl Verdict {
+    /// Parses the `expect:` front-matter value.
+    pub fn parse(s: &str) -> Option<Verdict> {
+        match s.trim() {
+            "verified" => Some(Verdict::Verified),
+            "not-executed" => Some(Verdict::NotExecuted),
+            "bad-mac" => Some(Verdict::BadMac),
+            "missing-ivt" => Some(Verdict::MissingIvt),
+            "unexpected-ivt" => Some(Verdict::UnexpectedIvt),
+            "unexpected-isr-entry" => Some(Verdict::UnexpectedIsrEntry),
+            _ => None,
+        }
+    }
+
+    /// Classifies a verification error into the verdict vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// Errors that are not *verdicts* (layout, link, wire failures)
+    /// are infrastructure problems, reported as the error's text.
+    pub fn classify(err: &AsapError) -> Result<Verdict, String> {
+        match err {
+            AsapError::NotExecuted => Ok(Verdict::NotExecuted),
+            AsapError::BadMac => Ok(Verdict::BadMac),
+            AsapError::MissingIvt => Ok(Verdict::MissingIvt),
+            AsapError::UnexpectedIvt => Ok(Verdict::UnexpectedIvt),
+            AsapError::UnexpectedIsrEntry { .. } => Ok(Verdict::UnexpectedIsrEntry),
+            other => Err(format!("non-verdict error: {other}")),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Verified => "verified",
+            Verdict::NotExecuted => "not-executed",
+            Verdict::BadMac => "bad-mac",
+            Verdict::MissingIvt => "missing-ivt",
+            Verdict::UnexpectedIvt => "unexpected-ivt",
+            Verdict::UnexpectedIsrEntry => "unexpected-isr-entry",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduled external event applied to the device before the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stimulus {
+    /// Step count the event fires after (0 = before the first step).
+    pub at_step: u64,
+    /// What happens.
+    pub kind: StimulusKind,
+}
+
+/// The kinds of stimulus a corpus program may schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StimulusKind {
+    /// `press-button: <pin> [after <N>]` — press (and hold) a P1 pin.
+    PressButton(u8),
+    /// `uart-rx: <byte…> [after <N>]` — queue bytes on the UART.
+    UartRx(Vec<u8>),
+}
+
+/// The parsed manifest of one corpus program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Unique program name (`name:`).
+    pub name: String,
+    /// Device PoX mode (`mode:`, default `asap`).
+    pub mode: PoxMode,
+    /// Verifier mode (`verifier-mode:`, default = `mode`).
+    pub verifier_mode: PoxMode,
+    /// Key the simulated device holds (`device-key:`).
+    pub device_key: String,
+    /// Key the verifier enrolls (`verifier-key:`, default = device key).
+    pub verifier_key: String,
+    /// Symbol the device must reach before attestation (`run-until:`,
+    /// default `done`).
+    pub run_until: String,
+    /// Step budget for reaching it (`step-budget:`, default 20000).
+    pub step_budget: u64,
+    /// Scheduled stimuli, sorted by step.
+    pub stimuli: Vec<Stimulus>,
+    /// The pinned verdict (`expect:`, required).
+    pub expect: Verdict,
+    /// Substrings that must appear among the device's recorded
+    /// violations (`expect-violation:`, repeatable).
+    pub expect_violations: Vec<String>,
+    /// Attack description for adversarial programs (`attack:`).
+    pub attack: Option<String>,
+}
+
+fn parse_mode(s: &str) -> Result<PoxMode, String> {
+    match s.trim() {
+        "asap" => Ok(PoxMode::Asap),
+        "apex" => Ok(PoxMode::Apex),
+        other => Err(format!("bad mode `{other}` (want `asap` or `apex`)")),
+    }
+}
+
+fn parse_num(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Splits a stimulus value into its payload tokens and the optional
+/// trailing `after <N>` clause.
+fn split_after(value: &str) -> Result<(Vec<&str>, u64), String> {
+    let tokens: Vec<&str> = value.split_whitespace().collect();
+    if let Some(pos) = tokens.iter().position(|t| *t == "after") {
+        let [step] = tokens[pos + 1..] else {
+            return Err("expected exactly one step count after `after`".into());
+        };
+        let at = parse_num(step).ok_or_else(|| format!("bad step count `{step}`"))?;
+        Ok((tokens[..pos].to_vec(), at))
+    } else {
+        Ok((tokens, 0))
+    }
+}
+
+impl Manifest {
+    /// Parses the manifest keys out of a literate front matter.
+    ///
+    /// # Errors
+    ///
+    /// Missing `name:`/`expect:`, malformed values, or keys neither
+    /// the toolchain nor the manifest understands.
+    pub fn from_front(front: &FrontMatter) -> Result<Manifest, String> {
+        let mut name = None;
+        let mut mode = None;
+        let mut verifier_mode = None;
+        let mut device_key = None;
+        let mut verifier_key = None;
+        let mut run_until = None;
+        let mut step_budget = None;
+        let mut stimuli = Vec::new();
+        let mut expect = None;
+        let mut expect_violations = Vec::new();
+        let mut attack = None;
+
+        for entry in front.entries() {
+            let key = entry.key.as_str();
+            let value = entry.value.as_str();
+            let located = |msg: String| format!("line {}: `{key}:` {msg}", entry.line);
+            match key {
+                _ if TOOLCHAIN_KEYS.contains(&key) => {}
+                "name" => name = Some(value.to_string()),
+                "mode" => mode = Some(parse_mode(value).map_err(located)?),
+                "verifier-mode" => verifier_mode = Some(parse_mode(value).map_err(located)?),
+                "device-key" => device_key = Some(value.to_string()),
+                "verifier-key" => verifier_key = Some(value.to_string()),
+                "run-until" => run_until = Some(value.to_string()),
+                "step-budget" => {
+                    step_budget = Some(
+                        parse_num(value)
+                            .ok_or_else(|| located("expects a step count".to_string()))?,
+                    );
+                }
+                "press-button" => {
+                    let (tokens, at_step) = split_after(value).map_err(located)?;
+                    let [pin] = tokens[..] else {
+                        return Err(located("expects `<pin> [after <N>]`".to_string()));
+                    };
+                    let pin = parse_num(pin)
+                        .filter(|p| *p < 8)
+                        .ok_or_else(|| located(format!("bad pin `{pin}`")))?;
+                    stimuli.push(Stimulus {
+                        at_step,
+                        kind: StimulusKind::PressButton(pin as u8),
+                    });
+                }
+                "uart-rx" => {
+                    let (tokens, at_step) = split_after(value).map_err(located)?;
+                    if tokens.is_empty() {
+                        return Err(located("expects `<byte…> [after <N>]`".to_string()));
+                    }
+                    let mut bytes = Vec::with_capacity(tokens.len());
+                    for t in &tokens {
+                        let b = parse_num(t)
+                            .filter(|b| *b <= 0xFF)
+                            .ok_or_else(|| located(format!("bad byte `{t}`")))?;
+                        bytes.push(b as u8);
+                    }
+                    stimuli.push(Stimulus {
+                        at_step,
+                        kind: StimulusKind::UartRx(bytes),
+                    });
+                }
+                "expect" => {
+                    expect = Some(
+                        Verdict::parse(value)
+                            .ok_or_else(|| located(format!("unknown verdict `{value}`")))?,
+                    );
+                }
+                "expect-violation" => expect_violations.push(value.to_string()),
+                "attack" => attack = Some(value.to_string()),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown front-matter key `{other}:`",
+                        entry.line
+                    ));
+                }
+            }
+        }
+
+        let name = name.ok_or("missing required `name:` key")?;
+        let expect = expect.ok_or("missing required `expect:` key")?;
+        let mode = mode.unwrap_or(PoxMode::Asap);
+        let device_key = device_key.unwrap_or_else(|| "corpus-key".to_string());
+        stimuli.sort_by_key(|s| s.at_step);
+        Ok(Manifest {
+            name,
+            mode,
+            verifier_mode: verifier_mode.unwrap_or(mode),
+            verifier_key: verifier_key.unwrap_or_else(|| device_key.clone()),
+            device_key,
+            run_until: run_until.unwrap_or_else(|| "done".to_string()),
+            step_budget: step_budget.unwrap_or(20_000),
+            stimuli,
+            expect,
+            expect_violations,
+            attack,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430_tools::literate::LiterateSource;
+
+    fn front(body: &str) -> FrontMatter {
+        let text = format!("---\n{body}\n---\n");
+        LiterateSource::parse(&text).unwrap().front
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let m = Manifest::from_front(&front("name: demo\nexpect: verified")).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.mode, PoxMode::Asap);
+        assert_eq!(m.verifier_mode, PoxMode::Asap);
+        assert_eq!(m.device_key, "corpus-key");
+        assert_eq!(m.verifier_key, "corpus-key");
+        assert_eq!(m.run_until, "done");
+        assert_eq!(m.step_budget, 20_000);
+        assert!(m.stimuli.is_empty());
+        assert_eq!(m.expect, Verdict::Verified);
+        assert!(m.attack.is_none());
+    }
+
+    #[test]
+    fn verifier_mode_and_key_track_device_defaults() {
+        let m = Manifest::from_front(&front(
+            "name: x\nmode: apex\ndevice-key: secret\nexpect: verified",
+        ))
+        .unwrap();
+        assert_eq!(m.verifier_mode, PoxMode::Apex);
+        assert_eq!(m.verifier_key, "secret");
+
+        let m = Manifest::from_front(&front(
+            "name: x\nmode: apex\nverifier-mode: asap\nexpect: missing-ivt",
+        ))
+        .unwrap();
+        assert_eq!(m.mode, PoxMode::Apex);
+        assert_eq!(m.verifier_mode, PoxMode::Asap);
+    }
+
+    #[test]
+    fn stimuli_parse_and_sort() {
+        let m = Manifest::from_front(&front(
+            "name: x\nexpect: verified\nuart-rx: 0x41 0x42 after 30\npress-button: 0",
+        ))
+        .unwrap();
+        assert_eq!(
+            m.stimuli,
+            vec![
+                Stimulus {
+                    at_step: 0,
+                    kind: StimulusKind::PressButton(0)
+                },
+                Stimulus {
+                    at_step: 30,
+                    kind: StimulusKind::UartRx(vec![0x41, 0x42])
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_verdicts_are_rejected() {
+        let e = Manifest::from_front(&front("name: x\nexpct: verified")).unwrap_err();
+        assert!(e.contains("unknown front-matter key `expct:`"), "{e}");
+        let e = Manifest::from_front(&front("name: x\nexpect: maybe")).unwrap_err();
+        assert!(e.contains("unknown verdict `maybe`"), "{e}");
+        let e = Manifest::from_front(&front("expect: verified")).unwrap_err();
+        assert!(e.contains("missing required `name:`"), "{e}");
+    }
+
+    #[test]
+    fn toolchain_keys_pass_through() {
+        let m = Manifest::from_front(&front(
+            "name: x\nexpect: verified\nisr: port1 h\nreset: main\nparam: n 5\nexec-base: 0xE000",
+        ))
+        .unwrap();
+        assert_eq!(m.name, "x");
+    }
+
+    #[test]
+    fn classification_covers_the_verdict_vocabulary() {
+        assert_eq!(
+            Verdict::classify(&AsapError::NotExecuted),
+            Ok(Verdict::NotExecuted)
+        );
+        assert_eq!(Verdict::classify(&AsapError::BadMac), Ok(Verdict::BadMac));
+        assert_eq!(
+            Verdict::classify(&AsapError::UnexpectedIsrEntry {
+                vector: 3,
+                target: 0xE010
+            }),
+            Ok(Verdict::UnexpectedIsrEntry)
+        );
+        assert!(Verdict::classify(&AsapError::NoEr).is_err());
+    }
+}

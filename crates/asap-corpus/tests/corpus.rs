@@ -1,0 +1,102 @@
+//! The corpus contract: every checked-in literate program loads, is
+//! annotated with an exact verdict, and reproduces that verdict on all
+//! three attestation backends.
+
+use asap_corpus::{
+    default_programs_dir, discover, run_device, run_gateway, run_loopback, CorpusProgram,
+    RunReport, Verdict,
+};
+use std::collections::BTreeSet;
+
+fn corpus() -> Vec<CorpusProgram> {
+    discover(&default_programs_dir()).expect("corpus loads")
+}
+
+fn assert_all_passed(report: &RunReport) {
+    let failures: Vec<String> = report.failures().map(|f| f.to_string()).collect();
+    assert!(
+        report.all_passed(),
+        "backend {} failures:\n  {}",
+        report.backend,
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn corpus_is_broad_and_uniquely_named() {
+    let programs = corpus();
+    assert!(
+        programs.len() >= 12,
+        "expected a corpus of at least 12 programs, found {}",
+        programs.len()
+    );
+
+    let names: BTreeSet<&str> = programs.iter().map(|p| p.manifest.name.as_str()).collect();
+    assert_eq!(names.len(), programs.len(), "program names must be unique");
+
+    let attacks = programs
+        .iter()
+        .filter(|p| p.manifest.attack.is_some())
+        .count();
+    assert!(
+        attacks >= 6,
+        "expected >= 6 attack programs, found {attacks}"
+    );
+
+    // Every file has a markdown title: the corpus is documentation too.
+    for p in &programs {
+        assert!(p.title.is_some(), "{} has no `# title`", p.origin);
+    }
+}
+
+#[test]
+fn corpus_covers_every_verdict() {
+    let verdicts: BTreeSet<String> = corpus()
+        .iter()
+        .map(|p| p.manifest.expect.to_string())
+        .collect();
+    for expected in [
+        Verdict::Verified,
+        Verdict::NotExecuted,
+        Verdict::BadMac,
+        Verdict::MissingIvt,
+        Verdict::UnexpectedIvt,
+        Verdict::UnexpectedIsrEntry,
+    ] {
+        assert!(
+            verdicts.contains(&expected.to_string()),
+            "no corpus program pins down `{expected}`"
+        );
+    }
+}
+
+#[test]
+fn device_backend_matches_annotations() {
+    assert_all_passed(&run_device(&corpus()));
+}
+
+#[test]
+fn loopback_fleet_backend_matches_annotations() {
+    assert_all_passed(&run_loopback(&corpus()));
+}
+
+#[test]
+fn gateway_backend_matches_annotations() {
+    assert_all_passed(&run_gateway(&corpus()));
+}
+
+#[test]
+fn failures_are_isolated_per_program() {
+    // Corrupt one program's expectation: exactly that program fails,
+    // everything else still passes — the RoundReport discipline.
+    let mut programs = corpus();
+    let victim = programs
+        .iter()
+        .position(|p| p.manifest.expect == Verdict::Verified)
+        .expect("some verified program");
+    programs[victim].manifest.expect = Verdict::BadMac;
+
+    let report = run_device(&programs);
+    let failed: Vec<&str> = report.failures().map(|f| f.name.as_str()).collect();
+    assert_eq!(failed, vec![programs[victim].manifest.name.as_str()]);
+}

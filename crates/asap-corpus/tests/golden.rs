@@ -1,0 +1,278 @@
+//! Golden equivalence: the literate `.s.md` ports of the canned demo
+//! programs must produce **bit-identical** images to the original
+//! Rust-string builders they replaced. The legacy sources are frozen
+//! here verbatim; if a port drifts (an instruction, a vector order, a
+//! section), these tests name the program.
+
+use asap::programs;
+use msp430_tools::link::{link, Image, LinkConfig, LinkError};
+use periph::gpio::PORT1_VECTOR;
+use periph::timer::TIMER_VECTOR;
+use periph::uart::UART_RX_VECTOR;
+
+const EXEC_BASE: u16 = 0xE000;
+const TEXT_BASE: u16 = 0xF000;
+
+fn legacy_fig4_authorized() -> Result<Image, LinkError> {
+    let src = r#"
+        ; === Fig. 4(b): software layout ===
+        .section exec.start
+    startER:
+        call #dummy_main
+        br   #exitER            ; exec.body is linked between start and leave
+        .section exec.leave
+    exitER:
+        ret
+        .section exec.body
+    dummy_main:
+        mov.b #0x01, &0x0025    ; P1IE: arm the button interrupt
+        eint                    ; interrupts are welcome under ASAP
+        mov #60, r4
+    loop:
+        dec r4
+        jnz loop
+        dint
+        ret
+    gpio_isr:                   ; trusted ISR, placed inside ER
+        mov.b #0xFF, &0x0041    ; actuate PORT5 (P5OUT)
+        reti
+        .section text
+    main:
+        call #startER
+    done:
+        jmp done
+    "#;
+    link(
+        src,
+        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
+            .vector(PORT1_VECTOR, "gpio_isr")
+            .reset("main"),
+    )
+}
+
+fn legacy_fig4_unauthorized() -> Result<Image, LinkError> {
+    let src = r#"
+        .section exec.start
+    startER:
+        call #dummy_main
+        br   #exitER            ; exec.body is linked between start and leave
+        .section exec.leave
+    exitER:
+        ret
+        .section exec.body
+    dummy_main:
+        mov.b #0x01, &0x0025    ; P1IE: arm the button interrupt
+        eint
+        mov #60, r4
+    loop:
+        dec r4
+        jnz loop
+        dint
+        ret
+        .section text
+    evil_isr:                   ; ISR left outside ER
+        mov.b #0xFF, &0x0041
+        reti
+    main:
+        call #startER
+    done:
+        jmp done
+    "#;
+    link(
+        src,
+        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
+            .vector(PORT1_VECTOR, "evil_isr")
+            .reset("main"),
+    )
+}
+
+fn legacy_syringe_pump_interrupt(dose_cycles: u16) -> Result<Image, LinkError> {
+    let src = format!(
+        r#"
+        .section exec.start
+    startER:
+        call #pump_main
+        br   #exitER
+        .section exec.leave
+    exitER:
+        ret
+        .section exec.body
+    pump_main:
+        mov.b #0x01, &0x0041    ; P5OUT: start injecting
+        mov #1, &0x0300         ; OR.status = dosing
+        mov.b #0x01, &0x0025    ; P1IE: arm the abort button
+        mov #0x01, &0x0076      ; UART CTL: arm the network-abort RX irq
+        mov #{dose_cycles}, &0x0164 ; TACCR0 = dose period
+        mov #0x12, &0x0160      ; TACTL = MC_UP | TAIE
+        bis #0x0018, sr         ; GIE + CPUOFF: sleep until the timer
+        ; --- woken up: dosing finished or aborted ---
+        mov #0, &0x0160         ; stop the timer
+        ret
+    timer_isr:                  ; trusted ISR: dose complete
+        mov.b #0x00, &0x0041    ; stop injecting
+        cmp #1, &0x0300
+        jne timer_done          ; ignore spurious ticks after abort
+        mov #2, &0x0300         ; OR.status = completed
+        inc &0x0302             ; OR.doses += 1
+    timer_done:
+        bic #0x0010, 0(sp)      ; clear CPUOFF in the stacked SR: wake
+        reti
+    abort_isr:                  ; trusted ISR: button or UART abort
+        mov.b #0x00, &0x0041    ; stop injecting immediately
+        mov #3, &0x0300         ; OR.status = aborted
+        mov.b &0x0072, r15      ; drain RXBUF (clears the UART line)
+        bic #0x0010, 0(sp)
+        reti
+        .section text
+    main:
+        call #startER
+    done:
+        jmp done
+    "#
+    );
+    link(
+        &src,
+        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
+            .vector(TIMER_VECTOR, "timer_isr")
+            .vector(PORT1_VECTOR, "abort_isr")
+            .vector(UART_RX_VECTOR, "abort_isr")
+            .reset("main"),
+    )
+}
+
+fn legacy_syringe_pump_busywait(dose_loops: u16) -> Result<Image, LinkError> {
+    let src = format!(
+        r#"
+        .section exec.start
+    startER:
+        call #pump_main
+        br   #exitER
+        .section exec.leave
+    exitER:
+        ret
+        .section exec.body
+    pump_main:
+        dint                    ; APEX: no interrupts during execution
+        mov.b #0x01, &0x0041    ; start injecting
+        mov #1, &0x0300
+        mov #{dose_loops}, r4
+    wait:                       ; burn cycles: the CPU cannot sleep
+        dec r4
+        jnz wait
+        mov.b #0x00, &0x0041    ; stop injecting
+        mov #2, &0x0300
+        inc &0x0302
+        ret
+        .section text
+    main:
+        call #startER
+    done:
+        jmp done
+    "#
+    );
+    link(&src, &LinkConfig::new(EXEC_BASE, TEXT_BASE).reset("main"))
+}
+
+fn legacy_sensor_task() -> Result<Image, LinkError> {
+    let src = r#"
+        .section exec.start
+    startER:
+        call #sense_main
+        br   #exitER
+        .section exec.leave
+    exitER:
+        ret
+        .section exec.body
+    sense_main:
+        mov #0x01, &0x0076      ; UART CTL: arm the request-id RX irq
+        eint
+        clr r6                  ; accumulator
+        mov #4, r7              ; sample count
+    sample:
+        mov.b &0x0028, r5       ; P2IN (port 2 base 0x28, IN offset 0)
+        add r5, r6
+        dec r7
+        jnz sample
+        rra r6                  ; /2
+        rra r6                  ; /4
+        mov r6, &0x0300         ; OR.reading
+        dint
+        ret
+    uart_isr:                   ; trusted ISR: tag with the request id
+        mov.b &0x0072, r15      ; RXBUF
+        mov.b r15, &0x0302      ; OR.request_id
+        reti
+        .section text
+    main:
+        call #startER
+    done:
+        jmp done
+    "#;
+    link(
+        src,
+        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
+            .vector(UART_RX_VECTOR, "uart_isr")
+            .reset("main"),
+    )
+}
+
+fn assert_identical(name: &str, ported: Image, legacy: Image) {
+    assert_eq!(ported.chunks, legacy.chunks, "{name}: load segments differ");
+    assert_eq!(ported.symbols, legacy.symbols, "{name}: symbols differ");
+    assert_eq!(ported.er, legacy.er, "{name}: ER bounds differ");
+    assert_eq!(
+        ported.ivt_entries, legacy.ivt_entries,
+        "{name}: IVT entries differ (order matters)"
+    );
+    assert_eq!(ported.reset, legacy.reset, "{name}: reset target differs");
+    assert_eq!(ported, legacy, "{name}: images differ");
+}
+
+#[test]
+fn fig4_authorized_is_bit_identical() {
+    assert_identical(
+        "fig4-authorized",
+        programs::fig4_authorized().unwrap(),
+        legacy_fig4_authorized().unwrap(),
+    );
+}
+
+#[test]
+fn fig4_unauthorized_is_bit_identical() {
+    assert_identical(
+        "fig4-unauthorized",
+        programs::fig4_unauthorized().unwrap(),
+        legacy_fig4_unauthorized().unwrap(),
+    );
+}
+
+#[test]
+fn syringe_pump_interrupt_is_bit_identical() {
+    for dose in [1u16, 100, 500, 65535] {
+        assert_identical(
+            "syringe-pump-interrupt",
+            programs::syringe_pump_interrupt(dose).unwrap(),
+            legacy_syringe_pump_interrupt(dose).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn syringe_pump_busywait_is_bit_identical() {
+    for dose in [1u16, 500, 4096] {
+        assert_identical(
+            "syringe-pump-busywait",
+            programs::syringe_pump_busywait(dose).unwrap(),
+            legacy_syringe_pump_busywait(dose).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn sensor_task_is_bit_identical() {
+    assert_identical(
+        "sensor-task",
+        programs::sensor_task().unwrap(),
+        legacy_sensor_task().unwrap(),
+    );
+}

@@ -1,0 +1,104 @@
+//! Disassembler/assembler round-trip over the whole corpus: every code
+//! section of every program (checked-in and generated) must decode with
+//! no illegal instructions, and re-assembling the rendered text at the
+//! same base must reproduce the section byte-for-byte.
+
+use asap_corpus::{default_programs_dir, discover, generate_batch, load_str, CorpusProgram};
+use msp430_tools::disasm::disassemble;
+use msp430_tools::link::{link, LinkConfig};
+use openmsp430::isa::Instr;
+use openmsp430::mem::Memory;
+use std::collections::BTreeMap;
+
+/// Renders a decoded instruction as assembler input. Jumps carry a
+/// PC-relative word offset; the assembler wants an absolute target.
+fn render(addr: u16, instr: &Instr) -> String {
+    match instr {
+        Instr::Jump { cond, offset } => {
+            let target = addr
+                .wrapping_add(2)
+                .wrapping_add((*offset as u16).wrapping_mul(2));
+            format!("{} {:#06x}", cond.mnemonic(), target)
+        }
+        other => other.to_string(),
+    }
+}
+
+fn roundtrip_program(program: &CorpusProgram) {
+    let name = &program.manifest.name;
+    let mut mem = Memory::new();
+    program.image.load_into(&mut mem);
+
+    let mut code_sections = 0;
+    for section in &program.image.sections {
+        if section.name != "text" && !section.name.starts_with("exec") {
+            continue;
+        }
+        code_sections += 1;
+        let (start, end) = (section.region.start(), section.region.end());
+        let lines = disassemble(&mem, start, end.wrapping_add(1), &BTreeMap::new());
+
+        let mut src = String::from("        .section text\n");
+        for line in &lines {
+            assert!(
+                !matches!(line.instr, Instr::Illegal(_)),
+                "{name}: illegal instruction at {:#06x} in `{}`: {}",
+                line.addr,
+                section.name,
+                line.text
+            );
+            src.push_str("        ");
+            src.push_str(&render(line.addr, &line.instr));
+            src.push('\n');
+        }
+        let last = lines.last().expect("section is not empty");
+        assert_eq!(
+            last.addr.wrapping_add(last.size),
+            end.wrapping_add(1),
+            "{name}: disassembly of `{}` did not cover the region exactly",
+            section.name
+        );
+
+        // Re-assemble at the original base and compare bytes.
+        let rebuilt = link(&src, &LinkConfig::new(0x1000, start)).unwrap_or_else(|e| {
+            panic!(
+                "{name}: rendered `{}` does not re-assemble: {e}\n{src}",
+                section.name
+            )
+        });
+        let mut mem2 = Memory::new();
+        rebuilt.load_into(&mut mem2);
+        let mut addr = start;
+        while addr <= end {
+            assert_eq!(
+                mem.read_word(addr),
+                mem2.read_word(addr),
+                "{name}: `{}` differs after round-trip at {addr:#06x}",
+                section.name
+            );
+            addr = addr.wrapping_add(2);
+        }
+    }
+    assert!(
+        code_sections >= 2,
+        "{name}: expected at least an exec and a text section, saw {code_sections}"
+    );
+}
+
+#[test]
+fn corpus_round_trips_through_the_disassembler() {
+    let programs = discover(&default_programs_dir()).expect("corpus loads");
+    assert!(!programs.is_empty());
+    for program in &programs {
+        roundtrip_program(program);
+    }
+}
+
+#[test]
+fn generated_programs_round_trip_through_the_disassembler() {
+    for generated in &generate_batch(0xD15A_53FB, 24) {
+        let program = load_str(&generated.name, &generated.text)
+            .unwrap_or_else(|e| panic!("{} fails to load: {e}", generated.name));
+        roundtrip_program(&program);
+    }
+}

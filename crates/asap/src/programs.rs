@@ -1,13 +1,17 @@
 //! Canned demonstration programs used by the examples, tests and
-//! benchmark harness.
+//! benchmark harness — now loaded from the literate program corpus
+//! under `programs/` at the repository root.
 //!
 //! All programs follow the paper's Fig. 4 structure: `startER` /
 //! `exitER` stubs in `exec.start` / `exec.leave`, the provable behaviour
 //! (main task + trusted ISRs) in `exec.body`, and untrusted code in
-//! `text`.
+//! `text`. The sources are `.s.md` files — markdown with fenced `asm`
+//! blocks — compiled into this crate with `include_str!` and assembled
+//! by [`msp430_tools::literate`].
 
-use msp430_tools::link::{link, Image, LinkConfig, LinkError};
-use periph::gpio::PORT1_VECTOR;
+use msp430_tools::link::{Image, LinkConfig, LinkError};
+use msp430_tools::literate::LiterateSource;
+use periph::gpio::{PORT1_VECTOR, PORT2_VECTOR};
 use periph::timer::TIMER_VECTOR;
 use periph::uart::UART_RX_VECTOR;
 
@@ -18,82 +22,68 @@ pub const EXEC_BASE: u16 = 0xE000;
 /// Default untrusted-code base.
 pub const TEXT_BASE: u16 = 0xF000;
 
+/// The Fig. 4 demo source: a dummy main loop plus a GPIO-triggered ISR
+/// that writes `PORT5`, with the ISR linked **inside** `ER`.
+pub const FIG4_AUTHORIZED: &str = include_str!("../../../programs/core/fig4-authorized.s.md");
+
+/// The Fig. 4 demo with the ISR linked **outside** `ER` (Fig. 5(b)).
+pub const FIG4_UNAUTHORIZED: &str = include_str!("../../../programs/core/fig4-unauthorized.s.md");
+
+/// The §3 interrupt-driven syringe pump source.
+pub const SYRINGE_PUMP_INTERRUPT: &str =
+    include_str!("../../../programs/core/syringe-pump-interrupt.s.md");
+
+/// The §3 busy-wait syringe pump source (the APEX-compatible
+/// workaround).
+pub const SYRINGE_PUMP_BUSYWAIT: &str =
+    include_str!("../../../programs/core/syringe-pump-busywait.s.md");
+
+/// The sensing-task source (UART-tagged GPIO sampling).
+pub const SENSOR_TASK: &str = include_str!("../../../programs/core/sensor-task.s.md");
+
+/// Maps the symbolic ISR vector names used in literate front matter
+/// (`isr: timer timer_isr`) to MSP430 vector numbers.
+pub fn isr_vector(name: &str) -> Option<u8> {
+    match name {
+        "port1" => Some(PORT1_VECTOR),
+        "port2" => Some(PORT2_VECTOR),
+        "timer" => Some(TIMER_VECTOR),
+        "uart-rx" => Some(UART_RX_VECTOR),
+        _ => None,
+    }
+}
+
+/// The [`LinkConfig`] all demo programs start from: `ER` at
+/// [`EXEC_BASE`], untrusted code at [`TEXT_BASE`]. Front matter
+/// (`reset:`, `isr:`, `*-base:`) overlays the rest.
+pub fn default_link_config() -> LinkConfig {
+    LinkConfig::new(EXEC_BASE, TEXT_BASE)
+}
+
+/// Parses and links a literate `.s.md` source against the demo
+/// defaults, with `overrides` substituted for declared `param:`s.
+///
+/// # Errors
+///
+/// Malformed literate structure, assembly or link errors — all located
+/// in `.s.md` file coordinates.
+pub fn build_literate(source: &str, overrides: &[(&str, &str)]) -> Result<Image, LinkError> {
+    let lit = LiterateSource::parse(source).map_err(LinkError::from)?;
+    lit.link(default_link_config(), &isr_vector, overrides)
+        .map_err(LinkError::from)
+}
+
 /// The Fig. 4 demo: a dummy main loop plus a GPIO-triggered ISR that
 /// writes `PORT5`, with the ISR linked **inside** `ER` (authorized).
 pub fn fig4_authorized() -> Result<Image, LinkError> {
-    let src = r#"
-        ; === Fig. 4(b): software layout ===
-        .section exec.start
-    startER:
-        call #dummy_main
-        br   #exitER            ; exec.body is linked between start and leave
-        .section exec.leave
-    exitER:
-        ret
-        .section exec.body
-    dummy_main:
-        mov.b #0x01, &0x0025    ; P1IE: arm the button interrupt
-        eint                    ; interrupts are welcome under ASAP
-        mov #60, r4
-    loop:
-        dec r4
-        jnz loop
-        dint
-        ret
-    gpio_isr:                   ; trusted ISR, placed inside ER
-        mov.b #0xFF, &0x0041    ; actuate PORT5 (P5OUT)
-        reti
-        .section text
-    main:
-        call #startER
-    done:
-        jmp done
-    "#;
-    link(
-        src,
-        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
-            .vector(PORT1_VECTOR, "gpio_isr")
-            .reset("main"),
-    )
+    build_literate(FIG4_AUTHORIZED, &[])
 }
 
 /// The same demo with the GPIO ISR linked **outside** `ER`
 /// (unauthorized): servicing it forces the PC out of `ER` and must clear
 /// `EXEC` (Fig. 5(b)).
 pub fn fig4_unauthorized() -> Result<Image, LinkError> {
-    let src = r#"
-        .section exec.start
-    startER:
-        call #dummy_main
-        br   #exitER            ; exec.body is linked between start and leave
-        .section exec.leave
-    exitER:
-        ret
-        .section exec.body
-    dummy_main:
-        mov.b #0x01, &0x0025    ; P1IE: arm the button interrupt
-        eint
-        mov #60, r4
-    loop:
-        dec r4
-        jnz loop
-        dint
-        ret
-        .section text
-    evil_isr:                   ; ISR left outside ER
-        mov.b #0xFF, &0x0041
-        reti
-    main:
-        call #startER
-    done:
-        jmp done
-    "#;
-    link(
-        src,
-        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
-            .vector(PORT1_VECTOR, "evil_isr")
-            .reset("main"),
-    )
+    build_literate(FIG4_UNAUTHORIZED, &[])
 }
 
 /// The §3 syringe pump, interrupt-driven (requires ASAP):
@@ -110,56 +100,9 @@ pub fn fig4_unauthorized() -> Result<Image, LinkError> {
 /// `OR` layout (base `0x0300`): `+0` status word (1 = dosing,
 /// 2 = completed, 3 = aborted), `+2` doses delivered.
 pub fn syringe_pump_interrupt(dose_cycles: u16) -> Result<Image, LinkError> {
-    let src = format!(
-        r#"
-        .section exec.start
-    startER:
-        call #pump_main
-        br   #exitER
-        .section exec.leave
-    exitER:
-        ret
-        .section exec.body
-    pump_main:
-        mov.b #0x01, &0x0041    ; P5OUT: start injecting
-        mov #1, &0x0300         ; OR.status = dosing
-        mov.b #0x01, &0x0025    ; P1IE: arm the abort button
-        mov #0x01, &0x0076      ; UART CTL: arm the network-abort RX irq
-        mov #{dose_cycles}, &0x0164 ; TACCR0 = dose period
-        mov #0x12, &0x0160      ; TACTL = MC_UP | TAIE
-        bis #0x0018, sr         ; GIE + CPUOFF: sleep until the timer
-        ; --- woken up: dosing finished or aborted ---
-        mov #0, &0x0160         ; stop the timer
-        ret
-    timer_isr:                  ; trusted ISR: dose complete
-        mov.b #0x00, &0x0041    ; stop injecting
-        cmp #1, &0x0300
-        jne timer_done          ; ignore spurious ticks after abort
-        mov #2, &0x0300         ; OR.status = completed
-        inc &0x0302             ; OR.doses += 1
-    timer_done:
-        bic #0x0010, 0(sp)      ; clear CPUOFF in the stacked SR: wake
-        reti
-    abort_isr:                  ; trusted ISR: button or UART abort
-        mov.b #0x00, &0x0041    ; stop injecting immediately
-        mov #3, &0x0300         ; OR.status = aborted
-        mov.b &0x0072, r15      ; drain RXBUF (clears the UART line)
-        bic #0x0010, 0(sp)
-        reti
-        .section text
-    main:
-        call #startER
-    done:
-        jmp done
-    "#
-    );
-    link(
-        &src,
-        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
-            .vector(TIMER_VECTOR, "timer_isr")
-            .vector(PORT1_VECTOR, "abort_isr")
-            .vector(UART_RX_VECTOR, "abort_isr")
-            .reset("main"),
+    build_literate(
+        SYRINGE_PUMP_INTERRUPT,
+        &[("dose_cycles", &dose_cycles.to_string())],
     )
 }
 
@@ -167,82 +110,17 @@ pub fn syringe_pump_interrupt(dose_cycles: u16) -> Result<Image, LinkError> {
 /// workaround): the CPU actively counts down the dose period with
 /// interrupts disabled. No abort is possible while dosing.
 pub fn syringe_pump_busywait(dose_loops: u16) -> Result<Image, LinkError> {
-    let src = format!(
-        r#"
-        .section exec.start
-    startER:
-        call #pump_main
-        br   #exitER
-        .section exec.leave
-    exitER:
-        ret
-        .section exec.body
-    pump_main:
-        dint                    ; APEX: no interrupts during execution
-        mov.b #0x01, &0x0041    ; start injecting
-        mov #1, &0x0300
-        mov #{dose_loops}, r4
-    wait:                       ; burn cycles: the CPU cannot sleep
-        dec r4
-        jnz wait
-        mov.b #0x00, &0x0041    ; stop injecting
-        mov #2, &0x0300
-        inc &0x0302
-        ret
-        .section text
-    main:
-        call #startER
-    done:
-        jmp done
-    "#
-    );
-    link(&src, &LinkConfig::new(EXEC_BASE, TEXT_BASE).reset("main"))
+    build_literate(
+        SYRINGE_PUMP_BUSYWAIT,
+        &[("dose_loops", &dose_loops.to_string())],
+    )
 }
 
 /// A sensing task: read GPIO port 2 input as the "sensor", average four
 /// samples into `OR`, with a UART ISR (inside `ER`) that tags the
 /// reading with a request id received asynchronously.
 pub fn sensor_task() -> Result<Image, LinkError> {
-    let src = r#"
-        .section exec.start
-    startER:
-        call #sense_main
-        br   #exitER
-        .section exec.leave
-    exitER:
-        ret
-        .section exec.body
-    sense_main:
-        mov #0x01, &0x0076      ; UART CTL: arm the request-id RX irq
-        eint
-        clr r6                  ; accumulator
-        mov #4, r7              ; sample count
-    sample:
-        mov.b &0x0028, r5       ; P2IN (port 2 base 0x28, IN offset 0)
-        add r5, r6
-        dec r7
-        jnz sample
-        rra r6                  ; /2
-        rra r6                  ; /4
-        mov r6, &0x0300         ; OR.reading
-        dint
-        ret
-    uart_isr:                   ; trusted ISR: tag with the request id
-        mov.b &0x0072, r15      ; RXBUF
-        mov.b r15, &0x0302      ; OR.request_id
-        reti
-        .section text
-    main:
-        call #startER
-    done:
-        jmp done
-    "#;
-    link(
-        src,
-        &LinkConfig::new(EXEC_BASE, TEXT_BASE)
-            .vector(UART_RX_VECTOR, "uart_isr")
-            .reset("main"),
-    )
+    build_literate(SENSOR_TASK, &[])
 }
 
 /// The address of the untrusted idle loop (`done:`) in all demo
@@ -295,5 +173,14 @@ mod tests {
                 "{sym} inside ER"
             );
         }
+    }
+
+    #[test]
+    fn vector_names_cover_the_periph_set() {
+        assert_eq!(isr_vector("port1"), Some(PORT1_VECTOR));
+        assert_eq!(isr_vector("port2"), Some(PORT2_VECTOR));
+        assert_eq!(isr_vector("timer"), Some(TIMER_VECTOR));
+        assert_eq!(isr_vector("uart-rx"), Some(UART_RX_VECTOR));
+        assert_eq!(isr_vector("bogus"), None);
     }
 }

@@ -11,28 +11,84 @@ use openmsp430::regs::Reg;
 use std::error::Error;
 use std::fmt;
 
-/// An assembly error with its source line.
+/// A source position: 1-based line and column. A column of `0` means
+/// "line known, column not".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (`0` = unknown).
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col > 0 {
+            write!(f, "line {}:{}", self.line, self.col)
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+/// An assembly error with its source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token (`0` = unknown).
+    pub col: usize,
     /// Description.
     pub msg: String,
 }
 
+impl AsmError {
+    /// The error's position.
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        write!(f, "{}: {}", self.span(), self.msg)
     }
 }
 
 impl Error for AsmError {}
 
-fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError {
-        line,
-        msg: msg.into(),
-    })
+/// One source line being parsed; knows how to turn a sub-slice of the
+/// raw line into a column number for diagnostics.
+#[derive(Clone, Copy)]
+struct LineCtx<'a> {
+    raw: &'a str,
+    line: usize,
+}
+
+impl LineCtx<'_> {
+    /// Column (1-based) of `sub` within the raw line, when `sub` is a
+    /// sub-slice of it; `0` (unknown) otherwise.
+    fn col_of(&self, sub: &str) -> usize {
+        let raw = self.raw.as_ptr() as usize;
+        let sub = sub.as_ptr() as usize;
+        if (raw..=raw + self.raw.len()).contains(&sub) {
+            sub - raw + 1
+        } else {
+            0
+        }
+    }
+
+    /// An error pointing at the start of the token `at`.
+    fn err<T>(&self, at: &str, msg: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError {
+            line: self.line,
+            col: self.col_of(at.trim_start()),
+            msg: msg.into(),
+        })
+    }
 }
 
 /// Default section items land in when no `.section` was seen.
@@ -89,7 +145,7 @@ fn is_ident(s: &str) -> bool {
 }
 
 /// Parses an expression: `num`, `sym`, `sym+num`, `sym-num`.
-fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
+fn parse_expr(s: &str, ctx: LineCtx<'_>) -> Result<Expr, AsmError> {
     let s = s.trim();
     if let Some(n) = parse_num(s) {
         return Ok(Expr::Num(n));
@@ -112,37 +168,36 @@ fn parse_expr(s: &str, line: usize) -> Result<Expr, AsmError> {
     if is_ident(s) {
         // Registers are not valid bare expressions.
         if parse_reg(s).is_some() {
-            return err(
-                line,
+            return ctx.err(
+                s,
                 format!("register `{s}` used where an expression was expected"),
             );
         }
         return Ok(Expr::sym(s));
     }
-    err(line, format!("cannot parse expression `{s}`"))
+    ctx.err(s, format!("cannot parse expression `{s}`"))
 }
 
 /// Parses one operand.
-fn parse_operand(s: &str, line: usize) -> Result<OperandSpec, AsmError> {
+fn parse_operand(s: &str, ctx: LineCtx<'_>) -> Result<OperandSpec, AsmError> {
     let s = s.trim();
     if s.is_empty() {
-        return err(line, "empty operand");
+        return ctx.err(s, "empty operand");
     }
     if let Some(rest) = s.strip_prefix('#') {
-        return Ok(OperandSpec::Imm(parse_expr(rest, line)?));
+        return Ok(OperandSpec::Imm(parse_expr(rest, ctx)?));
     }
     if let Some(rest) = s.strip_prefix('&') {
-        return Ok(OperandSpec::Abs(parse_expr(rest, line)?));
+        return Ok(OperandSpec::Abs(parse_expr(rest, ctx)?));
     }
     if let Some(rest) = s.strip_prefix('@') {
         let (body, inc) = match rest.strip_suffix('+') {
             Some(b) => (b, true),
             None => (rest, false),
         };
-        let reg = parse_reg(body.trim()).ok_or_else(|| AsmError {
-            line,
-            msg: format!("bad register `{body}`"),
-        })?;
+        let Some(reg) = parse_reg(body.trim()) else {
+            return ctx.err(body, format!("bad register `{body}`"));
+        };
         return Ok(if inc {
             OperandSpec::IndInc(reg)
         } else {
@@ -155,21 +210,20 @@ fn parse_operand(s: &str, line: usize) -> Result<OperandSpec, AsmError> {
                 let expr = if s[..open].trim().is_empty() {
                     Expr::Num(0)
                 } else {
-                    parse_expr(&s[..open], line)?
+                    parse_expr(&s[..open], ctx)?
                 };
-                let reg = parse_reg(s[open + 1..close].trim()).ok_or_else(|| AsmError {
-                    line,
-                    msg: format!("bad index register in `{s}`"),
-                })?;
+                let Some(reg) = parse_reg(s[open + 1..close].trim()) else {
+                    return ctx.err(&s[open + 1..], format!("bad index register in `{s}`"));
+                };
                 return Ok(OperandSpec::Idx(expr, reg));
             }
         }
-        return err(line, format!("malformed indexed operand `{s}`"));
+        return ctx.err(s, format!("malformed indexed operand `{s}`"));
     }
     if let Some(r) = parse_reg(s) {
         return Ok(OperandSpec::Reg(r));
     }
-    Ok(OperandSpec::Sym(parse_expr(s, line)?))
+    Ok(OperandSpec::Sym(parse_expr(s, ctx)?))
 }
 
 fn two_op_mnemonic(m: &str) -> Option<TwoOp> {
@@ -232,17 +286,18 @@ fn emulated(
     m: &str,
     byte: bool,
     ops: &[OperandSpec],
-    line: usize,
+    ctx: LineCtx<'_>,
+    at: &str,
 ) -> Result<Option<Item>, AsmError> {
     let unary = |ops: &[OperandSpec]| -> Result<OperandSpec, AsmError> {
         if ops.len() != 1 {
-            return err(line, format!("`{m}` takes exactly one operand"));
+            return ctx.err(at, format!("`{m}` takes exactly one operand"));
         }
         Ok(ops[0].clone())
     };
     let nullary = |ops: &[OperandSpec]| -> Result<(), AsmError> {
         if !ops.is_empty() {
-            return err(line, format!("`{m}` takes no operands"));
+            return ctx.err(at, format!("`{m}` takes no operands"));
         }
         Ok(())
     };
@@ -357,6 +412,10 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
     };
 
     for (idx, raw_line) in source.lines().enumerate() {
+        let ctx = LineCtx {
+            raw: raw_line,
+            line: idx + 1,
+        };
         let line_no = idx + 1;
         let mut line = raw_line;
         if let Some(p) = line.find(';') {
@@ -372,7 +431,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
                 break;
             }
             if current.labels.iter().any(|(n, _)| n == label) {
-                return err(line_no, format!("duplicate label `{label}`"));
+                return ctx.err(head, format!("duplicate label `{label}`"));
             }
             current.labels.push((label.to_string(), current.size));
             rest = tail[1..].trim();
@@ -380,6 +439,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
         if rest.is_empty() {
             continue;
         }
+        let stmt_col = ctx.col_of(rest);
 
         // Directives.
         if let Some(body) = rest.strip_prefix('.') {
@@ -390,7 +450,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
             match dir {
                 "section" => {
                     if !is_ident(args) {
-                        return err(line_no, format!("bad section name `{args}`"));
+                        return ctx.err(args, format!("bad section name `{args}`"));
                     }
                     flush(&mut sections, &mut current);
                     if let Some(pos) = sections.iter().position(|s| s.name == args) {
@@ -407,48 +467,41 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
                 "word" => {
                     let exprs = split_operands(args)
                         .iter()
-                        .map(|s| parse_expr(s, line_no))
+                        .map(|s| parse_expr(s, ctx))
                         .collect::<Result<Vec<_>, _>>()?;
                     if exprs.is_empty() {
-                        return err(line_no, ".word needs at least one value");
+                        return ctx.err(rest, ".word needs at least one value");
                     }
-                    push_item(&mut current, Item::Words(exprs), line_no);
+                    push_item(&mut current, Item::Words(exprs), line_no, stmt_col);
                 }
                 "byte" => {
                     let exprs = split_operands(args)
                         .iter()
-                        .map(|s| parse_expr(s, line_no))
+                        .map(|s| parse_expr(s, ctx))
                         .collect::<Result<Vec<_>, _>>()?;
                     if exprs.is_empty() {
-                        return err(line_no, ".byte needs at least one value");
+                        return ctx.err(rest, ".byte needs at least one value");
                     }
-                    push_item(&mut current, Item::Bytes(exprs), line_no);
+                    push_item(&mut current, Item::Bytes(exprs), line_no, stmt_col);
                 }
                 "ascii" => {
                     let t = args.trim();
-                    let inner = t
-                        .strip_prefix('"')
-                        .and_then(|u| u.strip_suffix('"'))
-                        .ok_or_else(|| AsmError {
-                            line: line_no,
-                            msg: ".ascii needs a double-quoted string".into(),
-                        })?;
+                    let Some(inner) = t.strip_prefix('"').and_then(|u| u.strip_suffix('"')) else {
+                        return ctx.err(args, ".ascii needs a double-quoted string");
+                    };
                     let bytes: Vec<Expr> = inner.bytes().map(|b| Expr::Num(b as i32)).collect();
-                    push_item(&mut current, Item::Bytes(bytes), line_no);
+                    push_item(&mut current, Item::Bytes(bytes), line_no, stmt_col);
                 }
                 "space" => {
-                    let n = parse_num(args)
-                        .filter(|n| (0..=0xFFFF).contains(n))
-                        .ok_or_else(|| AsmError {
-                            line: line_no,
-                            msg: format!("bad .space size `{args}`"),
-                        })?;
-                    push_item(&mut current, Item::Space(n as u16), line_no);
+                    let Some(n) = parse_num(args).filter(|n| (0..=0xFFFF).contains(n)) else {
+                        return ctx.err(args, format!("bad .space size `{args}`"));
+                    };
+                    push_item(&mut current, Item::Space(n as u16), line_no, stmt_col);
                 }
                 "align" => {
-                    push_item(&mut current, Item::Align, line_no);
+                    push_item(&mut current, Item::Align, line_no, stmt_col);
                 }
-                other => return err(line_no, format!("unknown directive `.{other}`")),
+                other => return ctx.err(rest, format!("unknown directive `.{other}`")),
             }
             continue;
         }
@@ -471,12 +524,12 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
         };
         let ops = split_operands(operand_str)
             .iter()
-            .map(|s| parse_operand(s, line_no))
+            .map(|s| parse_operand(s, ctx))
             .collect::<Result<Vec<_>, _>>()?;
 
         let item = if let Some(op) = two_op_mnemonic(&mnemonic) {
             if ops.len() != 2 {
-                return err(line_no, format!("`{mnemonic}` takes two operands"));
+                return ctx.err(mnemonic_raw, format!("`{mnemonic}` takes two operands"));
             }
             Item::Two {
                 op,
@@ -487,7 +540,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
         } else if let Some(op) = one_op_mnemonic(&mnemonic) {
             if op == OneOp::Reti {
                 if !ops.is_empty() {
-                    return err(line_no, "`reti` takes no operands");
+                    return ctx.err(mnemonic_raw, "`reti` takes no operands");
                 }
                 Item::One {
                     op,
@@ -496,7 +549,7 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
                 }
             } else {
                 if ops.len() != 1 {
-                    return err(line_no, format!("`{mnemonic}` takes one operand"));
+                    return ctx.err(mnemonic_raw, format!("`{mnemonic}` takes one operand"));
                 }
                 Item::One {
                     op,
@@ -506,21 +559,21 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
             }
         } else if let Some(cond) = jump_mnemonic(&mnemonic) {
             if ops.len() != 1 {
-                return err(line_no, format!("`{mnemonic}` takes one target"));
+                return ctx.err(mnemonic_raw, format!("`{mnemonic}` takes one target"));
             }
             let target = match &ops[0] {
                 OperandSpec::Sym(e) | OperandSpec::Imm(e) => e.clone(),
                 other => {
-                    return err(line_no, format!("bad jump target `{other}`"));
+                    return ctx.err(operand_str, format!("bad jump target `{other}`"));
                 }
             };
             Item::Jump { cond, target }
-        } else if let Some(item) = emulated(&mnemonic, byte, &ops, line_no)? {
+        } else if let Some(item) = emulated(&mnemonic, byte, &ops, ctx, mnemonic_raw)? {
             item
         } else {
-            return err(line_no, format!("unknown mnemonic `{mnemonic_raw}`"));
+            return ctx.err(mnemonic_raw, format!("unknown mnemonic `{mnemonic_raw}`"));
         };
-        push_item(&mut current, item, line_no);
+        push_item(&mut current, item, line_no, stmt_col);
         let _ = started;
     }
 
@@ -528,12 +581,13 @@ pub fn assemble(source: &str) -> Result<Vec<SourceSection>, AsmError> {
     Ok(sections)
 }
 
-fn push_item(section: &mut SourceSection, item: Item, line: usize) {
+fn push_item(section: &mut SourceSection, item: Item, line: usize, col: usize) {
     let size = item.size_at(section.size);
     section.items.push(LocatedItem {
         item,
         offset: section.size,
         line,
+        col,
     });
     section.size += size;
 }
@@ -563,7 +617,7 @@ mod tests {
 
     #[test]
     fn parses_operand_forms() {
-        let l = 1;
+        let l = LineCtx { raw: "", line: 1 };
         assert_eq!(parse_operand("r5", l).unwrap(), OperandSpec::Reg(Reg::r(5)));
         assert_eq!(
             parse_operand("#42", l).unwrap(),
@@ -685,6 +739,26 @@ mod tests {
         assert!(assemble(".section 123bad").is_err());
         assert!(assemble("l:\nl:").is_err());
         assert!(assemble("jmp @r4").is_err());
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // The mnemonic starts at column 9.
+        let e = assemble("        bogus r4, r5").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 9));
+        assert_eq!(e.to_string(), "line 1:9: unknown mnemonic `bogus`");
+
+        // The offending operand (not the mnemonic) is pointed at.
+        let e = assemble("    mov r4, #nope!").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 14));
+
+        // Multi-line source: line advances, column tracks the token.
+        let e = assemble("  nop\n  mov @r99, r4").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 8));
+
+        // Spans survive label prefixes on the same line.
+        let e = assemble("lab:  .space -4").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 14));
     }
 
     #[test]

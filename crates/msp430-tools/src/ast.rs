@@ -181,6 +181,8 @@ pub struct LocatedItem {
     pub offset: u16,
     /// 1-based source line number.
     pub line: usize,
+    /// 1-based source column of the statement (`0` = unknown).
+    pub col: usize,
 }
 
 /// A parsed section: a name (e.g. `text`, `exec.body`), its items, and

@@ -44,7 +44,9 @@ pub mod asm;
 pub mod ast;
 pub mod disasm;
 pub mod link;
+pub mod literate;
 
-pub use asm::{assemble, AsmError};
+pub use asm::{assemble, AsmError, Span};
 pub use disasm::disassemble;
 pub use link::{link, ErBounds, Image, LinkConfig, LinkError};
+pub use literate::{LiterateError, LiterateSource};

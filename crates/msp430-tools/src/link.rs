@@ -16,7 +16,7 @@
 //! Everything else (`text` and any other section) is untrusted code placed
 //! outside `ER`.
 
-use crate::asm::{assemble, AsmError};
+use crate::asm::{assemble, AsmError, Span};
 use crate::ast::{Expr, Item, OperandSpec, SourceSection};
 use openmsp430::cpu::vector_addr;
 use openmsp430::encode::encode;
@@ -30,21 +30,48 @@ use std::fmt;
 /// The three `ER` sections, in placement order.
 pub const EXEC_SECTIONS: [&str; 3] = ["exec.start", "exec.body", "exec.leave"];
 
-/// A link-time error.
+/// A link-time error, with the source position of the offending
+/// statement when one is known.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkError {
     msg: String,
+    span: Option<Span>,
 }
 
 impl LinkError {
-    fn new(msg: impl Into<String>) -> LinkError {
-        LinkError { msg: msg.into() }
+    pub(crate) fn new(msg: impl Into<String>) -> LinkError {
+        LinkError {
+            msg: msg.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a position unless one is already recorded (the deepest
+    /// frame wins — an assembler span survives relinking).
+    pub(crate) fn at(mut self, line: usize, col: usize) -> LinkError {
+        if self.span.is_none() {
+            self.span = Some(Span { line, col });
+        }
+        self
+    }
+
+    /// The error's source position, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// The bare description, without the position prefix.
+    pub fn message(&self) -> &str {
+        &self.msg
     }
 }
 
 impl fmt::Display for LinkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "link error: {}", self.msg)
+        match self.span {
+            Some(span) => write!(f, "link error at {span}: {}", self.msg),
+            None => write!(f, "link error: {}", self.msg),
+        }
     }
 }
 
@@ -52,7 +79,10 @@ impl Error for LinkError {}
 
 impl From<AsmError> for LinkError {
     fn from(e: AsmError) -> LinkError {
-        LinkError::new(e.to_string())
+        LinkError {
+            span: Some(e.span()),
+            msg: e.msg,
+        }
     }
 }
 
@@ -230,13 +260,8 @@ impl Resolver<'_> {
     }
 }
 
-fn encode_item(
-    item: &Item,
-    addr: u16,
-    res: &Resolver<'_>,
-    line: usize,
-) -> Result<Vec<u8>, LinkError> {
-    let werr = |e: openmsp430::encode::EncodeError| LinkError::new(format!("line {line}: {e}"));
+fn encode_item(item: &Item, addr: u16, res: &Resolver<'_>) -> Result<Vec<u8>, LinkError> {
+    let werr = |e: openmsp430::encode::EncodeError| LinkError::new(e.to_string());
     let words_to_bytes = |words: Vec<u16>| {
         let mut out = Vec::with_capacity(words.len() * 2);
         for w in words {
@@ -272,14 +297,12 @@ fn encode_item(
             let pc_next = addr.wrapping_add(2);
             let delta = target.wrapping_sub(pc_next) as i16;
             if delta % 2 != 0 {
-                return Err(LinkError::new(format!(
-                    "line {line}: jump target {target:#06x} is odd"
-                )));
+                return Err(LinkError::new(format!("jump target {target:#06x} is odd")));
             }
             let offset = delta / 2;
             if !(-512..=511).contains(&offset) {
                 return Err(LinkError::new(format!(
-                    "line {line}: jump to {target:#06x} out of range ({offset} words)"
+                    "jump to {target:#06x} out of range ({offset} words)"
                 )));
             }
             let instr = Instr::Jump {
@@ -384,7 +407,7 @@ pub fn link_sections(sections: &[SourceSection], config: &LinkConfig) -> Result<
         for li in &s.items {
             let addr = base + li.offset;
             debug_assert_eq!(addr as usize, *base as usize + bytes.len());
-            bytes.extend(encode_item(&li.item, addr, &res, li.line)?);
+            bytes.extend(encode_item(&li.item, addr, &res).map_err(|e| e.at(li.line, li.col))?);
         }
         if !bytes.is_empty() {
             chunks.push((*base, bytes));
@@ -586,6 +609,26 @@ mod tests {
         ";
         let e = link(src, &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
         assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn link_errors_point_at_source() {
+        // `jmp far` sits on line 3, column 5.
+        let src = "\nstart:\n    jmp far\n    .space 2000\nfar:\n    ret\n";
+        let e = link(src, &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
+        let span = e.span().expect("jump-range errors carry a span");
+        assert_eq!((span.line, span.col), (3, 5));
+        assert!(e.to_string().starts_with("link error at line 3:5:"));
+
+        // Undefined symbols point at the statement that referenced them.
+        let e = link("  mov #lost, r4", &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
+        let span = e.span().expect("resolver errors carry a span");
+        assert_eq!((span.line, span.col), (1, 3));
+        assert!(e.message().contains("lost"));
+
+        // Assembler errors keep their (finer) column through linking.
+        let e = link("  mov r4", &LinkConfig::new(0xE000, 0xF000)).unwrap_err();
+        assert_eq!(e.span().map(|s| (s.line, s.col)), Some((1, 3)));
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Literate MSP430 programs: `.s.md` files where markdown prose
+//! documents a workload and fenced ` ```asm ` blocks hold the code.
+//!
+//! A literate source has three layers:
+//!
+//! 1. **Front matter** — an optional `---`-delimited header of
+//!    `key: value` lines at the top of the file. The toolchain itself
+//!    consumes only the link-level keys (`exec-base`, `text-base`,
+//!    `data-base`, `reset`, `isr`, `param`); every other key is
+//!    preserved verbatim for higher layers (the corpus runner reads its
+//!    mode/verdict annotations from here).
+//! 2. **Prose** — ordinary markdown. The first `# heading` is kept as
+//!    the program's title; everything else is documentation only.
+//! 3. **Code** — fenced ` ```asm ` blocks, concatenated in file order
+//!    into one assembly source. Section state (`.section`) carries
+//!    across blocks, so prose can interleave with the program at any
+//!    granularity.
+//!
+//! Diagnostics survive the extraction: assembler/linker errors inside a
+//! block are remapped to the *file* line of the `.s.md`, and name the
+//! offending block.
+//!
+//! ```
+//! use msp430_tools::literate::LiterateSource;
+//! use msp430_tools::link::LinkConfig;
+//!
+//! // (the fence is spelled out so this doc example's own fence survives)
+//! let f = "`".repeat(3);
+//! let text = format!(
+//!     "---\nname: demo\nreset: main\n---\n\n\x23 A tiny demo\n\n\
+//!      The provable part just returns:\n\n\
+//!      {f}asm\n    .section exec.start\nstartER:\n    ret\n{f}\n\n\
+//!      and the untrusted caller invokes it once:\n\n\
+//!      {f}asm\n    .section text\nmain:\n    call #startER\ndone:\n    jmp done\n{f}\n"
+//! );
+//! let lit = LiterateSource::parse(&text)?;
+//! assert_eq!(lit.front.get("name"), Some("demo"));
+//! assert_eq!(lit.title.as_deref(), Some("A tiny demo"));
+//! let image = lit.link(LinkConfig::new(0xE000, 0xF000), &|_| None, &[])?;
+//! assert_eq!(image.symbol("main"), Some(0xF000));
+//! # Ok::<(), msp430_tools::literate::LiterateError>(())
+//! ```
+
+use crate::asm::Span;
+use crate::link::{link_sections, Image, LinkConfig, LinkError};
+use std::error::Error;
+use std::fmt;
+
+/// An error in a literate source, located in `.s.md` coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiterateError {
+    msg: String,
+    /// Position in the `.s.md` file (not the concatenated assembly).
+    span: Option<Span>,
+    /// 0-based index of the offending ` ```asm ` block, when the error
+    /// came from inside one.
+    block: Option<usize>,
+}
+
+impl LiterateError {
+    fn new(msg: impl Into<String>) -> LiterateError {
+        LiterateError {
+            msg: msg.into(),
+            span: None,
+            block: None,
+        }
+    }
+
+    fn at_line(mut self, line: usize) -> LiterateError {
+        self.span = Some(Span { line, col: 0 });
+        self
+    }
+
+    /// The bare description.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Position in the `.s.md` file, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// 0-based index of the asm block the error came from, when known.
+    pub fn block(&self) -> Option<usize> {
+        self.block
+    }
+}
+
+impl fmt::Display for LiterateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.span, self.block) {
+            (Some(span), Some(b)) => {
+                write!(f, "asm block {} ({span}): {}", b + 1, self.msg)
+            }
+            (Some(span), None) => write!(f, "{span}: {}", self.msg),
+            _ => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl Error for LiterateError {}
+
+impl From<LiterateError> for LinkError {
+    fn from(e: LiterateError) -> LinkError {
+        let mut out = LinkError::new(e.to_string());
+        if let Some(s) = e.span {
+            out = out.at(s.line, s.col);
+        }
+        out
+    }
+}
+
+/// One `key: value` front-matter entry, in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontEntry {
+    /// The key (left of the first `:`), trimmed.
+    pub key: String,
+    /// The value (right of the first `:`), trimmed.
+    pub value: String,
+    /// 1-based file line the entry sits on.
+    pub line: usize,
+}
+
+/// The parsed front matter: ordered `key: value` pairs. Keys may
+/// repeat (`isr:` and `param:` routinely do); order is preserved
+/// because IVT entry order is part of a linked image's identity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontMatter {
+    entries: Vec<FrontEntry>,
+}
+
+impl FrontMatter {
+    /// The first value for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.value.as_str())
+    }
+
+    /// All values for `key`, in file order.
+    pub fn values<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> {
+        self.entries
+            .iter()
+            .filter(move |e| e.key == key)
+            .map(|e| e.value.as_str())
+    }
+
+    /// All entries, in file order.
+    pub fn entries(&self) -> impl Iterator<Item = &FrontEntry> {
+        self.entries.iter()
+    }
+}
+
+/// One fenced ` ```asm ` block, verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmBlock {
+    /// 1-based file line of the opening fence.
+    pub fence_line: usize,
+    /// The lines between the fences, exactly as written.
+    pub lines: Vec<String>,
+}
+
+/// A parsed `.s.md` file: front matter, title, and asm blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiterateSource {
+    /// The `---`-delimited header (empty when absent).
+    pub front: FrontMatter,
+    /// The first `# heading` outside any fence, without the `#`.
+    pub title: Option<String>,
+    /// The ` ```asm ` blocks, in file order.
+    pub blocks: Vec<AsmBlock>,
+}
+
+/// The concatenated assembly of a literate source, with the map back
+/// to `.s.md` coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatAsm {
+    /// The assembly source, ready for [`crate::asm::assemble`].
+    pub source: String,
+    /// Per concatenated line: `(file_line, block_index)`.
+    map: Vec<(usize, usize)>,
+}
+
+impl FlatAsm {
+    /// Maps a 1-based line of the concatenated assembly back to
+    /// `(file_line, block_index)` in the `.s.md`.
+    pub fn locate(&self, asm_line: usize) -> Option<(usize, usize)> {
+        self.map.get(asm_line.checked_sub(1)?).copied()
+    }
+
+    fn rebase(&self, msg: String, span: Option<Span>) -> LiterateError {
+        let mut out = LiterateError::new(msg);
+        if let Some(s) = span {
+            if let Some((file_line, block)) = self.locate(s.line) {
+                out.span = Some(Span {
+                    line: file_line,
+                    col: s.col,
+                });
+                out.block = Some(block);
+            }
+        }
+        out
+    }
+}
+
+/// True for a fence opener whose info string marks MSP430 assembly.
+fn is_asm_fence(info: &str) -> bool {
+    matches!(info.trim(), "asm" | "s" | "msp430" | "msp430-asm")
+}
+
+/// Parses a numeric front-matter value (decimal or `0x…`).
+fn parse_value_num(s: &str) -> Option<u32> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl LiterateSource {
+    /// Parses a `.s.md` text.
+    ///
+    /// # Errors
+    ///
+    /// Unterminated front matter or fence, and malformed front-matter
+    /// lines (no `:`).
+    pub fn parse(text: &str) -> Result<LiterateSource, LiterateError> {
+        let mut lines = text.lines().enumerate().peekable();
+
+        // Front matter: a `---` line first (blank lines may precede).
+        let mut front = FrontMatter::default();
+        while let Some((_, l)) = lines.peek() {
+            if l.trim().is_empty() {
+                lines.next();
+            } else {
+                break;
+            }
+        }
+        if lines.peek().is_some_and(|(_, l)| l.trim() == "---") {
+            let (open_idx, _) = lines.next().unwrap();
+            let mut closed = false;
+            for (idx, l) in lines.by_ref() {
+                let line = idx + 1;
+                let t = l.trim();
+                if t == "---" {
+                    closed = true;
+                    break;
+                }
+                if t.is_empty() || t.starts_with('#') {
+                    continue; // blank or comment
+                }
+                let Some((key, value)) = t.split_once(':') else {
+                    return Err(LiterateError::new(format!(
+                        "front-matter line is not `key: value`: `{t}`"
+                    ))
+                    .at_line(line));
+                };
+                front.entries.push(FrontEntry {
+                    key: key.trim().to_string(),
+                    value: value.trim().to_string(),
+                    line,
+                });
+            }
+            if !closed {
+                return Err(LiterateError::new("front matter is never closed by `---`")
+                    .at_line(open_idx + 1));
+            }
+        }
+
+        // Body: prose, headings, and fenced blocks.
+        let mut title = None;
+        let mut blocks = Vec::new();
+        while let Some((idx, l)) = lines.next() {
+            let t = l.trim_end();
+            if let Some(info) = t.strip_prefix("```") {
+                let fence_line = idx + 1;
+                let collect = is_asm_fence(info);
+                let mut body = Vec::new();
+                let mut closed = false;
+                for (_, inner) in lines.by_ref() {
+                    if inner.trim_end() == "```" {
+                        closed = true;
+                        break;
+                    }
+                    body.push(inner.to_string());
+                }
+                if !closed {
+                    return Err(
+                        LiterateError::new("code fence is never closed by ```").at_line(fence_line)
+                    );
+                }
+                if collect {
+                    blocks.push(AsmBlock {
+                        fence_line,
+                        lines: body,
+                    });
+                }
+            } else if title.is_none() {
+                if let Some(h) = t.strip_prefix('#') {
+                    title = Some(h.trim_start_matches('#').trim().to_string());
+                }
+            }
+        }
+
+        Ok(LiterateSource {
+            front,
+            title,
+            blocks,
+        })
+    }
+
+    /// The `param: <name> <default>` declarations, in file order.
+    pub fn params(&self) -> Vec<(String, String)> {
+        self.front
+            .values("param")
+            .filter_map(|v| {
+                let (name, default) = v.split_once(char::is_whitespace)?;
+                Some((name.trim().to_string(), default.trim().to_string()))
+            })
+            .collect()
+    }
+
+    /// Concatenates the asm blocks into one assembly source, applying
+    /// `{name}` parameter substitution (declared defaults, overridden
+    /// by `overrides`).
+    ///
+    /// # Errors
+    ///
+    /// A `{name}` reference with no declared parameter of that name, or
+    /// an unmatched `{`.
+    pub fn flatten(&self, overrides: &[(&str, &str)]) -> Result<FlatAsm, LiterateError> {
+        let mut params = self.params();
+        for (name, value) in overrides {
+            match params.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = value.to_string(),
+                None => params.push((name.to_string(), value.to_string())),
+            }
+        }
+
+        let mut source = String::new();
+        let mut map = Vec::new();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for (li, raw) in block.lines.iter().enumerate() {
+                let file_line = block.fence_line + 1 + li;
+                let line = if raw.contains('{') {
+                    substitute(raw, &params).map_err(|msg| {
+                        let mut e = LiterateError::new(msg).at_line(file_line);
+                        e.block = Some(bi);
+                        e
+                    })?
+                } else {
+                    raw.clone()
+                };
+                source.push_str(&line);
+                source.push('\n');
+                map.push((file_line, bi));
+            }
+        }
+        Ok(FlatAsm { source, map })
+    }
+
+    /// Builds the [`LinkConfig`] for this source: `defaults` overlaid
+    /// with the front-matter link keys. `resolve_vector` maps symbolic
+    /// ISR vector names (`isr: timer timer_isr`) to vector numbers;
+    /// numeric vectors (`isr: 9 timer_isr`) need no resolver.
+    ///
+    /// # Errors
+    ///
+    /// Malformed numeric values, malformed `isr:` entries, or vector
+    /// names the resolver does not know.
+    pub fn link_config(
+        &self,
+        defaults: LinkConfig,
+        resolve_vector: &dyn Fn(&str) -> Option<u8>,
+    ) -> Result<LinkConfig, LiterateError> {
+        let mut config = defaults;
+        for entry in self.front.entries() {
+            let bad = |what: &str| {
+                Err(LiterateError::new(format!(
+                    "bad `{}:` value `{}`: {what}",
+                    entry.key, entry.value
+                ))
+                .at_line(entry.line))
+            };
+            match entry.key.as_str() {
+                "exec-base" => match parse_value_num(&entry.value) {
+                    Some(v) if v <= 0xFFFF => config.exec_base = v as u16,
+                    _ => return bad("expected a 16-bit address"),
+                },
+                "text-base" => match parse_value_num(&entry.value) {
+                    Some(v) if v <= 0xFFFF => config.text_base = v as u16,
+                    _ => return bad("expected a 16-bit address"),
+                },
+                "data-base" => match parse_value_num(&entry.value) {
+                    Some(v) if v <= 0xFFFF => config.data_base = Some(v as u16),
+                    _ => return bad("expected a 16-bit address"),
+                },
+                "reset" => config.reset = Some(entry.value.clone()),
+                "isr" => {
+                    let Some((vec_name, symbol)) = entry.value.split_once(char::is_whitespace)
+                    else {
+                        return bad("expected `<vector> <symbol>`");
+                    };
+                    let vec_name = vec_name.trim();
+                    let symbol = symbol.trim();
+                    let vector = match parse_value_num(vec_name) {
+                        Some(v) if v <= 0xFF => v as u8,
+                        Some(_) => return bad("vector out of range"),
+                        None => match resolve_vector(vec_name) {
+                            Some(v) => v,
+                            None => return bad("unknown vector name"),
+                        },
+                    };
+                    config.ivt.push((vector, symbol.to_string()));
+                }
+                _ => {} // higher layers own the rest
+            }
+        }
+        Ok(config)
+    }
+
+    /// Flattens, assembles and links in one step, remapping any
+    /// assembler/linker error back to `.s.md` coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`LiterateSource::flatten`],
+    /// [`LiterateSource::link_config`], the assembler and the linker
+    /// can reject — always located in file coordinates when possible.
+    pub fn link(
+        &self,
+        defaults: LinkConfig,
+        resolve_vector: &dyn Fn(&str) -> Option<u8>,
+        overrides: &[(&str, &str)],
+    ) -> Result<Image, LiterateError> {
+        let config = self.link_config(defaults, resolve_vector)?;
+        let flat = self.flatten(overrides)?;
+        let sections = crate::asm::assemble(&flat.source)
+            .map_err(|e| flat.rebase(e.msg.clone(), Some(e.span())))?;
+        link_sections(&sections, &config)
+            .map_err(|e| flat.rebase(e.message().to_string(), e.span()))
+    }
+}
+
+/// Replaces `{name}` references in one line. Returns an error message
+/// on unknown names or unmatched braces.
+fn substitute(line: &str, params: &[(String, String)]) -> Result<String, String> {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('}') else {
+            return Err("unmatched `{` (parameter references are `{name}`)".into());
+        };
+        let name = &after[..close];
+        match params.iter().find(|(n, _)| n == name) {
+            Some((_, value)) => out.push_str(value),
+            None => return Err(format!("unknown parameter `{{{name}}}`")),
+        }
+        rest = &after[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "---\nname: t\nparam: count 5\nisr: 9 isr\nreset: main\n---\n\n# Title here\n\nprose\n\n```asm\n    .section exec.start\nstartER:\n    call #task\n    br #exitER\n    .section exec.leave\nexitER:\n    ret\n```\n\nmore prose, and a non-asm fence that must be skipped:\n\n```sh\ncargo test\n```\n\n```asm\n    .section exec.body\ntask:\n    mov #{count}, r4\nisr:\n    reti\n    .section text\nmain:\n    call #startER\ndone:\n    jmp done\n```\n";
+
+    #[test]
+    fn parses_front_matter_title_and_blocks() {
+        let lit = LiterateSource::parse(DEMO).unwrap();
+        assert_eq!(lit.front.get("name"), Some("t"));
+        assert_eq!(lit.title.as_deref(), Some("Title here"));
+        assert_eq!(lit.blocks.len(), 2, "the sh fence is prose");
+        assert_eq!(lit.params(), vec![("count".into(), "5".into())]);
+    }
+
+    #[test]
+    fn links_with_defaults_and_overrides() {
+        let lit = LiterateSource::parse(DEMO).unwrap();
+        let img = lit
+            .link(LinkConfig::new(0xE000, 0xF000), &|_| None, &[])
+            .unwrap();
+        assert_eq!(img.er.unwrap().min, 0xE000);
+        assert_eq!(img.ivt_entries.len(), 1);
+        assert_eq!(img.reset, img.symbol("main").unwrap());
+
+        // The `count` parameter lands in the encoded immediate.
+        let a = lit
+            .link(LinkConfig::new(0xE000, 0xF000), &|_| None, &[])
+            .unwrap();
+        let b = lit
+            .link(
+                LinkConfig::new(0xE000, 0xF000),
+                &|_| None,
+                &[("count", "9")],
+            )
+            .unwrap();
+        assert_ne!(a.chunks, b.chunks);
+    }
+
+    #[test]
+    fn vector_names_resolve() {
+        let text = DEMO.replace("isr: 9 isr", "isr: timer isr");
+        let lit = LiterateSource::parse(&text).unwrap();
+        let resolve = |n: &str| (n == "timer").then_some(9u8);
+        let img = lit
+            .link(LinkConfig::new(0xE000, 0xF000), &resolve, &[])
+            .unwrap();
+        assert_eq!(img.ivt_entries[0].0, 9);
+
+        let e = lit
+            .link(LinkConfig::new(0xE000, 0xF000), &|_| None, &[])
+            .unwrap_err();
+        assert!(e.message().contains("unknown vector name"), "{e}");
+    }
+
+    #[test]
+    fn asm_errors_map_back_to_file_lines() {
+        let text = DEMO.replace("    mov #{count}, r4", "    bogus r4");
+        let lit = LiterateSource::parse(&text).unwrap();
+        let e = lit
+            .link(LinkConfig::new(0xE000, 0xF000), &|_| None, &[])
+            .unwrap_err();
+        // The bad line is in the second block; its file line is the
+        // line of `bogus r4` in the .s.md.
+        assert_eq!(e.block(), Some(1));
+        let span = e.span().unwrap();
+        let expected_line = text
+            .lines()
+            .position(|l| l.contains("bogus"))
+            .map(|i| i + 1)
+            .unwrap();
+        assert_eq!(span.line, expected_line);
+        assert_eq!(span.col, 5);
+        let shown = e.to_string();
+        assert!(shown.contains("asm block 2"), "{shown}");
+        assert!(shown.contains("unknown mnemonic"), "{shown}");
+    }
+
+    #[test]
+    fn undeclared_parameter_reference_rejected() {
+        let text = DEMO.replace("#{count}", "#{miscount}");
+        let lit = LiterateSource::parse(&text).unwrap();
+        let e = lit.flatten(&[]).unwrap_err();
+        assert!(e.message().contains("miscount"), "{e}");
+        assert!(e.span().is_some());
+    }
+
+    #[test]
+    fn unterminated_fence_rejected() {
+        let e = LiterateSource::parse("```asm\n  nop\n").unwrap_err();
+        assert!(e.message().contains("never closed"), "{e}");
+    }
+
+    #[test]
+    fn missing_front_matter_is_fine() {
+        let lit = LiterateSource::parse("# Just prose\n\n```asm\nmain: ret\n```\n").unwrap();
+        assert_eq!(lit.front.entries().count(), 0);
+        assert_eq!(lit.blocks.len(), 1);
+    }
+}

@@ -1,96 +1,54 @@
 //! A gallery of the adversary's moves from the paper's §4.1 threat
 //! model, each of which must yield an invalid proof of execution.
 //!
+//! The attacks themselves live in the literate corpus under
+//! `programs/` — every `.s.md` file tagged with an `attack:` line is a
+//! self-contained writeup of one move plus the MSP430 code that
+//! performs it. This example just walks that gallery through the
+//! single-device backend and checks the annotated verdicts.
+//!
 //! ```sh
 //! cargo run --example attack_gallery
 //! ```
 
-use asap::programs;
-use asap::{AsapError, AsapVerifier, Device, PoxMode, VerifierSpec};
+use asap_corpus::{default_programs_dir, discover, run_device, Verdict};
 
-type Attack = (&'static str, fn(&mut Device));
+fn main() {
+    let corpus = discover(&default_programs_dir()).expect("corpus loads");
 
-fn main() -> Result<(), AsapError> {
-    let key = b"gallery-key";
-    let image = programs::fig4_authorized()?;
+    let attacks: Vec<_> = corpus
+        .into_iter()
+        .filter(|p| p.manifest.attack.is_some())
+        .collect();
+    assert!(!attacks.is_empty(), "the corpus has attack programs");
 
-    let attacks: Vec<Attack> = vec![
-        ("IVT rewrite via CPU after execution", |d| {
-            d.attacker_cpu_write(0xFFE4, 0xDEAD);
-        }),
-        ("IVT rewrite via DMA after execution", |d| {
-            d.attacker_dma_write(0xFFE4, 0xDEAD);
-            d.step();
-        }),
-        ("ER binary patched post-execution", |d| {
-            let er_min = d.er().min;
-            d.attacker_cpu_write(er_min + 6, 0x4343);
-        }),
-        ("Output (OR) forged post-execution", |d| {
-            let or = d.ctx().layout.or;
-            d.attacker_cpu_write(or.start(), 0xFFFF);
-        }),
-        ("DMA into OR post-execution", |d| {
-            let or = d.ctx().layout.or;
-            d.attacker_dma_write(or.start(), 0x6666);
-            d.step();
-        }),
-        ("jump into the middle of ER (code-reuse)", |d| {
-            let target = d.er().min + 8;
-            d.mcu.cpu.regs.set_pc(target);
-            d.step();
-        }),
-    ];
-
-    // The verifier's expectations come straight from the linked image.
-    let mut verifier =
-        AsapVerifier::new(key, VerifierSpec::from_image(&image)?.mode(PoxMode::Asap));
-
-    println!("honest baseline first:");
-    let mut device = Device::builder(&image)
-        .mode(PoxMode::Asap)
-        .key(key)
-        .build()?;
-    device.run_until_pc(programs::done_pc(), 5_000);
-    let session = verifier.begin();
-    let resp = device.attest(session.request());
-    let exec = resp.exec;
-    let outcome = session.evidence(resp).conclude(&verifier);
-    println!(
-        "  honest run: EXEC={exec} verify={}\n",
-        outcome.is_verified()
-    );
-
+    let report = run_device(&attacks);
     let mut caught = 0;
-    for (name, attack) in &attacks {
-        let mut device = Device::builder(&image)
-            .mode(PoxMode::Asap)
-            .key(key)
-            .build()?;
-        device.run_until_pc(programs::done_pc(), 5_000);
-        attack(&mut device);
-        device.run_steps(3);
-        let session = verifier.begin();
-        let resp = device.attest(session.request());
-        let exec = resp.exec;
-        let outcome = session.evidence(resp).conclude(&verifier);
-        let detected = !outcome.is_verified();
+    for (program, result) in attacks.iter().zip(&report.results) {
+        let title = program.title.as_deref().unwrap_or(&result.name);
+        let attack = program.manifest.attack.as_deref().unwrap_or("?");
+        let verdict = match &result.outcome {
+            Ok(v) => v.to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        let detected = !matches!(result.outcome, Ok(Verdict::Verified));
         caught += detected as u32;
-        let verdict = outcome
-            .err()
-            .map_or("accepted".to_string(), |e| e.to_string());
         println!(
-            "  {name:<44} EXEC={} verdict={:<30} {}",
-            exec as u8,
-            verdict.chars().take(30).collect::<String>(),
+            "  {title:<46} [{attack:<16}] verdict={verdict:<22} {}",
             if detected { "caught ✔" } else { "MISSED ✘" },
         );
+        assert!(
+            result.passed(),
+            "{}: expected {}, saw {verdict}",
+            result.name,
+            result.expected
+        );
     }
+
     println!("\n{caught}/{} attacks detected", attacks.len());
     assert_eq!(
         caught as usize,
         attacks.len(),
         "every attack must be detected"
     );
-    Ok(())
 }

@@ -29,6 +29,7 @@
 
 pub use apex_pox;
 pub use asap;
+pub use asap_corpus;
 pub use asap_fleet;
 pub use ltl_mc;
 pub use msp430_tools;
