@@ -3,52 +3,99 @@
 
 Usage: check_fleet_regression.py <baseline BENCH_fleet.json> <fresh BENCH_fleet.json>
 
-Compares loopback sessions_per_sec at every device count both files
-measured and fails when the fresh run is more than 20% below the
-checked-in baseline. Loopback is the guarded series because it is the
-pure verifier-side cost — no socket scheduling noise — so a regression
-there means the round pipeline itself got slower.
+Two guarded series, compared at every point both files measured:
+
+* **loopback**, keyed by device count, at 20% tolerance. Loopback is
+  the pure verifier-side cost — no socket scheduling noise — so a
+  regression there means the round pipeline itself got slower.
+* **gateway/multigateway**, keyed by (devices, connections, reactors),
+  at 35% tolerance. Socket rounds ride the host scheduler, so the gate
+  is looser; it exists to catch the gateway loop getting structurally
+  slower (an extra copy per frame, a busy-wait), not single-digit
+  jitter. Rows without a `reactors` field (pre-shard baselines)
+  default to 1.
 """
 
 import json
 import sys
 
-TOLERANCE = 0.8  # fresh must reach at least this fraction of baseline
+LOOPBACK_TOLERANCE = 0.8  # fresh must reach this fraction of baseline
+GATEWAY_TOLERANCE = 0.65
 
 
-def loopback_rows(path):
+def load_rounds(path):
     with open(path) as f:
-        bench = json.load(f)
+        return json.load(f)["rounds"]
+
+
+def loopback_rows(rounds):
     return {
         row["devices"]: row["sessions_per_sec"]
-        for row in bench["rounds"]
+        for row in rounds
         if row["transport"] == "loopback"
     }
 
 
-def main():
-    baseline = loopback_rows(sys.argv[1])
-    fresh = loopback_rows(sys.argv[2])
+def gateway_rows(rounds):
+    return {
+        (
+            row["transport"],
+            row["devices"],
+            row.get("connections", 1),
+            row.get("reactors", 1),
+        ): row["sessions_per_sec"]
+        for row in rounds
+        if row["transport"] in ("gateway", "multigateway")
+    }
+
+
+def check_series(name, baseline, fresh, tolerance, label):
     common = sorted(set(baseline) & set(fresh))
-    if not common:
-        sys.exit(
-            f"no common loopback device counts: baseline {sorted(baseline)}, "
-            f"fresh {sorted(fresh)}"
-        )
     failed = []
-    for devices in common:
-        ratio = fresh[devices] / baseline[devices]
+    for key in common:
+        ratio = fresh[key] / baseline[key]
         print(
-            f"loopback @ {devices} devices: baseline {baseline[devices]:.0f}/s, "
-            f"fresh {fresh[devices]:.0f}/s ({ratio:.2f}x)"
+            f"{name} @ {label(key)}: baseline {baseline[key]:.0f}/s, "
+            f"fresh {fresh[key]:.0f}/s ({ratio:.2f}x)"
         )
-        if ratio < TOLERANCE:
-            failed.append(devices)
+        if ratio < tolerance:
+            failed.append(key)
     if failed:
         sys.exit(
-            f"loopback sessions_per_sec regressed more than 20% at {failed} "
-            "devices vs the checked-in BENCH_fleet.json"
+            f"{name} sessions_per_sec regressed more than "
+            f"{round((1 - tolerance) * 100)}% at {failed} vs the checked-in "
+            "BENCH_fleet.json"
         )
+    return bool(common)
+
+
+def main():
+    baseline = load_rounds(sys.argv[1])
+    fresh = load_rounds(sys.argv[2])
+
+    compared = check_series(
+        "loopback",
+        loopback_rows(baseline),
+        loopback_rows(fresh),
+        LOOPBACK_TOLERANCE,
+        lambda devices: f"{devices} devices",
+    )
+    if not compared:
+        sys.exit(
+            f"no common loopback device counts: "
+            f"baseline {sorted(loopback_rows(baseline))}, "
+            f"fresh {sorted(loopback_rows(fresh))}"
+        )
+
+    # The gateway series is optional (the smoke modes don't always run
+    # one), but when both files measured a point it is guarded.
+    check_series(
+        "gateway",
+        gateway_rows(baseline),
+        gateway_rows(fresh),
+        GATEWAY_TOLERANCE,
+        lambda key: f"{key[0]} {key[1]}d/{key[2]}c/{key[3]}r",
+    )
 
 
 if __name__ == "__main__":

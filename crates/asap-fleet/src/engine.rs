@@ -81,6 +81,19 @@ impl RoundConfig {
     pub fn lockstep() -> RoundConfig {
         RoundConfig::new(LogicalTime(0), 0)
     }
+
+    /// The real-time policy: a wall-clock response budget mapped onto
+    /// millisecond ticks, starting at time zero. The tick count is the
+    /// budget rounded **up** to whole milliseconds, and never below
+    /// one: flooring (`budget.as_millis()`) would turn any
+    /// sub-millisecond budget into a zero-tick deadline, and the
+    /// driver's very first `tick` — before a single frame has been
+    /// read — would charge every device
+    /// [`FleetError::NoResponse`](crate::FleetError::NoResponse).
+    pub fn realtime(budget: std::time::Duration) -> RoundConfig {
+        let ticks = budget.as_micros().div_ceil(1_000).max(1);
+        RoundConfig::new(LogicalTime(0), u64::try_from(ticks).unwrap_or(u64::MAX))
+    }
 }
 
 impl Default for RoundConfig {
@@ -300,6 +313,11 @@ impl<'a> RoundEngine<'a> {
     /// Number of challenged devices not yet settled.
     pub fn awaiting(&self) -> usize {
         self.awaiting.len()
+    }
+
+    /// True when `id` was challenged this round and has not settled yet.
+    pub fn is_awaiting(&self, id: DeviceId) -> bool {
+        self.awaiting.iter().any(|p| p.device == id)
     }
 
     /// True when every challenged device has settled (answered or

@@ -162,22 +162,24 @@ impl<C: GatewayConn> GatewayListener for NoListener<C> {
 }
 
 /// One accepted prover connection: its stream, receive framing state,
-/// and bounded transmit queue.
-struct Peer<C> {
-    stream: C,
-    deframer: StreamDeframer,
-    outbox: WriteQueue,
+/// and bounded transmit queue. Shared with the multi-reactor gateway
+/// ([`crate::reactor`]), whose per-reactor connection slabs hold the
+/// same peers.
+pub(crate) struct Peer<C> {
+    pub(crate) stream: C,
+    pub(crate) deframer: StreamDeframer,
+    pub(crate) outbox: WriteQueue,
     /// Devices currently routed to this connection, bounded by
     /// [`MAX_ROUTED_PER_CONN`] so a hostile peer cannot grow the route
     /// map without bound by announcing fabricated ids.
-    routed: usize,
+    pub(crate) routed: usize,
     /// Set when the connection must be reaped: EOF, I/O error, a
     /// poisoned deframer, an overflowing write queue, or a route flood.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 impl<C: GatewayConn> Peer<C> {
-    fn new(stream: C) -> Peer<C> {
+    pub(crate) fn new(stream: C) -> Peer<C> {
         Peer {
             stream,
             deframer: StreamDeframer::new(),
@@ -585,8 +587,7 @@ impl<'a> GatewayRound<'a> {
                 peer.dead = true; // wedged since last round
             }
         }
-        let config = RoundConfig::new(LogicalTime(0), budget.as_millis() as u64);
-        let engine = RoundEngine::begin(fleet, ids, config)?;
+        let engine = RoundEngine::begin(fleet, ids, RoundConfig::realtime(budget))?;
         Ok(GatewayRound {
             engine,
             started: Instant::now(),

@@ -29,10 +29,10 @@
 //!   [`StreamTransport`] for provers in other processes or hosts
 //!   ([`stream`]).
 //!
-//! # Two driving modes
+//! # Three driving modes
 //!
 //! Everything real-time funnels into the same engine through one of
-//! two drivers:
+//! three drivers:
 //!
 //! 1. **Single-peer** — [`drive_round`] pumps one [`Transport`]
 //!    (usually a [`StreamTransport`]) against a wall-clock budget:
@@ -49,10 +49,21 @@
 //!    [`FleetError::NoResponse`] immediately. Drive it with
 //!    [`FleetVerifier::run_round_gateway`], or sweep-by-sweep via
 //!    [`GatewayRound`] when the caller interleaves its own work.
+//! 3. **Multi-reactor** — [`MultiGateway`] ([`reactor`]) shards the
+//!    gateway round across N reactor threads: each owns a disjoint
+//!    slab of connections plus its own engine partition over the
+//!    sharded registry ([`FleetVerifier::reactor_of`]), the calling
+//!    thread supervises accepts and settlement, and the per-reactor
+//!    partial reports merge into one canonical [`RoundReport`]
+//!    independent of thread interleaving. This is the driver that
+//!    saturates a many-core verifier host.
 //!
-//! Both map elapsed wall-clock milliseconds onto engine ticks, so the
+//! All map elapsed wall-clock milliseconds onto engine ticks, so the
 //! verdict semantics — deadlines, late frames, per-device isolation —
-//! are identical; only the fan-in differs.
+//! are identical; only the fan-in differs. Budgets round **up** to
+//! whole-millisecond ticks and never below one tick
+//! ([`RoundConfig::realtime`]): a sub-millisecond budget means "one
+//! tick", not "expire everyone before the first read".
 //!
 //! # Fleet quickstart
 //!
@@ -138,6 +149,7 @@
 pub mod engine;
 pub mod error;
 pub mod gateway;
+pub mod reactor;
 pub mod registry;
 pub mod round;
 pub mod stream;
@@ -149,7 +161,8 @@ pub use gateway::{
     FleetGateway, GatewayConn, GatewayListener, GatewayPoll, GatewayRound, NoListener,
     MAX_ROUTED_PER_CONN,
 };
-pub use registry::{FleetVerifier, SHARD_COUNT};
+pub use reactor::{MultiGateway, ReactorStats};
+pub use registry::{FleetVerifier, Verdict, SHARD_COUNT};
 pub use round::{RoundOutcome, RoundReport};
 pub use stream::{
     announce_devices, drive_round, pump_read, serve_frames, ReadPump, StreamTransport, WritePump,
@@ -457,5 +470,97 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(fleet.in_flight(), 0);
+    }
+
+    /// Regression: a sub-millisecond budget used to truncate to a
+    /// *zero-tick* deadline, so the driver's very first tick charged
+    /// every device `NoResponse` before a single frame was read.
+    /// Budgets now round up and never below one tick.
+    #[test]
+    fn submillisecond_budget_rounds_up_to_one_tick() {
+        use std::time::Duration;
+
+        assert_eq!(
+            RoundConfig::realtime(Duration::from_micros(500)).deadline_after,
+            1
+        );
+        assert_eq!(RoundConfig::realtime(Duration::ZERO).deadline_after, 1);
+        assert_eq!(
+            RoundConfig::realtime(Duration::from_millis(3)).deadline_after,
+            3
+        );
+        assert_eq!(
+            RoundConfig::realtime(Duration::from_micros(3_001)).deadline_after,
+            4,
+            "partial milliseconds round up, not down"
+        );
+
+        let (fleet, mut fabric) = fleet_of(1);
+        let mut engine = RoundEngine::begin(
+            &fleet,
+            &[DeviceId(1)],
+            RoundConfig::realtime(Duration::from_micros(500)),
+        )
+        .unwrap();
+        let (id, request) = engine.poll_transmit().unwrap();
+        // The driver's first sweep happens at elapsed = 0 ms.
+        engine.tick(LogicalTime(0));
+        assert_eq!(engine.awaiting(), 1, "time zero must not expire anyone");
+        let response = fabric.exchange(id, &request).unwrap();
+        engine.frame_received(&response);
+        assert!(engine.poll_outcome().unwrap().result.is_ok());
+        assert!(engine.is_settled());
+    }
+
+    /// Regression: when one batch carries several frames for the same
+    /// device, the worker pool used to let thread scheduling pick
+    /// which frame claimed the session. The *first frame in input
+    /// order* must win, with repeats settling as `NoSession`.
+    #[test]
+    fn batch_duplicates_resolve_in_input_order() {
+        const DEVICES: u64 = 40; // comfortably past the pool threshold
+        let (fleet, mut fabric) = fleet_of(DEVICES);
+        fleet.set_parallelism(4); // force the pooled path even on 1 cpu
+        let ids: Vec<DeviceId> = (1..=DEVICES).map(DeviceId).collect();
+
+        for _ in 0..3 {
+            let requests = fleet.begin_round(&ids).unwrap();
+            let answers: Vec<Vec<u8>> = requests
+                .iter()
+                .map(|(id, req)| fabric.exchange(*id, req).unwrap())
+                .collect();
+
+            // Device 1 appears three times: a corrupted copy FIRST,
+            // then its honest answer, then the honest bytes again.
+            let honest = answers[0].clone();
+            let mut corrupt = honest.clone();
+            corrupt[apex_pox::wire::ENVELOPE_OVERHEAD as usize] ^= 0x01;
+            let mut frames = vec![corrupt];
+            frames.extend(answers[1..].iter().cloned());
+            frames.push(honest.clone());
+            frames.push(honest);
+
+            let verdicts = fleet.conclude_batch(&frames);
+            assert_eq!(verdicts.len(), frames.len());
+            // The corrupted first frame claimed device 1's session…
+            assert_eq!(verdicts[0].0, Some(DeviceId(1)));
+            assert!(
+                matches!(verdicts[0].1, Err(FleetError::Rejected(_))),
+                "first frame in input order owns the session: {:?}",
+                verdicts[0].1
+            );
+            // …so the honest repeats settle as NoSession, every time.
+            for v in &verdicts[frames.len() - 2..] {
+                assert_eq!(
+                    v,
+                    &(Some(DeviceId(1)), Err(FleetError::NoSession(DeviceId(1))))
+                );
+            }
+            for (i, v) in verdicts[1..frames.len() - 2].iter().enumerate() {
+                let id = DeviceId(2 + i as u64);
+                assert_eq!(v.0, Some(id), "output order mirrors input order");
+                assert!(v.1.is_ok(), "honest device {id} verifies: {:?}", v.1);
+            }
+        }
     }
 }

@@ -1,0 +1,957 @@
+//! The multi-reactor gateway: the [`FleetGateway`](crate::FleetGateway)
+//! round sharded across N reactor threads, one merged [`RoundReport`].
+//!
+//! One reactor thread cannot saturate a many-core verifier host: the
+//! single-threaded gateway deframes, ticks and flushes every connection
+//! in one loop, and only MAC conclusion fans out. [`MultiGateway`]
+//! splits the round instead:
+//!
+//! * **Reactors.** Each of N reactor threads owns a disjoint slab of
+//!   connections (accepted sockets are handed off round-robin) *and* a
+//!   disjoint partition of the challenged devices — its own
+//!   [`RoundEngine`] over the already-sharded
+//!   [`FleetVerifier`] registry. Device→reactor affinity rides the
+//!   registry shard hash ([`FleetVerifier::reactor_of`]), so two
+//!   reactors never conclude into the same registry shard.
+//! * **Supervisor.** The calling thread accepts connections during the
+//!   round, hands them to reactors, and watches per-reactor settled
+//!   flags; when every partition has settled it stops the reactors and
+//!   folds their partial reports into one round report.
+//!
+//! # Cross-reactor routing
+//!
+//! A device's *connection* may be serviced by a different reactor than
+//! the one that owns its *round state* — hellos route devices to
+//! whatever connection they dial in on, while affinity is a pure hash.
+//! The two reactors cooperate over per-reactor inboxes
+//! (unbounded mpsc channels):
+//!
+//! * the device's owner sends the framed challenge to the connection's
+//!   reactor (`Deliver`), which queues it on the peer's write queue and
+//!   records the delivery for hangup charging;
+//! * the connection's reactor forwards inbound evidence frames to the
+//!   owner (`Evidence`), which concludes them in its own engine;
+//! * a newly revealed route (`Routed`), a failed delivery (`Park`) and
+//!   a dead connection that carried a delivered challenge (`Charge`)
+//!   travel the same way, so parked-challenge delivery and
+//!   hangup-equals-`NoResponse` semantics survive the sharding.
+//!
+//! Frames whose envelope does not decode carry no device id and are
+//! judged by whichever reactor read them.
+//!
+//! # Determinism
+//!
+//! Each partial report is settlement-ordered, which depends on I/O
+//! interleaving across threads. The merge therefore re-canonicalizes:
+//! outcomes for challenged devices are emitted in **challenge order**
+//! (the deduplicated input id order, each device's outcomes in its
+//! owner's local order), followed by outcomes that belong to no
+//! challenged device — unattributable frames and unsolicited evidence —
+//! grouped by reactor index. Rounds in which each device settles once
+//! (the common case: one response or one expiry per challenge) produce
+//! a report that is byte-for-byte independent of the reactor count and
+//! of thread interleaving.
+//!
+//! The wall-clock budget maps onto engine ticks via
+//! [`RoundConfig::realtime`] — rounded **up** to whole milliseconds,
+//! never below one tick — with all reactors sharing one round clock.
+
+use crate::engine::{LogicalTime, RoundConfig, RoundEngine};
+use crate::error::FleetError;
+use crate::gateway::{GatewayConn, GatewayListener, NoListener, Peer, MAX_ROUTED_PER_CONN};
+use crate::registry::FleetVerifier;
+use crate::round::{RoundOutcome, RoundReport};
+use crate::stream::{pump_read, ReadPump, WritePump};
+use crate::DeviceId;
+use apex_pox::wire::{frame_stream, Envelope};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Where a device was last heard from: which reactor services the
+/// connection, and the connection's slot in that reactor's slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Route {
+    reactor: usize,
+    slot: usize,
+}
+
+/// Cross-reactor mail. Every variant is fire-and-forget: a message to a
+/// reactor that already stopped is simply dropped, which matches the
+/// single-reactor gateway truncating its sweep the moment the round
+/// settles.
+enum ReactorMsg<C> {
+    /// A freshly accepted connection, handed off by the supervisor.
+    Conn(C),
+    /// Owner → connection reactor: queue this framed challenge on the
+    /// connection at `slot` (re-checked against the live route, so a
+    /// challenge in flight during a re-route is bounced back rather
+    /// than delivered to a stranger).
+    Deliver {
+        device: DeviceId,
+        slot: usize,
+        framed: Vec<u8>,
+    },
+    /// Connection reactor → owner: delivery failed; re-park (or chase
+    /// the fresher route) if the device is still awaited.
+    Park { device: DeviceId, framed: Vec<u8> },
+    /// Connection reactor → owner: an evidence frame for one of the
+    /// owner's devices.
+    Evidence(Vec<u8>),
+    /// Connection reactor → owner: the device just revealed (or moved)
+    /// its route; a parked challenge can be delivered now.
+    Routed(DeviceId),
+    /// Connection reactor → owner: a dead connection carried this
+    /// device's delivered challenge — charge it
+    /// [`FleetError::NoResponse`].
+    Charge(DeviceId),
+    /// The route that pointed at this reactor's `slot` moved to another
+    /// connection; drop one from the slot's flood counter.
+    Unroute { slot: usize },
+}
+
+/// One reactor's persistent half: its connection slab and per-round
+/// routing residue. Lives in [`MultiGateway`] across rounds; borrowed
+/// mutably by the reactor thread for the duration of each round.
+struct ReactorState<C> {
+    conns: Vec<Option<Peer<C>>>,
+    /// Framed challenges for owned devices with no usable route yet.
+    /// Cleared at round start.
+    parked: HashMap<DeviceId, Vec<u8>>,
+    /// Which local slot each device's challenge was actually sent on
+    /// this round — hangup charging keys on this, never on the
+    /// (hello-controlled, last-wins) route map. Cleared at round start.
+    delivered: HashMap<DeviceId, usize>,
+    dropped_total: u64,
+    /// Outcomes this reactor's partial report contributed last round.
+    last_outcomes: usize,
+}
+
+impl<C: GatewayConn> ReactorState<C> {
+    fn new() -> ReactorState<C> {
+        ReactorState {
+            conns: Vec::new(),
+            parked: HashMap::new(),
+            delivered: HashMap::new(),
+            dropped_total: 0,
+            last_outcomes: 0,
+        }
+    }
+
+    /// Slots a prepared connection into the slab (reusing holes, as the
+    /// single-reactor gateway does).
+    fn adopt(&mut self, conn: C) {
+        let peer = Peer::new(conn);
+        match self.conns.iter().position(Option::is_none) {
+            Some(slot) => self.conns[slot] = Some(peer),
+            None => self.conns.push(Some(peer)),
+        }
+    }
+
+    fn connections(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// A point-in-time view of one reactor, for operators and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Live connections in this reactor's slab.
+    pub connections: usize,
+    /// Connections this reactor has reaped so far.
+    pub dropped_connections: u64,
+    /// Outcomes this reactor's partial report contributed to the last
+    /// round (its share of the merged report).
+    pub last_round_outcomes: usize,
+}
+
+/// A [`FleetGateway`](crate::FleetGateway) whose round loop is sharded
+/// across reactor threads.
+///
+/// Long-lived like the single-reactor gateway: connections and device
+/// routes persist across rounds, and each
+/// [`drive_round`](MultiGateway::drive_round) spawns the reactors as
+/// scoped threads for just that round — no thread outlives the call.
+/// See the [module docs](self) for the architecture.
+pub struct MultiGateway<L: GatewayListener> {
+    listener: Option<L>,
+    reactors: Vec<ReactorState<L::Conn>>,
+    /// The single source of truth for device→connection routing,
+    /// shared by every reactor. Lock scope is kept to single map
+    /// operations — the heavy per-connection work all happens on
+    /// reactor-local state.
+    route: Mutex<HashMap<DeviceId, Route>>,
+    /// Round-robin cursor for connection handoff.
+    next_reactor: usize,
+    accepted_total: u64,
+    accept_errors: u64,
+}
+
+impl MultiGateway<TcpListener> {
+    /// Binds a TCP listener and shards its gateway over `reactors`
+    /// reactor threads.
+    ///
+    /// # Errors
+    ///
+    /// Any bind/configure error from the socket layer.
+    pub fn bind_tcp(
+        addr: impl std::net::ToSocketAddrs,
+        reactors: usize,
+    ) -> io::Result<MultiGateway<TcpListener>> {
+        MultiGateway::over(TcpListener::bind(addr)?, reactors)
+    }
+}
+
+#[cfg(unix)]
+impl MultiGateway<std::os::unix::net::UnixListener> {
+    /// Binds a Unix-domain listener and shards its gateway over
+    /// `reactors` reactor threads.
+    ///
+    /// # Errors
+    ///
+    /// Any bind/configure error from the socket layer.
+    pub fn bind_uds(
+        path: impl AsRef<std::path::Path>,
+        reactors: usize,
+    ) -> io::Result<MultiGateway<std::os::unix::net::UnixListener>> {
+        MultiGateway::over(std::os::unix::net::UnixListener::bind(path)?, reactors)
+    }
+}
+
+impl<C: GatewayConn> MultiGateway<NoListener<C>> {
+    /// A multi-reactor gateway with no listening socket: every
+    /// connection enters via [`adopt`](MultiGateway::adopt). The
+    /// vehicle for socketpair fabrics in tests and benches.
+    pub fn detached(reactors: usize) -> MultiGateway<NoListener<C>> {
+        MultiGateway {
+            listener: None,
+            reactors: (0..reactors.max(1)).map(|_| ReactorState::new()).collect(),
+            route: Mutex::new(HashMap::new()),
+            next_reactor: 0,
+            accepted_total: 0,
+            accept_errors: 0,
+        }
+    }
+}
+
+impl<L: GatewayListener> MultiGateway<L> {
+    /// Takes ownership of a listening socket (switched to non-blocking
+    /// mode) and serves its connections over `reactors` reactor
+    /// threads. A count of zero is clamped to one.
+    ///
+    /// # Errors
+    ///
+    /// Any configure error from the socket layer.
+    pub fn over(mut listener: L, reactors: usize) -> io::Result<MultiGateway<L>> {
+        listener.prepare()?;
+        Ok(MultiGateway {
+            listener: Some(listener),
+            reactors: (0..reactors.max(1)).map(|_| ReactorState::new()).collect(),
+            route: Mutex::new(HashMap::new()),
+            next_reactor: 0,
+            accepted_total: 0,
+            accept_errors: 0,
+        })
+    }
+
+    /// The owned listener, for callers that need its identity — say,
+    /// the ephemeral port a `bind_tcp("127.0.0.1:0", n)` gateway landed
+    /// on.
+    pub fn listener(&self) -> Option<&L> {
+        self.listener.as_ref()
+    }
+
+    /// Number of reactor threads a round runs on.
+    pub fn reactors(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// Hands the gateway an already-connected stream (switched to
+    /// non-blocking mode), assigned to the next reactor round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Any configure error from the socket layer.
+    pub fn adopt(&mut self, mut conn: L::Conn) -> io::Result<()> {
+        conn.prepare()?;
+        self.accepted_total += 1;
+        self.reactors[self.next_reactor].adopt(conn);
+        self.next_reactor = (self.next_reactor + 1) % self.reactors.len();
+        Ok(())
+    }
+
+    /// Accepts every connection currently waiting on the listener,
+    /// spreading them round-robin across reactors. Returns how many
+    /// entered the gateway. Rounds accept continuously; calling this
+    /// directly is only needed to pre-accept before a round begins.
+    ///
+    /// # Errors
+    ///
+    /// Any accept/configure error from the socket layer (also counted
+    /// in [`accept_errors`](MultiGateway::accept_errors)).
+    pub fn accept_pending(&mut self) -> io::Result<usize> {
+        let mut accepted = 0;
+        while let Some(listener) = self.listener.as_mut() {
+            match listener.poll_accept() {
+                Ok(Some(conn)) => {
+                    if let Err(e) = self.adopt(conn) {
+                        self.accept_errors += 1;
+                        return Err(e);
+                    }
+                    accepted += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.accept_errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Live connections across all reactors.
+    pub fn connections(&self) -> usize {
+        self.reactors.iter().map(ReactorState::connections).sum()
+    }
+
+    /// Number of devices with a known connection.
+    pub fn routed_devices(&self) -> usize {
+        self.route.lock().unwrap().len()
+    }
+
+    /// Connections accepted or adopted so far.
+    pub fn accepted_connections(&self) -> u64 {
+        self.accepted_total
+    }
+
+    /// Connections dropped so far, across all reactors.
+    pub fn dropped_connections(&self) -> u64 {
+        self.reactors.iter().map(|r| r.dropped_total).sum()
+    }
+
+    /// Accept attempts that failed with an error (fd exhaustion, a
+    /// broken listener, …). Rounds keep sweeping through these.
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors
+    }
+
+    /// Per-reactor counters, indexed by reactor.
+    pub fn reactor_stats(&self) -> Vec<ReactorStats> {
+        self.reactors
+            .iter()
+            .map(|r| ReactorStats {
+                connections: r.connections(),
+                dropped_connections: r.dropped_total,
+                last_round_outcomes: r.last_outcomes,
+            })
+            .collect()
+    }
+
+    /// Drives one full round to settlement across all reactors and
+    /// merges their partial reports canonically (see the
+    /// [module docs](self) on determinism). The wall-clock `budget`
+    /// maps onto engine ticks exactly as in
+    /// [`FleetGateway::drive_round`](crate::FleetGateway::drive_round).
+    ///
+    /// The calling thread becomes the supervisor: it accepts incoming
+    /// connections for the whole round and stops the reactors once
+    /// every partition has settled.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when an id is not enrolled (no
+    /// challenge is issued in that case).
+    pub fn drive_round(
+        &mut self,
+        fleet: &FleetVerifier,
+        ids: &[DeviceId],
+        budget: Duration,
+    ) -> Result<RoundReport, FleetError>
+    where
+        L::Conn: Send,
+    {
+        // Validate and dedupe globally before any challenge is issued,
+        // so an unknown id fails the whole round exactly as in the
+        // single-reactor gateway.
+        let mut seen = HashSet::new();
+        let mut order = Vec::new();
+        for &id in ids {
+            if !fleet.is_registered(id) {
+                return Err(FleetError::UnknownDevice(id));
+            }
+            if seen.insert(id) {
+                order.push(id);
+            }
+        }
+
+        let n = self.reactors.len();
+        let mut partitions: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
+        for &id in &order {
+            partitions[FleetVerifier::reactor_of(id, n)].push(id);
+        }
+        // Each reactor's MAC pool gets an equal share of the machine:
+        // the worker knob and the reactor count divide the same cores.
+        let workers = (fleet.parallelism() / n).max(1);
+
+        let MultiGateway {
+            listener,
+            reactors,
+            route,
+            next_reactor,
+            accepted_total,
+            accept_errors,
+        } = self;
+
+        let started = Instant::now();
+        let stop = AtomicBool::new(false);
+        let settled: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let (mates, inboxes): (Vec<Sender<ReactorMsg<L::Conn>>>, Vec<_>) =
+            (0..n).map(|_| std::sync::mpsc::channel()).unzip();
+        let route_ref: &Mutex<HashMap<DeviceId, Route>> = route;
+
+        let results: Vec<Result<RoundReport, FleetError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = reactors
+                .iter_mut()
+                .zip(inboxes)
+                .zip(&partitions)
+                .enumerate()
+                .map(|(me, ((state, inbox), partition))| {
+                    let mates = mates.clone();
+                    let settled = &settled[me];
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        run_reactor_round(ReactorArgs {
+                            me,
+                            reactors: n,
+                            state,
+                            fleet,
+                            partition,
+                            budget,
+                            started,
+                            route: route_ref,
+                            mates: &mates,
+                            inbox: &inbox,
+                            settled,
+                            stop,
+                            workers,
+                        })
+                    })
+                })
+                .collect();
+
+            // Supervisor: accept and hand off connections until every
+            // partition settles, then stop the reactors.
+            const IDLE_YIELDS: u32 = 64;
+            let mut idle_streak = 0u32;
+            loop {
+                if settled.iter().all(|s| s.load(Ordering::Acquire)) {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                let mut progressed = false;
+                if let Some(listener) = listener.as_mut() {
+                    loop {
+                        match listener.poll_accept() {
+                            Ok(Some(mut conn)) => {
+                                if conn.prepare().is_ok() {
+                                    *accepted_total += 1;
+                                    let _ = mates[*next_reactor].send(ReactorMsg::Conn(conn));
+                                    *next_reactor = (*next_reactor + 1) % n;
+                                    progressed = true;
+                                } else {
+                                    *accept_errors += 1;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                *accept_errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if progressed {
+                    idle_streak = 0;
+                } else {
+                    idle_streak += 1;
+                    if idle_streak <= IDLE_YIELDS {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reactor threads never panic"))
+                .collect()
+        });
+
+        let mut reports = Vec::with_capacity(n);
+        for result in results {
+            reports.push(result?);
+        }
+        Ok(merge_reports(&order, reports))
+    }
+}
+
+/// Folds per-reactor partial reports into one canonical report:
+/// challenged devices in challenge order (each device's outcomes in its
+/// owner's local order), then everything unattributable or unsolicited,
+/// grouped by reactor index.
+fn merge_reports(order: &[DeviceId], reports: Vec<RoundReport>) -> RoundReport {
+    let challenged: HashSet<DeviceId> = order.iter().copied().collect();
+    let mut buckets: Vec<HashMap<DeviceId, Vec<RoundOutcome>>> = Vec::new();
+    let mut leftovers: Vec<RoundOutcome> = Vec::new();
+    for report in reports {
+        let mut bucket: HashMap<DeviceId, Vec<RoundOutcome>> = HashMap::new();
+        for outcome in report.outcomes {
+            match outcome.device {
+                Some(id) if challenged.contains(&id) => bucket.entry(id).or_default().push(outcome),
+                _ => leftovers.push(outcome),
+            }
+        }
+        buckets.push(bucket);
+    }
+    let mut outcomes = Vec::new();
+    for id in order {
+        for bucket in &mut buckets {
+            if let Some(settled) = bucket.remove(id) {
+                outcomes.extend(settled);
+            }
+        }
+    }
+    outcomes.append(&mut leftovers);
+    RoundReport { outcomes }
+}
+
+/// Everything one reactor thread needs for one round. Bundled so the
+/// spawn site stays readable.
+struct ReactorArgs<'run, C: GatewayConn> {
+    me: usize,
+    reactors: usize,
+    state: &'run mut ReactorState<C>,
+    fleet: &'run FleetVerifier,
+    partition: &'run [DeviceId],
+    budget: Duration,
+    started: Instant,
+    route: &'run Mutex<HashMap<DeviceId, Route>>,
+    mates: &'run [Sender<ReactorMsg<C>>],
+    inbox: &'run Receiver<ReactorMsg<C>>,
+    settled: &'run AtomicBool,
+    stop: &'run AtomicBool,
+    workers: usize,
+}
+
+/// One reactor's whole round: begin the partition, sweep until the
+/// supervisor calls stop, report.
+fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundReport, FleetError> {
+    /// Idle sweeps that merely yield before the loop starts sleeping.
+    const IDLE_YIELDS: u32 = 64;
+
+    let ReactorArgs {
+        me,
+        reactors,
+        state,
+        fleet,
+        partition,
+        budget,
+        started,
+        route,
+        mates,
+        inbox,
+        settled,
+        stop,
+        workers,
+    } = args;
+
+    // Discard the previous round's residue, exactly as
+    // `GatewayRound::begin` does on the single-reactor gateway.
+    state.parked.clear();
+    state.delivered.clear();
+    for peer in state.conns.iter_mut().flatten() {
+        if !peer.outbox.is_empty() {
+            peer.dead = true; // wedged since last round
+        }
+    }
+
+    let engine = match RoundEngine::begin(fleet, partition, RoundConfig::realtime(budget)) {
+        Ok(engine) => engine,
+        Err(e) => {
+            // Never leave the supervisor waiting on a partition that
+            // will not settle.
+            settled.store(true, Ordering::Release);
+            return Err(e);
+        }
+    };
+    let mut run = ReactorRun {
+        me,
+        reactors,
+        state,
+        route,
+        mates,
+        engine,
+        inbound: Vec::new(),
+        workers,
+        progressed: false,
+    };
+
+    let mut idle_streak = 0u32;
+    loop {
+        run.progressed = false;
+        run.pump_transmits();
+        run.drain_inbox(inbox);
+        run.sweep_reads();
+        run.conclude_inbound();
+        run.sweep_writes_and_reap();
+        run.engine
+            .tick(LogicalTime(started.elapsed().as_millis() as u64));
+        settled.store(run.engine.is_settled(), Ordering::Release);
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if run.progressed {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+            if idle_streak <= IDLE_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    // Connections handed off but not yet adopted must survive the
+    // round; other in-flight mail dies with it, as unread bytes do on
+    // the single-reactor gateway when the round settles.
+    while let Ok(msg) = inbox.try_recv() {
+        if let ReactorMsg::Conn(conn) = msg {
+            run.state.adopt(conn);
+        }
+    }
+    let report = run.engine.into_report();
+    run.state.last_outcomes = report.outcomes.len();
+    Ok(report)
+}
+
+/// One reactor mid-round: its persistent state plus the round-scoped
+/// engine, inbound batch and channel ends.
+struct ReactorRun<'run, C: GatewayConn> {
+    me: usize,
+    reactors: usize,
+    state: &'run mut ReactorState<C>,
+    route: &'run Mutex<HashMap<DeviceId, Route>>,
+    mates: &'run [Sender<ReactorMsg<C>>],
+    engine: RoundEngine<'run>,
+    /// Evidence gathered this sweep (local reads + forwarded mail),
+    /// concluded as one batch on the MAC pool.
+    inbound: Vec<Vec<u8>>,
+    workers: usize,
+    progressed: bool,
+}
+
+impl<C: GatewayConn> ReactorRun<'_, C> {
+    fn owner_of(&self, id: DeviceId) -> usize {
+        FleetVerifier::reactor_of(id, self.reactors)
+    }
+
+    /// Fire-and-forget mail: a send to a reactor that already returned
+    /// is dropped, matching the single-reactor stop-at-settle cutoff.
+    fn send(&self, to: usize, msg: ReactorMsg<C>) {
+        let _ = self.mates[to].send(msg);
+    }
+
+    fn current_route(&self, device: DeviceId) -> Option<Route> {
+        self.route.lock().unwrap().get(&device).copied()
+    }
+
+    /// Drains the engine's outbound challenges: queued locally when the
+    /// route is ours, mailed to the owning reactor when not, parked
+    /// when the device has no route yet.
+    fn pump_transmits(&mut self) {
+        while let Some((device, frame)) = self.engine.poll_transmit() {
+            self.progressed = true;
+            let framed = frame_stream(&frame);
+            match self.current_route(device) {
+                Some(r) if r.reactor == self.me => self.deliver_on(device, r.slot, framed),
+                Some(r) => self.send(
+                    r.reactor,
+                    ReactorMsg::Deliver {
+                        device,
+                        slot: r.slot,
+                        framed,
+                    },
+                ),
+                None => {
+                    self.state.parked.insert(device, framed);
+                }
+            }
+        }
+    }
+
+    /// Queues a framed challenge on the local connection at `slot`. On
+    /// failure the challenge goes back to the device's owner — inline
+    /// when that is us, by mail otherwise.
+    fn deliver_on(&mut self, device: DeviceId, slot: usize, framed: Vec<u8>) {
+        let enqueued = match self.state.conns.get_mut(slot).and_then(Option::as_mut) {
+            Some(peer) if !peer.dead => {
+                if peer.outbox.enqueue(&framed) {
+                    true
+                } else {
+                    peer.dead = true; // not draining: wedged or hostile
+                    false
+                }
+            }
+            _ => false,
+        };
+        if enqueued {
+            self.state.delivered.insert(device, slot);
+        } else if self.owner_of(device) == self.me {
+            self.repark(device, framed);
+        } else {
+            self.send(self.owner_of(device), ReactorMsg::Park { device, framed });
+        }
+    }
+
+    /// Owner-side failed-delivery handling: chase a fresher route once,
+    /// else park until the device reveals one. Re-checking the route
+    /// here closes the race where `Park` (from the old connection's
+    /// reactor) arrives after `Routed` (from the new one) — the parked
+    /// map alone would strand the challenge until the deadline.
+    fn repark(&mut self, device: DeviceId, framed: Vec<u8>) {
+        debug_assert_eq!(self.owner_of(device), self.me, "repark is owner-side");
+        if !self.engine.is_awaiting(device) {
+            return; // already settled; the challenge is moot
+        }
+        match self.current_route(device) {
+            Some(r) if r.reactor != self.me => {
+                self.send(
+                    r.reactor,
+                    ReactorMsg::Deliver {
+                        device,
+                        slot: r.slot,
+                        framed,
+                    },
+                );
+            }
+            Some(r)
+                if self
+                    .state
+                    .conns
+                    .get(r.slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|p| !p.dead) =>
+            {
+                // A live local route (possibly a different connection
+                // than the one that just failed). Recursion is bounded:
+                // a second failure marks this connection dead, and the
+                // next repark falls through to parking.
+                self.deliver_on(device, r.slot, framed);
+            }
+            _ => {
+                self.state.parked.insert(device, framed);
+            }
+        }
+    }
+
+    fn drain_inbox(&mut self, inbox: &Receiver<ReactorMsg<C>>) {
+        while let Ok(msg) = inbox.try_recv() {
+            self.progressed = true;
+            match msg {
+                ReactorMsg::Conn(conn) => self.state.adopt(conn),
+                ReactorMsg::Deliver {
+                    device,
+                    slot,
+                    framed,
+                } => {
+                    let here = Route {
+                        reactor: self.me,
+                        slot,
+                    };
+                    if self.current_route(device) == Some(here) {
+                        self.deliver_on(device, slot, framed);
+                    } else if self.owner_of(device) == self.me {
+                        // Stale: the device re-routed while the
+                        // challenge was in the mail.
+                        self.repark(device, framed);
+                    } else {
+                        self.send(self.owner_of(device), ReactorMsg::Park { device, framed });
+                    }
+                }
+                ReactorMsg::Park { device, framed } => self.repark(device, framed),
+                ReactorMsg::Evidence(frame) => self.inbound.push(frame),
+                ReactorMsg::Routed(device) => {
+                    if let Some(framed) = self.state.parked.remove(&device) {
+                        self.repark(device, framed); // chases the fresh route
+                    }
+                }
+                ReactorMsg::Charge(device) => {
+                    self.engine.charge_no_response(device);
+                }
+                ReactorMsg::Unroute { slot } => {
+                    if let Some(peer) = self.state.conns.get_mut(slot).and_then(Option::as_mut) {
+                        peer.routed = peer.routed.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records "device `id` was heard on local `slot`" in the shared
+    /// route map, maintains the flood counters across reactors, and
+    /// triggers parked-challenge delivery on a route change.
+    fn record_route(&mut self, id: DeviceId, slot: usize) {
+        let here = Route {
+            reactor: self.me,
+            slot,
+        };
+        let previous = self.route.lock().unwrap().insert(id, here);
+        if previous == Some(here) {
+            return; // nothing moved
+        }
+        match previous {
+            Some(prev) if prev.reactor == self.me => {
+                if let Some(peer) = self.state.conns.get_mut(prev.slot).and_then(Option::as_mut) {
+                    peer.routed = peer.routed.saturating_sub(1);
+                }
+            }
+            Some(prev) => self.send(prev.reactor, ReactorMsg::Unroute { slot: prev.slot }),
+            None => {}
+        }
+        let peer = self.state.conns[slot].as_mut().expect("live peer");
+        peer.routed += 1;
+        if peer.routed > MAX_ROUTED_PER_CONN {
+            peer.dead = true;
+        }
+        if self.owner_of(id) == self.me {
+            if let Some(framed) = self.state.parked.remove(&id) {
+                self.deliver_on(id, slot, framed);
+            }
+        } else {
+            self.send(self.owner_of(id), ReactorMsg::Routed(id));
+        }
+    }
+
+    /// Pumps every local connection's receive side: drains complete
+    /// frames, records routes, and sorts evidence — owned devices into
+    /// the local batch, others into the owner's mail, unattributable
+    /// frames judged here.
+    fn sweep_reads(&mut self) {
+        for slot in 0..self.state.conns.len() {
+            if self.state.conns[slot].is_none() {
+                continue;
+            }
+            loop {
+                let peer = self.state.conns[slot].as_mut().expect("slot checked live");
+                if peer.dead {
+                    break;
+                }
+                match peer.deframer.next_frame() {
+                    Ok(Some(frame)) => {
+                        self.progressed = true;
+                        match Envelope::from_bytes(&frame) {
+                            Ok(envelope) => {
+                                let id = DeviceId(envelope.device_id);
+                                self.record_route(id, slot);
+                                // A hello (empty payload) is routing
+                                // information only.
+                                if !envelope.payload.is_empty() {
+                                    if self.owner_of(id) == self.me {
+                                        self.inbound.push(frame);
+                                    } else {
+                                        self.send(self.owner_of(id), ReactorMsg::Evidence(frame));
+                                    }
+                                }
+                            }
+                            // Unattributable: judged by whoever read it.
+                            Err(_) => self.inbound.push(frame),
+                        }
+                    }
+                    Ok(None) => match pump_read(&mut peer.stream, &mut peer.deframer) {
+                        ReadPump::Bytes(_) => self.progressed = true,
+                        ReadPump::Idle => break,
+                        ReadPump::Closed | ReadPump::Broken => {
+                            peer.dead = true;
+                            break;
+                        }
+                    },
+                    // Oversized length prefix: framing is lost for good.
+                    Err(_) => {
+                        peer.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concludes the sweep's gathered evidence as one batch on this
+    /// reactor's share of the MAC pool and feeds the verdicts to the
+    /// local engine.
+    fn conclude_inbound(&mut self) {
+        if self.inbound.is_empty() {
+            return;
+        }
+        self.progressed = true;
+        let frames = std::mem::take(&mut self.inbound);
+        for (device, result) in self
+            .engine
+            .fleet()
+            .conclude_batch_with(&frames, self.workers)
+        {
+            self.engine.outcome_received(device, result);
+        }
+    }
+
+    /// Flushes local write queues, then reaps dead connections: their
+    /// routes are forgotten fleet-wide, and every device whose
+    /// challenge was *delivered* on them is charged `NoResponse` — at
+    /// its owner, by mail when the owner is another reactor.
+    fn sweep_writes_and_reap(&mut self) {
+        for slot in 0..self.state.conns.len() {
+            let Some(peer) = self.state.conns[slot].as_mut() else {
+                continue;
+            };
+            if !peer.dead {
+                match peer.outbox.flush(&mut peer.stream) {
+                    WritePump::Drained => {}
+                    WritePump::Blocked(wrote) => self.progressed |= wrote > 0,
+                    WritePump::Closed | WritePump::Broken => peer.dead = true,
+                }
+            }
+            if peer.dead {
+                self.progressed = true;
+                self.state.conns[slot] = None;
+                self.state.dropped_total += 1;
+                self.route
+                    .lock()
+                    .unwrap()
+                    .retain(|_, r| !(r.reactor == self.me && r.slot == slot));
+                let mut carried: Vec<DeviceId> = self
+                    .state
+                    .delivered
+                    .iter()
+                    .filter(|&(_, &s)| s == slot)
+                    .map(|(&id, _)| id)
+                    .collect();
+                // Stable charge order regardless of map iteration.
+                carried.sort_unstable();
+                for id in carried {
+                    self.state.delivered.remove(&id);
+                    if self.owner_of(id) == self.me {
+                        self.engine.charge_no_response(id);
+                    } else {
+                        self.send(self.owner_of(id), ReactorMsg::Charge(id));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -19,13 +19,18 @@ use crate::DeviceId;
 use apex_pox::wire::Envelope;
 use asap::session::{Issued, PoxSession};
 use asap::{AsapVerifier, Attested, VerifierSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of registry shards. Fixed at construction: shard selection is
 /// a pure function of the device id, so no resize coordination is ever
 /// needed.
 pub const SHARD_COUNT: usize = 16;
+
+/// One concluded frame: the device it was attributed to (when the
+/// envelope decoded) and the per-device verdict.
+pub type Verdict = (Option<DeviceId>, Result<Attested, FleetError>);
 
 /// One enrolled device: its verifier (key + spec + challenge counter)
 /// and the session in flight, if any.
@@ -47,6 +52,9 @@ struct Shard {
 /// and [`crate`] docs for a full loopback walk-through.
 pub struct FleetVerifier {
     shards: [Mutex<Shard>; SHARD_COUNT],
+    /// Worker cap for [`conclude_batch`](FleetVerifier::conclude_batch);
+    /// `0` means "follow [`std::thread::available_parallelism`]".
+    conclude_workers: AtomicUsize,
 }
 
 impl Default for FleetVerifier {
@@ -60,14 +68,61 @@ impl FleetVerifier {
     pub fn new() -> FleetVerifier {
         FleetVerifier {
             shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            conclude_workers: AtomicUsize::new(0),
         }
     }
 
-    fn shard(&self, id: DeviceId) -> &Mutex<Shard> {
+    /// Which registry shard holds `id` — a pure function of the id, so
+    /// shard assignment needs no coordination and every caller computes
+    /// the same answer.
+    pub fn shard_of(id: DeviceId) -> usize {
         // Fibonacci hashing: spreads dense (0, 1, 2, …) id assignments
         // across shards instead of clustering them modulo SHARD_COUNT.
         let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 32) as usize % SHARD_COUNT]
+        (h >> 32) as usize % SHARD_COUNT
+    }
+
+    /// Which of `reactors` reactor threads owns `id`'s round state in a
+    /// multi-reactor gateway ([`MultiGateway`](crate::MultiGateway)).
+    ///
+    /// Affinity rides the shard hash: reactor `r` owns exactly the
+    /// shards `s` with `s % reactors == r`, so the devices one reactor
+    /// concludes live in a disjoint set of registry shards from every
+    /// other reactor's — their `conclude` calls never touch the same
+    /// shard lock. (With `reactors > SHARD_COUNT` the surplus reactors
+    /// own no devices; they still service connections.)
+    ///
+    /// # Panics
+    ///
+    /// When `reactors` is zero.
+    pub fn reactor_of(id: DeviceId, reactors: usize) -> usize {
+        assert!(reactors > 0, "a gateway needs at least one reactor");
+        Self::shard_of(id) % reactors
+    }
+
+    fn shard(&self, id: DeviceId) -> &Mutex<Shard> {
+        &self.shards[Self::shard_of(id)]
+    }
+
+    /// Caps the [`conclude_batch`](FleetVerifier::conclude_batch)
+    /// worker pool at `workers` threads; `0` restores the default of
+    /// following [`std::thread::available_parallelism`]. Shared with
+    /// the reactor count by [`MultiGateway`](crate::MultiGateway):
+    /// each reactor concludes with `parallelism / reactors` workers so
+    /// reactors and MAC workers together never oversubscribe the
+    /// machine.
+    pub fn set_parallelism(&self, workers: usize) {
+        self.conclude_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// The effective [`conclude_batch`](FleetVerifier::conclude_batch)
+    /// worker cap: the configured knob, or
+    /// [`std::thread::available_parallelism`] when unset.
+    pub fn parallelism(&self) -> usize {
+        match self.conclude_workers.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        }
     }
 
     /// Enrolls a device under its shared key and image-derived spec.
@@ -182,7 +237,7 @@ impl FleetVerifier {
     /// envelope decoded) and the per-device verdict. The shard lock is
     /// held only while the session is popped; MAC verification runs on
     /// a clone of the device's verifier outside all locks.
-    pub fn conclude(&self, frame: &[u8]) -> (Option<DeviceId>, Result<Attested, FleetError>) {
+    pub fn conclude(&self, frame: &[u8]) -> Verdict {
         let envelope = match Envelope::from_bytes(frame) {
             Ok(e) => e,
             Err(e) => return (None, Err(FleetError::Frame(e))),
@@ -224,34 +279,84 @@ impl FleetVerifier {
     /// actual work — runs outside all locks, so workers on devices in
     /// different shards never contend.
     ///
-    /// One caveat: when a batch carries *several* frames for the same
-    /// device, which frame wins the in-flight session is decided by
-    /// worker scheduling, not input order. Batches assembled from one
-    /// round (at most one response per device) are unaffected.
-    pub fn conclude_batch(
-        &self,
-        frames: &[Vec<u8>],
-    ) -> Vec<(Option<DeviceId>, Result<Attested, FleetError>)> {
+    /// Duplicates are resolved deterministically: when a batch carries
+    /// *several* frames for the same device, the **first frame in input
+    /// order** contends for the in-flight session, and every later one
+    /// settles as [`FleetError::NoSession`] — exactly what a serial
+    /// pass over the batch would produce, regardless of how the pool
+    /// schedules its workers.
+    ///
+    /// The worker count follows [`parallelism`](FleetVerifier::parallelism)
+    /// (all available cores unless capped with
+    /// [`set_parallelism`](FleetVerifier::set_parallelism)).
+    pub fn conclude_batch(&self, frames: &[Vec<u8>]) -> Vec<Verdict> {
+        self.conclude_batch_with(frames, self.parallelism())
+    }
+
+    /// [`conclude_batch`](FleetVerifier::conclude_batch) with an
+    /// explicit worker cap, for callers that already own some of the
+    /// machine — a [`MultiGateway`](crate::MultiGateway) reactor
+    /// concludes with `parallelism / reactors` workers so the reactors'
+    /// pools together never oversubscribe the cores.
+    pub fn conclude_batch_with(&self, frames: &[Vec<u8>], workers: usize) -> Vec<Verdict> {
         /// Below this, thread spawn/join costs more than it buys.
         const PARALLEL_MIN: usize = 32;
 
-        let workers = std::thread::available_parallelism().map_or(1, usize::from);
         if frames.len() < PARALLEL_MIN || workers < 2 {
             return frames.iter().map(|f| self.conclude(f)).collect();
         }
-        let per_worker = frames.len().div_ceil(workers.min(8));
+
+        // Only the *first* frame per device (in input order) races on
+        // the pool; repeats are deferred. Undecodable frames carry no
+        // device id and cannot collide, so they pool freely.
+        let mut seen = HashSet::new();
+        let mut pooled: Vec<usize> = Vec::with_capacity(frames.len());
+        let mut deferred: Vec<usize> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            match Envelope::from_bytes(frame) {
+                Ok(e) if !seen.insert(DeviceId(e.device_id)) => deferred.push(i),
+                _ => pooled.push(i),
+            }
+        }
+
+        let mut results: Vec<Option<Verdict>> = frames.iter().map(|_| None).collect();
+        let per_worker = Self::chunk_len(pooled.len(), workers);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = frames
+            let handles: Vec<_> = pooled
                 .chunks(per_worker)
                 .map(|chunk| {
-                    scope.spawn(move || chunk.iter().map(|f| self.conclude(f)).collect::<Vec<_>>())
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&i| (i, self.conclude(&frames[i])))
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("conclude worker never panics"))
-                .collect()
-        })
+            for handle in handles {
+                for (i, result) in handle.join().expect("conclude worker never panics") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        // The pool has drained, so each device's first frame has
+        // already settled its session; these repeats now observe what
+        // a serial pass would — `NoSession` (or `UnknownDevice`).
+        for i in deferred {
+            results[i] = Some(self.conclude(&frames[i]));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every input index concluded exactly once"))
+            .collect()
+    }
+
+    /// Frames per pool worker: the batch split as evenly as possible
+    /// across `workers` chunks. Never zero, and — unlike the old
+    /// hard-wired `workers.min(8)` — never capped below the requested
+    /// width, so `chunks(chunk_len(n, w))` yields `min(w, n)` chunks.
+    fn chunk_len(frames: usize, workers: usize) -> usize {
+        frames.div_ceil(workers.max(1)).max(1)
     }
 
     /// Concludes a whole round: absorbs every response frame, then
@@ -341,5 +446,81 @@ impl FleetVerifier {
         budget: std::time::Duration,
     ) -> Result<RoundReport, FleetError> {
         gateway.drive_round(self, ids, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks_of(frames: usize, workers: usize) -> usize {
+        if frames == 0 {
+            return 0;
+        }
+        frames.div_ceil(FleetVerifier::chunk_len(frames, workers))
+    }
+
+    #[test]
+    fn chunking_uses_every_requested_worker() {
+        // The regression: `workers.min(8)` used to split 64 frames on
+        // a 16-way box into 8 chunks of 8 — half the pool idle.
+        assert_eq!(FleetVerifier::chunk_len(64, 16), 4);
+        assert_eq!(chunks_of(64, 16), 16);
+        assert_eq!(chunks_of(1024, 32), 32);
+    }
+
+    #[test]
+    fn chunking_never_yields_empty_or_excess_chunks() {
+        for frames in [1, 2, 31, 32, 33, 64, 100, 1000] {
+            for workers in [1, 2, 7, 8, 9, 16, 64, 1000] {
+                let len = FleetVerifier::chunk_len(frames, workers);
+                assert!(len >= 1, "chunks must be non-empty");
+                let chunks = chunks_of(frames, workers);
+                assert!(
+                    chunks <= workers.min(frames),
+                    "never more chunks than workers"
+                );
+                // No hard-wired cap (the old `workers.min(8)`): with
+                // enough frames to feed the pool, ceil-chunking keeps
+                // at least half the requested workers busy, however
+                // wide the pool.
+                if frames >= workers {
+                    assert!(
+                        chunks * 2 >= workers,
+                        "{frames} frames / {workers} workers → {chunks}"
+                    );
+                }
+            }
+        }
+        // Degenerate inputs stay sane rather than dividing by zero.
+        assert_eq!(FleetVerifier::chunk_len(0, 8), 1);
+        assert_eq!(FleetVerifier::chunk_len(5, 0), 5);
+    }
+
+    #[test]
+    fn parallelism_knob_round_trips_and_zero_means_auto() {
+        let fleet = FleetVerifier::new();
+        let auto = std::thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(fleet.parallelism(), auto);
+        fleet.set_parallelism(3);
+        assert_eq!(fleet.parallelism(), 3);
+        fleet.set_parallelism(0);
+        assert_eq!(fleet.parallelism(), auto);
+    }
+
+    #[test]
+    fn reactor_affinity_partitions_shards() {
+        // Every device lands on exactly one reactor, and that reactor
+        // is a pure function of its registry shard.
+        for reactors in 1..=4 {
+            for id in 0..1000 {
+                let id = DeviceId(id);
+                let r = FleetVerifier::reactor_of(id, reactors);
+                assert!(r < reactors);
+                assert_eq!(r, FleetVerifier::shard_of(id) % reactors);
+            }
+        }
+        // One reactor owns everything.
+        assert!((0..1000).all(|id| FleetVerifier::reactor_of(DeviceId(id), 1) == 0));
     }
 }

@@ -512,8 +512,7 @@ pub fn drive_round<T: Transport + ?Sized>(
     transport: &mut T,
     budget: Duration,
 ) -> Result<RoundReport, FleetError> {
-    let config = RoundConfig::new(LogicalTime(0), budget.as_millis() as u64);
-    let mut engine = RoundEngine::begin(fleet, ids, config)?;
+    let mut engine = RoundEngine::begin(fleet, ids, RoundConfig::realtime(budget))?;
     // The budget clock starts before the send phase: sends can stall on
     // backpressure, and that time must count against the round too.
     let started = Instant::now();

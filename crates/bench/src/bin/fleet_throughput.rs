@@ -17,7 +17,12 @@
 //! * **gateway** — the same frames over *many* concurrent connections
 //!   into one `FleetGateway` (a devices × connections sweep), so the
 //!   delta against uds is the cost of the multi-peer readiness loop,
-//!   hello routing, and per-connection write queues.
+//!   hello routing, and per-connection write queues;
+//! * **multigateway** — the sharded `MultiGateway`: a devices ×
+//!   connections × reactors sweep (including a 10k-connection run,
+//!   degraded gracefully if the fd limit caps it lower), so the delta
+//!   against the single-reactor gateway is the cross-reactor mailbox +
+//!   merge cost — or, on a multi-core host, the parallel speedup.
 //!
 //! Device construction and execution are *not* timed: the measured
 //! quantity is verifier-side round throughput, which is what a
@@ -29,17 +34,22 @@
 //!   checks;
 //! * `SOCKET_SMOKE=1` — one small loopback round *plus* one small
 //!   socket round, for the CI socket step;
-//! * `GATEWAY_SMOKE=1` — one loopback round plus one gateway round at
-//!   the same device count, for the CI gateway step (which also
-//!   compares the loopback number against the checked-in baseline);
+//! * `GATEWAY_SMOKE=1` — one loopback round plus one gateway round and
+//!   one 2-reactor multigateway round at the same device count, for
+//!   the CI gateway step (which also compares the loopback number
+//!   against the checked-in baseline);
 //! * `FLEET_DEVICES=a,b,c` — explicit device-count series (all
-//!   transports; gateway rows use 8 connections).
+//!   transports; gateway rows use 8 connections, multigateway rows 8
+//!   connections × 4 reactors).
 
 use asap::{programs, PoxMode, VerifierSpec};
 use asap_bench::fleet::{
-    device_key, host_gateway_provers, host_simulated_provers, ScenarioHarness, ScenarioMix,
+    device_key, host_gateway_provers, host_simulated_provers, GatewayTransport, ScenarioHarness,
+    ScenarioMix,
 };
-use asap_fleet::{drive_round, DeviceId, FleetGateway, FleetVerifier, StreamTransport};
+use asap_fleet::{
+    drive_round, DeviceId, FleetGateway, FleetVerifier, MultiGateway, StreamTransport,
+};
 use std::time::{Duration, Instant};
 
 struct Row {
@@ -49,6 +59,13 @@ struct Row {
     /// transports where the notion does not apply (loopback) or is
     /// fixed at one (uds).
     connections: Option<usize>,
+    /// Reactor threads sharding the round loop: `Some(1)` for the
+    /// single-reactor `FleetGateway`, `Some(n)` for `MultiGateway`
+    /// rows, `None` where there is no gateway at all.
+    reactors: Option<usize>,
+    /// Outcomes contributed by each reactor in the last timed round —
+    /// the shard-affinity balance at a glance.
+    per_reactor: Option<Vec<usize>>,
     build_secs: f64,
     round_secs: f64,
     sessions_per_sec: f64,
@@ -101,6 +118,8 @@ fn measure_loopback(devices: usize, seed: u64) -> Row {
         transport: "loopback",
         devices,
         connections: None,
+        reactors: None,
+        per_reactor: None,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -152,6 +171,8 @@ fn measure_socket(devices: usize, seed: u64) -> Row {
         transport: "uds",
         devices,
         connections: Some(1),
+        reactors: None,
+        per_reactor: None,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -219,6 +240,149 @@ fn measure_gateway(devices: usize, connections: usize, seed: u64) -> Row {
         transport: "gateway",
         devices,
         connections: Some(connections),
+        reactors: Some(1),
+        per_reactor: None,
+        build_secs,
+        round_secs,
+        sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
+/// The multigateway devices × connections × reactors point: identical
+/// fleet hosting to [`measure_gateway`] (one prover-host thread per
+/// connection), but the round loop is sharded over `reactors` reactor
+/// threads by [`MultiGateway::drive_round`].
+fn measure_multi(devices: usize, connections: usize, reactors: usize, seed: u64) -> Row {
+    let ids: Vec<DeviceId> = (1..=devices as u64).map(DeviceId).collect();
+
+    let t0 = Instant::now();
+    let fleet = enroll(&ids, seed);
+    let mut gateway: MultiGateway<asap_fleet::NoListener<std::os::unix::net::UnixStream>> =
+        MultiGateway::detached(reactors);
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let hosts: Vec<_> = ids
+        .chunks(devices.div_ceil(connections))
+        .map(|chunk| {
+            let (gw_end, prover_end) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+            gateway.adopt(gw_end).expect("adopt gateway end");
+            let host_ids = chunk.to_vec();
+            let ready_tx = ready_tx.clone();
+            std::thread::spawn(move || {
+                host_gateway_provers(
+                    prover_end,
+                    &host_ids,
+                    |id| device_key(seed, id),
+                    &[],
+                    move || ready_tx.send(()).expect("bench main thread waits"),
+                );
+            })
+        })
+        .collect();
+    let connections = hosts.len();
+    for _ in 0..connections {
+        ready_rx.recv().expect("prover host builds its fleet");
+    }
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    // Best of three rounds, matching measure_loopback's sampling.
+    let mut round_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t1 = Instant::now();
+        let report = gateway
+            .drive_round(&fleet, &ids, Duration::from_secs(30))
+            .expect("round runs");
+        round_secs = round_secs.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(
+            report.verified(),
+            devices,
+            "an all-honest multigateway round must verify every device: {report}"
+        );
+        assert_eq!(fleet.in_flight(), 0, "rounds must not leak sessions");
+    }
+    let per_reactor: Vec<usize> = gateway
+        .reactor_stats()
+        .iter()
+        .map(|s| s.last_round_outcomes)
+        .collect();
+    drop(gateway); // hang up every connection: the hosts see EOF
+    for host in hosts {
+        host.join().expect("prover host exits");
+    }
+
+    Row {
+        transport: "multigateway",
+        devices,
+        connections: Some(connections),
+        reactors: Some(reactors),
+        per_reactor: Some(per_reactor),
+        build_secs,
+        round_secs,
+        sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
+/// The connection-scale point: one device per connection, aiming for
+/// `target` concurrent connections into a `MultiGateway`. The fd
+/// budget is probed first — two fds per socketpair plus headroom — so
+/// a host whose limit caps the run below `target` degrades gracefully
+/// and the row records the count that actually ran. The whole prover
+/// side is serviced by the scenario harness's pooled single-thread
+/// loop; at this scale the row measures connection fan-in, not MAC
+/// throughput.
+fn measure_multi_scale(target: usize, reactors: usize, seed: u64) -> Row {
+    let mut probe = Vec::with_capacity(target);
+    while probe.len() < target {
+        match std::os::unix::net::UnixStream::pair() {
+            Ok(pair) => probe.push(pair),
+            Err(_) => break, // EMFILE: the fd limit is the ceiling
+        }
+    }
+    let capacity = probe.len();
+    drop(probe);
+    let devices = target.min(capacity.saturating_sub(64)).max(1);
+    if devices < target {
+        eprintln!("fd limit caps the {target}-connection run at {devices} connections");
+    }
+
+    let t0 = Instant::now();
+    let mut harness = ScenarioHarness::build(seed, &ScenarioMix::honest(devices));
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let mut round_secs = f64::INFINITY;
+    let mut per_reactor: Vec<usize> = Vec::new();
+    for _ in 0..3 {
+        let t1 = Instant::now();
+        let run = harness.run_round_multi(
+            reactors,
+            GatewayTransport::Socketpair,
+            Duration::from_secs(60),
+        );
+        round_secs = round_secs.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(
+            run.report.verified(),
+            devices,
+            "an all-honest scale round must verify every device"
+        );
+        assert_eq!(
+            harness.fleet().in_flight(),
+            0,
+            "rounds must not leak sessions"
+        );
+        per_reactor = run
+            .reactor_stats
+            .iter()
+            .map(|s| s.last_round_outcomes)
+            .collect();
+    }
+
+    Row {
+        transport: "multigateway",
+        devices,
+        connections: Some(devices),
+        reactors: Some(reactors),
+        per_reactor: Some(per_reactor),
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -263,28 +427,44 @@ fn main() {
     let socket_smoke = std::env::var("SOCKET_SMOKE").is_ok();
     let fleet_smoke = std::env::var("FLEET_SMOKE").is_ok();
 
-    type Sweep = (Vec<usize>, Vec<usize>, Vec<(usize, usize)>);
-    let (loopback_counts, socket_counts, gateway_counts): Sweep = match &explicit {
-        Some(counts) => (
-            counts.clone(),
-            counts.clone(),
-            counts.iter().map(|&n| (n, 8)).collect(),
-        ),
-        None if gateway_smoke => (vec![100], vec![], vec![(100, 8)]),
-        None if socket_smoke => (vec![25], vec![25], vec![]),
-        None if fleet_smoke => (vec![25], vec![], vec![]),
-        None => (
-            vec![100, 250, 500],
-            vec![100, 250],
-            // The devices × connections sweep: scaling devices at a
-            // fixed fan-in, then scaling fan-in at the full fleet.
-            vec![(100, 8), (250, 8), (500, 1), (500, 8), (500, 32)],
-        ),
-    };
+    type Sweep = (
+        Vec<usize>,
+        Vec<usize>,
+        Vec<(usize, usize)>,
+        Vec<(usize, usize, usize)>,
+        Option<(usize, usize)>,
+    );
+    let (loopback_counts, socket_counts, gateway_counts, multi_counts, scale_run): Sweep =
+        match &explicit {
+            Some(counts) => (
+                counts.clone(),
+                counts.clone(),
+                counts.iter().map(|&n| (n, 8)).collect(),
+                counts.iter().map(|&n| (n, 8, 4)).collect(),
+                None,
+            ),
+            None if gateway_smoke => (vec![100], vec![], vec![(100, 8)], vec![(100, 8, 2)], None),
+            None if socket_smoke => (vec![25], vec![25], vec![], vec![], None),
+            None if fleet_smoke => (vec![25], vec![], vec![], vec![], None),
+            None => (
+                vec![100, 250, 500],
+                vec![100, 250],
+                // The devices × connections sweep: scaling devices at a
+                // fixed fan-in, then scaling fan-in at the full fleet.
+                vec![(100, 8), (250, 8), (500, 1), (500, 8), (500, 32)],
+                // The reactors sweep at the full fleet: a 1-reactor
+                // MultiGateway isolates the mailbox/merge overhead,
+                // then the shard counts that matter on multi-core.
+                vec![(500, 8, 1), (500, 8, 2), (500, 8, 4), (1000, 16, 4)],
+                // The connection-scale point: 10k connections, one
+                // device each (fd-limit-degraded where necessary).
+                Some((10_000, 4)),
+            ),
+        };
 
     println!(
-        "{:<10} {:<10} {:<6} {:>12} {:>12} {:>16}",
-        "transport", "devices", "conns", "build (s)", "round (s)", "sessions/sec"
+        "{:<13} {:<8} {:<6} {:<8} {:>12} {:>12} {:>16}",
+        "transport", "devices", "conns", "reactors", "build (s)", "round (s)", "sessions/sec"
     );
     let mut rows: Vec<Row> = loopback_counts
         .iter()
@@ -296,12 +476,21 @@ fn main() {
             .iter()
             .map(|&(n, c)| measure_gateway(n, c, 0xA5A5)),
     );
+    rows.extend(
+        multi_counts
+            .iter()
+            .map(|&(n, c, r)| measure_multi(n, c, r, 0xA5A5)),
+    );
+    if let Some((target, reactors)) = scale_run {
+        rows.push(measure_multi_scale(target, reactors, 0xA5A5));
+    }
     for r in &rows {
         println!(
-            "{:<10} {:<10} {:<6} {:>12.3} {:>12.3} {:>16.1}",
+            "{:<13} {:<8} {:<6} {:<8} {:>12.3} {:>12.3} {:>16.1}",
             r.transport,
             r.devices,
             r.connections.map_or("-".into(), |c| c.to_string()),
+            r.reactors.map_or("-".into(), |n| n.to_string()),
             r.build_secs,
             r.round_secs,
             r.sessions_per_sec
@@ -316,6 +505,36 @@ fn main() {
     if let Some((devices, factor)) = gateway_overhead {
         println!("gateway/loopback round-cost ratio at {devices} devices: {factor:.2}x");
     }
+    // Sharded vs single-reactor gateway at the same (devices, conns)
+    // point, widest shard count measured. On a single-core host this
+    // reads as pure mailbox/merge overhead (≤1.0x); the parallel
+    // speedup only shows on multi-core.
+    let multi_speedup = rows
+        .iter()
+        .filter(|r| r.transport == "multigateway" && r.reactors.unwrap_or(1) > 1)
+        .filter_map(|m| {
+            rows.iter()
+                .find(|g| {
+                    g.transport == "gateway"
+                        && g.devices == m.devices
+                        && g.connections == m.connections
+                })
+                .map(|g| (m, g.sessions_per_sec))
+        })
+        .max_by_key(|(m, _)| (m.devices, m.reactors))
+        .map(|(m, single)| {
+            (
+                m.devices,
+                m.reactors.unwrap_or(1),
+                m.sessions_per_sec / single,
+            )
+        });
+    if let Some((devices, reactors, factor)) = multi_speedup {
+        println!(
+            "multigateway speedup at {devices} devices, {reactors} reactors vs single-reactor \
+             gateway: {factor:.2}x"
+        );
+    }
 
     let mut json = String::from("{\n  \"bench\": \"fleet_throughput\",\n");
     json.push_str("  \"rounds\": [\n");
@@ -323,12 +542,21 @@ fn main() {
         let connections = r
             .connections
             .map_or(String::new(), |c| format!("\"connections\": {c}, "));
+        let reactors = r
+            .reactors
+            .map_or(String::new(), |n| format!("\"reactors\": {n}, "));
+        let per_reactor = r.per_reactor.as_ref().map_or(String::new(), |shares| {
+            let list: Vec<String> = shares.iter().map(|s| s.to_string()).collect();
+            format!("\"per_reactor\": [{}], ", list.join(", "))
+        });
         json.push_str(&format!(
-            "    {{\"transport\": \"{}\", \"devices\": {}, {}\"build_secs\": {:.6}, \
+            "    {{\"transport\": \"{}\", \"devices\": {}, {}{}{}\"build_secs\": {:.6}, \
              \"round_secs\": {:.6}, \"sessions_per_sec\": {:.1}, \"verified\": {}}}{}\n",
             r.transport,
             r.devices,
             connections,
+            reactors,
+            per_reactor,
             r.build_secs,
             r.round_secs,
             r.sessions_per_sec,
@@ -345,6 +573,12 @@ fn main() {
     if let Some((devices, factor)) = gateway_overhead {
         json.push_str(&format!(
             ",\n  \"gateway_overhead\": {{\"devices\": {devices}, \"vs_loopback\": {factor:.3}}}"
+        ));
+    }
+    if let Some((devices, reactors, factor)) = multi_speedup {
+        json.push_str(&format!(
+            ",\n  \"multi_speedup\": {{\"devices\": {devices}, \"reactors\": {reactors}, \
+             \"vs_single_reactor\": {factor:.3}}}"
         ));
     }
     json.push_str("\n}\n");

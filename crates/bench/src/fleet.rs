@@ -26,11 +26,12 @@ use asap::device::PoxMode;
 use asap::{programs, AsapError, Attested, Device, VerifierSpec};
 use asap_fleet::{
     pump_read, DeviceId, FleetError, FleetGateway, FleetVerifier, GatewayConn, GatewayListener,
-    GatewayPoll, GatewayRound, LogicalTime, Loopback, ReadPump, RoundConfig, RoundEngine,
-    WritePump, WriteQueue,
+    GatewayPoll, GatewayRound, LogicalTime, Loopback, MultiGateway, ReactorStats, ReadPump,
+    RoundConfig, RoundEngine, RoundReport, WritePump, WriteQueue,
 };
 use pox_crypto::sha256;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Offset of the envelope payload inside an envelope frame — the
@@ -538,18 +539,131 @@ impl ScenarioHarness {
         peers: Vec<(DeviceId, C)>,
         budget: Duration,
     ) -> ScenarioReport {
-        /// One scripted prover behind its own connection.
-        struct Prover<C> {
-            id: DeviceId,
-            scenario: Scenario,
-            /// `None` once the prover hung up (scripted or observed).
-            stream: Option<C>,
-            deframer: StreamDeframer,
-            outbox: WriteQueue,
-        }
+        let stale = self.prime_stale();
+        let mut pool = ProverPool::new(&self.plans, peers, stale, budget);
 
-        // Replaying devices first obtain evidence for a challenge that
-        // the scored round will supersede.
+        let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
+        let fleet: &FleetVerifier = &self.fleet;
+        let fabric = &mut self.fabric;
+        let mut round = GatewayRound::begin(fleet, &ids, gateway, budget).expect("all registered");
+
+        loop {
+            let status = round.poll(gateway);
+            pool.service(fabric);
+            match status {
+                GatewayPoll::Settled => break,
+                GatewayPoll::Progressed => {}
+                GatewayPoll::Idle => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        self.tagged(&round.finish())
+    }
+
+    /// Runs one full scripted round through a sharded
+    /// [`MultiGateway`]: the verifier (supervisor plus its reactor
+    /// threads) drives the round on a scoped thread while *this*
+    /// thread services every scripted prover socket, exactly as
+    /// [`Self::run_round_gateway`] does for the single-reactor
+    /// gateway. The raw [`RoundReport`]'s outcome order is canonical —
+    /// the determinism tests compare raw reports across reactor
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// On socket-layer failures, or when a scripted exchange fails.
+    pub fn run_round_multi(
+        &mut self,
+        reactors: usize,
+        transport: GatewayTransport,
+        budget: Duration,
+    ) -> MultiRoundRun {
+        match transport {
+            GatewayTransport::Socketpair => {
+                let mut gateway = MultiGateway::detached(reactors);
+                let peers: Vec<(DeviceId, std::os::unix::net::UnixStream)> = self
+                    .plans
+                    .iter()
+                    .map(|&(id, _, _)| {
+                        let (gw_end, prover_end) =
+                            std::os::unix::net::UnixStream::pair().expect("socketpair");
+                        gateway.adopt(gw_end).expect("adopt gateway end");
+                        (id, prover_end)
+                    })
+                    .collect();
+                self.multi_round(&mut gateway, peers, budget)
+            }
+            GatewayTransport::Tcp => {
+                let mut gateway = MultiGateway::bind_tcp("127.0.0.1:0", reactors)
+                    .expect("bind ephemeral listener");
+                let addr = gateway
+                    .listener()
+                    .expect("own listener")
+                    .local_addr()
+                    .expect("listener addr");
+                let mut peers = Vec::with_capacity(self.plans.len());
+                for chunk in self.plans.chunks(64) {
+                    for &(id, _, _) in chunk {
+                        peers.push((id, std::net::TcpStream::connect(addr).expect("connect")));
+                    }
+                    gateway.accept_pending().expect("accept burst");
+                }
+                while gateway.connections() < peers.len() {
+                    if gateway.accept_pending().expect("accept stragglers") == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                self.multi_round(&mut gateway, peers, budget)
+            }
+        }
+    }
+
+    /// The multi-reactor counterpart of [`Self::gateway_round`].
+    /// [`MultiGateway::drive_round`] blocks its caller (the calling
+    /// thread becomes the accept supervisor), so the verifier runs on
+    /// a scoped thread and the provers stay here — the loopback fabric
+    /// holds simulated [`Device`](apex_pox::Device)s, which are not
+    /// `Send`.
+    fn multi_round<L: GatewayListener + Send>(
+        &mut self,
+        gateway: &mut MultiGateway<L>,
+        peers: Vec<(DeviceId, L::Conn)>,
+        budget: Duration,
+    ) -> MultiRoundRun
+    where
+        L::Conn: Send,
+    {
+        let stale = self.prime_stale();
+        let mut pool = ProverPool::new(&self.plans, peers, stale, budget);
+
+        let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
+        let fleet: &FleetVerifier = &self.fleet;
+        let fabric = &mut self.fabric;
+
+        let done = AtomicBool::new(false);
+        let done = &done;
+        let (raw, reactor_stats) = std::thread::scope(|scope| {
+            let verifier = scope.spawn(move || {
+                let report = gateway.drive_round(fleet, &ids, budget);
+                done.store(true, Ordering::Release);
+                (report, gateway.reactor_stats())
+            });
+            while !done.load(Ordering::Acquire) {
+                pool.service(fabric);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let (report, stats) = verifier.join().expect("verifier thread never panics");
+            (report.expect("all registered"), stats)
+        });
+        MultiRoundRun {
+            report: self.tagged(&raw),
+            raw,
+            reactor_stats,
+        }
+    }
+
+    /// Replaying devices first obtain evidence for a challenge that
+    /// the scored round will supersede.
+    fn prime_stale(&mut self) -> HashMap<DeviceId, Vec<u8>> {
         let mut stale: HashMap<DeviceId, Vec<u8>> = HashMap::new();
         for &(id, _, scenario) in &self.plans {
             if scenario == Scenario::ReplayedEvidence {
@@ -558,11 +672,85 @@ impl ScenarioHarness {
                 stale.insert(id, resp);
             }
         }
+        stale
+    }
 
+    /// Tags a raw round report with each device's scripted scenario,
+    /// defaulting unreported devices to `NoResponse`.
+    fn tagged(&self, report: &RoundReport) -> ScenarioReport {
+        let entries = self
+            .plans
+            .iter()
+            .map(|&(id, mode, scenario)| ScenarioEntry {
+                device: id,
+                mode,
+                scenario,
+                result: report
+                    .of(id)
+                    .cloned()
+                    .unwrap_or(Err(FleetError::NoResponse(id))),
+            })
+            .collect();
+        ScenarioReport { entries }
+    }
+}
+
+/// Everything a multi-reactor scripted round yields: the scenario
+/// verdicts, the raw canonically-merged report (what the determinism
+/// tests compare across reactor counts), and a per-reactor breakdown
+/// snapshot taken right after the round.
+pub struct MultiRoundRun {
+    /// Per-device verdicts tagged with their scripted scenario.
+    pub report: ScenarioReport,
+    /// The canonical merged round report, outcome order independent of
+    /// reactor interleaving.
+    pub raw: RoundReport,
+    /// One entry per reactor: connections, drops, outcome share.
+    pub reactor_stats: Vec<ReactorStats>,
+}
+
+/// One scripted prover behind its own connection.
+struct Prover<C> {
+    id: DeviceId,
+    scenario: Scenario,
+    /// `None` once the prover hung up (scripted or observed).
+    stream: Option<C>,
+    deframer: StreamDeframer,
+    outbox: WriteQueue,
+}
+
+/// The prover side of a scripted gateway round: every device's
+/// connection, serviced strictly without blocking so one thread can
+/// interleave the whole fleet — and, for the single-reactor gateway,
+/// the verifier too. Scripting (replay, bit-flip, mis-bind, late,
+/// hangup) lives here so the single- and multi-reactor rounds replay
+/// byte-identical behaviour.
+struct ProverPool<C> {
+    provers: Vec<Prover<C>>,
+    /// Pre-round evidence for replaying devices.
+    stale: HashMap<DeviceId, Vec<u8>>,
+    /// Mis-binding partners, paired in plan order.
+    partner: HashMap<DeviceId, DeviceId>,
+    index_of: HashMap<DeviceId, usize>,
+    /// Honest frames of mis-binding devices, waiting for partners.
+    swap_bank: HashMap<DeviceId, Vec<u8>>,
+    /// (prover index, response frame) held back until `late_at`.
+    late_pending: Vec<(usize, Vec<u8>)>,
+    started: Instant,
+    late_at: Duration,
+}
+
+impl<C: GatewayConn> ProverPool<C> {
+    fn new(
+        plans: &[(DeviceId, PoxMode, Scenario)],
+        peers: Vec<(DeviceId, C)>,
+        stale: HashMap<DeviceId, Vec<u8>>,
+        budget: Duration,
+    ) -> Self {
         // Mis-binding devices swap evidence pairwise, in plan order.
         let mut partner: HashMap<DeviceId, DeviceId> = HashMap::new();
         let mut half: Option<DeviceId> = None;
-        for &(id, _, scenario) in &self.plans {
+        for &(id, _, scenario) in plans {
             if scenario == Scenario::WrongDeviceEvidence {
                 match half.take() {
                     None => half = Some(id),
@@ -576,13 +764,13 @@ impl ScenarioHarness {
         assert!(half.is_none(), "mis-binding devices come in pairs");
 
         let scenario_of: HashMap<DeviceId, Scenario> =
-            self.plans.iter().map(|&(id, _, s)| (id, s)).collect();
+            plans.iter().map(|&(id, _, s)| (id, s)).collect();
         let index_of: HashMap<DeviceId, usize> = peers
             .iter()
             .enumerate()
             .map(|(i, &(id, _))| (id, i))
             .collect();
-        let mut provers: Vec<Prover<C>> =
+        let provers: Vec<Prover<C>> =
             peers
                 .into_iter()
                 .map(|(id, mut stream)| {
@@ -603,138 +791,113 @@ impl ScenarioHarness {
                 })
                 .collect();
 
-        let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
-        let fleet: &FleetVerifier = &self.fleet;
-        let fabric = &mut self.fabric;
-        let mut round = GatewayRound::begin(fleet, &ids, gateway, budget).expect("all registered");
-        let started = Instant::now();
-        let late_at = budget / 4;
+        ProverPool {
+            provers,
+            stale,
+            partner,
+            index_of,
+            swap_bank: HashMap::new(),
+            late_pending: Vec::new(),
+            started: Instant::now(),
+            late_at: budget / 4,
+        }
+    }
 
-        // Honest frames of mis-binding devices, waiting for partners.
-        let mut swap_bank: HashMap<DeviceId, Vec<u8>> = HashMap::new();
-        // (prover index, response frame) held back until `late_at`.
-        let mut late_pending: Vec<(usize, Vec<u8>)> = Vec::new();
-
-        loop {
-            let status = round.poll(gateway);
-
-            if started.elapsed() >= late_at && !late_pending.is_empty() {
-                for (idx, frame) in late_pending.drain(..) {
-                    assert!(
-                        provers[idx].outbox.enqueue(&frame_stream(&frame)),
-                        "late frame fits an empty queue"
-                    );
-                }
+    /// One non-blocking sweep over every prover: release due late
+    /// frames, answer freshly-read challenges per the script, flush
+    /// outboxes.
+    fn service(&mut self, fabric: &mut Loopback) {
+        if self.started.elapsed() >= self.late_at && !self.late_pending.is_empty() {
+            for (idx, frame) in self.late_pending.drain(..) {
+                assert!(
+                    self.provers[idx].outbox.enqueue(&frame_stream(&frame)),
+                    "late frame fits an empty queue"
+                );
             }
+        }
 
-            for idx in 0..provers.len() {
-                loop {
-                    let prover = &mut provers[idx];
-                    let Some(stream) = prover.stream.as_mut() else {
-                        break;
-                    };
-                    match prover.deframer.next_frame() {
-                        Ok(Some(request)) => {
-                            let id = prover.id;
-                            match prover.scenario {
-                                Scenario::Honest => {
-                                    let resp =
-                                        fabric.exchange(id, &request).expect("honest response");
-                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&resp)));
-                                }
-                                Scenario::LateResponse => {
-                                    let resp =
-                                        fabric.exchange(id, &request).expect("honest response");
-                                    late_pending.push((idx, resp));
-                                }
-                                Scenario::ReplayedEvidence => {
-                                    let frame = stale[&id].clone();
-                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&frame)));
-                                }
-                                Scenario::BitFlippedFrame => {
-                                    let mut resp =
-                                        fabric.exchange(id, &request).expect("honest response");
-                                    resp[ENVELOPE_PAYLOAD_AT] ^= 0x01; // corrupt the inner magic
-                                    assert!(provers[idx].outbox.enqueue(&frame_stream(&resp)));
-                                }
-                                Scenario::WrongDeviceEvidence => {
-                                    let resp =
-                                        fabric.exchange(id, &request).expect("honest response");
-                                    let pid = partner[&id];
-                                    match swap_bank.remove(&pid) {
-                                        // Both halves ready: each device
-                                        // sends the *other's* payload
-                                        // under its own id, on its own
-                                        // connection.
-                                        Some(partner_resp) => {
-                                            let mine = cross_address(&resp, &partner_resp);
-                                            let theirs = cross_address(&partner_resp, &resp);
-                                            assert!(provers[idx]
-                                                .outbox
-                                                .enqueue(&frame_stream(&mine)));
-                                            let pidx = index_of[&pid];
-                                            assert!(provers[pidx]
-                                                .outbox
-                                                .enqueue(&frame_stream(&theirs)));
-                                        }
-                                        None => {
-                                            swap_bank.insert(id, resp);
-                                        }
+        for idx in 0..self.provers.len() {
+            loop {
+                let prover = &mut self.provers[idx];
+                let Some(stream) = prover.stream.as_mut() else {
+                    break;
+                };
+                match prover.deframer.next_frame() {
+                    Ok(Some(request)) => {
+                        let id = prover.id;
+                        match prover.scenario {
+                            Scenario::Honest => {
+                                let resp = fabric.exchange(id, &request).expect("honest response");
+                                assert!(self.provers[idx].outbox.enqueue(&frame_stream(&resp)));
+                            }
+                            Scenario::LateResponse => {
+                                let resp = fabric.exchange(id, &request).expect("honest response");
+                                self.late_pending.push((idx, resp));
+                            }
+                            Scenario::ReplayedEvidence => {
+                                let frame = self.stale[&id].clone();
+                                assert!(self.provers[idx].outbox.enqueue(&frame_stream(&frame)));
+                            }
+                            Scenario::BitFlippedFrame => {
+                                let mut resp =
+                                    fabric.exchange(id, &request).expect("honest response");
+                                resp[ENVELOPE_PAYLOAD_AT] ^= 0x01; // corrupt the inner magic
+                                assert!(self.provers[idx].outbox.enqueue(&frame_stream(&resp)));
+                            }
+                            Scenario::WrongDeviceEvidence => {
+                                let resp = fabric.exchange(id, &request).expect("honest response");
+                                let pid = self.partner[&id];
+                                match self.swap_bank.remove(&pid) {
+                                    // Both halves ready: each device
+                                    // sends the *other's* payload
+                                    // under its own id, on its own
+                                    // connection.
+                                    Some(partner_resp) => {
+                                        let mine = cross_address(&resp, &partner_resp);
+                                        let theirs = cross_address(&partner_resp, &resp);
+                                        assert!(self.provers[idx]
+                                            .outbox
+                                            .enqueue(&frame_stream(&mine)));
+                                        let pidx = self.index_of[&pid];
+                                        assert!(self.provers[pidx]
+                                            .outbox
+                                            .enqueue(&frame_stream(&theirs)));
+                                    }
+                                    None => {
+                                        self.swap_bank.insert(id, resp);
                                     }
                                 }
-                                Scenario::DroppedResponse => {}
-                                Scenario::MidRoundHangup => {
-                                    // Challenge received: sever the
-                                    // connection without answering.
-                                    provers[idx].stream = None;
-                                }
+                            }
+                            Scenario::DroppedResponse => {}
+                            Scenario::MidRoundHangup => {
+                                // Challenge received: sever the
+                                // connection without answering.
+                                self.provers[idx].stream = None;
                             }
                         }
-                        Ok(None) => match pump_read(stream, &mut prover.deframer) {
-                            ReadPump::Bytes(_) => {}
-                            ReadPump::Idle => break,
-                            ReadPump::Closed | ReadPump::Broken => {
-                                prover.stream = None;
-                                break;
-                            }
-                        },
-                        Err(_) => {
+                    }
+                    Ok(None) => match pump_read(stream, &mut prover.deframer) {
+                        ReadPump::Bytes(_) => {}
+                        ReadPump::Idle => break,
+                        ReadPump::Closed | ReadPump::Broken => {
                             prover.stream = None;
                             break;
                         }
-                    }
-                }
-                let prover = &mut provers[idx];
-                if let Some(stream) = prover.stream.as_mut() {
-                    match prover.outbox.flush(stream) {
-                        WritePump::Drained | WritePump::Blocked(_) => {}
-                        WritePump::Closed | WritePump::Broken => prover.stream = None,
+                    },
+                    Err(_) => {
+                        prover.stream = None;
+                        break;
                     }
                 }
             }
-
-            match status {
-                GatewayPoll::Settled => break,
-                GatewayPoll::Progressed => {}
-                GatewayPoll::Idle => std::thread::sleep(Duration::from_millis(1)),
+            let prover = &mut self.provers[idx];
+            if let Some(stream) = prover.stream.as_mut() {
+                match prover.outbox.flush(stream) {
+                    WritePump::Drained | WritePump::Blocked(_) => {}
+                    WritePump::Closed | WritePump::Broken => prover.stream = None,
+                }
             }
         }
-        let report = round.finish();
-
-        let entries = self
-            .plans
-            .iter()
-            .map(|&(id, mode, scenario)| ScenarioEntry {
-                device: id,
-                mode,
-                scenario,
-                result: report
-                    .of(id)
-                    .cloned()
-                    .unwrap_or(Err(FleetError::NoResponse(id))),
-            })
-            .collect();
-        ScenarioReport { entries }
     }
 }
 

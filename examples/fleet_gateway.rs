@@ -1,24 +1,28 @@
-//! Fifty provers, one gateway, mixed verdicts.
+//! Fifty provers, one sharded gateway, mixed verdicts.
 //!
 //! The verifier binds a single TCP endpoint and drives one batched PoX
-//! round through a `FleetGateway`; five prover-host threads dial in,
-//! each announcing and serving ten simulated MCUs over its own
-//! connection — devices are routed by their hello frames, never pinned
-//! to a transport. Two devices are scripted to stay silent (their
-//! deadline resolves to `NoResponse`), and one is enrolled under the
-//! wrong key, so its honest evidence fails the MAC check: one round,
-//! three different verdicts, no thread ever blocked on a slow peer.
+//! round through a `MultiGateway` sharded over two reactor threads;
+//! five prover-host threads dial in, each announcing and serving ten
+//! simulated MCUs over its own connection — devices are routed by
+//! their hello frames, never pinned to a transport *or a reactor*:
+//! when a device's challenge is owned by one reactor but its
+//! connection lives on another, the frames cross over the reactors'
+//! mailboxes. Two devices are scripted to stay silent (their deadline
+//! resolves to `NoResponse`), and one is enrolled under the wrong key,
+//! so its honest evidence fails the MAC check: one round, three
+//! different verdicts, no thread ever blocked on a slow peer.
 //!
 //! Run with: `cargo run --example fleet_gateway`
 
 use asap::{programs, PoxMode, VerifierSpec};
 use asap_bench::fleet::host_gateway_provers;
-use asap_fleet::{DeviceId, FleetGateway, FleetVerifier};
+use asap_fleet::{DeviceId, FleetVerifier, MultiGateway};
 use std::error::Error;
 use std::time::Duration;
 
 const DEVICES: u64 = 50;
 const HOSTS: u64 = 5;
+const REACTORS: usize = 2;
 
 fn key_for(id: DeviceId) -> Vec<u8> {
     format!("gateway-example-key-{id}").into_bytes()
@@ -47,10 +51,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         )?;
     }
 
-    // One TCP endpoint for the whole fleet.
-    let mut gateway = FleetGateway::bind_tcp("127.0.0.1:0")?;
+    // One TCP endpoint for the whole fleet, served by two reactors.
+    let mut gateway = MultiGateway::bind_tcp("127.0.0.1:0", REACTORS)?;
     let addr = gateway.listener().expect("own listener").local_addr()?;
-    println!("gateway listening on {addr}");
+    println!("gateway listening on {addr} ({REACTORS} reactors)");
 
     // Five prover hosts, ten devices each, every one dialing in on its
     // own connection and announcing its devices with hello frames.
@@ -71,7 +75,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .collect();
 
     println!("challenging {DEVICES} devices across {HOSTS} connections…");
-    let report = fleet.run_round_gateway(&ids, &mut gateway, Duration::from_millis(800))?;
+    let report = gateway.drive_round(&fleet, &ids, Duration::from_millis(800))?;
 
     for outcome in &report.outcomes {
         if let (Some(id), Err(e)) = (outcome.device, &outcome.result) {
@@ -83,6 +87,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         gateway.connections(),
         gateway.routed_devices()
     );
+    for (i, stats) in gateway.reactor_stats().iter().enumerate() {
+        println!(
+            "  reactor {i}: {} connections, {} outcomes",
+            stats.connections, stats.last_round_outcomes
+        );
+    }
 
     assert_eq!(report.verified(), (DEVICES as usize) - 3);
     assert_eq!(report.no_response(), silent.len());
