@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Guard against fleet-round throughput regressions.
+"""Guard against fleet-round throughput (and memory) regressions.
 
 Usage: check_fleet_regression.py <baseline BENCH_fleet.json> <fresh BENCH_fleet.json>
 
-Two guarded series, compared at every point both files measured:
+Guarded series, compared at every point both files measured:
 
 * **loopback**, keyed by device count, at 20% tolerance. Loopback is
   the pure verifier-side cost — no socket scheduling noise — so a
@@ -14,6 +14,19 @@ Two guarded series, compared at every point both files measured:
   slower (an extra copy per frame, a busy-wait), not single-digit
   jitter. Rows without a `reactors` field (pre-shard baselines)
   default to 1.
+* **lifecycle**, keyed by (devices, cohort): epoch throughput at 35%
+  tolerance, plus enrollment RSS at 1.5x — the memory-diet bound the
+  100k–1M series exists to pin. Rows without `rss_bytes` (non-Linux
+  hosts) skip the memory check.
+* **multi_speedup** (sharded vs single-reactor gateway), at 35%
+  tolerance — but *skipped with an annotation* when either file was
+  measured on a host reporting `parallelism: 1` (missing field reads
+  as 1): a single-core box measures mailbox/merge overhead, not
+  speedup, and gating overhead noise as if it were a speedup
+  regression only produces flakes.
+
+The gate passes as long as at least one series had a common point; a
+lifecycle-only smoke file checked against a full baseline is fine.
 """
 
 import json
@@ -21,22 +34,24 @@ import sys
 
 LOOPBACK_TOLERANCE = 0.8  # fresh must reach this fraction of baseline
 GATEWAY_TOLERANCE = 0.65
+LIFECYCLE_TOLERANCE = 0.65
+RSS_TOLERANCE = 1.5  # fresh RSS must stay under this multiple of baseline
 
 
-def load_rounds(path):
+def load(path):
     with open(path) as f:
-        return json.load(f)["rounds"]
+        return json.load(f)
 
 
-def loopback_rows(rounds):
+def loopback_rows(doc):
     return {
         row["devices"]: row["sessions_per_sec"]
-        for row in rounds
+        for row in doc["rounds"]
         if row["transport"] == "loopback"
     }
 
 
-def gateway_rows(rounds):
+def gateway_rows(doc):
     return {
         (
             row["transport"],
@@ -44,8 +59,16 @@ def gateway_rows(rounds):
             row.get("connections", 1),
             row.get("reactors", 1),
         ): row["sessions_per_sec"]
-        for row in rounds
+        for row in doc["rounds"]
         if row["transport"] in ("gateway", "multigateway")
+    }
+
+
+def lifecycle_rows(doc):
+    return {
+        (row["devices"], row.get("cohort", 0)): row
+        for row in doc["rounds"]
+        if row["transport"] == "lifecycle"
     }
 
 
@@ -69,9 +92,70 @@ def check_series(name, baseline, fresh, tolerance, label):
     return bool(common)
 
 
+def check_lifecycle(baseline, fresh):
+    common = sorted(set(baseline) & set(fresh))
+    failed = []
+    for key in common:
+        devices, cohort = key
+        b, f = baseline[key], fresh[key]
+        ratio = f["sessions_per_sec"] / b["sessions_per_sec"]
+        note = ""
+        if "rss_bytes" in b and "rss_bytes" in f:
+            rss_ratio = f["rss_bytes"] / b["rss_bytes"]
+            note = (
+                f", rss {b['rss_bytes'] / 2**20:.1f} -> "
+                f"{f['rss_bytes'] / 2**20:.1f} MiB ({rss_ratio:.2f}x)"
+            )
+            if rss_ratio > RSS_TOLERANCE:
+                failed.append((key, "rss_bytes"))
+        print(
+            f"lifecycle @ {devices} devices / {cohort} cohort: "
+            f"baseline {b['sessions_per_sec']:.0f}/s, "
+            f"fresh {f['sessions_per_sec']:.0f}/s ({ratio:.2f}x){note}"
+        )
+        if ratio < LIFECYCLE_TOLERANCE:
+            failed.append((key, "sessions_per_sec"))
+    if failed:
+        sys.exit(
+            f"lifecycle regressed at {failed} vs the checked-in "
+            f"BENCH_fleet.json (throughput floor "
+            f"{LIFECYCLE_TOLERANCE}x, RSS ceiling {RSS_TOLERANCE}x)"
+        )
+    return bool(common)
+
+
+def check_multi_speedup(baseline_doc, fresh_doc):
+    base = baseline_doc.get("multi_speedup")
+    fresh = fresh_doc.get("multi_speedup")
+    if not (base and fresh):
+        return False
+    base_cores = baseline_doc.get("parallelism", 1)
+    fresh_cores = fresh_doc.get("parallelism", 1)
+    if base_cores == 1 or fresh_cores == 1:
+        print(
+            f"multi_speedup: SKIPPED (parallelism baseline={base_cores}, "
+            f"fresh={fresh_cores}): a single-core host measures "
+            "mailbox/merge overhead, not parallel speedup, so the ratio "
+            "is scheduler noise rather than a gateable signal"
+        )
+        return False
+    ratio = fresh["vs_single_reactor"] / base["vs_single_reactor"]
+    print(
+        f"multi_speedup: baseline {base['vs_single_reactor']:.3f}x, "
+        f"fresh {fresh['vs_single_reactor']:.3f}x ({ratio:.2f}x)"
+    )
+    if ratio < GATEWAY_TOLERANCE:
+        sys.exit(
+            f"multi_speedup regressed more than "
+            f"{round((1 - GATEWAY_TOLERANCE) * 100)}% vs the checked-in "
+            "BENCH_fleet.json"
+        )
+    return True
+
+
 def main():
-    baseline = load_rounds(sys.argv[1])
-    fresh = load_rounds(sys.argv[2])
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
 
     compared = check_series(
         "loopback",
@@ -80,22 +164,24 @@ def main():
         LOOPBACK_TOLERANCE,
         lambda devices: f"{devices} devices",
     )
-    if not compared:
-        sys.exit(
-            f"no common loopback device counts: "
-            f"baseline {sorted(loopback_rows(baseline))}, "
-            f"fresh {sorted(loopback_rows(fresh))}"
-        )
-
-    # The gateway series is optional (the smoke modes don't always run
-    # one), but when both files measured a point it is guarded.
-    check_series(
+    # Each further series is optional (the smoke modes measure
+    # different subsets), but when both files measured a point it is
+    # guarded.
+    compared |= check_series(
         "gateway",
         gateway_rows(baseline),
         gateway_rows(fresh),
         GATEWAY_TOLERANCE,
         lambda key: f"{key[0]} {key[1]}d/{key[2]}c/{key[3]}r",
     )
+    compared |= check_lifecycle(lifecycle_rows(baseline), lifecycle_rows(fresh))
+    compared |= check_multi_speedup(baseline, fresh)
+    if not compared:
+        sys.exit(
+            "no series had a common point: "
+            f"baseline measured {sorted({r['transport'] for r in baseline['rounds']})}, "
+            f"fresh measured {sorted({r['transport'] for r in fresh['rounds']})}"
+        )
 
 
 if __name__ == "__main__":

@@ -35,7 +35,7 @@ use crate::registry::FleetVerifier;
 use crate::round::{RoundOutcome, RoundReport};
 use crate::DeviceId;
 use asap::Attested;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A point in injected, driver-defined time.
 ///
@@ -102,11 +102,14 @@ impl Default for RoundConfig {
     }
 }
 
-/// One device still owed a response, with its expiry instant.
+/// One queued challenge: its device and the byte span it occupies in
+/// the engine's transmit arena. 16 bytes per pending challenge, instead
+/// of a `Vec` allocation each.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
+struct TxSpan {
     device: DeviceId,
-    deadline: LogicalTime,
+    start: u32,
+    len: u32,
 }
 
 /// A fleet round as a pure state machine over a [`FleetVerifier`].
@@ -116,19 +119,40 @@ struct Pending {
 /// there, so direct [`FleetVerifier::begin`]/[`conclude`] calls and
 /// engine-driven rounds observe the same sessions.
 ///
+/// Per-device state is kept on a diet for very large cohorts: queued
+/// challenge frames live end-to-end in **one arena allocation**
+/// (released the moment the last frame leaves), the awaited set is a
+/// bare `Vec<DeviceId>` (8 bytes per device), and deadlines are one
+/// shared round deadline plus a sparse override map that stays empty
+/// unless [`set_deadline`](RoundEngine::set_deadline) is used.
+///
 /// [`conclude`]: FleetVerifier::conclude
 pub struct RoundEngine<'a> {
     fleet: &'a FleetVerifier,
-    /// Frames waiting to be put on the wire, in challenge order.
-    pending_tx: VecDeque<(DeviceId, Vec<u8>)>,
+    /// Challenge frames awaiting transmission, packed end-to-end.
+    tx_arena: Vec<u8>,
+    /// Spans into `tx_arena`, in challenge order.
+    pending_tx: VecDeque<TxSpan>,
+    /// Devices whose queued challenge must no longer reach the wire
+    /// (evicted mid-round). Empty unless membership churned.
+    cancelled_tx: HashSet<DeviceId>,
     /// Challenged devices still owed a response, in challenge order —
     /// a `Vec`, not a hash map, so expiry order is deterministic.
-    awaiting: Vec<Pending>,
+    awaiting: Vec<DeviceId>,
+    /// The round deadline every awaited device shares by default.
+    deadline: LogicalTime,
+    /// Per-device deadline overrides ([`RoundEngine::set_deadline`]);
+    /// empty in the common case, so a million awaited devices cost one
+    /// `LogicalTime`, not a million.
+    deadline_overrides: HashMap<DeviceId, LogicalTime>,
     /// Every settled verdict, in settlement order, for the final report.
     outcomes: Vec<RoundOutcome>,
     /// How many of `outcomes` were already drained by `poll_outcome`.
     drained: usize,
     now: LogicalTime,
+    /// The registry membership generation this engine last reconciled
+    /// against ([`RoundEngine::sync_membership`]).
+    seen_generation: u64,
 }
 
 impl<'a> RoundEngine<'a> {
@@ -147,19 +171,29 @@ impl<'a> RoundEngine<'a> {
         ids: &[DeviceId],
         config: RoundConfig,
     ) -> Result<RoundEngine<'a>, FleetError> {
-        let requests = fleet.begin_round(ids)?;
-        let deadline = config.started_at.plus(config.deadline_after);
-        let awaiting = requests
-            .iter()
-            .map(|&(device, _)| Pending { device, deadline })
+        // Snapshot the membership generation *before* issuing, so an
+        // eviction racing the challenge issuance is caught by the first
+        // `sync_membership` sweep rather than slipping between the two.
+        let seen_generation = fleet.membership_generation();
+        let mut tx_arena = Vec::new();
+        let spans = fleet.begin_round_packed(ids, &mut tx_arena)?;
+        let awaiting = spans.iter().map(|&(device, _, _)| device).collect();
+        let pending_tx = spans
+            .into_iter()
+            .map(|(device, start, len)| TxSpan { device, start, len })
             .collect();
         Ok(RoundEngine {
             fleet,
-            pending_tx: requests.into(),
+            tx_arena,
+            pending_tx,
+            cancelled_tx: HashSet::new(),
             awaiting,
+            deadline: config.started_at.plus(config.deadline_after),
+            deadline_overrides: HashMap::new(),
             outcomes: Vec::new(),
             drained: 0,
             now: config.started_at,
+            seen_generation,
         })
     }
 
@@ -175,26 +209,45 @@ impl<'a> RoundEngine<'a> {
         challenged: &[DeviceId],
         config: RoundConfig,
     ) -> RoundEngine<'a> {
-        let deadline = config.started_at.plus(config.deadline_after);
-        let mut seen = std::collections::HashSet::new();
+        let seen_generation = fleet.membership_generation();
+        let mut seen = HashSet::new();
         let awaiting = challenged
             .iter()
             .filter(|&&id| seen.insert(id) && fleet.session_pending(id))
-            .map(|&device| Pending { device, deadline })
+            .copied()
             .collect();
         RoundEngine {
             fleet,
+            tx_arena: Vec::new(),
             pending_tx: VecDeque::new(),
+            cancelled_tx: HashSet::new(),
             awaiting,
+            deadline: config.started_at.plus(config.deadline_after),
+            deadline_overrides: HashMap::new(),
             outcomes: Vec::new(),
             drained: 0,
             now: config.started_at,
+            seen_generation,
         }
     }
 
     /// The next request frame to put on the wire, with its destination.
+    /// Challenges cancelled by a mid-round eviction are skipped; once
+    /// the queue drains, the transmit arena is released.
     pub fn poll_transmit(&mut self) -> Option<(DeviceId, Vec<u8>)> {
-        self.pending_tx.pop_front()
+        while let Some(span) = self.pending_tx.pop_front() {
+            if self.cancelled_tx.contains(&span.device) {
+                continue;
+            }
+            let start = span.start as usize;
+            let frame = self.tx_arena[start..start + span.len as usize].to_vec();
+            if self.pending_tx.is_empty() {
+                self.tx_arena = Vec::new();
+            }
+            return Some((span.device, frame));
+        }
+        self.tx_arena = Vec::new();
+        None
     }
 
     /// The next settled verdict, in settlement order. Draining is
@@ -236,7 +289,8 @@ impl<'a> RoundEngine<'a> {
         result: Result<Attested, FleetError>,
     ) {
         if let Some(id) = device {
-            self.awaiting.retain(|p| p.device != id);
+            self.awaiting.retain(|&d| d != id);
+            self.deadline_overrides.remove(&id);
         }
         self.settle(RoundOutcome { device, result });
     }
@@ -248,17 +302,61 @@ impl<'a> RoundEngine<'a> {
     /// Returns whether the device was actually awaited; a device that
     /// already settled is left untouched.
     pub fn charge_no_response(&mut self, id: DeviceId) -> bool {
+        self.charge(id, FleetError::NoResponse(id))
+    }
+
+    /// Settles one still-awaited device as [`FleetError::Evicted`]
+    /// *now*: the verdict for a device removed from the fleet mid-round
+    /// ([`FleetVerifier::remove`]). Usually invoked for the caller by
+    /// [`sync_membership`](RoundEngine::sync_membership); call it
+    /// directly when the driver already knows exactly who was evicted.
+    /// Returns whether the device was actually awaited.
+    pub fn charge_evicted(&mut self, id: DeviceId) -> bool {
+        self.charge(id, FleetError::Evicted(id))
+    }
+
+    fn charge(&mut self, id: DeviceId, verdict: FleetError) -> bool {
         let before = self.awaiting.len();
-        self.awaiting.retain(|p| p.device != id);
+        self.awaiting.retain(|&d| d != id);
         if self.awaiting.len() == before {
             return false;
         }
+        self.deadline_overrides.remove(&id);
+        self.cancelled_tx.insert(id);
         self.fleet.abort(id);
         self.settle(RoundOutcome {
             device: Some(id),
-            result: Err(FleetError::NoResponse(id)),
+            result: Err(verdict),
         });
         true
+    }
+
+    /// Reconciles the awaited set against fleet membership: every
+    /// still-awaited device that is no longer enrolled — evicted by
+    /// [`FleetVerifier::remove`] while this round was in flight — is
+    /// settled as [`FleetError::Evicted`] immediately, and its queued
+    /// challenge (if untransmitted) is cancelled. Returns how many
+    /// devices were charged.
+    ///
+    /// Cheap to call every sweep: the registry's membership generation
+    /// is compared first, so the rescan only runs when a removal
+    /// actually happened since the last call.
+    pub fn sync_membership(&mut self) -> usize {
+        let generation = self.fleet.membership_generation();
+        if generation == self.seen_generation {
+            return 0;
+        }
+        self.seen_generation = generation;
+        let gone: Vec<DeviceId> = self
+            .awaiting
+            .iter()
+            .copied()
+            .filter(|&id| !self.fleet.is_registered(id))
+            .collect();
+        for &id in &gone {
+            self.charge_evicted(id);
+        }
+        gone.len()
     }
 
     /// The fleet registry this round runs against.
@@ -266,21 +364,36 @@ impl<'a> RoundEngine<'a> {
         self.fleet
     }
 
+    /// The deadline in force for one awaited device: its override, or
+    /// the shared round deadline.
+    fn deadline_of(&self, id: DeviceId) -> LogicalTime {
+        self.deadline_overrides
+            .get(&id)
+            .copied()
+            .unwrap_or(self.deadline)
+    }
+
     /// Advances logical time to `now` (never backwards) and charges
     /// [`FleetError::NoResponse`] to every device whose deadline is at
     /// or before `now`, aborting its in-flight session.
     pub fn tick(&mut self, now: LogicalTime) {
         self.now = self.now.max(now);
+        if self.deadline_overrides.is_empty() && self.deadline > self.now {
+            return; // shared deadline not reached; nobody can expire
+        }
         let mut expired = Vec::new();
-        self.awaiting.retain(|p| {
-            if p.deadline <= self.now {
-                expired.push(p.device);
-                false
-            } else {
-                true
+        let overrides = &self.deadline_overrides;
+        let deadline = self.deadline;
+        let at = self.now;
+        self.awaiting.retain(|&d| {
+            let due = overrides.get(&d).copied().unwrap_or(deadline) <= at;
+            if due {
+                expired.push(d);
             }
+            !due
         });
         for id in expired {
+            self.deadline_overrides.remove(&id);
             self.fleet.abort(id);
             self.settle(RoundOutcome {
                 device: Some(id),
@@ -292,17 +405,21 @@ impl<'a> RoundEngine<'a> {
     /// Extends (or shortens) the deadline of one still-awaited device.
     /// No effect on devices that already settled.
     pub fn set_deadline(&mut self, id: DeviceId, deadline: LogicalTime) {
-        for p in &mut self.awaiting {
-            if p.device == id {
-                p.deadline = deadline;
-            }
+        if self.awaiting.contains(&id) {
+            self.deadline_overrides.insert(id, deadline);
         }
     }
 
     /// The earliest pending deadline — the latest instant the driver
     /// must `tick` at, even if the transport stays silent forever.
     pub fn next_deadline(&self) -> Option<LogicalTime> {
-        self.awaiting.iter().map(|p| p.deadline).min()
+        if self.awaiting.is_empty() {
+            return None;
+        }
+        if self.deadline_overrides.is_empty() {
+            return Some(self.deadline);
+        }
+        self.awaiting.iter().map(|&d| self.deadline_of(d)).min()
     }
 
     /// The engine's current logical time.
@@ -317,7 +434,7 @@ impl<'a> RoundEngine<'a> {
 
     /// True when `id` was challenged this round and has not settled yet.
     pub fn is_awaiting(&self, id: DeviceId) -> bool {
-        self.awaiting.iter().any(|p| p.device == id)
+        self.awaiting.contains(&id)
     }
 
     /// True when every challenged device has settled (answered or
@@ -332,7 +449,7 @@ impl<'a> RoundEngine<'a> {
     /// charged [`FleetError::NoResponse`], so no round ever leaks
     /// sessions.
     pub fn into_report(mut self) -> RoundReport {
-        let unsettled: Vec<DeviceId> = self.awaiting.iter().map(|p| p.device).collect();
+        let unsettled: Vec<DeviceId> = std::mem::take(&mut self.awaiting);
         for id in unsettled {
             self.fleet.abort(id);
             self.settle(RoundOutcome {

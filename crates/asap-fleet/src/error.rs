@@ -28,6 +28,12 @@ pub enum FleetError {
     /// The device was challenged this round but no response frame came
     /// back before the round concluded.
     NoResponse(DeviceId),
+    /// The device was removed from the fleet while its round was in
+    /// flight ([`FleetVerifier::remove`](crate::FleetVerifier::remove)):
+    /// the round resolves it immediately with this verdict — never
+    /// leaving it to dangle to a `NoResponse` deadline — via
+    /// [`RoundEngine::sync_membership`](crate::RoundEngine::sync_membership).
+    Evicted(DeviceId),
     /// The envelope itself failed to decode, so the frame cannot be
     /// attributed to any device.
     Frame(WireError),
@@ -58,6 +64,9 @@ impl fmt::Display for FleetError {
             FleetError::NoResponse(id) => {
                 write!(f, "device {id} never answered this round's challenge")
             }
+            FleetError::Evicted(id) => {
+                write!(f, "device {id} was evicted before its round resolved")
+            }
             FleetError::Frame(e) => write!(f, "unattributable frame: {e}"),
             FleetError::Rejected(e) => write!(f, "evidence rejected: {e}"),
         }
@@ -86,6 +95,7 @@ mod tests {
             FleetError::UnknownDevice(id),
             FleetError::NoSession(id),
             FleetError::NoResponse(id),
+            FleetError::Evicted(id),
         ] {
             assert!(e.to_string().contains("42"), "{e}");
         }

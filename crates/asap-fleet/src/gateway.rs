@@ -239,6 +239,11 @@ pub struct FleetGateway<L: GatewayListener> {
     accepted_total: u64,
     dropped_total: u64,
     accept_errors: u64,
+    /// Hello frames naming a device the registry has never enrolled —
+    /// routed (the device may be enrolled later) but counted, so an
+    /// operator can see fabricated or premature announcements instead
+    /// of silent acceptance.
+    unknown_hellos: u64,
 }
 
 impl FleetGateway<TcpListener> {
@@ -280,6 +285,7 @@ impl<C: GatewayConn> FleetGateway<NoListener<C>> {
             accepted_total: 0,
             dropped_total: 0,
             accept_errors: 0,
+            unknown_hellos: 0,
         }
     }
 }
@@ -302,6 +308,7 @@ impl<L: GatewayListener> FleetGateway<L> {
             accepted_total: 0,
             dropped_total: 0,
             accept_errors: 0,
+            unknown_hellos: 0,
         })
     }
 
@@ -394,6 +401,16 @@ impl<L: GatewayListener> FleetGateway<L> {
         self.accept_errors
     }
 
+    /// Hello frames received for devices the registry has never seen.
+    /// The hello still routes (enrollment may be seconds away and the
+    /// parked-challenge path wants the route), but each one is counted
+    /// here — the fleet-level `UnknownDevice` signal for announcements,
+    /// mirroring the [`FleetError::UnknownDevice`] verdict evidence
+    /// frames already get.
+    pub fn unknown_device_hellos(&self) -> u64 {
+        self.unknown_hellos
+    }
+
     /// Queues one challenge frame towards `device`: onto its routed
     /// connection when one is live, parked until a hello otherwise.
     /// Deliveries are recorded in `delivered`, which is what hangup
@@ -439,8 +456,10 @@ impl<L: GatewayListener> FleetGateway<L> {
     /// Pumps every connection's receive side: drains complete frames,
     /// records routes, delivers parked challenges to devices that just
     /// revealed their connection, and collects every judgeable frame.
+    /// Hellos naming devices `fleet` never enrolled are counted in
+    /// [`unknown_device_hellos`](FleetGateway::unknown_device_hellos).
     /// Returns the frames in arrival order plus whether any I/O moved.
-    fn sweep_reads(&mut self, inbound: &mut Vec<Vec<u8>>) -> bool {
+    fn sweep_reads(&mut self, fleet: &FleetVerifier, inbound: &mut Vec<Vec<u8>>) -> bool {
         let mut progressed = false;
         for idx in 0..self.conns.len() {
             if self.conns[idx].is_none() {
@@ -474,7 +493,11 @@ impl<L: GatewayListener> FleetGateway<L> {
                                 // A hello (empty payload) is routing
                                 // information only; anything else is
                                 // evidence for the engine.
-                                if !envelope.payload.is_empty() {
+                                if envelope.payload.is_empty() {
+                                    if !fleet.is_registered(id) {
+                                        self.unknown_hellos += 1;
+                                    }
+                                } else {
                                     inbound.push(frame);
                                 }
                             }
@@ -609,13 +632,18 @@ impl<'a> GatewayRound<'a> {
         progressed |= gateway.accept_pending().unwrap_or(0) > 0;
 
         let mut inbound = Vec::new();
-        progressed |= gateway.sweep_reads(&mut inbound);
+        progressed |= gateway.sweep_reads(self.engine.fleet(), &mut inbound);
         if !inbound.is_empty() {
             progressed = true;
             for (device, result) in self.engine.fleet().conclude_batch(&inbound) {
                 self.engine.outcome_received(device, result);
             }
         }
+
+        // Devices evicted from the registry mid-round settle now, as
+        // `Evicted` — never left dangling toward a `NoResponse`
+        // deadline.
+        progressed |= self.engine.sync_membership() > 0;
 
         progressed |= gateway.sweep_writes_and_reap(&mut self.engine);
 

@@ -149,6 +149,7 @@
 pub mod engine;
 pub mod error;
 pub mod gateway;
+pub mod lifecycle;
 pub mod reactor;
 pub mod registry;
 pub mod round;
@@ -160,6 +161,9 @@ pub use error::FleetError;
 pub use gateway::{
     FleetGateway, GatewayConn, GatewayListener, GatewayPoll, GatewayRound, NoListener,
     MAX_ROUTED_PER_CONN,
+};
+pub use lifecycle::{
+    ChurnEvent, DeviceState, EpochPlan, FleetDirectory, LifecycleCensus, LifecycleConfig,
 };
 pub use reactor::{MultiGateway, ReactorStats};
 pub use registry::{FleetVerifier, Verdict, SHARD_COUNT};

@@ -127,6 +127,10 @@ struct ReactorState<C> {
     /// (hello-controlled, last-wins) route map. Cleared at round start.
     delivered: HashMap<DeviceId, usize>,
     dropped_total: u64,
+    /// Hello frames this reactor read for devices the registry has
+    /// never enrolled (see
+    /// [`FleetGateway::unknown_device_hellos`](crate::FleetGateway::unknown_device_hellos)).
+    unknown_hellos: u64,
     /// Outcomes this reactor's partial report contributed last round.
     last_outcomes: usize,
 }
@@ -138,6 +142,7 @@ impl<C: GatewayConn> ReactorState<C> {
             parked: HashMap::new(),
             delivered: HashMap::new(),
             dropped_total: 0,
+            unknown_hellos: 0,
             last_outcomes: 0,
         }
     }
@@ -164,6 +169,10 @@ pub struct ReactorStats {
     pub connections: usize,
     /// Connections this reactor has reaped so far.
     pub dropped_connections: u64,
+    /// Hello frames this reactor read for devices the registry has
+    /// never enrolled — the `UnknownDevice` signal for announcements,
+    /// which route silently but must not go uncounted.
+    pub unknown_device_hellos: u64,
     /// Outcomes this reactor's partial report contributed to the last
     /// round (its share of the merged report).
     pub last_round_outcomes: usize,
@@ -347,6 +356,7 @@ impl<L: GatewayListener> MultiGateway<L> {
             .map(|r| ReactorStats {
                 connections: r.connections(),
                 dropped_connections: r.dropped_total,
+                unknown_device_hellos: r.unknown_hellos,
                 last_round_outcomes: r.last_outcomes,
             })
             .collect()
@@ -392,7 +402,7 @@ impl<L: GatewayListener> MultiGateway<L> {
         let n = self.reactors.len();
         let mut partitions: Vec<Vec<DeviceId>> = vec![Vec::new(); n];
         for &id in &order {
-            partitions[FleetVerifier::reactor_of(id, n)].push(id);
+            partitions[fleet.reactor_of(id, n)].push(id);
         }
         // Each reactor's MAC pool gets an equal share of the machine:
         // the worker knob and the reactor count divide the same cores.
@@ -598,6 +608,7 @@ fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundRe
         mates,
         engine,
         inbound: Vec::new(),
+        pending_charges: Vec::new(),
         workers,
         progressed: false,
     };
@@ -609,6 +620,11 @@ fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundRe
         run.drain_inbox(inbox);
         run.sweep_reads();
         run.conclude_inbound();
+        run.apply_charges();
+        // Owned devices evicted from the registry mid-round settle as
+        // `Evicted` here, on the reactor that owns their round state —
+        // every reactor count resolves the same eviction the same way.
+        run.progressed |= run.engine.sync_membership() > 0;
         run.sweep_writes_and_reap();
         run.engine
             .tick(LogicalTime(started.elapsed().as_millis() as u64));
@@ -653,13 +669,18 @@ struct ReactorRun<'run, C: GatewayConn> {
     /// Evidence gathered this sweep (local reads + forwarded mail),
     /// concluded as one batch on the MAC pool.
     inbound: Vec<Vec<u8>>,
+    /// Mailed `Charge`s, applied only *after* the sweep's evidence
+    /// batch concludes: a mate's channel delivers evidence before the
+    /// hangup charge (stream order), and the charge must not outrun the
+    /// evidence just because conclusion is batched.
+    pending_charges: Vec<DeviceId>,
     workers: usize,
     progressed: bool,
 }
 
 impl<C: GatewayConn> ReactorRun<'_, C> {
     fn owner_of(&self, id: DeviceId) -> usize {
-        FleetVerifier::reactor_of(id, self.reactors)
+        self.engine.fleet().reactor_of(id, self.reactors)
     }
 
     /// Fire-and-forget mail: a send to a reactor that already returned
@@ -793,7 +814,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
                     }
                 }
                 ReactorMsg::Charge(device) => {
-                    self.engine.charge_no_response(device);
+                    self.pending_charges.push(device);
                 }
                 ReactorMsg::Unroute { slot } => {
                     if let Some(peer) = self.state.conns.get_mut(slot).and_then(Option::as_mut) {
@@ -862,12 +883,14 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
                                 self.record_route(id, slot);
                                 // A hello (empty payload) is routing
                                 // information only.
-                                if !envelope.payload.is_empty() {
-                                    if self.owner_of(id) == self.me {
-                                        self.inbound.push(frame);
-                                    } else {
-                                        self.send(self.owner_of(id), ReactorMsg::Evidence(frame));
+                                if envelope.payload.is_empty() {
+                                    if !self.engine.fleet().is_registered(id) {
+                                        self.state.unknown_hellos += 1;
                                     }
+                                } else if self.owner_of(id) == self.me {
+                                    self.inbound.push(frame);
+                                } else {
+                                    self.send(self.owner_of(id), ReactorMsg::Evidence(frame));
                                 }
                             }
                             // Unattributable: judged by whoever read it.
@@ -907,6 +930,16 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
             .conclude_batch_with(&frames, self.workers)
         {
             self.engine.outcome_received(device, result);
+        }
+    }
+
+    /// Applies the sweep's mailed hangup charges. Runs after
+    /// [`conclude_inbound`](Self::conclude_inbound) so a device whose
+    /// evidence arrived ahead of its connection's FIN settles on the
+    /// evidence — the charge then finds it settled and does nothing.
+    fn apply_charges(&mut self) {
+        for device in std::mem::take(&mut self.pending_charges) {
+            self.engine.charge_no_response(device);
         }
     }
 

@@ -1,14 +1,21 @@
 //! The sharded fleet verifier: many per-device [`AsapVerifier`]s behind
-//! a fixed array of independently locked shards.
+//! an array of independently locked shards.
 //!
 //! Scale shape: challenge issuance and evidence conclusion are hash-map
 //! operations plus (for conclusion) a MAC recomputation. The registry
-//! keeps the *map operations* under per-shard mutexes — a fixed
-//! [`SHARD_COUNT`]-entry array, shard picked by a multiplicative hash of
-//! the device id — and performs the MAC work on a clone of the device's
+//! keeps the *map operations* under per-shard mutexes — a shard array
+//! sized at construction ([`FleetVerifier::with_shards`], default
+//! [`SHARD_COUNT`]), shard picked by a multiplicative hash of the
+//! device id — and performs the MAC work on a clone of the device's
 //! verifier *outside* any lock. Two sessions on devices in different
 //! shards therefore never contend at all, and even same-shard devices
 //! only serialize the cheap map lookups, not the crypto.
+//!
+//! Membership can churn while rounds are in flight:
+//! [`remove`](FleetVerifier::remove) bumps a fleet-wide *membership
+//! generation* that [`RoundEngine::sync_membership`] watches, so an
+//! evicted device's round resolves deterministically as
+//! [`FleetError::Evicted`] instead of dangling to its deadline.
 
 use crate::engine::{RoundConfig, RoundEngine};
 use crate::error::FleetError;
@@ -20,12 +27,14 @@ use apex_pox::wire::Envelope;
 use asap::session::{Issued, PoxSession};
 use asap::{AsapVerifier, Attested, VerifierSpec};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Number of registry shards. Fixed at construction: shard selection is
-/// a pure function of the device id, so no resize coordination is ever
-/// needed.
+/// Default number of registry shards
+/// ([`FleetVerifier::new`]; override with
+/// [`FleetVerifier::with_shards`]). Whatever the count, it is fixed at
+/// construction: shard selection is a pure function of the device id
+/// and the count, so no resize coordination is ever needed.
 pub const SHARD_COUNT: usize = 16;
 
 /// One concluded frame: the device it was attributed to (when the
@@ -51,10 +60,15 @@ struct Shard {
 /// `Send + Sync`). See the [module docs](self) for the locking story,
 /// and [`crate`] docs for a full loopback walk-through.
 pub struct FleetVerifier {
-    shards: [Mutex<Shard>; SHARD_COUNT],
+    shards: Box<[Mutex<Shard>]>,
     /// Worker cap for [`conclude_batch`](FleetVerifier::conclude_batch);
     /// `0` means "follow [`std::thread::available_parallelism`]".
     conclude_workers: AtomicUsize,
+    /// Bumped on every [`remove`](FleetVerifier::remove):
+    /// [`RoundEngine::sync_membership`] rescans its awaited devices only
+    /// when this moved, so churn detection is one atomic load per sweep
+    /// in the steady state.
+    churn_generation: AtomicU64,
 }
 
 impl Default for FleetVerifier {
@@ -64,22 +78,46 @@ impl Default for FleetVerifier {
 }
 
 impl FleetVerifier {
-    /// An empty fleet.
+    /// An empty fleet over the default [`SHARD_COUNT`] shards.
     pub fn new() -> FleetVerifier {
+        FleetVerifier::with_shards(SHARD_COUNT)
+    }
+
+    /// An empty fleet over `shards` lock shards (clamped to at least
+    /// one). More shards mean less lock contention for wide conclude
+    /// pools and many-reactor gateways; each shard is one mutex plus
+    /// one hash map, so a million-device fleet can afford hundreds.
+    pub fn with_shards(shards: usize) -> FleetVerifier {
         FleetVerifier {
-            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
             conclude_workers: AtomicUsize::new(0),
+            churn_generation: AtomicU64::new(0),
         }
     }
 
-    /// Which registry shard holds `id` — a pure function of the id, so
-    /// shard assignment needs no coordination and every caller computes
-    /// the same answer.
-    pub fn shard_of(id: DeviceId) -> usize {
+    /// Number of lock shards this registry was constructed with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which of `shards` shards holds `id` — the pure hash both
+    /// [`shard_of`](FleetVerifier::shard_of) and external partitioners
+    /// compute. Every caller agreeing on `shards` computes the same
+    /// answer with no coordination.
+    pub fn shard_in(id: DeviceId, shards: usize) -> usize {
         // Fibonacci hashing: spreads dense (0, 1, 2, …) id assignments
-        // across shards instead of clustering them modulo SHARD_COUNT.
+        // across shards instead of clustering them modulo the count.
         let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> 32) as usize % SHARD_COUNT
+        (h >> 32) as usize % shards.max(1)
+    }
+
+    /// Which registry shard holds `id` in *this* fleet —
+    /// [`shard_in`](FleetVerifier::shard_in) over the constructed shard
+    /// count.
+    pub fn shard_of(&self, id: DeviceId) -> usize {
+        Self::shard_in(id, self.shards.len())
     }
 
     /// Which of `reactors` reactor threads owns `id`'s round state in a
@@ -89,19 +127,19 @@ impl FleetVerifier {
     /// shards `s` with `s % reactors == r`, so the devices one reactor
     /// concludes live in a disjoint set of registry shards from every
     /// other reactor's — their `conclude` calls never touch the same
-    /// shard lock. (With `reactors > SHARD_COUNT` the surplus reactors
+    /// shard lock. (With `reactors > shard_count` the surplus reactors
     /// own no devices; they still service connections.)
     ///
     /// # Panics
     ///
     /// When `reactors` is zero.
-    pub fn reactor_of(id: DeviceId, reactors: usize) -> usize {
+    pub fn reactor_of(&self, id: DeviceId, reactors: usize) -> usize {
         assert!(reactors > 0, "a gateway needs at least one reactor");
-        Self::shard_of(id) % reactors
+        self.shard_of(id) % reactors
     }
 
     fn shard(&self, id: DeviceId) -> &Mutex<Shard> {
-        &self.shards[Self::shard_of(id)]
+        &self.shards[self.shard_of(id)]
     }
 
     /// Caps the [`conclude_batch`](FleetVerifier::conclude_batch)
@@ -131,6 +169,24 @@ impl FleetVerifier {
     ///
     /// [`FleetError::DuplicateDevice`] when the id is already enrolled.
     pub fn register(&self, id: DeviceId, key: &[u8], spec: VerifierSpec) -> Result<(), FleetError> {
+        self.register_shared(id, key, Arc::new(spec))
+    }
+
+    /// [`register`](FleetVerifier::register) over an already-shared
+    /// spec: every device enrolled from the same `Arc` shares one copy
+    /// of the expected `ER` bytes. This is the memory diet for large
+    /// fleets — a million devices of one image hold a million keys but
+    /// a single spec.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::DuplicateDevice`] when the id is already enrolled.
+    pub fn register_shared(
+        &self,
+        id: DeviceId,
+        key: &[u8],
+        spec: Arc<VerifierSpec>,
+    ) -> Result<(), FleetError> {
         let mut shard = self.shard(id).lock().unwrap();
         if shard.devices.contains_key(&id) {
             return Err(FleetError::DuplicateDevice(id));
@@ -138,11 +194,58 @@ impl FleetVerifier {
         shard.devices.insert(
             id,
             DeviceEntry {
-                verifier: AsapVerifier::new(key, spec),
+                verifier: AsapVerifier::new_shared(key, spec),
                 in_flight: None,
             },
         );
         Ok(())
+    }
+
+    /// Unenrolls a device, dropping any session in flight, and bumps
+    /// the [membership generation](FleetVerifier::membership_generation)
+    /// so engines mid-round resolve the device as
+    /// [`FleetError::Evicted`] on their next sweep. Returns whether the
+    /// device was enrolled.
+    pub fn remove(&self, id: DeviceId) -> bool {
+        let removed = self.shard(id).lock().unwrap().devices.remove(&id).is_some();
+        if removed {
+            self.churn_generation.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// Replaces a device's key in place: a fresh verifier under `key`
+    /// sharing the old spec allocation, challenge counter restarted,
+    /// any in-flight session aborted (its challenge was MACed under the
+    /// dead key and can only conclude as a rejection).
+    ///
+    /// The device stays enrolled throughout, so no membership
+    /// generation bump: a round that challenged it before the rekey
+    /// simply expires it at its deadline. Schedulers that want a
+    /// cleaner story rekey between rounds — see
+    /// [`FleetDirectory`](crate::FleetDirectory), which stages rekeys
+    /// to epoch boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] when the id is not enrolled.
+    pub fn rekey(&self, id: DeviceId, key: &[u8]) -> Result<(), FleetError> {
+        let mut shard = self.shard(id).lock().unwrap();
+        let entry = shard
+            .devices
+            .get_mut(&id)
+            .ok_or(FleetError::UnknownDevice(id))?;
+        entry.verifier = entry.verifier.rekeyed(key);
+        entry.in_flight = None;
+        Ok(())
+    }
+
+    /// The fleet-wide membership generation: bumped on every
+    /// [`remove`](FleetVerifier::remove).
+    /// [`RoundEngine::sync_membership`] compares this against the value
+    /// it last saw to decide whether an eviction rescan is due.
+    pub fn membership_generation(&self) -> u64 {
+        self.churn_generation.load(Ordering::Acquire)
     }
 
     /// Number of enrolled devices.
@@ -228,6 +331,37 @@ impl FleetVerifier {
             .filter(|&&id| seen.insert(id))
             .map(|&id| Ok((id, self.begin(id)?)))
             .collect()
+    }
+
+    /// [`begin_round`](FleetVerifier::begin_round), arena-packed: the
+    /// request frames are appended end-to-end into `arena` and
+    /// described by returned `(device, start, len)` spans, so a round
+    /// over a large cohort holds **one** transmit allocation instead of
+    /// one `Vec` per challenge. This is what
+    /// [`RoundEngine::begin`](crate::RoundEngine::begin) queues from.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownDevice`] naming the first unknown id; the
+    /// arena is left untouched in that case.
+    pub fn begin_round_packed(
+        &self,
+        ids: &[DeviceId],
+        arena: &mut Vec<u8>,
+    ) -> Result<Vec<(DeviceId, u32, u32)>, FleetError> {
+        if let Some(&id) = ids.iter().find(|&&id| !self.is_registered(id)) {
+            return Err(FleetError::UnknownDevice(id));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut spans = Vec::new();
+        for &id in ids.iter().filter(|&&id| seen.insert(id)) {
+            let frame = self.begin(id)?;
+            let start = u32::try_from(arena.len()).expect("transmit arena stays under 4 GiB");
+            let len = u32::try_from(frame.len()).expect("challenge frames are small");
+            arena.extend_from_slice(&frame);
+            spans.push((id, start, len));
+        }
+        Ok(spans)
     }
 
     /// Absorbs one enveloped response frame and concludes the session
@@ -511,16 +645,85 @@ mod tests {
     #[test]
     fn reactor_affinity_partitions_shards() {
         // Every device lands on exactly one reactor, and that reactor
-        // is a pure function of its registry shard.
-        for reactors in 1..=4 {
-            for id in 0..1000 {
-                let id = DeviceId(id);
-                let r = FleetVerifier::reactor_of(id, reactors);
-                assert!(r < reactors);
-                assert_eq!(r, FleetVerifier::shard_of(id) % reactors);
+        // is a pure function of its registry shard — whatever shard
+        // count the fleet was constructed with.
+        for shards in [1, 4, SHARD_COUNT, 64] {
+            let fleet = FleetVerifier::with_shards(shards);
+            assert_eq!(fleet.shard_count(), shards);
+            for reactors in 1..=4 {
+                for id in 0..1000 {
+                    let id = DeviceId(id);
+                    let r = fleet.reactor_of(id, reactors);
+                    assert!(r < reactors);
+                    assert_eq!(r, fleet.shard_of(id) % reactors);
+                    assert_eq!(fleet.shard_of(id), FleetVerifier::shard_in(id, shards));
+                }
             }
+            // One reactor owns everything.
+            assert!((0..1000).all(|id| fleet.reactor_of(DeviceId(id), 1) == 0));
         }
-        // One reactor owns everything.
-        assert!((0..1000).all(|id| FleetVerifier::reactor_of(DeviceId(id), 1) == 0));
+    }
+
+    #[test]
+    fn default_shard_count_is_pinned() {
+        // The default fleet keeps the historical 16-shard layout, so
+        // shard/reactor affinity of existing deployments is unchanged.
+        let fleet = FleetVerifier::new();
+        assert_eq!(fleet.shard_count(), SHARD_COUNT);
+        for id in 0..1000 {
+            let id = DeviceId(id);
+            assert_eq!(fleet.shard_of(id), FleetVerifier::shard_in(id, SHARD_COUNT));
+        }
+    }
+
+    #[test]
+    fn with_shards_clamps_zero_to_one() {
+        let fleet = FleetVerifier::with_shards(0);
+        assert_eq!(fleet.shard_count(), 1);
+        assert_eq!(fleet.shard_of(DeviceId(7)), 0);
+    }
+
+    #[test]
+    fn remove_bumps_generation_and_drops_sessions() {
+        let image = asap::programs::fig4_authorized().unwrap();
+        let spec = VerifierSpec::from_image(&image).unwrap();
+        let fleet = FleetVerifier::with_shards(4);
+        let id = DeviceId(9);
+        fleet.register(id, b"k", spec).unwrap();
+        fleet.begin(id).unwrap();
+        assert!(fleet.session_pending(id));
+        let before = fleet.membership_generation();
+
+        assert!(fleet.remove(id));
+        assert_eq!(fleet.membership_generation(), before + 1);
+        assert!(!fleet.is_registered(id));
+        assert_eq!(fleet.in_flight(), 0);
+        // Removing an unknown id is a no-op, generation included.
+        assert!(!fleet.remove(id));
+        assert_eq!(fleet.membership_generation(), before + 1);
+    }
+
+    #[test]
+    fn rekey_restarts_the_counter_and_aborts_in_flight() {
+        let image = asap::programs::fig4_authorized().unwrap();
+        let spec = VerifierSpec::from_image(&image).unwrap();
+        let fleet = FleetVerifier::new();
+        let id = DeviceId(3);
+        fleet.register(id, b"old", spec).unwrap();
+        fleet.begin(id).unwrap();
+
+        let generation = fleet.membership_generation();
+        fleet.rekey(id, b"new").unwrap();
+        assert!(!fleet.session_pending(id), "stale challenge aborted");
+        assert!(fleet.is_registered(id));
+        assert_eq!(
+            fleet.membership_generation(),
+            generation,
+            "rekey is not an eviction"
+        );
+        assert_eq!(
+            fleet.rekey(DeviceId(99), b"x"),
+            Err(FleetError::UnknownDevice(DeviceId(99)))
+        );
     }
 }

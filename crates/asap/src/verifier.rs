@@ -128,11 +128,14 @@ impl VerifierSpec {
 /// The immutable half of a verifier: the shared device key and the
 /// image-derived spec. Kept behind an `Arc` so cloning a verifier (as
 /// fleet registries do to run MAC checks outside their locks) is a
-/// refcount bump, not a copy of the expected `ER` bytes.
+/// refcount bump, not a copy of the expected `ER` bytes. The spec is
+/// its own `Arc` so a fleet deploying one image to a million devices
+/// stores the expected `ER` bytes once, not once per device
+/// ([`AsapVerifier::new_shared`]).
 #[derive(Debug)]
 struct VerifierCore {
     key: Vec<u8>,
-    spec: VerifierSpec,
+    spec: std::sync::Arc<VerifierSpec>,
 }
 
 /// The verifier: holds the shared device key, a [`VerifierSpec`], and
@@ -147,6 +150,14 @@ pub struct AsapVerifier {
 impl AsapVerifier {
     /// Creates a verifier for a deployment described by `spec`.
     pub fn new(key: &[u8], spec: VerifierSpec) -> AsapVerifier {
+        AsapVerifier::new_shared(key, std::sync::Arc::new(spec))
+    }
+
+    /// [`AsapVerifier::new`] over an already-shared spec. A fleet
+    /// enrolling many devices of the same image passes one
+    /// `Arc<VerifierSpec>` to every call, so the expected `ER` bytes
+    /// exist once in memory no matter how many devices share them.
+    pub fn new_shared(key: &[u8], spec: std::sync::Arc<VerifierSpec>) -> AsapVerifier {
         AsapVerifier {
             core: std::sync::Arc::new(VerifierCore {
                 key: key.to_vec(),
@@ -154,6 +165,14 @@ impl AsapVerifier {
             }),
             counter: 0,
         }
+    }
+
+    /// A fresh verifier for the same deployment under a new device key:
+    /// the spec allocation is shared with `self`, the challenge counter
+    /// starts over (new key, new MAC domain — old challenges cannot
+    /// collide with the new sequence).
+    pub fn rekeyed(&self, key: &[u8]) -> AsapVerifier {
+        AsapVerifier::new_shared(key, std::sync::Arc::clone(&self.core.spec))
     }
 
     /// The spec in force.

@@ -38,18 +38,29 @@
 //!   one 2-reactor multigateway round at the same device count, for
 //!   the CI gateway step (which also compares the loopback number
 //!   against the checked-in baseline);
+//! * `LIFECYCLE_SMOKE=1` — one mid-scale (10k-device) lifecycle
+//!   enrollment + epoch series recording RSS, for the CI lifecycle
+//!   step;
 //! * `FLEET_DEVICES=a,b,c` — explicit device-count series (all
 //!   transports; gateway rows use 8 connections, multigateway rows 8
 //!   connections × 4 reactors).
+//!
+//! The full (no-knob) run additionally measures the **lifecycle**
+//! memory-diet series: 10k-, 100k- and 1M-device fleets enrolled
+//! through a `FleetDirectory` under one shared spec, epoch-sampled
+//! partial rounds driven over loopback, `VmRSS` recorded at
+//! enrollment.
 
-use asap::{programs, PoxMode, VerifierSpec};
+use asap::{programs, Device, PoxMode, VerifierSpec};
 use asap_bench::fleet::{
     device_key, host_gateway_provers, host_simulated_provers, GatewayTransport, ScenarioHarness,
     ScenarioMix,
 };
 use asap_fleet::{
-    drive_round, DeviceId, FleetGateway, FleetVerifier, MultiGateway, StreamTransport,
+    drive_round, DeviceId, FleetDirectory, FleetGateway, FleetVerifier, LifecycleConfig, Loopback,
+    MultiGateway, StreamTransport,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Row {
@@ -66,9 +77,31 @@ struct Row {
     /// Outcomes contributed by each reactor in the last timed round —
     /// the shard-affinity balance at a glance.
     per_reactor: Option<Vec<usize>>,
+    /// Epoch cohort size for `lifecycle` rows — the partial-round bound
+    /// that keeps a sweep from walking the whole fleet.
+    cohort: Option<usize>,
+    /// Epochs driven for `lifecycle` rows.
+    epochs: Option<usize>,
+    /// Resident set size right after the fleet was enrolled, for
+    /// `lifecycle` rows — the memory-diet number the 100k–1M series
+    /// exists to pin.
+    rss_bytes: Option<u64>,
+    /// Sessions concluded `Verified` across the timed span; equal to
+    /// `devices` everywhere except `lifecycle` rows, where it is
+    /// `cohort × epochs`.
+    verified: usize,
     build_secs: f64,
     round_secs: f64,
     sessions_per_sec: f64,
+}
+
+/// Resident set size of this process, from `/proc/self/status`
+/// (`VmRSS`). `None` off Linux or if the field moves.
+fn rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Enrolls `ids` under their seed-derived keys (verifier side only).
@@ -120,6 +153,10 @@ fn measure_loopback(devices: usize, seed: u64) -> Row {
         connections: None,
         reactors: None,
         per_reactor: None,
+        cohort: None,
+        epochs: None,
+        rss_bytes: None,
+        verified: devices,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -173,6 +210,10 @@ fn measure_socket(devices: usize, seed: u64) -> Row {
         connections: Some(1),
         reactors: None,
         per_reactor: None,
+        cohort: None,
+        epochs: None,
+        rss_bytes: None,
+        verified: devices,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -242,6 +283,10 @@ fn measure_gateway(devices: usize, connections: usize, seed: u64) -> Row {
         connections: Some(connections),
         reactors: Some(1),
         per_reactor: None,
+        cohort: None,
+        epochs: None,
+        rss_bytes: None,
+        verified: devices,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -316,6 +361,10 @@ fn measure_multi(devices: usize, connections: usize, reactors: usize, seed: u64)
         connections: Some(connections),
         reactors: Some(reactors),
         per_reactor: Some(per_reactor),
+        cohort: None,
+        epochs: None,
+        rss_bytes: None,
+        verified: devices,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
@@ -383,9 +432,91 @@ fn measure_multi_scale(target: usize, reactors: usize, seed: u64) -> Row {
         connections: Some(devices),
         reactors: Some(reactors),
         per_reactor: Some(per_reactor),
+        cohort: None,
+        epochs: None,
+        rss_bytes: None,
+        verified: devices,
         build_secs,
         round_secs,
         sessions_per_sec: devices as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
+/// The lifecycle scale point: a fleet of `devices` enrolled through a
+/// [`FleetDirectory`] under one shared `Arc<VerifierSpec>` (the
+/// memory-diet enrollment path), then `epochs` epoch-sampled partial
+/// rounds of `cohort` devices each driven over loopback.
+///
+/// Real simulated MCUs are materialized *only* for each epoch's cohort:
+/// at ~64 KiB of memory image per device, instantiating the whole
+/// fleet would measure the bench's memory, not the verifier's. The row
+/// records `VmRSS` right after enrollment — the registry footprint the
+/// 100k–1M series exists to pin — and sessions/sec over the driven
+/// cohorts.
+fn measure_lifecycle(devices: usize, cohort: usize, epochs: usize, seed: u64) -> Row {
+    let image = programs::fig4_authorized().expect("image links");
+    let spec = Arc::new(
+        VerifierSpec::from_image(&image)
+            .expect("spec derives")
+            .mode(PoxMode::Asap),
+    );
+
+    let t0 = Instant::now();
+    let dir = FleetDirectory::new(LifecycleConfig::new().cohort(cohort).seed(seed));
+    for raw in 1..=devices as u64 {
+        let id = DeviceId(raw);
+        dir.join_shared(id, &device_key(seed, id), Arc::clone(&spec))
+            .expect("ids are unique");
+    }
+    let build_secs = t0.elapsed().as_secs_f64();
+    let rss = rss_bytes();
+
+    let mut round_secs = 0.0;
+    let mut verified = 0;
+    for _ in 0..epochs {
+        let plan = dir.begin_epoch();
+        assert_eq!(plan.cohort.len(), cohort, "partial rounds, never the fleet");
+        let mut fabric = Loopback::new();
+        for &id in &plan.cohort {
+            let mut device = Device::builder(&image)
+                .key(&device_key(seed, id))
+                .build()
+                .expect("device builds");
+            assert!(device.run_until_pc(programs::done_pc(), 10_000));
+            fabric.attach(id, device);
+        }
+        let t1 = Instant::now();
+        let report = dir
+            .fleet()
+            .run_round(&plan.cohort, &mut fabric)
+            .expect("epoch round runs");
+        round_secs += t1.elapsed().as_secs_f64();
+        assert_eq!(
+            report.verified(),
+            plan.cohort.len(),
+            "an all-honest cohort must verify in full"
+        );
+        assert_eq!(
+            dir.fleet().in_flight(),
+            0,
+            "epoch rounds must not leak sessions"
+        );
+        verified += report.verified();
+    }
+
+    Row {
+        transport: "lifecycle",
+        devices,
+        connections: None,
+        reactors: None,
+        per_reactor: None,
+        cohort: Some(cohort),
+        epochs: Some(epochs),
+        rss_bytes: rss,
+        verified,
+        build_secs,
+        round_secs,
+        sessions_per_sec: verified as f64 / round_secs.max(f64::EPSILON),
     }
 }
 
@@ -426,6 +557,7 @@ fn main() {
     let gateway_smoke = std::env::var("GATEWAY_SMOKE").is_ok();
     let socket_smoke = std::env::var("SOCKET_SMOKE").is_ok();
     let fleet_smoke = std::env::var("FLEET_SMOKE").is_ok();
+    let lifecycle_smoke = std::env::var("LIFECYCLE_SMOKE").is_ok();
 
     type Sweep = (
         Vec<usize>,
@@ -433,8 +565,10 @@ fn main() {
         Vec<(usize, usize)>,
         Vec<(usize, usize, usize)>,
         Option<(usize, usize)>,
+        Vec<(usize, usize, usize)>,
     );
-    let (loopback_counts, socket_counts, gateway_counts, multi_counts, scale_run): Sweep =
+    #[rustfmt::skip]
+    let (loopback_counts, socket_counts, gateway_counts, multi_counts, scale_run, lifecycle_runs): Sweep =
         match &explicit {
             Some(counts) => (
                 counts.clone(),
@@ -442,10 +576,17 @@ fn main() {
                 counts.iter().map(|&n| (n, 8)).collect(),
                 counts.iter().map(|&n| (n, 8, 4)).collect(),
                 None,
+                vec![],
             ),
-            None if gateway_smoke => (vec![100], vec![], vec![(100, 8)], vec![(100, 8, 2)], None),
-            None if socket_smoke => (vec![25], vec![25], vec![], vec![], None),
-            None if fleet_smoke => (vec![25], vec![], vec![], vec![], None),
+            None if gateway_smoke => {
+                (vec![100], vec![], vec![(100, 8)], vec![(100, 8, 2)], None, vec![])
+            }
+            None if socket_smoke => (vec![25], vec![25], vec![], vec![], None, vec![]),
+            None if fleet_smoke => (vec![25], vec![], vec![], vec![], None, vec![]),
+            // One mid-scale lifecycle point for the CI lifecycle step:
+            // big enough that the registry footprint dominates RSS,
+            // small enough to stay in smoke-test time.
+            None if lifecycle_smoke => (vec![], vec![], vec![], vec![], None, vec![(10_000, 512, 2)]),
             None => (
                 vec![100, 250, 500],
                 vec![100, 250],
@@ -459,6 +600,12 @@ fn main() {
                 // The connection-scale point: 10k connections, one
                 // device each (fd-limit-degraded where necessary).
                 Some((10_000, 4)),
+                // The lifecycle memory-diet series: devices × cohort ×
+                // epochs, RSS recorded at enrollment. The 1M row is a
+                // smoke point — one epoch, small cohort — pinning that
+                // enrollment and epoch scheduling stay tractable at
+                // the paper's fleet scale.
+                vec![(10_000, 512, 2), (100_000, 1024, 2), (1_000_000, 256, 1)],
             ),
         };
 
@@ -466,10 +613,13 @@ fn main() {
         "{:<13} {:<8} {:<6} {:<8} {:>12} {:>12} {:>16}",
         "transport", "devices", "conns", "reactors", "build (s)", "round (s)", "sessions/sec"
     );
-    let mut rows: Vec<Row> = loopback_counts
+    // Lifecycle rows run first: their RSS figure is only meaningful on
+    // a heap the other sweeps haven't already grown and freed into.
+    let mut rows: Vec<Row> = lifecycle_runs
         .iter()
-        .map(|&n| measure_loopback(n, 0xA5A5))
+        .map(|&(n, c, e)| measure_lifecycle(n, c, e, 0xA5A5))
         .collect();
+    rows.extend(loopback_counts.iter().map(|&n| measure_loopback(n, 0xA5A5)));
     rows.extend(socket_counts.iter().map(|&n| measure_socket(n, 0xA5A5)));
     rows.extend(
         gateway_counts
@@ -486,14 +636,20 @@ fn main() {
     }
     for r in &rows {
         println!(
-            "{:<13} {:<8} {:<6} {:<8} {:>12.3} {:>12.3} {:>16.1}",
+            "{:<13} {:<8} {:<6} {:<8} {:>12.3} {:>12.3} {:>16.1}{}",
             r.transport,
             r.devices,
-            r.connections.map_or("-".into(), |c| c.to_string()),
+            r.connections
+                .or(r.cohort)
+                .map_or("-".into(), |c| c.to_string()),
             r.reactors.map_or("-".into(), |n| n.to_string()),
             r.build_secs,
             r.round_secs,
-            r.sessions_per_sec
+            r.sessions_per_sec,
+            r.rss_bytes.map_or(String::new(), |b| format!(
+                "  rss {:.1} MiB",
+                b as f64 / (1024.0 * 1024.0)
+            ))
         );
     }
 
@@ -536,7 +692,12 @@ fn main() {
         );
     }
 
+    // The host's parallelism travels with the numbers: a 4-reactor row
+    // measured on one core is mailbox overhead, not speedup, and the
+    // regression gate needs to tell the difference.
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n  \"bench\": \"fleet_throughput\",\n");
+    json.push_str(&format!("  \"parallelism\": {parallelism},\n"));
     json.push_str("  \"rounds\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let connections = r
@@ -549,18 +710,30 @@ fn main() {
             let list: Vec<String> = shares.iter().map(|s| s.to_string()).collect();
             format!("\"per_reactor\": [{}], ", list.join(", "))
         });
+        let cohort = r
+            .cohort
+            .map_or(String::new(), |c| format!("\"cohort\": {c}, "));
+        let epochs = r
+            .epochs
+            .map_or(String::new(), |e| format!("\"epochs\": {e}, "));
+        let rss = r
+            .rss_bytes
+            .map_or(String::new(), |b| format!("\"rss_bytes\": {b}, "));
         json.push_str(&format!(
-            "    {{\"transport\": \"{}\", \"devices\": {}, {}{}{}\"build_secs\": {:.6}, \
+            "    {{\"transport\": \"{}\", \"devices\": {}, {}{}{}{}{}{}\"build_secs\": {:.6}, \
              \"round_secs\": {:.6}, \"sessions_per_sec\": {:.1}, \"verified\": {}}}{}\n",
             r.transport,
             r.devices,
             connections,
             reactors,
             per_reactor,
+            cohort,
+            epochs,
+            rss,
             r.build_secs,
             r.round_secs,
             r.sessions_per_sec,
-            r.devices,
+            r.verified,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

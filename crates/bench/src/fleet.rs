@@ -106,6 +106,22 @@ pub enum Scenario {
     /// no connection to sever) it degenerates to a dropped response and
     /// expires by deadline. Either way the verdict is `NoResponse`.
     MidRoundHangup,
+    /// Is removed from the fleet while its round is in flight — the
+    /// churn shape. The harness evicts the device (registry removal,
+    /// as [`FleetDirectory::leave`](asap_fleet::FleetDirectory::leave)
+    /// does) partway through the round while the prover stays silent;
+    /// membership sync must resolve it as [`FleetError::Evicted`] —
+    /// deterministically, at any reactor count, never `NoResponse`
+    /// limbo.
+    EvictMidRound,
+    /// Answers honestly, then hangs up and immediately redials with a
+    /// fresh hello — the reconnect-storm shape. Its evidence bytes
+    /// precede the FIN in stream order, so the device settles before
+    /// the dead connection could charge it: the verdict is verified,
+    /// deterministically, and the re-hello moves its route without
+    /// disturbing the settled round. Over loopback (no connections) it
+    /// degenerates to an honest response.
+    ReconnectStorm,
 }
 
 /// How many devices of each behaviour to simulate.
@@ -126,6 +142,10 @@ pub struct ScenarioMix {
     pub dropped: usize,
     /// Devices that hang up mid-round after receiving their challenge.
     pub hangup: usize,
+    /// Devices evicted from the fleet mid-round while staying silent.
+    pub evict: usize,
+    /// Devices that answer, hang up and redial with a fresh hello.
+    pub reconnect: usize,
 }
 
 impl ScenarioMix {
@@ -146,6 +166,8 @@ impl ScenarioMix {
             + self.late
             + self.dropped
             + self.hangup
+            + self.evict
+            + self.reconnect
     }
 }
 
@@ -215,6 +237,8 @@ pub fn expected_verdict(
         Scenario::DroppedResponse | Scenario::MidRoundHangup => {
             result == &Err(FleetError::NoResponse(device))
         }
+        Scenario::EvictMidRound => result == &Err(FleetError::Evicted(device)),
+        Scenario::ReconnectStorm => result.is_ok(),
     }
 }
 
@@ -260,6 +284,8 @@ impl ScenarioHarness {
             (Scenario::LateResponse, mix.late),
             (Scenario::DroppedResponse, mix.dropped),
             (Scenario::MidRoundHangup, mix.hangup),
+            (Scenario::EvictMidRound, mix.evict),
+            (Scenario::ReconnectStorm, mix.reconnect),
         ] {
             scenarios.extend(std::iter::repeat_n(scenario, n));
         }
@@ -376,7 +402,9 @@ impl ScenarioHarness {
         let mut swap_pending: Option<usize> = None;
         for (i, (id, request)) in requests.iter().enumerate() {
             match self.plans[i].2 {
-                Scenario::Honest | Scenario::LateResponse => {
+                // Loopback has no connections: a reconnect storm
+                // degenerates to its honest answer.
+                Scenario::Honest | Scenario::LateResponse | Scenario::ReconnectStorm => {
                     frames.push(Some(
                         self.fabric.exchange(*id, request).expect("honest response"),
                     ));
@@ -419,7 +447,11 @@ impl ScenarioHarness {
                 }
                 // Loopback has no connection to sever: a mid-round
                 // hangup is indistinguishable from silence here.
-                Scenario::DroppedResponse | Scenario::MidRoundHangup => frames.push(None),
+                // Evicted devices are silent too — their verdict comes
+                // from the membership sync, not a frame.
+                Scenario::DroppedResponse | Scenario::MidRoundHangup | Scenario::EvictMidRound => {
+                    frames.push(None)
+                }
             }
         }
         assert!(swap_pending.is_none(), "mis-binding devices come in pairs");
@@ -438,8 +470,24 @@ impl ScenarioHarness {
         shuffle(&mut events, &mut self.rng);
         events.sort_by_key(|e| e.0); // stable: keeps the shuffle within each tick
 
+        // Evictions land halfway through the schedule: the registry
+        // entries vanish and the engine's next membership sync charges
+        // the devices `Evicted`, exactly as a churn feed would mid-round.
+        let evicted: Vec<DeviceId> = self
+            .plans
+            .iter()
+            .filter(|p| p.2 == Scenario::EvictMidRound)
+            .map(|p| p.0)
+            .collect();
+
         let mut next = 0;
         for now in 0..=ROUND_DEADLINE {
+            if now == ROUND_DEADLINE / 2 && !evicted.is_empty() {
+                for &id in &evicted {
+                    self.fleet.remove(id);
+                }
+                engine.sync_membership();
+            }
             while next < events.len() && events[next].0 == now {
                 engine.frame_received(&events[next].1);
                 next += 1;
@@ -501,7 +549,9 @@ impl ScenarioHarness {
                         (id, prover_end)
                     })
                     .collect();
-                self.gateway_round(&mut gateway, peers, budget)
+                // A socketpair cannot be redialed: reconnect storms
+                // degenerate to answer-then-hangup.
+                self.gateway_round(&mut gateway, peers, budget, None)
             }
             GatewayTransport::Tcp => {
                 let mut gateway =
@@ -525,7 +575,11 @@ impl ScenarioHarness {
                         std::thread::yield_now();
                     }
                 }
-                self.gateway_round(&mut gateway, peers, budget)
+                // Reconnect storms redial the listener; `poll` accepts
+                // the fresh connections mid-round.
+                let redial: Option<Box<dyn FnMut() -> Option<std::net::TcpStream>>> =
+                    Some(Box::new(move || std::net::TcpStream::connect(addr).ok()));
+                self.gateway_round(&mut gateway, peers, budget, redial)
             }
         }
     }
@@ -538,9 +592,10 @@ impl ScenarioHarness {
         gateway: &mut FleetGateway<L>,
         peers: Vec<(DeviceId, C)>,
         budget: Duration,
+        redial: Option<Box<dyn FnMut() -> Option<C>>>,
     ) -> ScenarioReport {
         let stale = self.prime_stale();
-        let mut pool = ProverPool::new(&self.plans, peers, stale, budget);
+        let mut pool = ProverPool::new(&self.plans, peers, stale, budget, redial);
 
         let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
         let fleet: &FleetVerifier = &self.fleet;
@@ -549,6 +604,12 @@ impl ScenarioHarness {
 
         loop {
             let status = round.poll(gateway);
+            // Scripted churn lands beside the round, exactly as a
+            // lifecycle feed would: registry removal now, engine sync
+            // on the driver's next sweep.
+            for id in pool.due_evictions() {
+                fleet.remove(id);
+            }
             pool.service(fabric);
             match status {
                 GatewayPoll::Settled => break,
@@ -590,7 +651,7 @@ impl ScenarioHarness {
                         (id, prover_end)
                     })
                     .collect();
-                self.multi_round(&mut gateway, peers, budget)
+                self.multi_round(&mut gateway, peers, budget, None)
             }
             GatewayTransport::Tcp => {
                 let mut gateway = MultiGateway::bind_tcp("127.0.0.1:0", reactors)
@@ -612,7 +673,9 @@ impl ScenarioHarness {
                         std::thread::yield_now();
                     }
                 }
-                self.multi_round(&mut gateway, peers, budget)
+                let redial: Option<Box<dyn FnMut() -> Option<std::net::TcpStream>>> =
+                    Some(Box::new(move || std::net::TcpStream::connect(addr).ok()));
+                self.multi_round(&mut gateway, peers, budget, redial)
             }
         }
     }
@@ -628,12 +691,13 @@ impl ScenarioHarness {
         gateway: &mut MultiGateway<L>,
         peers: Vec<(DeviceId, L::Conn)>,
         budget: Duration,
+        redial: Option<Box<dyn FnMut() -> Option<L::Conn>>>,
     ) -> MultiRoundRun
     where
         L::Conn: Send,
     {
         let stale = self.prime_stale();
-        let mut pool = ProverPool::new(&self.plans, peers, stale, budget);
+        let mut pool = ProverPool::new(&self.plans, peers, stale, budget, redial);
 
         let ids: Vec<DeviceId> = self.plans.iter().map(|p| p.0).collect();
         let fleet: &FleetVerifier = &self.fleet;
@@ -648,6 +712,11 @@ impl ScenarioHarness {
                 (report, gateway.reactor_stats())
             });
             while !done.load(Ordering::Acquire) {
+                // Mid-round churn from the supervisor side: reactors
+                // observe the generation bump on their next sweep.
+                for id in pool.due_evictions() {
+                    fleet.remove(id);
+                }
                 pool.service(fabric);
                 std::thread::sleep(Duration::from_micros(200));
             }
@@ -717,6 +786,17 @@ struct Prover<C> {
     stream: Option<C>,
     deframer: StreamDeframer,
     outbox: WriteQueue,
+    /// Reconnect-storm script: sever as soon as the outbox drains (the
+    /// evidence bytes are then on the wire ahead of the FIN), redial.
+    sever_after_drain: bool,
+}
+
+/// The hello: an empty-payload envelope announcing which device lives
+/// behind this connection.
+fn hello_outbox(id: DeviceId) -> WriteQueue {
+    let mut outbox = WriteQueue::default();
+    assert!(outbox.enqueue(&frame_stream(&Envelope::wrap(id.0, Vec::new()).to_bytes())));
+    outbox
 }
 
 /// The prover side of a scripted gateway round: every device's
@@ -736,8 +816,16 @@ struct ProverPool<C> {
     swap_bank: HashMap<DeviceId, Vec<u8>>,
     /// (prover index, response frame) held back until `late_at`.
     late_pending: Vec<(usize, Vec<u8>)>,
+    /// Devices scripted for mid-round eviction, drained (once) into
+    /// the driver via [`ProverPool::due_evictions`] at `evict_at`.
+    evict_ids: Vec<DeviceId>,
+    /// Dials a fresh connection to the gateway for reconnect-storm
+    /// redials; `None` on fabrics that cannot dial (socketpairs), where
+    /// the storm degenerates to answer-then-hangup.
+    redial: Option<Box<dyn FnMut() -> Option<C>>>,
     started: Instant,
     late_at: Duration,
+    evict_at: Duration,
 }
 
 impl<C: GatewayConn> ProverPool<C> {
@@ -746,6 +834,7 @@ impl<C: GatewayConn> ProverPool<C> {
         peers: Vec<(DeviceId, C)>,
         stale: HashMap<DeviceId, Vec<u8>>,
         budget: Duration,
+        redial: Option<Box<dyn FnMut() -> Option<C>>>,
     ) -> Self {
         // Mis-binding devices swap evidence pairwise, in plan order.
         let mut partner: HashMap<DeviceId, DeviceId> = HashMap::new();
@@ -770,26 +859,26 @@ impl<C: GatewayConn> ProverPool<C> {
             .enumerate()
             .map(|(i, &(id, _))| (id, i))
             .collect();
-        let provers: Vec<Prover<C>> =
-            peers
-                .into_iter()
-                .map(|(id, mut stream)| {
-                    stream.prepare().expect("nonblocking prover stream");
-                    let mut outbox = WriteQueue::default();
-                    // The hello: an empty-payload envelope announcing which
-                    // device lives behind this connection.
-                    assert!(
-                        outbox.enqueue(&frame_stream(&Envelope::wrap(id.0, Vec::new()).to_bytes()))
-                    );
-                    Prover {
-                        id,
-                        scenario: scenario_of[&id],
-                        stream: Some(stream),
-                        deframer: StreamDeframer::new(),
-                        outbox,
-                    }
-                })
-                .collect();
+        let provers: Vec<Prover<C>> = peers
+            .into_iter()
+            .map(|(id, mut stream)| {
+                stream.prepare().expect("nonblocking prover stream");
+                Prover {
+                    id,
+                    scenario: scenario_of[&id],
+                    stream: Some(stream),
+                    deframer: StreamDeframer::new(),
+                    outbox: hello_outbox(id),
+                    sever_after_drain: false,
+                }
+            })
+            .collect();
+
+        let evict_ids: Vec<DeviceId> = plans
+            .iter()
+            .filter(|&&(_, _, s)| s == Scenario::EvictMidRound)
+            .map(|&(id, _, _)| id)
+            .collect();
 
         ProverPool {
             provers,
@@ -798,9 +887,24 @@ impl<C: GatewayConn> ProverPool<C> {
             index_of,
             swap_bank: HashMap::new(),
             late_pending: Vec::new(),
+            evict_ids,
+            redial,
             started: Instant::now(),
             late_at: budget / 4,
+            evict_at: budget / 4,
         }
+    }
+
+    /// The devices due for their scripted mid-round eviction: empty
+    /// until a quarter of the budget has elapsed, then handed over
+    /// exactly once. The *driver* performs the actual
+    /// [`FleetVerifier::remove`] — the pool only keeps time, mirroring
+    /// a churn feed arriving beside the round.
+    fn due_evictions(&mut self) -> Vec<DeviceId> {
+        if self.evict_ids.is_empty() || self.started.elapsed() < self.evict_at {
+            return Vec::new();
+        }
+        std::mem::take(&mut self.evict_ids)
     }
 
     /// One non-blocking sweep over every prover: release due late
@@ -868,11 +972,23 @@ impl<C: GatewayConn> ProverPool<C> {
                                     }
                                 }
                             }
-                            Scenario::DroppedResponse => {}
+                            // Evicted devices stay silently connected:
+                            // their verdict comes from membership sync,
+                            // never from this socket.
+                            Scenario::DroppedResponse | Scenario::EvictMidRound => {}
                             Scenario::MidRoundHangup => {
                                 // Challenge received: sever the
                                 // connection without answering.
                                 self.provers[idx].stream = None;
+                            }
+                            Scenario::ReconnectStorm => {
+                                // Answer honestly, then hang up the
+                                // moment the evidence is on the wire
+                                // and dial straight back in.
+                                let resp = fabric.exchange(id, &request).expect("honest response");
+                                let prover = &mut self.provers[idx];
+                                assert!(prover.outbox.enqueue(&frame_stream(&resp)));
+                                prover.sever_after_drain = true;
                             }
                         }
                     }
@@ -893,7 +1009,25 @@ impl<C: GatewayConn> ProverPool<C> {
             let prover = &mut self.provers[idx];
             if let Some(stream) = prover.stream.as_mut() {
                 match prover.outbox.flush(stream) {
-                    WritePump::Drained | WritePump::Blocked(_) => {}
+                    WritePump::Drained => {
+                        if prover.sever_after_drain {
+                            // The evidence bytes precede this FIN in
+                            // stream order, so the device settles
+                            // before the hangup could charge it.
+                            prover.sever_after_drain = false;
+                            prover.stream = None;
+                            if let Some(dial) = self.redial.as_mut() {
+                                if let Some(mut fresh) = dial() {
+                                    fresh.prepare().expect("nonblocking prover stream");
+                                    let prover = &mut self.provers[idx];
+                                    prover.stream = Some(fresh);
+                                    prover.deframer = StreamDeframer::new();
+                                    prover.outbox = hello_outbox(prover.id);
+                                }
+                            }
+                        }
+                    }
+                    WritePump::Blocked(_) => {}
                     WritePump::Closed | WritePump::Broken => prover.stream = None,
                 }
             }
@@ -1066,11 +1200,25 @@ mod tests {
             late: 2,
             dropped: 2,
             hangup: 2,
+            evict: 2,
+            reconnect: 2,
         };
         let mut harness = ScenarioHarness::build(11, &mix);
         let report = harness.run_round();
         assert!(report.misjudged().is_empty(), "{:?}", report.misjudged());
-        assert_eq!(report.verified(), 6, "honest + late-but-in-time");
+        assert_eq!(
+            report.verified(),
+            8,
+            "honest + late-but-in-time + reconnect (loopback: honest)"
+        );
+        assert_eq!(
+            report.count(Scenario::EvictMidRound, |r| matches!(
+                r,
+                Err(FleetError::Evicted(_))
+            )),
+            2,
+            "mid-round eviction is a typed verdict, not NoResponse limbo"
+        );
         assert_eq!(harness.fleet().in_flight(), 0);
     }
 
@@ -1084,6 +1232,8 @@ mod tests {
             late: 1,
             dropped: 1,
             hangup: 1,
+            evict: 1,
+            reconnect: 1,
         };
         let a = ScenarioHarness::build(99, &mix).run_round();
         let b = ScenarioHarness::build(99, &mix).run_round();

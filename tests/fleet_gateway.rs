@@ -19,17 +19,20 @@ use asap_fleet::{DeviceId, FleetError, FleetGateway, FleetVerifier};
 use std::os::unix::net::UnixStream;
 use std::time::{Duration, Instant};
 
-/// 500 devices, every behaviour represented: 360 honest, 40 replaying,
+/// 500 devices, every behaviour represented: 350 honest, 40 replaying,
 /// 30 corrupted in transit, 30 mis-binding (15 swap pairs), 20
-/// late-but-in-time, 10 silent, 10 hanging up mid-round.
+/// late-but-in-time, 10 silent, 10 hanging up mid-round, 6 evicted
+/// mid-round, 4 reconnect-storming (answer, hang up, redial).
 const MIX: ScenarioMix = ScenarioMix {
-    honest: 360,
+    honest: 350,
     replay: 40,
     bit_flip: 30,
     mis_bind: 30,
     late: 20,
     dropped: 10,
     hangup: 10,
+    evict: 6,
+    reconnect: 4,
 };
 
 /// The wall-clock response budget: silent devices expire when it runs
@@ -49,7 +52,7 @@ fn assert_exact_gateway_verdicts(transport: GatewayTransport, seed: u64) {
         report.misjudged()
     );
 
-    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 360);
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 350);
     assert_eq!(
         report.count(Scenario::LateResponse, Result::is_ok),
         20,
@@ -86,7 +89,19 @@ fn assert_exact_gateway_verdicts(transport: GatewayTransport, seed: u64) {
         10,
         "a severed connection is charged NoResponse"
     );
-    assert_eq!(report.verified(), 380);
+    assert_eq!(
+        report.count(Scenario::EvictMidRound, |r| {
+            matches!(r, Err(FleetError::Evicted(_)))
+        }),
+        6,
+        "mid-round eviction resolves as a typed Evicted verdict"
+    );
+    assert_eq!(
+        report.count(Scenario::ReconnectStorm, Result::is_ok),
+        4,
+        "evidence precedes the FIN: reconnecting devices stay verified"
+    );
+    assert_eq!(report.verified(), 374);
     assert_eq!(harness.fleet().in_flight(), 0, "sessions leaked");
 }
 
@@ -423,11 +438,12 @@ fn submillisecond_budget_does_not_expire_the_round_at_birth() {
 }
 
 /// The first enrolled id whose challenge is owned by `want` when the
-/// round is sharded over `reactors` reactor threads.
+/// round is sharded over `reactors` reactor threads (over the default
+/// shard count, which every harness fleet uses).
 fn id_with_affinity(want: usize, reactors: usize) -> DeviceId {
     (1u64..)
         .map(DeviceId)
-        .find(|&id| FleetVerifier::reactor_of(id, reactors) == want)
+        .find(|&id| FleetVerifier::shard_in(id, asap_fleet::SHARD_COUNT) % reactors == want)
         .unwrap()
 }
 
@@ -445,7 +461,7 @@ fn multi_reactor_matrix_stays_exact() {
         "misjudged devices: {:#?}",
         run.report.misjudged()
     );
-    assert_eq!(run.report.verified(), 380);
+    assert_eq!(run.report.verified(), 374);
     assert_eq!(
         run.raw.outcomes.len(),
         500,

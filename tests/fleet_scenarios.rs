@@ -21,17 +21,20 @@ use asap::AsapError;
 use asap_bench::fleet::{Scenario, ScenarioHarness, ScenarioMix};
 use asap_fleet::FleetError;
 
-/// 200 devices: 105 honest, 30 replaying, 20 corrupted in transit,
+/// 200 devices: 100 honest, 30 replaying, 20 corrupted in transit,
 /// 20 mis-binding (10 swap pairs), 10 late-but-in-time, 10 silent,
-/// 5 hanging up mid-round (indistinguishable from silence on loopback).
+/// 5 hanging up mid-round (indistinguishable from silence on loopback),
+/// 3 evicted mid-round, 2 reconnect-storming (honest on loopback).
 const MIX: ScenarioMix = ScenarioMix {
-    honest: 105,
+    honest: 100,
     replay: 30,
     bit_flip: 20,
     mis_bind: 20,
     late: 10,
     dropped: 10,
     hangup: 5,
+    evict: 3,
+    reconnect: 2,
 };
 
 fn assert_exact_verdicts(seed: u64) {
@@ -48,7 +51,7 @@ fn assert_exact_verdicts(seed: u64) {
     );
 
     // Exact per-scenario counts, by the precise error variant.
-    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 105);
+    assert_eq!(report.count(Scenario::Honest, Result::is_ok), 100);
     assert_eq!(
         report.count(Scenario::LateResponse, Result::is_ok),
         10,
@@ -88,9 +91,22 @@ fn assert_exact_verdicts(seed: u64) {
         5,
         "on loopback a hangup degenerates to a dropped response"
     );
+    assert_eq!(
+        report.count(Scenario::EvictMidRound, |r| {
+            matches!(r, Err(FleetError::Evicted(_)))
+        }),
+        3,
+        "mid-round eviction is a typed verdict, never NoResponse limbo"
+    );
+    assert_eq!(
+        report.count(Scenario::ReconnectStorm, Result::is_ok),
+        2,
+        "a device that answered before reconnecting stays verified"
+    );
 
-    // Totals partition: only the honest (on-time or late) verify.
-    assert_eq!(report.verified(), 115);
+    // Totals partition: the honest (on-time, late or reconnecting)
+    // verify, nobody else.
+    assert_eq!(report.verified(), 112);
 
     // The fleet genuinely mixes architectures, and honest devices of
     // *both* architectures verified.
@@ -132,6 +148,8 @@ fn thousand_device_round_stays_exact() {
         late: 60,
         dropped: 60,
         hangup: 20,
+        evict: 0,
+        reconnect: 0,
     };
     let mut harness = ScenarioHarness::build(0x1000_0003, &BIG);
     assert_eq!(harness.device_count(), 1000);
@@ -195,6 +213,10 @@ fn consecutive_rounds_stay_exact() {
             late: 4,
             dropped: 4,
             hangup: 4,
+            // Re-rounding an evicted device is a different test: a
+            // consecutive-round fleet keeps its membership.
+            evict: 0,
+            reconnect: 1,
         },
     );
     for round in 0..2 {
@@ -204,7 +226,7 @@ fn consecutive_rounds_stay_exact() {
             "round {round}: {:#?}",
             report.misjudged()
         );
-        assert_eq!(report.verified(), 24, "round {round}");
+        assert_eq!(report.verified(), 25, "round {round}");
         assert_eq!(harness.fleet().in_flight(), 0, "round {round}");
     }
 }
