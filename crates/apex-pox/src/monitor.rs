@@ -19,7 +19,7 @@
 use ltl_mc::formula::Ltl;
 use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
-use openmsp430::hwmod::{HwAction, HwModule};
+use openmsp430::hwmod::{HwAction, HwModule, ObservesWires, WireSet};
 use openmsp430::signals::Signals;
 use vrased::hw::WireStep;
 use vrased::props::{names, PropCtx, WireImage};
@@ -162,7 +162,7 @@ pub fn exec_inputs(ctx: &PropCtx, signals: &Signals) -> ExecIn {
 }
 
 /// The APEX `EXEC` monitor (LTL 3 enforced).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ApexMonitor {
     ctx: Option<PropCtx>,
     state: ExecState,
@@ -349,6 +349,20 @@ impl HwModule for ApexMonitor {
         }
         action
     }
+}
+
+impl ObservesWires for ApexMonitor {
+    // Exactly the `ExecIn` wires `step_wires` samples (APEX checks irq).
+    const OBSERVES: WireSet = WireSet::PC_IN_ER
+        .union(WireSet::PC_AT_ERMIN)
+        .union(WireSet::PC_AT_EREXIT)
+        .union(WireSet::IRQ)
+        .union(WireSet::WEN_ER)
+        .union(WireSet::DMA_ER)
+        .union(WireSet::WEN_OR)
+        .union(WireSet::DMA_OR)
+        .union(WireSet::DMA_ACTIVE)
+        .union(WireSet::FAULT);
 }
 
 impl MonitorFsm for ApexMonitor {

@@ -14,11 +14,12 @@ use apex_pox::protocol::{pox_items, PoxRequest, PoxResponse};
 use ltl_mc::trace::Trace;
 use msp430_tools::link::Image;
 use openmsp430::bus::{Master, MemAccess};
-use openmsp430::hwmod::{Compose, HwModule};
+use openmsp430::hwmod::{Compose, HwModule, ObservesWires, WireSet};
 use openmsp430::layout::MemLayout;
 use openmsp430::mcu::Mcu;
 use openmsp430::periph::DmaOp;
 use openmsp430::signals::Signals;
+use openmsp430::superblock::{SbConfig, SbExit, SbStep, StepCtl};
 use periph::gpio::{Gpio, PORT1_VECTOR, PORT2_VECTOR};
 use periph::{DmaController, Timer, Uart};
 use std::fmt;
@@ -29,6 +30,11 @@ use vrased::swatt::{attest, swatt_cycle_cost, CHAL_LEN};
 /// A streaming consumer of per-step waveform samples — the opt-in
 /// alternative to buffering a [`WaveSample`] per step inside the device.
 pub type WaveSink = Box<dyn FnMut(WaveSample) + Send>;
+
+/// A streaming consumer of every step's full [`Signals`] bundle.
+/// Installing one forces the superblock executor to materialize
+/// interior steps (elision would hide signals the tap must see).
+pub type SignalTap = Box<dyn FnMut(&Signals) + Send>;
 
 /// Which PoX architecture the hardware implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +76,8 @@ pub struct DeviceBuilder<'a> {
     record_wave: bool,
     record_trace: bool,
     wave_sink: Option<WaveSink>,
+    signal_tap: Option<SignalTap>,
+    superblocks: bool,
 }
 
 impl fmt::Debug for DeviceBuilder<'_> {
@@ -79,6 +87,7 @@ impl fmt::Debug for DeviceBuilder<'_> {
             .field("record_wave", &self.record_wave)
             .field("record_trace", &self.record_trace)
             .field("streaming", &self.wave_sink.is_some())
+            .field("superblocks", &self.superblocks)
             .finish()
     }
 }
@@ -93,6 +102,8 @@ impl<'a> DeviceBuilder<'a> {
             record_wave: false,
             record_trace: false,
             wave_sink: None,
+            signal_tap: None,
+            superblocks: true,
         }
     }
 
@@ -138,6 +149,23 @@ impl<'a> DeviceBuilder<'a> {
         self
     }
 
+    /// Streams every step's full [`Signals`] into `tap` — for digest
+    /// pipelines and bit-identity harnesses. Forces the superblock
+    /// executor to materialize interior steps.
+    pub fn stream_signals(mut self, tap: impl FnMut(&Signals) + Send + 'static) -> Self {
+        self.signal_tap = Some(Box::new(tap));
+        self
+    }
+
+    /// Enables or disables superblock execution in the internal run
+    /// loops (default: on). `step`/`step_into` are always per-step;
+    /// this knob exists for ablation benchmarks and bit-identity
+    /// cross-checks against the per-step pipeline.
+    pub fn superblocks(mut self, on: bool) -> Self {
+        self.superblocks = on;
+        self
+    }
+
     /// Builds the device.
     ///
     /// # Errors
@@ -153,6 +181,8 @@ impl<'a> DeviceBuilder<'a> {
             device.wave = Some(Vec::new());
         }
         device.wave_sink = self.wave_sink;
+        device.signal_tap = self.signal_tap;
+        device.superblocks = self.superblocks;
         if self.record_trace {
             device.record_trace();
         }
@@ -195,6 +225,7 @@ type VrasedGuards = Compose<KeyGuard, SwAttAtomicity>;
 /// `IvtGuard` composite). One enum arm per architecture, each a concrete
 /// [`Compose`] chain: the per-step walk is fully monomorphized, with no
 /// `dyn HwModule` dispatch and no heap allocation on the clean path.
+#[derive(Clone, PartialEq)]
 enum MonitorStack {
     Apex(Compose<VrasedGuards, ApexMonitor>),
     Asap(Compose<VrasedGuards, AsapMonitor>),
@@ -231,19 +262,35 @@ impl MonitorStack {
     /// extraction — the hardware picture exactly: all modules sample the
     /// same wires on the same clock edge, and the outputs conjoin.
     fn step_wires(&mut self, ctx: &PropCtx, signals: &Signals) -> StackOut {
-        let w = WireImage::of(ctx, signals);
+        self.step_image(&WireImage::of(ctx, signals))
+    }
+
+    /// Clocks every monitor with an already-extracted wire image — the
+    /// shared back half of [`MonitorStack::step_wires`] and the
+    /// superblock fast path (whose elided steps build the image from a
+    /// [`openmsp430::superblock::WireSummary`] instead of full signals).
+    fn step_image(&mut self, w: &WireImage) -> StackOut {
         let (guards, exec) = match self {
-            MonitorStack::Apex(Compose(guards, monitor)) => (guards, monitor.step_wires(&w)),
-            MonitorStack::Asap(Compose(guards, monitor)) => (guards, monitor.step_wires(&w)),
+            MonitorStack::Apex(Compose(guards, monitor)) => (guards, monitor.step_wires(w)),
+            MonitorStack::Asap(Compose(guards, monitor)) => (guards, monitor.step_wires(w)),
         };
-        let key = guards.0.step_wires(&w);
-        let atomicity = guards.1.step_wires(&w);
+        let key = guards.0.step_wires(w);
+        let atomicity = guards.1.step_wires(w);
         StackOut {
             exec: exec.wire,
             reset: key.wire || atomicity.wire,
             key_raised: key.raised,
             atomicity_raised: atomicity.raised,
             exec_fell: exec.raised,
+        }
+    }
+
+    /// The build-time union of every wire the stack for `mode` samples —
+    /// what the superblock executor may elide is exactly the complement.
+    fn observed_wires(mode: PoxMode) -> WireSet {
+        match mode {
+            PoxMode::Apex => <Compose<VrasedGuards, ApexMonitor>>::OBSERVES,
+            PoxMode::Asap => <Compose<VrasedGuards, AsapMonitor>>::OBSERVES,
         }
     }
 
@@ -287,6 +334,8 @@ pub struct Device {
     trace: Option<Trace>,
     wave: Option<Vec<WaveSample>>,
     wave_sink: Option<WaveSink>,
+    signal_tap: Option<SignalTap>,
+    superblocks: bool,
     violations: Vec<(u64, String)>,
     resets: u64,
     /// Reused per-step signal buffer for the internal run loops and the
@@ -369,6 +418,8 @@ impl Device {
             trace: None,
             wave: None,
             wave_sink: None,
+            signal_tap: None,
+            superblocks: true,
             violations: Vec::new(),
             resets: 0,
             scratch: Signals::default(),
@@ -471,6 +522,9 @@ impl Device {
                 sink(sample);
             }
         }
+        if let Some(tap) = self.signal_tap.as_mut() {
+            tap(signals);
+        }
 
         if out.reset {
             self.hard_reset();
@@ -521,6 +575,9 @@ impl Device {
     /// Runs up to `max_steps`, stopping early when the PC reaches
     /// `stop_pc`. Returns true if the stop address was reached.
     pub fn run_until_pc(&mut self, stop_pc: u16, max_steps: u64) -> bool {
+        if self.superblocks {
+            return self.run_fast(Some(stop_pc), max_steps);
+        }
         let mut signals = std::mem::take(&mut self.scratch);
         let mut outcome = None;
         for _ in 0..max_steps {
@@ -541,6 +598,10 @@ impl Device {
 
     /// Runs exactly `steps` steps (or until a CPU fault).
     pub fn run_steps(&mut self, steps: u64) {
+        if self.superblocks {
+            self.run_fast(None, steps);
+            return;
+        }
         let mut signals = std::mem::take(&mut self.scratch);
         for _ in 0..steps {
             self.step_into(&mut signals);
@@ -549,6 +610,184 @@ impl Device {
             }
         }
         self.scratch = signals;
+    }
+
+    /// The superblock-backed run loop behind [`Device::run_steps`] and
+    /// [`Device::run_until_pc`].
+    ///
+    /// Bursts through cached straight-line traces, clocking the monitor
+    /// stack once per interior step from either an elided
+    /// [`openmsp430::superblock::WireSummary`] (the common case: only
+    /// the wires the composed stack declares via `ObservesWires` are
+    /// computed) or a fully materialized [`Signals`] bundle (forced by
+    /// trace/wave capture and signal taps). Steps the executor cannot
+    /// run inside a trace — interrupt servicing, MMIO fetches, halted
+    /// CPU — fall back to exactly one [`Device::step_into`], so the
+    /// machine and every monitor see the same history, bit for bit, as
+    /// the per-step pipeline.
+    fn run_fast(&mut self, stop_pc: Option<u16>, max_steps: u64) -> bool {
+        let observed = MonitorStack::observed_wires(self.mode);
+        let mut signals = std::mem::take(&mut self.scratch);
+        let mut remaining = max_steps;
+        let mut outcome = None;
+        while remaining > 0 {
+            if let Some(sp) = stop_pc {
+                if self.mcu.cpu.regs.pc() == sp {
+                    outcome = Some(true);
+                    break;
+                }
+            }
+            let cfg = SbConfig {
+                budget: remaining,
+                stop_pc,
+                exec_cell: Some(self.ctx.layout.exec_flag_addr),
+                observed,
+                materialize: self.trace.is_some()
+                    || self.wave.is_some()
+                    || self.wave_sink.is_some()
+                    || self.signal_tap.is_some(),
+            };
+            let mut reset_pending = false;
+            // Monitor clock gating: once clocking the stack with a given
+            // wire picture provably left every FSM unchanged (a fixed
+            // point — checked by state comparison), repeating the same
+            // picture must repeat the same output, so the kernels are
+            // skipped until the wires change. Scoped to one burst: any
+            // out-of-band clocking (per-step fallback, hard reset)
+            // starts the next burst ungated.
+            type WireKey = (u16, [bool; 10]);
+            let mut gate: Option<(WireKey, StackOut)> = None;
+            let mut gate_stable = false;
+            let (done, exit) = {
+                // Disjoint field borrows: the executor owns `mcu`, the
+                // observer closure owns the monitor stack and captures.
+                let Device {
+                    mcu,
+                    ctx,
+                    mode,
+                    stack,
+                    trace,
+                    wave,
+                    wave_sink,
+                    signal_tap,
+                    violations,
+                    ..
+                } = self;
+                let mode = *mode;
+                mcu.run_superblock(&cfg, &mut signals, |step| {
+                    let (out, at_step) = match step {
+                        SbStep::Wires(s) => {
+                            let key: WireKey = (
+                                s.pc,
+                                [
+                                    s.fault,
+                                    s.dma_active,
+                                    s.ren_key,
+                                    s.dma_key,
+                                    s.wen_ivt,
+                                    s.dma_ivt,
+                                    s.wen_or,
+                                    s.dma_or,
+                                    s.wen_er,
+                                    s.dma_er,
+                                ],
+                            );
+                            let out = match gate {
+                                Some((gated, out)) if gate_stable && gated == key => out,
+                                _ => {
+                                    let before = stack.clone();
+                                    let out = stack.step_image(&WireImage::of_summary(ctx, s));
+                                    gate_stable = *stack == before;
+                                    gate = Some((key, out));
+                                    out
+                                }
+                            };
+                            (out, s.step)
+                        }
+                        SbStep::Signals(s) => (stack.step_image(&WireImage::of(ctx, s)), s.step),
+                    };
+                    if out.key_raised {
+                        violations.push((at_step, KeyGuard::VIOLATION.into()));
+                    }
+                    if out.atomicity_raised {
+                        violations.push((at_step, SwAttAtomicity::VIOLATION.into()));
+                    }
+                    if out.exec_fell {
+                        let message = match mode {
+                            PoxMode::Apex => ApexMonitor::EXEC_CLEARED,
+                            PoxMode::Asap => AsapMonitor::EXEC_CLEARED,
+                        };
+                        violations.push((at_step, message.into()));
+                    }
+                    if let SbStep::Signals(s) = step {
+                        if let Some(trace) = trace.as_mut() {
+                            let mut props = ctx.props_of(s);
+                            if out.exec {
+                                props.insert(names::EXEC.to_string());
+                            }
+                            if out.reset {
+                                props.insert(names::RESET.to_string());
+                            }
+                            trace.push_state(props);
+                        }
+                        if wave.is_some() || wave_sink.is_some() {
+                            let sample = WaveSample {
+                                cycle: s.cycle,
+                                pc: s.pc,
+                                irq: s.irq,
+                                exec: out.exec,
+                            };
+                            if let Some(buffer) = wave.as_mut() {
+                                buffer.push(sample);
+                            }
+                            if let Some(sink) = wave_sink.as_mut() {
+                                sink(sample);
+                            }
+                        }
+                        if let Some(tap) = signal_tap.as_mut() {
+                            tap(s);
+                        }
+                    }
+                    reset_pending |= out.reset;
+                    StepCtl {
+                        exec: out.exec,
+                        stop: out.reset,
+                    }
+                })
+            };
+            remaining -= done;
+            if reset_pending {
+                self.hard_reset();
+            }
+            match exit {
+                SbExit::Budget => break,
+                SbExit::StopPc => {
+                    outcome = Some(true);
+                    break;
+                }
+                SbExit::ObserverStop => continue,
+                SbExit::Fault => {
+                    outcome = Some(false);
+                    break;
+                }
+                SbExit::NeedStep => {
+                    if remaining == 0 {
+                        break;
+                    }
+                    self.mcu.step_into(&mut signals);
+                    self.observe(&signals);
+                    remaining -= 1;
+                    if signals.fault.is_some() {
+                        outcome = Some(false);
+                        break;
+                    }
+                }
+            }
+        }
+        let reached =
+            outcome.unwrap_or_else(|| stop_pc.is_some_and(|sp| self.mcu.cpu.regs.pc() == sp));
+        self.scratch = signals;
+        reached
     }
 
     /// Models an attacker-controlled CPU instruction writing `value` at

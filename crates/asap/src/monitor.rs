@@ -20,7 +20,7 @@ use apex_pox::monitor::{exec_inputs, exec_kernel, ExecState};
 use ltl_mc::formula::Ltl;
 use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
-use openmsp430::hwmod::{HwAction, HwModule};
+use openmsp430::hwmod::{HwAction, HwModule, ObservesWires, WireSet};
 use openmsp430::signals::Signals;
 use vrased::hw::WireStep;
 use vrased::props::{names, PropCtx, WireImage};
@@ -54,7 +54,7 @@ pub fn ivt_kernel(run: bool, i: IvtIn) -> bool {
 }
 
 /// The standalone IVT-immutability guard (\[AP1\]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IvtGuard {
     ctx: Option<PropCtx>,
     run: bool,
@@ -140,6 +140,12 @@ impl HwModule for IvtGuard {
     }
 }
 
+impl ObservesWires for IvtGuard {
+    const OBSERVES: WireSet = WireSet::WEN_IVT
+        .union(WireSet::DMA_IVT)
+        .union(WireSet::PC_AT_ERMIN);
+}
+
 impl MonitorFsm for IvtGuard {
     type State = bool;
 
@@ -187,7 +193,7 @@ pub struct AsapState {
 
 /// The complete ASAP monitor: the APEX kernel without LTL 3, conjoined
 /// with the \[AP1\] IVT guard.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AsapMonitor {
     ctx: Option<PropCtx>,
     state: AsapState,
@@ -326,6 +332,22 @@ impl HwModule for AsapMonitor {
         }
         action
     }
+}
+
+impl ObservesWires for AsapMonitor {
+    // The EXEC kernel wires minus `irq` (ASAP provably ignores it — see
+    // `input_names`) plus the IVT-guard wires.
+    const OBSERVES: WireSet = WireSet::PC_IN_ER
+        .union(WireSet::PC_AT_ERMIN)
+        .union(WireSet::PC_AT_EREXIT)
+        .union(WireSet::WEN_ER)
+        .union(WireSet::DMA_ER)
+        .union(WireSet::WEN_OR)
+        .union(WireSet::DMA_OR)
+        .union(WireSet::DMA_ACTIVE)
+        .union(WireSet::FAULT)
+        .union(WireSet::WEN_IVT)
+        .union(WireSet::DMA_IVT);
 }
 
 impl MonitorFsm for AsapMonitor {

@@ -13,10 +13,14 @@
 //!   through the proposition-set conversion (`PropCtx::props_of`), and
 //!   the per-step report cloning the signal bundle — exactly what
 //!   `Device::step()` used to do.
-//! * **predecoded** — the current pipeline: `Device::step_into` into one
-//!   reused `Signals` buffer, generation-checked predecoded
+//! * **predecoded** — the per-step pipeline: `Device::step_into` into
+//!   one reused `Signals` buffer, generation-checked predecoded
 //!   instructions, sorted MMIO lookup and the statically composed
 //!   monitor stack.
+//! * **superblock** — the burst pipeline: `Device::run_steps` over the
+//!   superblock trace cache, with monitor-aware dead-signal elision on
+//!   interior steps (only the wires the composed stack declares via
+//!   `ObservesWires` are computed).
 //!
 //! Both arms step identically prepared machines through the same monitor
 //! kernels (whose per-step cost does not depend on register state), so
@@ -147,6 +151,18 @@ fn measure_predecoded(steps: u64) -> f64 {
     steps as f64 / secs.max(f64::EPSILON)
 }
 
+/// Bursts the superblock pipeline (`Device::run_steps`: cached
+/// straight-line traces, elided interior wires). Returns steps/sec.
+fn measure_superblock(steps: u64) -> f64 {
+    let mut device = steady_device();
+    let t0 = Instant::now();
+    device.run_steps(steps);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(device.exec(), "honest bursting preserves EXEC");
+    black_box(device.mcu.cache_stats());
+    steps as f64 / secs.max(f64::EPSILON)
+}
+
 /// Full PoX rounds (challenge → SW-Att → verify) per second over the
 /// wire-encoded path, the same shape fleet rounds drive per device.
 fn measure_attestations(rounds: u64) -> f64 {
@@ -181,11 +197,33 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Best-of-`trials` throughput: each trial re-runs the full measurement
-/// and the fastest wins, the standard way to strip scheduler noise from
-/// a throughput number on a shared host.
-fn best_of(trials: u64, measure: impl Fn() -> f64) -> f64 {
-    (0..trials).map(|_| measure()).fold(f64::MIN, f64::max)
+/// One arm's measurements: every trial, the best (which wins — the
+/// standard way to strip scheduler noise on a shared host), and the
+/// relative spread `(best - worst) / best` as a noise indicator.
+struct Arm {
+    best: f64,
+    trials: Vec<f64>,
+    spread: f64,
+}
+
+fn run_trials(trials: u64, measure: impl Fn() -> f64) -> Arm {
+    let trials: Vec<f64> = (0..trials).map(|_| measure()).collect();
+    let best = trials.iter().fold(f64::MIN, |a, &b| a.max(b));
+    let worst = trials.iter().fold(f64::MAX, |a, &b| a.min(b));
+    Arm {
+        best,
+        spread: if best > 0.0 {
+            (best - worst) / best
+        } else {
+            0.0
+        },
+        trials,
+    }
+}
+
+fn json_list(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn main() {
@@ -194,22 +232,65 @@ fn main() {
     let rounds = env_u64("DEVICE_ROUNDS", if smoke { 200 } else { 2_000 });
     let trials = env_u64("DEVICE_TRIALS", if smoke { 1 } else { 3 });
 
-    let legacy = best_of(trials, || measure_legacy(steps));
-    let predecoded = best_of(trials, || measure_predecoded(steps));
-    let speedup = predecoded / legacy.max(f64::EPSILON);
-    let attestations = best_of(trials, || measure_attestations(rounds));
+    let legacy = run_trials(trials, || measure_legacy(steps));
+    let predecoded = run_trials(trials, || measure_predecoded(steps));
+    let superblock = run_trials(trials, || measure_superblock(steps));
+    let attestations = run_trials(trials, || measure_attestations(rounds));
+    let speedup = predecoded.best / legacy.best.max(f64::EPSILON);
+    let superblock_speedup = superblock.best / predecoded.best.max(f64::EPSILON);
 
-    println!("{:<12} {:>16} ", "pipeline", "steps/sec");
-    println!("{:<12} {:>16.0}", "legacy", legacy);
-    println!("{:<12} {:>16.0}", "predecoded", predecoded);
-    println!("speedup: {speedup:.2}x over {steps} steps");
-    println!("attestations/sec: {attestations:.0} over {rounds} rounds");
+    println!("{:<12} {:>16} {:>8}", "pipeline", "steps/sec", "spread");
+    println!(
+        "{:<12} {:>16.0} {:>7.1}%",
+        "legacy",
+        legacy.best,
+        legacy.spread * 100.0
+    );
+    println!(
+        "{:<12} {:>16.0} {:>7.1}%",
+        "predecoded",
+        predecoded.best,
+        predecoded.spread * 100.0
+    );
+    println!(
+        "{:<12} {:>16.0} {:>7.1}%",
+        "superblock",
+        superblock.best,
+        superblock.spread * 100.0
+    );
+    println!("speedup: {speedup:.2}x predecoded/legacy over {steps} steps");
+    println!("superblock_speedup: {superblock_speedup:.2}x superblock/predecoded");
+    println!(
+        "attestations/sec: {:.0} over {rounds} rounds",
+        attestations.best
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"device_throughput\",\n  \"workload\": {{\"image\": \
-         \"fig4_authorized\", \"mode\": \"asap\", \"steps\": {steps}, \"rounds\": {rounds}}},\n  \
-         \"steps_per_sec\": {{\"legacy\": {legacy:.0}, \"predecoded\": {predecoded:.0}, \
-         \"speedup\": {speedup:.3}}},\n  \"attestations_per_sec\": {attestations:.1}\n}}\n"
+         \"fig4_authorized\", \"mode\": \"asap\", \"steps\": {steps}, \"rounds\": {rounds}, \
+         \"trials\": {trials}}},\n  \
+         \"steps_per_sec\": {{\"legacy\": {legacy_best:.0}, \"predecoded\": {predecoded_best:.0}, \
+         \"superblock\": {superblock_best:.0}, \"speedup\": {speedup:.3}, \
+         \"superblock_speedup\": {superblock_speedup:.3}}},\n  \
+         \"trial_steps_per_sec\": {{\"legacy\": {legacy_trials}, \"predecoded\": \
+         {predecoded_trials}, \"superblock\": {superblock_trials}}},\n  \
+         \"spread\": {{\"legacy\": {legacy_spread:.4}, \"predecoded\": {predecoded_spread:.4}, \
+         \"superblock\": {superblock_spread:.4}}},\n  \
+         \"attestations_per_sec\": {attestations_best:.1},\n  \
+         \"trial_attestations_per_sec\": {attestations_trials},\n  \
+         \"attestations_spread\": {attestations_spread:.4}\n}}\n",
+        legacy_best = legacy.best,
+        predecoded_best = predecoded.best,
+        superblock_best = superblock.best,
+        legacy_trials = json_list(&legacy.trials),
+        predecoded_trials = json_list(&predecoded.trials),
+        superblock_trials = json_list(&superblock.trials),
+        legacy_spread = legacy.spread,
+        predecoded_spread = predecoded.spread,
+        superblock_spread = superblock.spread,
+        attestations_best = attestations.best,
+        attestations_trials = json_list(&attestations.trials),
+        attestations_spread = attestations.spread,
     );
     std::fs::write("BENCH_device.json", &json).expect("write BENCH_device.json");
     println!("\nwrote BENCH_device.json");

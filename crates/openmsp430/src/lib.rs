@@ -56,10 +56,11 @@ pub mod periph;
 mod predecode;
 pub mod regs;
 pub mod signals;
+pub mod superblock;
 
 pub use bus::{Bus, Master, MemAccess};
 pub use cpu::{Cpu, CpuFault, StepOut, IVT_BASE, IVT_VECTORS, RESET_VECTOR};
-pub use hwmod::{Compose, HwAction, HwModule};
+pub use hwmod::{Compose, HwAction, HwModule, ObservesWires, WireSet};
 pub use isa::{Cond, Instr, OneOp, Operand, TwoOp};
 pub use layout::MemLayout;
 pub use mcu::{Mcu, NMI_VECTOR};
@@ -67,3 +68,4 @@ pub use mem::{MemRegion, Memory};
 pub use periph::{DmaOp, Peripheral};
 pub use regs::{sr_bits, Reg, RegFile};
 pub use signals::Signals;
+pub use superblock::{CacheStats, SbConfig, SbExit, SbStep, StepCtl, WireSummary};

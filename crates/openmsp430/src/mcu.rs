@@ -4,11 +4,17 @@
 
 use crate::bus::{Bus, Master, MemAccess};
 use crate::cpu::{Cpu, IVT_VECTORS};
+use crate::hwmod::WireSet;
 use crate::layout::MemLayout;
 use crate::mem::{MemRegion, Memory};
 use crate::periph::{DmaOp, Peripheral};
 use crate::predecode::DecodeCache;
 use crate::signals::Signals;
+use crate::superblock::{
+    terminates_block, BlockCache, CacheStats, SbConfig, SbExit, SbStep, StepCtl, Superblock,
+    TraceStep, WireSummary, MAX_BLOCK_LEN,
+};
+use std::sync::Arc;
 
 /// Hardware-owned MMIO word cell (e.g. the `EXEC` flag): readable by
 /// software, writes silently ignored (only the owning hardware module may
@@ -76,6 +82,7 @@ pub struct Mcu {
     /// Kept sorted by address for binary-search lookup.
     hw_cells: Vec<HwCell>,
     decode_cache: DecodeCache,
+    block_cache: BlockCache,
     predecode_enabled: bool,
     cycle: u64,
     step_idx: u64,
@@ -164,6 +171,84 @@ impl Bus for McuBus<'_> {
     }
 }
 
+/// Wire booleans accumulated by [`WireBus`] over one elided step.
+#[derive(Debug, Default, Clone, Copy)]
+struct WireAcc {
+    ren_key: bool,
+    wen_ivt: bool,
+    wen_or: bool,
+    wen_er: bool,
+    /// Any CPU write happened (superblock dirtiness, not a monitor wire).
+    wrote: bool,
+}
+
+/// The elided-step bus: routes exactly like [`McuBus`] (hardware cell >
+/// peripheral > flat memory; hardware-cell writes dropped) but instead
+/// of logging `MemAccess` entries it folds each access into the handful
+/// of wire booleans the composed monitor stack actually samples.
+struct WireBus<'a> {
+    mem: &'a mut Memory,
+    periphs: &'a mut [Box<dyn Peripheral>],
+    periph_ranges: &'a [PeriphRange],
+    hw_cells: &'a [HwCell],
+    key: MemRegion,
+    ivt: MemRegion,
+    or_: MemRegion,
+    er: MemRegion,
+    acc: &'a mut WireAcc,
+    want_ren_key: bool,
+    want_wen_ivt: bool,
+    want_wen_or: bool,
+    want_wen_er: bool,
+}
+
+impl Bus for WireBus<'_> {
+    fn read(&mut self, addr: u16, byte: bool, _fetch: bool) -> u16 {
+        let value = if let Some(i) = hw_cell_lookup(self.hw_cells, addr) {
+            let word = self.hw_cells[i].value;
+            if byte {
+                if addr & 1 == 0 {
+                    word & 0xFF
+                } else {
+                    word >> 8
+                }
+            } else {
+                word
+            }
+        } else if let Some(i) = periph_lookup(self.periph_ranges, addr) {
+            self.periphs[i].read(addr, byte)
+        } else {
+            self.mem.read(addr, byte)
+        };
+        if self.want_ren_key {
+            self.acc.ren_key |= self.key.touches(addr, byte);
+        }
+        value
+    }
+
+    fn write(&mut self, addr: u16, val: u16, byte: bool) {
+        if hw_cell_lookup(self.hw_cells, addr).is_some() {
+            // Hardware-owned: dropped, but the attempt stays observable
+            // through the wen_* wires below (like the logged attempt on
+            // the per-step path).
+        } else if let Some(i) = periph_lookup(self.periph_ranges, addr) {
+            self.periphs[i].write(addr, val, byte);
+        } else {
+            self.mem.write(addr, val, byte);
+        }
+        self.acc.wrote = true;
+        if self.want_wen_ivt {
+            self.acc.wen_ivt |= self.ivt.touches(addr, byte);
+        }
+        if self.want_wen_or {
+            self.acc.wen_or |= self.or_.touches(addr, byte);
+        }
+        if self.want_wen_er {
+            self.acc.wen_er |= self.er.touches(addr, byte);
+        }
+    }
+}
+
 impl Mcu {
     /// Creates an MCU with the given memory map and no peripherals.
     pub fn new(layout: MemLayout) -> Mcu {
@@ -178,6 +263,7 @@ impl Mcu {
             tick_periphs: Vec::new(),
             hw_cells: Vec::new(),
             decode_cache: DecodeCache::new(),
+            block_cache: BlockCache::new(),
             predecode_enabled: true,
             cycle: 0,
             step_idx: 0,
@@ -214,7 +300,8 @@ impl Mcu {
         self.periph_ranges.insert(at, entry);
         // The MMIO topology changed: entries cached before this range
         // existed may now shadow it, so start over.
-        self.decode_cache = DecodeCache::new();
+        self.decode_cache.clear();
+        self.block_cache.clear();
     }
 
     /// Declares a hardware-owned MMIO word at `addr` (software read-only).
@@ -229,7 +316,8 @@ impl Mcu {
             Err(at) => self.hw_cells.insert(at, HwCell { addr, value }),
         }
         // The MMIO topology changed: drop any decode cached over it.
-        self.decode_cache = DecodeCache::new();
+        self.decode_cache.clear();
+        self.block_cache.clear();
     }
 
     /// Updates a hardware-owned cell (monitor-side write).
@@ -253,6 +341,11 @@ impl Mcu {
     /// differential tests; both paths produce identical [`Signals`].
     pub fn set_predecode(&mut self, on: bool) {
         self.predecode_enabled = on;
+        if !on {
+            // Superblocks are built from predecoded entries; with the
+            // cache off there is no trace tier either.
+            self.block_cache.clear();
+        }
     }
 
     /// Eagerly predecodes every word-aligned address in `region` (e.g. the
@@ -502,6 +595,351 @@ impl Mcu {
     /// Number of predecode-cache pages currently materialized.
     pub fn predecode_pages(&self) -> usize {
         self.decode_cache.resident_pages()
+    }
+
+    /// Merged statistics of the predecode and superblock caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.decode_cache.stats().merge(self.block_cache.stats())
+    }
+
+    /// True when some pending/peripheral line would actually be serviced
+    /// on the next step (post-GIE/NMI gating).
+    fn serviceable_irq(&self) -> bool {
+        let mut lines = self.pending_irq;
+        for &i in &self.irq_periphs {
+            lines |= self.periphs[i].irq_lines();
+        }
+        lines != 0 && self.select_vector(lines).is_some()
+    }
+
+    /// The superblock entered at `pc`, built (and cached) on a miss.
+    fn superblock_at(&mut self, pc: u16) -> Arc<Superblock> {
+        if let Some(block) = self.block_cache.get(pc, &self.mem) {
+            return block;
+        }
+        let block = Arc::new(self.build_superblock(pc));
+        self.block_cache.insert(pc, Arc::clone(&block));
+        block
+    }
+
+    /// Chains predecoded instructions from `entry` until a terminator,
+    /// an MMIO-touching fetch, or the length cap. An empty block marks
+    /// an entry whose own fetch touches MMIO ("always take the per-step
+    /// path here").
+    fn build_superblock(&mut self, entry: u16) -> Superblock {
+        let mut steps: Vec<TraceStep> = Vec::new();
+        let mut pages: Vec<(u16, u64)> = Vec::new();
+        let mut pc = entry;
+        while steps.len() < MAX_BLOCK_LEN {
+            let Some(e) = self.cached_instr(pc) else {
+                break;
+            };
+            Superblock::cover(&mut pages, &self.mem, pc, e.size);
+            let fetch_ren_key =
+                (0..e.size / 2).any(|i| self.layout.key.touches(pc.wrapping_add(2 * i), false));
+            steps.push(TraceStep {
+                pc,
+                instr: e.instr,
+                size: e.size,
+                words: e.words,
+                fetch_ren_key,
+            });
+            if terminates_block(&e.instr) {
+                break;
+            }
+            pc = pc.wrapping_add(e.size);
+            if pc == entry {
+                break; // wrapped the whole address space
+            }
+        }
+        if steps.is_empty() {
+            pages.clear();
+        }
+        Superblock { steps, pages }
+    }
+
+    /// Executes up to `cfg.budget` steps through the superblock tier,
+    /// calling `obs` once per executed step — with an elided
+    /// [`WireSummary`] by default, or (in `cfg.materialize` mode) with
+    /// the same full [`Signals`] written into `signals` that
+    /// [`Mcu::step_into`] would have produced.
+    ///
+    /// Interior steps never service interrupts: the executor polls the
+    /// interrupt lines at every step boundary and returns
+    /// [`SbExit::NeedStep`] as soon as a serviceable vector appears (or
+    /// the CPU is halted/idle, or the next fetch touches MMIO, or
+    /// predecoding is off). The caller must then execute exactly one
+    /// [`Mcu::step_into`] before re-entering. After every step `obs`'s
+    /// `exec` level is written to `cfg.exec_cell` — the monitor-side
+    /// EXEC flag update the per-step path performs via `set_hw_cell`.
+    ///
+    /// Returns the number of steps executed and the exit reason.
+    pub fn run_superblock(
+        &mut self,
+        cfg: &SbConfig,
+        signals: &mut Signals,
+        mut obs: impl FnMut(SbStep<'_>) -> StepCtl,
+    ) -> (u64, SbExit) {
+        let mut done: u64 = 0;
+        // The EXEC cell is level-driven: rewriting it only on a level
+        // change keeps the (rare) transition exact and drops a per-step
+        // binary search from the burst loop.
+        let mut exec_level: Option<u16> = None;
+        'outer: loop {
+            if done >= cfg.budget {
+                return (done, SbExit::Budget);
+            }
+            if cfg.stop_pc == Some(self.cpu.regs.pc()) {
+                return (done, SbExit::StopPc);
+            }
+            if !self.predecode_enabled || self.cpu.is_halted() || self.cpu.regs.cpu_off() {
+                return (done, SbExit::NeedStep);
+            }
+            if self.serviceable_irq() {
+                return (done, SbExit::NeedStep);
+            }
+            let entry = self.cpu.regs.pc();
+            let block = self.superblock_at(entry);
+            if block.steps.is_empty() {
+                return (done, SbExit::NeedStep);
+            }
+            let mut idx = 0usize;
+            let mut fresh = true;
+            loop {
+                // Step-boundary checks; on the first trace step they
+                // already ran above (before the block lookup).
+                if !fresh {
+                    if done >= cfg.budget {
+                        return (done, SbExit::Budget);
+                    }
+                    if cfg.stop_pc == Some(self.cpu.regs.pc()) {
+                        return (done, SbExit::StopPc);
+                    }
+                    if self.cpu.regs.cpu_off() {
+                        return (done, SbExit::NeedStep);
+                    }
+                    if self.serviceable_irq() {
+                        return (done, SbExit::NeedStep);
+                    }
+                }
+                fresh = false;
+                let ts = &block.steps[idx];
+                if ts.pc != self.cpu.regs.pc() {
+                    // Defensive: the trace no longer matches reality
+                    // (should be unreachable; terminators end blocks).
+                    continue 'outer;
+                }
+                let (ctl, faulted, dirty) = if cfg.materialize {
+                    self.sb_step_materialize(ts, signals, &mut obs)
+                } else {
+                    self.sb_step_elide(ts, cfg, &mut obs)
+                };
+                done += 1;
+                if let Some(cell) = cfg.exec_cell {
+                    let level = ctl.exec as u16;
+                    if exec_level != Some(level) {
+                        self.set_hw_cell(cell, level);
+                        exec_level = Some(level);
+                    }
+                }
+                if ctl.stop {
+                    return (done, SbExit::ObserverStop);
+                }
+                if faulted {
+                    return (done, SbExit::Fault);
+                }
+                if self.cpu.is_halted() {
+                    // A latched fault the StepOut did not report (e.g. a
+                    // literal RMW operand): fall back so the per-step
+                    // path emits the same trailing idle-fault step.
+                    return (done, SbExit::NeedStep);
+                }
+                if dirty && !block.valid(&self.mem) {
+                    continue 'outer; // self-modifying code / DMA into code
+                }
+                idx += 1;
+                if idx == block.steps.len() {
+                    if self.cpu.regs.pc() == entry {
+                        // Tight loop back to the entry (e.g. `jmp $`):
+                        // re-run the trace without another cache lookup.
+                        idx = 0;
+                    } else {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One elided interior step: execute through [`WireBus`], drain DMA,
+    /// tick peripherals, and hand the observer a [`WireSummary`] of the
+    /// observed wires only.
+    fn sb_step_elide(
+        &mut self,
+        ts: &TraceStep,
+        cfg: &SbConfig,
+        obs: &mut impl FnMut(SbStep<'_>) -> StepCtl,
+    ) -> (StepCtl, bool, bool) {
+        let want = cfg.observed;
+        let mut acc = WireAcc::default();
+        let step_out = {
+            let mut bus = WireBus {
+                mem: &mut self.mem,
+                periphs: &mut self.periphs,
+                periph_ranges: &self.periph_ranges,
+                hw_cells: &self.hw_cells,
+                key: self.layout.key,
+                ivt: self.layout.ivt,
+                or_: self.layout.or,
+                er: self.layout.er,
+                acc: &mut acc,
+                want_ren_key: want.contains(WireSet::REN_KEY),
+                want_wen_ivt: want.contains(WireSet::WEN_IVT),
+                want_wen_or: want.contains(WireSet::WEN_OR),
+                want_wen_er: want.contains(WireSet::WEN_ER),
+            };
+            self.cpu.step_predecoded(&mut bus, None, ts.instr, ts.size)
+        };
+
+        let mut summary = WireSummary {
+            pc: ts.pc,
+            fault: step_out.fault.is_some(),
+            ren_key: want.contains(WireSet::REN_KEY) && (acc.ren_key || ts.fetch_ren_key),
+            wen_ivt: acc.wen_ivt,
+            wen_or: acc.wen_or,
+            wen_er: acc.wen_er,
+            ..WireSummary::default()
+        };
+        let mut dirty = acc.wrote;
+
+        // DMA: peripheral-programmed channels plus injected operations,
+        // identical routing to `step_into` — only the logging differs.
+        self.dma_scratch.clear();
+        self.dma_scratch.append(&mut self.injected_dma);
+        for i in 0..self.dma_periphs.len() {
+            let ops = self.periphs[self.dma_periphs[i]].dma_ops();
+            self.dma_scratch.extend(ops);
+        }
+        if !self.dma_scratch.is_empty() {
+            let want_key = want.contains(WireSet::DMA_KEY);
+            let want_ivt = want.contains(WireSet::DMA_IVT);
+            let want_or = want.contains(WireSet::DMA_OR);
+            let want_er = want.contains(WireSet::DMA_ER);
+            summary.dma_active = want.contains(WireSet::DMA_ACTIVE);
+            dirty = true;
+            for op in self.dma_scratch.drain(..) {
+                let value = self.mem.read(op.src, op.byte);
+                self.mem.write(op.dst, value, op.byte);
+                for addr in [op.src, op.dst] {
+                    if want_key {
+                        summary.dma_key |= self.layout.key.touches(addr, op.byte);
+                    }
+                    if want_ivt {
+                        summary.dma_ivt |= self.layout.ivt.touches(addr, op.byte);
+                    }
+                    if want_or {
+                        summary.dma_or |= self.layout.or.touches(addr, op.byte);
+                    }
+                    if want_er {
+                        summary.dma_er |= self.layout.er.touches(addr, op.byte);
+                    }
+                }
+            }
+        }
+
+        for &i in &self.tick_periphs {
+            self.periphs[i].tick(step_out.cycles);
+        }
+        self.cycle += step_out.cycles;
+        self.step_idx += 1;
+        summary.step = self.step_idx;
+
+        let ctl = obs(SbStep::Wires(&summary));
+        (ctl, step_out.fault.is_some(), dirty)
+    }
+
+    /// One materialized interior step: identical to [`Mcu::step_into`]
+    /// for a predecoded, non-interrupt step — the observer sees the
+    /// same full `Signals` the per-step path would produce.
+    fn sb_step_materialize(
+        &mut self,
+        ts: &TraceStep,
+        out: &mut Signals,
+        obs: &mut impl FnMut(SbStep<'_>) -> StepCtl,
+    ) -> (StepCtl, bool, bool) {
+        let mut lines = self.pending_irq;
+        for &i in &self.irq_periphs {
+            lines |= self.periphs[i].irq_lines();
+        }
+        let irq_pending = lines != 0;
+
+        out.accesses.clear();
+        for i in 0..ts.size / 2 {
+            out.accesses.push(MemAccess::fetch(
+                ts.pc.wrapping_add(2 * i),
+                ts.words[i as usize],
+            ));
+        }
+
+        let step_out = {
+            let mut bus = McuBus {
+                mem: &mut self.mem,
+                periphs: &mut self.periphs,
+                periph_ranges: &self.periph_ranges,
+                hw_cells: &self.hw_cells,
+                log: &mut out.accesses,
+            };
+            self.cpu.step_predecoded(&mut bus, None, ts.instr, ts.size)
+        };
+
+        self.dma_scratch.clear();
+        self.dma_scratch.append(&mut self.injected_dma);
+        for i in 0..self.dma_periphs.len() {
+            let ops = self.periphs[self.dma_periphs[i]].dma_ops();
+            self.dma_scratch.extend(ops);
+        }
+        for op in self.dma_scratch.drain(..) {
+            let value = self.mem.read(op.src, op.byte);
+            self.mem.write(op.dst, value, op.byte);
+            out.accesses.push(MemAccess {
+                addr: op.src,
+                value,
+                byte: op.byte,
+                write: false,
+                fetch: false,
+                master: Master::Dma,
+            });
+            out.accesses.push(MemAccess {
+                addr: op.dst,
+                value,
+                byte: op.byte,
+                write: true,
+                fetch: false,
+                master: Master::Dma,
+            });
+        }
+
+        for &i in &self.tick_periphs {
+            self.periphs[i].tick(step_out.cycles);
+        }
+        self.cycle += step_out.cycles;
+        self.step_idx += 1;
+
+        out.cycle = self.cycle;
+        out.step = self.step_idx;
+        out.pc = step_out.pc_before;
+        out.pc_next = step_out.pc_after;
+        out.irq = false;
+        out.irq_vector = None;
+        out.irq_pending = irq_pending;
+        out.gie = self.cpu.regs.gie();
+        out.cpu_off = self.cpu.regs.cpu_off();
+        out.idle = step_out.idle;
+        out.fault = step_out.fault;
+
+        let dirty = out.accesses.iter().any(|a| a.write);
+        let ctl = obs(SbStep::Signals(&*out));
+        (ctl, step_out.fault.is_some(), dirty)
     }
 }
 
@@ -812,5 +1250,236 @@ mod tests {
         assert_eq!(mcu.cycles(), 2);
         mcu.step();
         assert_eq!(mcu.cycles(), 4);
+    }
+
+    /// Drives `mcu` for `steps` steps through the superblock tier in
+    /// materialize mode, collecting every produced `Signals` (interior
+    /// trace steps and `NeedStep` fallbacks alike).
+    fn run_superblocked(mcu: &mut Mcu, steps: u64) -> Vec<Signals> {
+        let mut collected = Vec::new();
+        let mut signals = Signals::default();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let cfg = SbConfig {
+                budget: remaining,
+                stop_pc: None,
+                exec_cell: None,
+                observed: crate::hwmod::WireSet::ALL,
+                materialize: true,
+            };
+            let (done, exit) = mcu.run_superblock(&cfg, &mut signals, |s| {
+                if let SbStep::Signals(s) = s {
+                    collected.push(s.clone());
+                }
+                StepCtl::default()
+            });
+            remaining -= done;
+            match exit {
+                SbExit::Budget => break,
+                SbExit::NeedStep => {
+                    if remaining == 0 {
+                        break;
+                    }
+                    mcu.step_into(&mut signals);
+                    collected.push(signals.clone());
+                    remaining -= 1;
+                }
+                other => panic!("unexpected exit {other:?}"),
+            }
+        }
+        collected
+    }
+
+    #[test]
+    fn superblock_and_per_step_signals_are_bit_identical() {
+        // GIE on, a store, a spin loop; an interrupt arrives mid-way and
+        // the ISR returns — every step must match the per-step pipeline
+        // bit for bit, including the interrupt entry the superblock tier
+        // hands back to `step_into`.
+        let words = [0x4034u16, 0x1234, 0x4482, 0x0200, 0xD232, 0x3FFF];
+        let mut stepped = Mcu::new(MemLayout::default());
+        let mut blocked = Mcu::new(MemLayout::default());
+        for mcu in [&mut stepped, &mut blocked] {
+            program(mcu, 0xE000, &words);
+            mcu.mem.write_word(0xF000, 0x1300); // isr: reti
+            mcu.mem.write_word(vector_addr(9), 0xF000);
+            mcu.reset();
+            mcu.raise_irq(9);
+        }
+        let expect: Vec<Signals> = (0..64).map(|_| stepped.step()).collect();
+        let got = run_superblocked(&mut blocked, 64);
+        assert_eq!(expect.len(), got.len());
+        for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(a, b, "step {i}");
+        }
+        assert_eq!(stepped.cycles(), blocked.cycles());
+    }
+
+    #[test]
+    fn superblock_survives_self_modifying_code() {
+        // The second instruction rewrites the *fourth* one (same block)
+        // from `mov #1, r5` to `mov #2, r5`: the block must retire
+        // mid-trace and the rebuilt trace must execute the new bytes —
+        // identically to the per-step pipeline.
+        let words = [
+            0x4034u16, 0x1234, // mov #0x1234, r4
+            0x40B2, 0x4325, 0xE00A, // mov #0x4325 ("mov #2, r5"), &0xE00A
+            0x4315, // mov #1, r5  (overwritten before it runs)
+            0x3FFF, // jmp $
+        ];
+        let mut stepped = Mcu::new(MemLayout::default());
+        let mut blocked = Mcu::new(MemLayout::default());
+        program(&mut stepped, 0xE000, &words);
+        program(&mut blocked, 0xE000, &words);
+        let expect: Vec<Signals> = (0..16).map(|_| stepped.step()).collect();
+        let got = run_superblocked(&mut blocked, 16);
+        assert_eq!(expect, got);
+        assert_eq!(blocked.cpu.regs.get(crate::regs::Reg::r(5)), 2);
+        assert!(blocked.cache_stats().invalidations > 0);
+    }
+
+    #[test]
+    fn elided_and_materialized_runs_agree_on_machine_state() {
+        let words = [0x4034u16, 0x1234, 0x4482, 0x0200, 0x4315, 0x3FFF];
+        let mut elided = Mcu::new(MemLayout::default());
+        let mut full = Mcu::new(MemLayout::default());
+        program(&mut elided, 0xE000, &words);
+        program(&mut full, 0xE000, &words);
+        let _ = run_superblocked(&mut full, 40);
+        let mut signals = Signals::default();
+        let cfg = SbConfig {
+            budget: 40,
+            stop_pc: None,
+            exec_cell: None,
+            observed: crate::hwmod::WireSet::NONE,
+            materialize: false,
+        };
+        let mut summaries = 0u64;
+        let (done, exit) = elided.run_superblock(&cfg, &mut signals, |s| {
+            if matches!(s, SbStep::Wires(_)) {
+                summaries += 1;
+            }
+            StepCtl::default()
+        });
+        assert_eq!(exit, SbExit::Budget);
+        assert_eq!(done, 40);
+        assert_eq!(summaries, 40);
+        assert_eq!(elided.cpu.regs, full.cpu.regs);
+        assert_eq!(elided.cycles(), full.cycles());
+        assert_eq!(elided.mem.read_word(0x0200), 0x1234);
+    }
+
+    #[test]
+    fn wire_set_gates_summary_wires() {
+        // A store into the IVT region: with WEN_IVT observed the summary
+        // raises the wire; with an empty set it stays silent (the wire
+        // was never computed), but the write itself still lands.
+        let ivt_addr = MemLayout::default().ivt.start();
+        let words = [0x40B2u16, 0xAAAA, ivt_addr, 0x3FFF];
+        for (observed, expect_wire) in [
+            (crate::hwmod::WireSet::WEN_IVT, true),
+            (crate::hwmod::WireSet::NONE, false),
+        ] {
+            let mut mcu = Mcu::new(MemLayout::default());
+            program(&mut mcu, 0xE000, &words);
+            let mut signals = Signals::default();
+            let mut saw = false;
+            let cfg = SbConfig {
+                budget: 2,
+                stop_pc: None,
+                exec_cell: None,
+                observed,
+                materialize: false,
+            };
+            let (done, _) = mcu.run_superblock(&cfg, &mut signals, |s| {
+                if let SbStep::Wires(w) = s {
+                    saw |= w.wen_ivt;
+                }
+                StepCtl::default()
+            });
+            assert_eq!(done, 2);
+            assert_eq!(saw, expect_wire);
+        }
+    }
+
+    #[test]
+    fn stop_pc_and_exec_cell_are_honoured() {
+        let words = [0x4034u16, 0x1234, 0x4315, 0x3FFF];
+        let mut mcu = Mcu::new(MemLayout::default());
+        mcu.add_hw_cell(0x0190, 0);
+        program(&mut mcu, 0xE000, &words);
+        let mut signals = Signals::default();
+        let cfg = SbConfig {
+            budget: 100,
+            stop_pc: Some(0xE006),
+            exec_cell: Some(0x0190),
+            observed: crate::hwmod::WireSet::NONE,
+            materialize: false,
+        };
+        let (done, exit) = mcu.run_superblock(&cfg, &mut signals, |_| StepCtl {
+            exec: true,
+            stop: false,
+        });
+        assert_eq!(exit, SbExit::StopPc);
+        assert_eq!(done, 2);
+        assert_eq!(mcu.cpu.regs.pc(), 0xE006);
+        assert_eq!(
+            mcu.hw_cell(0x0190),
+            Some(1),
+            "observer's exec level applied"
+        );
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_invalidations() {
+        let mut mcu = Mcu::new(MemLayout::default());
+        program(&mut mcu, 0xE000, &[0x4315, 0x3FFE]); // mov #1, r5 ; jmp $-2
+        let zero = mcu.cache_stats();
+        assert_eq!(zero, CacheStats::default());
+        let _ = run_superblocked(&mut mcu, 50);
+        let built = mcu.cache_stats();
+        assert!(built.blocks_built >= 1, "{built:?}");
+        assert!(built.misses >= 1, "{built:?}");
+        // A second burst re-enters through the cache (the first one sat
+        // inside the trace's loop-back, which needs no lookup at all).
+        let _ = run_superblocked(&mut mcu, 10);
+        let warm = mcu.cache_stats();
+        assert!(warm.hits > 0, "re-entry hits the block cache: {warm:?}");
+        assert_eq!(warm.blocks_built, built.blocks_built, "{warm:?}");
+        // Host poke into the code page: both tiers must invalidate.
+        mcu.mem.write_word(0xE000, 0x4325); // now `mov #2, r5`
+        let _ = run_superblocked(&mut mcu, 10);
+        let after = mcu.cache_stats();
+        assert!(after.invalidations > warm.invalidations, "{after:?}");
+        assert!(after.blocks_retired > warm.blocks_retired, "{after:?}");
+        assert_eq!(mcu.cpu.regs.get(crate::regs::Reg::r(5)), 2);
+    }
+
+    #[test]
+    fn dma_into_code_retires_the_running_block() {
+        // mov #1, r5 ; jmp $-2 — a two-instruction loop whose first
+        // instruction gets rewritten by DMA mid-flight.
+        let words = [0x4315u16, 0x3FFE];
+        let mut stepped = Mcu::new(MemLayout::default());
+        let mut blocked = Mcu::new(MemLayout::default());
+        for mcu in [&mut stepped, &mut blocked] {
+            program(mcu, 0xE000, words.as_slice());
+            mcu.mem.write_word(0x0400, 0x4335); // "mov #-1, r5"
+        }
+        let a: Vec<Signals> = (0..4).map(|_| stepped.step()).collect();
+        let b = run_superblocked(&mut blocked, 4);
+        assert_eq!(a, b);
+        for mcu in [&mut stepped, &mut blocked] {
+            mcu.inject_dma(DmaOp {
+                src: 0x0400,
+                dst: 0xE000,
+                byte: false,
+            });
+        }
+        let a: Vec<Signals> = (0..8).map(|_| stepped.step()).collect();
+        let b = run_superblocked(&mut blocked, 8);
+        assert_eq!(a, b);
+        assert_eq!(stepped.cpu.regs.get(crate::regs::Reg::r(5)), 0xFFFF);
+        assert_eq!(blocked.cpu.regs.get(crate::regs::Reg::r(5)), 0xFFFF);
     }
 }

@@ -22,6 +22,7 @@
 use crate::decode::decode;
 use crate::isa::Instr;
 use crate::mem::{Memory, PAGE_COUNT, PAGE_SHIFT};
+use crate::superblock::CacheStats;
 
 /// Word-aligned slots per cache page (one per possible instruction start
 /// in a 512-byte memory page).
@@ -67,12 +68,14 @@ const EMPTY: Slot = Slot {
 #[derive(Debug, Clone)]
 pub(crate) struct DecodeCache {
     pages: Vec<Option<Box<[Slot; WORDS_PER_PAGE]>>>,
+    stats: CacheStats,
 }
 
 impl DecodeCache {
     pub(crate) fn new() -> DecodeCache {
         DecodeCache {
             pages: vec![None; PAGE_COUNT],
+            stats: CacheStats::default(),
         }
     }
 
@@ -95,10 +98,13 @@ impl DecodeCache {
                 if slot.gen_first == mem.page_generation(pc)
                     && slot.gen_last == mem.page_generation(last)
                 {
+                    self.stats.hits += 1;
                     return Some(slot.entry);
                 }
+                self.stats.invalidations += 1;
             }
         }
+        self.stats.misses += 1;
 
         // Miss (or stale): decode straight from memory, recording the
         // fetched words.
@@ -141,6 +147,19 @@ impl DecodeCache {
     /// Number of cache pages currently materialized (diagnostics).
     pub(crate) fn resident_pages(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Drops every cached slot, preserving the counters. Used when the
+    /// MMIO topology changes (new peripheral / hardware cell), which
+    /// can turn previously cacheable fetches into live-bus ones.
+    pub(crate) fn clear(&mut self) {
+        for page in self.pages.iter_mut() {
+            *page = None;
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
     }
 }
 

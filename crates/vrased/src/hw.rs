@@ -12,7 +12,7 @@ use crate::props::{names, PropCtx, WireImage};
 use ltl_mc::formula::Ltl;
 use ltl_mc::fsm::{InputVal, MonitorFsm};
 use ltl_mc::mc::Property;
-use openmsp430::hwmod::{HwAction, HwModule};
+use openmsp430::hwmod::{HwAction, HwModule, ObservesWires, WireSet};
 use openmsp430::signals::Signals;
 use std::collections::BTreeSet;
 
@@ -38,7 +38,7 @@ pub struct KeyGuardIn {
 /// VRASED's key access control: the attestation key is readable only
 /// while the (trusted, immutable) SW-Att code is executing; DMA may never
 /// touch it. Violations latch a reset request.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KeyGuard {
     ctx: Option<PropCtx>,
     violated: bool,
@@ -162,6 +162,13 @@ impl HwModule for KeyGuard {
     }
 }
 
+impl ObservesWires for KeyGuard {
+    // Exactly the wires `KeyGuardIn::from_wires` samples.
+    const OBSERVES: WireSet = WireSet::REN_KEY
+        .union(WireSet::DMA_KEY)
+        .union(WireSet::PC_IN_SWATT);
+}
+
 impl MonitorFsm for KeyGuard {
     type State = bool;
 
@@ -231,7 +238,7 @@ pub struct AtomicityState {
 /// VRASED's SW-Att atomicity: the attestation routine is entered only at
 /// its first instruction, left only from its last, and never interrupted
 /// or raced by DMA. Violations latch a reset request.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SwAttAtomicity {
     ctx: Option<PropCtx>,
     state: AtomicityState,
@@ -372,6 +379,15 @@ impl HwModule for SwAttAtomicity {
 /// region (where the routine's final `ret` conceptually lives).
 pub fn swatt_exit_addr(layout: &openmsp430::layout::MemLayout) -> u16 {
     layout.swatt.end() & !1
+}
+
+impl ObservesWires for SwAttAtomicity {
+    // Exactly the wires the atomicity `step_wires` samples.
+    const OBSERVES: WireSet = WireSet::PC_IN_SWATT
+        .union(WireSet::PC_AT_SWATT_MIN)
+        .union(WireSet::PC_AT_SWATT_MAX)
+        .union(WireSet::IRQ)
+        .union(WireSet::DMA_ACTIVE);
 }
 
 impl MonitorFsm for SwAttAtomicity {

@@ -11,6 +11,7 @@ use openmsp430::bus::Master;
 use openmsp430::layout::MemLayout;
 use openmsp430::mem::MemRegion;
 use openmsp430::signals::Signals;
+use openmsp430::superblock::WireSummary;
 use std::collections::BTreeSet;
 
 /// Proposition names.
@@ -75,7 +76,7 @@ pub struct ErInfo {
 }
 
 /// Context for converting signals to propositions.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PropCtx {
     /// The device memory map.
     pub layout: MemLayout,
@@ -223,6 +224,40 @@ impl WireImage {
                     }
                 }
             }
+        }
+        w
+    }
+
+    /// Extracts the wires from an elided superblock-interior step.
+    ///
+    /// The access-derived wires come straight from the summary (the
+    /// executor computed exactly those in the composed observable set);
+    /// the PC-comparison wires are derived here, identically to
+    /// [`WireImage::of`]. Interior steps never service interrupts, so
+    /// `irq` is constant false.
+    pub fn of_summary(ctx: &PropCtx, s: &WireSummary) -> WireImage {
+        let l = &ctx.layout;
+        let mut w = WireImage {
+            irq: false,
+            fault: s.fault,
+            dma_active: s.dma_active,
+            ren_key: s.ren_key,
+            dma_key: s.dma_key,
+            wen_ivt: s.wen_ivt,
+            dma_ivt: s.dma_ivt,
+            wen_or: s.wen_or,
+            dma_or: s.dma_or,
+            wen_er: s.wen_er,
+            dma_er: s.dma_er,
+            pc_in_swatt: l.swatt.contains(s.pc),
+            pc_at_swatt_min: s.pc == l.swatt.start(),
+            pc_at_swatt_max: s.pc == l.swatt.end() & !1,
+            ..WireImage::default()
+        };
+        if let Some(er) = &ctx.er {
+            w.pc_in_er = er.region.contains(s.pc);
+            w.pc_at_ermin = s.pc == er.min;
+            w.pc_at_erexit = s.pc == er.exit;
         }
         w
     }

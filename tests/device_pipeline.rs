@@ -142,3 +142,138 @@ fn predecode_ablation_is_signal_invisible() {
     assert_eq!(cached.exec(), fetched.exec());
     assert_eq!(cached.resets(), fetched.resets());
 }
+
+/// Tentpole: the superblock fast path is observably identical to the
+/// per-step pipeline. Same stimuli (button interrupt, adversarial IVT
+/// write), same verdicts, same machine state — only faster.
+#[test]
+fn superblock_and_per_step_devices_agree() {
+    for mode in [PoxMode::Asap, PoxMode::Apex] {
+        let image = programs::fig4_authorized().expect("image links");
+        let mut fast = Device::builder(&image)
+            .mode(mode)
+            .key(b"pipeline-key")
+            .superblocks(true)
+            .build()
+            .unwrap();
+        let mut slow = Device::builder(&image)
+            .mode(mode)
+            .key(b"pipeline-key")
+            .superblocks(false)
+            .build()
+            .unwrap();
+        for d in [&mut fast, &mut slow] {
+            d.run_steps(6);
+            d.set_button(0, true);
+            d.run_steps(600);
+            d.attacker_cpu_write(0xFFE4, 0xDEAD);
+            d.run_steps(200);
+        }
+        assert_eq!(fast.exec(), slow.exec(), "{mode:?} EXEC");
+        assert_eq!(fast.resets(), slow.resets(), "{mode:?} resets");
+        assert_eq!(fast.violations(), slow.violations(), "{mode:?} violations");
+        assert_eq!(fast.mcu.cpu.regs, slow.mcu.cpu.regs, "{mode:?} registers");
+        assert_eq!(fast.mcu.cycles(), slow.mcu.cycles(), "{mode:?} cycles");
+        assert_eq!(fast.mcu.steps(), slow.mcu.steps(), "{mode:?} steps");
+    }
+}
+
+/// Tentpole: with a signal tap installed (materialize forced), the
+/// superblocked device streams the exact per-step `Signals` sequence —
+/// bit for bit — and records the same waveform, through interrupts and
+/// DMA-into-code invalidation.
+#[test]
+fn superblock_signal_stream_is_bit_identical() {
+    use std::sync::{Arc, Mutex};
+
+    let image = programs::fig4_authorized().expect("image links");
+    let logs: Vec<Arc<Mutex<Vec<Signals>>>> = vec![
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ];
+    let mut devices = Vec::new();
+    for (i, on) in [(0, true), (1, false)] {
+        let log = Arc::clone(&logs[i]);
+        devices.push(
+            Device::builder(&image)
+                .key(b"pipeline-key")
+                .superblocks(on)
+                .record_wave(true)
+                .stream_signals(move |s| log.lock().unwrap().push(s.clone()))
+                .build()
+                .unwrap(),
+        );
+    }
+    let mut reached = Vec::new();
+    for d in &mut devices {
+        d.run_steps(6);
+        d.set_button(0, true);
+        d.run_steps(400);
+        d.attacker_dma_write(0xE004, 0x4303);
+        reached.push(d.run_until_pc(programs::done_pc(), 10_000));
+    }
+    assert_eq!(reached[0], reached[1], "run_until_pc outcome");
+    let fast_log = logs[0].lock().unwrap();
+    let slow_log = logs[1].lock().unwrap();
+    assert_eq!(fast_log.len(), slow_log.len(), "stream lengths");
+    for (step, (a, b)) in fast_log.iter().zip(slow_log.iter()).enumerate() {
+        assert_eq!(a, b, "signals diverge at streamed step {step}");
+    }
+    assert_eq!(devices[0].wave(), devices[1].wave(), "waveforms");
+    assert_eq!(devices[0].violations(), devices[1].violations());
+}
+
+/// Tentpole: dead-signal elision (no tap, wires only) reaches the same
+/// machine state and verdicts as full materialization — the elided
+/// wires really are the only ones the monitor stack can see.
+#[test]
+fn elided_and_materialized_device_runs_agree() {
+    let image = programs::fig4_authorized().expect("image links");
+    let mut elided = Device::builder(&image)
+        .key(b"pipeline-key")
+        .superblocks(true)
+        .build()
+        .unwrap();
+    let mut full = Device::builder(&image)
+        .key(b"pipeline-key")
+        .superblocks(true)
+        .stream_signals(|_| {})
+        .build()
+        .unwrap();
+    for d in [&mut elided, &mut full] {
+        d.run_steps(6);
+        d.set_button(0, true);
+        d.run_steps(800);
+        d.attacker_cpu_write(0xFFE4, 0xBEEF);
+        d.run_steps(100);
+    }
+    assert_eq!(elided.exec(), full.exec());
+    assert_eq!(elided.resets(), full.resets());
+    assert_eq!(elided.violations(), full.violations());
+    assert_eq!(elided.mcu.cpu.regs, full.mcu.cpu.regs);
+    assert_eq!(elided.mcu.cycles(), full.mcu.cycles());
+    assert_eq!(elided.mcu.steps(), full.mcu.steps());
+}
+
+/// Satellite: the merged predecode + superblock cache counters are
+/// visible at the device level and move the way a burst should move
+/// them — blocks built and hit, and host pokes into code retire them.
+#[test]
+fn device_cache_stats_reflect_superblock_activity() {
+    let mut d = fresh_device(PoxMode::Asap);
+    d.run_steps(200);
+    let warm = d.mcu.cache_stats();
+    assert!(warm.blocks_built > 0, "bursts build superblocks");
+    d.run_steps(200);
+    let hot = d.mcu.cache_stats();
+    assert!(hot.hits > warm.hits, "re-entry hits the block cache");
+    // Poke a word in the same 512-byte page as the spinning done loop:
+    // the next burst's entry lookup must find the block stale.
+    d.attacker_cpu_write(programs::done_pc() + 0x40, 0x4303);
+    d.run_steps(200);
+    let poked = d.mcu.cache_stats();
+    assert!(
+        poked.blocks_retired > hot.blocks_retired,
+        "host pokes into code retire stale superblocks"
+    );
+}
