@@ -18,6 +18,12 @@ Guarded series, compared at every point both files measured:
   tolerance, plus enrollment RSS at 1.5x — the memory-diet bound the
   100k–1M series exists to pin. Rows without `rss_bytes` (non-Linux
   hosts) skip the memory check.
+* **sustained**, keyed by (devices, connections, reactors):
+  steady-state sessions/sec over ≥30 consecutive rounds through one
+  persistent `FleetRuntime`, at 35% tolerance, plus the post-soak RSS
+  ceiling at 1.5x — a per-round leak in the persistent reactors shows
+  up here multiplied by the round count. Rows without `rss_bytes`
+  skip the memory check.
 * **multi_speedup** (sharded vs single-reactor gateway), at 35%
   tolerance — but *skipped with an annotation* when either file was
   measured on a host reporting `parallelism: 1` (missing field reads
@@ -69,6 +75,14 @@ def lifecycle_rows(doc):
         (row["devices"], row.get("cohort", 0)): row
         for row in doc["rounds"]
         if row["transport"] == "lifecycle"
+    }
+
+
+def sustained_rows(doc):
+    return {
+        (row["devices"], row.get("connections", 1), row.get("reactors", 1)): row
+        for row in doc["rounds"]
+        if row["transport"] == "sustained"
     }
 
 
@@ -124,6 +138,38 @@ def check_lifecycle(baseline, fresh):
     return bool(common)
 
 
+def check_sustained(baseline, fresh):
+    common = sorted(set(baseline) & set(fresh))
+    failed = []
+    for key in common:
+        devices, connections, reactors = key
+        b, f = baseline[key], fresh[key]
+        ratio = f["sessions_per_sec"] / b["sessions_per_sec"]
+        note = ""
+        if "rss_bytes" in b and "rss_bytes" in f:
+            rss_ratio = f["rss_bytes"] / b["rss_bytes"]
+            note = (
+                f", rss {b['rss_bytes'] / 2**20:.1f} -> "
+                f"{f['rss_bytes'] / 2**20:.1f} MiB ({rss_ratio:.2f}x)"
+            )
+            if rss_ratio > RSS_TOLERANCE:
+                failed.append((key, "rss_bytes"))
+        print(
+            f"sustained @ {devices}d/{connections}c/{reactors}r: "
+            f"baseline {b['sessions_per_sec']:.0f}/s, "
+            f"fresh {f['sessions_per_sec']:.0f}/s ({ratio:.2f}x){note}"
+        )
+        if ratio < GATEWAY_TOLERANCE:
+            failed.append((key, "sessions_per_sec"))
+    if failed:
+        sys.exit(
+            f"sustained regressed at {failed} vs the checked-in "
+            f"BENCH_fleet.json (throughput floor "
+            f"{GATEWAY_TOLERANCE}x, RSS ceiling {RSS_TOLERANCE}x)"
+        )
+    return bool(common)
+
+
 def check_multi_speedup(baseline_doc, fresh_doc):
     base = baseline_doc.get("multi_speedup")
     fresh = fresh_doc.get("multi_speedup")
@@ -175,6 +221,7 @@ def main():
         lambda key: f"{key[0]} {key[1]}d/{key[2]}c/{key[3]}r",
     )
     compared |= check_lifecycle(lifecycle_rows(baseline), lifecycle_rows(fresh))
+    compared |= check_sustained(sustained_rows(baseline), sustained_rows(fresh))
     compared |= check_multi_speedup(baseline, fresh)
     if not compared:
         sys.exit(

@@ -153,6 +153,7 @@ pub mod lifecycle;
 pub mod reactor;
 pub mod registry;
 pub mod round;
+pub mod runtime;
 pub mod stream;
 pub mod transport;
 
@@ -168,6 +169,7 @@ pub use lifecycle::{
 pub use reactor::{MultiGateway, ReactorStats};
 pub use registry::{FleetVerifier, Verdict, SHARD_COUNT};
 pub use round::{RoundOutcome, RoundReport};
+pub use runtime::FleetRuntime;
 pub use stream::{
     announce_devices, drive_round, pump_read, serve_frames, ReadPump, StreamTransport, WritePump,
     WriteQueue,

@@ -66,10 +66,11 @@ use crate::gateway::{FleetGateway, GatewayListener};
 use crate::reactor::MultiGateway;
 use crate::registry::{FleetVerifier, SHARD_COUNT};
 use crate::round::RoundReport;
+use crate::runtime::FleetRuntime;
 use crate::transport::Transport;
 use crate::DeviceId;
 use asap::VerifierSpec;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -152,15 +153,38 @@ pub struct LifecycleConfig {
     /// same seed and fed the same churn schedule produce identical
     /// cohorts, epoch for epoch.
     pub seed: u64,
+    /// How many consecutive epochs may be in flight at once. At the
+    /// default of 1, epochs are strictly sequential — exactly the
+    /// pre-pipelining schedule. Above 1, each cohort excludes every
+    /// device drawn in the previous `pipeline_window - 1` epochs (and
+    /// their staged rekeys stay staged), so the cohorts a pipelined
+    /// runtime holds in flight are always **disjoint**: no challenge
+    /// can supersede a still-draining session, and every verdict
+    /// belongs to exactly one epoch. Cohort composition depends only on
+    /// this window and the churn schedule — never on how deeply a
+    /// runtime actually pipelines — so per-epoch reports stay
+    /// byte-identical across pipeline depths 1..=window.
+    pub pipeline_window: usize,
+    /// Live devices per lock shard that trigger an **online doubling**
+    /// of the registry's shard count at join time
+    /// ([`FleetVerifier::grow_shards`]): a fleet enrolled at a small
+    /// shard count keeps per-shard occupancy bounded as it grows to
+    /// millions, with no reconstruction and no round pause. 0 disables
+    /// auto-growth (growth stays available explicitly through
+    /// [`FleetDirectory::grow_shards`]).
+    pub grow_load: usize,
 }
 
 impl LifecycleConfig {
-    /// Defaults: [`SHARD_COUNT`] shards, 1024-device cohorts, seed 1.
+    /// Defaults: [`SHARD_COUNT`] shards, 1024-device cohorts, seed 1,
+    /// sequential epochs (window 1).
     pub fn new() -> LifecycleConfig {
         LifecycleConfig {
             shards: SHARD_COUNT,
             cohort: 1024,
             seed: 1,
+            pipeline_window: 1,
+            grow_load: 1024,
         }
     }
 
@@ -179,6 +203,20 @@ impl LifecycleConfig {
     /// Sets the rotation shuffle seed.
     pub fn seed(mut self, seed: u64) -> LifecycleConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the pipelined-epoch window (clamped to at least one). See
+    /// [`LifecycleConfig::pipeline_window`].
+    pub fn pipeline_window(mut self, window: usize) -> LifecycleConfig {
+        self.pipeline_window = window.max(1);
+        self
+    }
+
+    /// Sets the auto-grow load factor. See
+    /// [`LifecycleConfig::grow_load`]; 0 disables auto-growth.
+    pub fn grow_load(mut self, devices_per_shard: usize) -> LifecycleConfig {
+        self.grow_load = devices_per_shard;
         self
     }
 }
@@ -231,9 +269,16 @@ struct DirectoryState {
     /// The current rotation cycle's remainder, refilled (seeded
     /// shuffle) whenever it runs dry.
     queue: VecDeque<DeviceId>,
+    /// The last `pipeline_window - 1` cohorts, oldest first — the
+    /// devices a pipelined runtime may still hold in flight, excluded
+    /// from the next draw. Always empty at the default window of 1.
+    recent: VecDeque<Vec<DeviceId>>,
     epoch: u64,
     rng: u64,
     reconnects: u64,
+    /// Registered (non-evicted) devices — the cheap census that drives
+    /// the auto-grow load check without walking the fleet.
+    live: usize,
 }
 
 /// Fleet membership and epoch scheduling over a [`FleetVerifier`].
@@ -243,7 +288,7 @@ struct DirectoryState {
 /// shared across threads — churn calls land mid-round from ingestion
 /// threads while a round driver owns the gateway.
 pub struct FleetDirectory {
-    fleet: FleetVerifier,
+    fleet: Arc<FleetVerifier>,
     config: LifecycleConfig,
     state: Mutex<DirectoryState>,
 }
@@ -252,9 +297,10 @@ impl FleetDirectory {
     /// An empty directory over a fresh registry.
     pub fn new(config: LifecycleConfig) -> FleetDirectory {
         FleetDirectory {
-            fleet: FleetVerifier::with_shards(config.shards),
+            fleet: Arc::new(FleetVerifier::with_shards(config.shards)),
             config: LifecycleConfig {
                 cohort: config.cohort.max(1),
+                pipeline_window: config.pipeline_window.max(1),
                 ..config
             },
             state: Mutex::new(DirectoryState {
@@ -262,10 +308,12 @@ impl FleetDirectory {
                 staged_keys: HashMap::new(),
                 fresh: VecDeque::new(),
                 queue: VecDeque::new(),
+                recent: VecDeque::new(),
                 epoch: 0,
                 // xorshift has a zero fixpoint; any non-zero seed works.
                 rng: config.seed.max(1),
                 reconnects: 0,
+                live: 0,
             }),
         }
     }
@@ -275,6 +323,12 @@ impl FleetDirectory {
     /// states stay truthful.
     pub fn fleet(&self) -> &FleetVerifier {
         &self.fleet
+    }
+
+    /// The registry as a shared handle — what a persistent
+    /// [`FleetRuntime`] is built over.
+    pub fn fleet_arc(&self) -> Arc<FleetVerifier> {
+        Arc::clone(&self.fleet)
     }
 
     /// The construction-time configuration.
@@ -369,6 +423,16 @@ impl FleetDirectory {
         let mut state = self.state.lock().unwrap();
         self.fleet.register_shared(id, key, spec)?;
         state.states.insert(id, DeviceState::Joining);
+        state.live += 1;
+        // Online growth: double the shard count whenever per-shard
+        // occupancy crosses the load factor, so a fleet enrolled at a
+        // handful of shards reaches millions of devices with bounded
+        // lock contention — no reconstruction, no round pause.
+        if self.config.grow_load > 0
+            && state.live > self.fleet.shard_count() * self.config.grow_load
+        {
+            self.fleet.grow_shards();
+        }
         Ok(())
     }
 
@@ -383,6 +447,7 @@ impl FleetDirectory {
             Some(s @ (DeviceState::Joining | DeviceState::Active | DeviceState::Rekeying)) => {
                 *s = DeviceState::Draining;
                 state.staged_keys.remove(&id);
+                state.live -= 1;
                 self.fleet.remove(id);
                 true
             }
@@ -423,6 +488,15 @@ impl FleetDirectory {
         }
     }
 
+    /// Doubles the registry's shard count online — power-of-two split,
+    /// per-shard migration under the existing locks, rounds in flight
+    /// undisturbed ([`FleetVerifier::grow_shards`]). Returns the new
+    /// shard count. The auto-grow path ([`LifecycleConfig::grow_load`])
+    /// calls the same primitive; this is the operator's explicit lever.
+    pub fn grow_shards(&self) -> usize {
+        self.fleet.grow_shards()
+    }
+
     /// Drops `Evicted` tombstones, returning how many were purged.
     /// Tombstones are kept by default so operators can distinguish
     /// "left" from "never enrolled"; purge on whatever audit cadence
@@ -450,6 +524,12 @@ impl FleetDirectory {
         let state = &mut *state;
         state.epoch += 1;
 
+        // 0. Devices drawn within the pipeline window: a pipelined
+        // runtime may still hold their sessions in flight, so they are
+        // excluded from this draw and their rekeys stay staged. Empty
+        // at the default window of 1.
+        let recent: HashSet<DeviceId> = state.recent.iter().flatten().copied().collect();
+
         // 1. Tombstone the drained.
         for s in state.states.values_mut() {
             if *s == DeviceState::Draining {
@@ -458,10 +538,17 @@ impl FleetDirectory {
         }
 
         // 2. Apply staged keys, in id order so two directories fed the
-        // same churn stage-for-stage rekey identically.
+        // same churn stage-for-stage rekey identically. A rekey for a
+        // device whose cohort may still be in flight stays staged —
+        // applying it would abort the live session and make its verdict
+        // depend on pipeline timing.
         let mut staged: Vec<(DeviceId, Vec<u8>)> = state.staged_keys.drain().collect();
         staged.sort_unstable_by_key(|&(id, _)| id);
         for (id, key) in staged {
+            if recent.contains(&id) {
+                state.staged_keys.insert(id, key);
+                continue;
+            }
             if state.states.get(&id) == Some(&DeviceState::Rekeying) {
                 // The entry can only be missing if the device left after
                 // staging, and `leave` unstages — but never let a racy
@@ -487,13 +574,22 @@ impl FleetDirectory {
         // 4. Draw the cohort: fresh first, then the rotation, refilled
         // at most once per epoch (a second dry run means the fleet is
         // smaller than the cohort — the partial round is just small).
+        // Devices in the pipeline window are set aside, not consumed:
+        // they keep their place at the head of the next draw.
         let mut cohort = Vec::with_capacity(self.config.cohort.min(64));
+        let mut deferred_fresh: Vec<DeviceId> = Vec::new();
+        let mut skipped: Vec<DeviceId> = Vec::new();
         let mut refilled = false;
         while cohort.len() < self.config.cohort {
             if let Some(id) = state.fresh.pop_front() {
-                if state.states.get(&id) == Some(&DeviceState::Active) {
-                    cohort.push(id);
+                if state.states.get(&id) != Some(&DeviceState::Active) {
+                    continue;
                 }
+                if recent.contains(&id) {
+                    deferred_fresh.push(id);
+                    continue;
+                }
+                cohort.push(id);
                 continue;
             }
             if state.queue.is_empty() {
@@ -506,6 +602,7 @@ impl FleetDirectory {
                     .iter()
                     .filter(|&(_, s)| *s == DeviceState::Active)
                     .map(|(&id, _)| id)
+                    .filter(|id| !skipped.contains(id))
                     .collect();
                 cycle.sort_unstable();
                 shuffle(&mut cycle, &mut state.rng);
@@ -518,10 +615,31 @@ impl FleetDirectory {
                     if state.states.get(&id) == Some(&DeviceState::Active)
                         && !cohort.contains(&id) =>
                 {
-                    cohort.push(id);
+                    if recent.contains(&id) {
+                        skipped.push(id);
+                    } else {
+                        cohort.push(id);
+                    }
                 }
                 Some(_) => continue,
                 None => break,
+            }
+        }
+        // Set-aside devices rejoin at the head: owed before the rest of
+        // their rotation cycle, the moment their old epoch leaves the
+        // window.
+        for id in skipped.into_iter().rev() {
+            state.queue.push_front(id);
+        }
+        for id in deferred_fresh.into_iter().rev() {
+            state.fresh.push_front(id);
+        }
+
+        // Remember this cohort for the window's disjointness guarantee.
+        if self.config.pipeline_window > 1 {
+            state.recent.push_back(cohort.clone());
+            while state.recent.len() >= self.config.pipeline_window {
+                state.recent.pop_front();
             }
         }
 
@@ -578,6 +696,54 @@ impl FleetDirectory {
         let plan = self.begin_epoch();
         let report = gateway.drive_round(&self.fleet, &plan.cohort, budget)?;
         Ok((plan, report))
+    }
+
+    /// `epochs` consecutive epochs through a persistent
+    /// [`FleetRuntime`], **pipelined**: up to
+    /// `min(runtime.depth(), pipeline_window)` epochs are in flight at
+    /// once, so epoch N+1's challenges go out while epoch N's
+    /// stragglers drain toward their deadlines. Reports come back in
+    /// epoch order. The clamp to
+    /// [`LifecycleConfig::pipeline_window`] is what keeps in-flight
+    /// cohorts disjoint — and with it, per-epoch reports byte-identical
+    /// at every depth `1..=window` and every reactor count.
+    ///
+    /// The runtime must have been built over this directory's registry
+    /// ([`fleet_arc`](FleetDirectory::fleet_arc)).
+    ///
+    /// # Errors
+    ///
+    /// The first round-level error; earlier epochs' reports are lost
+    /// with it, but every epoch submitted still advanced the schedule.
+    pub fn run_epochs_runtime<L: GatewayListener>(
+        &self,
+        runtime: &mut FleetRuntime<L>,
+        epochs: usize,
+        budget: Duration,
+    ) -> Result<Vec<(EpochPlan, RoundReport)>, FleetError>
+    where
+        L::Conn: Send + 'static,
+    {
+        debug_assert!(
+            Arc::ptr_eq(&self.fleet, runtime.fleet()),
+            "the runtime must drive this directory's registry"
+        );
+        let depth = runtime.depth().min(self.config.pipeline_window);
+        let mut in_flight: VecDeque<(EpochPlan, u64)> = VecDeque::new();
+        let mut out = Vec::with_capacity(epochs);
+        let mut submitted = 0usize;
+        while out.len() < epochs {
+            while in_flight.len() < depth && submitted < epochs {
+                let plan = self.begin_epoch();
+                let ticket = runtime.submit_round(&plan.cohort, budget)?;
+                in_flight.push_back((plan, ticket));
+                submitted += 1;
+            }
+            let (plan, ticket) = in_flight.pop_front().expect("depth is at least one");
+            let report = runtime.wait_round(ticket)?;
+            out.push((plan, report));
+        }
+        Ok(out)
     }
 }
 

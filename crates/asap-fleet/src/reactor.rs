@@ -75,16 +75,16 @@ use std::time::{Duration, Instant};
 /// Where a device was last heard from: which reactor services the
 /// connection, and the connection's slot in that reactor's slab.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Route {
-    reactor: usize,
-    slot: usize,
+pub(crate) struct Route {
+    pub(crate) reactor: usize,
+    pub(crate) slot: usize,
 }
 
 /// Cross-reactor mail. Every variant is fire-and-forget: a message to a
 /// reactor that already stopped is simply dropped, which matches the
 /// single-reactor gateway truncating its sweep the moment the round
 /// settles.
-enum ReactorMsg<C> {
+pub(crate) enum ReactorMsg<C> {
     /// A freshly accepted connection, handed off by the supervisor.
     Conn(C),
     /// Owner → connection reactor: queue this framed challenge on the
@@ -112,31 +112,64 @@ enum ReactorMsg<C> {
     /// The route that pointed at this reactor's `slot` moved to another
     /// connection; drop one from the slot's flood counter.
     Unroute { slot: usize },
+    /// Runtime → persistent reactor: begin this epoch's round over the
+    /// reactor's partition. Scoped [`MultiGateway`] rounds never send
+    /// this — their engines are built before the round loop starts.
+    Begin(RoundStart),
+    /// Runtime → persistent reactor: finish in-flight epochs' scratch
+    /// teardown and exit the thread.
+    Shutdown,
+}
+
+/// One epoch's round descriptor, mailed to a persistent reactor by
+/// [`FleetRuntime`](crate::FleetRuntime).
+pub(crate) struct RoundStart {
+    pub(crate) epoch: u64,
+    pub(crate) partition: Vec<DeviceId>,
+    pub(crate) budget: Duration,
+    /// The shared round clock, stamped once by the submitter so every
+    /// reactor maps the wall-clock budget onto the same tick origin.
+    pub(crate) started: Instant,
+}
+
+/// One in-flight epoch inside a reactor: its engine plus the clock the
+/// budget is measured against. A reactor multiplexes several of these
+/// when epochs are pipelined; the scoped gateway always runs exactly
+/// one.
+pub(crate) struct EpochRun<'run> {
+    pub(crate) epoch: u64,
+    pub(crate) engine: RoundEngine<'run>,
+    pub(crate) started: Instant,
+    /// The partition this epoch was begun over, handed back to the
+    /// runtime with the finished report so the driver can recycle the
+    /// allocation for a later epoch.
+    pub(crate) cohort: Vec<DeviceId>,
 }
 
 /// One reactor's persistent half: its connection slab and per-round
 /// routing residue. Lives in [`MultiGateway`] across rounds; borrowed
 /// mutably by the reactor thread for the duration of each round.
-struct ReactorState<C> {
-    conns: Vec<Option<Peer<C>>>,
+pub(crate) struct ReactorState<C> {
+    pub(crate) conns: Vec<Option<Peer<C>>>,
     /// Framed challenges for owned devices with no usable route yet.
-    /// Cleared at round start.
-    parked: HashMap<DeviceId, Vec<u8>>,
+    /// Cleared at round start on the scoped gateway; on the persistent
+    /// runtime, pruned when the epoch that parked them finishes.
+    pub(crate) parked: HashMap<DeviceId, Vec<u8>>,
     /// Which local slot each device's challenge was actually sent on
     /// this round — hangup charging keys on this, never on the
-    /// (hello-controlled, last-wins) route map. Cleared at round start.
-    delivered: HashMap<DeviceId, usize>,
-    dropped_total: u64,
+    /// (hello-controlled, last-wins) route map. Cleared like `parked`.
+    pub(crate) delivered: HashMap<DeviceId, usize>,
+    pub(crate) dropped_total: u64,
     /// Hello frames this reactor read for devices the registry has
     /// never enrolled (see
     /// [`FleetGateway::unknown_device_hellos`](crate::FleetGateway::unknown_device_hellos)).
-    unknown_hellos: u64,
+    pub(crate) unknown_hellos: u64,
     /// Outcomes this reactor's partial report contributed last round.
-    last_outcomes: usize,
+    pub(crate) last_outcomes: usize,
 }
 
 impl<C: GatewayConn> ReactorState<C> {
-    fn new() -> ReactorState<C> {
+    pub(crate) fn new() -> ReactorState<C> {
         ReactorState {
             conns: Vec::new(),
             parked: HashMap::new(),
@@ -149,7 +182,7 @@ impl<C: GatewayConn> ReactorState<C> {
 
     /// Slots a prepared connection into the slab (reusing holes, as the
     /// single-reactor gateway does).
-    fn adopt(&mut self, conn: C) {
+    pub(crate) fn adopt(&mut self, conn: C) {
         let peer = Peer::new(conn);
         match self.conns.iter().position(Option::is_none) {
             Some(slot) => self.conns[slot] = Some(peer),
@@ -159,6 +192,18 @@ impl<C: GatewayConn> ReactorState<C> {
 
     fn connections(&self) -> usize {
         self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Point-in-time counters, snapshotted into every persistent-epoch
+    /// completion message so the runtime driver can serve
+    /// [`ReactorStats`] without reaching into reactor threads.
+    pub(crate) fn stats(&self) -> ReactorStats {
+        ReactorStats {
+            connections: self.connections(),
+            dropped_connections: self.dropped_total,
+            unknown_device_hellos: self.unknown_hellos,
+            last_round_outcomes: self.last_outcomes,
+        }
     }
 }
 
@@ -515,7 +560,7 @@ impl<L: GatewayListener> MultiGateway<L> {
 /// challenged devices in challenge order (each device's outcomes in its
 /// owner's local order), then everything unattributable or unsolicited,
 /// grouped by reactor index.
-fn merge_reports(order: &[DeviceId], reports: Vec<RoundReport>) -> RoundReport {
+pub(crate) fn merge_reports(order: &[DeviceId], reports: Vec<RoundReport>) -> RoundReport {
     let challenged: HashSet<DeviceId> = order.iter().copied().collect();
     let mut buckets: Vec<HashMap<DeviceId, Vec<RoundOutcome>>> = Vec::new();
     let mut leftovers: Vec<RoundOutcome> = Vec::new();
@@ -600,18 +645,13 @@ fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundRe
             return Err(e);
         }
     };
-    let mut run = ReactorRun {
-        me,
-        reactors,
-        state,
-        route,
-        mates,
+    let mut run = ReactorRun::new(me, reactors, fleet, state, route, mates, workers);
+    run.engines.push(EpochRun {
+        epoch: 0,
         engine,
-        inbound: Vec::new(),
-        pending_charges: Vec::new(),
-        workers,
-        progressed: false,
-    };
+        started,
+        cohort: partition.to_vec(),
+    });
 
     let mut idle_streak = 0u32;
     loop {
@@ -624,11 +664,10 @@ fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundRe
         // Owned devices evicted from the registry mid-round settle as
         // `Evicted` here, on the reactor that owns their round state —
         // every reactor count resolves the same eviction the same way.
-        run.progressed |= run.engine.sync_membership() > 0;
+        run.sync_membership_all();
         run.sweep_writes_and_reap();
-        run.engine
-            .tick(LogicalTime(started.elapsed().as_millis() as u64));
-        settled.store(run.engine.is_settled(), Ordering::Release);
+        run.tick_all();
+        settled.store(run.single_settled(), Ordering::Release);
         if stop.load(Ordering::Acquire) {
             break;
         }
@@ -652,35 +691,169 @@ fn run_reactor_round<C: GatewayConn>(args: ReactorArgs<'_, C>) -> Result<RoundRe
             run.state.adopt(conn);
         }
     }
-    let report = run.engine.into_report();
-    run.state.last_outcomes = report.outcomes.len();
-    Ok(report)
+    Ok(run.take_single_report())
 }
 
-/// One reactor mid-round: its persistent state plus the round-scoped
-/// engine, inbound batch and channel ends.
-struct ReactorRun<'run, C: GatewayConn> {
-    me: usize,
-    reactors: usize,
-    state: &'run mut ReactorState<C>,
-    route: &'run Mutex<HashMap<DeviceId, Route>>,
-    mates: &'run [Sender<ReactorMsg<C>>],
-    engine: RoundEngine<'run>,
+/// One reactor mid-flight: its persistent state plus every in-flight
+/// epoch's engine, the shared inbound batch and channel ends. The
+/// scoped gateway holds exactly one epoch in `engines`; the persistent
+/// runtime multiplexes up to its pipeline depth.
+pub(crate) struct ReactorRun<'run, C: GatewayConn> {
+    pub(crate) me: usize,
+    pub(crate) reactors: usize,
+    pub(crate) fleet: &'run FleetVerifier,
+    pub(crate) state: &'run mut ReactorState<C>,
+    pub(crate) route: &'run Mutex<HashMap<DeviceId, Route>>,
+    pub(crate) mates: &'run [Sender<ReactorMsg<C>>],
+    /// In-flight epochs, oldest first. Verdicts that belong to no
+    /// awaited device (unsolicited evidence, unattributable frames)
+    /// are charged to the oldest epoch, which is the only epoch when
+    /// rounds are not pipelined.
+    pub(crate) engines: Vec<EpochRun<'run>>,
     /// Evidence gathered this sweep (local reads + forwarded mail),
     /// concluded as one batch on the MAC pool.
-    inbound: Vec<Vec<u8>>,
+    pub(crate) inbound: Vec<Vec<u8>>,
     /// Mailed `Charge`s, applied only *after* the sweep's evidence
     /// batch concludes: a mate's channel delivers evidence before the
     /// hangup charge (stream order), and the charge must not outrun the
     /// evidence just because conclusion is batched.
-    pending_charges: Vec<DeviceId>,
-    workers: usize,
-    progressed: bool,
+    pub(crate) pending_charges: Vec<DeviceId>,
+    /// Round descriptors mailed by the runtime, begun at the top of the
+    /// next sweep. Scoped rounds never populate this.
+    pub(crate) pending_begins: Vec<RoundStart>,
+    /// Set when the runtime mails [`ReactorMsg::Shutdown`].
+    pub(crate) shutdown: bool,
+    /// Reused transmit staging: drained engine challenges awaiting
+    /// routing, so pumping allocates nothing in the steady state.
+    tx_scratch: Vec<(DeviceId, Vec<u8>)>,
+    pub(crate) workers: usize,
+    pub(crate) progressed: bool,
 }
 
-impl<C: GatewayConn> ReactorRun<'_, C> {
+impl<'run, C: GatewayConn> ReactorRun<'run, C> {
+    pub(crate) fn new(
+        me: usize,
+        reactors: usize,
+        fleet: &'run FleetVerifier,
+        state: &'run mut ReactorState<C>,
+        route: &'run Mutex<HashMap<DeviceId, Route>>,
+        mates: &'run [Sender<ReactorMsg<C>>],
+        workers: usize,
+    ) -> ReactorRun<'run, C> {
+        ReactorRun {
+            me,
+            reactors,
+            fleet,
+            state,
+            route,
+            mates,
+            engines: Vec::new(),
+            inbound: Vec::new(),
+            pending_charges: Vec::new(),
+            pending_begins: Vec::new(),
+            shutdown: false,
+            tx_scratch: Vec::new(),
+            workers,
+            progressed: false,
+        }
+    }
+
     fn owner_of(&self, id: DeviceId) -> usize {
-        self.engine.fleet().reactor_of(id, self.reactors)
+        self.fleet.reactor_of(id, self.reactors)
+    }
+
+    /// The in-flight epoch (index into `engines`) still awaiting `id`,
+    /// oldest first. Pipelined cohorts are disjoint, so at most one
+    /// epoch can await any device.
+    fn epoch_awaiting(&self, id: DeviceId) -> Option<usize> {
+        self.engines.iter().position(|e| e.engine.is_awaiting(id))
+    }
+
+    /// True when any in-flight epoch still awaits `id`.
+    fn awaited(&self, id: DeviceId) -> bool {
+        self.epoch_awaiting(id).is_some()
+    }
+
+    /// Begins every runtime-mailed epoch, oldest submission first.
+    /// Failures (an id evicted between submission and begin) are
+    /// returned for the caller to report; the round never starts.
+    pub(crate) fn start_pending_epochs(&mut self) -> Vec<(u64, FleetError, Vec<DeviceId>)> {
+        let mut failures = Vec::new();
+        for start in std::mem::take(&mut self.pending_begins) {
+            self.progressed = true;
+            match RoundEngine::begin(
+                self.fleet,
+                &start.partition,
+                RoundConfig::realtime(start.budget),
+            ) {
+                Ok(engine) => self.engines.push(EpochRun {
+                    epoch: start.epoch,
+                    engine,
+                    started: start.started,
+                    cohort: start.partition,
+                }),
+                Err(e) => failures.push((start.epoch, e, start.partition)),
+            }
+        }
+        failures
+    }
+
+    /// Ticks every in-flight epoch against its own round clock.
+    pub(crate) fn tick_all(&mut self) {
+        for e in &mut self.engines {
+            e.engine
+                .tick(LogicalTime(e.started.elapsed().as_millis() as u64));
+        }
+    }
+
+    /// Sweeps eviction churn into every in-flight epoch: the epoch that
+    /// awaits the evicted device settles it as `Evicted`; epochs that
+    /// never challenged it are untouched — churn is charged to exactly
+    /// one epoch.
+    pub(crate) fn sync_membership_all(&mut self) {
+        for e in &mut self.engines {
+            self.progressed |= e.engine.sync_membership() > 0;
+        }
+    }
+
+    /// Scoped-gateway accessor: whether the single round has settled.
+    fn single_settled(&self) -> bool {
+        self.engines.iter().all(|e| e.engine.is_settled())
+    }
+
+    /// Scoped-gateway teardown: finishes the one round and records its
+    /// outcome count.
+    fn take_single_report(&mut self) -> RoundReport {
+        let e = self.engines.pop().expect("scoped rounds hold one epoch");
+        let report = e.engine.into_report();
+        self.state.last_outcomes = report.outcomes.len();
+        report
+    }
+
+    /// Pops every settled epoch (oldest first), finishing its report
+    /// and pruning parked/delivered residue no surviving epoch awaits.
+    pub(crate) fn harvest_settled(&mut self) -> Vec<(u64, RoundReport, Vec<DeviceId>)> {
+        if self.engines.iter().all(|e| !e.engine.is_settled()) {
+            return Vec::new();
+        }
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.engines.len() {
+            if self.engines[i].engine.is_settled() {
+                let e = self.engines.remove(i);
+                let report = e.engine.into_report();
+                self.state.last_outcomes = report.outcomes.len();
+                done.push((e.epoch, report, e.cohort));
+            } else {
+                i += 1;
+            }
+        }
+        let engines = &self.engines;
+        let still_awaited = |id: &DeviceId| engines.iter().any(|e| e.engine.is_awaiting(*id));
+        self.state.parked.retain(|id, _| still_awaited(id));
+        self.state.delivered.retain(|id, _| still_awaited(id));
+        self.progressed = true;
+        done
     }
 
     /// Fire-and-forget mail: a send to a reactor that already returned
@@ -693,13 +866,18 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
         self.route.lock().unwrap().get(&device).copied()
     }
 
-    /// Drains the engine's outbound challenges: queued locally when the
-    /// route is ours, mailed to the owning reactor when not, parked
-    /// when the device has no route yet.
-    fn pump_transmits(&mut self) {
-        while let Some((device, frame)) = self.engine.poll_transmit() {
+    /// Drains every in-flight epoch's outbound challenges: queued
+    /// locally when the route is ours, mailed to the owning reactor
+    /// when not, parked when the device has no route yet.
+    pub(crate) fn pump_transmits(&mut self) {
+        let mut staged = std::mem::take(&mut self.tx_scratch);
+        for e in &mut self.engines {
+            while let Some((device, frame)) = e.engine.poll_transmit() {
+                staged.push((device, frame_stream(&frame)));
+            }
+        }
+        for (device, framed) in staged.drain(..) {
             self.progressed = true;
-            let framed = frame_stream(&frame);
             match self.current_route(device) {
                 Some(r) if r.reactor == self.me => self.deliver_on(device, r.slot, framed),
                 Some(r) => self.send(
@@ -715,6 +893,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
                 }
             }
         }
+        self.tx_scratch = staged;
     }
 
     /// Queues a framed challenge on the local connection at `slot`. On
@@ -748,7 +927,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
     /// map alone would strand the challenge until the deadline.
     fn repark(&mut self, device: DeviceId, framed: Vec<u8>) {
         debug_assert_eq!(self.owner_of(device), self.me, "repark is owner-side");
-        if !self.engine.is_awaiting(device) {
+        if !self.awaited(device) {
             return; // already settled; the challenge is moot
         }
         match self.current_route(device) {
@@ -782,11 +961,23 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
         }
     }
 
-    fn drain_inbox(&mut self, inbox: &Receiver<ReactorMsg<C>>) {
+    pub(crate) fn drain_inbox(&mut self, inbox: &Receiver<ReactorMsg<C>>) {
         while let Ok(msg) = inbox.try_recv() {
+            self.absorb(msg);
+        }
+    }
+
+    /// Handles one piece of mail. Separated from
+    /// [`drain_inbox`](Self::drain_inbox) so the persistent runtime
+    /// loop can block on its inbox while parked between epochs and feed
+    /// the wake-up message through the same path.
+    pub(crate) fn absorb(&mut self, msg: ReactorMsg<C>) {
+        {
             self.progressed = true;
             match msg {
                 ReactorMsg::Conn(conn) => self.state.adopt(conn),
+                ReactorMsg::Begin(start) => self.pending_begins.push(start),
+                ReactorMsg::Shutdown => self.shutdown = true,
                 ReactorMsg::Deliver {
                     device,
                     slot,
@@ -864,7 +1055,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
     /// frames, records routes, and sorts evidence — owned devices into
     /// the local batch, others into the owner's mail, unattributable
     /// frames judged here.
-    fn sweep_reads(&mut self) {
+    pub(crate) fn sweep_reads(&mut self) {
         for slot in 0..self.state.conns.len() {
             if self.state.conns[slot].is_none() {
                 continue;
@@ -884,7 +1075,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
                                 // A hello (empty payload) is routing
                                 // information only.
                                 if envelope.payload.is_empty() {
-                                    if !self.engine.fleet().is_registered(id) {
+                                    if !self.fleet.is_registered(id) {
                                         self.state.unknown_hellos += 1;
                                     }
                                 } else if self.owner_of(id) == self.me {
@@ -915,21 +1106,26 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
         }
     }
 
-    /// Concludes the sweep's gathered evidence as one batch on this
-    /// reactor's share of the MAC pool and feeds the verdicts to the
-    /// local engine.
-    fn conclude_inbound(&mut self) {
+    /// Concludes the sweep's gathered evidence as one batch — on the
+    /// shared runtime pool when one is attached, else this reactor's
+    /// scoped share of the MAC pool — and feeds each verdict to the
+    /// epoch awaiting its device. Verdicts that belong to no awaited
+    /// device (unsolicited evidence, unattributable frames) land in the
+    /// oldest in-flight epoch, the only one on a scoped round. The
+    /// inbound buffer comes back cleared for the next sweep.
+    pub(crate) fn conclude_inbound(&mut self) {
         if self.inbound.is_empty() {
             return;
         }
         self.progressed = true;
         let frames = std::mem::take(&mut self.inbound);
-        for (device, result) in self
-            .engine
-            .fleet()
-            .conclude_batch_with(&frames, self.workers)
-        {
-            self.engine.outcome_received(device, result);
+        let (verdicts, recycled) = self.fleet.conclude_batch_pooled(frames, self.workers);
+        self.inbound = recycled;
+        for (device, result) in verdicts {
+            let target = device.and_then(|id| self.epoch_awaiting(id)).unwrap_or(0);
+            if let Some(e) = self.engines.get_mut(target) {
+                e.engine.outcome_received(device, result);
+            }
         }
     }
 
@@ -937,9 +1133,11 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
     /// [`conclude_inbound`](Self::conclude_inbound) so a device whose
     /// evidence arrived ahead of its connection's FIN settles on the
     /// evidence — the charge then finds it settled and does nothing.
-    fn apply_charges(&mut self) {
+    pub(crate) fn apply_charges(&mut self) {
         for device in std::mem::take(&mut self.pending_charges) {
-            self.engine.charge_no_response(device);
+            if let Some(i) = self.epoch_awaiting(device) {
+                self.engines[i].engine.charge_no_response(device);
+            }
         }
     }
 
@@ -947,7 +1145,7 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
     /// routes are forgotten fleet-wide, and every device whose
     /// challenge was *delivered* on them is charged `NoResponse` — at
     /// its owner, by mail when the owner is another reactor.
-    fn sweep_writes_and_reap(&mut self) {
+    pub(crate) fn sweep_writes_and_reap(&mut self) {
         for slot in 0..self.state.conns.len() {
             let Some(peer) = self.state.conns[slot].as_mut() else {
                 continue;
@@ -979,7 +1177,9 @@ impl<C: GatewayConn> ReactorRun<'_, C> {
                 for id in carried {
                     self.state.delivered.remove(&id);
                     if self.owner_of(id) == self.me {
-                        self.engine.charge_no_response(id);
+                        if let Some(i) = self.epoch_awaiting(id) {
+                            self.engines[i].engine.charge_no_response(id);
+                        }
                     } else {
                         self.send(self.owner_of(id), ReactorMsg::Charge(id));
                     }

@@ -150,10 +150,17 @@ impl WriteQueue {
     }
 
     /// Writes as many queued bytes as `stream` accepts right now.
+    ///
+    /// Writes are **coalesced**: when several frames are queued (a
+    /// round's worth of challenges for one connection), they go to the
+    /// stream as one contiguous buffer per `write` call rather than one
+    /// write per frame — or two when the ring buffer happens to wrap.
+    /// The byte stream is identical either way; only the syscall count
+    /// changes.
     pub fn flush<S: Write + ?Sized>(&mut self, stream: &mut S) -> WritePump {
         let mut wrote = 0;
         while !self.buf.is_empty() {
-            let (head, _) = self.buf.as_slices();
+            let head: &[u8] = self.buf.make_contiguous();
             match stream.write(head) {
                 Ok(0) => return WritePump::Closed,
                 Ok(n) => {
@@ -591,6 +598,79 @@ mod tests {
         assert!(!q.enqueue(b"x"));
         // ...and refusal queues nothing.
         assert_eq!(q.queued(), 9);
+    }
+
+    /// A stream that takes everything, counting `write` calls.
+    struct Greedy {
+        writes: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for Greedy {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writes += 1;
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_coalesces_frames_and_preserves_framing_bit_for_bit() {
+        use apex_pox::wire::{frame_stream, Envelope, StreamDeframer};
+
+        // A round's worth of challenges for one connection, enqueued
+        // frame by frame — including across a partial flush so the ring
+        // buffer wraps internally. The wire bytes must equal the plain
+        // concatenation of the framed envelopes (framing bit-identity),
+        // and each ready stream must see exactly ONE write syscall per
+        // flush, however many frames are queued.
+        let frames: Vec<Vec<u8>> = (1u64..=5)
+            .map(|d| frame_stream(&Envelope::wrap(d, vec![d as u8; 24 * d as usize]).to_bytes()))
+            .collect();
+        let expected: Vec<u8> = frames.iter().flatten().copied().collect();
+
+        let mut q = WriteQueue::with_capacity(4096);
+        let mut wire = Vec::new();
+        assert!(q.enqueue(&frames[0]));
+        assert!(q.enqueue(&frames[1]));
+        // A partial write leaves a tail queued; the next enqueues then
+        // wrap the ring around its head.
+        let mut throttled = Throttled {
+            accept: vec![7],
+            written: Vec::new(),
+        };
+        assert_eq!(q.flush(&mut throttled), WritePump::Blocked(7));
+        wire.extend_from_slice(&throttled.written);
+        for frame in &frames[2..] {
+            assert!(q.enqueue(frame));
+        }
+
+        let mut greedy = Greedy {
+            writes: 0,
+            written: Vec::new(),
+        };
+        assert_eq!(q.flush(&mut greedy), WritePump::Drained);
+        assert_eq!(
+            greedy.writes, 1,
+            "queued frames coalesce into one write syscall, wrapped ring included"
+        );
+        wire.extend_from_slice(&greedy.written);
+        assert_eq!(wire, expected, "coalescing must not disturb a single byte");
+
+        // And the peer's deframer recovers the envelopes exactly.
+        let mut deframer = StreamDeframer::new();
+        deframer.extend(&wire);
+        for (d, frame) in frames.iter().enumerate() {
+            let got = deframer
+                .next_frame()
+                .expect("framing intact")
+                .expect("frame complete");
+            assert_eq!(&frame_stream(&got), frame, "frame {d} round-trips");
+        }
+        assert!(matches!(deframer.next_frame(), Ok(None)), "no residue");
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   connections × reactors sweep (including a 10k-connection run,
 //!   degraded gracefully if the fd limit caps it lower), so the delta
 //!   against the single-reactor gateway is the cross-reactor mailbox +
-//!   merge cost — or, on a multi-core host, the parallel speedup.
+//!   merge cost — or, on a multi-core host, the parallel speedup;
+//! * **sustained** — ≥30 consecutive rounds through one persistent
+//!   `FleetRuntime` (reactors parked between rounds, the MAC pool
+//!   attached once), so the delta against the per-round gateway rows
+//!   is the spawn/join + allocation tax the runtime amortizes; the row
+//!   also records the post-soak RSS ceiling.
 //!
 //! Device construction and execution are *not* timed: the measured
 //! quantity is verifier-side round throughput, which is what a
@@ -41,6 +46,9 @@
 //! * `LIFECYCLE_SMOKE=1` — one mid-scale (10k-device) lifecycle
 //!   enrollment + epoch series recording RSS, for the CI lifecycle
 //!   step;
+//! * `SOAK_SMOKE=1` — one bounded sustained run (30 rounds through a
+//!   persistent runtime with one seeded leave/re-join per round), for
+//!   the CI soak step;
 //! * `FLEET_DEVICES=a,b,c` — explicit device-count series (all
 //!   transports; gateway rows use 8 connections, multigateway rows 8
 //!   connections × 4 reactors).
@@ -57,9 +65,10 @@ use asap_bench::fleet::{
     ScenarioMix,
 };
 use asap_fleet::{
-    drive_round, DeviceId, FleetDirectory, FleetGateway, FleetVerifier, LifecycleConfig, Loopback,
-    MultiGateway, StreamTransport,
+    drive_round, DeviceId, FleetDirectory, FleetGateway, FleetRuntime, FleetVerifier,
+    LifecycleConfig, Loopback, MultiGateway, NoListener, StreamTransport,
 };
+use std::os::unix::net::UnixStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -442,6 +451,147 @@ fn measure_multi_scale(target: usize, reactors: usize, seed: u64) -> Row {
     }
 }
 
+/// xorshift64* — the same tiny generator family the scenario harness
+/// uses, so the soak churn schedule is seed-reproducible anywhere.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The sustained series: `rounds` consecutive full-fleet rounds driven
+/// through **one** persistent [`FleetRuntime`] — reactors parked
+/// between rounds, connections adopted once, the MAC pool attached for
+/// the whole span. The scoped gateway rebuilds its reactor threads,
+/// channels and conclude pools every round; this row measures the
+/// steady state with that per-round tax paid once, which is the number
+/// a continuous-attestation deployment actually sustains.
+///
+/// With `churn`, every round is preceded by one seeded leave (the
+/// victim re-enrolls after the round settles), so the soak also covers
+/// registry mutation under a live runtime. `rss_bytes` is sampled
+/// after the last round — the soak memory ceiling: a leak per round
+/// (an unfreed deframer, an engine that never returns its buffers)
+/// shows up here multiplied by `rounds`.
+fn measure_sustained(
+    devices: usize,
+    connections: usize,
+    reactors: usize,
+    rounds: usize,
+    churn: bool,
+    seed: u64,
+) -> Row {
+    let ids: Vec<DeviceId> = (1..=devices as u64).map(DeviceId).collect();
+    let image = programs::fig4_authorized().expect("image links");
+    let spec = Arc::new(
+        VerifierSpec::from_image(&image)
+            .expect("spec derives")
+            .mode(PoxMode::Asap),
+    );
+
+    let t0 = Instant::now();
+    let fleet = Arc::new(enroll(&ids, seed));
+    let mut runtime: FleetRuntime<NoListener<UnixStream>> =
+        FleetRuntime::detached(Arc::clone(&fleet), reactors, 1);
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let hosts: Vec<_> = ids
+        .chunks(devices.div_ceil(connections))
+        .map(|chunk| {
+            let (gw_end, prover_end) = UnixStream::pair().expect("socketpair");
+            runtime.adopt(gw_end).expect("adopt runtime end");
+            let host_ids = chunk.to_vec();
+            let ready_tx = ready_tx.clone();
+            std::thread::spawn(move || {
+                host_gateway_provers(
+                    prover_end,
+                    &host_ids,
+                    |id| device_key(seed, id),
+                    &[],
+                    move || ready_tx.send(()).expect("bench main thread waits"),
+                );
+            })
+        })
+        .collect();
+    let connections = hosts.len();
+    for _ in 0..connections {
+        ready_rx.recv().expect("prover host builds its fleet");
+    }
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    // Warm the runtime: first-contact hellos, route recording and the
+    // initial allocations happen here, outside the timed span — the
+    // sustained number is the steady state.
+    for _ in 0..3 {
+        let report = runtime
+            .run_round(&ids, Duration::from_secs(30))
+            .expect("warmup round runs");
+        assert_eq!(report.verified(), devices, "warmup must verify in full");
+    }
+
+    let mut rng = seed | 1;
+    let mut verified = 0usize;
+    let t1 = Instant::now();
+    for _ in 0..rounds {
+        if churn {
+            let victim = ids[(next_rand(&mut rng) as usize) % devices];
+            fleet.remove(victim);
+            let cohort: Vec<DeviceId> = ids.iter().copied().filter(|&id| id != victim).collect();
+            let report = runtime
+                .run_round(&cohort, Duration::from_secs(30))
+                .expect("churned round runs");
+            assert_eq!(
+                report.verified(),
+                devices - 1,
+                "every still-enrolled device must verify"
+            );
+            verified += report.verified();
+            fleet
+                .register_shared(victim, &device_key(seed, victim), Arc::clone(&spec))
+                .expect("the victim re-enrolls");
+        } else {
+            let report = runtime
+                .run_round(&ids, Duration::from_secs(30))
+                .expect("sustained round runs");
+            assert_eq!(
+                report.verified(),
+                devices,
+                "an all-honest sustained round must verify every device"
+            );
+            verified += report.verified();
+        }
+        assert_eq!(fleet.in_flight(), 0, "rounds must not leak sessions");
+    }
+    let round_secs = t1.elapsed().as_secs_f64();
+    let rss = rss_bytes();
+    assert_eq!(
+        runtime.accepted_connections() as usize,
+        connections,
+        "the sustained span must never re-dial"
+    );
+    drop(runtime); // hang up every connection: the hosts see EOF
+    for host in hosts {
+        host.join().expect("prover host exits");
+    }
+
+    Row {
+        transport: "sustained",
+        devices,
+        connections: Some(connections),
+        reactors: Some(reactors),
+        per_reactor: None,
+        cohort: None,
+        epochs: Some(rounds),
+        rss_bytes: rss,
+        verified,
+        build_secs,
+        round_secs,
+        sessions_per_sec: verified as f64 / round_secs.max(f64::EPSILON),
+    }
+}
+
 /// The lifecycle scale point: a fleet of `devices` enrolled through a
 /// [`FleetDirectory`] under one shared `Arc<VerifierSpec>` (the
 /// memory-diet enrollment path), then `epochs` epoch-sampled partial
@@ -558,6 +708,7 @@ fn main() {
     let socket_smoke = std::env::var("SOCKET_SMOKE").is_ok();
     let fleet_smoke = std::env::var("FLEET_SMOKE").is_ok();
     let lifecycle_smoke = std::env::var("LIFECYCLE_SMOKE").is_ok();
+    let soak_smoke = std::env::var("SOAK_SMOKE").is_ok();
 
     type Sweep = (
         Vec<usize>,
@@ -566,9 +717,13 @@ fn main() {
         Vec<(usize, usize, usize)>,
         Option<(usize, usize)>,
         Vec<(usize, usize, usize)>,
+        // Sustained runs: devices × connections × reactors × rounds ×
+        // seeded-churn.
+        Vec<(usize, usize, usize, usize, bool)>,
     );
     #[rustfmt::skip]
-    let (loopback_counts, socket_counts, gateway_counts, multi_counts, scale_run, lifecycle_runs): Sweep =
+    let (loopback_counts, socket_counts, gateway_counts, multi_counts, scale_run, lifecycle_runs,
+         sustained_runs): Sweep =
         match &explicit {
             Some(counts) => (
                 counts.clone(),
@@ -577,16 +732,26 @@ fn main() {
                 counts.iter().map(|&n| (n, 8, 4)).collect(),
                 None,
                 vec![],
+                vec![],
             ),
             None if gateway_smoke => {
-                (vec![100], vec![], vec![(100, 8)], vec![(100, 8, 2)], None, vec![])
+                (vec![100], vec![], vec![(100, 8)], vec![(100, 8, 2)], None, vec![], vec![])
             }
-            None if socket_smoke => (vec![25], vec![25], vec![], vec![], None, vec![]),
-            None if fleet_smoke => (vec![25], vec![], vec![], vec![], None, vec![]),
+            None if socket_smoke => (vec![25], vec![25], vec![], vec![], None, vec![], vec![]),
+            None if fleet_smoke => (vec![25], vec![], vec![], vec![], None, vec![], vec![]),
             // One mid-scale lifecycle point for the CI lifecycle step:
             // big enough that the registry footprint dominates RSS,
             // small enough to stay in smoke-test time.
-            None if lifecycle_smoke => (vec![], vec![], vec![], vec![], None, vec![(10_000, 512, 2)]),
+            None if lifecycle_smoke => {
+                (vec![], vec![], vec![], vec![], None, vec![(10_000, 512, 2)], vec![])
+            }
+            // The CI soak point: 30 consecutive rounds through one
+            // persistent runtime with one seeded leave/re-join per
+            // round — bounded wall-clock, gated on both steady-state
+            // throughput and the soak RSS ceiling.
+            None if soak_smoke => {
+                (vec![], vec![], vec![], vec![], None, vec![], vec![(100, 4, 2, 30, true)])
+            }
             None => (
                 vec![100, 250, 500],
                 vec![100, 250],
@@ -606,6 +771,11 @@ fn main() {
                 // enrollment and epoch scheduling stay tractable at
                 // the paper's fleet scale.
                 vec![(10_000, 512, 2), (100_000, 1024, 2), (1_000_000, 256, 1)],
+                // The sustained series: the steady-state point mirrors
+                // the 500-device/8-connection gateway row for a direct
+                // per-round-vs-persistent comparison, and the churn
+                // point is the full-sweep twin of the CI soak step.
+                vec![(500, 8, 1, 30, false), (100, 4, 2, 30, true)],
             ),
         };
 
@@ -634,6 +804,11 @@ fn main() {
     if let Some((target, reactors)) = scale_run {
         rows.push(measure_multi_scale(target, reactors, 0xA5A5));
     }
+    rows.extend(
+        sustained_runs
+            .iter()
+            .map(|&(n, c, r, rounds, churn)| measure_sustained(n, c, r, rounds, churn, 0xA5A5)),
+    );
     for r in &rows {
         println!(
             "{:<13} {:<8} {:<6} {:<8} {:>12.3} {:>12.3} {:>16.1}{}",
